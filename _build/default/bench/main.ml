@@ -1,0 +1,200 @@
+(* Benchmark & reproduction harness.
+
+   Two parts, both in this executable:
+
+   1. Reproduction: regenerates the rows/series of every table and
+      figure of the paper's evaluation (Tables 1-2, Figures 3, 4, 5, 7,
+      8), plus the ablation tables DESIGN.md calls out (placement
+      discipline, overhead budget, baselines).  The sweep defaults to a
+      12-configuration subset; set UCP_FULL=1 for the paper's full
+      36-configuration, 2664-use-case setup.
+
+   2. Micro-benchmarks: one Bechamel Test.make per pipeline stage and
+      per reproduced table/figure, measuring the cost of regenerating
+      each from swept records.
+
+     dune exec bench/main.exe             # subset sweep + benchmarks
+     UCP_FULL=1 dune exec bench/main.exe  # the full paper sweep *)
+
+module Config = Ucp_cache.Config
+module Tech = Ucp_energy.Tech
+module Experiments = Ucp_core.Experiments
+module Report = Ucp_core.Report
+module Pipeline = Ucp_core.Pipeline
+module Optimizer = Ucp_prefetch.Optimizer
+module Wcet = Ucp_wcet.Wcet
+module Simulator = Ucp_sim.Simulator
+module Table = Ucp_util.Table
+
+let full = Sys.getenv_opt "UCP_FULL" = Some "1"
+
+(* ------------------------------------------------------------------ *)
+(* part 1: reproduction *)
+
+let ablation_placement records_configs =
+  let t =
+    Table.create
+      [ "use case"; "discipline"; "prefetches"; "WCET ratio"; "ACET ratio"; "exec ratio" ]
+  in
+  List.iter
+    (fun (name, config, tech) ->
+      let program = Ucp_workloads.Suite.find name in
+      let model = Pipeline.model config tech in
+      let base = Simulator.run program config model in
+      List.iter
+        (fun (label, placement, budget) ->
+          let r = Optimizer.optimize ~placement ?overhead_budget:budget program config model in
+          let s = Simulator.run r.Optimizer.program config model in
+          Table.add_row t
+            [
+              Printf.sprintf "%s@%s" name (Config.id config);
+              label;
+              string_of_int (List.length r.Optimizer.insertions);
+              Table.cell_f
+                (float_of_int r.Optimizer.tau_after /. float_of_int r.Optimizer.tau_before);
+              Table.cell_f
+                (float_of_int (Simulator.acet s) /. float_of_int (Simulator.acet base));
+              Table.cell_f
+                (float_of_int s.Simulator.executed /. float_of_int base.Simulator.executed);
+            ])
+        [
+          ("at-eviction (paper)", Optimizer.At_eviction, None);
+          ("latest-effective", Optimizer.Latest_effective, None);
+          ("at-eviction, no budget", Optimizer.At_eviction, Some 1000.0);
+        ])
+    records_configs;
+  "== Ablation: insertion discipline and overhead budget ==\n" ^ Table.render t
+
+let baseline_table () =
+  let t =
+    Table.create [ "use case"; "scheme"; "WCET ratio"; "ACET ratio"; "energy ratio"; "miss after" ]
+  in
+  List.iter
+    (fun (name, config, tech) ->
+      let program = Ucp_workloads.Suite.find name in
+      let model = Pipeline.model config tech in
+      let base_stats = Simulator.run program config model in
+      let base_b = Ucp_energy.Account.energy model base_stats.Simulator.counts in
+      let base_wcet =
+        Wcet.tau_with_residual (Wcet.compute ~with_may:false program config model)
+      in
+      let row label wcet stats =
+        let b = Ucp_energy.Account.energy model stats.Simulator.counts in
+        Table.add_row t
+          [
+            Printf.sprintf "%s@%s" name (Config.id config);
+            label;
+            (match wcet with
+            | Some x -> Table.cell_f (float_of_int x /. float_of_int base_wcet)
+            | None -> "n/a");
+            Table.cell_f
+              (float_of_int (Simulator.acet stats) /. float_of_int (Simulator.acet base_stats));
+            Table.cell_f (b.Ucp_energy.Account.total_pj /. base_b.Ucp_energy.Account.total_pj);
+            Printf.sprintf "%.2f%%" (100.0 *. stats.Simulator.miss_rate);
+          ]
+      in
+      let wcet_of p = Wcet.tau_with_residual (Wcet.compute ~with_may:false p config model) in
+      let opt = (Optimizer.optimize program config model).Optimizer.program in
+      row "this paper" (Some (wcet_of opt)) (Simulator.run opt config model);
+      let bb = Ucp_prefetch.Baselines.bb_start program config model in
+      row "bb-start [5]" (Some (wcet_of bb)) (Simulator.run bb config model);
+      let lock = Ucp_prefetch.Baselines.lock_greedy program config model in
+      row "locked [4,14]"
+        (Some lock.Ucp_prefetch.Baselines.tau_locked)
+        (Simulator.run ~locked:lock.Ucp_prefetch.Baselines.locked_blocks program config model);
+      (if config.Config.assoc > 1 then
+         let h = Ucp_prefetch.Baselines.lock_hybrid ~ways:1 program config model in
+         row "hybrid lock+prefetch [16,2]"
+           (Some h.Ucp_prefetch.Baselines.hybrid_tau)
+           (Simulator.run ~pinned:h.Ucp_prefetch.Baselines.hybrid_pinned
+              ~cache_config:h.Ucp_prefetch.Baselines.hybrid_config
+              h.Ucp_prefetch.Baselines.hybrid_program config model));
+      List.iter
+        (fun (hw_name, mk) ->
+          if hw_name <> "none" then
+            row ("hw " ^ hw_name) None (Simulator.run ~hw:(mk ()) program config model))
+        (Ucp_sim.Hw_prefetch.all_schemes ~block_bytes:config.Config.block_bytes))
+    [
+      ("fft1", Config.make ~assoc:2 ~block_bytes:16 ~capacity:256, Tech.nm32);
+      ("st", Config.make ~assoc:2 ~block_bytes:16 ~capacity:1024, Tech.nm32);
+    ];
+  "== Baseline comparison (ratios vs on-demand fetching) ==\n" ^ Table.render t
+
+let reproduce () =
+  let configs = if full then Experiments.default_configs else Experiments.quick_configs in
+  Printf.printf "reproduction sweep: %d programs x %d configs x 2 techs = %d use cases%s\n%!"
+    (List.length Ucp_workloads.Suite.all)
+    (List.length configs)
+    (List.length Ucp_workloads.Suite.all * List.length configs * 2)
+    (if full then " (full paper setup)" else " (quick subset; UCP_FULL=1 for all 36)");
+  let t0 = Sys.time () in
+  let records = Experiments.sweep ~configs () in
+  Printf.printf "sweep finished in %.1fs\n\n%!" (Sys.time () -. t0);
+  print_string (Report.all records);
+  print_newline ();
+  print_string
+    (ablation_placement
+       [
+         ("fft1", Config.make ~assoc:2 ~block_bytes:16 ~capacity:256, Tech.nm45);
+         ("st", Config.make ~assoc:2 ~block_bytes:16 ~capacity:1024, Tech.nm45);
+         ("nsichneu", Config.make ~assoc:4 ~block_bytes:16 ~capacity:2048, Tech.nm32);
+       ]);
+  print_newline ();
+  print_string (baseline_table ());
+  records
+
+(* ------------------------------------------------------------------ *)
+(* part 2: Bechamel micro-benchmarks *)
+
+let micro_benchmarks records =
+  let open Bechamel in
+  let program = Ucp_workloads.Suite.find "ndes" in
+  let config = Config.make ~assoc:2 ~block_bytes:16 ~capacity:512 in
+  let model = Pipeline.model config Tech.nm45 in
+  let wcet = Wcet.compute ~with_may:false program config model in
+  let staged f = Staged.stage f in
+  let tests =
+    [
+      Test.make ~name:"table1" (staged (fun () -> ignore (Report.table1 ())));
+      Test.make ~name:"table2" (staged (fun () -> ignore (Report.table2 ())));
+      Test.make ~name:"figure3" (staged (fun () -> ignore (Experiments.figure3 records)));
+      Test.make ~name:"figure4" (staged (fun () -> ignore (Experiments.figure4 records)));
+      Test.make ~name:"figure5" (staged (fun () -> ignore (Experiments.figure5 records)));
+      Test.make ~name:"figure7" (staged (fun () -> ignore (Experiments.figure7 records)));
+      Test.make ~name:"figure8" (staged (fun () -> ignore (Experiments.figure8 records)));
+      Test.make ~name:"vivu-expand"
+        (staged (fun () -> ignore (Ucp_cfg.Vivu.expand program)));
+      Test.make ~name:"wcet-analysis"
+        (staged (fun () -> ignore (Wcet.compute ~with_may:false program config model)));
+      Test.make ~name:"ipet-ilp" (staged (fun () -> ignore (Ucp_wcet.Ipet.solve wcet)));
+      Test.make ~name:"optimize"
+        (staged (fun () -> ignore (Optimizer.optimize program config model)));
+      Test.make ~name:"simulate"
+        (staged (fun () -> ignore (Simulator.run program config model)));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:(Some 500) ()
+  in
+  print_endline "\n== Micro-benchmarks (monotonic clock) ==";
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+        |> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                          ~predictors:[| Measure.run |])
+             Toolkit.Instance.monotonic_clock
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-16s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-16s (no estimate)\n" name)
+        results)
+    tests
+
+let () =
+  let records = reproduce () in
+  micro_benchmarks records;
+  print_endline "\nbench: done"

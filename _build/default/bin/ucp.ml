@@ -1,0 +1,387 @@
+(* ucp: command-line driver for the unlocked-cache-prefetching tool
+   flow: analyze / optimize / simulate single use cases, compare
+   baselines, run the paper's experiment sweeps. *)
+
+open Cmdliner
+module Config = Ucp_cache.Config
+module Tech = Ucp_energy.Tech
+module Suite = Ucp_workloads.Suite
+module Pipeline = Ucp_core.Pipeline
+module Experiments = Ucp_core.Experiments
+module Report = Ucp_core.Report
+module Wcet = Ucp_wcet.Wcet
+module Analysis = Ucp_wcet.Analysis
+module Optimizer = Ucp_prefetch.Optimizer
+module Baselines = Ucp_prefetch.Baselines
+module Simulator = Ucp_sim.Simulator
+
+(* ------------------------------------------------------------------ *)
+(* argument converters *)
+
+let program_conv =
+  let parse s =
+    match Suite.find s with
+    | program -> Ok program
+    | exception Not_found ->
+      Error (`Msg (Printf.sprintf "unknown program %S (try `ucp list')" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Ucp_isa.Program.name p))
+
+let config_conv =
+  let parse s =
+    match List.assoc_opt s Config.paper_configs with
+    | Some c -> Ok c
+    | None -> (
+      match String.split_on_char ',' s with
+      | [ a; b; c ] -> (
+        try
+          Ok
+            (Config.make ~assoc:(int_of_string a) ~block_bytes:(int_of_string b)
+               ~capacity:(int_of_string c))
+        with Invalid_argument m | Failure m -> Error (`Msg m))
+      | _ -> Error (`Msg "expected a Table 2 id (k1..k36) or `assoc,block,capacity'"))
+  in
+  Arg.conv (parse, Config.pp)
+
+let tech_conv =
+  let parse = function
+    | "45nm" | "45" -> Ok Tech.nm45
+    | "32nm" | "32" -> Ok Tech.nm32
+    | s -> Error (`Msg (Printf.sprintf "unknown technology %S (45nm | 32nm)" s))
+  in
+  Arg.conv (parse, Tech.pp)
+
+let program_arg =
+  Arg.(
+    required
+    & opt (some program_conv) None
+    & info [ "p"; "program" ] ~docv:"NAME" ~doc:"Benchmark program (see `ucp list').")
+
+let config_arg =
+  Arg.(
+    value
+    & opt config_conv (List.assoc "k14" Config.paper_configs)
+    & info [ "k"; "config" ] ~docv:"CONFIG"
+        ~doc:"Cache configuration: Table 2 id or assoc,block,capacity (default k14).")
+
+let tech_arg =
+  Arg.(
+    value
+    & opt tech_conv Tech.nm45
+    & info [ "t"; "tech" ] ~docv:"TECH" ~doc:"Process technology: 45nm or 32nm.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulator seed.")
+
+(* ------------------------------------------------------------------ *)
+(* commands *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, p) ->
+        Printf.printf "%-4s %-14s %5d slots  %s\n" (Suite.paper_id name) name
+          (Ucp_isa.Program.total_slots p)
+          (Suite.size_class p))
+      Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the 37 workload programs.")
+    Term.(const run $ const ())
+
+let tables_cmd =
+  let run () =
+    print_string (Report.table1 ());
+    print_newline ();
+    print_string (Report.table2 ())
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Print Tables 1 and 2 of the paper.")
+    Term.(const run $ const ())
+
+let classification_histogram w =
+  let analysis = w.Wcet.analysis in
+  let vivu = Analysis.vivu analysis in
+  let program = Ucp_cfg.Vivu.program vivu in
+  let ah = ref 0 and am = ref 0 and nc = ref 0 in
+  for node = 0 to Ucp_cfg.Vivu.node_count vivu - 1 do
+    let nd = Ucp_cfg.Vivu.node vivu node in
+    for pos = 0 to Ucp_isa.Program.slots program nd.Ucp_cfg.Vivu.block - 1 do
+      match Analysis.classif analysis ~node ~pos with
+      | Ucp_wcet.Classification.Always_hit -> incr ah
+      | Ucp_wcet.Classification.Always_miss -> incr am
+      | Ucp_wcet.Classification.Not_classified -> incr nc
+    done
+  done;
+  (!ah, !am, !nc)
+
+let analyze_cmd =
+  let run program config tech =
+    let model = Pipeline.model config tech in
+    let w = Wcet.compute program config model in
+    let ah, am, nc = classification_histogram w in
+    Printf.printf "program            : %s\n" (Ucp_isa.Program.name program);
+    Printf.printf "cache              : %s, %s\n" (Config.id config) tech.Tech.label;
+    Printf.printf "tau_w (memory)     : %d cycles\n" w.Wcet.tau;
+    Printf.printf "WCET-path misses   : %d\n" (Wcet.wcet_misses w);
+    Printf.printf "miss bound         : %d\n" (Analysis.miss_count_bound w.Wcet.analysis);
+    Printf.printf "classification     : AH=%d AM=%d NC=%d (expanded slots)\n" ah am nc;
+    Printf.printf "expanded nodes     : %d\n"
+      (Ucp_cfg.Vivu.node_count (Analysis.vivu w.Wcet.analysis));
+    Printf.printf "fixpoint passes    : %d\n" (Analysis.fixpoint_passes w.Wcet.analysis)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Cache-aware WCET analysis of one use case.")
+    Term.(const run $ program_arg $ config_arg $ tech_arg)
+
+let optimize_cmd =
+  let run program config tech verbose =
+    let model = Pipeline.model config tech in
+    let r = Optimizer.optimize program config model in
+    Printf.printf "tau_w              : %d -> %d cycles (%.1f%% reduction)\n"
+      r.Optimizer.tau_before r.Optimizer.tau_after
+      (100.0
+      *. (1.0
+         -. (float_of_int r.Optimizer.tau_after /. float_of_int r.Optimizer.tau_before)));
+    Printf.printf "prefetches         : %d inserted, %d candidates rolled back\n"
+      (List.length r.Optimizer.insertions)
+      r.Optimizer.rejected;
+    Printf.printf "analysis rounds    : %d\n" r.Optimizer.rounds;
+    if verbose then
+      List.iteri
+        (fun i (ins : Optimizer.insertion) ->
+          Printf.printf "  #%-3d pf(uid %d) -> block of uid %d  gain=%d\n" i
+            ins.Optimizer.prefetch_uid ins.Optimizer.target_uid ins.Optimizer.est_gain)
+        r.Optimizer.insertions
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"List every insertion.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Run the WCET-safe prefetch optimization on one use case.")
+    Term.(const run $ program_arg $ config_arg $ tech_arg $ verbose)
+
+let simulate_cmd =
+  let run program config tech seed optimized =
+    let model = Pipeline.model config tech in
+    let program =
+      if optimized then (Optimizer.optimize program config model).Optimizer.program
+      else program
+    in
+    let stats = Simulator.run ~seed program config model in
+    let b = Ucp_energy.Account.energy model stats.Simulator.counts in
+    Printf.printf "executed           : %d instructions (%d prefetches)\n"
+      stats.Simulator.executed stats.Simulator.executed_prefetches;
+    Printf.printf "cycles (ACET)      : %d\n" (Simulator.acet stats);
+    Printf.printf "miss rate          : %.2f%%\n" (100.0 *. stats.Simulator.miss_rate);
+    Printf.printf "late-prefetch stall: %d cycles\n"
+      stats.Simulator.late_prefetch_stall_cycles;
+    Format.printf "energy             : %a@." Ucp_energy.Account.pp_breakdown b
+  in
+  let optimized =
+    Arg.(value & flag & info [ "O"; "optimized" ] ~doc:"Simulate the optimized binary.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Trace-simulate one use case (ACET, miss rate, energy).")
+    Term.(const run $ program_arg $ config_arg $ tech_arg $ seed_arg $ optimized)
+
+let baselines_cmd =
+  let run program config tech seed =
+    let model = Pipeline.model config tech in
+    let t =
+      Ucp_util.Table.create
+        [ "scheme"; "wcet"; "acet"; "miss"; "energy (pJ)"; "extra dram" ]
+    in
+    let row name wcet stats =
+      let b = Ucp_energy.Account.energy model stats.Simulator.counts in
+      Ucp_util.Table.add_row t
+        [
+          name;
+          (match wcet with Some x -> string_of_int x | None -> "n/a");
+          string_of_int (Simulator.acet stats);
+          Printf.sprintf "%.2f%%" (100.0 *. stats.Simulator.miss_rate);
+          Printf.sprintf "%.0f" b.Ucp_energy.Account.total_pj;
+          string_of_int stats.Simulator.counts.Ucp_energy.Account.prefetch_dram_reads;
+        ]
+    in
+    let wcet_of p = Wcet.tau_with_residual (Wcet.compute ~with_may:false p config model) in
+    row "on-demand" (Some (wcet_of program)) (Simulator.run ~seed program config model);
+    let opt = (Optimizer.optimize program config model).Optimizer.program in
+    row "this paper" (Some (wcet_of opt)) (Simulator.run ~seed opt config model);
+    let streaming =
+      (Optimizer.optimize ~placement:Optimizer.Latest_effective program config model)
+        .Optimizer.program
+    in
+    row "latest-effective (ablation)" (Some (wcet_of streaming))
+      (Simulator.run ~seed streaming config model);
+    let bb = Baselines.bb_start program config model in
+    row "bb-start [5]" (Some (wcet_of bb)) (Simulator.run ~seed bb config model);
+    let lock = Baselines.lock_greedy program config model in
+    row "locked cache [4,14]"
+      (Some lock.Baselines.tau_locked)
+      (Simulator.run ~seed ~locked:lock.Baselines.locked_blocks program config model);
+    if config.Config.assoc > 1 then begin
+      let h = Baselines.lock_hybrid ~ways:1 program config model in
+      row "hybrid lock+prefetch [16,2]"
+        (Some h.Baselines.hybrid_tau)
+        (Simulator.run ~seed ~pinned:h.Baselines.hybrid_pinned
+           ~cache_config:h.Baselines.hybrid_config h.Baselines.hybrid_program config
+           model)
+    end;
+    List.iter
+      (fun (name, mk) ->
+        if name <> "none" then
+          row ("hw " ^ name) None (Simulator.run ~seed ~hw:(mk ()) program config model))
+      (Ucp_sim.Hw_prefetch.all_schemes ~block_bytes:config.Config.block_bytes);
+    Ucp_util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "baselines"
+       ~doc:"Compare the paper's technique against software and hardware baselines.")
+    Term.(const run $ program_arg $ config_arg $ tech_arg $ seed_arg)
+
+let dump_cmd =
+  let run program config tech =
+    let model = Pipeline.model config tech in
+    let w = Wcet.compute program config model in
+    let analysis = w.Wcet.analysis in
+    let vivu = Analysis.vivu analysis in
+    Format.printf "%a@." Ucp_isa.Program.pp program;
+    let layout = Analysis.layout analysis in
+    Printf.printf "layout: %d slots in %d memory blocks
+
+"
+      (Ucp_isa.Program.total_slots program)
+      (Ucp_isa.Layout.code_mem_blocks layout);
+    Printf.printf "WCET path (per reference: block, classification):
+";
+    let last_node = ref (-1) in
+    Array.iter
+      (fun (node, pos) ->
+        if node <> !last_node then begin
+          last_node := node;
+          Format.printf "@.%a n_w=%d: " (Ucp_cfg.Vivu.pp_node vivu) node w.Wcet.n_w.(node)
+        end;
+        Format.printf "%s "
+          (Ucp_wcet.Classification.to_string (Analysis.classif analysis ~node ~pos)))
+      (Wcet.path_refs w);
+    Format.printf "@.@.tau_w = %d cycles@." w.Wcet.tau
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Print a program listing, its layout and the classified WCET path.")
+    Term.(const run $ program_arg $ config_arg $ tech_arg)
+
+let ipet_cmd =
+  let run program config tech =
+    let model = Pipeline.model config tech in
+    let w = Wcet.compute program config model in
+    let t0 = Sys.time () in
+    let expanded = Ucp_wcet.Ipet.solve w in
+    let t_expanded = Sys.time () -. t0 in
+    let t0 = Sys.time () in
+    let cfg_level = Ucp_wcet.Ipet.solve_cfg w in
+    let t_cfg = Sys.time () -. t0 in
+    Printf.printf "longest path (DAG)     : %d cycles
+" w.Wcet.tau;
+    Printf.printf "IPET ILP (expanded)    : %d cycles (%.3fs)  agree=%b
+"
+      expanded.Ucp_wcet.Ipet.tau t_expanded
+      (expanded.Ucp_wcet.Ipet.tau = w.Wcet.tau);
+    Printf.printf "IPET ILP (block-level) : %d cycles (%.3fs)  slack=+%.1f%%
+"
+      cfg_level.Ucp_wcet.Ipet.tau t_cfg
+      (100.0
+      *. (float_of_int (cfg_level.Ucp_wcet.Ipet.tau - w.Wcet.tau)
+         /. float_of_int w.Wcet.tau))
+  in
+  Cmd.v
+    (Cmd.info "ipet"
+       ~doc:"Compare the longest-path WCET with the expanded and block-level IPET ILPs.")
+    Term.(const run $ program_arg $ config_arg $ tech_arg)
+
+let persistence_cmd =
+  let run program config =
+    (* per loop of the program: which memory blocks are persistent
+       within its body, judged from the concrete per-iteration
+       reference trace of the loop body *)
+    let layout =
+      Ucp_isa.Layout.make program ~block_bytes:config.Config.block_bytes
+    in
+    let forest = Ucp_cfg.Loops.analyze program in
+    Array.iter
+      (fun (l : Ucp_cfg.Loops.loop) ->
+        let trace = ref [] in
+        Array.iteri
+          (fun b inside ->
+            if inside then
+              for pos = 0 to Ucp_isa.Program.slots program b - 1 do
+                trace := Ucp_isa.Layout.mem_block layout ~block:b ~pos :: !trace
+              done)
+          l.Ucp_cfg.Loops.body;
+        let persistent =
+          Ucp_cache.Persistence.analyze_scope config (List.rev !trace)
+        in
+        Printf.printf
+          "loop header b%d (bound %d): %d blocks referenced, %d persistent
+"
+          l.Ucp_cfg.Loops.header l.Ucp_cfg.Loops.bound
+          (List.length (List.sort_uniq compare !trace))
+          (List.length persistent))
+      forest.Ucp_cfg.Loops.loops
+  in
+  Cmd.v
+    (Cmd.info "persistence"
+       ~doc:"Per-loop persistence analysis: blocks that miss at most once per entry.")
+    Term.(const run $ program_arg $ config_arg)
+
+let experiment_cmd =
+  let run full figure =
+    let configs =
+      if full then Experiments.default_configs else Experiments.quick_configs
+    in
+    let progress name = Printf.eprintf "[sweep] %s\n%!" name in
+    let records = Experiments.sweep ~configs ~progress () in
+    let out =
+      match figure with
+      | None -> Report.all records
+      | Some 3 -> Report.figure3 records
+      | Some 4 -> Report.figure4 records
+      | Some 5 -> Report.figure5 records
+      | Some 7 -> Report.figure7 records
+      | Some 8 -> Report.figure8 records
+      | Some n -> Printf.sprintf "no such figure: %d (3,4,5,7,8)\n" n
+    in
+    print_string out
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"All 36 configurations (2664 use cases) as in the paper.")
+  in
+  let figure =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "figure" ] ~docv:"N" ~doc:"Reproduce a single figure (3,4,5,7,8).")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run the evaluation sweep and print the paper's figures.")
+    Term.(const run $ full $ figure)
+
+let () =
+  let doc = "WCET-safe, energy-oriented instruction-cache prefetching (DAC 2013)" in
+  let info = Cmd.info "ucp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            tables_cmd;
+            analyze_cmd;
+            optimize_cmd;
+            simulate_cmd;
+            baselines_cmd;
+            dump_cmd;
+            ipet_cmd;
+            persistence_cmd;
+            experiment_cmd;
+          ]))

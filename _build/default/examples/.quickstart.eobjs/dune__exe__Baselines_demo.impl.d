@@ -1,0 +1,1 @@
+examples/baselines_demo.ml: List Printf Ucp_cache Ucp_core Ucp_energy Ucp_isa Ucp_prefetch Ucp_sim Ucp_util Ucp_wcet Ucp_workloads

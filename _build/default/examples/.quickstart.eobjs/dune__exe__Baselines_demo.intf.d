@@ -1,0 +1,1 @@
+examples/baselines_demo.mli:

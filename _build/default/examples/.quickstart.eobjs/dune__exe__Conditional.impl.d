@@ -1,0 +1,1 @@
+examples/conditional.ml: Array Format List Printf Ucp_cache Ucp_cfg Ucp_energy Ucp_prefetch Ucp_wcet Ucp_workloads

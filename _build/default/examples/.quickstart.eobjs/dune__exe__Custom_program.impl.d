@@ -1,0 +1,1 @@
+examples/custom_program.ml: List Printf Ucp_cache Ucp_core Ucp_energy Ucp_isa Ucp_prefetch Ucp_workloads

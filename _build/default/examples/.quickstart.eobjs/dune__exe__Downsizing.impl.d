@@ -1,0 +1,1 @@
+examples/downsizing.ml: List Printf Ucp_cache Ucp_core Ucp_energy Ucp_prefetch Ucp_workloads

@@ -1,0 +1,1 @@
+examples/downsizing.mli:

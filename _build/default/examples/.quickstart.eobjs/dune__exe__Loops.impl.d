@@ -1,0 +1,1 @@
+examples/loops.ml: Array Format List Printf String Ucp_cache Ucp_cfg Ucp_energy Ucp_isa Ucp_wcet Ucp_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Ucp_cache Ucp_core Ucp_energy Ucp_isa Ucp_workloads

@@ -1,0 +1,1 @@
+examples/straightline.ml: Array List Printf Ucp_cache Ucp_energy Ucp_prefetch Ucp_wcet Ucp_workloads

@@ -1,0 +1,1 @@
+examples/straightline.mli:

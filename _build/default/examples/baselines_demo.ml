@@ -1,0 +1,56 @@
+(* Related-work shoot-out on one use case (Section 2's survey):
+   on-demand fetching, the paper's optimizer, the latest-effective
+   streaming ablation, the BB-start software prefetcher of [5], static
+   cache locking [4,14], and the classic hardware schemes [18,19,13].
+
+     dune exec examples/baselines_demo.exe *)
+
+module Config = Ucp_cache.Config
+module Tech = Ucp_energy.Tech
+module Wcet = Ucp_wcet.Wcet
+module Optimizer = Ucp_prefetch.Optimizer
+module Baselines = Ucp_prefetch.Baselines
+module Simulator = Ucp_sim.Simulator
+module Account = Ucp_energy.Account
+module Table = Ucp_util.Table
+
+let () =
+  let program = Ucp_workloads.Suite.find "fft1" in
+  let config = Config.make ~assoc:2 ~block_bytes:16 ~capacity:256 in
+  let tech = Tech.nm32 in
+  let model = Ucp_core.Pipeline.model config tech in
+  Printf.printf "use case: %s on %s at %s\n\n" (Ucp_isa.Program.name program)
+    (Config.id config) tech.Tech.label;
+  let t = Table.create [ "scheme"; "wcet"; "acet"; "miss"; "energy (pJ)" ] in
+  let row name wcet stats =
+    let b = Account.energy model stats.Simulator.counts in
+    Table.add_row t
+      [
+        name;
+        (match wcet with Some x -> string_of_int x | None -> "n/a");
+        string_of_int (Simulator.acet stats);
+        Printf.sprintf "%.2f%%" (100.0 *. stats.Simulator.miss_rate);
+        Printf.sprintf "%.0f" b.Account.total_pj;
+      ]
+  in
+  let wcet_of p = Wcet.tau_with_residual (Wcet.compute ~with_may:false p config model) in
+  row "on-demand" (Some (wcet_of program)) (Simulator.run program config model);
+  let opt = (Optimizer.optimize program config model).Optimizer.program in
+  row "this paper" (Some (wcet_of opt)) (Simulator.run opt config model);
+  let streaming =
+    (Optimizer.optimize ~placement:Optimizer.Latest_effective program config model)
+      .Optimizer.program
+  in
+  row "latest-effective" (Some (wcet_of streaming)) (Simulator.run streaming config model);
+  let bb = Baselines.bb_start program config model in
+  row "bb-start [5]" (Some (wcet_of bb)) (Simulator.run bb config model);
+  let lock = Baselines.lock_greedy program config model in
+  row "locked [4,14]"
+    (Some lock.Baselines.tau_locked)
+    (Simulator.run ~locked:lock.Baselines.locked_blocks program config model);
+  List.iter
+    (fun (name, mk) ->
+      if name <> "none" then
+        row ("hw " ^ name) None (Simulator.run ~hw:(mk ()) program config model))
+    (Ucp_sim.Hw_prefetch.all_schemes ~block_bytes:config.Config.block_bytes);
+  Table.print t

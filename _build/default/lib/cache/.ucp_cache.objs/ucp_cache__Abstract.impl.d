@@ -1,0 +1,1 @@
+lib/cache/abstract.ml: Array Config Format List

@@ -1,0 +1,1 @@
+lib/cache/abstract.mli: Config Format

@@ -1,0 +1,1 @@
+lib/cache/concrete.ml: Array Config List

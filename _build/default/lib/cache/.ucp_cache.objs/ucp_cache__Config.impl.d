@@ -1,0 +1,1 @@
+lib/cache/config.ml: Format List Printf Ucp_isa

@@ -1,0 +1,1 @@
+lib/cache/persistence.ml: Array Config Format Hashtbl List

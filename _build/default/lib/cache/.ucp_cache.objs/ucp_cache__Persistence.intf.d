@@ -1,0 +1,1 @@
+lib/cache/persistence.mli: Config Format

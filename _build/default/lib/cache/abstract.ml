@@ -1,0 +1,104 @@
+type kind = Must | May
+
+(* Per set: association list (memory block, age bound), sorted by block
+   id.  Ages range over [0, assoc); entries reaching [assoc] are evicted
+   from the abstract state. *)
+type t = {
+  config : Config.t;
+  kind : kind;
+  sets : (int * int) list array;
+}
+
+let empty config kind = { config; kind; sets = Array.make config.Config.sets [] }
+
+let kind t = t.kind
+let config t = t.config
+
+let set_idx t mb = Config.set_of_mem_block t.config mb
+
+(* The abstract LRU update is the same formula for must and may: the
+   accessed block moves to age 0 and every block with an age bound
+   strictly below the accessed block's old bound (or the associativity,
+   if absent) ages by one; entries reaching the associativity are
+   dropped.  The two analyses differ in their join and interpretation. *)
+let update_set ~assoc entries mb =
+  let old_age = try List.assoc mb entries with Not_found -> assoc in
+  let aged =
+    List.filter_map
+      (fun (x, a) ->
+        if x = mb then None
+        else
+          let a' = if a < old_age then a + 1 else a in
+          if a' >= assoc then None else Some (x, a'))
+      entries
+  in
+  List.sort compare ((mb, 0) :: aged)
+
+let apply t mb =
+  let s = set_idx t mb in
+  let sets = Array.copy t.sets in
+  sets.(s) <- update_set ~assoc:t.config.Config.assoc sets.(s) mb;
+  { t with sets }
+
+let update t mb = apply t mb
+let fill t mb = apply t mb
+
+let join a b =
+  if a.kind <> b.kind then invalid_arg "Abstract.join: kind mismatch";
+  if not (Config.equal a.config b.config) then
+    invalid_arg "Abstract.join: configuration mismatch";
+  let join_set ea eb =
+    match a.kind with
+    | Must ->
+      (* intersection, maximal age *)
+      List.filter_map
+        (fun (x, age_a) ->
+          match List.assoc_opt x eb with
+          | Some age_b -> Some (x, max age_a age_b)
+          | None -> None)
+        ea
+      |> List.sort compare
+    | May ->
+      (* union, minimal age *)
+      let from_a =
+        List.map
+          (fun (x, age_a) ->
+            match List.assoc_opt x eb with
+            | Some age_b -> (x, min age_a age_b)
+            | None -> (x, age_a))
+          ea
+      in
+      let only_b = List.filter (fun (x, _) -> not (List.mem_assoc x ea)) eb in
+      List.sort compare (from_a @ only_b)
+  in
+  { a with sets = Array.init (Array.length a.sets) (fun i -> join_set a.sets.(i) b.sets.(i)) }
+
+let contains t mb = List.mem_assoc mb t.sets.(set_idx t mb)
+
+let age t mb = List.assoc_opt mb t.sets.(set_idx t mb)
+
+let blocks t =
+  Array.to_list t.sets |> List.concat |> List.map fst |> List.sort compare
+
+let victims t mb =
+  let before = t.sets.(set_idx t mb) in
+  let after = update_set ~assoc:t.config.Config.assoc before mb in
+  List.filter_map
+    (fun (x, _) -> if x <> mb && not (List.mem_assoc x after) then Some x else None)
+    before
+
+let equal a b =
+  a.kind = b.kind && Config.equal a.config b.config && a.sets = b.sets
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s cache:@,"
+    (match t.kind with Must -> "must" | May -> "may");
+  Array.iteri
+    (fun i entries ->
+      if entries <> [] then begin
+        Format.fprintf ppf "  set %d:" i;
+        List.iter (fun (mb, a) -> Format.fprintf ppf " s%d@%d" mb a) entries;
+        Format.pp_print_cut ppf ()
+      end)
+    t.sets;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,59 @@
+(** Abstract cache states for LRU must/may analysis (Ferdinand-style,
+    the classical semantics the paper reuses from [8, 21]).
+
+    A state maps each resident memory block to an {e age bound}:
+
+    - {b Must}: the age is an {e upper} bound — the block is guaranteed
+      to be cached with at most that age.  Join is intersection with
+      maximal ages.  A reference to a block present in the must state is
+      an {e always-hit}.
+    - {b May}: the age is a {e lower} bound — the block might be cached,
+      never younger than that age.  Join is union with minimal ages.  A
+      reference to a block absent from the may state is an
+      {e always-miss}.
+
+    States are immutable; [update] implements the abstract LRU update
+    Û, and [fill] the prefetch-extended semantics in which a block is
+    installed as most recently used without a demand access (as in the
+    prefetching extension of the abstract semantics [22]). *)
+
+type kind = Must | May
+
+type t
+
+val empty : Config.t -> kind -> t
+(** Cold cache: nothing resident.  For must analysis this is also the
+    sound "no guarantees" element used at unknown program points. *)
+
+val kind : t -> kind
+val config : t -> Config.t
+
+val update : t -> int -> t
+(** Abstract LRU update for a demand reference to a memory block. *)
+
+val fill : t -> int -> t
+(** Abstract effect of a completed prefetch of a memory block: same
+    aging as {!update} (the block lands as MRU either way). *)
+
+val join : t -> t -> t
+(** Must: intersection/max-age.  May: union/min-age.
+    @raise Invalid_argument when kinds or configurations differ. *)
+
+val contains : t -> int -> bool
+(** Membership in the abstract state (guaranteed for must, possible for
+    may). *)
+
+val age : t -> int -> int option
+(** Age bound of a block, if resident. *)
+
+val blocks : t -> int list
+(** Resident blocks, ascending (the paper's [B(ĉ)], Definition 9). *)
+
+val victims : t -> int -> int list
+(** [victims t mb] lists the blocks that [update t mb] removes from the
+    state — for must analysis, the references that lose their cached
+    guarantee.  This implements the replacement detection of Property 3
+    that drives prefetch-candidate discovery. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

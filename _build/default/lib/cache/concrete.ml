@@ -1,0 +1,74 @@
+type policy = Lru | Fifo
+
+type t = {
+  config : Config.t;
+  policy : policy;
+  sets : int list array;  (* per set: resident memory blocks, youngest first *)
+}
+
+type outcome =
+  | Hit
+  | Miss of int option
+
+let create ?(policy = Lru) config =
+  { config; policy; sets = Array.make config.Config.sets [] }
+
+let policy t = t.policy
+
+let copy t = { t with sets = Array.copy t.sets }
+
+let set_idx t mb = Config.set_of_mem_block t.config mb
+
+(* Insert [mb] as the youngest block of its set; under FIFO a resident
+   block keeps its position (no reordering on hit). *)
+let insert_front t mb =
+  let s = set_idx t mb in
+  let resident = List.mem mb t.sets.(s) in
+  if resident then begin
+    (match t.policy with
+    | Lru ->
+      let without = List.filter (fun x -> x <> mb) t.sets.(s) in
+      t.sets.(s) <- mb :: without
+    | Fifo -> ());
+    (true, None)
+  end
+  else if List.length t.sets.(s) < t.config.Config.assoc then begin
+    t.sets.(s) <- mb :: t.sets.(s);
+    (false, None)
+  end
+  else begin
+    (* evict the oldest block (last element) *)
+    let rec split_last acc = function
+      | [] -> assert false
+      | [ last ] -> (List.rev acc, last)
+      | x :: tl -> split_last (x :: acc) tl
+    in
+    let kept, victim = split_last [] t.sets.(s) in
+    t.sets.(s) <- mb :: kept;
+    (false, Some victim)
+  end
+
+let access t mb =
+  match insert_front t mb with
+  | true, _ -> Hit
+  | false, victim -> Miss victim
+
+let fill t mb =
+  match insert_front t mb with
+  | _, victim -> victim
+
+let contains t mb = List.mem mb t.sets.(set_idx t mb)
+
+let age t mb =
+  let rec find i = function
+    | [] -> None
+    | x :: tl -> if x = mb then Some i else find (i + 1) tl
+  in
+  find 0 t.sets.(set_idx t mb)
+
+let contents t =
+  Array.to_list t.sets |> List.concat |> List.sort compare
+
+let resident_in_set t s = t.sets.(s)
+
+let config t = t.config

@@ -1,0 +1,48 @@
+(** Concrete set-associative cache (Section 3.1's [c : L -> S]).
+
+    Mutable; used by the trace simulator and as the ground truth against
+    which the abstract domains are property-tested.  The replacement
+    policy defaults to LRU (the paper's platform); FIFO is provided for
+    robustness ablations — the abstract analyses model LRU only. *)
+
+type t
+
+type policy = Lru | Fifo
+
+type outcome =
+  | Hit
+  | Miss of int option
+      (** the block brought in caused the eviction of the given block,
+          if the set was full *)
+
+val create : ?policy:policy -> Config.t -> t
+(** Empty (all-invalid) cache. *)
+
+val policy : t -> policy
+
+val copy : t -> t
+
+val access : t -> int -> outcome
+(** [access t mb] references memory block [mb]: on a hit the block
+    becomes most recently used; on a miss it is inserted as MRU,
+    evicting the LRU block of its set when full. *)
+
+val fill : t -> int -> int option
+(** [fill t mb] inserts [mb] as MRU without counting as a demand access
+    (a completed prefetch); returns the evicted block, if any.  Filling
+    a resident block just refreshes its recency. *)
+
+val contains : t -> int -> bool
+(** Is the memory block currently cached? *)
+
+val age : t -> int -> int option
+(** Replacement age of a cached block within its set; 0 = most recently
+    used (LRU) or most recently inserted (FIFO). *)
+
+val contents : t -> int list
+(** All resident memory blocks, ascending. *)
+
+val resident_in_set : t -> int -> int list
+(** Blocks of one set, youngest first. *)
+
+val config : t -> Config.t

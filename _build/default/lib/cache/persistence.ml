@@ -1,0 +1,105 @@
+(* Ages run over 0 .. assoc-1 plus a virtual top (= assoc) meaning "may
+   have been evicted".  Per set: association list sorted by block. *)
+
+type t = {
+  config : Config.t;
+  sets : (int * int) list array;
+}
+
+let top config = config.Config.assoc
+
+let empty config = { config; sets = Array.make config.Config.sets [] }
+
+let set_idx t mb = Config.set_of_mem_block t.config mb
+
+(* Like the must update, but saturating at ⊤ instead of evicting. *)
+let update_set ~top entries mb =
+  let old_age = try List.assoc mb entries with Not_found -> top in
+  let aged =
+    List.filter_map
+      (fun (x, a) ->
+        if x = mb then None
+        else
+          let a' = if a < old_age then min top (a + 1) else a in
+          Some (x, a'))
+      entries
+  in
+  List.sort compare ((mb, 0) :: aged)
+
+let update t mb =
+  let s = set_idx t mb in
+  let sets = Array.copy t.sets in
+  sets.(s) <- update_set ~top:(top t.config) sets.(s) mb;
+  { t with sets }
+
+let join a b =
+  if not (Config.equal a.config b.config) then
+    invalid_arg "Persistence.join: configuration mismatch";
+  let join_set ea eb =
+    let from_a =
+      List.map
+        (fun (x, age_a) ->
+          match List.assoc_opt x eb with
+          | Some age_b -> (x, max age_a age_b)
+          | None -> (x, age_a))
+        ea
+    in
+    let only_b = List.filter (fun (x, _) -> not (List.mem_assoc x ea)) eb in
+    List.sort compare (from_a @ only_b)
+  in
+  { a with sets = Array.init (Array.length a.sets) (fun i -> join_set a.sets.(i) b.sets.(i)) }
+
+let age t mb = List.assoc_opt mb t.sets.(set_idx t mb)
+
+let is_persistent t mb =
+  match age t mb with Some a -> a < top t.config | None -> false
+
+let seen t =
+  Array.to_list t.sets |> List.concat |> List.map fst |> List.sort compare
+
+let persistent_blocks t = List.filter (is_persistent t) (seen t)
+
+let equal a b = Config.equal a.config b.config && a.sets = b.sets
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>persistence:@,";
+  Array.iteri
+    (fun i entries ->
+      if entries <> [] then begin
+        Format.fprintf ppf "  set %d:" i;
+        List.iter
+          (fun (mb, a) ->
+            if a >= top t.config then Format.fprintf ppf " s%d@T" mb
+            else Format.fprintf ppf " s%d@%d" mb a)
+          entries;
+        Format.pp_print_cut ppf ()
+      end)
+    t.sets;
+  Format.fprintf ppf "@]"
+
+(* A block is persistent when, in the steady state of the scope, every
+   access to it finds it below ⊤ (so only the very first access of the
+   whole scope can miss).  The steady state is the fixpoint of "one more
+   body iteration joined with what we had"; the verdicts are collected
+   by replaying the body once from that fixpoint and checking each
+   access point. *)
+let analyze_scope config trace =
+  let body state = List.fold_left update state trace in
+  let rec fix state =
+    let state' = join state (body state) in
+    if equal state state' then state else fix state'
+  in
+  let steady = fix (body (empty config)) in
+  let ok = Hashtbl.create 8 in
+  let state = ref steady in
+  List.iter
+    (fun mb ->
+      let below_top =
+        match age !state mb with Some a -> a < top config | None -> false
+      in
+      let prev = try Hashtbl.find ok mb with Not_found -> true in
+      Hashtbl.replace ok mb (prev && below_top);
+      state := update !state mb)
+    trace;
+  Hashtbl.fold (fun mb good acc -> if good then mb :: acc else acc) ok []
+  |> List.sort compare

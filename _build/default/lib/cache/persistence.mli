@@ -1,0 +1,50 @@
+(** Persistence analysis (the third classical domain of Ferdinand's
+    framework [8], alongside must and may).
+
+    A memory block is {e persistent} within a scope if, once loaded, it
+    can never be evicted again while the scope executes: every access
+    after the first is then a guaranteed hit, and the WCET charges at
+    most one miss per scope entry ("first miss" classification).
+
+    The domain tracks an {e upper bound} on each block's age like the
+    must analysis, but instead of dropping a block whose bound reaches
+    the associativity it parks it at a virtual top age ⊤ — "may have
+    been evicted at some point".  A block is persistent iff it is below
+    ⊤ at the fixpoint of the whole scope.
+
+    This repository's WCET analysis gets the same precision from the
+    VIVU First/Rest contexts (a Rest-context must-hit is exactly a
+    first-miss pattern), so persistence ships as a self-contained
+    refinement with its own soundness tests rather than being wired
+    into the default pipeline. *)
+
+type t
+
+val empty : Config.t -> t
+(** Nothing seen yet: every block is trivially persistent so far. *)
+
+val update : t -> int -> t
+(** Abstract LRU update; ages that would cross the associativity park
+    the block at ⊤ instead of evicting it. *)
+
+val join : t -> t -> t
+(** Union with maximal age (⊤ absorbs). *)
+
+val is_persistent : t -> int -> bool
+(** Has the block been seen and never (potentially) evicted? *)
+
+val seen : t -> int list
+(** All blocks the scope has referenced, ascending. *)
+
+val persistent_blocks : t -> int list
+(** The blocks classified persistent, ascending. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val analyze_scope : Config.t -> int list -> int list
+(** [analyze_scope config trace] runs the analysis over one scope body
+    given as a reference sequence (as if the scope looped over it) and
+    returns the persistent blocks: the fixpoint of
+    [update*(join empty .)] over arbitrarily many iterations of the
+    body. *)

@@ -1,0 +1,1 @@
+lib/cfg/cfgraph.ml: Array List Printf Ucp_isa

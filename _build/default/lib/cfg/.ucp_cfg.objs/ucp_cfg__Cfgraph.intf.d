@@ -1,0 +1,1 @@
+lib/cfg/cfgraph.mli: Ucp_isa

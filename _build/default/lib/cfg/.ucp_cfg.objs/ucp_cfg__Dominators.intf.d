@@ -1,0 +1,1 @@
+lib/cfg/dominators.mli: Ucp_isa

@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Array Cfgraph Dominators Hashtbl List Option Printf Ucp_isa

@@ -1,0 +1,1 @@
+lib/cfg/loops.mli: Ucp_isa

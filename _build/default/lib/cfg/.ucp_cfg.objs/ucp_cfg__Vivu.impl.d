@@ -1,0 +1,1 @@
+lib/cfg/vivu.ml: Array Format Hashtbl List Loops Printf Queue Ucp_isa

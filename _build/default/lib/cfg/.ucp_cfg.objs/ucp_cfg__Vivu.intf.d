@@ -1,0 +1,1 @@
+lib/cfg/vivu.mli: Format Loops Ucp_isa

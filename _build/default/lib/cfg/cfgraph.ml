@@ -1,0 +1,61 @@
+module Program = Ucp_isa.Program
+
+let predecessors p =
+  let n = Program.block_count p in
+  let preds = Array.make n [] in
+  for id = 0 to n - 1 do
+    List.iter (fun s -> preds.(s) <- id :: preds.(s)) (Program.successors p id)
+  done;
+  Array.map List.rev preds
+
+let postorder p =
+  let n = Program.block_count p in
+  let visited = Array.make n false in
+  let order = ref [] in
+  (* Explicit stack with a phase marker to avoid deep recursion on long
+     block chains. *)
+  let rec visit id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      List.iter visit (Program.successors p id);
+      order := id :: !order
+    end
+  in
+  visit (Program.entry p);
+  (* [order] is built head-first, so it already holds reverse postorder. *)
+  (!order, visited)
+
+let reverse_postorder p =
+  let rpo, _ = postorder p in
+  Array.of_list rpo
+
+let postorder_index p =
+  let rpo, _ = postorder p in
+  let n = Program.block_count p in
+  let idx = Array.make n (-1) in
+  let count = List.length rpo in
+  List.iteri (fun i id -> idx.(id) <- count - 1 - i) rpo;
+  idx
+
+let reachable p =
+  let _, visited = postorder p in
+  visited
+
+let check_all_reachable p =
+  let visited = reachable p in
+  Array.iteri
+    (fun id ok ->
+      if not ok then
+        invalid_arg
+          (Printf.sprintf "Cfgraph: block %d of %s is unreachable" id (Program.name p)))
+    visited
+
+let exits p =
+  let n = Program.block_count p in
+  let acc = ref [] in
+  for id = n - 1 downto 0 do
+    match (Program.block p id).Program.term with
+    | Program.Return _ -> acc := id :: !acc
+    | Program.Fallthrough _ | Program.Jump _ | Program.Cond _ -> ()
+  done;
+  !acc

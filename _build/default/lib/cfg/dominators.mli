@@ -1,0 +1,19 @@
+(** Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+    Needed to identify back edges and natural loops, which in turn drive
+    the VIVU transformation and loop-bound bookkeeping of WCET analysis. *)
+
+type t
+
+val compute : Ucp_isa.Program.t -> t
+(** Immediate dominators of all blocks reachable from the entry.
+    @raise Invalid_argument if some block is unreachable. *)
+
+val idom : t -> int -> int
+(** Immediate dominator of a block; the entry is its own idominator. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does [a] dominate [b] (reflexively)? *)
+
+val dominator_chain : t -> int -> int list
+(** Dominators of a block from the block itself up to the entry. *)

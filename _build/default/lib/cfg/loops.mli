@@ -1,0 +1,35 @@
+(** Natural-loop detection and the loop nesting forest.
+
+    The VIVU transformation and loop-bound accounting require the CFG to
+    be {e reducible}: every cycle is a natural loop entered through its
+    header.  Loop headers must carry a bound
+    ({!Ucp_isa.Program.block.loop_bound}). *)
+
+type loop = {
+  index : int;  (** position in {!forest.loops} *)
+  header : int;  (** header block id *)
+  body : bool array;  (** membership per block id, header included *)
+  back_edges : (int * int) list;  (** latch -> header edges *)
+  parent : int option;  (** enclosing loop's index *)
+  depth : int;  (** 1 for outermost loops *)
+  bound : int;  (** maximum iterations per entry *)
+}
+
+type forest = {
+  loops : loop array;  (** sorted outermost-first (by depth, then header) *)
+  innermost : int option array;  (** innermost loop of each block *)
+}
+
+val analyze : Ucp_isa.Program.t -> forest
+(** Detect loops.
+    @raise Invalid_argument if the CFG is irreducible, if a loop header
+    lacks a bound, or if a non-header block carries one. *)
+
+val loops_of_block : forest -> int -> loop list
+(** Loops containing a block, outermost first. *)
+
+val is_back_edge : forest -> int -> int -> bool
+(** [is_back_edge f u v]: is the edge [u -> v] a loop back edge? *)
+
+val max_depth : forest -> int
+(** Deepest nesting level (0 when the program is loop-free). *)

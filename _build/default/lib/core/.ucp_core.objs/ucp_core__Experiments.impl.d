@@ -1,0 +1,1 @@
+lib/core/experiments.ml: List Option Pipeline Ucp_cache Ucp_energy Ucp_isa Ucp_util Ucp_workloads

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Pipeline Ucp_cache Ucp_energy Ucp_isa Ucp_util

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: List Ucp_cache Ucp_energy Ucp_prefetch Ucp_sim Ucp_wcet

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Ucp_cache Ucp_energy Ucp_isa Ucp_prefetch

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Experiments Format List Printf String Ucp_cache Ucp_util Ucp_workloads

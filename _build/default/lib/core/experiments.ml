@@ -1,0 +1,211 @@
+module Config = Ucp_cache.Config
+module Tech = Ucp_energy.Tech
+module Stats = Ucp_util.Stats
+
+type record = {
+  program_name : string;
+  config_id : string;
+  config : Config.t;
+  tech : Tech.t;
+  original : Pipeline.measurement;
+  optimized : Pipeline.measurement;
+  prefetches : int;
+  rejected : int;
+}
+
+let default_configs = Config.paper_configs
+
+let quick_configs =
+  List.filter
+    (fun (_, c) ->
+      List.mem c.Config.capacity [ 256; 1024; 4096 ] && c.Config.assoc >= 2)
+    Config.paper_configs
+
+let sweep ?(programs = Ucp_workloads.Suite.all) ?(configs = default_configs)
+    ?(techs = Tech.all) ?(progress = fun _ -> ()) () =
+  List.concat_map
+    (fun (program_name, program) ->
+      progress program_name;
+      List.concat_map
+        (fun (config_id, config) ->
+          List.map
+            (fun tech ->
+              let cmp = Pipeline.compare_optimized program config tech in
+              {
+                program_name;
+                config_id;
+                config;
+                tech;
+                original = cmp.Pipeline.original;
+                optimized = cmp.Pipeline.optimized;
+                prefetches = cmp.Pipeline.prefetches;
+                rejected = cmp.Pipeline.rejected;
+              })
+            techs)
+        configs)
+    programs
+
+let capacities records =
+  List.sort_uniq compare (List.map (fun r -> r.config.Config.capacity) records)
+
+let by_capacity records cap =
+  List.filter (fun r -> r.config.Config.capacity = cap) records
+
+let ratio num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den
+
+let fratio num den = if den = 0.0 then 1.0 else num /. den
+
+type size_row = {
+  capacity : int;
+  acet_improvement : float;
+  energy_improvement : float;
+  wcet_improvement : float;
+  cases : int;
+}
+
+let figure3 records =
+  List.map
+    (fun capacity ->
+      let rs = by_capacity records capacity in
+      let improvement f = 1.0 -. Stats.mean (List.map f rs) in
+      {
+        capacity;
+        acet_improvement =
+          improvement (fun r -> ratio r.optimized.Pipeline.acet r.original.Pipeline.acet);
+        energy_improvement =
+          improvement (fun r ->
+              fratio r.optimized.Pipeline.energy_pj r.original.Pipeline.energy_pj);
+        wcet_improvement =
+          improvement (fun r -> ratio r.optimized.Pipeline.tau r.original.Pipeline.tau);
+        cases = List.length rs;
+      })
+    (capacities records)
+
+type miss_row = {
+  capacity : int;
+  miss_before : float;
+  miss_after : float;
+  cases : int;
+}
+
+let figure4 records =
+  List.map
+    (fun capacity ->
+      let rs = by_capacity records capacity in
+      {
+        capacity;
+        miss_before = Stats.mean (List.map (fun r -> r.original.Pipeline.miss_rate) rs);
+        miss_after = Stats.mean (List.map (fun r -> r.optimized.Pipeline.miss_rate) rs);
+        cases = List.length rs;
+      })
+    (capacities records)
+
+type downsize_row = {
+  capacity : int;
+  factor : int;
+  acet_ratio : float;
+  energy_ratio : float;
+  wcet_ratio : float;
+  cases : int;
+}
+
+(* Join each record against the sweep record of the same program,
+   technology, associativity and block size whose capacity is
+   [capacity / factor]: the optimized program built *for the smaller
+   cache* runs there, the original runs on the full-size cache. *)
+let figure5 records =
+  let find_small r factor =
+    List.find_opt
+      (fun r' ->
+        r'.program_name = r.program_name
+        && r'.tech.Tech.node = r.tech.Tech.node
+        && r'.config.Config.assoc = r.config.Config.assoc
+        && r'.config.Config.block_bytes = r.config.Config.block_bytes
+        && r'.config.Config.capacity * factor = r.config.Config.capacity)
+      records
+  in
+  List.concat_map
+    (fun factor ->
+      List.filter_map
+        (fun capacity ->
+          let rs = by_capacity records capacity in
+          let pairs = List.filter_map (fun r -> Option.map (fun s -> (r, s)) (find_small r factor)) rs in
+          if pairs = [] then None
+          else
+            Some
+              {
+                capacity;
+                factor;
+                acet_ratio =
+                  Stats.mean
+                    (List.map
+                       (fun (r, s) -> ratio s.optimized.Pipeline.acet r.original.Pipeline.acet)
+                       pairs);
+                energy_ratio =
+                  Stats.mean
+                    (List.map
+                       (fun (r, s) ->
+                         fratio s.optimized.Pipeline.energy_pj r.original.Pipeline.energy_pj)
+                       pairs);
+                wcet_ratio =
+                  Stats.mean
+                    (List.map
+                       (fun (r, s) -> ratio s.optimized.Pipeline.tau r.original.Pipeline.tau)
+                       pairs);
+                cases = List.length pairs;
+              })
+        (capacities records))
+    [ 2; 4 ]
+
+type wcet_scatter = {
+  ratios : (string * string * float) list;
+  summary : Stats.summary;
+  all_non_increasing : bool;
+}
+
+let figure7 records =
+  let at32 = List.filter (fun r -> r.tech.Tech.node = Tech.Nm32) records in
+  let ratios =
+    List.map
+      (fun r ->
+        ( r.program_name,
+          r.config_id,
+          ratio r.optimized.Pipeline.tau r.original.Pipeline.tau ))
+      at32
+  in
+  let values = List.map (fun (_, _, v) -> v) ratios in
+  {
+    ratios;
+    summary = Stats.summarize values;
+    all_non_increasing = List.for_all (fun v -> v <= 1.0 +. 1e-9) values;
+  }
+
+type exec_row = {
+  capacity : int;
+  exec_ratio : float;
+  max_ratio : float;
+  cases : int;
+}
+
+let figure8 records =
+  List.map
+    (fun capacity ->
+      let rs = by_capacity records capacity in
+      let ratios =
+        List.map (fun r -> ratio r.optimized.Pipeline.executed r.original.Pipeline.executed) rs
+      in
+      {
+        capacity;
+        exec_ratio = Stats.mean ratios;
+        max_ratio = Stats.maximum ratios;
+        cases = List.length rs;
+      })
+    (capacities records)
+
+let table1 () =
+  List.map
+    (fun (name, program) ->
+      (Ucp_workloads.Suite.paper_id name, name, Ucp_isa.Program.total_slots program))
+    Ucp_workloads.Suite.all
+
+let table2 () = Config.paper_configs

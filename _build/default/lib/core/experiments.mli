@@ -1,0 +1,96 @@
+(** The paper's evaluation (Section 5 + Supplement S.5): sweeps over
+    programs × cache configurations × technologies, and the aggregation
+    behind every table and figure.
+
+    One {!record} per use case carries everything each figure needs, so
+    the expensive sweep runs once and the figures are cheap folds. *)
+
+type record = {
+  program_name : string;
+  config_id : string;  (** Table 2 label, e.g. ["k17"] *)
+  config : Ucp_cache.Config.t;
+  tech : Ucp_energy.Tech.t;
+  original : Pipeline.measurement;
+  optimized : Pipeline.measurement;
+  prefetches : int;
+  rejected : int;
+}
+
+val sweep :
+  ?programs:(string * Ucp_isa.Program.t) list ->
+  ?configs:(string * Ucp_cache.Config.t) list ->
+  ?techs:Ucp_energy.Tech.t list ->
+  ?progress:(string -> unit) ->
+  unit ->
+  record list
+(** Run every use case (defaults: all 37 programs × 36 configurations ×
+    2 technologies = 2664 cases, the paper's full setup). *)
+
+val default_configs : (string * Ucp_cache.Config.t) list
+(** Table 2. *)
+
+val quick_configs : (string * Ucp_cache.Config.t) list
+(** A 12-configuration subset (both block sizes, associativities 2 and
+    4, capacities 256/1024/4096) for fast runs. *)
+
+(** Per-cache-size averages of the improvement ratios (Figure 3 plots
+    [1 - optimized/original] for ACET and energy; WCET shown alongside). *)
+type size_row = {
+  capacity : int;
+  acet_improvement : float;
+  energy_improvement : float;
+  wcet_improvement : float;
+  cases : int;
+}
+
+val figure3 : record list -> size_row list
+
+(** Figure 4: average miss rates before and after, per cache size. *)
+type miss_row = {
+  capacity : int;
+  miss_before : float;
+  miss_after : float;
+  cases : int;
+}
+
+val figure4 : record list -> miss_row list
+
+(** Figure 5: the optimized program running on a cache of half / quarter
+    capacity versus the original on the full capacity.  Rows are joined
+    across the sweep's records (the smaller configuration must be part
+    of the sweep). *)
+type downsize_row = {
+  capacity : int;  (** capacity of the original's cache *)
+  factor : int;  (** 2 or 4 *)
+  acet_ratio : float;  (** optimized@c/factor vs original@c *)
+  energy_ratio : float;
+  wcet_ratio : float;
+  cases : int;
+}
+
+val figure5 : record list -> downsize_row list
+
+(** Figure 7: per-use-case WCET ratio at 32 nm. *)
+type wcet_scatter = {
+  ratios : (string * string * float) list;  (** program, config, ratio *)
+  summary : Ucp_util.Stats.summary;
+  all_non_increasing : bool;  (** Theorem 1 across the sweep *)
+}
+
+val figure7 : record list -> wcet_scatter
+
+(** Figure 8: average executed-instruction ratio per cache size. *)
+type exec_row = {
+  capacity : int;
+  exec_ratio : float;
+  max_ratio : float;
+  cases : int;
+}
+
+val figure8 : record list -> exec_row list
+
+val table1 : unit -> (string * string * int) list
+(** Program id, name, static slots (Table 1 + size info). *)
+
+val table2 : unit -> (string * Ucp_cache.Config.t) list
+(** Table 2 verbatim. *)

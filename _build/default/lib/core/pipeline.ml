@@ -1,0 +1,54 @@
+module Config = Ucp_cache.Config
+module Tech = Ucp_energy.Tech
+module Cacti = Ucp_energy.Cacti
+module Account = Ucp_energy.Account
+module Wcet = Ucp_wcet.Wcet
+module Analysis = Ucp_wcet.Analysis
+module Simulator = Ucp_sim.Simulator
+module Optimizer = Ucp_prefetch.Optimizer
+
+type measurement = {
+  tau : int;
+  acet : int;
+  energy_pj : float;
+  miss_rate : float;
+  executed : int;
+  wcet_miss_bound : int;
+}
+
+let model config tech = Cacti.model config tech
+
+let measure ?(seed = 42) program config tech =
+  let m = model config tech in
+  let w = Wcet.compute ~with_may:false program config m in
+  let stats = Simulator.run ~seed program config m in
+  let breakdown = Account.energy m stats.Simulator.counts in
+  {
+    tau = Wcet.tau_with_residual w;
+    acet = Simulator.acet stats;
+    energy_pj = breakdown.Account.total_pj;
+    miss_rate = stats.Simulator.miss_rate;
+    executed = stats.Simulator.executed;
+    wcet_miss_bound = Analysis.miss_count_bound w.Wcet.analysis;
+  }
+
+let optimize program config tech =
+  Optimizer.optimize program config (model config tech)
+
+type comparison = {
+  original : measurement;
+  optimized : measurement;
+  prefetches : int;
+  rejected : int;
+}
+
+let compare_optimized ?(seed = 42) program config tech =
+  let result = optimize program config tech in
+  let original = measure ~seed program config tech in
+  let optimized = measure ~seed result.Optimizer.program config tech in
+  {
+    original;
+    optimized;
+    prefetches = List.length result.Optimizer.insertions;
+    rejected = result.Optimizer.rejected;
+  }

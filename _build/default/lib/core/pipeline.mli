@@ -1,0 +1,52 @@
+(** The public façade: one-call access to the paper's tool flow.
+
+    A {e use case} is a triple (program, cache configuration, process
+    technology), as in Supplement S.4.  [measure] evaluates a program
+    under a use case — WCET analysis for τ{_w}, trace simulation for
+    ACET/miss rate, the mini-CACTI model for energy — and [optimize]
+    derives the prefetch-optimized, prefetch-equivalent binary. *)
+
+type measurement = {
+  tau : int;  (** memory contribution to the WCET, cycles *)
+  acet : int;  (** memory contribution to the ACET, cycles *)
+  energy_pj : float;  (** memory-system energy of the simulated run *)
+  miss_rate : float;  (** demand miss rate of the simulated run *)
+  executed : int;  (** dynamically executed instructions *)
+  wcet_miss_bound : int;  (** the analysis' bound on demand misses *)
+}
+
+val model :
+  Ucp_cache.Config.t -> Ucp_energy.Tech.t -> Ucp_energy.Cacti.t
+(** The timing/energy model of a use case. *)
+
+val measure :
+  ?seed:int ->
+  Ucp_isa.Program.t ->
+  Ucp_cache.Config.t ->
+  Ucp_energy.Tech.t ->
+  measurement
+(** Analyze and simulate one program under one use case. *)
+
+val optimize :
+  Ucp_isa.Program.t ->
+  Ucp_cache.Config.t ->
+  Ucp_energy.Tech.t ->
+  Ucp_prefetch.Optimizer.result
+(** The paper's optimization for this use case. *)
+
+type comparison = {
+  original : measurement;
+  optimized : measurement;
+  prefetches : int;  (** accepted prefetch insertions *)
+  rejected : int;  (** candidates rolled back by the safety net *)
+}
+
+val compare_optimized :
+  ?seed:int ->
+  Ucp_isa.Program.t ->
+  Ucp_cache.Config.t ->
+  Ucp_energy.Tech.t ->
+  comparison
+(** Optimize and evaluate both versions under the same use case.
+    Theorem 1 materializes as
+    [optimized.tau <= original.tau]. *)

@@ -1,0 +1,133 @@
+module Table = Ucp_util.Table
+module Stats = Ucp_util.Stats
+module Config = Ucp_cache.Config
+
+let section title body = Printf.sprintf "== %s ==\n%s\n" title body
+
+let table1 () =
+  let t = Table.create [ "id"; "program"; "static slots"; "size class" ] in
+  List.iter
+    (fun (id, name, slots) ->
+      Table.add_row t
+        [ id; name; string_of_int slots;
+          Ucp_workloads.Suite.size_class (Ucp_workloads.Suite.find name) ])
+    (Experiments.table1 ());
+  section "Table 1: program identification" (Table.render t)
+
+let table2 () =
+  let t = Table.create [ "id"; "assoc"; "block (B)"; "capacity (B)"; "sets" ] in
+  List.iter
+    (fun (id, c) ->
+      Table.add_row t
+        [
+          id;
+          string_of_int c.Config.assoc;
+          string_of_int c.Config.block_bytes;
+          string_of_int c.Config.capacity;
+          string_of_int c.Config.sets;
+        ])
+    (Experiments.table2 ());
+  section "Table 2: cache configurations" (Table.render t)
+
+let figure3 records =
+  let t = Table.create [ "cache size"; "ACET impr."; "energy impr."; "WCET impr."; "cases" ] in
+  List.iter
+    (fun (r : Experiments.size_row) ->
+      Table.add_row t
+        [
+          string_of_int r.capacity;
+          Table.cell_pct r.acet_improvement;
+          Table.cell_pct r.energy_improvement;
+          Table.cell_pct r.wcet_improvement;
+          string_of_int r.cases;
+        ])
+    (Experiments.figure3 records);
+  section "Figure 3: impact on energy efficiency (averages per cache size)"
+    (Table.render t)
+
+let figure4 records =
+  let t = Table.create [ "cache size"; "miss rate before"; "miss rate after"; "cases" ] in
+  List.iter
+    (fun (r : Experiments.miss_row) ->
+      Table.add_row t
+        [
+          string_of_int r.capacity;
+          Table.cell_pct r.miss_before;
+          Table.cell_pct r.miss_after;
+          string_of_int r.cases;
+        ])
+    (Experiments.figure4 records);
+  section "Figure 4: impact on miss rate" (Table.render t)
+
+let figure5 records =
+  let t =
+    Table.create
+      [ "orig. cache"; "opt. cache"; "ACET ratio"; "energy ratio"; "WCET ratio"; "cases" ]
+  in
+  List.iter
+    (fun (r : Experiments.downsize_row) ->
+      Table.add_row t
+        [
+          string_of_int r.capacity;
+          Printf.sprintf "1/%d" r.factor;
+          Table.cell_f r.acet_ratio;
+          Table.cell_f r.energy_ratio;
+          Table.cell_f r.wcet_ratio;
+          string_of_int r.cases;
+        ])
+    (Experiments.figure5 records);
+  section "Figure 5: optimized programs on 1/2 and 1/4 of the original cache"
+    (Table.render t)
+
+let figure7 records =
+  let s = Experiments.figure7 records in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Format.asprintf "WCET ratio distribution (32nm): %a\n" Stats.pp_summary s.summary);
+  Buffer.add_string buf
+    (Printf.sprintf "Theorem 1 (no use case grew): %b\n"
+       s.Experiments.all_non_increasing);
+  let improved =
+    List.length (List.filter (fun (_, _, v) -> v < 1.0 -. 1e-9) s.Experiments.ratios)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "use cases improved: %d / %d\n" improved
+       (List.length s.Experiments.ratios));
+  section "Figure 7: per-use-case WCET ratios (32nm)" (Buffer.contents buf)
+
+let figure8 records =
+  let t = Table.create [ "cache size"; "avg executed ratio"; "max ratio"; "cases" ] in
+  List.iter
+    (fun (r : Experiments.exec_row) ->
+      Table.add_row t
+        [
+          string_of_int r.capacity;
+          Table.cell_f r.exec_ratio;
+          Table.cell_f r.max_ratio;
+          string_of_int r.cases;
+        ])
+    (Experiments.figure8 records);
+  section "Figure 8: executed-instruction ratio (optimized / original)"
+    (Table.render t)
+
+let headline records =
+  let rows = Experiments.figure3 records in
+  let avg f = Stats.mean (List.map f rows) in
+  Printf.sprintf
+    "headline: energy -%.1f%%, ACET -%.1f%%, WCET -%.1f%% (paper: 11.2%%, 10.2%%, 17.4%%)\n"
+    (100.0 *. avg (fun (r : Experiments.size_row) -> r.energy_improvement))
+    (100.0 *. avg (fun (r : Experiments.size_row) -> r.acet_improvement))
+    (100.0 *. avg (fun (r : Experiments.size_row) -> r.wcet_improvement))
+
+let all records =
+  String.concat "\n"
+    [
+      table1 ();
+      table2 ();
+      figure3 records;
+      figure4 records;
+      figure5 records;
+      figure7 records;
+      figure8 records;
+      headline records;
+    ]

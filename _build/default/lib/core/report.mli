@@ -1,0 +1,30 @@
+(** Plain-text rendering of the experiment results — the rows/series the
+    paper's tables and figures report. *)
+
+val table1 : unit -> string
+(** Table 1: program identification. *)
+
+val table2 : unit -> string
+(** Table 2: cache configurations k1..k36. *)
+
+val figure3 : Experiments.record list -> string
+(** Figure 3: average ACET / energy / WCET improvement per cache size. *)
+
+val figure4 : Experiments.record list -> string
+(** Figure 4: average miss rate before/after per cache size. *)
+
+val figure5 : Experiments.record list -> string
+(** Figure 5: optimized on 1/2 and 1/4 capacity vs original. *)
+
+val figure7 : Experiments.record list -> string
+(** Figure 7: per-use-case WCET ratio distribution at 32 nm. *)
+
+val figure8 : Experiments.record list -> string
+(** Figure 8: executed-instruction ratios. *)
+
+val headline : Experiments.record list -> string
+(** The abstract's three numbers for this run: average reductions of
+    energy, ACET and WCET. *)
+
+val all : Experiments.record list -> string
+(** Every table and figure, concatenated. *)

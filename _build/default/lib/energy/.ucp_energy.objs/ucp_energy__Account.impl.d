@@ -1,0 +1,1 @@
+lib/energy/account.ml: Cacti Format

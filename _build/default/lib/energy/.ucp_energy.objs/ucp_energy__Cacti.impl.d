@@ -1,0 +1,1 @@
+lib/energy/cacti.ml: Format Tech Ucp_cache

@@ -1,0 +1,1 @@
+lib/energy/cacti.mli: Format Tech Ucp_cache

@@ -1,0 +1,1 @@
+lib/energy/tech.mli: Format

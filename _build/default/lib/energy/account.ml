@@ -1,0 +1,44 @@
+type counts = {
+  fetches : int;
+  hits : int;
+  misses : int;
+  prefetch_dram_reads : int;
+  prefetch_fills : int;
+  cycles : int;
+}
+
+let zero =
+  { fetches = 0; hits = 0; misses = 0; prefetch_dram_reads = 0; prefetch_fills = 0; cycles = 0 }
+
+let add a b =
+  {
+    fetches = a.fetches + b.fetches;
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    prefetch_dram_reads = a.prefetch_dram_reads + b.prefetch_dram_reads;
+    prefetch_fills = a.prefetch_fills + b.prefetch_fills;
+    cycles = a.cycles + b.cycles;
+  }
+
+type breakdown = {
+  cache_dynamic_pj : float;
+  dram_dynamic_pj : float;
+  static_pj : float;
+  total_pj : float;
+}
+
+let energy (m : Cacti.t) c =
+  let f = float_of_int in
+  let cache_dynamic_pj =
+    (f c.fetches *. m.Cacti.read_pj)
+    +. (f (c.misses + c.prefetch_fills) *. m.Cacti.fill_pj)
+  in
+  let dram_dynamic_pj = f (c.misses + c.prefetch_dram_reads) *. m.Cacti.dram_read_pj in
+  let static_pj =
+    f c.cycles *. (m.Cacti.leak_pj_per_cycle +. m.Cacti.dram_leak_pj_per_cycle)
+  in
+  { cache_dynamic_pj; dram_dynamic_pj; static_pj; total_pj = cache_dynamic_pj +. dram_dynamic_pj +. static_pj }
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf "cache=%.0fpJ dram=%.0fpJ static=%.0fpJ total=%.0fpJ"
+    b.cache_dynamic_pj b.dram_dynamic_pj b.static_pj b.total_pj

@@ -1,0 +1,27 @@
+(** Energy accounting for a simulated run: turns event counts into the
+    memory system's energy breakdown (the quantity the paper optimizes). *)
+
+type counts = {
+  fetches : int;  (** instruction fetches (cache lookups) *)
+  hits : int;
+  misses : int;  (** demand misses (each triggers a DRAM read + fill) *)
+  prefetch_dram_reads : int;
+      (** prefetches that actually went to DRAM (block was absent) *)
+  prefetch_fills : int;  (** blocks installed by prefetches *)
+  cycles : int;  (** total execution cycles including stalls *)
+}
+
+val zero : counts
+val add : counts -> counts -> counts
+
+type breakdown = {
+  cache_dynamic_pj : float;
+  dram_dynamic_pj : float;
+  static_pj : float;
+  total_pj : float;
+}
+
+val energy : Cacti.t -> counts -> breakdown
+(** Evaluate the breakdown under a cache/technology model. *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -1,0 +1,48 @@
+type t = {
+  read_pj : float;
+  fill_pj : float;
+  leak_pj_per_cycle : float;
+  dram_read_pj : float;
+  dram_leak_pj_per_cycle : float;
+  hit_cycles : int;
+  miss_penalty : int;
+  prefetch_latency : int;
+}
+
+let model (config : Ucp_cache.Config.t) (tech : Tech.t) =
+  let capacity = float_of_int config.Ucp_cache.Config.capacity in
+  let assoc = float_of_int config.Ucp_cache.Config.assoc in
+  let block = float_of_int config.Ucp_cache.Config.block_bytes in
+  (* Dynamic read energy: sub-linear in capacity (bitline/wordline
+     growth), extra way-reads with associativity, wider output with
+     block size. *)
+  let read_pj =
+    tech.Tech.dyn_scale
+    *. 6.0
+    *. ((capacity /. 256.0) ** 0.35)
+    *. (1.0 +. (0.15 *. (assoc -. 1.0)))
+    *. ((block /. 16.0) ** 0.15)
+  in
+  let fill_pj = tech.Tech.dyn_scale *. 10.0 *. (block /. 16.0) in
+  (* Leakage: proportional to the number of bits. *)
+  let leak_pj_per_cycle = tech.Tech.leak_scale *. 0.02 *. capacity in
+  (* Off-chip DRAM: activation plus per-byte transfer; not scaled by the
+     processor's technology node. *)
+  let dram_read_pj = 60.0 +. (3.5 *. block) in
+  let dram_leak_pj_per_cycle = 25.0 in
+  {
+    read_pj;
+    fill_pj;
+    leak_pj_per_cycle;
+    dram_read_pj;
+    dram_leak_pj_per_cycle;
+    hit_cycles = 1;
+    miss_penalty = tech.Tech.dram_latency_cycles;
+    prefetch_latency = tech.Tech.dram_latency_cycles;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "read=%.1fpJ fill=%.1fpJ leak=%.3fpJ/cy dram=%.1fpJ miss=%dcy lambda=%dcy"
+    t.read_pj t.fill_pj t.leak_pj_per_cycle t.dram_read_pj t.miss_penalty
+    t.prefetch_latency

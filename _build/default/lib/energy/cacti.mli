@@ -1,0 +1,23 @@
+(** Mini-CACTI: analytic cache energy/latency model.
+
+    Replaces the CACTI 6.5 tables of the paper's setup (Supplement S.4)
+    with power-law scalings that preserve CACTI's orderings: per-access
+    energy grows with capacity, associativity and block size; leakage
+    power grows linearly with capacity and steeply with technology
+    scaling; DRAM accesses dwarf cache accesses. *)
+
+type t = {
+  read_pj : float;  (** energy of one cache lookup (tag + data) *)
+  fill_pj : float;  (** energy of writing one block into the cache *)
+  leak_pj_per_cycle : float;  (** cache array leakage per processor cycle *)
+  dram_read_pj : float;  (** energy of one level-two block read *)
+  dram_leak_pj_per_cycle : float;  (** background power of the level-two memory *)
+  hit_cycles : int;  (** cache hit latency *)
+  miss_penalty : int;  (** extra cycles of a demand miss *)
+  prefetch_latency : int;  (** Λ: cycles until a prefetched block is usable *)
+}
+
+val model : Ucp_cache.Config.t -> Tech.t -> t
+(** Evaluate the model for a cache configuration and technology. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/isa/branch_model.mli: Format

@@ -1,0 +1,1 @@
+lib/isa/instr.ml: Format

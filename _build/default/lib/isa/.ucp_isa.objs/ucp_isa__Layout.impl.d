@@ -1,0 +1,1 @@
+lib/isa/layout.ml: Array Hashtbl Instr List Printf Program

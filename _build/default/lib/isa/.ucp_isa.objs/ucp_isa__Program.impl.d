@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Branch_model Format Instr List Printf

@@ -1,0 +1,1 @@
+lib/isa/program.mli: Branch_model Format Instr

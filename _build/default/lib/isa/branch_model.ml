@@ -1,0 +1,15 @@
+type t =
+  | Always_taken
+  | Never_taken
+  | Every of int
+  | Bernoulli of float
+
+let trips n =
+  if n < 1 then invalid_arg "Branch_model.trips: need at least one iteration";
+  Every n
+
+let pp ppf = function
+  | Always_taken -> Format.pp_print_string ppf "always"
+  | Never_taken -> Format.pp_print_string ppf "never"
+  | Every k -> Format.fprintf ppf "every %d" k
+  | Bernoulli p -> Format.fprintf ppf "p=%.2f" p

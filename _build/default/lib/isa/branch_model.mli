@@ -1,0 +1,26 @@
+(** Deterministic behaviour of conditional branches for the trace
+    simulator (the paper's ACET side).
+
+    WCET analysis never looks at these models — it explores all paths —
+    but the GEM5-substitute simulator needs a concrete, reproducible
+    outcome for every dynamic execution of a branch. *)
+
+type t =
+  | Always_taken  (** the branch is taken on every execution *)
+  | Never_taken  (** the branch falls through on every execution *)
+  | Every of int
+      (** [Every k]: taken on executions 0..k-2 of every window of [k],
+          not taken on the k-th.  This is the natural model for a loop
+          back-branch of a loop that iterates [k] times per entry. *)
+  | Bernoulli of float
+      (** [Bernoulli p]: taken with probability [p], drawn from the
+          simulator's seeded generator. *)
+
+val trips : int -> t
+(** [trips n] models the exit test of a loop that runs [n] iterations
+    each time it is entered (the header test is evaluated [n] times and
+    succeeds [n - 1] times).
+    @raise Invalid_argument if [n < 1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Short rendering, e.g. ["every 8"]. *)

@@ -1,0 +1,1 @@
+lib/lp/rational.mli: Format

@@ -1,0 +1,16 @@
+(** Integer linear programming by branch & bound on {!Simplex}.
+
+    All variables are constrained to nonnegative integers, which is
+    exactly the IPET setting (basic-block and edge execution counts). *)
+
+type outcome =
+  | Optimal of { value : Rational.t; assignment : int array }
+  | Infeasible
+  | Unbounded
+
+val maximize : ?max_nodes:int -> Simplex.problem -> outcome
+(** Solve, exploring at most [max_nodes] branch-and-bound nodes
+    (default [100_000]).
+    @raise Failure if the node budget is exhausted — IPET instances are
+    near-integral network flows, so hitting the budget indicates a
+    malformed model rather than a hard instance. *)

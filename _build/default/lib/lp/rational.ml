@@ -1,0 +1,84 @@
+type t = { num : int; den : int }
+
+exception Overflow
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / a <> b then raise Overflow else p
+
+let checked_add a b =
+  let s = a + b in
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then raise Overflow
+  else s
+
+let normalize num den =
+  if den = 0 then raise Division_by_zero;
+  if num = 0 then { num = 0; den = 1 }
+  else
+    let s = if den < 0 then -1 else 1 in
+    let num = num * s and den = den * s in
+    let g = abs (gcd num den) in
+    { num = num / g; den = den / g }
+
+let make num den = normalize num den
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+
+let num t = t.num
+let den t = t.den
+
+let add a b =
+  let g = abs (gcd a.den b.den) in
+  let da = a.den / g and db = b.den / g in
+  normalize (checked_add (checked_mul a.num db) (checked_mul b.num da)) (checked_mul a.den db)
+
+let neg a = { a with num = -a.num }
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* cross-reduce before multiplying to delay overflow *)
+  let g1 = abs (gcd a.num b.den) and g2 = abs (gcd b.num a.den) in
+  let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
+  normalize (checked_mul (a.num / g1) (b.num / g2)) (checked_mul (a.den / g2) (b.den / g1))
+
+let div a b =
+  if b.num = 0 then raise Division_by_zero;
+  mul a { num = b.den; den = b.num } |> fun r -> normalize r.num r.den
+
+let abs a = { a with num = Stdlib.abs a.num }
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den ; exact via cross multiplication *)
+  compare (checked_mul a.num b.den) (checked_mul b.num a.den)
+
+let equal a b = a.num = b.num && a.den = b.den
+
+let sign a = Stdlib.compare a.num 0
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let is_integer a = a.den = 1
+
+let floor a =
+  if a.num >= 0 then a.num / a.den
+  else
+    let q = a.num / a.den in
+    if a.num mod a.den = 0 then q else q - 1
+
+let ceil a = -floor (neg a)
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let to_int_exn a =
+  if a.den <> 1 then invalid_arg "Rational.to_int_exn: not an integer" else a.num
+
+let pp ppf a =
+  if a.den = 1 then Format.pp_print_int ppf a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den

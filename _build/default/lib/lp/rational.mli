@@ -1,0 +1,47 @@
+(** Exact rational arithmetic over native integers.
+
+    The simplex solver needs exact pivoting to avoid the tolerance
+    tuning of floating-point implementations.  Numerators and
+    denominators are OCaml [int]s kept reduced by gcd; arithmetic that
+    would overflow raises {!Overflow} instead of silently wrapping.
+    IPET instances have tiny coefficients (block times and loop bounds),
+    so overflow is a defensive guard rather than an expected event. *)
+
+type t
+(** A reduced fraction with positive denominator. *)
+
+exception Overflow
+(** Raised when a result does not fit in a native [int]. *)
+
+val make : int -> int -> t
+(** [make num den].  @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero on division by {!zero}. *)
+
+val neg : t -> t
+val abs : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_integer : t -> bool
+val floor : t -> int
+val ceil : t -> int
+val to_float : t -> float
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val pp : Format.formatter -> t -> unit

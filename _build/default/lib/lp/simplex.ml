@@ -1,0 +1,190 @@
+module Q = Rational
+
+type op = Le | Ge | Eq
+
+type problem = {
+  num_vars : int;
+  objective : Q.t array;
+  constraints : (Q.t array * op * Q.t) list;
+}
+
+type solution = { value : Q.t; assignment : Q.t array }
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+type tableau = {
+  rows : Q.t array array;  (* m x (cols + 1); last column is the rhs *)
+  basis : int array;  (* basic variable of each row *)
+  cols : int;  (* number of variable columns *)
+}
+
+let pivot t z ~row ~col =
+  let piv = t.rows.(row).(col) in
+  assert (Q.sign piv <> 0);
+  let r = t.rows.(row) in
+  for j = 0 to t.cols do
+    r.(j) <- Q.div r.(j) piv
+  done;
+  let eliminate target =
+    let f = target.(col) in
+    if Q.sign f <> 0 then
+      for j = 0 to t.cols do
+        target.(j) <- Q.sub target.(j) (Q.mul f r.(j))
+      done
+  in
+  Array.iteri (fun i row_i -> if i <> row then eliminate row_i) t.rows;
+  eliminate z;
+  t.basis.(row) <- col
+
+(* Bland's rule: entering column = lowest-index eligible column with a
+   positive reduced cost; leaving row = lexicographically by minimum
+   ratio then lowest basic-variable index. *)
+let run t z ~allowed =
+  let m = Array.length t.rows in
+  let rec step () =
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.cols - 1 do
+         if allowed j && Q.sign z.(j) > 0 then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering = -1 then `Optimal
+    else begin
+      let col = !entering in
+      let best = ref None in
+      for i = 0 to m - 1 do
+        let a = t.rows.(i).(col) in
+        if Q.sign a > 0 then begin
+          let ratio = Q.div t.rows.(i).(t.cols) a in
+          match !best with
+          | None -> best := Some (ratio, i)
+          | Some (r, bi) ->
+            let c = Q.compare ratio r in
+            if c < 0 || (c = 0 && t.basis.(i) < t.basis.(bi)) then best := Some (ratio, i)
+        end
+      done;
+      match !best with
+      | None -> `Unbounded
+      | Some (_, row) ->
+        pivot t z ~row ~col;
+        step ()
+    end
+  in
+  step ()
+
+let build problem =
+  let n = problem.num_vars in
+  if Array.length problem.objective <> n then
+    invalid_arg "Simplex: objective length mismatch";
+  List.iter
+    (fun (coeffs, _, _) ->
+      if Array.length coeffs <> n then invalid_arg "Simplex: constraint length mismatch")
+    problem.constraints;
+  (* Normalize rows to nonnegative rhs. *)
+  let rows =
+    List.map
+      (fun (coeffs, op, rhs) ->
+        if Q.sign rhs < 0 then
+          ( Array.map Q.neg coeffs,
+            (match op with Le -> Ge | Ge -> Le | Eq -> Eq),
+            Q.neg rhs )
+        else (Array.copy coeffs, op, rhs))
+      problem.constraints
+  in
+  let m = List.length rows in
+  let n_slack = List.length (List.filter (fun (_, op, _) -> op <> Eq) rows) in
+  let n_art = List.length (List.filter (fun (_, op, _) -> op <> Le) rows) in
+  let cols = n + n_slack + n_art in
+  let art_start = n + n_slack in
+  let tab = Array.init m (fun _ -> Array.make (cols + 1) Q.zero) in
+  let basis = Array.make m (-1) in
+  let slack = ref n and art = ref art_start in
+  List.iteri
+    (fun i (coeffs, op, rhs) ->
+      Array.blit coeffs 0 tab.(i) 0 n;
+      tab.(i).(cols) <- rhs;
+      (match op with
+      | Le ->
+        tab.(i).(!slack) <- Q.one;
+        basis.(i) <- !slack;
+        incr slack
+      | Ge ->
+        tab.(i).(!slack) <- Q.neg Q.one;
+        incr slack;
+        tab.(i).(!art) <- Q.one;
+        basis.(i) <- !art;
+        incr art
+      | Eq ->
+        tab.(i).(!art) <- Q.one;
+        basis.(i) <- !art;
+        incr art))
+    rows;
+  ({ rows = tab; basis; cols }, art_start)
+
+(* Reduced-cost row for objective [c] (over variable columns) given the
+   current basis: z = c - sum over rows of c_basic * row.  The cell
+   z.(cols) then holds minus the objective value. *)
+let make_z t c =
+  let z = Array.make (t.cols + 1) Q.zero in
+  Array.blit c 0 z 0 (Array.length c);
+  Array.iteri
+    (fun i b ->
+      let cb = if b < Array.length c then c.(b) else Q.zero in
+      if Q.sign cb <> 0 then
+        for j = 0 to t.cols do
+          z.(j) <- Q.sub z.(j) (Q.mul cb t.rows.(i).(j))
+        done)
+    t.basis;
+  z
+
+let maximize problem =
+  let t, art_start = build problem in
+  let m = Array.length t.rows in
+  (* Phase 1: maximize -(sum of artificials). *)
+  let phase1_obj = Array.make t.cols Q.zero in
+  for j = art_start to t.cols - 1 do
+    phase1_obj.(j) <- Q.neg Q.one
+  done;
+  let z1 = make_z t phase1_obj in
+  (match run t z1 ~allowed:(fun _ -> true) with
+  | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
+  | `Optimal -> ());
+  let phase1_value = Q.neg z1.(t.cols) in
+  if Q.sign phase1_value < 0 then Infeasible
+  else begin
+    (* Drive any remaining (zero-valued) artificials out of the basis
+       where possible; rows where it is impossible are redundant. *)
+    for i = 0 to m - 1 do
+      if t.basis.(i) >= art_start then begin
+        let j = ref 0 and found = ref false in
+        while (not !found) && !j < art_start do
+          if Q.sign t.rows.(i).(!j) <> 0 then found := true else incr j
+        done;
+        if !found then pivot t (Array.make (t.cols + 1) Q.zero) ~row:i ~col:!j
+      end
+    done;
+    (* Phase 2: the real objective; artificial columns may not enter. *)
+    let phase2_obj = Array.make t.cols Q.zero in
+    Array.blit problem.objective 0 phase2_obj 0 problem.num_vars;
+    let z2 = make_z t phase2_obj in
+    match run t z2 ~allowed:(fun j -> j < art_start) with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let assignment = Array.make problem.num_vars Q.zero in
+      Array.iteri
+        (fun i b -> if b < problem.num_vars then assignment.(b) <- t.rows.(i).(t.cols))
+        t.basis;
+      Optimal { value = Q.neg z2.(t.cols); assignment }
+  end
+
+let minimize problem =
+  let neg = { problem with objective = Array.map Q.neg problem.objective } in
+  match maximize neg with
+  | Optimal { value; assignment } -> Optimal { value = Q.neg value; assignment }
+  | (Infeasible | Unbounded) as o -> o

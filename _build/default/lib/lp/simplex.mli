@@ -1,0 +1,28 @@
+(** Two-phase primal simplex over exact rationals.
+
+    Solves  maximize cᵀx  subject to linear constraints and x ≥ 0.
+    Bland's anti-cycling rule guarantees termination; exact arithmetic
+    makes the optimality test free of tolerances.  Problem sizes here
+    (IPET flow problems) are tens to a few hundred variables. *)
+
+type op = Le | Ge | Eq
+
+type problem = {
+  num_vars : int;
+  objective : Rational.t array;  (** length [num_vars] *)
+  constraints : (Rational.t array * op * Rational.t) list;
+      (** rows [(coeffs, op, rhs)]; [coeffs] has length [num_vars] *)
+}
+
+type solution = { value : Rational.t; assignment : Rational.t array }
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+val maximize : problem -> outcome
+(** @raise Invalid_argument on dimension mismatches. *)
+
+val minimize : problem -> outcome
+(** Convenience wrapper: negates the objective. *)

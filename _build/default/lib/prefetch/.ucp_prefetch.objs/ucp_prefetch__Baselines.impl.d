@@ -1,0 +1,1 @@
+lib/prefetch/baselines.ml: Array Hashtbl List Optimizer Ucp_cache Ucp_cfg Ucp_energy Ucp_isa Ucp_wcet

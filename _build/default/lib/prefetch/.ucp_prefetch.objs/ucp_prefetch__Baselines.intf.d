@@ -1,0 +1,1 @@
+lib/prefetch/baselines.mli: Ucp_cache Ucp_energy Ucp_isa

@@ -1,0 +1,1 @@
+lib/prefetch/optimizer.ml: Array Hashtbl List Ucp_cache Ucp_cfg Ucp_energy Ucp_isa Ucp_wcet

@@ -1,0 +1,1 @@
+lib/prefetch/optimizer.mli: Ucp_cache Ucp_energy Ucp_isa Ucp_wcet

@@ -1,0 +1,60 @@
+(** Comparison baselines from the paper's related-work section.
+
+    {b BB-start software prefetching} [5]: for every reference the
+    analysis predicts to miss, a prefetch of its block is inserted at
+    the {e beginning of the basic block} containing it.  The paper's
+    criticism — "the distance between them might be insufficient to hide
+    the latency" — shows up as a positive
+    {!Ucp_wcet.Wcet.residual_prefetch_stall}.
+
+    {b Static cache locking} [4, 14]: the cache is preloaded with a
+    fixed content chosen to minimize the WCET and never updated.
+    Predictable by construction, but every access outside the locked
+    content pays the full DRAM penalty — the energy-vs-predictability
+    trade-off the paper sets out to avoid. *)
+
+val bb_start :
+  Ucp_isa.Program.t -> Ucp_cache.Config.t -> Ucp_energy.Cacti.t -> Ucp_isa.Program.t
+(** Insert BB-start prefetches for every predicted miss (one per basic
+    block and memory block).  No effectiveness or profitability check.
+    Evaluate its WCET with {!Ucp_wcet.Wcet.tau_with_residual}. *)
+
+type locking = {
+  locked_blocks : int list;  (** memory blocks resident in the locked cache *)
+  tau_locked : int;  (** WCET memory contribution under locking *)
+}
+
+val lock_greedy :
+  Ucp_isa.Program.t -> Ucp_cache.Config.t -> Ucp_energy.Cacti.t -> locking
+(** Greedy WCET-oriented content selection: per cache set, lock the
+    [assoc] memory blocks with the largest worst-case access counts. *)
+
+val wcet_locked :
+  Ucp_isa.Program.t ->
+  Ucp_cache.Config.t ->
+  Ucp_energy.Cacti.t ->
+  locked:int list ->
+  int
+(** WCET memory contribution when exactly [locked] is cached. *)
+
+(** {b Hybrid locking + prefetching} ([16, 2] — the combination the
+    paper's perspectives section sets out to study): lock [ways] ways
+    of every set with the WCET-heaviest content, leave the remaining
+    ways as a normal unlocked cache, and run the paper's prefetch
+    optimization on what is left. *)
+type hybrid = {
+  hybrid_program : Ucp_isa.Program.t;  (** the prefetch-optimized binary *)
+  hybrid_pinned : int list;  (** blocks resident in the locked ways *)
+  hybrid_config : Ucp_cache.Config.t;  (** geometry of the unlocked ways *)
+  hybrid_tau : int;  (** WCET memory contribution of the result *)
+}
+
+val lock_hybrid :
+  ways:int ->
+  Ucp_isa.Program.t ->
+  Ucp_cache.Config.t ->
+  Ucp_energy.Cacti.t ->
+  hybrid
+(** @raise Invalid_argument unless [0 < ways < assoc].  Evaluate the
+    result's ACET with
+    [Simulator.run ~pinned:hybrid_pinned ~cache_config:hybrid_config]. *)

@@ -1,0 +1,1 @@
+lib/sim/hw_prefetch.ml: Array Hashtbl List Printf Ucp_isa

@@ -1,0 +1,1 @@
+lib/sim/hw_prefetch.mli:

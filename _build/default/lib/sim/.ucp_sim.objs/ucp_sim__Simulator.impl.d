@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Hashtbl Hw_prefetch List Printf Ucp_cache Ucp_energy Ucp_isa Ucp_util

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Hw_prefetch Ucp_cache Ucp_energy Ucp_isa

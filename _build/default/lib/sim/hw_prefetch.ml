@@ -1,0 +1,88 @@
+type fetch_info = {
+  mem_block : int;
+  hit : bool;
+  is_branch : bool;
+  branch_addr : int;
+  target_addr : int option;
+  taken : bool option;
+}
+
+type t = { name : string; observe : fetch_info -> int list }
+
+let name t = t.name
+let observe t info = t.observe info
+
+let none () = { name = "none"; observe = (fun _ -> []) }
+
+let next_line_always () =
+  { name = "next-line-always"; observe = (fun info -> [ info.mem_block + 1 ]) }
+
+let next_line_on_miss () =
+  {
+    name = "next-line-on-miss";
+    observe = (fun info -> if info.hit then [] else [ info.mem_block + 1 ]);
+  }
+
+let next_line_tagged () =
+  let touched = Hashtbl.create 64 in
+  {
+    name = "next-line-tagged";
+    observe =
+      (fun info ->
+        if Hashtbl.mem touched info.mem_block then []
+        else begin
+          Hashtbl.replace touched info.mem_block ();
+          [ info.mem_block + 1 ]
+        end);
+  }
+
+let next_n_line n =
+  {
+    name = Printf.sprintf "next-%d-line" n;
+    observe =
+      (fun info ->
+        if info.hit then []
+        else List.init n (fun i -> info.mem_block + 1 + i));
+  }
+
+(* A direct-mapped reference prediction table: branch address -> last
+   taken-target address. *)
+let make_rpt ~both ~size ~block_bytes =
+  let table = Array.make size None in
+  let slot addr = addr / Ucp_isa.Instr.bytes mod size in
+  let observe info =
+    if not info.is_branch then []
+    else begin
+      let s = slot info.branch_addr in
+      let predictions =
+        match table.(s) with
+        | Some (tag, target) when tag = info.branch_addr ->
+          let target_block = target / block_bytes in
+          if both then [ target_block; (info.branch_addr / block_bytes) + 1 ]
+          else [ target_block ]
+        | Some _ | None -> []
+      in
+      (match (info.taken, info.target_addr) with
+      | Some true, Some target -> table.(s) <- Some (info.branch_addr, target)
+      | _, _ -> ());
+      predictions
+    end
+  in
+  observe
+
+let target_rpt ~size ~block_bytes =
+  { name = "target-rpt"; observe = make_rpt ~both:false ~size ~block_bytes }
+
+let wrong_path ~size ~block_bytes =
+  { name = "wrong-path"; observe = make_rpt ~both:true ~size ~block_bytes }
+
+let all_schemes ~block_bytes =
+  [
+    ("none", none);
+    ("next-line-always", next_line_always);
+    ("next-line-on-miss", next_line_on_miss);
+    ("next-line-tagged", next_line_tagged);
+    ("next-2-line", fun () -> next_n_line 2);
+    ("target-rpt", fun () -> target_rpt ~size:64 ~block_bytes);
+    ("wrong-path", fun () -> wrong_path ~size:64 ~block_bytes);
+  ]

@@ -1,0 +1,56 @@
+(** Hardware prefetcher interface for the trace simulator, plus the
+    classic schemes the paper's related-work section surveys
+    (Section 2): sequential next-line / next-N-line prefetching [18],
+    target prefetching with a reference prediction table [19], and
+    wrong-path prefetching [13].
+
+    A hardware prefetcher observes every fetch and returns memory blocks
+    to load through the non-blocking port.  Unlike software prefetching
+    it costs no instruction slot, but every issued load consumes DRAM
+    energy even when useless (the energy-inefficiency the paper
+    motivates avoiding). *)
+
+type fetch_info = {
+  mem_block : int;  (** block of the fetched instruction *)
+  hit : bool;
+  is_branch : bool;  (** conditional branch slot *)
+  branch_addr : int;  (** address of the fetched instruction *)
+  target_addr : int option;  (** branch-target address, for branches *)
+  taken : bool option;  (** outcome, for branches *)
+}
+
+type t
+(** A (possibly stateful) hardware prefetcher instance. *)
+
+val name : t -> string
+
+val observe : t -> fetch_info -> int list
+(** Blocks to prefetch in response to one fetch. *)
+
+val none : unit -> t
+(** No hardware prefetching (the paper's default platform). *)
+
+val next_line_always : unit -> t
+(** Prefetch block [b+1] on every reference to block [b]. *)
+
+val next_line_on_miss : unit -> t
+(** Prefetch [b+1] only when the reference to [b] missed. *)
+
+val next_line_tagged : unit -> t
+(** Prefetch [b+1] on the first reference to [b] since it was filled
+    (one-bit tag per block, unbounded table for simplicity). *)
+
+val next_n_line : int -> t
+(** [next_n_line n]: prefetch blocks [b+1 .. b+n] on a miss on [b]. *)
+
+val target_rpt : size:int -> block_bytes:int -> t
+(** Target prefetching [19]: a direct-mapped reference prediction table
+    of [size] entries maps a branch address to its last taken-target
+    address; matching fetches prefetch the predicted target's block. *)
+
+val wrong_path : size:int -> block_bytes:int -> t
+(** Wrong-path prefetching [13]: like {!target_rpt} but prefetches both
+    the recorded target and the fall-through block on a match. *)
+
+val all_schemes : block_bytes:int -> (string * (unit -> t)) list
+(** Fresh constructors for every scheme (for sweep experiments). *)

@@ -1,0 +1,265 @@
+module Program = Ucp_isa.Program
+module Layout = Ucp_isa.Layout
+module Instr = Ucp_isa.Instr
+module Branch_model = Ucp_isa.Branch_model
+module Concrete = Ucp_cache.Concrete
+module Account = Ucp_energy.Account
+module Cacti = Ucp_energy.Cacti
+module Rng = Ucp_util.Rng
+
+type stats = {
+  counts : Account.counts;
+  executed : int;
+  executed_prefetches : int;
+  hw_issued : int;
+  late_prefetch_stall_cycles : int;
+  miss_rate : float;
+}
+
+type state = {
+  program : Program.t;
+  layout : Layout.t;
+  cache : Concrete.t;
+  model : Cacti.t;
+  rng : Rng.t;
+  in_flight : (int, int) Hashtbl.t;  (* mem block -> ready cycle *)
+  branch_counts : (int, int) Hashtbl.t;  (* block id -> cond executions *)
+  mutable cycles : int;
+  mutable fetches : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable prefetch_dram_reads : int;
+  mutable prefetch_fills : int;
+  mutable executed : int;
+  mutable executed_prefetches : int;
+  mutable hw_issued : int;
+  mutable late_stalls : int;
+}
+
+(* Launch a prefetch of [mb] unless it is resident.  The cache line is
+   allocated immediately (as an MSHR would), so the concrete content
+   evolution matches the abstract semantics, which applies the fill at
+   the prefetch point; the data only becomes usable Λ cycles later —
+   an earlier demand access stalls for the remainder.  Returns true
+   when a DRAM read was started. *)
+let issue_prefetch st mb =
+  if Concrete.contains st.cache mb then begin
+    (* resident target: no memory traffic, but the prefetch still
+       refreshes the line's recency (matching the abstract fill) *)
+    ignore (Concrete.fill st.cache mb);
+    false
+  end
+  else begin
+    ignore (Concrete.fill st.cache mb);
+    Hashtbl.replace st.in_flight mb (st.cycles + st.model.Cacti.prefetch_latency);
+    st.prefetch_dram_reads <- st.prefetch_dram_reads + 1;
+    st.prefetch_fills <- st.prefetch_fills + 1;
+    true
+  end
+
+(* Fetch the instruction at [addr]'s block: accounts time and energy
+   events; returns whether it hit without any stall. *)
+let fetch_locked st locked mb =
+  st.fetches <- st.fetches + 1;
+  if Hashtbl.mem locked mb then begin
+    st.hits <- st.hits + 1;
+    st.cycles <- st.cycles + st.model.Cacti.hit_cycles;
+    true
+  end
+  else begin
+    (* locked caches never allocate: every unlocked access pays DRAM *)
+    st.misses <- st.misses + 1;
+    st.cycles <- st.cycles + st.model.Cacti.hit_cycles + st.model.Cacti.miss_penalty;
+    false
+  end
+
+let fetch_lru st mb =
+  st.fetches <- st.fetches + 1;
+  if Concrete.contains st.cache mb then begin
+    (* stall if the line's prefetch is still in flight *)
+    (match Hashtbl.find_opt st.in_flight mb with
+    | Some ready ->
+      Hashtbl.remove st.in_flight mb;
+      let stall = max 0 (ready - st.cycles) in
+      st.cycles <- st.cycles + stall;
+      st.late_stalls <- st.late_stalls + stall
+    | None -> ());
+    ignore (Concrete.access st.cache mb);
+    st.hits <- st.hits + 1;
+    st.cycles <- st.cycles + st.model.Cacti.hit_cycles;
+    true
+  end
+  else begin
+    (* a stale in-flight entry means the line was re-evicted before use *)
+    Hashtbl.remove st.in_flight mb;
+    ignore (Concrete.access st.cache mb);
+    st.misses <- st.misses + 1;
+    st.cycles <- st.cycles + st.model.Cacti.hit_cycles + st.model.Cacti.miss_penalty;
+    false
+  end
+
+let cond_decision st block model =
+  let count = try Hashtbl.find st.branch_counts block with Not_found -> 0 in
+  Hashtbl.replace st.branch_counts block (count + 1);
+  match model with
+  | Branch_model.Always_taken -> true
+  | Branch_model.Never_taken -> false
+  | Branch_model.Every k -> count mod k < k - 1
+  | Branch_model.Bernoulli p -> Rng.bernoulli st.rng p
+
+let run ?(seed = 42) ?(max_steps = 3_000_000) ?(policy = Concrete.Lru) ?hw ?locked
+    ?(pinned = []) ?cache_config program config model =
+  let layout = Layout.make program ~block_bytes:config.Ucp_cache.Config.block_bytes in
+  let cache_config = match cache_config with Some c -> c | None -> config in
+  let hw = match hw with Some h -> h | None -> Hw_prefetch.none () in
+  let locked_tbl =
+    match locked with
+    | None -> None
+    | Some blocks ->
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun mb -> Hashtbl.replace tbl mb ()) blocks;
+      Some tbl
+  in
+  let pinned_tbl = Hashtbl.create 16 in
+  List.iter (fun mb -> Hashtbl.replace pinned_tbl mb ()) pinned;
+  let is_pinned mb = Hashtbl.mem pinned_tbl mb in
+  let st =
+    {
+      program;
+      layout;
+      cache = Concrete.create ~policy cache_config;
+      model;
+      rng = Rng.create seed;
+      in_flight = Hashtbl.create 8;
+      branch_counts = Hashtbl.create 16;
+      cycles = 0;
+      fetches = 0;
+      hits = 0;
+      misses = 0;
+      prefetch_dram_reads = 0;
+      prefetch_fills = 0;
+      executed = 0;
+      executed_prefetches = 0;
+      hw_issued = 0;
+      late_stalls = 0;
+    }
+  in
+  let fetch st mb =
+    match locked_tbl with
+    | Some tbl -> fetch_locked st tbl mb
+    | None ->
+      if is_pinned mb then begin
+        (* locked way: unconditional hit, no replacement effect *)
+        st.fetches <- st.fetches + 1;
+        st.hits <- st.hits + 1;
+        st.cycles <- st.cycles + st.model.Cacti.hit_cycles;
+        true
+      end
+      else fetch_lru st mb
+  in
+  let hw_observe info =
+    List.iter
+      (fun mb ->
+        if (not (is_pinned mb)) && issue_prefetch st mb then
+          st.hw_issued <- st.hw_issued + 1)
+      (Hw_prefetch.observe hw info)
+  in
+  let rec exec_block block =
+    if st.executed > max_steps then
+      failwith
+        (Printf.sprintf "Simulator.run: %s exceeded %d instructions"
+           (Program.name program) max_steps);
+    let b = Program.block program block in
+    let body_len = Array.length b.Program.body in
+    (* body slots *)
+    for pos = 0 to body_len - 1 do
+      let addr = Layout.addr layout ~block ~pos in
+      let mb = Layout.mem_block_of_addr layout addr in
+      let hit = fetch st mb in
+      st.executed <- st.executed + 1;
+      let instr = b.Program.body.(pos) in
+      (match instr.Instr.kind with
+      | Instr.Compute -> ()
+      | Instr.Prefetch target_uid -> (
+        st.executed_prefetches <- st.executed_prefetches + 1;
+        if locked_tbl = None then
+          match Layout.mem_block_of_uid layout target_uid with
+          | Some target -> if not (is_pinned target) then ignore (issue_prefetch st target)
+          | None -> failwith "Simulator.run: dangling prefetch target"));
+      hw_observe
+        {
+          Hw_prefetch.mem_block = mb;
+          hit;
+          is_branch = false;
+          branch_addr = addr;
+          target_addr = None;
+          taken = None;
+        }
+    done;
+    (* terminator *)
+    match b.Program.term with
+    | Program.Fallthrough target -> exec_block target
+    | Program.Jump { target; _ } ->
+      let addr = Layout.addr layout ~block ~pos:body_len in
+      let mb = Layout.mem_block_of_addr layout addr in
+      let hit = fetch st mb in
+      st.executed <- st.executed + 1;
+      hw_observe
+        {
+          Hw_prefetch.mem_block = mb;
+          hit;
+          is_branch = false;
+          branch_addr = addr;
+          target_addr = None;
+          taken = None;
+        };
+      exec_block target
+    | Program.Return _ ->
+      let addr = Layout.addr layout ~block ~pos:body_len in
+      let mb = Layout.mem_block_of_addr layout addr in
+      let _hit = fetch st mb in
+      st.executed <- st.executed + 1
+    | Program.Cond { taken; fallthrough; model = bm; _ } ->
+      let addr = Layout.addr layout ~block ~pos:body_len in
+      let mb = Layout.mem_block_of_addr layout addr in
+      let hit = fetch st mb in
+      st.executed <- st.executed + 1;
+      let decision = cond_decision st block bm in
+      let target_addr =
+        try Some (Layout.addr layout ~block:taken ~pos:0)
+        with Invalid_argument _ -> None
+      in
+      hw_observe
+        {
+          Hw_prefetch.mem_block = mb;
+          hit;
+          is_branch = true;
+          branch_addr = addr;
+          target_addr;
+          taken = Some decision;
+        };
+      exec_block (if decision then taken else fallthrough)
+  in
+  exec_block (Program.entry program);
+  let counts =
+    {
+      Account.fetches = st.fetches;
+      hits = st.hits;
+      misses = st.misses;
+      prefetch_dram_reads = st.prefetch_dram_reads;
+      prefetch_fills = st.prefetch_fills;
+      cycles = st.cycles;
+    }
+  in
+  {
+    counts;
+    executed = st.executed;
+    executed_prefetches = st.executed_prefetches;
+    hw_issued = st.hw_issued;
+    late_prefetch_stall_cycles = st.late_stalls;
+    miss_rate =
+      (if st.fetches = 0 then 0.0
+       else float_of_int st.misses /. float_of_int st.fetches);
+  }
+
+let acet stats = stats.counts.Account.cycles

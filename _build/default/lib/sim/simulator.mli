@@ -1,0 +1,47 @@
+(** Trace-driven execution: the repository's GEM5 substitute.
+
+    Walks the CFG concretely, driving branch decisions from each
+    conditional's {!Ucp_isa.Branch_model.t}, and models the timed memory
+    system: an LRU instruction cache, a constant-latency DRAM, and a
+    non-blocking prefetch port.  A demand fetch of a block whose
+    prefetch is still in flight stalls only for the remaining latency.
+
+    Produces the event counts the energy model consumes and the ACET in
+    cycles.  Runs are deterministic for a given seed. *)
+
+type stats = {
+  counts : Ucp_energy.Account.counts;
+  executed : int;  (** dynamically executed instructions (Figure 8) *)
+  executed_prefetches : int;  (** executed software-prefetch instructions *)
+  hw_issued : int;  (** prefetches issued by a hardware scheme *)
+  late_prefetch_stall_cycles : int;
+      (** cycles stalled on blocks whose prefetch had not completed *)
+  miss_rate : float;  (** demand misses / fetches *)
+}
+
+val run :
+  ?seed:int ->
+  ?max_steps:int ->
+  ?policy:Ucp_cache.Concrete.policy ->
+  ?hw:Hw_prefetch.t ->
+  ?locked:int list ->
+  ?pinned:int list ->
+  ?cache_config:Ucp_cache.Config.t ->
+  Ucp_isa.Program.t ->
+  Ucp_cache.Config.t ->
+  Ucp_energy.Cacti.t ->
+  stats
+(** Execute the program to its [Return].  [~policy] selects the
+    replacement policy (default LRU, the analyses' model).  [~locked]
+    switches the cache into fully-locked mode: the given memory blocks
+    always hit, everything else always misses, no allocation happens,
+    and prefetch instructions have no memory effect (the cache-locking
+    baseline).  [~pinned] instead locks only {e part} of the cache: the
+    given blocks always hit while the rest of the program runs through
+    a normal cache of geometry [~cache_config] (the unlocked ways) —
+    the hybrid locking+prefetching mode [16, 2].
+    @raise Failure if [max_steps] (default 3,000,000) instructions are
+    exceeded — a diverging branch model. *)
+
+val acet : stats -> int
+(** Memory contribution to the average-case execution time, cycles. *)

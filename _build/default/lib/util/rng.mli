@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generation.
+
+    A small SplitMix64 generator.  Every stochastic choice in the
+    repository (branch outcomes, workload shapes, property-test seeds
+    outside qcheck) goes through this module so that runs are
+    bit-reproducible across machines and OCaml versions. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a seed.  Equal seeds yield
+    equal streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val split : t -> t
+(** [split t] derives a generator whose stream is independent of the
+    continued stream of [t]; both remain usable. *)

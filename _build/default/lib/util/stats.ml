@@ -1,0 +1,72 @@
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> nan
+  | xs ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: nonpositive sample";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let stddev = function
+  | [] -> nan
+  | xs ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (sq /. float_of_int (List.length xs))
+
+let minimum = function [] -> nan | x :: xs -> List.fold_left min x xs
+let maximum = function [] -> nan | x :: xs -> List.fold_left max x xs
+
+let sorted xs = List.sort compare xs
+
+let percentile p = function
+  | [] -> nan
+  | xs ->
+    let arr = Array.of_list (sorted xs) in
+    let n = Array.length arr in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    arr.(idx)
+
+let fraction_below x = function
+  | [] -> nan
+  | xs ->
+    let below = List.length (List.filter (fun v -> v < x) xs) in
+    float_of_int below /. float_of_int (List.length xs)
+
+type summary = {
+  n : int;
+  mean : float;
+  geomean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+}
+
+let summarize xs =
+  {
+    n = List.length xs;
+    mean = mean xs;
+    geomean = (try geomean xs with Invalid_argument _ -> nan);
+    stddev = stddev xs;
+    min = minimum xs;
+    p25 = percentile 25.0 xs;
+    median = percentile 50.0 xs;
+    p75 = percentile 75.0 xs;
+    max = maximum xs;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.4f geo=%.4f sd=%.4f min=%.4f p25=%.4f med=%.4f p75=%.4f max=%.4f"
+    s.n s.mean s.geomean s.stddev s.min s.p25 s.median s.p75 s.max

@@ -1,0 +1,46 @@
+(** Descriptive statistics over float samples.
+
+    Used by the experiment driver to aggregate per-use-case ratios into
+    the averages the paper plots (Figures 3, 4, 5, 7, 8). *)
+
+val mean : float list -> float
+(** Arithmetic mean.  [nan] on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean, appropriate for ratios.  [nan] on the empty list.
+    @raise Invalid_argument if any sample is not positive. *)
+
+val stddev : float list -> float
+(** Population standard deviation.  [nan] on the empty list. *)
+
+val minimum : float list -> float
+(** Smallest sample.  [nan] on the empty list. *)
+
+val maximum : float list -> float
+(** Largest sample.  [nan] on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [\[0,100\]], nearest-rank on the sorted
+    samples.  [nan] on the empty list. *)
+
+val fraction_below : float -> float list -> float
+(** [fraction_below x xs] is the share of samples strictly below [x]. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  geomean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+}
+(** One-shot descriptive summary. *)
+
+val summarize : float list -> summary
+(** Compute all fields of {!summary} in one pass over the sorted data. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Render a summary on one line. *)

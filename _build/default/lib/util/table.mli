@@ -1,0 +1,23 @@
+(** Plain-text table rendering for benchmark and experiment reports. *)
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.  Rows shorter than the header are padded with
+    empty cells; longer rows extend the column count. *)
+
+val render : t -> string
+(** Render with aligned columns and a separator under the header. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to standard output. *)
+
+val cell_f : float -> string
+(** Format a float cell with four significant decimals. *)
+
+val cell_pct : float -> string
+(** Format a ratio as a percentage cell, e.g. [0.112] -> ["11.2%"]. *)

@@ -1,0 +1,1 @@
+lib/wcet/analysis.ml: Array Classification List Printf Ucp_cache Ucp_cfg Ucp_isa

@@ -1,0 +1,1 @@
+lib/wcet/analysis.mli: Classification Ucp_cache Ucp_cfg Ucp_isa

@@ -1,0 +1,1 @@
+lib/wcet/classification.ml: Format

@@ -1,0 +1,1 @@
+lib/wcet/classification.mli: Format

@@ -1,0 +1,1 @@
+lib/wcet/ipet.ml: Analysis Array List Ucp_cfg Ucp_isa Ucp_lp Wcet

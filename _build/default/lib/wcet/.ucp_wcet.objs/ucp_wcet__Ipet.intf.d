@@ -1,0 +1,1 @@
+lib/wcet/ipet.mli: Wcet

@@ -1,0 +1,1 @@
+lib/wcet/wcet.ml: Analysis Array Classification Hashtbl List Ucp_cache Ucp_cfg Ucp_energy Ucp_isa

@@ -1,0 +1,1 @@
+lib/wcet/wcet.mli: Analysis Ucp_cache Ucp_cfg Ucp_energy Ucp_isa

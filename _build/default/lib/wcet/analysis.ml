@@ -1,0 +1,186 @@
+module Vivu = Ucp_cfg.Vivu
+module Program = Ucp_isa.Program
+module Layout = Ucp_isa.Layout
+module Instr = Ucp_isa.Instr
+module Abstract = Ucp_cache.Abstract
+module Config = Ucp_cache.Config
+
+type t = {
+  vivu : Vivu.t;
+  layout : Layout.t;
+  config : Config.t;
+  in_must : Abstract.t array;
+  in_may : Abstract.t array;
+  classif : Classification.t array array;
+  passes : int;
+}
+
+let slot_mem_block_of layout ~block ~pos = Layout.mem_block layout ~block ~pos
+
+let prefetch_target layout instr =
+  match instr.Instr.kind with
+  | Instr.Compute -> None
+  | Instr.Prefetch target_uid -> (
+    match Layout.mem_block_of_uid layout target_uid with
+    | Some mb -> Some mb
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Analysis: prefetch targets unknown uid %d" target_uid))
+
+(* Transfer one node: thread both states through its slots, optionally
+   recording per-slot classifications. *)
+let transfer ~vivu ~layout ~with_may ~hw_next_n ~pinned ~record node_id (must0, may0) =
+  let program = Vivu.program vivu in
+  let nd = Vivu.node vivu node_id in
+  let block = nd.Vivu.block in
+  let n_slots = Program.slots program block in
+  let must = ref must0 and may = ref may0 in
+  for pos = 0 to n_slots - 1 do
+    let s = slot_mem_block_of layout ~block ~pos in
+    if pinned s then begin
+      (* locked way: guaranteed hit, no replacement-state effect *)
+      match record with
+      | Some classif -> classif.(node_id).(pos) <- Classification.Always_hit
+      | None -> ()
+    end
+    else begin
+      let cls =
+        if Abstract.contains !must s then Classification.Always_hit
+        else if with_may && not (Abstract.contains !may s) then
+          Classification.Always_miss
+        else Classification.Not_classified
+      in
+      (match record with
+      | Some classif -> classif.(node_id).(pos) <- cls
+      | None -> ());
+      must := Abstract.update !must s;
+      if with_may then may := Abstract.update !may s;
+      (* next-N-line-always hardware prefetching [22]: every reference
+         also installs the sequentially following blocks *)
+      for k = 1 to hw_next_n do
+        if not (pinned (s + k)) then begin
+          must := Abstract.fill !must (s + k);
+          if with_may then may := Abstract.fill !may (s + k)
+        end
+      done
+    end;
+    let instr = Program.slot_instr program ~block ~pos in
+    match prefetch_target layout instr with
+    | None -> ()
+    | Some tb ->
+      if not (pinned tb) then begin
+        must := Abstract.fill !must tb;
+        if with_may then may := Abstract.fill !may tb
+      end
+  done;
+  (!must, !may)
+
+let run ?(with_may = true) ?(hw_next_n = 0) ?(pinned = fun _ -> false) vivu layout
+    config =
+  let n = Vivu.node_count vivu in
+  let program = Vivu.program vivu in
+  let cold_must = Abstract.empty config Abstract.Must in
+  let cold_may = Abstract.empty config Abstract.May in
+  let out_states : (Abstract.t * Abstract.t) option array = Array.make n None in
+  let in_states : (Abstract.t * Abstract.t) option array = Array.make n None in
+  let entry = Vivu.entry vivu in
+  let topo = Vivu.topo vivu in
+  let join_in node_id =
+    let preds = Vivu.all_pred vivu node_id in
+    let avail = List.filter_map (fun p -> out_states.(p)) preds in
+    match (avail, node_id = entry) with
+    | [], true -> Some (cold_must, cold_may)
+    | [], false -> None
+    | (m0, y0) :: rest, is_entry ->
+      let m, y =
+        List.fold_left
+          (fun (m, y) (m', y') -> (Abstract.join m m', Abstract.join y y'))
+          (m0, y0) rest
+      in
+      if is_entry then Some (Abstract.join m cold_must, Abstract.join y cold_may)
+      else Some (m, y)
+  in
+  let passes = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr passes;
+    if !passes > n + 1000 then failwith "Analysis.run: fixpoint did not converge";
+    changed := false;
+    Array.iter
+      (fun node_id ->
+        match join_in node_id with
+        | None -> ()
+        | Some input ->
+          in_states.(node_id) <- Some input;
+          let output =
+            transfer ~vivu ~layout ~with_may ~hw_next_n ~pinned ~record:None node_id
+              input
+          in
+          let same =
+            match out_states.(node_id) with
+            | None -> false
+            | Some (m, y) ->
+              Abstract.equal m (fst output) && Abstract.equal y (snd output)
+          in
+          if not same then begin
+            out_states.(node_id) <- Some output;
+            changed := true
+          end)
+      topo
+  done;
+  (* Final recording pass from converged in-states. *)
+  let classif =
+    Array.init n (fun node_id ->
+        let nd = Vivu.node vivu node_id in
+        Array.make
+          (max 1 (Program.slots program nd.Vivu.block))
+          Classification.Not_classified)
+  in
+  let in_must = Array.make n cold_must and in_may = Array.make n cold_may in
+  Array.iter
+    (fun node_id ->
+      let input =
+        match in_states.(node_id) with
+        | Some s -> s
+        | None -> (cold_must, cold_may)
+      in
+      in_must.(node_id) <- fst input;
+      in_may.(node_id) <- snd input;
+      ignore
+        (transfer ~vivu ~layout ~with_may ~hw_next_n ~pinned ~record:(Some classif)
+           node_id input))
+    topo;
+  { vivu; layout; config; in_must; in_may; classif; passes = !passes }
+
+let vivu t = t.vivu
+let layout t = t.layout
+let config t = t.config
+let classif t ~node ~pos = t.classif.(node).(pos)
+let in_must t node = t.in_must.(node)
+let in_may t node = t.in_may.(node)
+
+let slot_mem_block t ~node ~pos =
+  let nd = Vivu.node t.vivu node in
+  slot_mem_block_of t.layout ~block:nd.Vivu.block ~pos
+
+let prefetch_target_block t ~node ~pos =
+  let nd = Vivu.node t.vivu node in
+  let instr = Program.slot_instr (Vivu.program t.vivu) ~block:nd.Vivu.block ~pos in
+  prefetch_target t.layout instr
+
+let miss_count_bound t =
+  let program = Vivu.program t.vivu in
+  let total = ref 0 in
+  Array.iteri
+    (fun node_id per_slot ->
+      let nd = Vivu.node t.vivu node_id in
+      let n_slots = Program.slots program nd.Vivu.block in
+      let misses = ref 0 in
+      for pos = 0 to n_slots - 1 do
+        if Classification.is_wcet_miss per_slot.(pos) then incr misses
+      done;
+      total := !total + (Vivu.mult t.vivu node_id * !misses))
+    t.classif;
+  !total
+
+let fixpoint_passes t = t.passes

@@ -1,0 +1,61 @@
+(** Cache-aware abstract interpretation over the VIVU-expanded graph.
+
+    Runs the must and may analyses to a sound fixpoint (iteration edges
+    of rest contexts included) and classifies every instruction slot of
+    every expanded node.  Prefetch instructions apply the
+    prefetch-extended abstract semantics: their own fetch is classified
+    like any reference, and the targeted memory block is installed as
+    most-recently-used. *)
+
+type t
+
+val run :
+  ?with_may:bool ->
+  ?hw_next_n:int ->
+  ?pinned:(int -> bool) ->
+  Ucp_cfg.Vivu.t ->
+  Ucp_isa.Layout.t ->
+  Ucp_cache.Config.t ->
+  t
+(** Run both analyses.  [~with_may:false] skips the may analysis, in
+    which case unclassified references are reported [Not_classified]
+    rather than [Always_miss] — the WCET bound is unchanged (both are
+    charged as misses), and the optimizer's inner loop uses this to
+    halve the fixpoint cost.
+
+    [~hw_next_n:n] enables the next-N-line-always hardware prefetcher
+    in the abstract semantics (the extension of the classical update
+    the paper cites as [22]): every demand reference additionally
+    installs the [n] sequentially following memory blocks.
+
+    [~pinned] marks memory blocks held in locked ways (the hybrid
+    locking+prefetching schemes [16, 2] of the paper's perspectives):
+    pinned references are always-hits and never enter the replacement
+    state — pass the configuration of the {e unlocked} ways.
+    @raise Invalid_argument if a prefetch instruction targets a uid
+    absent from the program. *)
+
+val vivu : t -> Ucp_cfg.Vivu.t
+val layout : t -> Ucp_isa.Layout.t
+val config : t -> Ucp_cache.Config.t
+
+val classif : t -> node:int -> pos:int -> Classification.t
+(** Classification of an instruction slot of an expanded node. *)
+
+val in_must : t -> int -> Ucp_cache.Abstract.t
+(** Sound must state on entry to a node (join over all predecessors). *)
+
+val in_may : t -> int -> Ucp_cache.Abstract.t
+
+val slot_mem_block : t -> node:int -> pos:int -> int
+(** [S(r)]: memory block fetched by the slot (the slot's own address). *)
+
+val prefetch_target_block : t -> node:int -> pos:int -> int option
+(** For a prefetch slot, the memory block it loads. *)
+
+val miss_count_bound : t -> int
+(** Σ over expanded nodes of [mult x] WCET-charged misses — the
+    analysis' upper bound on demand misses (used by Condition 2). *)
+
+val fixpoint_passes : t -> int
+(** Number of sweeps the fixpoint needed (diagnostics). *)

@@ -1,0 +1,181 @@
+module Vivu = Ucp_cfg.Vivu
+module Program = Ucp_isa.Program
+module Layout = Ucp_isa.Layout
+module Cacti = Ucp_energy.Cacti
+
+type t = {
+  analysis : Analysis.t;
+  model : Cacti.t;
+  slot_cycles : int array array;
+  node_cycles : int array;
+  n_w : int array;
+  on_path : bool array;
+  path : int array;
+  tau : int;
+}
+
+let cycles_of model cls =
+  if Classification.is_wcet_miss cls then
+    model.Cacti.hit_cycles + model.Cacti.miss_penalty
+  else model.Cacti.hit_cycles
+
+(* Longest path over the DAG with per-node weights = cycles x
+   multiplicity; returns the total and the path (entry first). *)
+let longest_path vivu ~node_cycles =
+  let n = Vivu.node_count vivu in
+  let weight id = node_cycles.(id) * Vivu.mult vivu id in
+  let dist = Array.make n min_int in
+  let best_pred = Array.make n (-1) in
+  let entry = Vivu.entry vivu in
+  Array.iter
+    (fun id ->
+      if id = entry then dist.(id) <- weight id
+      else begin
+        let best = ref min_int and arg = ref (-1) in
+        List.iter
+          (fun p ->
+            if dist.(p) > !best || (dist.(p) = !best && p < !arg) then begin
+              best := dist.(p);
+              arg := p
+            end)
+          (Vivu.dag_pred vivu id);
+        if !best > min_int then begin
+          dist.(id) <- !best + weight id;
+          best_pred.(id) <- !arg
+        end
+      end)
+    (Vivu.topo vivu);
+  let best_exit =
+    List.fold_left
+      (fun acc e ->
+        match acc with
+        | None -> if dist.(e) > min_int then Some e else None
+        | Some b -> if dist.(e) > dist.(b) then Some e else acc)
+      None (Vivu.exit_nodes vivu)
+  in
+  let best_exit =
+    match best_exit with
+    | Some e -> e
+    | None -> invalid_arg "Wcet.longest_path: no exit reachable from the entry"
+  in
+  let rec walk id acc = if id = entry then id :: acc else walk best_pred.(id) (id :: acc) in
+  (dist.(best_exit), Array.of_list (walk best_exit []))
+
+let of_analysis analysis model =
+  let vivu = Analysis.vivu analysis in
+  let program = Vivu.program vivu in
+  let n = Vivu.node_count vivu in
+  let slot_cycles =
+    Array.init n (fun node_id ->
+        let nd = Vivu.node vivu node_id in
+        let n_slots = Program.slots program nd.Vivu.block in
+        Array.init n_slots (fun pos ->
+            cycles_of model (Analysis.classif analysis ~node:node_id ~pos)))
+  in
+  let node_cycles = Array.map (Array.fold_left ( + ) 0) slot_cycles in
+  let tau, path = longest_path vivu ~node_cycles in
+  let on_path = Array.make n false in
+  Array.iter (fun id -> on_path.(id) <- true) path;
+  let n_w = Array.init n (fun id -> if on_path.(id) then Vivu.mult vivu id else 0) in
+  { analysis; model; slot_cycles; node_cycles; n_w; on_path; path; tau }
+
+let compute ?with_may ?hw_next_n ?pinned program config model =
+  let layout = Layout.make program ~block_bytes:config.Ucp_cache.Config.block_bytes in
+  let vivu = Vivu.expand program in
+  let analysis = Analysis.run ?with_may ?hw_next_n ?pinned vivu layout config in
+  of_analysis analysis model
+
+let path_refs t =
+  let vivu = Analysis.vivu t.analysis in
+  let program = Vivu.program vivu in
+  let acc = ref [] in
+  Array.iter
+    (fun node_id ->
+      let nd = Vivu.node vivu node_id in
+      for pos = 0 to Program.slots program nd.Vivu.block - 1 do
+        acc := (node_id, pos) :: !acc
+      done)
+    t.path;
+  Array.of_list (List.rev !acc)
+
+let wcet_misses t =
+  let vivu = Analysis.vivu t.analysis in
+  let program = Vivu.program vivu in
+  let total = ref 0 in
+  Array.iter
+    (fun node_id ->
+      let nd = Vivu.node vivu node_id in
+      let n_slots = Program.slots program nd.Vivu.block in
+      for pos = 0 to n_slots - 1 do
+        if Classification.is_wcet_miss (Analysis.classif t.analysis ~node:node_id ~pos)
+        then total := !total + t.n_w.(node_id)
+      done)
+    t.path;
+  !total
+
+(* Sound residual bound: every execution of a prefetch can stall its
+   first later access to the target block by at most
+   Λ - (minimum number of intervening slots), because each slot costs
+   at least one cycle on every execution path.  The minimum is taken
+   over ALL paths of the expanded DAG (breadth-first search on slots),
+   so the charge covers alternate paths too, and it is weighted by the
+   prefetch instance's full multiplicity, not just its WCET-path count. *)
+let residual_prefetch_stall t =
+  let analysis = t.analysis in
+  let vivu = Analysis.vivu analysis in
+  let program = Vivu.program vivu in
+  let lambda = t.model.Cacti.prefetch_latency in
+  let slots node = Program.slots program (Vivu.node vivu node).Vivu.block in
+  (* shortest slot-distance from just after (node0, pos0) to any access
+     of [target]; None when no path reaches one *)
+  let min_distance_to_use ~node0 ~pos0 ~target =
+    (* 0/1-weighted shortest path processed in distance buckets: slot
+       steps cost one, block-to-block transitions cost nothing.  Only
+       distances below Λ matter (beyond that the shortfall is zero). *)
+    let buckets = Array.make (lambda + 1) [] in
+    buckets.(0) <- [ (node0, pos0 + 1) ];
+    let visited = Hashtbl.create 64 in
+    let result = ref None in
+    (try
+       for dist = 0 to lambda do
+         let rec drain () =
+           match buckets.(dist) with
+           | [] -> ()
+           | (node, pos) :: rest ->
+             buckets.(dist) <- rest;
+             if not (Hashtbl.mem visited (node, pos)) then begin
+               Hashtbl.replace visited (node, pos) ();
+               if pos >= slots node then
+                 List.iter (fun s -> buckets.(dist) <- (s, 0) :: buckets.(dist))
+                   (Vivu.dag_succ vivu node)
+               else if Analysis.slot_mem_block analysis ~node ~pos = target then begin
+                 result := Some dist;
+                 raise Exit
+               end
+               else if dist < lambda then
+                 buckets.(dist + 1) <- (node, pos + 1) :: buckets.(dist + 1)
+             end;
+             drain ()
+         in
+         drain ()
+       done
+     with Exit -> ());
+    !result
+  in
+  let total = ref 0 in
+  for node = 0 to Vivu.node_count vivu - 1 do
+    if Vivu.mult vivu node > 0 then
+      for pos = 0 to slots node - 1 do
+        match Analysis.prefetch_target_block analysis ~node ~pos with
+        | None -> ()
+        | Some target -> (
+          match min_distance_to_use ~node0:node ~pos0:pos ~target with
+          | None -> ()
+          | Some dist ->
+            let shortfall = lambda - dist in
+            if shortfall > 0 then total := !total + (shortfall * Vivu.mult vivu node))
+      done
+  done;
+  !total
+
+let tau_with_residual t = t.tau + residual_prefetch_stall t

@@ -1,0 +1,63 @@
+(** WCET computation: timing of classified references and the longest
+    path over the VIVU-expanded DAG (the WCET scenario of Section 3.3).
+
+    The longest path plays the role of the IPET ILP solution: on the
+    expanded acyclic graph with per-node execution multiplicities the
+    two coincide (property-tested against {!Ipet}).  It yields the
+    per-node WCET-scenario execution counts [n_w] and the memory
+    system's total contribution τ{_w} (Equation 3). *)
+
+type t = {
+  analysis : Analysis.t;
+  model : Ucp_energy.Cacti.t;
+  slot_cycles : int array array;
+      (** per expanded node and slot: [t_w(r)], the reference's memory
+          time in the WCET scenario (per single execution) *)
+  node_cycles : int array;  (** per node: sum over its slots *)
+  n_w : int array;  (** per node: executions in the WCET scenario *)
+  on_path : bool array;
+  path : int array;  (** WCET path as expanded node ids, entry first *)
+  tau : int;  (** τ_w: total memory contribution to the WCET, cycles *)
+}
+
+val compute :
+  ?with_may:bool ->
+  ?hw_next_n:int ->
+  ?pinned:(int -> bool) ->
+  Ucp_isa.Program.t ->
+  Ucp_cache.Config.t ->
+  Ucp_energy.Cacti.t ->
+  t
+(** Full pipeline: layout, VIVU expansion, abstract interpretation,
+    timing, longest path.  [~with_may], [~hw_next_n] and [~pinned] are
+    forwarded to {!Analysis.run}. *)
+
+val of_analysis : Analysis.t -> Ucp_energy.Cacti.t -> t
+(** Timing + path on an existing analysis. *)
+
+val longest_path : Ucp_cfg.Vivu.t -> node_cycles:int array -> int * int array
+(** [(tau, path)] of the weighted longest path, where each node costs
+    [node_cycles.(id) * mult id].  Exposed for alternative timing
+    classifiers (e.g. locked caches). *)
+
+val path_refs : t -> (int * int) array
+(** All references along the WCET path as [(node, pos)], in execution
+    order — the reverse sweep of the optimizer walks this backwards. *)
+
+val wcet_misses : t -> int
+(** Number of WCET-charged misses along the path, weighted by [n_w]. *)
+
+val residual_prefetch_stall : t -> int
+(** Conservative extra WCET cycles charged when prefetches are not
+    provably effective.  Every execution of every prefetch instance is
+    charged [max 0 (lambda - d)], where [d] is the minimum number of
+    instruction slots between the prefetch and the first later access
+    of its target block over {e all} paths of the expanded DAG (each
+    slot costs at least one cycle on any execution).  Near zero for
+    programs optimized by the paper's criterion (Definition 10
+    guarantees effectiveness in the WCET scenario); large for naive
+    baselines such as the basic-block-start inserter of [5]. *)
+
+val tau_with_residual : t -> int
+(** [tau t + residual_prefetch_stall t] — the sound bound for programs
+    with unchecked prefetches. *)

@@ -1,0 +1,1 @@
+lib/workloads/dsl.ml: Array Hashtbl List Printf Ucp_isa

@@ -1,0 +1,1 @@
+lib/workloads/dsl.mli: Ucp_isa

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Dsl List Printf Ucp_isa

@@ -1,0 +1,160 @@
+module Program = Ucp_isa.Program
+module Branch_model = Ucp_isa.Branch_model
+
+type stmt =
+  | Compute of int
+  | If of Branch_model.t * stmt list * stmt list
+  | Loop of { bound : int; trips : int; body : stmt list }
+  | Call of string
+  | Far of stmt list
+
+let compute n = Compute n
+let if_ ?(p = 0.5) then_ else_ = If (Branch_model.Bernoulli p, then_, else_)
+let if_every k then_ else_ = If (Branch_model.Every k, then_, else_)
+
+let loop ?bound trips body =
+  let bound = match bound with Some b -> b | None -> trips in
+  Loop { bound; trips; body }
+
+let call name = Call name
+let far_call name = Far [ Call name ]
+
+(* Block under construction; terminators are patched in as the
+   structure unfolds. *)
+type bterm =
+  | T_fall of int
+  | T_jump of int
+  | T_cond of { taken : int; fallthrough : int; model : Branch_model.t }
+  | T_return
+
+type bblock = {
+  mutable body : int;
+  mutable term : bterm option;
+  mutable bound : int option;
+  far : bool;  (* lay this block out after the main region *)
+}
+
+type builder = {
+  blocks : (int, bblock) Hashtbl.t;
+  mutable count : int;
+  mutable cur : int;
+  mutable far_depth : int;
+  procs : (string * stmt list) list;
+  name : string;
+}
+
+let new_block b =
+  let id = b.count in
+  b.count <- b.count + 1;
+  Hashtbl.replace b.blocks id
+    { body = 0; term = None; bound = None; far = b.far_depth > 0 };
+  id
+
+let block b id = Hashtbl.find b.blocks id
+
+let emit b n =
+  if n < 0 then invalid_arg (Printf.sprintf "Dsl(%s): negative Compute" b.name);
+  let blk = block b b.cur in
+  blk.body <- blk.body + n
+
+let finish b term =
+  let blk = block b b.cur in
+  assert (blk.term = None);
+  blk.term <- Some term
+
+let rec compile_stmts b stack stmts = List.iter (compile_stmt b stack) stmts
+
+and compile_stmt b stack = function
+  | Compute n -> emit b n
+  | If (model, then_, else_) ->
+    let then_b = new_block b in
+    let else_b = new_block b in
+    finish b (T_cond { taken = then_b; fallthrough = else_b; model });
+    b.cur <- then_b;
+    compile_stmts b stack then_;
+    let then_end = b.cur in
+    b.cur <- else_b;
+    compile_stmts b stack else_;
+    let else_end = b.cur in
+    let join_b = new_block b in
+    b.cur <- then_end;
+    finish b (T_jump join_b);
+    b.cur <- else_end;
+    finish b (T_fall join_b);
+    b.cur <- join_b
+  | Loop { bound; trips; body } ->
+    if body = [] then invalid_arg (Printf.sprintf "Dsl(%s): empty loop body" b.name);
+    if trips < 1 then invalid_arg (Printf.sprintf "Dsl(%s): loop needs >= 1 trip" b.name);
+    if trips > bound then
+      invalid_arg (Printf.sprintf "Dsl(%s): loop trips exceed its bound" b.name);
+    let head = new_block b in
+    finish b (T_fall head);
+    (block b head).bound <- Some bound;
+    b.cur <- head;
+    compile_stmts b stack body;
+    let after = new_block b in
+    finish b
+      (T_cond { taken = head; fallthrough = after; model = Branch_model.trips trips });
+    b.cur <- after
+  | Far body ->
+    let far_entry =
+      (b.far_depth <- b.far_depth + 1;
+       let id = new_block b in
+       b.far_depth <- b.far_depth - 1;
+       id)
+    in
+    finish b (T_jump far_entry);
+    b.cur <- far_entry;
+    b.far_depth <- b.far_depth + 1;
+    compile_stmts b stack body;
+    b.far_depth <- b.far_depth - 1;
+    let back = new_block b in
+    finish b (T_jump back);
+    b.cur <- back
+  | Call name ->
+    if List.mem name stack then
+      invalid_arg (Printf.sprintf "Dsl(%s): recursive call of %s" b.name name);
+    let body =
+      match List.assoc_opt name b.procs with
+      | Some body -> body
+      | None -> invalid_arg (Printf.sprintf "Dsl(%s): unknown procedure %s" b.name name)
+    in
+    compile_stmts b (name :: stack) body
+
+let compile ?(procs = []) ~name stmts =
+  let b =
+    { blocks = Hashtbl.create 32; count = 0; cur = 0; far_depth = 0; procs; name }
+  in
+  let entry = new_block b in
+  b.cur <- entry;
+  compile_stmts b [] stmts;
+  finish b T_return;
+  (* Block ids determine the address layout, so place far-marked blocks
+     after the whole main region: stable permutation + target remap. *)
+  let order =
+    let near = ref [] and far = ref [] in
+    for id = b.count - 1 downto 0 do
+      if (block b id).far then far := id :: !far else near := id :: !near
+    done;
+    Array.of_list (!near @ !far)
+  in
+  let remap = Array.make b.count 0 in
+  Array.iteri (fun new_id old_id -> remap.(old_id) <- new_id) order;
+  let specs =
+    Array.map
+      (fun old_id ->
+        let blk = block b old_id in
+        let spec_term =
+          match blk.term with
+          | None -> assert false
+          | Some (T_fall target) -> Program.S_fallthrough remap.(target)
+          | Some (T_jump target) -> Program.S_jump remap.(target)
+          | Some (T_cond { taken; fallthrough; model }) ->
+            Program.S_cond
+              { taken = remap.(taken); fallthrough = remap.(fallthrough); model }
+          | Some T_return -> Program.S_return
+        in
+        { Program.spec_body = blk.body; spec_term; spec_bound = blk.bound })
+      order
+  in
+  Program.make ~name ~entry:remap.(entry) specs

@@ -1,0 +1,50 @@
+(** Structured-program DSL.
+
+    Workloads are written as structured control flow (sequences,
+    conditionals, bottom-tested loops, inlined procedure calls) and
+    compiled to {!Ucp_isa.Program.t} basic blocks.  Loops carry both the
+    WCET {e bound} and the concrete {e trip count} driving the
+    simulator, so static analysis and trace simulation stay consistent
+    ([trips <= bound] is enforced).
+
+    The CFGs this produces are reducible with a bound on every natural
+    loop header — exactly the preconditions of {!Ucp_cfg.Loops} and the
+    VIVU transformation. *)
+
+type stmt =
+  | Compute of int  (** [n] straight-line instructions *)
+  | If of Ucp_isa.Branch_model.t * stmt list * stmt list
+      (** conditional: model, then-branch (taken), else-branch *)
+  | Loop of { bound : int; trips : int; body : stmt list }
+      (** bottom-tested loop executing [trips] iterations per entry at
+          run time, at most [bound] for the analysis *)
+  | Call of string  (** inline expansion of a named procedure *)
+  | Far of stmt list
+      (** outlined code: the enclosed statements are compiled into
+          blocks placed {e after} the whole main region (jump there,
+          jump back).  Models the non-contiguous layout of real
+          compiled functions, which is what creates conflict evictions
+          at mild cache pressure. *)
+
+val compute : int -> stmt
+val if_ : ?p:float -> stmt list -> stmt list -> stmt
+(** Conditional with a [Bernoulli p] model (default 0.5). *)
+
+val if_every : int -> stmt list -> stmt list -> stmt
+(** Conditional taken on all but every [k]-th execution. *)
+
+val loop : ?bound:int -> int -> stmt list -> stmt
+(** [loop n body] runs exactly [n] iterations; [?bound] (default [n])
+    loosens the static bound. *)
+
+val call : string -> stmt
+
+val far_call : string -> stmt
+(** [far_call name] expands the procedure out of line: [Far [Call name]]. *)
+
+val compile :
+  ?procs:(string * stmt list) list -> name:string -> stmt list -> Ucp_isa.Program.t
+(** Compile a program body.  Procedures are inlined at their call sites
+    (recursion is rejected).
+    @raise Invalid_argument on unknown or recursive calls, empty loops,
+    or [trips > bound]. *)

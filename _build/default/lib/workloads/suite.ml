@@ -1,0 +1,567 @@
+open Dsl
+
+(* Each builder mirrors the documented control structure of its
+   Mälardalen namesake: loop nests and bounds, branch density, and code
+   size class.  Straight-line work is abstracted into [compute]
+   payloads.  Recursive originals (fac, fibcall, recursion) are modeled
+   as bounded loops over the recursion depth, as WCET analyses of the
+   suite commonly do after inlining/flattening. *)
+
+(* ADPCM encoder/decoder: sample loop around quantization if-trees and a
+   short predictor-update loop. *)
+let adpcm =
+  let quantize =
+    [
+      compute 64;
+      if_ ~p:0.5 [ compute 52 ] [ compute 44 ];
+      if_ ~p:0.7 [ compute 38; if_ ~p:0.5 [ compute 30 ] [ compute 22 ] ] [ compute 46 ];
+    ]
+  in
+  let predictor = [ compute 56; if_ ~p:0.5 [ compute 24 ] [ compute 20 ]; compute 40 ] in
+  compile ~name:"adpcm"
+    ~procs:[ ("quantize", quantize); ("predictor", predictor) ]
+    [
+      compute 40;
+      loop 64
+        [
+          compute 76;
+          far_call "quantize";
+          loop 8 [ compute 18 ];
+          if_ ~p:0.5 [ compute 84 ] [ compute 70 ];
+          far_call "predictor";
+          compute 68;
+          far_call "quantize";
+          compute 58;
+        ];
+      compute 20;
+    ]
+
+(* Binary search over 15 elements: a short loop with a three-way test. *)
+let bs =
+  compile ~name:"bs"
+    [
+      compute 8;
+      loop 4 ~bound:5
+        [ compute 6; if_ ~p:0.5 [ compute 4 ] [ compute 5 ]; compute 3 ];
+      compute 4;
+    ]
+
+(* Bubble sort of 100 elements: the classic quadratic double loop with a
+   data-dependent swap. *)
+let bsort100 =
+  compile ~name:"bsort100"
+    [
+      compute 10;
+      loop 50
+        [ compute 4; loop 50 [ compute 5; if_ ~p:0.4 [ compute 6 ] [ compute 1 ] ] ];
+      compute 4;
+    ]
+
+(* Counts non-negative numbers in a 10x10 matrix. *)
+let cnt =
+  compile ~name:"cnt"
+    [
+      compute 12;
+      loop 10
+        [ compute 3; loop 10 [ compute 8; if_ ~p:0.5 [ compute 5 ] [ compute 4 ] ] ];
+      compute 8;
+    ]
+
+(* LZW-style compression: a long input loop over hash-probe if/else
+   chains. *)
+let compress =
+  let probe = [ compute 60; if_ ~p:0.5 [ compute 44 ] [ compute 38 ] ] in
+  compile ~name:"compress"
+    ~procs:[ ("probe", probe) ]
+    [
+      compute 30;
+      loop 128
+        [
+          compute 64;
+          if_ ~p:0.6
+            [ far_call "probe"; compute 48 ]
+            [ compute 88; if_ ~p:0.65 [ compute 52 ] [ compute 34 ] ];
+          compute 58;
+        ];
+      compute 12;
+    ]
+
+(* cover: a loop over three big switch statements (modeled as chains of
+   rarely-taken tests). *)
+let cover =
+  let case n = if_every n [ compute 14 ] [ compute 6 ] in
+  compile ~name:"cover"
+    [
+      compute 8;
+      loop 20
+        [
+          compute 12;
+          case 3; case 4; case 5; case 6; case 7; case 8; case 9; case 10;
+          compute 12;
+          case 3; case 5; case 7; case 9; case 11; case 13;
+          compute 12;
+          case 2; case 4; case 8; case 16; case 6; case 12;
+          compute 12;
+        ];
+      compute 6;
+    ]
+
+(* CRC over 256 message bytes with a bit-test branch per byte. *)
+let crc =
+  let update = [ compute 22; if_ ~p:0.5 [ compute 12 ] [ compute 9 ] ] in
+  compile ~name:"crc"
+    ~procs:[ ("update", update) ]
+    [
+      compute 16;
+      loop 256 [ compute 14; far_call "update"; compute 9 ];
+      compute 8;
+    ]
+
+(* Duff's device: an unrolled copy loop with a large straight body. *)
+let duff =
+  compile ~name:"duff"
+    [ compute 12; loop 16 [ compute 320 ]; compute 6 ]
+
+(* edn: a sequence of DSP kernels (FIR, latsynth, iir, ...) - several
+   independent loop nests executed back to back. *)
+let edn =
+  let mac = [ compute 24 ] in
+  compile ~name:"edn"
+    ~procs:[ ("mac", mac) ]
+    [
+      compute 16;
+      loop 8
+        [
+          compute 30;
+          loop 10 [ compute 22; loop 4 [ compute 9; far_call "mac" ] ];
+          compute 70;
+          loop 6 [ compute 48 ];
+          compute 66;
+          loop 8 [ compute 18; far_call "mac" ];
+          compute 62;
+          loop 8 [ compute 32; if_ ~p:0.5 [ compute 14 ] [ compute 10 ] ];
+          compute 58;
+        ];
+      compute 6;
+    ]
+
+(* Exponential integral: outer series loop with an inner product loop. *)
+let expint =
+  compile ~name:"expint"
+    [
+      compute 14;
+      loop 40
+        [
+          compute 16;
+          loop 10 ~bound:12 [ compute 8 ];
+          if_ ~p:0.75 [ compute 15; compute 9 ] [ compute 11 ];
+          compute 12;
+        ];
+      compute 6;
+    ]
+
+(* Factorial, recursion depth 12, flattened to a loop. *)
+let fac = compile ~name:"fac" [ compute 6; loop 12 [ compute 8 ]; compute 4 ]
+
+(* Forward DCT: two large straight-line passes per block row. *)
+let fdct =
+  compile ~name:"fdct"
+    [ compute 10; loop 8 [ compute 300 ]; loop 8 [ compute 280 ]; compute 8 ]
+
+(* 1024-point FFT: butterfly triple nest plus a twiddle procedure. *)
+let fft1 =
+  let twiddle = [ compute 16; if_ ~p:0.5 [ compute 8 ] [ compute 6 ] ] in
+  compile ~name:"fft1"
+    ~procs:[ ("twiddle", twiddle) ]
+    [
+      compute 24;
+      loop 8
+        [
+          compute 8;
+          loop 16 [ compute 12; far_call "twiddle"; compute 14 ];
+          compute 6;
+        ];
+      loop 32 [ compute 10 ];
+      compute 10;
+    ]
+
+(* Fibonacci by iteration (the original is a recursive call chain). *)
+let fibcall = compile ~name:"fibcall" [ compute 5; loop 30 [ compute 6 ]; compute 3 ]
+
+(* FIR filter over 64 samples with a 16-tap inner product. *)
+let fir =
+  let dot = [ compute 12 ] in
+  compile ~name:"fir"
+    ~procs:[ ("dot", dot) ]
+    [
+      compute 12;
+      loop 64 [ compute 13; loop 4 [ compute 6; far_call "dot" ]; compute 11 ];
+      compute 5;
+    ]
+
+(* icall: indirect handler dispatch, modeled as a selection tree over
+   four inlined handlers. *)
+let icall =
+  let handler n = [ compute (60 + (3 * n)); if_ ~p:0.5 [ compute 22 ] [ compute 16 ] ] in
+  compile ~name:"icall"
+    ~procs:
+      [
+        ("h0", handler 0); ("h1", handler 3); ("h2", handler 6); ("h3", handler 9);
+      ]
+    [
+      compute 10;
+      loop 32
+        [
+          compute 18;
+          if_ ~p:0.25
+            [ far_call "h0" ]
+            [ if_ ~p:0.33 [ far_call "h1" ] [ if_ ~p:0.5 [ far_call "h2" ] [ far_call "h3" ] ] ];
+          compute 15;
+        ];
+      compute 5;
+    ]
+
+(* Insertion sort of 10 elements. *)
+let insertsort =
+  compile ~name:"insertsort"
+    [
+      compute 8;
+      loop 10 [ compute 5; loop 6 ~bound:10 [ compute 7; if_ ~p:0.5 [ compute 3 ] [ compute 2 ] ] ];
+      compute 4;
+    ]
+
+(* janne_complex: two nested while loops whose bounds interact. *)
+let janne_complex =
+  compile ~name:"janne_complex"
+    [
+      compute 8;
+      loop 15
+        [
+          compute 21;
+          loop 12 ~bound:16
+            [ compute 12; if_ ~p:0.65 [ compute 13; if_ ~p:0.5 [ compute 8 ] [ compute 7 ] ] [ compute 9 ] ];
+          if_ ~p:0.5 [ compute 16 ] [ compute 12 ];
+          compute 10;
+        ];
+      compute 6;
+    ]
+
+(* JPEG integer DCT: loop over big straight-line slices. *)
+let jfdctint =
+  compile ~name:"jfdctint"
+    [
+      compute 12;
+      loop 6
+        [ compute 10; loop 4 [ compute 240 ]; compute 8; loop 4 [ compute 225 ] ];
+      compute 10;
+    ]
+
+(* LCD digit decoding: a small loop over a 10-case switch. *)
+let lcdnum =
+  let case n = if_every n [ compute 4 ] [ compute 2 ] in
+  compile ~name:"lcdnum"
+    [
+      compute 5;
+      loop 10 [ compute 3; case 2; case 3; case 4; case 5; case 6; compute 2 ];
+      compute 3;
+    ]
+
+(* LMS adaptive filter: sample loop with filter and update inner loops. *)
+let lms =
+  let tap = [ compute 120 ] in
+  let update = [ compute 150; if_ ~p:0.5 [ compute 56 ] [ compute 48 ] ] in
+  compile ~name:"lms"
+    ~procs:[ ("tap", tap); ("update", update) ]
+    [
+      compute 16;
+      loop 64
+        [
+          compute 160;
+          loop 4 [ compute 66; far_call "tap" ];
+          if_ ~p:0.5 [ compute 132 ] [ compute 112 ];
+          loop 4 [ compute 80; far_call "update" ];
+          compute 150;
+        ];
+      compute 8;
+    ]
+
+(* loop3: a long sequence of simple counted loops. *)
+let loop3 =
+  let seg = loop 10 [ compute 64 ] in
+  compile ~name:"loop3"
+    [
+      compute 6;
+      loop 6
+        [
+          seg; compute 48; seg; compute 48; seg; compute 48; seg; compute 48;
+          seg; compute 48; seg; compute 48; seg; compute 48; seg; compute 48;
+          seg; compute 48; seg; compute 48; seg; compute 48; seg;
+        ];
+      compute 6;
+    ]
+
+(* LU decomposition of a 6x6 system: triangular triple nest. *)
+let ludcmp =
+  let pivot = [ compute 16; if_ ~p:0.6 [ compute 8 ] [ compute 6 ] ] in
+  compile ~name:"ludcmp"
+    ~procs:[ ("pivot", pivot) ]
+    [
+      compute 14;
+      loop 6
+        [
+          compute 14;
+          loop 6 [ compute 12; loop 6 [ compute 9 ] ];
+          far_call "pivot";
+          compute 12;
+        ];
+      loop 6 [ compute 14; loop 6 [ compute 10 ] ];
+      compute 8;
+    ]
+
+(* 12x12 integer matrix multiplication. *)
+let matmult =
+  compile ~name:"matmult"
+    [
+      compute 10;
+      loop 12 [ compute 4; loop 12 [ compute 4; loop 12 [ compute 8 ]; compute 3 ] ];
+      compute 5;
+    ]
+
+(* Matrix inversion with pivoting conditionals. *)
+let minver =
+  let row_elim = [ compute 20; if_ ~p:0.5 [ compute 7 ] [ compute 6 ] ] in
+  compile ~name:"minver"
+    ~procs:[ ("row_elim", row_elim) ]
+    [
+      compute 16;
+      loop 6
+        [
+          compute 18;
+          if_ ~p:0.5 [ compute 15 ] [ compute 12 ];
+          loop 6 [ compute 12; far_call "row_elim" ];
+          loop 6 [ compute 13 ];
+          compute 10;
+        ];
+      compute 10;
+    ]
+
+(* ndes: 16 cipher rounds (modeled as 32 iterations of S-box work). *)
+let ndes =
+  let round = [ compute 48; if_ ~p:0.5 [ compute 20 ] [ compute 17 ]; compute 30 ] in
+  compile ~name:"ndes"
+    ~procs:[ ("round", round) ]
+    [
+      compute 20;
+      loop 32 [ compute 26; far_call "round"; compute 22; far_call "round"; compute 18 ];
+      compute 12;
+    ]
+
+(* ns: search in a 4-dimensional 5x5x5x5 array. *)
+let ns =
+  compile ~name:"ns"
+    [
+      compute 8;
+      loop 5
+        [ compute 2; loop 5 [ compute 2; loop 5 [ compute 2; loop 5 [ compute 6; if_ ~p:0.1 [ compute 4 ] [ compute 1 ] ] ] ] ];
+      compute 4;
+    ]
+
+(* nsichneu: the suite's giant - a Petri-net simulation of hundreds of
+   sequential guarded updates, iterated twice. *)
+let nsichneu =
+  let seg p = if_ ~p [ compute 13; compute 6 ] [ compute 5 ] in
+  let body =
+    let rec build n acc =
+      if n = 0 then List.rev acc
+      else
+        build (n - 1)
+          (seg (if n mod 3 = 0 then 0.5 else if n mod 3 = 1 then 0.65 else 0.8)
+          :: compute 5 :: acc)
+    in
+    build 88 []
+  in
+  compile ~name:"nsichneu" [ compute 10; loop 4 (compute 6 :: body); compute 6 ]
+
+(* Prime sieve over 50 candidates with a trial-division inner loop. *)
+let prime =
+  let divides = [ compute 9; if_ ~p:0.55 [ compute 5 ] [ compute 4 ] ] in
+  compile ~name:"prime"
+    ~procs:[ ("divides", divides) ]
+    [
+      compute 8;
+      loop 50
+        [ compute 12; loop 6 ~bound:8 [ compute 7; far_call "divides" ]; compute 9 ];
+      compute 4;
+    ]
+
+(* Quicksort on 20 elements: partition loops with data-driven branches. *)
+let qsort_exam =
+  let cmp = [ compute 11; if_ ~p:0.5 [ compute 6 ] [ compute 5 ] ] in
+  compile ~name:"qsort_exam"
+    ~procs:[ ("cmp", cmp) ]
+    [
+      compute 12;
+      loop 20
+        [
+          compute 14;
+          loop 6 ~bound:10 [ compute 8; far_call "cmp" ];
+          loop 5 ~bound:10 [ compute 9; if_ ~p:0.5 [ compute 6 ] [ compute 7 ] ];
+          if_ ~p:0.5 [ compute 14 ] [ compute 11 ];
+          compute 8;
+        ];
+      compute 6;
+    ]
+
+(* Square-root computation of quadratic roots (qurt). *)
+let qurt =
+  let sqrt_proc = [ compute 18; loop 12 [ compute 16 ]; compute 12 ] in
+  compile ~name:"qurt"
+    ~procs:[ ("sqrt", sqrt_proc) ]
+    [
+      compute 14;
+      loop 20 [ compute 8; far_call "sqrt"; if_ ~p:0.5 [ compute 7 ] [ compute 5 ]; compute 4 ];
+      compute 6;
+    ]
+
+(* recursion: Ackermann-flavoured mutual recursion flattened to a
+   bounded loop over the call depth. *)
+let recursion =
+  compile ~name:"recursion"
+    [ compute 6; loop 25 [ compute 9; if_ ~p:0.5 [ compute 5 ] [ compute 4 ] ]; compute 4 ]
+
+(* select: selection of the k-th smallest element (partition loops). *)
+let select =
+  let part = [ compute 10; if_ ~p:0.5 [ compute 5 ] [ compute 4 ] ] in
+  compile ~name:"select"
+    ~procs:[ ("part", part) ]
+    [
+      compute 10;
+      loop 15
+        [
+          compute 16;
+          loop 10 ~bound:12 [ compute 9; far_call "part" ];
+          if_ ~p:0.6 [ compute 17 ] [ compute 12 ];
+          compute 9;
+        ];
+      compute 5;
+    ]
+
+(* Integer square root by Newton iteration. *)
+let sqrt_bench =
+  compile ~name:"sqrt"
+    [
+      compute 8;
+      loop 19 [ compute 28; if_ ~p:0.5 [ compute 12 ] [ compute 9 ]; compute 14 ];
+      compute 4;
+    ]
+
+(* st: statistics pipeline - sum, mean, variance, correlation loops over
+   two 50-element arrays. *)
+let st =
+  let acc = [ compute 40 ] in
+  compile ~name:"st"
+    ~procs:[ ("acc", acc) ]
+    [
+      compute 10;
+      loop 8
+        [
+          compute 170;
+          loop 10 [ compute 38; far_call "acc" ];
+          compute 180;
+          loop 10 [ compute 48; far_call "acc" ];
+          compute 172;
+          loop 10 [ compute 82 ];
+          compute 168;
+          loop 10 [ compute 64; if_ ~p:0.5 [ compute 24 ] [ compute 20 ] ];
+          compute 160;
+        ];
+      compute 8;
+    ]
+
+(* statemate: generated statechart code - a shallow loop over many
+   guarded transition blocks. *)
+let statemate =
+  let trans p =
+    if_ ~p
+      [ compute 16; far_call "action"; if_ ~p:0.5 [ compute 12 ] [ compute 10 ] ]
+      [ compute 7 ]
+  in
+  let body =
+    let rec build n acc =
+      if n = 0 then List.rev acc
+      else build (n - 1) (trans (0.45 +. (0.1 *. float_of_int (n mod 5))) :: compute 4 :: acc)
+    in
+    build 30 []
+  in
+  compile ~name:"statemate"
+    ~procs:[ ("action", [ compute 10; if_ ~p:0.5 [ compute 4 ] [ compute 3 ] ]) ]
+    [ compute 12; loop 8 (compute 8 :: body); compute 6 ]
+
+(* ud: LU-based linear system solve, two triangular nests. *)
+let ud =
+  let solve_row = [ compute 13 ] in
+  compile ~name:"ud"
+    ~procs:[ ("solve_row", solve_row) ]
+    [
+      compute 12;
+      loop 8 [ compute 12; loop 8 [ compute 8; far_call "solve_row" ] ];
+      compute 5;
+      loop 8 [ compute 11; loop 8 [ compute 9 ]; if_ ~p:0.5 [ compute 8 ] [ compute 7 ] ];
+      compute 6;
+    ]
+
+let all =
+  [
+    ("adpcm", adpcm);
+    ("bs", bs);
+    ("bsort100", bsort100);
+    ("cnt", cnt);
+    ("compress", compress);
+    ("cover", cover);
+    ("crc", crc);
+    ("duff", duff);
+    ("edn", edn);
+    ("expint", expint);
+    ("fac", fac);
+    ("fdct", fdct);
+    ("fft1", fft1);
+    ("fibcall", fibcall);
+    ("fir", fir);
+    ("icall", icall);
+    ("insertsort", insertsort);
+    ("janne_complex", janne_complex);
+    ("jfdctint", jfdctint);
+    ("lcdnum", lcdnum);
+    ("lms", lms);
+    ("loop3", loop3);
+    ("ludcmp", ludcmp);
+    ("matmult", matmult);
+    ("minver", minver);
+    ("ndes", ndes);
+    ("ns", ns);
+    ("nsichneu", nsichneu);
+    ("prime", prime);
+    ("qsort_exam", qsort_exam);
+    ("qurt", qurt);
+    ("recursion", recursion);
+    ("select", select);
+    ("sqrt", sqrt_bench);
+    ("st", st);
+    ("statemate", statemate);
+    ("ud", ud);
+  ]
+
+let find name = List.assoc name all
+
+let names = List.map fst all
+
+let paper_id name =
+  let rec index i = function
+    | [] -> raise Not_found
+    | (n, _) :: tl -> if n = name then i else index (i + 1) tl
+  in
+  Printf.sprintf "p%d" (1 + index 0 all)
+
+let size_class program =
+  let slots = Ucp_isa.Program.total_slots program in
+  if slots < 150 then "small" else if slots < 700 then "medium" else "large"

@@ -1,0 +1,25 @@
+(** The 37-program workload suite (Table 1 of the paper).
+
+    The paper evaluates on the Mälardalen WCET benchmark compiled to
+    ARMv7.  No C toolchain for the mini-RISC exists here, so each
+    program is hand-modeled in the {!Dsl}: same name, and a control-flow
+    skeleton mirroring the original's documented structure (loop nests,
+    bounds, branchiness, code size class).  The instruction-cache
+    behaviour the technique exercises depends only on those features
+    (see DESIGN.md, substitutions). *)
+
+val all : (string * Ucp_isa.Program.t) list
+(** All 37 programs, in the paper's Table 1 order (["adpcm"] = p1 ...). *)
+
+val find : string -> Ucp_isa.Program.t
+(** @raise Not_found for unknown names. *)
+
+val names : string list
+(** The 37 names. *)
+
+val paper_id : string -> string
+(** ["adpcm"] -> ["p1"] etc.
+    @raise Not_found for unknown names. *)
+
+val size_class : Ucp_isa.Program.t -> string
+(** ["small"] (< 150 slots), ["medium"] (< 700) or ["large"]. *)

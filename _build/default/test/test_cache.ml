@@ -1,0 +1,377 @@
+(* Tests for Ucp_cache: configurations, the concrete LRU cache, and the
+   abstract must/may domains — including the soundness sandwich
+   (must ⊆ concrete ⊆ may) on random access sequences. *)
+
+module Config = Ucp_cache.Config
+module Concrete = Ucp_cache.Concrete
+module Abstract = Ucp_cache.Abstract
+
+let cfg ?(assoc = 2) ?(block = 16) ?(cap = 64) () =
+  Config.make ~assoc ~block_bytes:block ~capacity:cap
+
+(* ------------------------------------------------------------------ *)
+(* Config *)
+
+let test_config_derivation () =
+  let c = cfg ~assoc:2 ~block:16 ~cap:256 () in
+  Alcotest.(check int) "sets" 8 c.Config.sets
+
+let test_config_validation () =
+  Alcotest.(check bool) "capacity mismatch" true
+    (try
+       ignore (Config.make ~assoc:2 ~block_bytes:16 ~capacity:100);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "block not multiple of 4" true
+    (try
+       ignore (Config.make ~assoc:1 ~block_bytes:10 ~capacity:100);
+       false
+     with Invalid_argument _ -> true)
+
+let test_paper_configs () =
+  Alcotest.(check int) "36 configurations" 36 (List.length Config.paper_configs);
+  let k1 = List.assoc "k1" Config.paper_configs in
+  Alcotest.(check int) "k1 assoc" 1 k1.Config.assoc;
+  Alcotest.(check int) "k1 block" 16 k1.Config.block_bytes;
+  Alcotest.(check int) "k1 capacity" 256 k1.Config.capacity;
+  let k36 = List.assoc "k36" Config.paper_configs in
+  Alcotest.(check int) "k36 assoc" 4 k36.Config.assoc;
+  Alcotest.(check int) "k36 block" 32 k36.Config.block_bytes;
+  Alcotest.(check int) "k36 capacity" 8192 k36.Config.capacity
+
+let test_scaled_capacity () =
+  let c = cfg ~assoc:2 ~block:16 ~cap:256 () in
+  (match Config.half_capacity c with
+  | Some h -> Alcotest.(check int) "half" 128 h.Config.capacity
+  | None -> Alcotest.fail "half should exist");
+  let tiny = cfg ~assoc:2 ~block:16 ~cap:32 () in
+  Alcotest.(check bool) "no half below one set" true (Config.half_capacity tiny = None)
+
+(* ------------------------------------------------------------------ *)
+(* Concrete *)
+
+let test_lru_eviction_order () =
+  (* one set, two ways *)
+  let c = Concrete.create (cfg ~assoc:2 ~block:16 ~cap:32 ()) in
+  Alcotest.(check bool) "miss 1" true (Concrete.access c 0 = Concrete.Miss None);
+  Alcotest.(check bool) "miss 2" true (Concrete.access c 1 = Concrete.Miss None);
+  Alcotest.(check bool) "hit refreshes" true (Concrete.access c 0 = Concrete.Hit);
+  (* now LRU is 1 *)
+  Alcotest.(check bool) "evicts LRU" true (Concrete.access c 2 = Concrete.Miss (Some 1));
+  Alcotest.(check (list int)) "contents" [ 0; 2 ] (Concrete.contents c)
+
+let test_set_isolation () =
+  let c = Concrete.create (cfg ~assoc:1 ~block:16 ~cap:32 ()) in
+  ignore (Concrete.access c 0);
+  ignore (Concrete.access c 1);
+  Alcotest.(check bool) "different sets coexist" true
+    (Concrete.contains c 0 && Concrete.contains c 1)
+
+let test_fill_refresh () =
+  let c = Concrete.create (cfg ~assoc:2 ~block:16 ~cap:32 ()) in
+  ignore (Concrete.access c 0);
+  ignore (Concrete.access c 1);
+  ignore (Concrete.fill c 0);
+  (* 0 is MRU again; inserting 2 must evict 1 *)
+  Alcotest.(check bool) "fill refreshed recency" true
+    (Concrete.access c 2 = Concrete.Miss (Some 1))
+
+let test_age_tracking () =
+  let c = Concrete.create (cfg ~assoc:4 ~block:16 ~cap:64 ()) in
+  ignore (Concrete.access c 0);
+  ignore (Concrete.access c 4);
+  ignore (Concrete.access c 8);
+  Alcotest.(check (option int)) "age of most recent" (Some 0) (Concrete.age c 8);
+  Alcotest.(check (option int)) "age of oldest" (Some 2) (Concrete.age c 0);
+  Alcotest.(check (option int)) "absent" None (Concrete.age c 12)
+
+let test_copy_independent () =
+  let c = Concrete.create (cfg ()) in
+  ignore (Concrete.access c 0);
+  let d = Concrete.copy c in
+  ignore (Concrete.access d 4);
+  Alcotest.(check bool) "copy does not leak back" false (Concrete.contains c 4)
+
+(* ------------------------------------------------------------------ *)
+(* Abstract: unit behaviour *)
+
+let test_must_update_basics () =
+  let config = cfg ~assoc:2 ~block:16 ~cap:32 () in
+  let m = Abstract.empty config Abstract.Must in
+  let m = Abstract.update m 0 in
+  let m = Abstract.update m 2 in
+  Alcotest.(check (option int)) "recent age 0" (Some 0) (Abstract.age m 2);
+  Alcotest.(check (option int)) "older age 1" (Some 1) (Abstract.age m 0);
+  let m = Abstract.update m 4 in
+  Alcotest.(check bool) "evicted from must" false (Abstract.contains m 0)
+
+let test_must_join_intersects () =
+  let config = cfg ~assoc:2 ~block:16 ~cap:32 () in
+  let a = Abstract.update (Abstract.empty config Abstract.Must) 0 in
+  let b = Abstract.update (Abstract.empty config Abstract.Must) 2 in
+  let j = Abstract.join a b in
+  Alcotest.(check bool) "intersection empty" true (Abstract.blocks j = [])
+
+let test_must_join_max_age () =
+  let config = cfg ~assoc:2 ~block:16 ~cap:32 () in
+  let a = Abstract.update (Abstract.empty config Abstract.Must) 0 in
+  (* in b, 0 is older *)
+  let b =
+    Abstract.update (Abstract.update (Abstract.empty config Abstract.Must) 0) 2
+  in
+  let j = Abstract.join a b in
+  Alcotest.(check (option int)) "max age kept" (Some 1) (Abstract.age j 0)
+
+let test_may_join_unions () =
+  let config = cfg ~assoc:2 ~block:16 ~cap:32 () in
+  let a = Abstract.update (Abstract.empty config Abstract.May) 0 in
+  let b = Abstract.update (Abstract.empty config Abstract.May) 2 in
+  let j = Abstract.join a b in
+  Alcotest.(check (list int)) "union" [ 0; 2 ] (Abstract.blocks j)
+
+let test_victims () =
+  let config = cfg ~assoc:2 ~block:16 ~cap:32 () in
+  let m = Abstract.update (Abstract.update (Abstract.empty config Abstract.Must) 0) 2 in
+  Alcotest.(check (list int)) "victim is the oldest" [ 0 ] (Abstract.victims m 4);
+  Alcotest.(check (list int)) "no victim on refresh" [] (Abstract.victims m 2)
+
+let test_join_kind_mismatch () =
+  let config = cfg () in
+  Alcotest.(check bool) "kind mismatch raises" true
+    (try
+       ignore
+         (Abstract.join
+            (Abstract.empty config Abstract.Must)
+            (Abstract.empty config Abstract.May));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence *)
+
+module Persistence = Ucp_cache.Persistence
+
+let test_persistence_small_scope () =
+  (* two blocks in a 2-way set: both persistent *)
+  let config = cfg ~assoc:2 ~block:16 ~cap:32 () in
+  Alcotest.(check (list int)) "both persist" [ 0; 2 ]
+    (Persistence.analyze_scope config [ 0; 2; 0; 2 ])
+
+let test_persistence_overflow () =
+  (* three blocks cycling through a 2-way set: none persistent *)
+  let config = cfg ~assoc:2 ~block:16 ~cap:32 () in
+  Alcotest.(check (list int)) "none persist" []
+    (Persistence.analyze_scope config [ 0; 2; 4 ])
+
+let test_persistence_disjoint_sets () =
+  (* blocks in different sets never conflict *)
+  let config = cfg ~assoc:1 ~block:16 ~cap:32 () in
+  Alcotest.(check (list int)) "both persist" [ 0; 1 ]
+    (Persistence.analyze_scope config [ 0; 1; 0; 1 ])
+
+let test_persistence_update_saturates () =
+  let config = cfg ~assoc:2 ~block:16 ~cap:32 () in
+  let st = List.fold_left Persistence.update (Persistence.empty config) [ 0; 2; 4 ] in
+  (* 0 was pushed past the associativity: seen but not persistent *)
+  Alcotest.(check bool) "0 seen" true (List.mem 0 (Persistence.seen st));
+  Alcotest.(check bool) "0 not persistent" false (Persistence.is_persistent st 0);
+  Alcotest.(check bool) "4 persistent" true (Persistence.is_persistent st 4)
+
+(* soundness: a block reported persistent for a scope trace misses at
+   most once when the concrete cache loops over that trace *)
+let prop_persistent_blocks_miss_once =
+  QCheck2.Test.make ~name:"persistent blocks miss at most once over repeated scopes"
+    ~count:300
+    QCheck2.Gen.(pair Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence)
+    (fun (config, trace) ->
+      let persistent = Persistence.analyze_scope config trace in
+      let c = Concrete.create config in
+      let misses = Hashtbl.create 8 in
+      for _ = 1 to 4 do
+        List.iter
+          (fun mb ->
+            match Concrete.access c mb with
+            | Concrete.Hit -> ()
+            | Concrete.Miss _ ->
+              Hashtbl.replace misses mb (1 + (try Hashtbl.find misses mb with Not_found -> 0)))
+          trace
+      done;
+      List.for_all
+        (fun mb -> (try Hashtbl.find misses mb with Not_found -> 0) <= 1)
+        persistent)
+
+(* ------------------------------------------------------------------ *)
+(* FIFO policy *)
+
+let test_fifo_no_reorder_on_hit () =
+  let c = Concrete.create ~policy:Concrete.Fifo (cfg ~assoc:2 ~block:16 ~cap:32 ()) in
+  ignore (Concrete.access c 0);
+  ignore (Concrete.access c 2);
+  ignore (Concrete.access c 0);
+  (* under FIFO the hit on 0 did not refresh it: 0 is still the oldest *)
+  Alcotest.(check bool) "evicts first-in" true (Concrete.access c 4 = Concrete.Miss (Some 0))
+
+let test_lru_vs_fifo_divergence () =
+  let seq = [ 0; 2; 0; 4; 0; 2 ] in
+  let run policy =
+    let c = Concrete.create ~policy (cfg ~assoc:2 ~block:16 ~cap:32 ()) in
+    List.map (fun mb -> Concrete.access c mb = Concrete.Hit) seq
+  in
+  Alcotest.(check bool) "policies diverge on this trace" true
+    (run Concrete.Lru <> run Concrete.Fifo)
+
+let prop_fifo_hits_subset_size =
+  QCheck2.Test.make ~name:"fifo keeps at most assoc blocks per set" ~count:200
+    QCheck2.Gen.(pair Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence)
+    (fun (config, seq) ->
+      let c = Concrete.create ~policy:Concrete.Fifo config in
+      List.iter (fun mb -> ignore (Concrete.access c mb)) seq;
+      let ok = ref true in
+      for s = 0 to config.Config.sets - 1 do
+        if List.length (Concrete.resident_in_set c s) > config.Config.assoc then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Abstract vs Concrete: soundness properties *)
+
+let run_concrete config seq =
+  let c = Concrete.create config in
+  List.iter (fun mb -> ignore (Concrete.access c mb)) seq;
+  c
+
+let run_abstract config kind seq =
+  List.fold_left Abstract.update (Abstract.empty config kind) seq
+
+let prop_must_sound =
+  QCheck2.Test.make ~name:"must state is a subset of the concrete cache" ~count:400
+    QCheck2.Gen.(pair Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence)
+    (fun (config, seq) ->
+      let c = run_concrete config seq in
+      let m = run_abstract config Abstract.Must seq in
+      List.for_all (fun mb -> Concrete.contains c mb) (Abstract.blocks m))
+
+let prop_may_complete =
+  QCheck2.Test.make ~name:"concrete cache is a subset of the may state" ~count:400
+    QCheck2.Gen.(pair Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence)
+    (fun (config, seq) ->
+      let c = run_concrete config seq in
+      let m = run_abstract config Abstract.May seq in
+      List.for_all (fun mb -> Abstract.contains m mb) (Concrete.contents c))
+
+let prop_must_age_upper_bound =
+  QCheck2.Test.make ~name:"must ages bound concrete ages from above" ~count:400
+    QCheck2.Gen.(pair Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence)
+    (fun (config, seq) ->
+      let c = run_concrete config seq in
+      let m = run_abstract config Abstract.Must seq in
+      List.for_all
+        (fun mb ->
+          match (Concrete.age c mb, Abstract.age m mb) with
+          | Some concrete, Some bound -> concrete <= bound
+          | None, Some _ -> false
+          | _, None -> true)
+        (Abstract.blocks m))
+
+(* Join soundness: the join over-approximates both inputs in the right
+   direction (must: subset of both; may: superset of both). *)
+let prop_join_direction =
+  QCheck2.Test.make ~name:"join keeps must below and may above its inputs" ~count:300
+    QCheck2.Gen.(
+      triple Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence
+        Ucp_testlib.gen_access_sequence)
+    (fun (config, s1, s2) ->
+      let must1 = run_abstract config Abstract.Must s1 in
+      let must2 = run_abstract config Abstract.Must s2 in
+      let mj = Abstract.join must1 must2 in
+      let may1 = run_abstract config Abstract.May s1 in
+      let may2 = run_abstract config Abstract.May s2 in
+      let yj = Abstract.join may1 may2 in
+      List.for_all
+        (fun mb -> Abstract.contains must1 mb && Abstract.contains must2 mb)
+        (Abstract.blocks mj)
+      && List.for_all (fun mb -> Abstract.contains yj mb) (Abstract.blocks may1)
+      && List.for_all (fun mb -> Abstract.contains yj mb) (Abstract.blocks may2))
+
+(* A must-hit prediction must be a concrete hit for any continuation:
+   classify before an access using the must state, then check the
+   concrete outcome. *)
+let prop_must_hits_are_hits =
+  QCheck2.Test.make ~name:"must-predicted hits are concrete hits" ~count:400
+    QCheck2.Gen.(pair Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence)
+    (fun (config, seq) ->
+      let c = Concrete.create config in
+      let m = ref (Abstract.empty config Abstract.Must) in
+      List.for_all
+        (fun mb ->
+          let predicted_hit = Abstract.contains !m mb in
+          let actual = Concrete.access c mb in
+          m := Abstract.update !m mb;
+          (not predicted_hit) || actual = Concrete.Hit)
+        seq)
+
+let prop_may_misses_are_misses =
+  QCheck2.Test.make ~name:"may-predicted misses are concrete misses" ~count:400
+    QCheck2.Gen.(pair Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence)
+    (fun (config, seq) ->
+      let c = Concrete.create config in
+      let m = ref (Abstract.empty config Abstract.May) in
+      List.for_all
+        (fun mb ->
+          let predicted_miss = not (Abstract.contains !m mb) in
+          let actual = Concrete.access c mb in
+          m := Abstract.update !m mb;
+          (not predicted_miss) || actual <> Concrete.Hit)
+        seq)
+
+let () =
+  Alcotest.run "ucp_cache"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "derivation" `Quick test_config_derivation;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "paper configs" `Quick test_paper_configs;
+          Alcotest.test_case "scaled capacity" `Quick test_scaled_capacity;
+        ] );
+      ( "concrete",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction_order;
+          Alcotest.test_case "set isolation" `Quick test_set_isolation;
+          Alcotest.test_case "fill refresh" `Quick test_fill_refresh;
+          Alcotest.test_case "age tracking" `Quick test_age_tracking;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+        ] );
+      ( "abstract",
+        [
+          Alcotest.test_case "must update" `Quick test_must_update_basics;
+          Alcotest.test_case "must join intersects" `Quick test_must_join_intersects;
+          Alcotest.test_case "must join max age" `Quick test_must_join_max_age;
+          Alcotest.test_case "may join unions" `Quick test_may_join_unions;
+          Alcotest.test_case "victims" `Quick test_victims;
+          Alcotest.test_case "kind mismatch" `Quick test_join_kind_mismatch;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "small scope" `Quick test_persistence_small_scope;
+          Alcotest.test_case "overflow" `Quick test_persistence_overflow;
+          Alcotest.test_case "disjoint sets" `Quick test_persistence_disjoint_sets;
+          Alcotest.test_case "saturation" `Quick test_persistence_update_saturates;
+          QCheck_alcotest.to_alcotest prop_persistent_blocks_miss_once;
+        ] );
+      ( "fifo",
+        [
+          Alcotest.test_case "no reorder on hit" `Quick test_fifo_no_reorder_on_hit;
+          Alcotest.test_case "lru/fifo diverge" `Quick test_lru_vs_fifo_divergence;
+          QCheck_alcotest.to_alcotest prop_fifo_hits_subset_size;
+        ] );
+      ( "soundness",
+        [
+          QCheck_alcotest.to_alcotest prop_must_sound;
+          QCheck_alcotest.to_alcotest prop_may_complete;
+          QCheck_alcotest.to_alcotest prop_must_age_upper_bound;
+          QCheck_alcotest.to_alcotest prop_join_direction;
+          QCheck_alcotest.to_alcotest prop_must_hits_are_hits;
+          QCheck_alcotest.to_alcotest prop_may_misses_are_misses;
+        ] );
+    ]

@@ -1,0 +1,138 @@
+(* Tests for Ucp_core: the pipeline façade, the experiment sweep, and
+   the figure aggregations. *)
+
+module Config = Ucp_cache.Config
+module Tech = Ucp_energy.Tech
+module Pipeline = Ucp_core.Pipeline
+module Experiments = Ucp_core.Experiments
+module Report = Ucp_core.Report
+
+let program = Ucp_workloads.Suite.find "fft1"
+let config = Config.make ~assoc:2 ~block_bytes:16 ~capacity:256
+
+let test_measure_consistency () =
+  let m = Pipeline.measure program config Tech.nm45 in
+  Alcotest.(check bool) "tau positive" true (m.Pipeline.tau > 0);
+  Alcotest.(check bool) "acet within wcet" true (m.Pipeline.acet <= m.Pipeline.tau);
+  Alcotest.(check bool) "energy positive" true (m.Pipeline.energy_pj > 0.0);
+  Alcotest.(check bool) "miss rate sane" true
+    (m.Pipeline.miss_rate >= 0.0 && m.Pipeline.miss_rate <= 1.0)
+
+let test_measure_deterministic () =
+  let a = Pipeline.measure ~seed:3 program config Tech.nm45 in
+  let b = Pipeline.measure ~seed:3 program config Tech.nm45 in
+  Alcotest.(check int) "same acet" a.Pipeline.acet b.Pipeline.acet
+
+let test_compare_optimized_guarantee () =
+  let cmp = Pipeline.compare_optimized program config Tech.nm45 in
+  Alcotest.(check bool) "Theorem 1 via the facade" true
+    (cmp.Pipeline.optimized.Pipeline.tau <= cmp.Pipeline.original.Pipeline.tau)
+
+(* small synthetic sweep for the aggregation functions *)
+let small_records =
+  lazy
+    (Experiments.sweep
+       ~programs:[ ("fft1", Ucp_workloads.Suite.find "fft1"); ("crc", Ucp_workloads.Suite.find "crc") ]
+       ~configs:
+         [
+           ("a", Config.make ~assoc:2 ~block_bytes:16 ~capacity:256);
+           ("b", Config.make ~assoc:2 ~block_bytes:16 ~capacity:512);
+           ("c", Config.make ~assoc:2 ~block_bytes:16 ~capacity:1024);
+         ]
+       ~techs:[ Tech.nm45; Tech.nm32 ] ())
+
+let test_sweep_cardinality () =
+  Alcotest.(check int) "2 x 3 x 2 records" 12 (List.length (Lazy.force small_records))
+
+let test_figure3_rows () =
+  let rows = Experiments.figure3 (Lazy.force small_records) in
+  Alcotest.(check int) "one row per capacity" 3 (List.length rows);
+  List.iter
+    (fun (r : Experiments.size_row) ->
+      Alcotest.(check int) "cases per size" 4 r.Experiments.cases;
+      Alcotest.(check bool) "wcet improvement sane" true
+        (r.Experiments.wcet_improvement >= -0.001 && r.Experiments.wcet_improvement <= 1.0))
+    rows
+
+let test_figure4_rows () =
+  let rows = Experiments.figure4 (Lazy.force small_records) in
+  List.iter
+    (fun (r : Experiments.miss_row) ->
+      Alcotest.(check bool) "miss after <= before (on average)" true
+        (r.Experiments.miss_after <= r.Experiments.miss_before +. 1e-9))
+    rows
+
+let test_figure5_join () =
+  let rows = Experiments.figure5 (Lazy.force small_records) in
+  (* halves exist for 512 and 1024; quarters for 1024 only *)
+  let halves = List.filter (fun (r : Experiments.downsize_row) -> r.Experiments.factor = 2) rows in
+  let quarters = List.filter (fun (r : Experiments.downsize_row) -> r.Experiments.factor = 4) rows in
+  Alcotest.(check int) "half rows" 2 (List.length halves);
+  Alcotest.(check int) "quarter rows" 1 (List.length quarters);
+  List.iter
+    (fun (r : Experiments.downsize_row) ->
+      Alcotest.(check int) "cases joined" 4 r.Experiments.cases)
+    rows
+
+let test_figure7_theorem1 () =
+  let s = Experiments.figure7 (Lazy.force small_records) in
+  Alcotest.(check bool) "no 32nm case grew" true s.Experiments.all_non_increasing;
+  Alcotest.(check int) "only 32nm cases" 6 (List.length s.Experiments.ratios)
+
+let test_figure8_rows () =
+  let rows = Experiments.figure8 (Lazy.force small_records) in
+  List.iter
+    (fun (r : Experiments.exec_row) ->
+      Alcotest.(check bool) "ratio >= 1" true (r.Experiments.exec_ratio >= 1.0 -. 1e-9);
+      Alcotest.(check bool) "max >= avg" true
+        (r.Experiments.max_ratio >= r.Experiments.exec_ratio -. 1e-9))
+    rows
+
+let test_tables () =
+  Alcotest.(check int) "table1 has 37 rows" 37 (List.length (Experiments.table1 ()));
+  Alcotest.(check int) "table2 has 36 rows" 36 (List.length (Experiments.table2 ()))
+
+let test_report_rendering () =
+  let records = Lazy.force small_records in
+  List.iter
+    (fun s -> Alcotest.(check bool) "non-empty" true (String.length s > 40))
+    [
+      Report.table1 ();
+      Report.table2 ();
+      Report.figure3 records;
+      Report.figure4 records;
+      Report.figure5 records;
+      Report.figure7 records;
+      Report.figure8 records;
+      Report.headline records;
+    ]
+
+let test_quick_configs_subset () =
+  List.iter
+    (fun (id, c) ->
+      Alcotest.(check bool) (id ^ " in table 2") true
+        (List.exists (fun (_, c') -> Config.equal c c') Experiments.default_configs))
+    Experiments.quick_configs
+
+let () =
+  Alcotest.run "ucp_core"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "measure consistency" `Quick test_measure_consistency;
+          Alcotest.test_case "measure deterministic" `Quick test_measure_deterministic;
+          Alcotest.test_case "compare guarantee" `Quick test_compare_optimized_guarantee;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "sweep cardinality" `Quick test_sweep_cardinality;
+          Alcotest.test_case "figure 3" `Quick test_figure3_rows;
+          Alcotest.test_case "figure 4" `Quick test_figure4_rows;
+          Alcotest.test_case "figure 5" `Quick test_figure5_join;
+          Alcotest.test_case "figure 7" `Quick test_figure7_theorem1;
+          Alcotest.test_case "figure 8" `Quick test_figure8_rows;
+          Alcotest.test_case "tables" `Quick test_tables;
+          Alcotest.test_case "quick configs" `Quick test_quick_configs_subset;
+        ] );
+      ("report", [ Alcotest.test_case "rendering" `Quick test_report_rendering ]);
+    ]

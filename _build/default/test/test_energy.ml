@@ -1,0 +1,122 @@
+(* Tests for Ucp_energy: the technology table, the mini-CACTI scaling
+   laws, and the energy accounting. *)
+
+module Config = Ucp_cache.Config
+module Tech = Ucp_energy.Tech
+module Cacti = Ucp_energy.Cacti
+module Account = Ucp_energy.Account
+
+let cfg ~assoc ~block ~cap = Config.make ~assoc ~block_bytes:block ~capacity:cap
+
+let test_tech_table () =
+  Alcotest.(check int) "two technologies" 2 (List.length Tech.all);
+  Alcotest.(check bool) "32nm leakier" true
+    (Tech.nm32.Tech.leak_scale > Tech.nm45.Tech.leak_scale);
+  Alcotest.(check bool) "32nm cheaper switching" true
+    (Tech.nm32.Tech.dyn_scale < Tech.nm45.Tech.dyn_scale);
+  Alcotest.(check bool) "32nm faster clock" true
+    (Tech.nm32.Tech.cycle_ns < Tech.nm45.Tech.cycle_ns);
+  Alcotest.(check bool) "32nm larger miss gap" true
+    (Tech.nm32.Tech.dram_latency_cycles > Tech.nm45.Tech.dram_latency_cycles)
+
+let test_cacti_capacity_scaling () =
+  let small = Cacti.model (cfg ~assoc:2 ~block:16 ~cap:256) Tech.nm45 in
+  let big = Cacti.model (cfg ~assoc:2 ~block:16 ~cap:8192) Tech.nm45 in
+  Alcotest.(check bool) "read energy grows with capacity" true
+    (big.Cacti.read_pj > small.Cacti.read_pj);
+  Alcotest.(check bool) "leakage grows with capacity" true
+    (big.Cacti.leak_pj_per_cycle > small.Cacti.leak_pj_per_cycle)
+
+let test_cacti_assoc_scaling () =
+  let dm = Cacti.model (cfg ~assoc:1 ~block:16 ~cap:1024) Tech.nm45 in
+  let sa = Cacti.model (cfg ~assoc:4 ~block:16 ~cap:1024) Tech.nm45 in
+  Alcotest.(check bool) "associativity costs energy" true (sa.Cacti.read_pj > dm.Cacti.read_pj)
+
+let test_cacti_block_scaling () =
+  let narrow = Cacti.model (cfg ~assoc:2 ~block:16 ~cap:1024) Tech.nm45 in
+  let wide = Cacti.model (cfg ~assoc:2 ~block:32 ~cap:1024) Tech.nm45 in
+  Alcotest.(check bool) "wider fills cost more" true (wide.Cacti.fill_pj > narrow.Cacti.fill_pj);
+  Alcotest.(check bool) "wider dram reads cost more" true
+    (wide.Cacti.dram_read_pj > narrow.Cacti.dram_read_pj)
+
+let test_cacti_tech_scaling () =
+  let c = cfg ~assoc:2 ~block:16 ~cap:1024 in
+  let m45 = Cacti.model c Tech.nm45 and m32 = Cacti.model c Tech.nm32 in
+  Alcotest.(check bool) "32nm leaks more" true
+    (m32.Cacti.leak_pj_per_cycle > m45.Cacti.leak_pj_per_cycle);
+  Alcotest.(check bool) "32nm reads cheaper" true (m32.Cacti.read_pj < m45.Cacti.read_pj);
+  Alcotest.(check bool) "dram dwarfs cache" true (m45.Cacti.dram_read_pj > 5.0 *. m45.Cacti.read_pj)
+
+let test_lambda_equals_penalty () =
+  let m = Cacti.model (cfg ~assoc:2 ~block:16 ~cap:1024) Tech.nm45 in
+  Alcotest.(check int) "prefetch latency = miss penalty" m.Cacti.miss_penalty
+    m.Cacti.prefetch_latency
+
+let test_account_zero () =
+  let m = Cacti.model (cfg ~assoc:2 ~block:16 ~cap:1024) Tech.nm45 in
+  let b = Account.energy m Account.zero in
+  Alcotest.(check (float 1e-9)) "zero counts, zero energy" 0.0 b.Account.total_pj
+
+let test_account_add () =
+  let a = { Account.fetches = 1; hits = 1; misses = 0; prefetch_dram_reads = 2; prefetch_fills = 3; cycles = 4 } in
+  let b = Account.add a a in
+  Alcotest.(check int) "fetches" 2 b.Account.fetches;
+  Alcotest.(check int) "cycles" 8 b.Account.cycles
+
+let test_account_composition () =
+  let m = Cacti.model (cfg ~assoc:2 ~block:16 ~cap:1024) Tech.nm45 in
+  let counts =
+    { Account.fetches = 100; hits = 90; misses = 10; prefetch_dram_reads = 5; prefetch_fills = 5; cycles = 400 }
+  in
+  let b = Account.energy m counts in
+  Alcotest.(check (float 1e-6)) "total is the sum"
+    (b.Account.cache_dynamic_pj +. b.Account.dram_dynamic_pj +. b.Account.static_pj)
+    b.Account.total_pj;
+  Alcotest.(check bool) "all parts positive" true
+    (b.Account.cache_dynamic_pj > 0.0 && b.Account.dram_dynamic_pj > 0.0 && b.Account.static_pj > 0.0)
+
+let test_account_monotone_in_misses () =
+  let m = Cacti.model (cfg ~assoc:2 ~block:16 ~cap:1024) Tech.nm45 in
+  let base =
+    { Account.fetches = 100; hits = 95; misses = 5; prefetch_dram_reads = 0; prefetch_fills = 0; cycles = 300 }
+  in
+  let worse = { base with Account.hits = 80; misses = 20 } in
+  Alcotest.(check bool) "more misses, more energy" true
+    ((Account.energy m worse).Account.total_pj > (Account.energy m base).Account.total_pj)
+
+let prop_energy_nonnegative =
+  QCheck2.Test.make ~name:"energy is nonnegative" ~count:200
+    QCheck2.Gen.(
+      let* f = int_bound 10000 in
+      let* miss = int_bound f in
+      let* pf = int_bound 100 in
+      let* cyc = int_bound 100000 in
+      return
+        { Account.fetches = f; hits = f - miss; misses = miss; prefetch_dram_reads = pf;
+          prefetch_fills = pf; cycles = cyc })
+    (fun counts ->
+      let m = Cacti.model (cfg ~assoc:2 ~block:16 ~cap:1024) Tech.nm32 in
+      (Account.energy m counts).Account.total_pj >= 0.0)
+
+let () =
+  Alcotest.run "ucp_energy"
+    [
+      ( "tech",
+        [ Alcotest.test_case "table" `Quick test_tech_table ] );
+      ( "cacti",
+        [
+          Alcotest.test_case "capacity scaling" `Quick test_cacti_capacity_scaling;
+          Alcotest.test_case "assoc scaling" `Quick test_cacti_assoc_scaling;
+          Alcotest.test_case "block scaling" `Quick test_cacti_block_scaling;
+          Alcotest.test_case "tech scaling" `Quick test_cacti_tech_scaling;
+          Alcotest.test_case "lambda" `Quick test_lambda_equals_penalty;
+        ] );
+      ( "account",
+        [
+          Alcotest.test_case "zero" `Quick test_account_zero;
+          Alcotest.test_case "add" `Quick test_account_add;
+          Alcotest.test_case "composition" `Quick test_account_composition;
+          Alcotest.test_case "monotone in misses" `Quick test_account_monotone_in_misses;
+          QCheck_alcotest.to_alcotest prop_energy_nonnegative;
+        ] );
+    ]

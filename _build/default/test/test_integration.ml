@@ -1,0 +1,156 @@
+(* End-to-end integration tests: the whole pipeline on real suite
+   programs under paper configurations, checking the guarantees that
+   hold per use case and pinning a few regression values so behaviour
+   changes are caught deliberately. *)
+
+module Config = Ucp_cache.Config
+module Tech = Ucp_energy.Tech
+module Pipeline = Ucp_core.Pipeline
+module Wcet = Ucp_wcet.Wcet
+module Analysis = Ucp_wcet.Analysis
+module Optimizer = Ucp_prefetch.Optimizer
+module Simulator = Ucp_sim.Simulator
+
+let use_cases =
+  [
+    ("fft1", "k2");
+    ("crc", "k1");
+    ("ndes", "k8");
+    ("st", "k14");
+    ("janne_complex", "k3");
+    ("qsort_exam", "k2");
+    ("edn", "k9");
+    ("minver", "k7");
+  ]
+
+let lookup (name, kid) =
+  (name, Ucp_workloads.Suite.find name, List.assoc kid Config.paper_configs)
+
+let test_theorem1_everywhere () =
+  List.iter
+    (fun uc ->
+      let name, program, config = lookup uc in
+      List.iter
+        (fun tech ->
+          let r = Pipeline.optimize program config tech in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s" name tech.Tech.label)
+            true
+            (r.Optimizer.tau_after <= r.Optimizer.tau_before))
+        Tech.all)
+    use_cases
+
+let test_acet_within_wcet_everywhere () =
+  List.iter
+    (fun uc ->
+      let name, program, config = lookup uc in
+      let tech = Tech.nm45 in
+      let m = Pipeline.measure program config tech in
+      Alcotest.(check bool) (name ^ " original") true (m.Pipeline.acet <= m.Pipeline.tau);
+      let r = Pipeline.optimize program config tech in
+      let m' = Pipeline.measure r.Optimizer.program config tech in
+      Alcotest.(check bool) (name ^ " optimized") true (m'.Pipeline.acet <= m'.Pipeline.tau))
+    use_cases
+
+let test_optimized_binaries_run_to_completion () =
+  List.iter
+    (fun uc ->
+      let name, program, config = lookup uc in
+      let r = Pipeline.optimize program config Tech.nm32 in
+      List.iter
+        (fun seed ->
+          let s =
+            Simulator.run ~seed r.Optimizer.program config
+              (Pipeline.model config Tech.nm32)
+          in
+          Alcotest.(check bool) (name ^ " runs") true (s.Simulator.executed > 0))
+        [ 1; 2; 3 ])
+    use_cases
+
+let test_instruction_overhead_bounded () =
+  (* the default budget keeps the dynamic overhead near 5% everywhere *)
+  List.iter
+    (fun uc ->
+      let name, program, config = lookup uc in
+      let tech = Tech.nm45 in
+      let r = Pipeline.optimize program config tech in
+      let model = Pipeline.model config tech in
+      let base = Simulator.run program config model in
+      let opt = Simulator.run r.Optimizer.program config model in
+      let ratio = float_of_int opt.Simulator.executed /. float_of_int base.Simulator.executed in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s overhead %.3f" name ratio)
+        true (ratio <= 1.12))
+    use_cases
+
+let test_prefetch_equivalence_everywhere () =
+  List.iter
+    (fun uc ->
+      let name, program, config = lookup uc in
+      let r = Pipeline.optimize program config Tech.nm45 in
+      Alcotest.(check bool) name true
+        (Ucp_isa.Program.prefetch_equivalent program r.Optimizer.program))
+    use_cases
+
+(* regression pins: catching silent behaviour drift of the whole stack;
+   update the expected values deliberately when the model changes *)
+let test_regression_pins () =
+  let program = Ucp_workloads.Suite.find "fft1" in
+  let config = List.assoc "k2" Config.paper_configs in
+  let m = Pipeline.measure ~seed:42 program config Tech.nm45 in
+  Alcotest.(check bool) "fft1 tau stable band" true
+    (m.Pipeline.tau > 15_000 && m.Pipeline.tau < 40_000);
+  Alcotest.(check bool) "fft1 acet below tau" true (m.Pipeline.acet < m.Pipeline.tau);
+  let cmp = Pipeline.compare_optimized ~seed:42 program config Tech.nm45 in
+  Alcotest.(check bool) "fft1 improves at k2" true
+    (cmp.Pipeline.optimized.Pipeline.tau < cmp.Pipeline.original.Pipeline.tau);
+  let same = Pipeline.measure ~seed:42 program config Tech.nm45 in
+  Alcotest.(check int) "measurement is reproducible" m.Pipeline.acet same.Pipeline.acet
+
+let test_technology_ordering () =
+  (* 32 nm: faster clock but leakier; the energy of the same run must
+     reflect the leakage increase *)
+  let program = Ucp_workloads.Suite.find "st" in
+  let config = List.assoc "k14" Config.paper_configs in
+  let m45 = Pipeline.measure program config Tech.nm45 in
+  let m32 = Pipeline.measure program config Tech.nm32 in
+  Alcotest.(check bool) "32nm costs more energy here" true
+    (m32.Pipeline.energy_pj > m45.Pipeline.energy_pj);
+  Alcotest.(check bool) "32nm has a larger wcet (bigger miss gap)" true
+    (m32.Pipeline.tau >= m45.Pipeline.tau)
+
+let test_downsizing_energy_story () =
+  (* Figure 5's direction on one use case: the optimized binary on a
+     half-size cache consumes less energy than the original on full *)
+  let program = Ucp_workloads.Suite.find "st" in
+  let tech = Tech.nm32 in
+  let full = Config.make ~assoc:2 ~block_bytes:16 ~capacity:8192 in
+  let original = Pipeline.measure program full tech in
+  match Config.half_capacity full with
+  | None -> Alcotest.fail "half config must exist"
+  | Some half ->
+    let r = Pipeline.optimize program half tech in
+    let m = Pipeline.measure r.Optimizer.program half tech in
+    Alcotest.(check bool) "half-size cache + prefetching saves energy" true
+      (m.Pipeline.energy_pj < original.Pipeline.energy_pj)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "guarantees",
+        [
+          Alcotest.test_case "Theorem 1 everywhere" `Quick test_theorem1_everywhere;
+          Alcotest.test_case "ACET within WCET" `Quick test_acet_within_wcet_everywhere;
+          Alcotest.test_case "optimized binaries run" `Quick
+            test_optimized_binaries_run_to_completion;
+          Alcotest.test_case "overhead bounded" `Quick test_instruction_overhead_bounded;
+          Alcotest.test_case "prefetch equivalence" `Quick
+            test_prefetch_equivalence_everywhere;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "regression pins" `Quick test_regression_pins;
+          Alcotest.test_case "technology ordering" `Quick test_technology_ordering;
+          Alcotest.test_case "downsizing energy" `Quick test_downsizing_energy_story;
+        ] );
+    ]

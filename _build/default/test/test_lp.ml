@@ -1,0 +1,367 @@
+(* Tests for Ucp_lp: exact rationals, the two-phase simplex, and the
+   branch & bound ILP. *)
+
+module Q = Ucp_lp.Rational
+module Simplex = Ucp_lp.Simplex
+module Ilp = Ucp_lp.Ilp
+
+let q a b = Q.make a b
+let qi = Q.of_int
+
+let q_testable =
+  Alcotest.testable (fun ppf v -> Q.pp ppf v) Q.equal
+
+(* ------------------------------------------------------------------ *)
+(* Rational *)
+
+let test_normalization () =
+  Alcotest.check q_testable "reduce" (q 1 2) (q 2 4);
+  Alcotest.check q_testable "sign in numerator" (q (-1) 2) (q 1 (-2));
+  Alcotest.check q_testable "zero" Q.zero (q 0 17)
+
+let test_arithmetic () =
+  Alcotest.check q_testable "add" (q 5 6) (Q.add (q 1 2) (q 1 3));
+  Alcotest.check q_testable "sub" (q 1 6) (Q.sub (q 1 2) (q 1 3));
+  Alcotest.check q_testable "mul" (q 1 6) (Q.mul (q 1 2) (q 1 3));
+  Alcotest.check q_testable "div" (q 3 2) (Q.div (q 1 2) (q 1 3))
+
+let test_compare () =
+  Alcotest.(check int) "lt" (-1) (Q.compare (q 1 3) (q 1 2));
+  Alcotest.(check int) "eq" 0 (Q.compare (q 2 4) (q 1 2));
+  Alcotest.(check bool) "min" true (Q.equal (q 1 3) (Q.min (q 1 3) (q 1 2)))
+
+let test_floor_ceil () =
+  Alcotest.(check int) "floor positive" 1 (Q.floor (q 3 2));
+  Alcotest.(check int) "floor negative" (-2) (Q.floor (q (-3) 2));
+  Alcotest.(check int) "ceil positive" 2 (Q.ceil (q 3 2));
+  Alcotest.(check int) "ceil negative" (-1) (Q.ceil (q (-3) 2));
+  Alcotest.(check int) "floor integer" 4 (Q.floor (qi 4))
+
+let test_division_by_zero () =
+  Alcotest.check_raises "make 1 0" Division_by_zero (fun () -> ignore (q 1 0));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero))
+
+let test_to_int_exn () =
+  Alcotest.(check int) "integer" 7 (Q.to_int_exn (qi 7));
+  Alcotest.(check bool) "fraction raises" true
+    (try
+       ignore (Q.to_int_exn (q 1 2));
+       false
+     with Invalid_argument _ -> true)
+
+let test_overflow_detected () =
+  Alcotest.check_raises "mul overflow" Q.Overflow (fun () ->
+      ignore (Q.mul (qi max_int) (qi 3)))
+
+let gen_small_q =
+  QCheck2.Gen.(
+    let* n = int_range (-50) 50 in
+    let* d = int_range 1 20 in
+    return (q n d))
+
+let prop_add_commutative =
+  QCheck2.Test.make ~name:"addition commutes" ~count:300
+    QCheck2.Gen.(pair gen_small_q gen_small_q)
+    (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a))
+
+let prop_mul_distributes =
+  QCheck2.Test.make ~name:"multiplication distributes over addition" ~count:300
+    QCheck2.Gen.(triple gen_small_q gen_small_q gen_small_q)
+    (fun (a, b, c) -> Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)))
+
+let prop_floor_le =
+  QCheck2.Test.make ~name:"floor(x) <= x < floor(x)+1" ~count:300 gen_small_q (fun x ->
+      Q.compare (qi (Q.floor x)) x <= 0 && Q.compare x (qi (Q.floor x + 1)) < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Simplex *)
+
+let solve_max num_vars objective constraints =
+  Simplex.maximize { Simplex.num_vars; objective; constraints }
+
+let test_simplex_basic () =
+  (* max x + y st x <= 4, y <= 3 -> 7 at (4,3) *)
+  match
+    solve_max 2 [| Q.one; Q.one |]
+      [
+        ([| Q.one; Q.zero |], Simplex.Le, qi 4);
+        ([| Q.zero; Q.one |], Simplex.Le, qi 3);
+      ]
+  with
+  | Simplex.Optimal { value; assignment } ->
+    Alcotest.check q_testable "value" (qi 7) value;
+    Alcotest.check q_testable "x" (qi 4) assignment.(0);
+    Alcotest.check q_testable "y" (qi 3) assignment.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_fractional_optimum () =
+  (* max 3x + 2y st x + y <= 4, x + 3y <= 6 -> x=4,y=0 value 12?
+     check: x+y<=4 binds; 3x+2y max at vertex (4,0)=12 or (3,1)=11 -> 12 *)
+  match
+    solve_max 2 [| qi 3; qi 2 |]
+      [
+        ([| Q.one; Q.one |], Simplex.Le, qi 4);
+        ([| Q.one; qi 3 |], Simplex.Le, qi 6);
+      ]
+  with
+  | Simplex.Optimal { value; _ } -> Alcotest.check q_testable "value" (qi 12) value
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_equality_and_ge () =
+  (* max x st x + y = 5, x >= 2, y >= 1  -> x = 4 *)
+  match
+    solve_max 2 [| Q.one; Q.zero |]
+      [
+        ([| Q.one; Q.one |], Simplex.Eq, qi 5);
+        ([| Q.one; Q.zero |], Simplex.Ge, qi 2);
+        ([| Q.zero; Q.one |], Simplex.Ge, qi 1);
+      ]
+  with
+  | Simplex.Optimal { value; _ } -> Alcotest.check q_testable "value" (qi 4) value
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_infeasible () =
+  match
+    solve_max 1 [| Q.one |]
+      [
+        ([| Q.one |], Simplex.Ge, qi 5);
+        ([| Q.one |], Simplex.Le, qi 2);
+      ]
+  with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_unbounded () =
+  match solve_max 1 [| Q.one |] [ ([| Q.one |], Simplex.Ge, qi 0) ] with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_negative_rhs () =
+  (* constraint written with a negative rhs: -x <= -3 means x >= 3 *)
+  match
+    solve_max 1 [| Q.neg Q.one |] [ ([| Q.neg Q.one |], Simplex.Le, qi (-3)) ]
+  with
+  | Simplex.Optimal { value; _ } -> Alcotest.check q_testable "value" (qi (-3)) value
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_minimize () =
+  match
+    Simplex.minimize
+      {
+        Simplex.num_vars = 1;
+        objective = [| Q.one |];
+        constraints = [ ([| Q.one |], Simplex.Ge, qi 2) ];
+      }
+  with
+  | Simplex.Optimal { value; _ } -> Alcotest.check q_testable "value" (qi 2) value
+  | _ -> Alcotest.fail "expected optimal"
+
+(* random LPs: verify the reported optimum dominates random feasible
+   points of a box-constrained problem *)
+let prop_simplex_dominates_feasible_points =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 1 4 in
+      let* c = array_repeat n (map Q.of_int (int_range (-5) 5)) in
+      let* bounds = array_repeat n (map Q.of_int (int_range 0 6)) in
+      return (n, c, bounds))
+  in
+  QCheck2.Test.make ~name:"simplex optimum dominates box corners" ~count:200 gen
+    (fun (n, c, bounds) ->
+      let constraints =
+        List.init n (fun j ->
+            let row = Array.make n Q.zero in
+            row.(j) <- Q.one;
+            (row, Simplex.Le, bounds.(j)))
+      in
+      match Simplex.maximize { Simplex.num_vars = n; objective = c; constraints } with
+      | Simplex.Optimal { value; _ } ->
+        (* optimum of a box problem: sum over j of max(0, c_j) * bound_j *)
+        let expected =
+          Array.to_list (Array.mapi (fun j cj -> if Q.sign cj > 0 then Q.mul cj bounds.(j) else Q.zero) c)
+          |> List.fold_left Q.add Q.zero
+        in
+        Q.equal value expected
+      | _ -> false)
+
+let test_simplex_degenerate_redundant () =
+  (* duplicated and redundant rows must not confuse the pivoting *)
+  match
+    solve_max 2 [| Q.one; Q.one |]
+      [
+        ([| Q.one; Q.zero |], Simplex.Le, qi 3);
+        ([| Q.one; Q.zero |], Simplex.Le, qi 3);
+        ([| Q.one; Q.zero |], Simplex.Le, qi 5);
+        ([| Q.zero; Q.one |], Simplex.Le, qi 2);
+        ([| Q.one; Q.one |], Simplex.Le, qi 10);
+      ]
+  with
+  | Simplex.Optimal { value; _ } -> Alcotest.check q_testable "value" (qi 5) value
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_equality_only () =
+  (* fully determined system: x = 2, y = 3 *)
+  match
+    solve_max 2 [| Q.one; Q.neg Q.one |]
+      [
+        ([| Q.one; Q.zero |], Simplex.Eq, qi 2);
+        ([| Q.zero; Q.one |], Simplex.Eq, qi 3);
+      ]
+  with
+  | Simplex.Optimal { value; assignment } ->
+    Alcotest.check q_testable "value" (qi (-1)) value;
+    Alcotest.check q_testable "x" (qi 2) assignment.(0);
+    Alcotest.check q_testable "y" (qi 3) assignment.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_rational_helpers () =
+  Alcotest.check q_testable "abs" (q 1 2) (Q.abs (q (-1) 2));
+  Alcotest.(check int) "sign neg" (-1) (Q.sign (q (-3) 7));
+  Alcotest.(check int) "sign zero" 0 (Q.sign Q.zero);
+  Alcotest.(check bool) "max" true (Q.equal (q 1 2) (Q.max (q 1 3) (q 1 2)));
+  Alcotest.(check bool) "is_integer" true (Q.is_integer (qi 9));
+  Alcotest.(check bool) "not integer" false (Q.is_integer (q 9 2));
+  Alcotest.(check (float 1e-12)) "to_float" 0.5 (Q.to_float (q 1 2))
+
+(* ------------------------------------------------------------------ *)
+(* Ilp *)
+
+let test_ilp_rounds_down () =
+  (* max x st 2x <= 5 -> LP 2.5, ILP 2 *)
+  match
+    Ilp.maximize
+      {
+        Simplex.num_vars = 1;
+        objective = [| Q.one |];
+        constraints = [ ([| qi 2 |], Simplex.Le, qi 5) ];
+      }
+  with
+  | Ilp.Optimal { value; assignment } ->
+    Alcotest.check q_testable "value" (qi 2) value;
+    Alcotest.(check int) "x" 2 assignment.(0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_ilp_knapsack () =
+  (* max 5x + 4y st 6x + 5y <= 10, x,y in Z+ -> x=1,y=0 value 5?
+     options: (1,0)=5; (0,2)=8. 5*0+4*2=8 with 10<=10 -> 8 *)
+  match
+    Ilp.maximize
+      {
+        Simplex.num_vars = 2;
+        objective = [| qi 5; qi 4 |];
+        constraints = [ ([| qi 6; qi 5 |], Simplex.Le, qi 10) ];
+      }
+  with
+  | Ilp.Optimal { value; _ } -> Alcotest.check q_testable "knapsack" (qi 8) value
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_ilp_infeasible () =
+  (* 2x = 3 has no integer (or rational-with-x-integral) solution *)
+  match
+    Ilp.maximize
+      {
+        Simplex.num_vars = 1;
+        objective = [| Q.one |];
+        constraints =
+          [ ([| qi 2 |], Simplex.Eq, qi 3) ];
+      }
+  with
+  | Ilp.Infeasible -> ()
+  | Ilp.Optimal { value; _ } -> Alcotest.failf "expected infeasible, got %s" (Format.asprintf "%a" Q.pp value)
+  | Ilp.Unbounded -> Alcotest.fail "expected infeasible, got unbounded"
+
+let prop_ilp_below_lp =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 1 3 in
+      let* c = array_repeat n (map Q.of_int (int_range 0 5)) in
+      let* rows = int_range 1 3 in
+      let* constraints =
+        list_repeat rows
+          (let* coeffs = array_repeat n (map Q.of_int (int_range 0 4)) in
+           let* rhs = map Q.of_int (int_range 1 12) in
+           return (coeffs, Simplex.Le, rhs))
+      in
+      return { Simplex.num_vars = n; objective = c; constraints })
+  in
+  QCheck2.Test.make ~name:"ILP optimum <= LP relaxation" ~count:150 gen (fun p ->
+      match (Ilp.maximize p, Simplex.maximize p) with
+      | Ilp.Optimal { value = vi; _ }, Simplex.Optimal { value = vl; _ } ->
+        Q.compare vi vl <= 0
+      | Ilp.Infeasible, Simplex.Infeasible -> true
+      | Ilp.Unbounded, Simplex.Unbounded -> true
+      | Ilp.Optimal _, Simplex.Unbounded -> true
+      | _, _ -> false)
+
+let prop_ilp_assignment_feasible =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 1 3 in
+      let* c = array_repeat n (map Q.of_int (int_range (-3) 5)) in
+      let* rows = int_range 1 3 in
+      let* constraints =
+        list_repeat rows
+          (let* coeffs = array_repeat n (map Q.of_int (int_range 0 4)) in
+           let* rhs = map Q.of_int (int_range 0 12) in
+           return (coeffs, Simplex.Le, rhs))
+      in
+      return { Simplex.num_vars = n; objective = c; constraints })
+  in
+  QCheck2.Test.make ~name:"ILP assignment satisfies all constraints" ~count:150 gen
+    (fun p ->
+      match Ilp.maximize p with
+      | Ilp.Optimal { assignment; _ } ->
+        List.for_all
+          (fun (coeffs, op, rhs) ->
+            let lhs =
+              Array.to_list (Array.mapi (fun j c -> Q.mul c (Q.of_int assignment.(j))) coeffs)
+              |> List.fold_left Q.add Q.zero
+            in
+            match op with
+            | Simplex.Le -> Q.compare lhs rhs <= 0
+            | Simplex.Ge -> Q.compare lhs rhs >= 0
+            | Simplex.Eq -> Q.equal lhs rhs)
+          p.Simplex.constraints
+        && Array.for_all (fun x -> x >= 0) assignment
+      | Ilp.Infeasible | Ilp.Unbounded -> true)
+
+let () =
+  Alcotest.run "ucp_lp"
+    [
+      ( "rational",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "to_int_exn" `Quick test_to_int_exn;
+          Alcotest.test_case "overflow" `Quick test_overflow_detected;
+          Alcotest.test_case "helpers" `Quick test_rational_helpers;
+          QCheck_alcotest.to_alcotest prop_add_commutative;
+          QCheck_alcotest.to_alcotest prop_mul_distributes;
+          QCheck_alcotest.to_alcotest prop_floor_le;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "basic" `Quick test_simplex_basic;
+          Alcotest.test_case "vertex optimum" `Quick test_simplex_fractional_optimum;
+          Alcotest.test_case "equality + ge" `Quick test_simplex_equality_and_ge;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs;
+          Alcotest.test_case "minimize" `Quick test_minimize;
+          Alcotest.test_case "degenerate/redundant" `Quick test_simplex_degenerate_redundant;
+          Alcotest.test_case "equality only" `Quick test_simplex_equality_only;
+          QCheck_alcotest.to_alcotest prop_simplex_dominates_feasible_points;
+        ] );
+      ( "ilp",
+        [
+          Alcotest.test_case "rounds down" `Quick test_ilp_rounds_down;
+          Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
+          Alcotest.test_case "infeasible" `Quick test_ilp_infeasible;
+          QCheck_alcotest.to_alcotest prop_ilp_below_lp;
+          QCheck_alcotest.to_alcotest prop_ilp_assignment_feasible;
+        ] );
+    ]

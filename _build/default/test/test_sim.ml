@@ -1,0 +1,298 @@
+(* Tests for Ucp_sim: deterministic execution, branch models, timing
+   and event accounting, the prefetch port, locked mode, and hardware
+   prefetchers. *)
+
+module Program = Ucp_isa.Program
+module Config = Ucp_cache.Config
+module Cacti = Ucp_energy.Cacti
+module Account = Ucp_energy.Account
+module Simulator = Ucp_sim.Simulator
+module Hw = Ucp_sim.Hw_prefetch
+module Dsl = Ucp_workloads.Dsl
+
+let model = Ucp_testlib.tiny_model
+let config = Config.make ~assoc:2 ~block_bytes:16 ~capacity:64
+
+(* ------------------------------------------------------------------ *)
+(* basic execution *)
+
+let test_straightline_exact_counts () =
+  let p = Dsl.compile ~name:"line" [ Dsl.compute 7 ] in
+  (* 7 compute + 1 return = 8 instructions = 2 memory blocks *)
+  let s = Simulator.run p config model in
+  Alcotest.(check int) "executed" 8 s.Simulator.executed;
+  Alcotest.(check int) "fetches" 8 s.Simulator.counts.Account.fetches;
+  Alcotest.(check int) "misses = block count" 2 s.Simulator.counts.Account.misses;
+  Alcotest.(check int) "cycles" (8 + (2 * model.Cacti.miss_penalty))
+    (Simulator.acet s)
+
+let test_loop_trip_counts () =
+  let p = Dsl.compile ~name:"loop" [ Dsl.loop 5 [ Dsl.compute 3 ] ] in
+  (* per iteration: 3 compute + 1 latch cond; plus 1 return *)
+  let s = Simulator.run p config model in
+  Alcotest.(check int) "executed" ((5 * 4) + 1) s.Simulator.executed
+
+let test_nested_loop_trip_counts () =
+  let p = Dsl.compile ~name:"nest" [ Dsl.loop 3 [ Dsl.loop 4 [ Dsl.compute 1 ] ] ] in
+  (* inner: 4*(1+1) per outer iteration; outer latch: 1 per iteration; return *)
+  let s = Simulator.run p config model in
+  Alcotest.(check int) "executed" ((3 * ((4 * 2) + 1)) + 1) s.Simulator.executed
+
+let test_determinism () =
+  let p = Ucp_workloads.Suite.find "qurt" in
+  let a = Simulator.run ~seed:5 p config model in
+  let b = Simulator.run ~seed:5 p config model in
+  Alcotest.(check int) "same cycles" (Simulator.acet a) (Simulator.acet b);
+  Alcotest.(check int) "same misses" a.Simulator.counts.Account.misses
+    b.Simulator.counts.Account.misses
+
+let test_seed_changes_bernoulli_paths () =
+  let p =
+    Dsl.compile ~name:"b"
+      [ Dsl.loop 50 [ Dsl.if_ ~p:0.5 [ Dsl.compute 9 ] [ Dsl.compute 1 ] ] ]
+  in
+  let a = Simulator.run ~seed:1 p config model in
+  let b = Simulator.run ~seed:2 p config model in
+  Alcotest.(check bool) "different paths" true
+    (a.Simulator.executed <> b.Simulator.executed)
+
+let test_every_model_alternates () =
+  (* if_every 2: taken on the first of every 2 executions *)
+  let p =
+    Dsl.compile ~name:"e" [ Dsl.loop 10 [ Dsl.if_every 2 [ Dsl.compute 5 ] [ Dsl.compute 1 ] ] ]
+  in
+  let s = Simulator.run p config model in
+  (* 5 taken (5 instrs + jump) and 5 not (1 instr, fallthrough join) *)
+  let expected = 10 * 2 (* cond+latch *) + (5 * 6) + (5 * 1) + 1 in
+  Alcotest.(check int) "alternation" expected s.Simulator.executed
+
+let test_max_steps_guard () =
+  let p =
+    Program.make ~name:"inf" ~entry:0
+      [|
+        {
+          Program.spec_body = 1;
+          spec_term =
+            Program.S_cond
+              { taken = 0; fallthrough = 1; model = Ucp_isa.Branch_model.Always_taken };
+          spec_bound = Some 10;
+        };
+        { Program.spec_body = 0; spec_term = Program.S_return; spec_bound = None };
+      |]
+  in
+  Alcotest.(check bool) "diverging branch detected" true
+    (try
+       ignore (Simulator.run ~max_steps:1000 p config model);
+       false
+     with Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* software prefetch port *)
+
+let test_effective_prefetch_hides_latency () =
+  (* prefetch the last block early; a cache large enough to hold the
+     whole program keeps the prefetched block alive until its use *)
+  let roomy = Config.make ~assoc:2 ~block_bytes:16 ~capacity:256 in
+  let p = Dsl.compile ~name:"pf" [ Dsl.compute 20 ] in
+  let last_uid = 19 in
+  let base = Simulator.run p roomy model in
+  let p', _ = Program.insert_prefetch p ~block:0 ~pos:0 ~target_uid:last_uid in
+  let s = Simulator.run p' roomy model in
+  Alcotest.(check int) "one prefetch executed" 1 s.Simulator.executed_prefetches;
+  Alcotest.(check int) "one dram read moved to the port" 1
+    s.Simulator.counts.Account.prefetch_dram_reads;
+  Alcotest.(check int) "one fewer demand miss"
+    (base.Simulator.counts.Account.misses - 1)
+    s.Simulator.counts.Account.misses;
+  Alcotest.(check bool) "cycles improved" true (Simulator.acet s < Simulator.acet base)
+
+let test_late_prefetch_stalls () =
+  (* issue a prefetch for the instruction at a memory-block boundary
+     from the slot just before it: zero slots elapse between issue and
+     use, so the demand access stalls for the full latency (but never
+     more than a genuine miss would) *)
+  let p = Dsl.compile ~name:"late" [ Dsl.compute 30 ] in
+  let layout = Ucp_isa.Layout.make p ~block_bytes:16 in
+  let boundary_pos =
+    let found = ref None in
+    for pos = 1 to 29 do
+      if
+        !found = None
+        && Ucp_isa.Layout.mem_block layout ~block:0 ~pos
+           <> Ucp_isa.Layout.mem_block layout ~block:0 ~pos:(pos - 1)
+      then found := Some pos
+    done;
+    Option.get !found
+  in
+  let target_uid = (Program.slot_instr p ~block:0 ~pos:boundary_pos).Ucp_isa.Instr.uid in
+  let p', _ = Program.insert_prefetch p ~block:0 ~pos:boundary_pos ~target_uid in
+  let s = Simulator.run p' config model in
+  Alcotest.(check int) "stalls for the full latency"
+    model.Cacti.prefetch_latency s.Simulator.late_prefetch_stall_cycles;
+  Alcotest.(check bool) "still cheaper than a miss" true
+    (s.Simulator.late_prefetch_stall_cycles <= model.Cacti.miss_penalty)
+
+let test_prefetch_of_resident_block_is_free () =
+  let p = Dsl.compile ~name:"res" [ Dsl.compute 6 ] in
+  (* target the first instruction: its block is resident by then *)
+  let p', _ = Program.insert_prefetch p ~block:0 ~pos:3 ~target_uid:0 in
+  let s = Simulator.run p' config model in
+  Alcotest.(check int) "no dram read" 0 s.Simulator.counts.Account.prefetch_dram_reads
+
+(* ------------------------------------------------------------------ *)
+(* locked mode *)
+
+let test_locked_mode () =
+  let p = Dsl.compile ~name:"lk" [ Dsl.loop 10 [ Dsl.compute 7 ] ] in
+  let layout = Ucp_isa.Layout.make p ~block_bytes:16 in
+  let blocks = Ucp_isa.Layout.mem_block_ids layout in
+  (* everything locked: all hits *)
+  let s_all = Simulator.run ~locked:blocks p config model in
+  Alcotest.(check int) "all hit" 0 s_all.Simulator.counts.Account.misses;
+  (* nothing locked: all misses *)
+  let s_none = Simulator.run ~locked:[] p config model in
+  Alcotest.(check int) "all miss" s_none.Simulator.counts.Account.fetches
+    s_none.Simulator.counts.Account.misses
+
+(* ------------------------------------------------------------------ *)
+(* hardware prefetchers *)
+
+let test_next_line_helps_streaming () =
+  let p = Dsl.compile ~name:"stream" [ Dsl.compute 200 ] in
+  let base = Simulator.run p config model in
+  let s = Simulator.run ~hw:(Hw.next_line_always ()) p config model in
+  Alcotest.(check bool) "fewer demand misses" true
+    (s.Simulator.counts.Account.misses < base.Simulator.counts.Account.misses);
+  Alcotest.(check bool) "hw issued prefetches" true (s.Simulator.hw_issued > 0)
+
+let test_next_line_tagged_issues_once_per_block () =
+  let p = Dsl.compile ~name:"tag" [ Dsl.loop 5 [ Dsl.compute 7 ] ] in
+  let s = Simulator.run ~hw:(Hw.next_line_tagged ()) p config model in
+  (* the loop touches the same blocks every iteration: the tag bit
+     limits issues to roughly one per distinct block *)
+  let layout = Ucp_isa.Layout.make p ~block_bytes:16 in
+  Alcotest.(check bool) "bounded issues" true
+    (s.Simulator.hw_issued <= Ucp_isa.Layout.code_mem_blocks layout + 1)
+
+let test_rpt_learns_branch_target () =
+  let p =
+    Dsl.compile ~name:"rpt" [ Dsl.loop 20 [ Dsl.compute 2; Dsl.Far [ Dsl.compute 6 ] ] ]
+  in
+  let s =
+    Simulator.run ~hw:(Hw.target_rpt ~size:16 ~block_bytes:16) p config model
+  in
+  ignore s.Simulator.hw_issued;
+  (* conditional latch is the only Cond; rpt learns its target after the
+     first taken execution *)
+  Alcotest.(check bool) "rpt runs" true (s.Simulator.executed > 0)
+
+let test_next_n_line_deeper_coverage () =
+  let p = Dsl.compile ~name:"n2" [ Dsl.compute 200 ] in
+  let one = Simulator.run ~hw:(Hw.next_n_line 1) p config model in
+  let two = Simulator.run ~hw:(Hw.next_n_line 2) p config model in
+  Alcotest.(check bool) "deeper prefetch, no more misses on streaming" true
+    (two.Simulator.counts.Account.misses <= one.Simulator.counts.Account.misses)
+
+let test_wrong_path_issues_both () =
+  (* wrong-path prefetches both target and fall-through once the RPT
+     has learned the branch *)
+  let p =
+    Dsl.compile ~name:"wp" [ Dsl.loop 20 [ Dsl.compute 2; Dsl.if_ ~p:0.5 [ Dsl.compute 5 ] [ Dsl.compute 4 ] ] ]
+  in
+  let rpt = Simulator.run ~hw:(Hw.target_rpt ~size:16 ~block_bytes:16) p config model in
+  let wp = Simulator.run ~hw:(Hw.wrong_path ~size:16 ~block_bytes:16) p config model in
+  Alcotest.(check bool) "wrong-path issues at least as many" true
+    (wp.Simulator.hw_issued >= rpt.Simulator.hw_issued)
+
+let test_locked_ignores_software_prefetch () =
+  let p = Dsl.compile ~name:"lp" [ Dsl.compute 8 ] in
+  let p', _ = Program.insert_prefetch p ~block:0 ~pos:0 ~target_uid:7 in
+  let s = Simulator.run ~locked:[] p' config model in
+  Alcotest.(check int) "no prefetch traffic under locking" 0
+    s.Simulator.counts.Account.prefetch_dram_reads
+
+let test_bernoulli_statistics () =
+  let p =
+    Dsl.compile ~name:"bern"
+      [ Dsl.loop 400 [ Dsl.if_ ~p:0.25 [ Dsl.compute 3 ] [ Dsl.compute 1 ] ] ]
+  in
+  let s = Simulator.run ~seed:7 p config model in
+  (* executed = 400*(cond) + taken*(3+jump) + not*(1) + latch... just
+     check the mix lands between the all-taken and never-taken extremes *)
+  let never = 400 * 2 + (400 * 1) + 1 in
+  let always = 400 * 2 + (400 * 4) + 1 in
+  Alcotest.(check bool) "within extremes" true
+    (s.Simulator.executed > never && s.Simulator.executed < always)
+
+let prop_hw_prefetch_never_increases_misses_on_straightline =
+  QCheck2.Test.make ~name:"next-line never hurts pure streaming" ~count:50
+    QCheck2.Gen.(int_range 20 300)
+    (fun n ->
+      let p = Dsl.compile ~name:"s" [ Dsl.compute n ] in
+      let base = Simulator.run p config model in
+      let s = Simulator.run ~hw:(Hw.next_line_always ()) p config model in
+      s.Simulator.counts.Account.misses <= base.Simulator.counts.Account.misses)
+
+let test_fifo_policy_runs () =
+  let p = Ucp_workloads.Suite.find "crc" in
+  let lru = Simulator.run p config model in
+  let fifo = Simulator.run ~policy:Ucp_cache.Concrete.Fifo p config model in
+  Alcotest.(check int) "same instruction stream" lru.Simulator.executed fifo.Simulator.executed;
+  Alcotest.(check bool) "fifo not better than lru here" true
+    (fifo.Simulator.counts.Account.misses >= lru.Simulator.counts.Account.misses)
+
+let prop_cycles_consistent =
+  QCheck2.Test.make ~name:"cycle count >= executed instructions" ~count:150
+    ~print:Ucp_testlib.print_program Ucp_testlib.gen_program (fun p ->
+      let s = Simulator.run p config model in
+      Simulator.acet s >= s.Simulator.executed)
+
+let prop_counts_add_up =
+  QCheck2.Test.make ~name:"hits + misses = fetches" ~count:150
+    ~print:Ucp_testlib.print_program Ucp_testlib.gen_program (fun p ->
+      let s = Simulator.run p config model in
+      s.Simulator.counts.Account.hits + s.Simulator.counts.Account.misses
+      = s.Simulator.counts.Account.fetches)
+
+let () =
+  Alcotest.run "ucp_sim"
+    [
+      ( "execution",
+        [
+          Alcotest.test_case "straightline counts" `Quick test_straightline_exact_counts;
+          Alcotest.test_case "loop trips" `Quick test_loop_trip_counts;
+          Alcotest.test_case "nested trips" `Quick test_nested_loop_trip_counts;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_bernoulli_paths;
+          Alcotest.test_case "every-k model" `Quick test_every_model_alternates;
+          Alcotest.test_case "max steps" `Quick test_max_steps_guard;
+        ] );
+      ( "prefetch port",
+        [
+          Alcotest.test_case "effective prefetch" `Quick
+            test_effective_prefetch_hides_latency;
+          Alcotest.test_case "late prefetch" `Quick test_late_prefetch_stalls;
+          Alcotest.test_case "resident target" `Quick
+            test_prefetch_of_resident_block_is_free;
+        ] );
+      ("locked", [ Alcotest.test_case "locked mode" `Quick test_locked_mode ]);
+      ( "hardware",
+        [
+          Alcotest.test_case "next-line streaming" `Quick test_next_line_helps_streaming;
+          Alcotest.test_case "tagged" `Quick test_next_line_tagged_issues_once_per_block;
+          Alcotest.test_case "rpt" `Quick test_rpt_learns_branch_target;
+          Alcotest.test_case "next-n deeper" `Quick test_next_n_line_deeper_coverage;
+          Alcotest.test_case "wrong-path" `Quick test_wrong_path_issues_both;
+          Alcotest.test_case "locked ignores sw prefetch" `Quick
+            test_locked_ignores_software_prefetch;
+          Alcotest.test_case "bernoulli statistics" `Quick test_bernoulli_statistics;
+          QCheck_alcotest.to_alcotest prop_hw_prefetch_never_increases_misses_on_straightline;
+        ] );
+      ( "policy",
+        [ Alcotest.test_case "fifo runs" `Quick test_fifo_policy_runs ] );
+      ( "invariants",
+        [
+          QCheck_alcotest.to_alcotest prop_cycles_consistent;
+          QCheck_alcotest.to_alcotest prop_counts_add_up;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Unit and property tests for Ucp_util: deterministic RNG, statistics,
+   table rendering. *)
+
+module Rng = Ucp_util.Rng
+module Stats = Ucp_util.Stats
+module Table = Ucp_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_int_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create 9 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a)
+    (Rng.next_int64 b)
+
+let test_rng_split () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  (* both remain usable and produce different streams *)
+  Alcotest.(check bool) "split streams differ" true
+    (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_bernoulli_frequency () =
+  let rng = Rng.create 21 in
+  let hits = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "frequency near 0.3" true (freq > 0.27 && freq < 0.33)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_mean () = check_float "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ])
+let test_mean_empty () = Alcotest.(check bool) "nan" true (Float.is_nan (Stats.mean []))
+
+let test_geomean () = check_float "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ])
+
+let test_geomean_rejects_nonpositive () =
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Stats.geomean: nonpositive sample") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_stddev () =
+  check_float "stddev of {2,4}" 1.0 (Stats.stddev [ 2.0; 4.0 ]);
+  check_float "stddev of alternating" 1.0 (Stats.stddev [ 1.0; 3.0; 1.0; 3.0 ]);
+  check_float "stddev of constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ])
+
+let test_percentile () =
+  let xs = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  check_float "median" 3.0 (Stats.percentile 50.0 xs);
+  check_float "min" 1.0 (Stats.percentile 0.0 xs);
+  check_float "max" 5.0 (Stats.percentile 100.0 xs)
+
+let test_fraction_below () =
+  check_float "fraction" 0.4 (Stats.fraction_below 3.0 [ 1.0; 2.0; 3.0; 4.0; 5.0 ])
+
+let test_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "n" 4 s.Stats.n;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 4.0 s.Stats.max;
+  check_float "mean" 2.5 s.Stats.mean
+
+let prop_mean_bounds =
+  QCheck2.Test.make ~name:"mean between min and max" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let m = Stats.mean xs in
+      m >= Stats.minimum xs -. 1e-9 && m <= Stats.maximum xs +. 1e-9)
+
+let prop_geomean_le_mean =
+  QCheck2.Test.make ~name:"geometric mean <= arithmetic mean" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range 0.001 100.))
+    (fun xs -> Stats.geomean xs <= Stats.mean xs +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck2.Test.make ~name:"percentiles are monotone" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-50.) 50.))
+    (fun xs ->
+      Stats.percentile 25.0 xs <= Stats.percentile 50.0 xs
+      && Stats.percentile 50.0 xs <= Stats.percentile 75.0 xs)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let t = Table.create [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.sub s 0 1 = "a");
+  Alcotest.(check bool) "contains data" true
+    (String.length (String.concat "" (String.split_on_char '3' s))
+    < String.length s)
+
+let test_table_ragged_rows () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "1" ];
+  Table.add_row t [ "1"; "2"; "3"; "4" ];
+  (* must not raise *)
+  ignore (Table.render t)
+
+let test_cells () =
+  Alcotest.(check string) "pct" "11.2%" (Table.cell_pct 0.112);
+  Alcotest.(check string) "float" "0.5000" (Table.cell_f 0.5)
+
+let () =
+  Alcotest.run "ucp_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int bad bound" `Quick test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli_frequency;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "mean empty" `Quick test_mean_empty;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "geomean nonpositive" `Quick test_geomean_rejects_nonpositive;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "fraction below" `Quick test_fraction_below;
+          Alcotest.test_case "summary" `Quick test_summary;
+          QCheck_alcotest.to_alcotest prop_mean_bounds;
+          QCheck_alcotest.to_alcotest prop_geomean_le_mean;
+          QCheck_alcotest.to_alcotest prop_percentile_monotone;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
+          Alcotest.test_case "cells" `Quick test_cells;
+        ] );
+    ]

@@ -1,0 +1,246 @@
+(* Tests for Ucp_wcet: classification, WCET path analysis, IPET
+   agreement, and the soundness of the bound against the trace
+   simulator. *)
+
+module Program = Ucp_isa.Program
+module Config = Ucp_cache.Config
+module Cacti = Ucp_energy.Cacti
+module Wcet = Ucp_wcet.Wcet
+module Analysis = Ucp_wcet.Analysis
+module Ipet = Ucp_wcet.Ipet
+module Classification = Ucp_wcet.Classification
+module Simulator = Ucp_sim.Simulator
+module Dsl = Ucp_workloads.Dsl
+
+let model = Ucp_testlib.tiny_model
+let config = Config.make ~assoc:2 ~block_bytes:16 ~capacity:64
+
+(* ------------------------------------------------------------------ *)
+(* classification on crafted programs *)
+
+let test_straightline_classification () =
+  (* 8 instructions, 4 per block: the first slot of each block is a cold
+     miss, the rest always hit *)
+  let p = Dsl.compile ~name:"line" [ Dsl.compute 7 ] in
+  let w = Wcet.compute p config model in
+  let refs = Wcet.path_refs w in
+  Array.iteri
+    (fun i (node, pos) ->
+      let cls = Analysis.classif w.Wcet.analysis ~node ~pos in
+      let expected_miss = i mod 4 = 0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d" i)
+        expected_miss
+        (Classification.is_wcet_miss cls))
+    refs
+
+let test_loop_steady_state_hits () =
+  (* a small loop fits in the cache: rest-context slots are all hits *)
+  let p = Dsl.compile ~name:"l" [ Dsl.loop 8 [ Dsl.compute 6 ] ] in
+  let w = Wcet.compute p config model in
+  let vivu = Analysis.vivu w.Wcet.analysis in
+  let rest_nodes =
+    List.filter
+      (fun id ->
+        match List.rev (Ucp_cfg.Vivu.node vivu id).Ucp_cfg.Vivu.ctx with
+        | (_, Ucp_cfg.Vivu.Rest) :: _ -> true
+        | _ -> false)
+      (List.init (Ucp_cfg.Vivu.node_count vivu) (fun i -> i))
+  in
+  Alcotest.(check bool) "has rest nodes" true (rest_nodes <> []);
+  List.iter
+    (fun node ->
+      let nd = Ucp_cfg.Vivu.node vivu node in
+      for pos = 0 to Program.slots (Ucp_cfg.Vivu.program vivu) nd.Ucp_cfg.Vivu.block - 1 do
+        Alcotest.(check bool) "rest slot hits" false
+          (Classification.is_wcet_miss (Analysis.classif w.Wcet.analysis ~node ~pos))
+      done)
+    rest_nodes
+
+let test_thrashing_loop_misses () =
+  (* a loop body far larger than the cache: rest slots at block starts miss *)
+  let p = Dsl.compile ~name:"big" [ Dsl.loop 4 [ Dsl.compute 100 ] ] in
+  let w = Wcet.compute p config model in
+  Alcotest.(check bool) "many WCET misses" true (Wcet.wcet_misses w > 50)
+
+let test_tau_formula_straightline () =
+  (* straight line: tau = hits * 1 + misses * (1 + penalty) *)
+  let p = Dsl.compile ~name:"line" [ Dsl.compute 7 ] in
+  let w = Wcet.compute p config model in
+  let refs = Array.length (Wcet.path_refs w) in
+  let misses = Wcet.wcet_misses w in
+  Alcotest.(check int) "tau formula" (refs + (misses * model.Cacti.miss_penalty)) w.Wcet.tau
+
+let test_path_refs_order () =
+  let p = Dsl.compile ~name:"l" [ Dsl.compute 2; Dsl.loop 3 [ Dsl.compute 2 ]; Dsl.compute 1 ] in
+  let w = Wcet.compute p config model in
+  let refs = Wcet.path_refs w in
+  Alcotest.(check bool) "nonempty" true (Array.length refs > 0);
+  (* within one node, slots are consecutive from 0 *)
+  let _, first_pos = refs.(0) in
+  Alcotest.(check int) "starts at slot 0" 0 first_pos
+
+let test_miss_penalty_monotone () =
+  let p = Dsl.compile ~name:"m" [ Dsl.loop 4 [ Dsl.compute 30 ] ] in
+  let w_small = Wcet.compute p config { model with Cacti.miss_penalty = 4 } in
+  let w_big = Wcet.compute p config { model with Cacti.miss_penalty = 40 } in
+  Alcotest.(check bool) "penalty monotone" true (w_big.Wcet.tau >= w_small.Wcet.tau)
+
+let test_cache_size_monotone_on_suite_case () =
+  let p = Ucp_workloads.Suite.find "st" in
+  let small = Config.make ~assoc:2 ~block_bytes:16 ~capacity:256 in
+  let big = Config.make ~assoc:2 ~block_bytes:16 ~capacity:8192 in
+  let w_small = Wcet.compute p small model in
+  let w_big = Wcet.compute p big model in
+  Alcotest.(check bool) "bigger cache never hurts here" true
+    (w_big.Wcet.tau <= w_small.Wcet.tau)
+
+let test_with_may_same_tau () =
+  let p = Dsl.compile ~name:"x" [ Dsl.loop 5 [ Dsl.compute 20 ] ] in
+  let w1 = Wcet.compute ~with_may:true p config model in
+  let w2 = Wcet.compute ~with_may:false p config model in
+  Alcotest.(check int) "tau identical without may" w1.Wcet.tau w2.Wcet.tau
+
+(* ------------------------------------------------------------------ *)
+(* residual stall for unchecked prefetches *)
+
+let test_hw_next_line_analysis () =
+  (* next-N-line-always abstract semantics [22]: on straight-line code
+     the sequential prefetcher hides every interior block boundary, so
+     the WCET drops accordingly *)
+  let p = Dsl.compile ~name:"nl" [ Dsl.compute 39 ] in
+  let w0 = Wcet.compute p config model in
+  let w1 = Wcet.compute ~hw_next_n:1 p config model in
+  Alcotest.(check bool) "next-line lowers the bound" true (w1.Wcet.tau < w0.Wcet.tau);
+  (* only the first block's cold miss remains *)
+  Alcotest.(check int) "one cold miss" 1 (Wcet.wcet_misses w1)
+
+let test_hw_next_n_monotone () =
+  let p = Ucp_workloads.Suite.find "crc" in
+  let w0 = Wcet.compute p config model in
+  let w1 = Wcet.compute ~hw_next_n:1 p config model in
+  let w2 = Wcet.compute ~hw_next_n:2 p config model in
+  ignore w2;
+  Alcotest.(check bool) "hw prefetch never raises the bound on this case" true
+    (w1.Wcet.tau <= w0.Wcet.tau)
+
+let test_residual_stall () =
+  (* prefetch immediately before its use: the latency cannot be hidden *)
+  let p = Dsl.compile ~name:"r" [ Dsl.compute 9 ] in
+  (* target the last instruction, insert just before it *)
+  let target_uid = 8 in
+  let p', _ = Program.insert_prefetch p ~block:0 ~pos:8 ~target_uid in
+  let w = Wcet.compute p' config model in
+  Alcotest.(check bool) "residual positive for back-to-back prefetch" true
+    (Wcet.residual_prefetch_stall w >= 0);
+  Alcotest.(check int) "tau_with_residual adds it"
+    (w.Wcet.tau + Wcet.residual_prefetch_stall w)
+    (Wcet.tau_with_residual w)
+
+(* ------------------------------------------------------------------ *)
+(* IPET agreement *)
+
+let test_ipet_agrees_simple () =
+  let p = Dsl.compile ~name:"i" [ Dsl.compute 3; Dsl.loop 4 [ Dsl.compute 5 ]; Dsl.compute 2 ] in
+  let w = Wcet.compute p config model in
+  Alcotest.(check bool) "ILP = longest path" true (Ipet.agrees_with_longest_path w)
+
+let test_ipet_agrees_conditional () =
+  let p =
+    Dsl.compile ~name:"c"
+      [ Dsl.loop 3 [ Dsl.compute 2; Dsl.if_ [ Dsl.compute 6 ] [ Dsl.compute 2 ]; Dsl.compute 1 ] ]
+  in
+  let w = Wcet.compute p config model in
+  Alcotest.(check bool) "ILP = longest path" true (Ipet.agrees_with_longest_path w)
+
+let test_cfg_ipet_upper_bound () =
+  let p =
+    Dsl.compile ~name:"cf"
+      [ Dsl.compute 3; Dsl.loop 5 [ Dsl.compute 4; Dsl.if_ [ Dsl.compute 5 ] [ Dsl.compute 1 ] ]; Dsl.compute 2 ]
+  in
+  let w = Wcet.compute p config model in
+  let cfg_r = Ipet.solve_cfg w in
+  Alcotest.(check bool) "block-level IPET bounds the context-sensitive tau" true
+    (cfg_r.Ipet.tau >= w.Wcet.tau);
+  (* the entry block executes exactly once in the optimum *)
+  Alcotest.(check int) "entry count" 1 cfg_r.Ipet.counts.(0)
+
+let prop_cfg_ipet_upper_bound =
+  QCheck2.Test.make ~name:"CFG-level IPET is an upper bound of tau_w" ~count:40
+    ~print:Ucp_testlib.print_program Ucp_testlib.gen_program (fun p ->
+      let w = Wcet.compute p config model in
+      (Ipet.solve_cfg w).Ipet.tau >= w.Wcet.tau)
+
+let prop_ipet_agreement =
+  QCheck2.Test.make ~name:"IPET ILP equals the longest-path tau" ~count:60
+    ~print:Ucp_testlib.print_program Ucp_testlib.gen_program (fun p ->
+      let w = Wcet.compute p config model in
+      Ipet.agrees_with_longest_path w)
+
+(* ------------------------------------------------------------------ *)
+(* soundness against the simulator *)
+
+let prop_sim_within_wcet =
+  QCheck2.Test.make ~name:"simulated memory time never exceeds tau_w" ~count:120
+    ~print:(fun (p, seed) -> Printf.sprintf "%s seed=%d" (Ucp_testlib.print_program p) seed)
+    QCheck2.Gen.(pair Ucp_testlib.gen_program (int_bound 1000))
+    (fun (p, seed) ->
+      let w = Wcet.compute p config model in
+      let stats = Simulator.run ~seed p config model in
+      Simulator.acet stats <= w.Wcet.tau)
+
+let prop_sim_misses_within_bound =
+  QCheck2.Test.make ~name:"simulated misses never exceed the analysis bound" ~count:120
+    ~print:(fun (p, seed) -> Printf.sprintf "%s seed=%d" (Ucp_testlib.print_program p) seed)
+    QCheck2.Gen.(pair Ucp_testlib.gen_program (int_bound 1000))
+    (fun (p, seed) ->
+      let w = Wcet.compute p config model in
+      let stats = Simulator.run ~seed p config model in
+      stats.Simulator.counts.Ucp_energy.Account.misses
+      <= Analysis.miss_count_bound w.Wcet.analysis)
+
+let prop_sim_within_wcet_across_configs =
+  QCheck2.Test.make ~name:"soundness across random configurations" ~count:100
+    ~print:(fun (p, c) -> Ucp_testlib.print_program p ^ " @ " ^ Ucp_testlib.print_config c)
+    QCheck2.Gen.(pair Ucp_testlib.gen_program Ucp_testlib.gen_config)
+    (fun (p, c) ->
+      let w = Wcet.compute p c model in
+      let stats = Simulator.run p c model in
+      Simulator.acet stats <= w.Wcet.tau)
+
+let () =
+  Alcotest.run "ucp_wcet"
+    [
+      ( "classification",
+        [
+          Alcotest.test_case "straight line" `Quick test_straightline_classification;
+          Alcotest.test_case "loop steady state" `Quick test_loop_steady_state_hits;
+          Alcotest.test_case "thrashing loop" `Quick test_thrashing_loop_misses;
+          Alcotest.test_case "with/without may" `Quick test_with_may_same_tau;
+        ] );
+      ( "wcet",
+        [
+          Alcotest.test_case "tau formula" `Quick test_tau_formula_straightline;
+          Alcotest.test_case "path refs order" `Quick test_path_refs_order;
+          Alcotest.test_case "penalty monotone" `Quick test_miss_penalty_monotone;
+          Alcotest.test_case "cache size monotone" `Quick
+            test_cache_size_monotone_on_suite_case;
+          Alcotest.test_case "residual stall" `Quick test_residual_stall;
+          Alcotest.test_case "hw next-line analysis" `Quick test_hw_next_line_analysis;
+          Alcotest.test_case "hw next-n monotone" `Quick test_hw_next_n_monotone;
+        ] );
+      ( "ipet",
+        [
+          Alcotest.test_case "simple agreement" `Quick test_ipet_agrees_simple;
+          Alcotest.test_case "conditional agreement" `Quick test_ipet_agrees_conditional;
+          Alcotest.test_case "cfg-level upper bound" `Quick test_cfg_ipet_upper_bound;
+          QCheck_alcotest.to_alcotest prop_ipet_agreement;
+          QCheck_alcotest.to_alcotest prop_cfg_ipet_upper_bound;
+        ] );
+      ( "soundness",
+        [
+          QCheck_alcotest.to_alcotest prop_sim_within_wcet;
+          QCheck_alcotest.to_alcotest prop_sim_misses_within_bound;
+          QCheck_alcotest.to_alcotest prop_sim_within_wcet_across_configs;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for Ucp_workloads: the DSL compiler details and the health of
+   all 37 suite programs. *)
+
+module Program = Ucp_isa.Program
+module Cfgraph = Ucp_cfg.Cfgraph
+module Loops = Ucp_cfg.Loops
+module Vivu = Ucp_cfg.Vivu
+module Suite = Ucp_workloads.Suite
+module Dsl = Ucp_workloads.Dsl
+
+(* ------------------------------------------------------------------ *)
+(* Dsl details *)
+
+let test_sequence_merges_into_one_block () =
+  let p = Dsl.compile ~name:"seq" [ Dsl.compute 2; Dsl.compute 3 ] in
+  Alcotest.(check int) "one block" 1 (Program.block_count p);
+  Alcotest.(check int) "body + return" 6 (Program.total_slots p)
+
+let test_if_structure () =
+  let p = Dsl.compile ~name:"if" [ Dsl.if_ [ Dsl.compute 1 ] [ Dsl.compute 2 ] ] in
+  (* entry, then, else, join *)
+  Alcotest.(check int) "four blocks" 4 (Program.block_count p);
+  Cfgraph.check_all_reachable p
+
+let test_loop_structure () =
+  let p = Dsl.compile ~name:"lp" [ Dsl.loop 3 [ Dsl.compute 2 ] ] in
+  let f = Loops.analyze p in
+  Alcotest.(check int) "one loop" 1 (Array.length f.Loops.loops);
+  Alcotest.(check int) "bound defaults to trips" 3 f.Loops.loops.(0).Loops.bound
+
+let test_empty_loop_rejected () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dsl.compile ~name:"e" [ Dsl.loop 3 [] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_unknown_proc_rejected () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dsl.compile ~name:"u" [ Dsl.call "nope" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_negative_compute_rejected () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dsl.compile ~name:"n" [ Dsl.compute (-1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_far_call_structure () =
+  let p =
+    Dsl.compile ~name:"fc" ~procs:[ ("f", [ Dsl.compute 3 ]) ]
+      [ Dsl.compute 1; Dsl.far_call "f"; Dsl.compute 1 ]
+  in
+  Cfgraph.check_all_reachable p;
+  (* the far body must be at the address-space end: its block id is
+     maximal among blocks with instructions *)
+  let layout = Ucp_isa.Layout.make p ~block_bytes:16 in
+  ignore layout;
+  Alcotest.(check bool) "compiles and is reachable" true (Program.block_count p >= 3)
+
+let test_nested_far () =
+  let p = Dsl.compile ~name:"nf" [ Dsl.Far [ Dsl.compute 1; Dsl.Far [ Dsl.compute 2 ] ] ] in
+  Cfgraph.check_all_reachable p;
+  ignore (Loops.analyze p)
+
+(* ------------------------------------------------------------------ *)
+(* Suite health *)
+
+let test_suite_has_37 () = Alcotest.(check int) "37 programs" 37 (List.length Suite.all)
+
+let test_paper_ids () =
+  Alcotest.(check string) "p1" "p1" (Suite.paper_id "adpcm");
+  Alcotest.(check string) "p37" "p37" (Suite.paper_id "ud");
+  Alcotest.(check bool) "unknown raises" true
+    (try
+       ignore (Suite.paper_id "nope");
+       false
+     with Not_found -> true)
+
+let test_find () =
+  Alcotest.(check string) "find returns the right program" "crc"
+    (Program.name (Suite.find "crc"))
+
+let test_all_wellformed () =
+  List.iter
+    (fun (name, p) ->
+      Alcotest.(check string) "name matches" name (Program.name p);
+      Cfgraph.check_all_reachable p;
+      ignore (Loops.analyze p);
+      ignore (Vivu.expand p))
+    Suite.all
+
+let test_all_simulate_and_terminate () =
+  let config = Ucp_cache.Config.make ~assoc:2 ~block_bytes:16 ~capacity:1024 in
+  let model = Ucp_testlib.tiny_model in
+  List.iter
+    (fun (name, p) ->
+      let s = Ucp_sim.Simulator.run p config model in
+      Alcotest.(check bool) (name ^ " runs") true (s.Ucp_sim.Simulator.executed > 0))
+    Suite.all
+
+let test_size_ladder () =
+  (* the suite must populate all three size classes so every cache size
+     has in-band programs *)
+  let classes = List.map (fun (_, p) -> Suite.size_class p) Suite.all in
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool) (cls ^ " populated") true (List.mem cls classes))
+    [ "small"; "medium"; "large" ]
+
+let test_deterministic_construction () =
+  (* suite programs are values; find twice returns equal structures *)
+  let a = Suite.find "fft1" and b = Suite.find "fft1" in
+  Alcotest.(check int) "same slots" (Program.total_slots a) (Program.total_slots b)
+
+let () =
+  Alcotest.run "ucp_workloads"
+    [
+      ( "dsl",
+        [
+          Alcotest.test_case "sequence" `Quick test_sequence_merges_into_one_block;
+          Alcotest.test_case "if" `Quick test_if_structure;
+          Alcotest.test_case "loop" `Quick test_loop_structure;
+          Alcotest.test_case "empty loop" `Quick test_empty_loop_rejected;
+          Alcotest.test_case "unknown proc" `Quick test_unknown_proc_rejected;
+          Alcotest.test_case "negative compute" `Quick test_negative_compute_rejected;
+          Alcotest.test_case "far call" `Quick test_far_call_structure;
+          Alcotest.test_case "nested far" `Quick test_nested_far;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "37 programs" `Quick test_suite_has_37;
+          Alcotest.test_case "paper ids" `Quick test_paper_ids;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "all well-formed" `Quick test_all_wellformed;
+          Alcotest.test_case "all simulate" `Quick test_all_simulate_and_terminate;
+          Alcotest.test_case "size ladder" `Quick test_size_ladder;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_construction;
+        ] );
+    ]

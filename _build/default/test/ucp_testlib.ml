@@ -1,0 +1,81 @@
+(* Shared generators and helpers for the test suites. *)
+
+module Dsl = Ucp_workloads.Dsl
+module Config = Ucp_cache.Config
+module Cacti = Ucp_energy.Cacti
+
+(* A small timing/energy model with a short prefetch latency so tiny
+   generated programs still have room for effective prefetches. *)
+let tiny_model =
+  {
+    Cacti.read_pj = 5.0;
+    fill_pj = 8.0;
+    leak_pj_per_cycle = 2.0;
+    dram_read_pj = 100.0;
+    dram_leak_pj_per_cycle = 10.0;
+    hit_cycles = 1;
+    miss_penalty = 6;
+    prefetch_latency = 3;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Random structured programs via the DSL.  Sizes are kept small so
+   property tests stay fast; the generator exercises sequences,
+   conditionals, loops (bounded), and far regions. *)
+
+let gen_stmts =
+  let open QCheck2.Gen in
+  let compute = map (fun n -> Dsl.compute (1 + n)) (int_bound 12) in
+  let rec stmts depth budget =
+    if budget <= 0 then return []
+    else
+      let* len = int_range 1 3 in
+      let* items = list_repeat len (stmt depth (budget / len)) in
+      return items
+  and stmt depth budget =
+    if depth = 0 || budget <= 1 then compute
+    else
+      frequency
+        [
+          (4, compute);
+          ( 2,
+            let* p = float_range 0.2 0.8 in
+            let* t = stmts (depth - 1) (budget / 2) in
+            let* e = stmts (depth - 1) (budget / 2) in
+            return (Dsl.if_ ~p t e) );
+          ( 2,
+            let* trips = int_range 1 6 in
+            let* slack = int_bound 2 in
+            let* body = stmts (depth - 1) (budget / 2) in
+            let body = if body = [] then [ Dsl.compute 1 ] else body in
+            return (Dsl.loop ~bound:(trips + slack) trips body) );
+          ( 1,
+            let* body = stmts (depth - 1) (budget / 2) in
+            let body = if body = [] then [ Dsl.compute 2 ] else body in
+            return (Dsl.Far body) );
+        ]
+  in
+  let open QCheck2.Gen in
+  let* depth = int_range 1 3 in
+  let* budget = int_range 4 24 in
+  let* body = stmts depth budget in
+  return (if body = [] then [ Dsl.compute 3 ] else body)
+
+let gen_program =
+  QCheck2.Gen.map (fun stmts -> Dsl.compile ~name:"gen" stmts) gen_stmts
+
+let gen_config =
+  let open QCheck2.Gen in
+  let* assoc = oneofl [ 1; 2; 4 ] in
+  let* block_bytes = oneofl [ 8; 16; 32 ] in
+  let* sets_log = int_range 0 4 in
+  let capacity = assoc * block_bytes * (1 lsl sets_log) in
+  return (Config.make ~assoc ~block_bytes ~capacity)
+
+let gen_access_sequence =
+  (* memory-block ids in a small universe to force conflicts *)
+  QCheck2.Gen.(list_size (int_range 1 60) (int_bound 12))
+
+(* Pretty-printers for counterexample reporting *)
+let print_program p = Format.asprintf "%a" Ucp_isa.Program.pp p
+let print_config c = Config.id c
