@@ -14,11 +14,17 @@
       each from swept records.
 
      dune exec bench/main.exe             # subset sweep + benchmarks
-     UCP_FULL=1 dune exec bench/main.exe  # the full paper sweep *)
+     UCP_FULL=1 dune exec bench/main.exe  # the full paper sweep
+
+   The sweep runs on the Ucp_core.Parallel domain pool; set UCP_JOBS=N
+   or pass --jobs N to size it.  A machine-readable per-use-case
+   summary (JSON lines, see Report.sweep_jsonl) is written to
+   bench_sweep.jsonl, or to $UCP_SWEEP_OUT if set. *)
 
 module Config = Ucp_cache.Config
 module Tech = Ucp_energy.Tech
 module Experiments = Ucp_core.Experiments
+module Parallel = Ucp_core.Parallel
 module Report = Ucp_core.Report
 module Pipeline = Ucp_core.Pipeline
 module Optimizer = Ucp_prefetch.Optimizer
@@ -27,6 +33,28 @@ module Simulator = Ucp_sim.Simulator
 module Table = Ucp_util.Table
 
 let full = Sys.getenv_opt "UCP_FULL" = Some "1"
+
+(* monotonic wall-clock seconds: under a domain pool, CPU time
+   (Sys.time) sums across cores and overstates elapsed time *)
+let wall_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let jobs =
+  (* --jobs N on the command line wins over UCP_JOBS *)
+  let rec from_argv = function
+    | [] -> None
+    | "--jobs" :: v :: _ -> int_of_string_opt v
+    | a :: tl ->
+      if String.length a > 7 && String.sub a 0 7 = "--jobs=" then
+        int_of_string_opt (String.sub a 7 (String.length a - 7))
+      else from_argv tl
+  in
+  match from_argv (Array.to_list Sys.argv) with
+  | Some j when j >= 1 -> j
+  | Some _ | None -> (
+    try Parallel.default_jobs ()
+    with Invalid_argument msg ->
+      prerr_endline ("bench: " ^ msg);
+      exit 124)
 
 (* ------------------------------------------------------------------ *)
 (* part 1: reproduction *)
@@ -120,6 +148,11 @@ let baseline_table () =
     ];
   "== Baseline comparison (ratios vs on-demand fetching) ==\n" ^ Table.render t
 
+let summary_path =
+  match Sys.getenv_opt "UCP_SWEEP_OUT" with
+  | Some p when p <> "" -> p
+  | Some _ | None -> "bench_sweep.jsonl"
+
 let reproduce () =
   let configs = if full then Experiments.default_configs else Experiments.quick_configs in
   Printf.printf "reproduction sweep: %d programs x %d configs x 2 techs = %d use cases%s\n%!"
@@ -127,9 +160,29 @@ let reproduce () =
     (List.length configs)
     (List.length Ucp_workloads.Suite.all * List.length configs * 2)
     (if full then " (full paper setup)" else " (quick subset; UCP_FULL=1 for all 36)");
-  let t0 = Sys.time () in
-  let records = Experiments.sweep ~configs () in
-  Printf.printf "sweep finished in %.1fs\n\n%!" (Sys.time () -. t0);
+  let progress ~done_ ~total =
+    if done_ = total || done_ mod 64 = 0 then
+      Printf.eprintf "\r[sweep] %d/%d%!" done_ total
+  in
+  (* open before the (minutes-long) sweep so a bad UCP_SWEEP_OUT path
+     fails immediately instead of discarding the finished run *)
+  let oc = open_out summary_path in
+  let t0 = wall_s () in
+  let s = Parallel.sweep ~configs ~jobs ~progress () in
+  Printf.eprintf "\r%!";
+  let records = s.Parallel.records in
+  let tm = s.Parallel.timings in
+  Printf.printf "sweep finished in %.1fs wall on %d worker%s\n"
+    (wall_s () -. t0) s.Parallel.jobs (if s.Parallel.jobs = 1 then "" else "s");
+  Printf.printf
+    "  per-stage cost (summed over workers): analysis %.1fs | optimize %.1fs | simulate %.1fs\n\n%!"
+    tm.Pipeline.analysis_s tm.Pipeline.optimize_s tm.Pipeline.simulate_s;
+  output_string oc
+    (Report.sweep_jsonl ~wall_s:s.Parallel.wall_s ~jobs:s.Parallel.jobs
+       ~timings:tm records);
+  close_out oc;
+  Printf.printf "per-use-case summary written to %s (%d records + summary line)\n\n%!"
+    summary_path s.Parallel.cases;
   print_string (Report.all records);
   print_newline ();
   print_string

@@ -334,12 +334,28 @@ let persistence_cmd =
     Term.(const run $ program_arg $ config_arg)
 
 let experiment_cmd =
-  let run full figure =
+  let run full figure jobs =
     let configs =
       if full then Experiments.default_configs else Experiments.quick_configs
     in
-    let progress name = Printf.eprintf "[sweep] %s\n%!" name in
-    let records = Experiments.sweep ~configs ~progress () in
+    let jobs =
+      match jobs with
+      | Some j -> j
+      | None -> (
+        try Ucp_core.Parallel.default_jobs ()
+        with Invalid_argument msg ->
+          Printf.eprintf "ucp: %s\n" msg;
+          exit 124)
+    in
+    let progress ~done_ ~total =
+      Printf.eprintf "\r[sweep] %d/%d use cases%!" done_ total
+    in
+    let s = Ucp_core.Parallel.sweep ~configs ~jobs ~progress () in
+    Printf.eprintf "\r[sweep] %d use cases on %d worker%s in %.1fs wall\n%!"
+      s.Ucp_core.Parallel.cases s.Ucp_core.Parallel.jobs
+      (if s.Ucp_core.Parallel.jobs = 1 then "" else "s")
+      s.Ucp_core.Parallel.wall_s;
+    let records = s.Ucp_core.Parallel.records in
     let out =
       match figure with
       | None -> Report.all records
@@ -363,9 +379,26 @@ let experiment_cmd =
       & opt (some int) None
       & info [ "figure" ] ~docv:"N" ~doc:"Reproduce a single figure (3,4,5,7,8).")
   in
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error (`Msg "expected a positive worker count")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some jobs_conv) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the sweep (default: $(b,UCP_JOBS) if set, else \
+             the recommended domain count).")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run the evaluation sweep and print the paper's figures.")
-    Term.(const run $ full $ figure)
+    Term.(const run $ full $ figure $ jobs)
 
 let () =
   let doc = "WCET-safe, energy-oriented instruction-cache prefetching (DAC 2013)" in

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 verification: build everything, then run the full test suite.
+# Usage: ./ci.sh   (from the repository root; requires the opam switch
+# described in README.md to be active)
+set -eu
+
+dune build
+dune runtest

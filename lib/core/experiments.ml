@@ -21,29 +21,73 @@ let quick_configs =
       List.mem c.Config.capacity [ 256; 1024; 4096 ] && c.Config.assoc >= 2)
     Config.paper_configs
 
+type case = {
+  case_program_name : string;
+  case_program : Ucp_isa.Program.t;
+  case_config_id : string;
+  case_config : Config.t;
+  case_tech : Tech.t;
+}
+
+let cases ~programs ~configs ~techs =
+  Array.of_list
+    (List.concat_map
+       (fun (case_program_name, case_program) ->
+         List.concat_map
+           (fun (case_config_id, case_config) ->
+             List.map
+               (fun case_tech ->
+                 {
+                   case_program_name;
+                   case_program;
+                   case_config_id;
+                   case_config;
+                   case_tech;
+                 })
+               techs)
+           configs)
+       programs)
+
+let model_table configs techs =
+  let tbl = Hashtbl.create 97 in
+  List.iter
+    (fun (_, config) ->
+      List.iter
+        (fun tech ->
+          if not (Hashtbl.mem tbl (config, tech)) then
+            Hashtbl.add tbl (config, tech) (Pipeline.model config tech))
+        techs)
+    configs;
+  tbl
+
+let run_case ?timed ~model c =
+  let cmp =
+    Pipeline.compare_optimized ~model ?timed c.case_program c.case_config c.case_tech
+  in
+  {
+    program_name = c.case_program_name;
+    config_id = c.case_config_id;
+    config = c.case_config;
+    tech = c.case_tech;
+    original = cmp.Pipeline.original;
+    optimized = cmp.Pipeline.optimized;
+    prefetches = cmp.Pipeline.prefetches;
+    rejected = cmp.Pipeline.rejected;
+  }
+
 let sweep ?(programs = Ucp_workloads.Suite.all) ?(configs = default_configs)
     ?(techs = Tech.all) ?(progress = fun _ -> ()) () =
-  List.concat_map
-    (fun (program_name, program) ->
-      progress program_name;
-      List.concat_map
-        (fun (config_id, config) ->
-          List.map
-            (fun tech ->
-              let cmp = Pipeline.compare_optimized program config tech in
-              {
-                program_name;
-                config_id;
-                config;
-                tech;
-                original = cmp.Pipeline.original;
-                optimized = cmp.Pipeline.optimized;
-                prefetches = cmp.Pipeline.prefetches;
-                rejected = cmp.Pipeline.rejected;
-              })
-            techs)
-        configs)
-    programs
+  let models = model_table configs techs in
+  let last = ref None in
+  Array.to_list
+    (Array.map
+       (fun c ->
+         if !last <> Some c.case_program_name then begin
+           last := Some c.case_program_name;
+           progress c.case_program_name
+         end;
+         run_case ~model:(Hashtbl.find models (c.case_config, c.case_tech)) c)
+       (cases ~programs ~configs ~techs))
 
 let capacities records =
   List.sort_uniq compare (List.map (fun r -> r.config.Config.capacity) records)

@@ -23,8 +23,49 @@ val sweep :
   ?progress:(string -> unit) ->
   unit ->
   record list
-(** Run every use case (defaults: all 37 programs × 36 configurations ×
-    2 technologies = 2664 cases, the paper's full setup). *)
+(** Run every use case sequentially (defaults: all 37 programs × 36
+    configurations × 2 technologies = 2664 cases, the paper's full
+    setup).  {!Parallel.sweep} runs the same grid on a domain pool and
+    produces record-for-record identical results. *)
+
+(** {2 The use-case grid}
+
+    Shared between this sequential driver and {!Parallel}: the grid is
+    materialized in deterministic program-major order (programs, then
+    configurations, then technologies — the record order [sweep]
+    returns), and both engines evaluate a case through the same
+    {!run_case}. *)
+
+type case = {
+  case_program_name : string;
+  case_program : Ucp_isa.Program.t;
+  case_config_id : string;
+  case_config : Ucp_cache.Config.t;
+  case_tech : Ucp_energy.Tech.t;
+}
+
+val cases :
+  programs:(string * Ucp_isa.Program.t) list ->
+  configs:(string * Ucp_cache.Config.t) list ->
+  techs:Ucp_energy.Tech.t list ->
+  case array
+(** The full cross product, in sweep order. *)
+
+val model_table :
+  (string * Ucp_cache.Config.t) list ->
+  Ucp_energy.Tech.t list ->
+  (Ucp_cache.Config.t * Ucp_energy.Tech.t, Ucp_energy.Cacti.t) Hashtbl.t
+(** One CACTI model per (configuration, technology) pair — computed up
+    front so a 2664-case sweep derives 72 models instead of 2664, and
+    so worker domains only ever read the table. *)
+
+val run_case :
+  ?timed:Pipeline.timings ->
+  model:Ucp_energy.Cacti.t ->
+  case ->
+  record
+(** Evaluate one use case ([model] must be the case's entry from
+    {!model_table}). *)
 
 val default_configs : (string * Ucp_cache.Config.t) list
 (** Table 2. *)

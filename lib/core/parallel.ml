@@ -1,0 +1,187 @@
+module Tech = Ucp_energy.Tech
+
+(* ------------------------------------------------------------------ *)
+(* fixed-size domain pool with a chunked work queue *)
+
+type pool = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* a task was queued, or the pool closed *)
+  idle : Condition.t;  (* the last pending task finished *)
+  tasks : (unit -> unit) Queue.t;
+  mutable pending : int;  (* queued or running tasks *)
+  mutable closed : bool;
+  mutable failure : exn option;  (* first task exception, re-raised by wait *)
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "UCP_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "UCP_JOBS=%s: expected a positive integer" s))
+  | None -> Domain.recommended_domain_count ()
+
+let rec worker pool =
+  Mutex.lock pool.mutex;
+  let rec next () =
+    if not (Queue.is_empty pool.tasks) then Some (Queue.pop pool.tasks)
+    else if pool.closed then None
+    else begin
+      Condition.wait pool.work pool.mutex;
+      next ()
+    end
+  in
+  match next () with
+  | None -> Mutex.unlock pool.mutex
+  | Some task ->
+    Mutex.unlock pool.mutex;
+    let outcome = match task () with () -> None | exception exn -> Some exn in
+    Mutex.lock pool.mutex;
+    (match outcome with
+    | Some _ when pool.failure = None -> pool.failure <- outcome
+    | Some _ | None -> ());
+    pool.pending <- pool.pending - 1;
+    if pool.pending = 0 then Condition.broadcast pool.idle;
+    Mutex.unlock pool.mutex;
+    worker pool
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Parallel.create: jobs must be positive";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      tasks = Queue.create ();
+      pending = 0;
+      closed = false;
+      failure = None;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let submit pool task =
+  Mutex.lock pool.mutex;
+  if pool.closed then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Parallel.submit: pool is shut down"
+  end;
+  Queue.push task pool.tasks;
+  pool.pending <- pool.pending + 1;
+  Condition.signal pool.work;
+  Mutex.unlock pool.mutex
+
+let wait pool =
+  Mutex.lock pool.mutex;
+  while pool.pending > 0 do
+    Condition.wait pool.idle pool.mutex
+  done;
+  let failure = pool.failure in
+  pool.failure <- None;
+  Mutex.unlock pool.mutex;
+  match failure with Some exn -> raise exn | None -> ()
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.closed <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  let workers = pool.workers in
+  pool.workers <- [];
+  List.iter Domain.join workers
+
+(* ------------------------------------------------------------------ *)
+(* deterministic parallel map *)
+
+let map ?jobs ?chunk ?progress f items =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Parallel.map: jobs must be positive";
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Parallel.map: chunk must be positive"
+      (* small chunks smooth out the order-of-magnitude spread in
+         per-case cost across programs; 4 chunks per worker bounds the
+         tail wait by ~1/4 of a worker's share *)
+      | None -> max 1 (n / (jobs * 4))
+    in
+    (* results land at their input index, so the output order is the
+       input order no matter which worker finishes when *)
+    let results = Array.make n None in
+    let pmutex = Mutex.create () in
+    let completed = ref 0 in
+    let pool = create ~jobs in
+    Fun.protect
+      ~finally:(fun () -> shutdown pool)
+      (fun () ->
+        let lo = ref 0 in
+        while !lo < n do
+          let l = !lo and h = min n (!lo + chunk) in
+          submit pool (fun () ->
+              for k = l to h - 1 do
+                results.(k) <- Some (f items.(k))
+              done;
+              match progress with
+              | None -> ()
+              | Some cb ->
+                (* serialized under its own lock: callbacks observe a
+                   monotonically increasing done count and never run
+                   concurrently *)
+                Mutex.lock pmutex;
+                completed := !completed + (h - l);
+                let done_ = !completed in
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock pmutex)
+                  (fun () -> cb ~done_ ~total:n));
+          lo := h
+        done;
+        wait pool);
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+(* ------------------------------------------------------------------ *)
+(* the parallel evaluation sweep *)
+
+type sweep = {
+  records : Experiments.record list;
+  wall_s : float;
+  timings : Pipeline.timings;
+  jobs : int;
+  cases : int;
+}
+
+let sweep ?(programs = Ucp_workloads.Suite.all)
+    ?(configs = Experiments.default_configs) ?(techs = Tech.all) ?jobs ?chunk
+    ?progress () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let cases = Experiments.cases ~programs ~configs ~techs in
+  let models = Experiments.model_table configs techs in
+  let t0 = Unix.gettimeofday () in
+  let out =
+    map ~jobs ?chunk ?progress
+      (fun (c : Experiments.case) ->
+        (* one timing accumulator per case: workers never share one, so
+           no synchronization is needed on the hot path *)
+        let timed = Pipeline.fresh_timings () in
+        let model =
+          Hashtbl.find models (c.Experiments.case_config, c.Experiments.case_tech)
+        in
+        (Experiments.run_case ~timed ~model c, timed))
+      cases
+  in
+  let timings = Pipeline.fresh_timings () in
+  Array.iter (fun (_, tm) -> Pipeline.add_timings timings tm) out;
+  {
+    records = Array.to_list (Array.map fst out);
+    wall_s = Unix.gettimeofday () -. t0;
+    timings;
+    jobs;
+    cases = Array.length cases;
+  }

@@ -1,0 +1,87 @@
+(** Multicore sweep engine: a fixed-size [Domain] worker pool with a
+    chunked work queue (mutex + condition variable, standard library
+    only) evaluating the paper's use-case grid in parallel.
+
+    Every use case is an independent (program, configuration,
+    technology) triple, so the sweep is embarrassingly parallel; the
+    engine writes each result at its input index and therefore returns
+    records in deterministic input order — record-for-record identical
+    to the sequential {!Experiments.sweep} — regardless of worker
+    scheduling. *)
+
+val default_jobs : unit -> int
+(** Worker count: [UCP_JOBS] if set (a positive integer, anything else
+    raises [Invalid_argument]), otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+(** {2 Worker pool}
+
+    A small general-purpose pool, exposed for tests and future callers
+    that want to parallelize something other than the sweep. *)
+
+type pool
+
+val create : jobs:int -> pool
+(** Spawn [jobs] worker domains blocked on the queue.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val submit : pool -> (unit -> unit) -> unit
+(** Enqueue a task; returns immediately.
+    @raise Invalid_argument on a pool that was shut down. *)
+
+val wait : pool -> unit
+(** Block until every submitted task has finished.  If any task raised,
+    re-raises the first such exception (the remaining tasks still
+    run). *)
+
+val shutdown : pool -> unit
+(** Reject further submissions, let queued tasks drain, and join the
+    worker domains.  Idempotent. *)
+
+val map :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
+(** [map f items] applies [f] to every element on a fresh pool of
+    [?jobs] (default {!default_jobs}) workers and returns the results
+    in input order.  Work is handed out in contiguous chunks of
+    [?chunk] elements (default: enough for ~4 chunks per worker).
+    [?progress] is invoked after each finished chunk with the number of
+    elements completed so far; calls are serialized under a dedicated
+    lock and [done_] is strictly increasing, but they arrive on worker
+    domains — callbacks must not assume the main domain.  If [f]
+    raises, the first exception is re-raised after the pool drains. *)
+
+(** {2 The parallel sweep} *)
+
+type sweep = {
+  records : Experiments.record list;
+      (** byte-identical to {!Experiments.sweep} on the same grid *)
+  wall_s : float;  (** elapsed wall-clock time of the whole sweep *)
+  timings : Pipeline.timings;
+      (** per-stage wall-clock time summed over all workers; stages
+          running concurrently each count their own elapsed time, so
+          under [jobs = n] the sum exceeds [wall_s] up to a factor of
+          [n] *)
+  jobs : int;  (** worker count actually used *)
+  cases : int;  (** number of use cases evaluated *)
+}
+
+val sweep :
+  ?programs:(string * Ucp_isa.Program.t) list ->
+  ?configs:(string * Ucp_cache.Config.t) list ->
+  ?techs:Ucp_energy.Tech.t list ->
+  ?jobs:int ->
+  ?chunk:int ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  unit ->
+  sweep
+(** Evaluate the use-case grid (defaults: the paper's full 2664-case
+    setup) on a worker pool.  The CACTI model is computed once per
+    (configuration, technology) pair up front, and within each use case
+    the original program's WCET analysis is shared between the
+    optimizer and the original measurement (see
+    {!Pipeline.compare_optimized}). *)

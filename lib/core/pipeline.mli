@@ -15,19 +15,49 @@ type measurement = {
   wcet_miss_bound : int;  (** the analysis' bound on demand misses *)
 }
 
+(** Per-stage wall-clock accumulators: abstract-interpretation WCET
+    analysis, the optimizer's materialize-and-verify loop, and trace
+    simulation.  Mutable so one accumulator can follow a whole sweep;
+    not thread-safe — use one per worker and {!add_timings} the totals
+    together. *)
+type timings = {
+  mutable analysis_s : float;
+  mutable optimize_s : float;
+  mutable simulate_s : float;
+}
+
+val fresh_timings : unit -> timings
+(** All stages at zero. *)
+
+val add_timings : timings -> timings -> unit
+(** [add_timings acc t] accumulates [t] into [acc] stage by stage. *)
+
+val total_timings : timings -> float
+(** Sum over the stages. *)
+
 val model :
   Ucp_cache.Config.t -> Ucp_energy.Tech.t -> Ucp_energy.Cacti.t
-(** The timing/energy model of a use case. *)
+(** The timing/energy model of a use case.  Pure and deterministic, so
+    the sweep computes it once per (configuration, technology) pair and
+    passes it back in through [?model] below. *)
 
 val measure :
   ?seed:int ->
+  ?model:Ucp_energy.Cacti.t ->
+  ?wcet:Ucp_wcet.Wcet.t ->
+  ?timed:timings ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Tech.t ->
   measurement
-(** Analyze and simulate one program under one use case. *)
+(** Analyze and simulate one program under one use case.  [?model]
+    reuses a precomputed {!model} (it must equal [model config tech]);
+    [?wcet] reuses a precomputed analysis of the {e same} program under
+    the same configuration and model, skipping the analysis stage;
+    [?timed] accumulates the per-stage wall-clock cost. *)
 
 val optimize :
+  ?model:Ucp_energy.Cacti.t ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Tech.t ->
@@ -43,10 +73,13 @@ type comparison = {
 
 val compare_optimized :
   ?seed:int ->
+  ?model:Ucp_energy.Cacti.t ->
+  ?timed:timings ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Tech.t ->
   comparison
-(** Optimize and evaluate both versions under the same use case.
-    Theorem 1 materializes as
-    [optimized.tau <= original.tau]. *)
+(** Optimize and evaluate both versions under the same use case.  The
+    original program is analyzed exactly once: the optimizer starts
+    from that fixpoint and the original measurement reuses it.
+    Theorem 1 materializes as [optimized.tau <= original.tau]. *)

@@ -119,6 +119,54 @@ let headline records =
     (100.0 *. avg (fun (r : Experiments.size_row) -> r.acet_improvement))
     (100.0 *. avg (fun (r : Experiments.size_row) -> r.wcet_improvement))
 
+(* ------------------------------------------------------------------ *)
+(* machine-readable sweep summary (JSON lines) *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let record_json (r : Experiments.record) =
+  let m = r.Experiments.original and o = r.Experiments.optimized in
+  Printf.sprintf
+    {|{"program":%s,"config":%s,"tech":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tau":%d,"tau_opt":%d,"acet":%d,"acet_opt":%d,"energy_pj":%.3f,"energy_opt_pj":%.3f,"miss_rate":%.6f,"miss_opt_rate":%.6f,"executed":%d,"executed_opt":%d,"prefetches":%d,"rejected":%d}|}
+    (json_string r.Experiments.program_name)
+    (json_string r.Experiments.config_id)
+    (json_string r.Experiments.tech.Ucp_energy.Tech.label)
+    r.Experiments.config.Config.assoc r.Experiments.config.Config.block_bytes
+    r.Experiments.config.Config.capacity m.Pipeline.tau o.Pipeline.tau
+    m.Pipeline.acet o.Pipeline.acet m.Pipeline.energy_pj o.Pipeline.energy_pj
+    m.Pipeline.miss_rate o.Pipeline.miss_rate m.Pipeline.executed
+    o.Pipeline.executed r.Experiments.prefetches r.Experiments.rejected
+
+let sweep_jsonl ~wall_s ~jobs ~timings records =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (record_json r);
+      Buffer.add_char buf '\n')
+    records;
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"summary":true,"cases":%d,"jobs":%d,"wall_s":%.3f,"analysis_s":%.3f,"optimize_s":%.3f,"simulate_s":%.3f}|}
+       (List.length records) jobs wall_s timings.Pipeline.analysis_s
+       timings.Pipeline.optimize_s timings.Pipeline.simulate_s);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
 let all records =
   String.concat "\n"
     [

@@ -28,3 +28,22 @@ val headline : Experiments.record list -> string
 
 val all : Experiments.record list -> string
 (** Every table and figure, concatenated. *)
+
+val record_json : Experiments.record -> string
+(** One use case as a single-line JSON object: program/config/tech
+    identification, the cache geometry, and both measurements
+    ([tau]/[acet]/[energy_pj]/[miss_rate]/[executed] for the original,
+    the same fields with [_opt] for the optimized binary), plus the
+    accepted/rolled-back prefetch counts. *)
+
+val sweep_jsonl :
+  wall_s:float ->
+  jobs:int ->
+  timings:Pipeline.timings ->
+  Experiments.record list ->
+  string
+(** The machine-readable sweep summary the bench harness writes: one
+    {!record_json} line per use case, terminated by a summary line
+    [{"summary":true,"cases":..,"jobs":..,"wall_s":..,"analysis_s":..,
+    "optimize_s":..,"simulate_s":..}] so perf trajectories can be
+    tracked across PRs. *)

@@ -314,9 +314,9 @@ let miss_bound w = Analysis.miss_count_bound w.Wcet.analysis
 let tau_eff w = Wcet.tau_with_residual w
 
 let optimize ?(placement = At_eviction) ?(max_insertions = 2000)
-    ?(overhead_budget = 0.05) ?pinned program config model =
+    ?(overhead_budget = 0.05) ?pinned ?initial program config model =
   let analyze p = Wcet.compute ~with_may:false ?pinned p config model in
-  let w0 = analyze program in
+  let w0 = match initial with Some w -> w | None -> analyze program in
   (* Dynamic-overhead budget: inserted prefetches may add at most this
      share of the WCET scenario's executed instructions (the paper
      reports a 1.32% maximum average increase, Figure 8).  Candidates

@@ -62,12 +62,19 @@ val optimize :
   ?max_insertions:int ->
   ?overhead_budget:float ->
   ?pinned:(int -> bool) ->
+  ?initial:Ucp_wcet.Wcet.t ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Cacti.t ->
   result
 (** Run the optimization to its fixpoint (or until [max_insertions] or
-    the overhead budget is exhausted).  [~pinned] marks blocks held in
+    the overhead budget is exhausted).  [~initial] supplies the
+    already-computed analysis of [program] under the same [?pinned],
+    configuration and model — exactly
+    [Wcet.compute ~with_may:false ?pinned program config model] — so a
+    caller that has measured the original program does not pay for that
+    fixpoint twice; passing anything else is unspecified.
+    [~pinned] marks blocks held in
     locked ways (see {!Ucp_wcet.Analysis.run}); pass the configuration
     of the unlocked ways — this is the hybrid mode used by
     {!Baselines.lock_hybrid}.  [overhead_budget] (default

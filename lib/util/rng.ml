@@ -18,9 +18,21 @@ let next_int64 t =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* keep 62 bits so the value fits OCaml's 63-bit nonnegative range *)
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  r mod bound
+  (* Rejection sampling over the 62-bit draw (kept to 62 bits so the
+     value fits OCaml's 63-bit nonnegative range, i.e. r is uniform in
+     [0, 2^62)).  A plain [r mod bound] over-weights the low residues
+     whenever bound does not divide 2^62; instead, redraw whenever r
+     falls in the short tail above the largest multiple of bound.  2^62
+     itself is not representable (max_int = 2^62 - 1), hence the split
+     computation of [2^62 mod bound].  For bounds far below 2^62 the
+     tail is hit with probability < bound / 2^62, so seeded streams
+     only diverge from the old biased ones where a redraw occurs. *)
+  let tail = ((max_int mod bound) + 1) mod bound in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    if tail <> 0 && r >= max_int - tail + 1 then draw () else r mod bound
+  in
+  draw ()
 
 let float t bound =
   let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in

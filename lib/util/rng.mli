@@ -19,7 +19,10 @@ val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] draws a uniform integer in [\[0, bound)].
+(** [int t bound] draws a uniform integer in [\[0, bound)] by rejection
+    sampling over the generator's 62-bit output, so every value is
+    exactly equally likely (no modulo bias).  Consumes one [next_int64]
+    per draw plus one per (rare) rejection.
     @raise Invalid_argument if [bound <= 0]. *)
 
 val float : t -> float -> float

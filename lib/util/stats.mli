@@ -11,7 +11,12 @@ val geomean : float list -> float
     @raise Invalid_argument if any sample is not positive. *)
 
 val stddev : float list -> float
-(** Population standard deviation.  [nan] on the empty list. *)
+(** {e Population} standard deviation (divides by [n], not [n - 1]).
+    This is a deliberate choice: the sweep aggregations describe the
+    dispersion of the complete set of use cases, not of a sample drawn
+    from a larger population.  Callers that need the sample (Bessel
+    corrected) deviation must apply [sqrt (n /. (n - 1))] themselves.
+    [0.0] on a singleton list, [nan] on the empty list. *)
 
 val minimum : float list -> float
 (** Smallest sample.  [nan] on the empty list. *)
@@ -20,8 +25,15 @@ val maximum : float list -> float
 (** Largest sample.  [nan] on the empty list. *)
 
 val percentile : float -> float list -> float
-(** [percentile p xs] for [p] in [\[0,100\]], nearest-rank on the sorted
-    samples.  [nan] on the empty list. *)
+(** [percentile p xs] for [p] in [\[0,100\]], {e nearest-rank} on the
+    sorted samples: the result is always one of the samples, with no
+    interpolation between adjacent ranks (the rank is
+    [ceil (p/100 * n)], clamped to [\[1, n\]]).  In particular
+    [percentile 0.0] and any [p] small enough that the rank rounds to 1
+    return the minimum, [percentile 100.0] returns the maximum, and on
+    a singleton list every [p] returns that sample.  The even-length
+    median is the lower of the two middle samples, not their mean.
+    [nan] on the empty list. *)
 
 val fraction_below : float -> float list -> float
 (** [fraction_below x xs] is the share of samples strictly below [x]. *)

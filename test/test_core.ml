@@ -114,6 +114,79 @@ let test_quick_configs_subset () =
         (List.exists (fun (_, c') -> Config.equal c c') Experiments.default_configs))
     Experiments.quick_configs
 
+(* ------------------------------------------------------------------ *)
+(* the parallel sweep engine *)
+
+module Parallel = Ucp_core.Parallel
+
+let test_parallel_map_order () =
+  let items = Array.init 100 (fun i -> i) in
+  let out = Parallel.map ~jobs:4 ~chunk:3 (fun i -> i * i) items in
+  Alcotest.(check (array int)) "input order" (Array.map (fun i -> i * i) items) out
+
+let test_parallel_map_empty () =
+  Alcotest.(check (array int)) "empty" [||] (Parallel.map ~jobs:2 (fun i -> i) [||])
+
+let test_parallel_map_exception () =
+  Alcotest.check_raises "first failure re-raised" (Failure "boom") (fun () ->
+      ignore
+        (Parallel.map ~jobs:2 ~chunk:1
+           (fun i -> if i = 5 then failwith "boom" else i)
+           (Array.init 10 (fun i -> i))))
+
+let test_parallel_map_progress () =
+  let total_items = 20 in
+  let seen = ref [] in
+  let out =
+    Parallel.map ~jobs:3 ~chunk:4
+      ~progress:(fun ~done_ ~total ->
+        Alcotest.(check int) "total" total_items total;
+        seen := done_ :: !seen)
+      (fun i -> i)
+      (Array.init total_items (fun i -> i))
+  in
+  Alcotest.(check int) "all results" total_items (Array.length out);
+  let seen = List.rev !seen in
+  Alcotest.(check bool) "strictly increasing" true
+    (List.for_all2 ( < ) (0 :: List.filteri (fun i _ -> i < List.length seen - 1) seen) seen);
+  Alcotest.(check int) "last reports total" total_items
+    (List.nth seen (List.length seen - 1))
+
+let test_pool_rejects_bad_jobs () =
+  Alcotest.check_raises "jobs 0" (Invalid_argument "Parallel.create: jobs must be positive")
+    (fun () -> ignore (Parallel.create ~jobs:0))
+
+(* the ISSUE's headline guarantee: the parallel engine's records are
+   identical, record for record, to the sequential sweep's — on a slice
+   of the quick-config grid kept small enough for CI *)
+let det_programs =
+  [ ("fft1", Ucp_workloads.Suite.find "fft1"); ("crc", Ucp_workloads.Suite.find "crc") ]
+
+let det_sequential =
+  lazy (Experiments.sweep ~programs:det_programs ~configs:Experiments.quick_configs ())
+
+let check_sweep_equal jobs =
+  let seq = Lazy.force det_sequential in
+  let par =
+    Parallel.sweep ~programs:det_programs ~configs:Experiments.quick_configs ~jobs ()
+  in
+  Alcotest.(check int) "cardinality" (List.length seq)
+    (List.length par.Parallel.records);
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "record %d identical (%s@%s)" i a.Experiments.program_name
+           a.Experiments.config_id)
+        true (a = b))
+    (List.combine seq par.Parallel.records);
+  Alcotest.(check bool) "wall time measured" true (par.Parallel.wall_s >= 0.0);
+  Alcotest.(check bool) "stage timers populated" true
+    (Ucp_core.Pipeline.total_timings par.Parallel.timings > 0.0);
+  Alcotest.(check int) "case count" (List.length seq) par.Parallel.cases
+
+let test_parallel_sweep_deterministic () = check_sweep_equal 4
+let test_parallel_sweep_single_worker () = check_sweep_equal 1
+
 let () =
   Alcotest.run "ucp_core"
     [
@@ -135,4 +208,16 @@ let () =
           Alcotest.test_case "quick configs" `Quick test_quick_configs_subset;
         ] );
       ("report", [ Alcotest.test_case "rendering" `Quick test_report_rendering ]);
+      ( "parallel",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_parallel_map_order;
+          Alcotest.test_case "map empty" `Quick test_parallel_map_empty;
+          Alcotest.test_case "map propagates exceptions" `Quick test_parallel_map_exception;
+          Alcotest.test_case "map progress" `Quick test_parallel_map_progress;
+          Alcotest.test_case "pool rejects jobs<1" `Quick test_pool_rejects_bad_jobs;
+          Alcotest.test_case "sweep deterministic (jobs 4)" `Quick
+            test_parallel_sweep_deterministic;
+          Alcotest.test_case "sweep degenerate pool (jobs 1)" `Quick
+            test_parallel_sweep_single_worker;
+        ] );
     ]

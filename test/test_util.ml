@@ -54,6 +54,28 @@ let test_rng_split () =
   Alcotest.(check bool) "split streams differ" true
     (Rng.next_int64 a <> Rng.next_int64 b)
 
+let test_rng_int_unbiased_frequency () =
+  (* rejection sampling: every residue of a small bound is equally
+     likely; with 30_000 draws over bound 3 each bucket expects 10_000,
+     so +-6% is > 10 sigma slack *)
+  let rng = Rng.create 13 in
+  let counts = Array.make 3 0 in
+  let n = 30_000 in
+  for _ = 1 to n do
+    let x = Rng.int rng 3 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bucket near n/3" true (c > 9_400 && c < 10_600))
+    counts
+
+let test_rng_int_bound_one () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "bound 1 is always 0" 0 (Rng.int rng 1)
+  done
+
 let test_rng_bernoulli_frequency () =
   let rng = Rng.create 21 in
   let hits = ref 0 in
@@ -87,6 +109,32 @@ let test_percentile () =
   check_float "median" 3.0 (Stats.percentile 50.0 xs);
   check_float "min" 1.0 (Stats.percentile 0.0 xs);
   check_float "max" 5.0 (Stats.percentile 100.0 xs)
+
+(* pin the documented nearest-rank behavior at the edges *)
+let test_percentile_singleton () =
+  List.iter
+    (fun p -> check_float "singleton" 7.0 (Stats.percentile p [ 7.0 ]))
+    [ 0.0; 1.0; 50.0; 99.0; 100.0 ]
+
+let test_percentile_no_interpolation () =
+  (* even length: the median is the lower middle sample, not 2.5 *)
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  check_float "lower middle" 2.0 (Stats.percentile 50.0 xs);
+  (* nearest rank: any positive p maps to a sample, never between *)
+  check_float "p=10 is min" 1.0 (Stats.percentile 10.0 xs);
+  check_float "p=75 is 3rd" 3.0 (Stats.percentile 75.0 xs);
+  check_float "p=76 is 4th" 4.0 (Stats.percentile 76.0 xs)
+
+let test_percentile_empty () =
+  Alcotest.(check bool) "nan" true (Float.is_nan (Stats.percentile 50.0 []))
+
+(* pin the documented population (not sample) deviation *)
+let test_stddev_population () =
+  check_float "population of {1,2,3,4}"
+    (sqrt 1.25) (* sample deviation would be sqrt (5/3) *)
+    (Stats.stddev [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "singleton" 0.0 (Stats.stddev [ 42.0 ]);
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Stats.stddev []))
 
 let test_fraction_below () =
   check_float "fraction" 0.4 (Stats.fraction_below 3.0 [ 1.0; 2.0; 3.0; 4.0; 5.0 ])
@@ -151,6 +199,8 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
           Alcotest.test_case "int range" `Quick test_rng_int_range;
           Alcotest.test_case "int bad bound" `Quick test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "int unbiased" `Quick test_rng_int_unbiased_frequency;
+          Alcotest.test_case "int bound one" `Quick test_rng_int_bound_one;
           Alcotest.test_case "float range" `Quick test_rng_float_range;
           Alcotest.test_case "copy" `Quick test_rng_copy_independent;
           Alcotest.test_case "split" `Quick test_rng_split;
@@ -164,6 +214,10 @@ let () =
           Alcotest.test_case "geomean nonpositive" `Quick test_geomean_rejects_nonpositive;
           Alcotest.test_case "stddev" `Quick test_stddev;
           Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile singleton" `Quick test_percentile_singleton;
+          Alcotest.test_case "percentile nearest-rank" `Quick test_percentile_no_interpolation;
+          Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+          Alcotest.test_case "stddev population" `Quick test_stddev_population;
           Alcotest.test_case "fraction below" `Quick test_fraction_below;
           Alcotest.test_case "summary" `Quick test_summary;
           QCheck_alcotest.to_alcotest prop_mean_bounds;
