@@ -38,22 +38,46 @@ let full = Sys.getenv_opt "UCP_FULL" = Some "1"
    (Sys.time) sums across cores and overstates elapsed time *)
 let wall_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
+let argv_opt name =
+  (* --name V / --name=V on the command line *)
+  let flag = "--" ^ name and prefix = "--" ^ name ^ "=" in
+  let plen = String.length prefix in
+  let rec scan = function
+    | [] -> None
+    | a :: v :: _ when a = flag -> Some v
+    | a :: tl ->
+      if String.length a >= plen && String.sub a 0 plen = prefix then
+        Some (String.sub a plen (String.length a - plen))
+      else scan tl
+  in
+  scan (Array.to_list Sys.argv)
+
 let jobs =
   (* --jobs N on the command line wins over UCP_JOBS *)
-  let rec from_argv = function
-    | [] -> None
-    | "--jobs" :: v :: _ -> int_of_string_opt v
-    | a :: tl ->
-      if String.length a > 7 && String.sub a 0 7 = "--jobs=" then
-        int_of_string_opt (String.sub a 7 (String.length a - 7))
-      else from_argv tl
-  in
-  match from_argv (Array.to_list Sys.argv) with
+  match Option.bind (argv_opt "jobs") int_of_string_opt with
   | Some j when j >= 1 -> j
-  | Some _ | None -> (
+  | Some _ -> prerr_endline "bench: --jobs: expected a positive integer"; exit 124
+  | None -> (
     try Parallel.default_jobs ()
     with Invalid_argument msg ->
       prerr_endline ("bench: " ^ msg);
+      exit 124)
+
+let timeout =
+  (* --timeout SECS on the command line wins over UCP_CASE_TIMEOUT *)
+  let spec =
+    match argv_opt "timeout" with
+    | Some _ as v -> v
+    | None -> (
+      match Sys.getenv_opt "UCP_CASE_TIMEOUT" with Some "" -> None | v -> v)
+  in
+  match spec with
+  | None -> None
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some t when t > 0.0 -> Some t
+    | Some _ | None ->
+      prerr_endline ("bench: timeout " ^ s ^ ": expected positive seconds");
       exit 124)
 
 (* ------------------------------------------------------------------ *)
@@ -164,11 +188,16 @@ let reproduce () =
     if done_ = total || done_ mod 64 = 0 then
       Printf.eprintf "\r[sweep] %d/%d%!" done_ total
   in
-  (* open before the (minutes-long) sweep so a bad UCP_SWEEP_OUT path
-     fails immediately instead of discarding the finished run *)
-  let oc = open_out summary_path in
+  (* probe before the (minutes-long) sweep so a bad UCP_SWEEP_OUT path
+     fails immediately instead of discarding the finished run; the real
+     write below is atomic (temp + rename), so the previous summary is
+     never left half-overwritten *)
+  (try close_out (open_out_gen [ Open_append; Open_creat ] 0o644 summary_path)
+   with Sys_error msg ->
+     prerr_endline ("bench: " ^ msg);
+     exit 1);
   let t0 = wall_s () in
-  let s = Parallel.sweep ~configs ~jobs ~progress () in
+  let s = Parallel.sweep ~configs ~jobs ~progress ?timeout () in
   Printf.eprintf "\r%!";
   let records = s.Parallel.records in
   let tm = s.Parallel.timings in
@@ -177,12 +206,13 @@ let reproduce () =
   Printf.printf
     "  per-stage cost (summed over workers): analysis %.1fs | optimize %.1fs | simulate %.1fs\n\n%!"
     tm.Pipeline.analysis_s tm.Pipeline.optimize_s tm.Pipeline.simulate_s;
-  output_string oc
+  if s.Parallel.failures <> [] then
+    print_string (Report.outcome_summary s.Parallel.results);
+  Ucp_core.Checkpoint.write_atomic ~path:summary_path
     (Report.sweep_jsonl ~wall_s:s.Parallel.wall_s ~jobs:s.Parallel.jobs
-       ~timings:tm records);
-  close_out oc;
+       ~timings:tm ~outcomes:s.Parallel.results records);
   Printf.printf "per-use-case summary written to %s (%d records + summary line)\n\n%!"
-    summary_path s.Parallel.cases;
+    summary_path (List.length records);
   print_string (Report.all records);
   print_newline ();
   print_string

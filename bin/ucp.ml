@@ -334,9 +334,28 @@ let persistence_cmd =
     Term.(const run $ program_arg $ config_arg)
 
 let experiment_cmd =
-  let run full figure jobs =
+  let run full figure jobs timeout checkpoint resume programs =
+    (* fault-injection hooks for robustness testing: parsed up front so a
+       typo in UCP_FAULT aborts before the sweep starts *)
+    (try Ucp_core.Fault.load_env ()
+     with Invalid_argument msg ->
+       Printf.eprintf "ucp: %s\n" msg;
+       exit 124);
     let configs =
       if full then Experiments.default_configs else Experiments.quick_configs
+    in
+    let programs =
+      match programs with
+      | None -> Suite.all
+      | Some names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n Suite.all with
+            | Some p -> (n, p)
+            | None ->
+              Printf.eprintf "ucp: unknown program %S (try `ucp list')\n" n;
+              exit 124)
+          names
     in
     let jobs =
       match jobs with
@@ -347,14 +366,43 @@ let experiment_cmd =
           Printf.eprintf "ucp: %s\n" msg;
           exit 124)
     in
+    let timeout =
+      match timeout with
+      | Some _ -> timeout
+      | None -> (
+        match Sys.getenv_opt "UCP_CASE_TIMEOUT" with
+        | None | Some "" -> None
+        | Some s -> (
+          match float_of_string_opt s with
+          | Some t when t > 0.0 -> Some t
+          | Some _ | None ->
+            Printf.eprintf "ucp: UCP_CASE_TIMEOUT=%s: expected positive seconds\n" s;
+            exit 124))
+    in
+    if resume && checkpoint = None then begin
+      Printf.eprintf "ucp: --resume requires --checkpoint PATH\n";
+      exit 124
+    end;
     let progress ~done_ ~total =
       Printf.eprintf "\r[sweep] %d/%d use cases%!" done_ total
     in
-    let s = Ucp_core.Parallel.sweep ~configs ~jobs ~progress () in
+    let s =
+      try
+        Ucp_core.Parallel.sweep ~programs ~configs ~jobs ~progress ?timeout
+          ?checkpoint ~resume ()
+      with Failure msg ->
+        (* e.g. resuming against a journal for a different grid *)
+        Printf.eprintf "ucp: %s\n" msg;
+        exit 2
+    in
     Printf.eprintf "\r[sweep] %d use cases on %d worker%s in %.1fs wall\n%!"
       s.Ucp_core.Parallel.cases s.Ucp_core.Parallel.jobs
       (if s.Ucp_core.Parallel.jobs = 1 then "" else "s")
       s.Ucp_core.Parallel.wall_s;
+    if s.Ucp_core.Parallel.resumed > 0 then
+      Printf.eprintf "[sweep] %d case%s replayed from checkpoint\n%!"
+        s.Ucp_core.Parallel.resumed
+        (if s.Ucp_core.Parallel.resumed = 1 then "" else "s");
     let records = s.Ucp_core.Parallel.records in
     let out =
       match figure with
@@ -366,7 +414,9 @@ let experiment_cmd =
       | Some 8 -> Report.figure8 records
       | Some n -> Printf.sprintf "no such figure: %d (3,4,5,7,8)\n" n
     in
-    print_string out
+    print_string out;
+    prerr_string (Report.outcome_summary s.Ucp_core.Parallel.results);
+    if s.Ucp_core.Parallel.failures <> [] then exit 3
   in
   let full =
     Arg.(
@@ -396,9 +446,52 @@ let experiment_cmd =
             "Worker domains for the sweep (default: $(b,UCP_JOBS) if set, else \
              the recommended domain count).")
   in
+  let timeout_conv =
+    let parse s =
+      match float_of_string_opt s with
+      | Some t when t > 0.0 -> Ok t
+      | Some _ | None -> Error (`Msg "expected a positive number of seconds")
+    in
+    Arg.conv (parse, Format.pp_print_float)
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some timeout_conv) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-use-case deadline in seconds; a case that overruns it is \
+             reported as timed out instead of blocking the sweep (default: \
+             $(b,UCP_CASE_TIMEOUT) if set, else none).")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:
+            "Append each finished use case to a JSONL journal at $(docv), \
+             flushed per record, so an interrupted sweep can be resumed.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay completed cases from the $(b,--checkpoint) journal and \
+             evaluate only the rest; the journal must match the sweep grid.")
+  in
+  let programs =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "programs" ] ~docv:"NAMES"
+          ~doc:"Comma-separated subset of workload programs to sweep.")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run the evaluation sweep and print the paper's figures.")
-    Term.(const run $ full $ figure $ jobs)
+    Term.(
+      const run $ full $ figure $ jobs $ timeout $ checkpoint $ resume $ programs)
 
 let () =
   let doc = "WCET-safe, energy-oriented instruction-cache prefetching (DAC 2013)" in

@@ -6,3 +6,35 @@ set -eu
 
 dune build
 dune runtest
+
+# Robustness smoke: run a tiny sweep (2 programs x 12 quick configs x
+# 2 techs = 48 use cases) with two injected faults -- one case raises,
+# one stalls past the 1s per-case deadline -- and check the engine
+# degrades exactly those two cases to structured outcomes instead of
+# aborting the sweep or hanging.
+smoke_err=$(mktemp)
+trap 'rm -f "$smoke_err"' EXIT
+
+status=0
+UCP_FAULT='fft1:k2:45nm=raise,crc:k2:32nm=stall:30' \
+  dune exec --no-build bin/ucp.exe -- experiment \
+  --programs fft1,crc --timeout 1 --jobs 2 \
+  >/dev/null 2>"$smoke_err" || status=$?
+
+if [ "$status" -ne 3 ]; then
+  echo "ci: fault smoke: expected exit status 3 (failed cases), got $status" >&2
+  cat "$smoke_err" >&2
+  exit 1
+fi
+for pat in \
+  'cases: 46 ok, 1 failed, 1 timed out, 0 invariant violations' \
+  'fft1:k2:45nm: failed:.*Injected' \
+  'crc:k2:32nm: timed out'
+do
+  if ! grep -q "$pat" "$smoke_err"; then
+    echo "ci: fault smoke: expected output matching '$pat'" >&2
+    cat "$smoke_err" >&2
+    exit 1
+  fi
+done
+echo "ci: fault-injection smoke passed"

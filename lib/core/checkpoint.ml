@@ -1,0 +1,375 @@
+module Config = Ucp_cache.Config
+module Tech = Ucp_energy.Tech
+
+let format_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* minimal JSON: just enough to round-trip our own journal lines *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of string  (* raw token: keeps ints exact and floats lossless *)
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Malformed of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Malformed (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+        | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+        | Some 'u' ->
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          let hex = String.sub s (!pos + 1) 4 in
+          let code =
+            match int_of_string_opt ("0x" ^ hex) with
+            | Some c -> c
+            | None -> fail "bad \\u escape"
+          in
+          (* our writer only \u-escapes ASCII control characters *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else Buffer.add_char buf '?';
+          pos := !pos + 5;
+          go ()
+        | _ -> fail "bad escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    Num (String.sub s start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or } in object"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); Arr [] end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ] in array"
+        in
+        elements []
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field obj key =
+  match obj with
+  | Obj kvs -> (
+    match List.assoc_opt key kvs with
+    | Some v -> v
+    | None -> raise (Malformed ("missing field " ^ key)))
+  | _ -> raise (Malformed "expected an object")
+
+let to_int = function
+  | Num raw -> (
+    match int_of_string_opt raw with
+    | Some i -> i
+    | None -> raise (Malformed ("not an integer: " ^ raw)))
+  | _ -> raise (Malformed "expected a number")
+
+let to_float = function
+  | Num raw -> (
+    match float_of_string_opt raw with
+    | Some f -> f
+    | None -> raise (Malformed ("not a number: " ^ raw)))
+  | _ -> raise (Malformed "expected a number")
+
+let to_string = function
+  | Str s -> s
+  | _ -> raise (Malformed "expected a string")
+
+(* ------------------------------------------------------------------ *)
+(* journal lines *)
+
+(* %.17g round-trips any finite double exactly *)
+let flt f = Printf.sprintf "%.17g" f
+
+let measurement_json (m : Pipeline.measurement) =
+  Printf.sprintf
+    {|{"tau":%d,"acet":%d,"energy_pj":%s,"miss_rate":%s,"executed":%d,"demand_misses":%d,"wcet_miss_bound":%d}|}
+    m.Pipeline.tau m.Pipeline.acet (flt m.Pipeline.energy_pj)
+    (flt m.Pipeline.miss_rate) m.Pipeline.executed m.Pipeline.demand_misses
+    m.Pipeline.wcet_miss_bound
+
+let measurement_of_json j : Pipeline.measurement =
+  {
+    Pipeline.tau = to_int (field j "tau");
+    acet = to_int (field j "acet");
+    energy_pj = to_float (field j "energy_pj");
+    miss_rate = to_float (field j "miss_rate");
+    executed = to_int (field j "executed");
+    demand_misses = to_int (field j "demand_misses");
+    wcet_miss_bound = to_int (field j "wcet_miss_bound");
+  }
+
+let record_line ~id (r : Experiments.record) =
+  Printf.sprintf
+    {|{"case":%s,"program":%s,"config_id":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tech":%s,"prefetches":%d,"rejected":%d,"original":%s,"optimized":%s}|}
+    (Report.json_string id)
+    (Report.json_string r.Experiments.program_name)
+    (Report.json_string r.Experiments.config_id)
+    r.Experiments.config.Config.assoc r.Experiments.config.Config.block_bytes
+    r.Experiments.config.Config.capacity
+    (Report.json_string r.Experiments.tech.Tech.label)
+    r.Experiments.prefetches r.Experiments.rejected
+    (measurement_json r.Experiments.original)
+    (measurement_json r.Experiments.optimized)
+
+let tech_of_label label =
+  match List.find_opt (fun t -> t.Tech.label = label) Tech.all with
+  | Some t -> t
+  | None -> raise (Malformed ("unknown technology " ^ label))
+
+let parse_line line =
+  match parse line with
+  | exception Malformed _ -> None
+  | j -> (
+    try
+      let id = to_string (field j "case") in
+      let record =
+        {
+          Experiments.program_name = to_string (field j "program");
+          config_id = to_string (field j "config_id");
+          config =
+            Config.make
+              ~assoc:(to_int (field j "assoc"))
+              ~block_bytes:(to_int (field j "block_bytes"))
+              ~capacity:(to_int (field j "capacity"));
+          tech = tech_of_label (to_string (field j "tech"));
+          original = measurement_of_json (field j "original");
+          optimized = measurement_of_json (field j "optimized");
+          prefetches = to_int (field j "prefetches");
+          rejected = to_int (field j "rejected");
+        }
+      in
+      Some (id, record)
+    with Malformed _ | Invalid_argument _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* grid fingerprint *)
+
+let fingerprint ~programs ~configs ~techs =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "ucp-checkpoint-v%d\n" format_version);
+  List.iter
+    (fun (name, p) ->
+      Buffer.add_string buf
+        (Printf.sprintf "p %s %d\n" name (Ucp_isa.Program.total_slots p)))
+    programs;
+  List.iter
+    (fun (id, (c : Config.t)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "k %s %d %d %d\n" id c.Config.assoc c.Config.block_bytes
+           c.Config.capacity))
+    configs;
+  List.iter
+    (fun (t : Tech.t) -> Buffer.add_string buf (Printf.sprintf "t %s\n" t.Tech.label))
+    techs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let header_line fingerprint =
+  Printf.sprintf {|{"ucp_checkpoint":%d,"fingerprint":%s}|} format_version
+    (Report.json_string fingerprint)
+
+(* ------------------------------------------------------------------ *)
+(* journal lifecycle *)
+
+type t = {
+  oc : out_channel;
+  lock : Mutex.t;
+  loaded : (string, Experiments.record) Hashtbl.t;
+}
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let replay path ~fingerprint tbl =
+  match read_lines path with
+  | [] | (exception Sys_error _) -> ()
+  | header :: rest ->
+    (match parse header with
+    | exception Malformed _ ->
+      failwith (Printf.sprintf "Checkpoint.start: %s: unreadable journal header" path)
+    | j ->
+      let v = try to_int (field j "ucp_checkpoint") with Malformed _ -> -1 in
+      if v <> format_version then
+        failwith
+          (Printf.sprintf "Checkpoint.start: %s: unsupported journal version" path);
+      let fp = try to_string (field j "fingerprint") with Malformed _ -> "" in
+      if fp <> fingerprint then
+        failwith
+          (Printf.sprintf
+             "Checkpoint.start: %s: sweep fingerprint mismatch (journal %s, grid %s) \
+              — the checkpoint belongs to a different suite/config/tech grid"
+             path fp fingerprint));
+    let n = List.length rest in
+    List.iteri
+      (fun i line ->
+        match parse_line line with
+        | Some (id, record) -> Hashtbl.replace tbl id record
+        | None ->
+          (* a torn final line is the expected crash artifact; anything
+             malformed earlier means real corruption *)
+          if i < n - 1 then
+            failwith
+              (Printf.sprintf "Checkpoint.start: %s: corrupt journal line %d" path
+                 (i + 2)))
+      rest
+
+let start ~path ~fingerprint ~resume =
+  let loaded = Hashtbl.create 97 in
+  if resume && Sys.file_exists path then begin
+    replay path ~fingerprint loaded;
+    (* rewrite the journal from what survived replay: this drops a torn
+       trailing line instead of appending after it *)
+    let oc = open_out path in
+    output_string oc (header_line fingerprint);
+    output_char oc '\n';
+    Hashtbl.iter
+      (fun id record ->
+        output_string oc (record_line ~id record);
+        output_char oc '\n')
+      loaded;
+    flush oc;
+    { oc; lock = Mutex.create (); loaded }
+  end
+  else begin
+    let oc = open_out path in
+    output_string oc (header_line fingerprint);
+    output_char oc '\n';
+    flush oc;
+    { oc; lock = Mutex.create (); loaded }
+  end
+
+let completed t = t.loaded
+
+let record t ~id record =
+  let line = record_line ~id record in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc)
+
+let close t = close_out_noerr t.oc
+
+let write_atomic ~path content =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (match output_string oc content with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path

@@ -1,0 +1,58 @@
+(** Crash-safe checkpoint/resume for the sweep.
+
+    The journal is a JSONL file: a header line carrying a fingerprint
+    of the sweep grid, then one line per {e completed} use case with
+    the full record (floats serialized losslessly, so a resumed sweep
+    reproduces an uninterrupted run bit for bit).  Lines are appended
+    and flushed as cases finish; a crash can tear at most the final
+    line, which {!start} tolerates and drops.  Failed / timed-out /
+    invariant-violating cases are {e not} journaled — a resume retries
+    them.
+
+    The fingerprint hashes the suite, the configuration grid and the
+    technology list; resuming against a journal written for a different
+    grid is rejected instead of silently mixing records. *)
+
+type t
+
+val fingerprint :
+  programs:(string * Ucp_isa.Program.t) list ->
+  configs:(string * Ucp_cache.Config.t) list ->
+  techs:Ucp_energy.Tech.t list ->
+  string
+(** Hex digest of the sweep grid (program names and sizes, config ids
+    and geometries, tech labels, plus the journal format version). *)
+
+val start :
+  path:string -> fingerprint:string -> resume:bool -> t
+(** Open a journal.  With [resume:false] the file is truncated and a
+    fresh header written.  With [resume:true] an existing journal is
+    replayed first: its header fingerprint must match (otherwise
+    [Failure]), complete record lines populate {!completed}, and a torn
+    trailing line is dropped; a missing or empty file degrades to a
+    fresh start.  The channel is then positioned for appending.
+    @raise Failure on a fingerprint mismatch or a corrupt line in the
+    middle of the journal;
+    @raise Sys_error if the path cannot be opened. *)
+
+val completed : t -> (string, Experiments.record) Hashtbl.t
+(** Records replayed from the journal at {!start} time, keyed by
+    {!Experiments.case_id}.  Empty unless resuming. *)
+
+val record : t -> id:string -> Experiments.record -> unit
+(** Append one finished case and flush.  Thread-safe (worker domains
+    journal concurrently). *)
+
+val close : t -> unit
+
+(** {2 Serialization} (exposed for tests) *)
+
+val record_line : id:string -> Experiments.record -> string
+(** One journal line (no trailing newline). *)
+
+val parse_line : string -> (string * Experiments.record) option
+(** Inverse of {!record_line}; [None] on malformed input. *)
+
+val write_atomic : path:string -> string -> unit
+(** Write a whole file via temp-file + rename, so readers never observe
+    a half-written output and a crash leaves the old file intact. *)

@@ -29,6 +29,13 @@ type case = {
   case_tech : Tech.t;
 }
 
+(* The stable identity of a use case across runs: suite name, Table-2
+   config id and technology label.  Checkpoint journals and fault
+   injection key on this string. *)
+let case_id c =
+  Printf.sprintf "%s:%s:%s" c.case_program_name c.case_config_id
+    c.case_tech.Tech.label
+
 let cases ~programs ~configs ~techs =
   Array.of_list
     (List.concat_map
@@ -60,9 +67,10 @@ let model_table configs techs =
     configs;
   tbl
 
-let run_case ?timed ~model c =
+let run_case ?deadline ?timed ~model c =
   let cmp =
-    Pipeline.compare_optimized ~model ?timed c.case_program c.case_config c.case_tech
+    Pipeline.compare_optimized ?deadline ~model ?timed c.case_program c.case_config
+      c.case_tech
   in
   {
     program_name = c.case_program_name;
@@ -74,6 +82,32 @@ let run_case ?timed ~model c =
     prefetches = cmp.Pipeline.prefetches;
     rejected = cmp.Pipeline.rejected;
   }
+
+(* Defense in depth for the paper's central claims (Theorem 1,
+   Supplement S.2): cross-check each finished record against the
+   invariants the analysis promises.  A violation means a bug somewhere
+   in the pipeline (or an injected fault) — the sweep demotes the
+   record to a structured [Invariant_violation] instead of silently
+   reporting unsound numbers. *)
+let check_invariants r =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if r.optimized.Pipeline.tau > r.original.Pipeline.tau then
+    add "Theorem 1 violated: optimized tau %d > original tau %d"
+      r.optimized.Pipeline.tau r.original.Pipeline.tau;
+  let side label (m : Pipeline.measurement) =
+    if m.Pipeline.acet > m.Pipeline.tau then
+      add "%s: simulated ACET %d exceeds the WCET bound %d" label m.Pipeline.acet
+        m.Pipeline.tau;
+    if m.Pipeline.demand_misses > m.Pipeline.wcet_miss_bound then
+      add "%s: simulated demand misses %d exceed the analysis bound %d" label
+        m.Pipeline.demand_misses m.Pipeline.wcet_miss_bound
+  in
+  side "original" r.original;
+  side "optimized" r.optimized;
+  match List.rev !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " ps)
 
 let sweep ?(programs = Ucp_workloads.Suite.all) ?(configs = default_configs)
     ?(techs = Tech.all) ?(progress = fun _ -> ()) () =
@@ -95,9 +129,19 @@ let capacities records =
 let by_capacity records cap =
   List.filter (fun r -> r.config.Config.capacity = cap) records
 
-let ratio num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den
+(* A zero denominator makes the ratio meaningless; returning a neutral
+   1.0 would silently fold the degenerate case into the averages, so
+   the aggregations drop it from the mean and surface a count instead. *)
+let ratio num den = if den = 0 then None else Some (float_of_int num /. float_of_int den)
 
-let fratio num den = if den = 0.0 then 1.0 else num /. den
+let fratio num den = if den = 0.0 then None else Some (num /. den)
+
+(* [mean_ratios f rs] averages the defined ratios and counts the
+   degenerate (zero-denominator) ones it had to drop. *)
+let mean_ratios f rs =
+  let defined = List.filter_map f rs in
+  let mean = match defined with [] -> 1.0 | xs -> Stats.mean xs in
+  (mean, List.length rs - List.length defined)
 
 type size_row = {
   capacity : int;
@@ -105,23 +149,34 @@ type size_row = {
   energy_improvement : float;
   wcet_improvement : float;
   cases : int;
+  degenerate : int;
 }
 
 let figure3 records =
   List.map
     (fun capacity ->
       let rs = by_capacity records capacity in
-      let improvement f = 1.0 -. Stats.mean (List.map f rs) in
+      let improvement f =
+        let m, deg = mean_ratios f rs in
+        (1.0 -. m, deg)
+      in
+      let acet, deg_a =
+        improvement (fun r -> ratio r.optimized.Pipeline.acet r.original.Pipeline.acet)
+      in
+      let energy, deg_e =
+        improvement (fun r ->
+            fratio r.optimized.Pipeline.energy_pj r.original.Pipeline.energy_pj)
+      in
+      let wcet, deg_w =
+        improvement (fun r -> ratio r.optimized.Pipeline.tau r.original.Pipeline.tau)
+      in
       {
         capacity;
-        acet_improvement =
-          improvement (fun r -> ratio r.optimized.Pipeline.acet r.original.Pipeline.acet);
-        energy_improvement =
-          improvement (fun r ->
-              fratio r.optimized.Pipeline.energy_pj r.original.Pipeline.energy_pj);
-        wcet_improvement =
-          improvement (fun r -> ratio r.optimized.Pipeline.tau r.original.Pipeline.tau);
+        acet_improvement = acet;
+        energy_improvement = energy;
+        wcet_improvement = wcet;
         cases = List.length rs;
+        degenerate = deg_a + deg_e + deg_w;
       })
     (capacities records)
 
@@ -151,22 +206,38 @@ type downsize_row = {
   energy_ratio : float;
   wcet_ratio : float;
   cases : int;
+  degenerate : int;
 }
 
 (* Join each record against the sweep record of the same program,
    technology, associativity and block size whose capacity is
    [capacity / factor]: the optimized program built *for the smaller
-   cache* runs there, the original runs on the full-size cache. *)
+   cache* runs there, the original runs on the full-size cache.  The
+   join is served by a hash index on the full geometry key — the old
+   per-record list scan made the figure O(n²) in sweep size. *)
 let figure5 records =
+  let index = Hashtbl.create 512 in
+  List.iter
+    (fun r ->
+      let key =
+        ( r.program_name,
+          r.tech.Tech.node,
+          r.config.Config.assoc,
+          r.config.Config.block_bytes,
+          r.config.Config.capacity )
+      in
+      (* keep the first record per key, like the list scan it replaces *)
+      if not (Hashtbl.mem index key) then Hashtbl.add index key r)
+    records;
   let find_small r factor =
-    List.find_opt
-      (fun r' ->
-        r'.program_name = r.program_name
-        && r'.tech.Tech.node = r.tech.Tech.node
-        && r'.config.Config.assoc = r.config.Config.assoc
-        && r'.config.Config.block_bytes = r.config.Config.block_bytes
-        && r'.config.Config.capacity * factor = r.config.Config.capacity)
-      records
+    if r.config.Config.capacity mod factor <> 0 then None
+    else
+      Hashtbl.find_opt index
+        ( r.program_name,
+          r.tech.Tech.node,
+          r.config.Config.assoc,
+          r.config.Config.block_bytes,
+          r.config.Config.capacity / factor )
   in
   List.concat_map
     (fun factor ->
@@ -175,29 +246,34 @@ let figure5 records =
           let rs = by_capacity records capacity in
           let pairs = List.filter_map (fun r -> Option.map (fun s -> (r, s)) (find_small r factor)) rs in
           if pairs = [] then None
-          else
+          else begin
+            let acet, deg_a =
+              mean_ratios
+                (fun (r, s) -> ratio s.optimized.Pipeline.acet r.original.Pipeline.acet)
+                pairs
+            in
+            let energy, deg_e =
+              mean_ratios
+                (fun (r, s) ->
+                  fratio s.optimized.Pipeline.energy_pj r.original.Pipeline.energy_pj)
+                pairs
+            in
+            let wcet, deg_w =
+              mean_ratios
+                (fun (r, s) -> ratio s.optimized.Pipeline.tau r.original.Pipeline.tau)
+                pairs
+            in
             Some
               {
                 capacity;
                 factor;
-                acet_ratio =
-                  Stats.mean
-                    (List.map
-                       (fun (r, s) -> ratio s.optimized.Pipeline.acet r.original.Pipeline.acet)
-                       pairs);
-                energy_ratio =
-                  Stats.mean
-                    (List.map
-                       (fun (r, s) ->
-                         fratio s.optimized.Pipeline.energy_pj r.original.Pipeline.energy_pj)
-                       pairs);
-                wcet_ratio =
-                  Stats.mean
-                    (List.map
-                       (fun (r, s) -> ratio s.optimized.Pipeline.tau r.original.Pipeline.tau)
-                       pairs);
+                acet_ratio = acet;
+                energy_ratio = energy;
+                wcet_ratio = wcet;
                 cases = List.length pairs;
-              })
+                degenerate = deg_a + deg_e + deg_w;
+              }
+          end)
         (capacities records))
     [ 2; 4 ]
 
@@ -205,16 +281,17 @@ type wcet_scatter = {
   ratios : (string * string * float) list;
   summary : Stats.summary;
   all_non_increasing : bool;
+  degenerate : int;
 }
 
 let figure7 records =
   let at32 = List.filter (fun r -> r.tech.Tech.node = Tech.Nm32) records in
   let ratios =
-    List.map
+    List.filter_map
       (fun r ->
-        ( r.program_name,
-          r.config_id,
-          ratio r.optimized.Pipeline.tau r.original.Pipeline.tau ))
+        Option.map
+          (fun v -> (r.program_name, r.config_id, v))
+          (ratio r.optimized.Pipeline.tau r.original.Pipeline.tau))
       at32
   in
   let values = List.map (fun (_, _, v) -> v) ratios in
@@ -222,6 +299,7 @@ let figure7 records =
     ratios;
     summary = Stats.summarize values;
     all_non_increasing = List.for_all (fun v -> v <= 1.0 +. 1e-9) values;
+    degenerate = List.length at32 - List.length ratios;
   }
 
 type exec_row = {
@@ -229,6 +307,7 @@ type exec_row = {
   exec_ratio : float;
   max_ratio : float;
   cases : int;
+  degenerate : int;
 }
 
 let figure8 records =
@@ -236,13 +315,16 @@ let figure8 records =
     (fun capacity ->
       let rs = by_capacity records capacity in
       let ratios =
-        List.map (fun r -> ratio r.optimized.Pipeline.executed r.original.Pipeline.executed) rs
+        List.filter_map
+          (fun r -> ratio r.optimized.Pipeline.executed r.original.Pipeline.executed)
+          rs
       in
       {
         capacity;
-        exec_ratio = Stats.mean ratios;
-        max_ratio = Stats.maximum ratios;
+        exec_ratio = (match ratios with [] -> 1.0 | xs -> Stats.mean xs);
+        max_ratio = (match ratios with [] -> 1.0 | xs -> Stats.maximum xs);
         cases = List.length rs;
+        degenerate = List.length rs - List.length ratios;
       })
     (capacities records)
 

@@ -51,6 +51,11 @@ val cases :
   case array
 (** The full cross product, in sweep order. *)
 
+val case_id : case -> string
+(** Stable identity of a use case across runs and processes:
+    ["<program>:<config id>:<tech label>"], e.g. ["fft1:k14:45nm"].
+    Checkpoint journals and fault injection are keyed on it. *)
+
 val model_table :
   (string * Ucp_cache.Config.t) list ->
   Ucp_energy.Tech.t list ->
@@ -60,12 +65,30 @@ val model_table :
     so worker domains only ever read the table. *)
 
 val run_case :
+  ?deadline:Ucp_util.Deadline.t ->
   ?timed:Pipeline.timings ->
   model:Ucp_energy.Cacti.t ->
   case ->
   record
 (** Evaluate one use case ([model] must be the case's entry from
-    {!model_table}). *)
+    {!model_table}).  [?deadline] bounds the analysis/optimizer stages
+    (see {!Pipeline.compare_optimized}). *)
+
+val check_invariants : record -> (unit, string) result
+(** Runtime guard over the paper's soundness claims: Theorem 1
+    ([optimized.tau <= original.tau]) and, per measurement, the
+    simulated run staying under its analysis bounds ([acet <= tau],
+    [demand_misses <= wcet_miss_bound]).  [Error msg] describes every
+    violated invariant; the parallel sweep turns it into an
+    [Invariant_violation] outcome instead of a record. *)
+
+val ratio : int -> int -> float option
+(** [ratio num den] is [None] when [den = 0] — degenerate cases are
+    dropped from the figure averages and counted, not silently folded
+    in as a neutral 1.0. *)
+
+val fratio : float -> float -> float option
+(** Float variant of {!ratio}. *)
 
 val default_configs : (string * Ucp_cache.Config.t) list
 (** Table 2. *)
@@ -75,13 +98,16 @@ val quick_configs : (string * Ucp_cache.Config.t) list
     4, capacities 256/1024/4096) for fast runs. *)
 
 (** Per-cache-size averages of the improvement ratios (Figure 3 plots
-    [1 - optimized/original] for ACET and energy; WCET shown alongside). *)
+    [1 - optimized/original] for ACET and energy; WCET shown alongside).
+    [degenerate] counts zero-denominator ratios that had to be dropped
+    from the averages (they are no longer silently treated as 1.0). *)
 type size_row = {
   capacity : int;
   acet_improvement : float;
   energy_improvement : float;
   wcet_improvement : float;
   cases : int;
+  degenerate : int;
 }
 
 val figure3 : record list -> size_row list
@@ -107,6 +133,7 @@ type downsize_row = {
   energy_ratio : float;
   wcet_ratio : float;
   cases : int;
+  degenerate : int;  (** zero-denominator ratios dropped from the means *)
 }
 
 val figure5 : record list -> downsize_row list
@@ -116,6 +143,7 @@ type wcet_scatter = {
   ratios : (string * string * float) list;  (** program, config, ratio *)
   summary : Ucp_util.Stats.summary;
   all_non_increasing : bool;  (** Theorem 1 across the sweep *)
+  degenerate : int;  (** 32nm cases with a zero original tau, excluded *)
 }
 
 val figure7 : record list -> wcet_scatter
@@ -126,6 +154,7 @@ type exec_row = {
   exec_ratio : float;
   max_ratio : float;
   cases : int;
+  degenerate : int;  (** zero-denominator ratios dropped from the means *)
 }
 
 val figure8 : record list -> exec_row list

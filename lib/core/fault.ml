@@ -1,0 +1,80 @@
+module Deadline = Ucp_util.Deadline
+
+type mode =
+  | Raise
+  | Stall of float
+  | Corrupt_tau of int
+
+exception Injected of string
+
+let hooks : (string, mode) Hashtbl.t = Hashtbl.create 7
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let set id mode = with_lock (fun () -> Hashtbl.replace hooks id mode)
+let clear () = with_lock (fun () -> Hashtbl.reset hooks)
+let find id = with_lock (fun () -> Hashtbl.find_opt hooks id)
+
+let parse_entry entry =
+  match String.index_opt entry '=' with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "UCP_FAULT: %S: expected <case_id>=<raise|stall|corrupt>" entry)
+  | Some i ->
+    let id = String.sub entry 0 i in
+    let mode = String.sub entry (i + 1) (String.length entry - i - 1) in
+    let arg name s default of_string =
+      match String.split_on_char ':' s with
+      | [ _ ] -> default
+      | [ _; v ] -> (
+        match of_string v with
+        | Some x -> x
+        | None -> invalid_arg (Printf.sprintf "UCP_FAULT: bad %s argument %S" name v))
+      | _ -> invalid_arg (Printf.sprintf "UCP_FAULT: bad %s mode %S" name s)
+    in
+    if id = "" then invalid_arg (Printf.sprintf "UCP_FAULT: %S: empty case id" entry);
+    let mode =
+      if mode = "raise" then Raise
+      else if mode = "stall" || String.length mode > 6 && String.sub mode 0 6 = "stall:"
+      then Stall (arg "stall" mode 10.0 float_of_string_opt)
+      else if
+        mode = "corrupt" || (String.length mode > 8 && String.sub mode 0 8 = "corrupt:")
+      then Corrupt_tau (arg "corrupt" mode 1000 int_of_string_opt)
+      else invalid_arg (Printf.sprintf "UCP_FAULT: unknown mode %S" mode)
+    in
+    (id, mode)
+
+let load_env () =
+  match Sys.getenv_opt "UCP_FAULT" with
+  | None | Some "" -> ()
+  | Some spec ->
+    List.iter
+      (fun entry ->
+        if entry <> "" then
+          let id, mode = parse_entry (String.trim entry) in
+          set id mode)
+      (String.split_on_char ',' spec)
+
+let apply_pre ?deadline id =
+  match find id with
+  | None | Some (Corrupt_tau _) -> ()
+  | Some Raise -> raise (Injected id)
+  | Some (Stall secs) ->
+    let t0 = Unix.gettimeofday () in
+    while Unix.gettimeofday () -. t0 < secs do
+      Deadline.check deadline;
+      Unix.sleepf 0.002
+    done
+
+let corrupt id (r : Experiments.record) =
+  match find id with
+  | Some (Corrupt_tau extra) ->
+    {
+      r with
+      Experiments.optimized =
+        { r.Experiments.optimized with Pipeline.tau = r.Experiments.optimized.Pipeline.tau + extra };
+    }
+  | _ -> r

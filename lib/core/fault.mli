@@ -1,0 +1,53 @@
+(** Fault injection for the sweep pipeline — test scaffolding that
+    proves the fault-tolerance layer actually works.
+
+    A hook is keyed by the stable {!Experiments.case_id} of a use case
+    and makes exactly that case raise, stall, or corrupt its result.
+    Hooks are installed programmatically ({!set}) by tests, or from the
+    [UCP_FAULT] environment variable ({!load_env}) by the CLI drivers,
+    which is how [ci.sh] runs its fault-injected smoke sweep.
+
+    The hook table is written before a sweep starts and only read
+    (under its lock) by worker domains afterwards; an empty table costs
+    one mutex acquisition per case. *)
+
+type mode =
+  | Raise  (** the case raises [Injected] instead of running *)
+  | Stall of float
+      (** busy-wait (checking the case deadline) for up to the given
+          number of seconds before running; with an armed deadline the
+          stall is interrupted by [Deadline_exceeded] — this is how the
+          timeout path is exercised *)
+  | Corrupt_tau of int
+      (** run the case normally, then inflate the optimized [tau] by
+          the given number of cycles — a synthetic Theorem-1 violation
+          for exercising the invariant guard *)
+
+exception Injected of string
+(** Raised by a [Raise] hook; the payload is the case id. *)
+
+val set : string -> mode -> unit
+(** [set case_id mode] installs (or replaces) the hook for a case. *)
+
+val clear : unit -> unit
+(** Remove every hook (tests call this in a finalizer). *)
+
+val find : string -> mode option
+
+val load_env : unit -> unit
+(** Install hooks from [UCP_FAULT]: a comma-separated list of
+    [<case_id>=<mode>] entries where mode is [raise], [stall],
+    [stall:<secs>] (default 10s) or [corrupt] / [corrupt:<cycles>]
+    (default 1000).  Example:
+    [UCP_FAULT='fft1:k2:45nm=raise,crc:k3:32nm=stall'].  Unset or empty
+    means no hooks.
+    @raise Invalid_argument on a malformed entry. *)
+
+val apply_pre : ?deadline:Ucp_util.Deadline.t -> string -> unit
+(** Run the pre-execution side of the case's hook, if any: [Raise]
+    raises {!Injected}, [Stall] spins until its duration elapses or the
+    deadline fires.  [Corrupt_tau] does nothing here. *)
+
+val corrupt : string -> Experiments.record -> Experiments.record
+(** Apply the case's [Corrupt_tau] hook to a finished record, if any;
+    identity otherwise. *)

@@ -1,0 +1,26 @@
+type failure = {
+  exn_text : string;
+  backtrace : string;
+}
+
+type 'a t =
+  | Ok of 'a
+  | Failed of failure
+  | Timed_out
+  | Invariant_violation of string
+
+exception Invariant of string
+
+let is_ok = function Ok _ -> true | Failed _ | Timed_out | Invariant_violation _ -> false
+
+let label = function
+  | Ok _ -> "ok"
+  | Failed _ -> "failed"
+  | Timed_out -> "timed_out"
+  | Invariant_violation _ -> "invariant_violation"
+
+let describe = function
+  | Ok _ -> "ok"
+  | Failed { exn_text; _ } -> "failed: " ^ exn_text
+  | Timed_out -> "timed out"
+  | Invariant_violation msg -> "invariant violation: " ^ msg

@@ -1,0 +1,31 @@
+(** Per-use-case outcomes of a fault-tolerant sweep.
+
+    One thrown exception used to abort the whole run and discard every
+    completed record; the sweep engine now demotes each failure to a
+    structured outcome on its own case and finishes the rest. *)
+
+type failure = {
+  exn_text : string;  (** [Printexc.to_string] of the raised exception *)
+  backtrace : string;  (** raw backtrace captured at the raise site *)
+}
+
+type 'a t =
+  | Ok of 'a
+  | Failed of failure
+  | Timed_out  (** the case's deadline fired ([--timeout]) *)
+  | Invariant_violation of string
+      (** the case finished but its record violates a soundness
+          invariant (see {!Experiments.check_invariants}) *)
+
+exception Invariant of string
+(** Internal signal mapped to {!Invariant_violation} by the sweep. *)
+
+val is_ok : 'a t -> bool
+
+val label : 'a t -> string
+(** Machine-friendly tag: ["ok"], ["failed"], ["timed_out"],
+    ["invariant_violation"]. *)
+
+val describe : 'a t -> string
+(** One-line human description (exception text for [Failed], the
+    violated invariant for [Invariant_violation]). *)

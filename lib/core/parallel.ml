@@ -1,4 +1,5 @@
 module Tech = Ucp_energy.Tech
+module Deadline = Ucp_util.Deadline
 
 (* ------------------------------------------------------------------ *)
 (* fixed-size domain pool with a chunked work queue *)
@@ -10,18 +11,20 @@ type pool = {
   tasks : (unit -> unit) Queue.t;
   mutable pending : int;  (* queued or running tasks *)
   mutable closed : bool;
-  mutable failure : exn option;  (* first task exception, re-raised by wait *)
+  (* first task exception plus the backtrace captured at the raise
+     site, re-raised by [wait] with the original trace intact *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
   mutable workers : unit Domain.t list;
 }
 
 let default_jobs () =
   match Sys.getenv_opt "UCP_JOBS" with
+  | None | Some "" -> Domain.recommended_domain_count ()
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> n
     | Some _ | None ->
       invalid_arg (Printf.sprintf "UCP_JOBS=%s: expected a positive integer" s))
-  | None -> Domain.recommended_domain_count ()
 
 let rec worker pool =
   Mutex.lock pool.mutex;
@@ -37,7 +40,11 @@ let rec worker pool =
   | None -> Mutex.unlock pool.mutex
   | Some task ->
     Mutex.unlock pool.mutex;
-    let outcome = match task () with () -> None | exception exn -> Some exn in
+    let outcome =
+      match task () with
+      | () -> None
+      | exception exn -> Some (exn, Printexc.get_raw_backtrace ())
+    in
     Mutex.lock pool.mutex;
     (match outcome with
     | Some _ when pool.failure = None -> pool.failure <- outcome
@@ -83,7 +90,9 @@ let wait pool =
   let failure = pool.failure in
   pool.failure <- None;
   Mutex.unlock pool.mutex;
-  match failure with Some exn -> raise exn | None -> ()
+  match failure with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
 
 let shutdown pool =
   Mutex.lock pool.mutex;
@@ -117,6 +126,10 @@ let map ?jobs ?chunk ?progress f items =
     let results = Array.make n None in
     let pmutex = Mutex.create () in
     let completed = ref 0 in
+    (* a raising progress callback must not poison the pool and void
+       the computed results: the first exception disables further
+       callbacks and the map completes normally *)
+    let progress_dead = ref false in
     let pool = create ~jobs in
     Fun.protect
       ~finally:(fun () -> shutdown pool)
@@ -139,49 +152,161 @@ let map ?jobs ?chunk ?progress f items =
                 let done_ = !completed in
                 Fun.protect
                   ~finally:(fun () -> Mutex.unlock pmutex)
-                  (fun () -> cb ~done_ ~total:n));
+                  (fun () ->
+                    if not !progress_dead then
+                      try cb ~done_ ~total:n
+                      with exn ->
+                        progress_dead := true;
+                        Printf.eprintf
+                          "ucp: progress callback raised %s; progress reporting \
+                           disabled for the rest of this run\n\
+                           %!"
+                          (Printexc.to_string exn)));
           lo := h
         done;
         wait pool);
     Array.map (function Some v -> v | None -> assert false) results
   end
 
+let try_map ?jobs ?chunk ?progress f items =
+  map ?jobs ?chunk ?progress
+    (fun x ->
+      match f x with
+      | v -> Outcome.Ok v
+      | exception Deadline.Deadline_exceeded -> Outcome.Timed_out
+      | exception Outcome.Invariant msg -> Outcome.Invariant_violation msg
+      | exception exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        Outcome.Failed
+          {
+            Outcome.exn_text = Printexc.to_string exn;
+            backtrace = Printexc.raw_backtrace_to_string bt;
+          })
+    items
+
 (* ------------------------------------------------------------------ *)
 (* the parallel evaluation sweep *)
 
 type sweep = {
   records : Experiments.record list;
+  results : (string * Experiments.record Outcome.t) list;
+  failures : (string * Experiments.record Outcome.t) list;
+  resumed : int;
   wall_s : float;
   timings : Pipeline.timings;
   jobs : int;
   cases : int;
 }
 
+let strip = function
+  | Outcome.Ok (r, _) -> Outcome.Ok r
+  | Outcome.Failed f -> Outcome.Failed f
+  | Outcome.Timed_out -> Outcome.Timed_out
+  | Outcome.Invariant_violation m -> Outcome.Invariant_violation m
+
 let sweep ?(programs = Ucp_workloads.Suite.all)
     ?(configs = Experiments.default_configs) ?(techs = Tech.all) ?jobs ?chunk
-    ?progress () =
+    ?progress ?timeout ?checkpoint ?(resume = false) () =
+  (match timeout with
+  | Some t when (not (Float.is_finite t)) || t <= 0.0 ->
+    invalid_arg "Parallel.sweep: timeout must be a positive number of seconds"
+  | Some _ | None -> ());
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let cases = Experiments.cases ~programs ~configs ~techs in
   let models = Experiments.model_table configs techs in
-  let t0 = Unix.gettimeofday () in
-  let out =
-    map ~jobs ?chunk ?progress
-      (fun (c : Experiments.case) ->
+  let n = Array.length cases in
+  let journal =
+    match checkpoint with
+    | None -> None
+    | Some path ->
+      let fingerprint = Checkpoint.fingerprint ~programs ~configs ~techs in
+      Some (Checkpoint.start ~path ~fingerprint ~resume)
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Checkpoint.close journal)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      (* cases already journaled by an interrupted run are replayed, not
+         re-evaluated; [final] collects one outcome per input index *)
+      let final :
+          (Experiments.record * Pipeline.timings) Outcome.t option array =
+        Array.make n None
+      in
+      let resumed = ref 0 in
+      (match journal with
+      | None -> ()
+      | Some j ->
+        let done_ = Checkpoint.completed j in
+        Array.iteri
+          (fun i c ->
+            match Hashtbl.find_opt done_ (Experiments.case_id c) with
+            | Some r ->
+              incr resumed;
+              final.(i) <- Some (Outcome.Ok (r, Pipeline.fresh_timings ()))
+            | None -> ())
+          cases);
+      let todo =
+        Array.of_list
+          (List.filter (fun i -> Option.is_none final.(i)) (List.init n Fun.id))
+      in
+      let progress =
+        (* report against the whole grid, counting replayed cases as
+           already done *)
+        Option.map
+          (fun cb ~done_ ~total:_ -> cb ~done_:(done_ + !resumed) ~total:n)
+          progress
+      in
+      let run i =
+        let c = cases.(i) in
+        let id = Experiments.case_id c in
+        (* the deadline clock starts when the case starts executing,
+           not when the sweep was launched *)
+        let deadline = Option.map Deadline.after timeout in
+        Fault.apply_pre ?deadline id;
         (* one timing accumulator per case: workers never share one, so
            no synchronization is needed on the hot path *)
         let timed = Pipeline.fresh_timings () in
         let model =
           Hashtbl.find models (c.Experiments.case_config, c.Experiments.case_tech)
         in
-        (Experiments.run_case ~timed ~model c, timed))
-      cases
-  in
-  let timings = Pipeline.fresh_timings () in
-  Array.iter (fun (_, tm) -> Pipeline.add_timings timings tm) out;
-  {
-    records = Array.to_list (Array.map fst out);
-    wall_s = Unix.gettimeofday () -. t0;
-    timings;
-    jobs;
-    cases = Array.length cases;
-  }
+        let r = Experiments.run_case ?deadline ~timed ~model c in
+        let r = Fault.corrupt id r in
+        (match Experiments.check_invariants r with
+        | Ok () -> ()
+        | Error msg -> raise (Outcome.Invariant msg));
+        (* journal only sound, complete records; failures are retried
+           on resume *)
+        Option.iter (fun j -> Checkpoint.record j ~id r) journal;
+        (r, timed)
+      in
+      let out = try_map ~jobs ?chunk ?progress run todo in
+      Array.iteri (fun k i -> final.(i) <- Some out.(k)) todo;
+      let timings = Pipeline.fresh_timings () in
+      Array.iter
+        (function
+          | Some (Outcome.Ok (_, tm)) -> Pipeline.add_timings timings tm
+          | Some _ | None -> ())
+        final;
+      let results =
+        Array.to_list
+          (Array.mapi
+             (fun i c ->
+               match final.(i) with
+               | Some o -> (Experiments.case_id c, strip o)
+               | None -> assert false)
+             cases)
+      in
+      {
+        records =
+          List.filter_map
+            (fun (_, o) ->
+              match o with Outcome.Ok r -> Some r | _ -> None)
+            results;
+        results;
+        failures = List.filter (fun (_, o) -> not (Outcome.is_ok o)) results;
+        resumed = !resumed;
+        wall_s = Unix.gettimeofday () -. t0;
+        timings;
+        jobs;
+        cases = n;
+      })

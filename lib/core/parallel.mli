@@ -7,11 +7,17 @@
     engine writes each result at its input index and therefore returns
     records in deterministic input order — record-for-record identical
     to the sequential {!Experiments.sweep} — regardless of worker
-    scheduling. *)
+    scheduling.
+
+    The sweep is fault-tolerant: a use case that raises, overruns its
+    deadline or produces an invariant-violating record is demoted to a
+    structured {!Outcome.t} on that case alone while the remaining
+    cases run to completion, and an optional JSONL checkpoint journal
+    makes an interrupted sweep resumable (see {!Checkpoint}). *)
 
 val default_jobs : unit -> int
-(** Worker count: [UCP_JOBS] if set (a positive integer, anything else
-    raises [Invalid_argument]), otherwise
+(** Worker count: [UCP_JOBS] if set and non-empty (a positive integer,
+    anything else raises [Invalid_argument]), otherwise
     [Domain.recommended_domain_count ()]. *)
 
 (** {2 Worker pool}
@@ -31,8 +37,8 @@ val submit : pool -> (unit -> unit) -> unit
 
 val wait : pool -> unit
 (** Block until every submitted task has finished.  If any task raised,
-    re-raises the first such exception (the remaining tasks still
-    run). *)
+    re-raises the first such exception with the backtrace captured at
+    the original raise site (the remaining tasks still run). *)
 
 val shutdown : pool -> unit
 (** Reject further submissions, let queued tasks drain, and join the
@@ -52,14 +58,40 @@ val map :
     [?progress] is invoked after each finished chunk with the number of
     elements completed so far; calls are serialized under a dedicated
     lock and [done_] is strictly increasing, but they arrive on worker
-    domains — callbacks must not assume the main domain.  If [f]
-    raises, the first exception is re-raised after the pool drains. *)
+    domains — callbacks must not assume the main domain.  A raising
+    progress callback does not void the results: the first exception
+    disables further callbacks (with a warning on stderr) and the map
+    completes normally.  If [f] raises, the first exception is
+    re-raised after the pool drains, with its original backtrace. *)
+
+val try_map :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  ('a -> 'b) ->
+  'a array ->
+  'b Outcome.t array
+(** Like {!map}, but isolates failures per element instead of aborting
+    the whole map: an element where [f] raises yields
+    [Outcome.Failed] (with exception text and backtrace),
+    [Ucp_util.Deadline.Deadline_exceeded] yields [Outcome.Timed_out],
+    and {!Outcome.Invariant} yields [Outcome.Invariant_violation];
+    every other element still yields [Outcome.Ok]. *)
 
 (** {2 The parallel sweep} *)
 
 type sweep = {
   records : Experiments.record list;
-      (** byte-identical to {!Experiments.sweep} on the same grid *)
+      (** successfully evaluated records in input order; on a
+          fault-free grid, byte-identical to {!Experiments.sweep} *)
+  results : (string * Experiments.record Outcome.t) list;
+      (** one outcome per use case in input order, keyed by
+          {!Experiments.case_id} *)
+  failures : (string * Experiments.record Outcome.t) list;
+      (** the non-[Ok] subset of [results], input order *)
+  resumed : int;
+      (** cases replayed from the checkpoint journal instead of being
+          re-evaluated (0 unless resuming) *)
   wall_s : float;  (** elapsed wall-clock time of the whole sweep *)
   timings : Pipeline.timings;
       (** per-stage wall-clock time summed over all workers; stages
@@ -67,7 +99,7 @@ type sweep = {
           under [jobs = n] the sum exceeds [wall_s] up to a factor of
           [n] *)
   jobs : int;  (** worker count actually used *)
-  cases : int;  (** number of use cases evaluated *)
+  cases : int;  (** number of use cases in the grid *)
 }
 
 val sweep :
@@ -77,6 +109,9 @@ val sweep :
   ?jobs:int ->
   ?chunk:int ->
   ?progress:(done_:int -> total:int -> unit) ->
+  ?timeout:float ->
+  ?checkpoint:string ->
+  ?resume:bool ->
   unit ->
   sweep
 (** Evaluate the use-case grid (defaults: the paper's full 2664-case
@@ -84,4 +119,21 @@ val sweep :
     (configuration, technology) pair up front, and within each use case
     the original program's WCET analysis is shared between the
     optimizer and the original measurement (see
-    {!Pipeline.compare_optimized}). *)
+    {!Pipeline.compare_optimized}).
+
+    Fault tolerance: each case is evaluated in isolation and its
+    failure — an exception, a blown [?timeout] (a per-case cooperative
+    deadline in seconds, checked inside the ILP/simplex pivots and the
+    analysis/optimizer fixpoints), or a record that fails
+    {!Experiments.check_invariants} (e.g. Theorem 1: the optimized
+    WCET bound must not exceed the original) — is recorded in
+    [results]/[failures] while every other case still completes.
+
+    Checkpointing: with [?checkpoint:path] every sound finished record
+    is appended to a JSONL journal and flushed; with [resume:true] a
+    journal left by an interrupted sweep over the {e same} grid
+    (enforced by fingerprint) is replayed first and the journaled
+    cases are skipped, so crash + resume produces the same records as
+    an uninterrupted run.
+    @raise Invalid_argument if [?timeout] is not positive;
+    @raise Failure on a checkpoint fingerprint mismatch. *)

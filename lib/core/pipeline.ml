@@ -13,6 +13,7 @@ type measurement = {
   energy_pj : float;
   miss_rate : float;
   executed : int;
+  demand_misses : int;
   wcet_miss_bound : int;
 }
 
@@ -47,13 +48,14 @@ let on_simulate tm d = tm.simulate_s <- tm.simulate_s +. d
 
 let model config tech = Cacti.model config tech
 
-let measure ?(seed = 42) ?model:mdl ?wcet ?timed:tm program config tech =
+let measure ?deadline ?(seed = 42) ?model:mdl ?wcet ?timed:tm program config tech =
   let m = match mdl with Some m -> m | None -> model config tech in
   let w =
     match wcet with
     | Some w -> w
     | None ->
-      timed tm on_analysis (fun () -> Wcet.compute ~with_may:false program config m)
+      timed tm on_analysis (fun () ->
+          Wcet.compute ?deadline ~with_may:false program config m)
   in
   let stats = timed tm on_simulate (fun () -> Simulator.run ~seed program config m) in
   let breakdown = Account.energy m stats.Simulator.counts in
@@ -63,6 +65,7 @@ let measure ?(seed = 42) ?model:mdl ?wcet ?timed:tm program config tech =
     energy_pj = breakdown.Account.total_pj;
     miss_rate = stats.Simulator.miss_rate;
     executed = stats.Simulator.executed;
+    demand_misses = stats.Simulator.counts.Account.misses;
     wcet_miss_bound = Analysis.miss_count_bound w.Wcet.analysis;
   }
 
@@ -77,20 +80,24 @@ type comparison = {
   rejected : int;
 }
 
-let compare_optimized ?(seed = 42) ?model:mdl ?timed:tm program config tech =
+let compare_optimized ?deadline ?(seed = 42) ?model:mdl ?timed:tm program config tech =
   let m = match mdl with Some m -> m | None -> model config tech in
   (* The original program's cache-aware analysis is the most expensive
      shared artifact of a use case: compute it once and hand it to both
      the optimizer (which otherwise recomputes it as its starting
      fixpoint) and the original-program measurement. *)
   let w0 =
-    timed tm on_analysis (fun () -> Wcet.compute ~with_may:false program config m)
+    timed tm on_analysis (fun () ->
+        Wcet.compute ?deadline ~with_may:false program config m)
   in
   let result =
-    timed tm on_optimize (fun () -> Optimizer.optimize ~initial:w0 program config m)
+    timed tm on_optimize (fun () ->
+        Optimizer.optimize ?deadline ~initial:w0 program config m)
   in
-  let original = measure ~seed ~model:m ~wcet:w0 ?timed:tm program config tech in
-  let optimized = measure ~seed ~model:m ?timed:tm result.Optimizer.program config tech in
+  let original = measure ?deadline ~seed ~model:m ~wcet:w0 ?timed:tm program config tech in
+  let optimized =
+    measure ?deadline ~seed ~model:m ?timed:tm result.Optimizer.program config tech
+  in
   {
     original;
     optimized;

@@ -12,6 +12,7 @@ type measurement = {
   energy_pj : float;  (** memory-system energy of the simulated run *)
   miss_rate : float;  (** demand miss rate of the simulated run *)
   executed : int;  (** dynamically executed instructions *)
+  demand_misses : int;  (** demand misses of the simulated run *)
   wcet_miss_bound : int;  (** the analysis' bound on demand misses *)
 }
 
@@ -42,6 +43,7 @@ val model :
     passes it back in through [?model] below. *)
 
 val measure :
+  ?deadline:Ucp_util.Deadline.t ->
   ?seed:int ->
   ?model:Ucp_energy.Cacti.t ->
   ?wcet:Ucp_wcet.Wcet.t ->
@@ -54,7 +56,10 @@ val measure :
     reuses a precomputed {!model} (it must equal [model config tech]);
     [?wcet] reuses a precomputed analysis of the {e same} program under
     the same configuration and model, skipping the analysis stage;
-    [?timed] accumulates the per-stage wall-clock cost. *)
+    [?timed] accumulates the per-stage wall-clock cost; [?deadline]
+    bounds the analysis stage (the trace simulation does not check it —
+    its step count is already bounded by [Simulator.run]'s
+    [max_steps]). *)
 
 val optimize :
   ?model:Ucp_energy.Cacti.t ->
@@ -72,6 +77,7 @@ type comparison = {
 }
 
 val compare_optimized :
+  ?deadline:Ucp_util.Deadline.t ->
   ?seed:int ->
   ?model:Ucp_energy.Cacti.t ->
   ?timed:timings ->
@@ -82,4 +88,7 @@ val compare_optimized :
 (** Optimize and evaluate both versions under the same use case.  The
     original program is analyzed exactly once: the optimizer starts
     from that fixpoint and the original measurement reuses it.
-    Theorem 1 materializes as [optimized.tau <= original.tau]. *)
+    Theorem 1 materializes as [optimized.tau <= original.tau].
+    [?deadline] is threaded into every analysis fixpoint and optimizer
+    round; once it passes, the pending stage raises
+    [Ucp_util.Deadline.Deadline_exceeded] at its next check. *)

@@ -30,7 +30,10 @@ let table2 () =
   section "Table 2: cache configurations" (Table.render t)
 
 let figure3 records =
-  let t = Table.create [ "cache size"; "ACET impr."; "energy impr."; "WCET impr."; "cases" ] in
+  let t =
+    Table.create
+      [ "cache size"; "ACET impr."; "energy impr."; "WCET impr."; "cases"; "degenerate" ]
+  in
   List.iter
     (fun (r : Experiments.size_row) ->
       Table.add_row t
@@ -40,6 +43,7 @@ let figure3 records =
           Table.cell_pct r.energy_improvement;
           Table.cell_pct r.wcet_improvement;
           string_of_int r.cases;
+          string_of_int r.degenerate;
         ])
     (Experiments.figure3 records);
   section "Figure 3: impact on energy efficiency (averages per cache size)"
@@ -62,7 +66,10 @@ let figure4 records =
 let figure5 records =
   let t =
     Table.create
-      [ "orig. cache"; "opt. cache"; "ACET ratio"; "energy ratio"; "WCET ratio"; "cases" ]
+      [
+        "orig. cache"; "opt. cache"; "ACET ratio"; "energy ratio"; "WCET ratio";
+        "cases"; "degenerate";
+      ]
   in
   List.iter
     (fun (r : Experiments.downsize_row) ->
@@ -74,6 +81,7 @@ let figure5 records =
           Table.cell_f r.energy_ratio;
           Table.cell_f r.wcet_ratio;
           string_of_int r.cases;
+          string_of_int r.degenerate;
         ])
     (Experiments.figure5 records);
   section "Figure 5: optimized programs on 1/2 and 1/4 of the original cache"
@@ -93,10 +101,16 @@ let figure7 records =
   Buffer.add_string buf
     (Printf.sprintf "use cases improved: %d / %d\n" improved
        (List.length s.Experiments.ratios));
+  if s.Experiments.degenerate > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "degenerate ratios dropped (zero WCET): %d\n"
+         s.Experiments.degenerate);
   section "Figure 7: per-use-case WCET ratios (32nm)" (Buffer.contents buf)
 
 let figure8 records =
-  let t = Table.create [ "cache size"; "avg executed ratio"; "max ratio"; "cases" ] in
+  let t =
+    Table.create [ "cache size"; "avg executed ratio"; "max ratio"; "cases"; "degenerate" ]
+  in
   List.iter
     (fun (r : Experiments.exec_row) ->
       Table.add_row t
@@ -105,6 +119,7 @@ let figure8 records =
           Table.cell_f r.exec_ratio;
           Table.cell_f r.max_ratio;
           string_of_int r.cases;
+          string_of_int r.degenerate;
         ])
     (Experiments.figure8 records);
   section "Figure 8: executed-instruction ratio (optimized / original)"
@@ -142,28 +157,64 @@ let json_string s =
 let record_json (r : Experiments.record) =
   let m = r.Experiments.original and o = r.Experiments.optimized in
   Printf.sprintf
-    {|{"program":%s,"config":%s,"tech":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tau":%d,"tau_opt":%d,"acet":%d,"acet_opt":%d,"energy_pj":%.3f,"energy_opt_pj":%.3f,"miss_rate":%.6f,"miss_opt_rate":%.6f,"executed":%d,"executed_opt":%d,"prefetches":%d,"rejected":%d}|}
+    {|{"program":%s,"config":%s,"tech":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tau":%d,"tau_opt":%d,"acet":%d,"acet_opt":%d,"energy_pj":%.3f,"energy_opt_pj":%.3f,"miss_rate":%.6f,"miss_opt_rate":%.6f,"demand_misses":%d,"demand_misses_opt":%d,"executed":%d,"executed_opt":%d,"prefetches":%d,"rejected":%d}|}
     (json_string r.Experiments.program_name)
     (json_string r.Experiments.config_id)
     (json_string r.Experiments.tech.Ucp_energy.Tech.label)
     r.Experiments.config.Config.assoc r.Experiments.config.Config.block_bytes
     r.Experiments.config.Config.capacity m.Pipeline.tau o.Pipeline.tau
     m.Pipeline.acet o.Pipeline.acet m.Pipeline.energy_pj o.Pipeline.energy_pj
-    m.Pipeline.miss_rate o.Pipeline.miss_rate m.Pipeline.executed
+    m.Pipeline.miss_rate o.Pipeline.miss_rate m.Pipeline.demand_misses
+    o.Pipeline.demand_misses m.Pipeline.executed
     o.Pipeline.executed r.Experiments.prefetches r.Experiments.rejected
 
-let sweep_jsonl ~wall_s ~jobs ~timings records =
+let outcome_counts outcomes =
+  List.fold_left
+    (fun (ok, failed, timed_out, violations) (_, o) ->
+      match (o : _ Outcome.t) with
+      | Outcome.Ok _ -> (ok + 1, failed, timed_out, violations)
+      | Outcome.Failed _ -> (ok, failed + 1, timed_out, violations)
+      | Outcome.Timed_out -> (ok, failed, timed_out + 1, violations)
+      | Outcome.Invariant_violation _ -> (ok, failed, timed_out, violations + 1))
+    (0, 0, 0, 0) outcomes
+
+let outcome_summary outcomes =
+  let ok, failed, timed_out, violations = outcome_counts outcomes in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "cases: %d ok, %d failed, %d timed out, %d invariant violations\n"
+       ok failed timed_out violations);
+  List.iter
+    (fun (id, o) ->
+      if not (Outcome.is_ok o) then
+        Buffer.add_string buf (Printf.sprintf "  %s: %s\n" id (Outcome.describe o)))
+    outcomes;
+  Buffer.contents buf
+
+let sweep_jsonl ~wall_s ~jobs ~timings ?(outcomes = []) records =
   let buf = Buffer.create 4096 in
   List.iter
     (fun r ->
       Buffer.add_string buf (record_json r);
       Buffer.add_char buf '\n')
     records;
+  List.iter
+    (fun (id, o) ->
+      if not (Outcome.is_ok o) then begin
+        Buffer.add_string buf
+          (Printf.sprintf {|{"case":%s,"outcome":%s,"detail":%s}|} (json_string id)
+             (json_string (Outcome.label o))
+             (json_string (Outcome.describe o)));
+        Buffer.add_char buf '\n'
+      end)
+    outcomes;
+  let _, failed, timed_out, violations = outcome_counts outcomes in
   Buffer.add_string buf
     (Printf.sprintf
-       {|{"summary":true,"cases":%d,"jobs":%d,"wall_s":%.3f,"analysis_s":%.3f,"optimize_s":%.3f,"simulate_s":%.3f}|}
-       (List.length records) jobs wall_s timings.Pipeline.analysis_s
-       timings.Pipeline.optimize_s timings.Pipeline.simulate_s);
+       {|{"summary":true,"cases":%d,"failed":%d,"timed_out":%d,"invariant_violations":%d,"jobs":%d,"wall_s":%.3f,"analysis_s":%.3f,"optimize_s":%.3f,"simulate_s":%.3f}|}
+       (List.length records) failed timed_out violations jobs wall_s
+       timings.Pipeline.analysis_s timings.Pipeline.optimize_s
+       timings.Pipeline.simulate_s);
   Buffer.add_char buf '\n';
   Buffer.contents buf
 

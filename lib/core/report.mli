@@ -29,6 +29,11 @@ val headline : Experiments.record list -> string
 val all : Experiments.record list -> string
 (** Every table and figure, concatenated. *)
 
+val json_string : string -> string
+(** JSON string literal with the usual escapes (quotes, backslash,
+    control characters).  Shared by {!record_json} and the checkpoint
+    journal. *)
+
 val record_json : Experiments.record -> string
 (** One use case as a single-line JSON object: program/config/tech
     identification, the cache geometry, and both measurements
@@ -36,14 +41,21 @@ val record_json : Experiments.record -> string
     the same fields with [_opt] for the optimized binary), plus the
     accepted/rolled-back prefetch counts. *)
 
+val outcome_summary : (string * Experiments.record Outcome.t) list -> string
+(** Human-readable failure digest of a sweep: a counts line, then one
+    line per non-[Ok] case with its id and what went wrong. *)
+
 val sweep_jsonl :
   wall_s:float ->
   jobs:int ->
   timings:Pipeline.timings ->
+  ?outcomes:(string * Experiments.record Outcome.t) list ->
   Experiments.record list ->
   string
 (** The machine-readable sweep summary the bench harness writes: one
-    {!record_json} line per use case, terminated by a summary line
-    [{"summary":true,"cases":..,"jobs":..,"wall_s":..,"analysis_s":..,
-    "optimize_s":..,"simulate_s":..}] so perf trajectories can be
-    tracked across PRs. *)
+    {!record_json} line per use case, then one
+    [{"case":..,"outcome":..,"detail":..}] line per non-[Ok] outcome,
+    terminated by a summary line [{"summary":true,"cases":..,
+    "failed":..,"timed_out":..,"invariant_violations":..,"jobs":..,
+    "wall_s":..,"analysis_s":..,"optimize_s":..,"simulate_s":..}] so
+    perf trajectories can be tracked across PRs. *)

@@ -19,7 +19,7 @@ let bound_row num_vars j q op =
   coeffs.(j) <- Q.one;
   (coeffs, op, q)
 
-let maximize ?(max_nodes = 100_000) (problem : Simplex.problem) =
+let maximize ?deadline ?(max_nodes = 100_000) (problem : Simplex.problem) =
   let nodes = ref 0 in
   let incumbent = ref None in
   let better value =
@@ -30,8 +30,9 @@ let maximize ?(max_nodes = 100_000) (problem : Simplex.problem) =
   let rec explore extra =
     incr nodes;
     if !nodes > max_nodes then failwith "Ilp.maximize: node budget exhausted";
+    Ucp_util.Deadline.check deadline;
     let p = { problem with Simplex.constraints = problem.Simplex.constraints @ extra } in
-    match Simplex.maximize p with
+    match Simplex.maximize ?deadline p with
     | Simplex.Infeasible -> `Done
     | Simplex.Unbounded -> `Unbounded
     | Simplex.Optimal { value; assignment } ->

@@ -8,9 +8,12 @@ type outcome =
   | Infeasible
   | Unbounded
 
-val maximize : ?max_nodes:int -> Simplex.problem -> outcome
+val maximize :
+  ?deadline:Ucp_util.Deadline.t -> ?max_nodes:int -> Simplex.problem -> outcome
 (** Solve, exploring at most [max_nodes] branch-and-bound nodes
     (default [100_000]).
     @raise Failure if the node budget is exhausted — IPET instances are
     near-integral network flows, so hitting the budget indicates a
-    malformed model rather than a hard instance. *)
+    malformed model rather than a hard instance.
+    @raise Ucp_util.Deadline.Deadline_exceeded if [?deadline] passes
+    (checked per node and inside every LP solve). *)

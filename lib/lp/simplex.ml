@@ -39,12 +39,21 @@ let pivot t z ~row ~col =
   eliminate z;
   t.basis.(row) <- col
 
+(* How many pivots between deadline checks: a pivot over a few hundred
+   columns of rationals costs microseconds, so 64 bounds the overrun to
+   well under a millisecond while keeping the clock off the hot path. *)
+let pivots_per_deadline_check = 64
+
 (* Bland's rule: entering column = lowest-index eligible column with a
    positive reduced cost; leaving row = lexicographically by minimum
    ratio then lowest basic-variable index. *)
-let run t z ~allowed =
+let run ?deadline t z ~allowed =
   let m = Array.length t.rows in
+  let pivots = ref 0 in
   let rec step () =
+    incr pivots;
+    if !pivots mod pivots_per_deadline_check = 0 then
+      Ucp_util.Deadline.check deadline;
     let entering = ref (-1) in
     (try
        for j = 0 to t.cols - 1 do
@@ -143,7 +152,7 @@ let make_z t c =
     t.basis;
   z
 
-let maximize problem =
+let maximize ?deadline problem =
   let t, art_start = build problem in
   let m = Array.length t.rows in
   (* Phase 1: maximize -(sum of artificials). *)
@@ -152,7 +161,7 @@ let maximize problem =
     phase1_obj.(j) <- Q.neg Q.one
   done;
   let z1 = make_z t phase1_obj in
-  (match run t z1 ~allowed:(fun _ -> true) with
+  (match run ?deadline t z1 ~allowed:(fun _ -> true) with
   | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
   | `Optimal -> ());
   let phase1_value = Q.neg z1.(t.cols) in
@@ -173,7 +182,7 @@ let maximize problem =
     let phase2_obj = Array.make t.cols Q.zero in
     Array.blit problem.objective 0 phase2_obj 0 problem.num_vars;
     let z2 = make_z t phase2_obj in
-    match run t z2 ~allowed:(fun j -> j < art_start) with
+    match run ?deadline t z2 ~allowed:(fun j -> j < art_start) with
     | `Unbounded -> Unbounded
     | `Optimal ->
       let assignment = Array.make problem.num_vars Q.zero in
@@ -183,8 +192,8 @@ let maximize problem =
       Optimal { value = Q.neg z2.(t.cols); assignment }
   end
 
-let minimize problem =
+let minimize ?deadline problem =
   let neg = { problem with objective = Array.map Q.neg problem.objective } in
-  match maximize neg with
+  match maximize ?deadline neg with
   | Optimal { value; assignment } -> Optimal { value = Q.neg value; assignment }
   | (Infeasible | Unbounded) as o -> o

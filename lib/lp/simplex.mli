@@ -21,8 +21,10 @@ type outcome =
   | Infeasible
   | Unbounded
 
-val maximize : problem -> outcome
-(** @raise Invalid_argument on dimension mismatches. *)
+val maximize : ?deadline:Ucp_util.Deadline.t -> problem -> outcome
+(** @raise Invalid_argument on dimension mismatches.
+    @raise Ucp_util.Deadline.Deadline_exceeded if [?deadline] passes
+    while pivoting (checked every few dozen pivots). *)
 
-val minimize : problem -> outcome
+val minimize : ?deadline:Ucp_util.Deadline.t -> problem -> outcome
 (** Convenience wrapper: negates the objective. *)

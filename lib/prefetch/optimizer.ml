@@ -313,9 +313,12 @@ let miss_bound w = Analysis.miss_count_bound w.Wcet.analysis
    still saw misses). *)
 let tau_eff w = Wcet.tau_with_residual w
 
-let optimize ?(placement = At_eviction) ?(max_insertions = 2000)
+let optimize ?deadline ?(placement = At_eviction) ?(max_insertions = 2000)
     ?(overhead_budget = 0.05) ?pinned ?initial program config model =
-  let analyze p = Wcet.compute ~with_may:false ?pinned p config model in
+  let analyze p =
+    Ucp_util.Deadline.check deadline;
+    Wcet.compute ?deadline ~with_may:false ?pinned p config model
+  in
   let w0 = match initial with Some w -> w | None -> analyze program in
   (* Dynamic-overhead budget: inserted prefetches may add at most this
      share of the WCET scenario's executed instructions (the paper

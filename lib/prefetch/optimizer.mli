@@ -58,6 +58,7 @@ type placement =
           higher instruction overhead *)
 
 val optimize :
+  ?deadline:Ucp_util.Deadline.t ->
   ?placement:placement ->
   ?max_insertions:int ->
   ?overhead_budget:float ->
@@ -68,7 +69,10 @@ val optimize :
   Ucp_energy.Cacti.t ->
   result
 (** Run the optimization to its fixpoint (or until [max_insertions] or
-    the overhead budget is exhausted).  [~initial] supplies the
+    the overhead budget is exhausted).  [~deadline] bounds the wall
+    clock: it is checked before every verification analysis and inside
+    each analysis fixpoint, raising
+    [Ucp_util.Deadline.Deadline_exceeded] once passed.  [~initial] supplies the
     already-computed analysis of [program] under the same [?pinned],
     configuration and model — exactly
     [Wcet.compute ~with_may:false ?pinned program config model] — so a

@@ -75,8 +75,8 @@ let transfer ~vivu ~layout ~with_may ~hw_next_n ~pinned ~record node_id (must0, 
   done;
   (!must, !may)
 
-let run ?(with_may = true) ?(hw_next_n = 0) ?(pinned = fun _ -> false) vivu layout
-    config =
+let run ?deadline ?(with_may = true) ?(hw_next_n = 0) ?(pinned = fun _ -> false)
+    vivu layout config =
   let n = Vivu.node_count vivu in
   let program = Vivu.program vivu in
   let cold_must = Abstract.empty config Abstract.Must in
@@ -105,6 +105,7 @@ let run ?(with_may = true) ?(hw_next_n = 0) ?(pinned = fun _ -> false) vivu layo
   while !changed do
     incr passes;
     if !passes > n + 1000 then failwith "Analysis.run: fixpoint did not converge";
+    Ucp_util.Deadline.check deadline;
     changed := false;
     Array.iter
       (fun node_id ->

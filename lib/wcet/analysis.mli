@@ -10,6 +10,7 @@
 type t
 
 val run :
+  ?deadline:Ucp_util.Deadline.t ->
   ?with_may:bool ->
   ?hw_next_n:int ->
   ?pinned:(int -> bool) ->
@@ -33,7 +34,9 @@ val run :
     pinned references are always-hits and never enter the replacement
     state — pass the configuration of the {e unlocked} ways.
     @raise Invalid_argument if a prefetch instruction targets a uid
-    absent from the program. *)
+    absent from the program.
+    @raise Ucp_util.Deadline.Deadline_exceeded if [?deadline] passes
+    (checked once per fixpoint pass). *)
 
 val vivu : t -> Ucp_cfg.Vivu.t
 val layout : t -> Ucp_isa.Layout.t

@@ -81,9 +81,9 @@ let build wcet =
   done;
   ({ Simplex.num_vars; objective; constraints = List.rev !constraints }, n)
 
-let solve wcet =
+let solve ?deadline wcet =
   let problem, n = build wcet in
-  match Ilp.maximize problem with
+  match Ilp.maximize ?deadline problem with
   | Ilp.Optimal { value; assignment } ->
     { tau = Q.to_int_exn value; counts = Array.sub assignment 0 n }
   | Ilp.Infeasible -> failwith "Ipet.solve: infeasible flow model"
@@ -97,7 +97,7 @@ let agrees_with_longest_path wcet =
 (* ------------------------------------------------------------------ *)
 (* Classical block-level IPET on the original cyclic CFG. *)
 
-let solve_cfg wcet =
+let solve_cfg ?deadline wcet =
   let analysis = wcet.Wcet.analysis in
   let vivu = Analysis.vivu analysis in
   let program = Vivu.program vivu in
@@ -164,7 +164,7 @@ let solve_cfg wcet =
     objective.(var_block b) <- Q.of_int block_time.(b)
   done;
   let problem = { Simplex.num_vars; objective; constraints = List.rev !constraints } in
-  match Ilp.maximize problem with
+  match Ilp.maximize ?deadline problem with
   | Ilp.Optimal { value; assignment } ->
     { tau = Q.to_int_exn value; counts = Array.sub assignment 0 n }
   | Ilp.Infeasible -> failwith "Ipet.solve_cfg: infeasible flow model"

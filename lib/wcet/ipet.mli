@@ -13,7 +13,7 @@ type result = {
   counts : int array;  (** per expanded node: n_w in the ILP optimum *)
 }
 
-val solve : Wcet.t -> result
+val solve : ?deadline:Ucp_util.Deadline.t -> Wcet.t -> result
 (** Build and solve the IPET ILP for the analyzed program.
     @raise Failure if the solver exhausts its node budget (malformed
     model). *)
@@ -21,7 +21,7 @@ val solve : Wcet.t -> result
 val agrees_with_longest_path : Wcet.t -> bool
 (** [true] iff the ILP optimum equals the longest-path τ_w. *)
 
-val solve_cfg : Wcet.t -> result
+val solve_cfg : ?deadline:Ucp_util.Deadline.t -> Wcet.t -> result
 (** The textbook IPET variant on the {e original cyclic CFG} [11]:
     one count per basic block, flow conservation, and per-loop bound
     constraints (back-edge flow ≤ (bound−1) × entry flow).  Block times

@@ -21,6 +21,7 @@ type t = {
 }
 
 val compute :
+  ?deadline:Ucp_util.Deadline.t ->
   ?with_may:bool ->
   ?hw_next_n:int ->
   ?pinned:(int -> bool) ->
@@ -29,8 +30,8 @@ val compute :
   Ucp_energy.Cacti.t ->
   t
 (** Full pipeline: layout, VIVU expansion, abstract interpretation,
-    timing, longest path.  [~with_may], [~hw_next_n] and [~pinned] are
-    forwarded to {!Analysis.run}. *)
+    timing, longest path.  [~deadline], [~with_may], [~hw_next_n] and
+    [~pinned] are forwarded to {!Analysis.run}. *)
 
 val of_analysis : Analysis.t -> Ucp_energy.Cacti.t -> t
 (** Timing + path on an existing analysis. *)

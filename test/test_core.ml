@@ -187,6 +187,283 @@ let check_sweep_equal jobs =
 let test_parallel_sweep_deterministic () = check_sweep_equal 4
 let test_parallel_sweep_single_worker () = check_sweep_equal 1
 
+(* ------------------------------------------------------------------ *)
+(* robustness: per-case isolation, deadlines, fault injection,
+   checkpoint/resume *)
+
+module Outcome = Ucp_core.Outcome
+module Fault = Ucp_core.Fault
+module Checkpoint = Ucp_core.Checkpoint
+module Deadline = Ucp_util.Deadline
+
+let with_env name value f =
+  let old = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv name (Option.value old ~default:""))
+    f
+
+let test_default_jobs_env () =
+  with_env "UCP_JOBS" "3" (fun () ->
+      Alcotest.(check int) "UCP_JOBS=3" 3 (Parallel.default_jobs ()));
+  with_env "UCP_JOBS" " 5 " (fun () ->
+      Alcotest.(check int) "whitespace trimmed" 5 (Parallel.default_jobs ()));
+  with_env "UCP_JOBS" "" (fun () ->
+      Alcotest.(check bool) "empty falls back to default" true
+        (Parallel.default_jobs () >= 1));
+  List.iter
+    (fun bad ->
+      with_env "UCP_JOBS" bad (fun () ->
+          Alcotest.(check bool)
+            (Printf.sprintf "UCP_JOBS=%s rejected" bad)
+            true
+            (try
+               ignore (Parallel.default_jobs ());
+               false
+             with Invalid_argument _ -> true)))
+    [ "abc"; "0"; "-2"; "1.5" ]
+
+let test_try_map_outcomes () =
+  let out =
+    Parallel.try_map ~jobs:2 ~chunk:1
+      (fun i ->
+        if i = 1 then failwith "kaboom"
+        else if i = 2 then raise Deadline.Deadline_exceeded
+        else if i = 3 then raise (Outcome.Invariant "tau grew")
+        else i * 10)
+      (Array.init 5 Fun.id)
+  in
+  Alcotest.(check int) "all elements accounted for" 5 (Array.length out);
+  (match out.(0) with
+  | Outcome.Ok 0 -> ()
+  | _ -> Alcotest.fail "element 0 should be Ok 0");
+  (match out.(1) with
+  | Outcome.Failed { exn_text; _ } ->
+    Alcotest.(check bool) "exception text preserved" true
+      (String.length exn_text > 0
+      && Ucp_testlib.contains ~substring:"kaboom" exn_text)
+  | _ -> Alcotest.fail "element 1 should be Failed");
+  (match out.(2) with
+  | Outcome.Timed_out -> ()
+  | _ -> Alcotest.fail "element 2 should be Timed_out");
+  (match out.(3) with
+  | Outcome.Invariant_violation "tau grew" -> ()
+  | _ -> Alcotest.fail "element 3 should be Invariant_violation");
+  match out.(4) with
+  | Outcome.Ok 40 -> ()
+  | _ -> Alcotest.fail "element 4 should be Ok 40"
+
+let test_try_map_empty () =
+  Alcotest.(check int) "empty input" 0
+    (Array.length (Parallel.try_map ~jobs:2 (fun i -> i) [||]))
+
+let test_map_progress_exception_contained () =
+  (* a raising progress callback must not void the computed results *)
+  let calls = ref 0 in
+  let out =
+    Parallel.map ~jobs:2 ~chunk:2
+      ~progress:(fun ~done_:_ ~total:_ ->
+        incr calls;
+        failwith "progress boom")
+      (fun i -> i + 1)
+      (Array.init 12 (fun i -> i))
+  in
+  Alcotest.(check (array int)) "results intact"
+    (Array.init 12 (fun i -> i + 1))
+    out;
+  Alcotest.(check int) "callback disabled after first raise" 1 !calls
+
+(* a deliberately tiny grid so the fault-injection sweeps stay fast *)
+let tiny_grid () =
+  let programs =
+    [ ("fft1", Ucp_workloads.Suite.find "fft1"); ("crc", Ucp_workloads.Suite.find "crc") ]
+  in
+  let configs = [ ("a", Config.make ~assoc:2 ~block_bytes:16 ~capacity:256) ] in
+  let techs = [ Tech.nm45 ] in
+  (programs, configs, techs)
+
+let with_faults faults f =
+  List.iter (fun (id, mode) -> Fault.set id mode) faults;
+  Fun.protect ~finally:Fault.clear f
+
+let test_sweep_isolates_crashed_case () =
+  let programs, configs, techs = tiny_grid () in
+  with_faults
+    [ ("fft1:a:45nm", Fault.Raise) ]
+    (fun () ->
+      let s = Parallel.sweep ~programs ~configs ~techs ~jobs:2 () in
+      Alcotest.(check int) "grid size" 2 s.Parallel.cases;
+      Alcotest.(check int) "one record survives" 1 (List.length s.Parallel.records);
+      Alcotest.(check int) "one failure" 1 (List.length s.Parallel.failures);
+      (match s.Parallel.results with
+      | [ ("fft1:a:45nm", Outcome.Failed { exn_text; backtrace = _ }); ("crc:a:45nm", Outcome.Ok r) ]
+        ->
+        Alcotest.(check bool) "injected exception text" true
+          (Ucp_testlib.contains ~substring:"fft1:a:45nm" exn_text);
+        Alcotest.(check string) "surviving record is crc" "crc"
+          r.Experiments.program_name
+      | _ -> Alcotest.fail "expected [fft1 Failed; crc Ok] in input order"))
+
+let test_sweep_times_out_stalled_case () =
+  let programs, configs, techs = tiny_grid () in
+  with_faults
+    [ ("crc:a:45nm", Fault.Stall 30.0) ]
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let s = Parallel.sweep ~programs ~configs ~techs ~jobs:2 ~timeout:0.3 () in
+      Alcotest.(check bool) "stall cut short by the deadline" true
+        (Unix.gettimeofday () -. t0 < 10.0);
+      match s.Parallel.results with
+      | [ (_, Outcome.Ok _); ("crc:a:45nm", Outcome.Timed_out) ] -> ()
+      | _ -> Alcotest.fail "expected [fft1 Ok; crc Timed_out]")
+
+let test_sweep_demotes_invariant_violation () =
+  let programs, configs, techs = tiny_grid () in
+  with_faults
+    [ ("fft1:a:45nm", Fault.Corrupt_tau 1_000_000) ]
+    (fun () ->
+      let s = Parallel.sweep ~programs ~configs ~techs ~jobs:2 () in
+      match s.Parallel.results with
+      | [ ("fft1:a:45nm", Outcome.Invariant_violation msg); (_, Outcome.Ok _) ] ->
+        Alcotest.(check bool) "names Theorem 1" true
+          (Ucp_testlib.contains ~substring:"Theorem 1" msg);
+        Alcotest.(check int) "corrupt record not reported" 1
+          (List.length s.Parallel.records)
+      | _ -> Alcotest.fail "expected [fft1 Invariant_violation; crc Ok]")
+
+let test_sweep_rejects_bad_timeout () =
+  Alcotest.(check bool) "timeout 0 rejected" true
+    (try
+       ignore (Parallel.sweep ~timeout:0.0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_fault_env_parsing () =
+  with_env "UCP_FAULT" "x=raise, y=stall:0.5 ,z=corrupt:42" (fun () ->
+      Fun.protect ~finally:Fault.clear (fun () ->
+          Fault.load_env ();
+          (match Fault.find "x" with
+          | Some Fault.Raise -> ()
+          | _ -> Alcotest.fail "x should be Raise");
+          (match Fault.find "y" with
+          | Some (Fault.Stall s) -> Alcotest.(check (float 1e-9)) "stall secs" 0.5 s
+          | _ -> Alcotest.fail "y should be Stall");
+          match Fault.find "z" with
+          | Some (Fault.Corrupt_tau 42) -> ()
+          | _ -> Alcotest.fail "z should be Corrupt_tau 42"));
+  List.iter
+    (fun bad ->
+      with_env "UCP_FAULT" bad (fun () ->
+          Fun.protect ~finally:Fault.clear (fun () ->
+              Alcotest.(check bool)
+                (Printf.sprintf "UCP_FAULT=%s rejected" bad)
+                true
+                (try
+                   Fault.load_env ();
+                   false
+                 with Invalid_argument _ -> true))))
+    [ "noequals"; "=raise"; "x=explode"; "x=stall:fast" ]
+
+let test_checkpoint_record_roundtrip () =
+  let programs, configs, techs = tiny_grid () in
+  let s = Parallel.sweep ~programs ~configs ~techs ~jobs:1 () in
+  List.iter
+    (fun (id, o) ->
+      match o with
+      | Outcome.Ok r -> (
+        let line = Checkpoint.record_line ~id r in
+        match Checkpoint.parse_line line with
+        | Some (id', r') ->
+          Alcotest.(check string) "id round-trips" id id';
+          Alcotest.(check bool) "record round-trips bit for bit" true (r = r')
+        | None -> Alcotest.fail "record_line should parse back")
+      | _ -> Alcotest.fail "tiny grid should be fault-free")
+    s.Parallel.results;
+  Alcotest.(check bool) "malformed line rejected" true
+    (Checkpoint.parse_line "{\"case\":\"tr" = None)
+
+let test_sweep_checkpoint_resume () =
+  let programs, configs, techs =
+    let programs, _, techs = tiny_grid () in
+    ( programs,
+      [
+        ("a", Config.make ~assoc:2 ~block_bytes:16 ~capacity:256);
+        ("b", Config.make ~assoc:2 ~block_bytes:16 ~capacity:512);
+      ],
+      techs )
+  in
+  let path = Filename.temp_file "ucp_ckpt" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* reference: an uninterrupted run *)
+      let full = Parallel.sweep ~programs ~configs ~techs ~jobs:1 () in
+      (* a complete checkpointed run, then simulate a crash by keeping
+         only the header, the first two record lines and a torn final
+         line *)
+      let s0 =
+        Parallel.sweep ~programs ~configs ~techs ~jobs:1 ~checkpoint:path ()
+      in
+      Alcotest.(check int) "checkpointed run is clean" 0
+        (List.length s0.Parallel.failures);
+      let lines =
+        String.split_on_char '\n' (In_channel.with_open_text path In_channel.input_all)
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "header + one line per case" 5 (List.length lines);
+      let journaled =
+        match lines with
+        | header :: r1 :: r2 :: _ ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc
+                (String.concat "\n" [ header; r1; r2; {|{"case":"tr|} ]));
+          List.filter_map Checkpoint.parse_line [ r1; r2 ] |> List.map fst
+        | _ -> Alcotest.fail "journal too short"
+      in
+      Alcotest.(check int) "two journaled cases" 2 (List.length journaled);
+      (* prove the journaled cases are skipped, not re-run: rig them to
+         crash if executed *)
+      with_faults
+        (List.map (fun id -> (id, Fault.Raise)) journaled)
+        (fun () ->
+          let s1 =
+            Parallel.sweep ~programs ~configs ~techs ~jobs:1 ~checkpoint:path
+              ~resume:true ()
+          in
+          Alcotest.(check int) "two cases replayed" 2 s1.Parallel.resumed;
+          Alcotest.(check int) "no failures on resume" 0
+            (List.length s1.Parallel.failures);
+          Alcotest.(check bool) "resumed records identical to uninterrupted run"
+            true
+            (s1.Parallel.records = full.Parallel.records)))
+
+let test_sweep_checkpoint_fingerprint_mismatch () =
+  let programs, configs, techs = tiny_grid () in
+  let path = Filename.temp_file "ucp_ckpt" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      ignore (Parallel.sweep ~programs ~configs ~techs ~jobs:1 ~checkpoint:path ());
+      let other_configs =
+        [ ("a", Config.make ~assoc:4 ~block_bytes:32 ~capacity:1024) ]
+      in
+      Alcotest.(check bool) "mismatched grid rejected" true
+        (try
+           ignore
+             (Parallel.sweep ~programs ~configs:other_configs ~techs ~jobs:1
+                ~checkpoint:path ~resume:true ());
+           false
+         with Failure msg -> Ucp_testlib.contains ~substring:"fingerprint" msg))
+
+let test_experiments_ratio_degenerate () =
+  Alcotest.(check bool) "zero denominator is None" true
+    (Experiments.ratio 5 0 = None);
+  Alcotest.(check bool) "defined ratio" true (Experiments.ratio 1 2 = Some 0.5);
+  Alcotest.(check bool) "zero float denominator is None" true
+    (Experiments.fratio 5.0 0.0 = None);
+  Alcotest.(check bool) "defined float ratio" true
+    (Experiments.fratio 1.0 4.0 = Some 0.25)
+
 let () =
   Alcotest.run "ucp_core"
     [
@@ -219,5 +496,30 @@ let () =
             test_parallel_sweep_deterministic;
           Alcotest.test_case "sweep degenerate pool (jobs 1)" `Quick
             test_parallel_sweep_single_worker;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "UCP_JOBS parsing" `Quick test_default_jobs_env;
+          Alcotest.test_case "try_map outcomes" `Quick test_try_map_outcomes;
+          Alcotest.test_case "try_map empty" `Quick test_try_map_empty;
+          Alcotest.test_case "progress exception contained" `Quick
+            test_map_progress_exception_contained;
+          Alcotest.test_case "sweep isolates crashed case" `Quick
+            test_sweep_isolates_crashed_case;
+          Alcotest.test_case "sweep times out stalled case" `Quick
+            test_sweep_times_out_stalled_case;
+          Alcotest.test_case "sweep demotes invariant violation" `Quick
+            test_sweep_demotes_invariant_violation;
+          Alcotest.test_case "sweep rejects bad timeout" `Quick
+            test_sweep_rejects_bad_timeout;
+          Alcotest.test_case "UCP_FAULT parsing" `Quick test_fault_env_parsing;
+          Alcotest.test_case "checkpoint line round-trip" `Quick
+            test_checkpoint_record_roundtrip;
+          Alcotest.test_case "checkpoint resume skips journaled cases" `Quick
+            test_sweep_checkpoint_resume;
+          Alcotest.test_case "checkpoint fingerprint mismatch" `Quick
+            test_sweep_checkpoint_fingerprint_mismatch;
+          Alcotest.test_case "degenerate ratios" `Quick
+            test_experiments_ratio_degenerate;
         ] );
     ]

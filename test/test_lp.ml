@@ -271,6 +271,21 @@ let test_ilp_infeasible () =
   | Ilp.Optimal { value; _ } -> Alcotest.failf "expected infeasible, got %s" (Format.asprintf "%a" Q.pp value)
   | Ilp.Unbounded -> Alcotest.fail "expected infeasible, got unbounded"
 
+let test_ilp_deadline () =
+  (* an already-expired deadline aborts the branch & bound at its first
+     node with Deadline_exceeded, not a wrong answer *)
+  let d = Ucp_util.Deadline.after 0.001 in
+  Unix.sleepf 0.01;
+  Alcotest.check_raises "expired deadline raises"
+    Ucp_util.Deadline.Deadline_exceeded (fun () ->
+      ignore
+        (Ilp.maximize ~deadline:d
+           {
+             Simplex.num_vars = 2;
+             objective = [| qi 5; qi 4 |];
+             constraints = [ ([| qi 6; qi 5 |], Simplex.Le, qi 10) ];
+           }))
+
 let prop_ilp_below_lp =
   let gen =
     QCheck2.Gen.(
@@ -361,6 +376,7 @@ let () =
           Alcotest.test_case "rounds down" `Quick test_ilp_rounds_down;
           Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
           Alcotest.test_case "infeasible" `Quick test_ilp_infeasible;
+          Alcotest.test_case "deadline" `Quick test_ilp_deadline;
           QCheck_alcotest.to_alcotest prop_ilp_below_lp;
           QCheck_alcotest.to_alcotest prop_ilp_assignment_feasible;
         ] );

@@ -1,9 +1,10 @@
 (* Unit and property tests for Ucp_util: deterministic RNG, statistics,
-   table rendering. *)
+   table rendering, cooperative deadlines. *)
 
 module Rng = Ucp_util.Rng
 module Stats = Ucp_util.Stats
 module Table = Ucp_util.Table
+module Deadline = Ucp_util.Deadline
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -190,6 +191,37 @@ let test_cells () =
   Alcotest.(check string) "pct" "11.2%" (Table.cell_pct 0.112);
   Alcotest.(check string) "float" "0.5000" (Table.cell_f 0.5)
 
+(* ------------------------------------------------------------------ *)
+(* Deadline *)
+
+let test_deadline_unexpired () =
+  let d = Deadline.after 60.0 in
+  Alcotest.(check bool) "not expired" false (Deadline.expired d);
+  Alcotest.(check bool) "remaining positive" true (Deadline.remaining d > 0.0);
+  (* neither form raises while the deadline is in the future *)
+  Deadline.check (Some d);
+  Deadline.check None
+
+let test_deadline_expiry () =
+  let d = Deadline.after 0.002 in
+  Unix.sleepf 0.01;
+  Alcotest.(check bool) "expired" true (Deadline.expired d);
+  Alcotest.(check bool) "remaining negative" true (Deadline.remaining d < 0.0);
+  Alcotest.check_raises "check raises" Deadline.Deadline_exceeded (fun () ->
+      Deadline.check (Some d))
+
+let test_deadline_rejects_bad_secs () =
+  List.iter
+    (fun secs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "after %f rejected" secs)
+        true
+        (try
+           ignore (Deadline.after secs);
+           false
+         with Invalid_argument _ -> true))
+    [ 0.0; -1.0; Float.nan; Float.infinity ]
+
 let () =
   Alcotest.run "ucp_util"
     [
@@ -229,5 +261,11 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
           Alcotest.test_case "cells" `Quick test_cells;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "unexpired" `Quick test_deadline_unexpired;
+          Alcotest.test_case "expiry" `Quick test_deadline_expiry;
+          Alcotest.test_case "rejects bad seconds" `Quick test_deadline_rejects_bad_secs;
         ] );
     ]

@@ -79,3 +79,9 @@ let gen_access_sequence =
 (* Pretty-printers for counterexample reporting *)
 let print_program p = Format.asprintf "%a" Ucp_isa.Program.pp p
 let print_config c = Config.id c
+
+(* Substring check for asserting on error/exception messages. *)
+let contains ~substring s =
+  let n = String.length substring and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = substring || go (i + 1)) in
+  n = 0 || go 0
