@@ -63,6 +63,20 @@ let jobs =
       prerr_endline ("bench: " ^ msg);
       exit 124)
 
+let policies =
+  (* --policies lru,fifo,plru multiplies the sweep grid (default lru) *)
+  match argv_opt "policies" with
+  | None -> [ Ucp_policy.Lru ]
+  | Some s ->
+    List.map
+      (fun name ->
+        match Ucp_policy.of_string name with
+        | Ok p -> p
+        | Error msg ->
+          prerr_endline ("bench: --policies: " ^ msg);
+          exit 124)
+      (String.split_on_char ',' s)
+
 let timeout =
   (* --timeout SECS on the command line wins over UCP_CASE_TIMEOUT *)
   let spec =
@@ -179,10 +193,12 @@ let summary_path =
 
 let reproduce () =
   let configs = if full then Experiments.default_configs else Experiments.quick_configs in
-  Printf.printf "reproduction sweep: %d programs x %d configs x 2 techs = %d use cases%s\n%!"
+  Printf.printf
+    "reproduction sweep: %d programs x %d configs x 2 techs x %d policies = %d use cases%s\n%!"
     (List.length Ucp_workloads.Suite.all)
-    (List.length configs)
-    (List.length Ucp_workloads.Suite.all * List.length configs * 2)
+    (List.length configs) (List.length policies)
+    (List.length Ucp_workloads.Suite.all * List.length configs * 2
+    * List.length policies)
     (if full then " (full paper setup)" else " (quick subset; UCP_FULL=1 for all 36)");
   let progress ~done_ ~total =
     if done_ = total || done_ mod 64 = 0 then
@@ -197,20 +213,52 @@ let reproduce () =
      prerr_endline ("bench: " ^ msg);
      exit 1);
   let t0 = wall_s () in
-  let s = Parallel.sweep ~configs ~jobs ~progress ?timeout () in
-  Printf.eprintf "\r%!";
-  let records = s.Parallel.records in
-  let tm = s.Parallel.timings in
+  (* one sweep per policy so each slice's wall time is observable on its
+     own; the concatenation covers the same grid as a single
+     multi-policy sweep, in policy-major order *)
+  let sweeps =
+    List.map
+      (fun p ->
+        let tp = wall_s () in
+        let s = Parallel.sweep ~configs ~policies:[ p ] ~jobs ~progress ?timeout () in
+        Printf.eprintf "\r%!";
+        Printf.printf "  policy %-5s %d use cases in %.1fs wall\n%!"
+          (Ucp_policy.to_string p) s.Parallel.cases (wall_s () -. tp);
+        s)
+      policies
+  in
+  let records = List.concat_map (fun s -> s.Parallel.records) sweeps in
+  let results = List.concat_map (fun s -> s.Parallel.results) sweeps in
+  let failures = List.concat_map (fun s -> s.Parallel.failures) sweeps in
+  let some = List.hd sweeps in
+  let tm =
+    List.fold_left
+      (fun acc s ->
+        let t = s.Parallel.timings in
+        {
+          Pipeline.analysis_s = acc.Pipeline.analysis_s +. t.Pipeline.analysis_s;
+          optimize_s = acc.Pipeline.optimize_s +. t.Pipeline.optimize_s;
+          simulate_s = acc.Pipeline.simulate_s +. t.Pipeline.simulate_s;
+        })
+      { Pipeline.analysis_s = 0.0; optimize_s = 0.0; simulate_s = 0.0 }
+      sweeps
+  in
+  let sweep_wall =
+    List.fold_left (fun acc s -> acc +. s.Parallel.wall_s) 0.0 sweeps
+  in
   Printf.printf "sweep finished in %.1fs wall on %d worker%s\n"
-    (wall_s () -. t0) s.Parallel.jobs (if s.Parallel.jobs = 1 then "" else "s");
+    (wall_s () -. t0) some.Parallel.jobs (if some.Parallel.jobs = 1 then "" else "s");
   Printf.printf
     "  per-stage cost (summed over workers): analysis %.1fs | optimize %.1fs | simulate %.1fs\n\n%!"
     tm.Pipeline.analysis_s tm.Pipeline.optimize_s tm.Pipeline.simulate_s;
-  if s.Parallel.failures <> [] then
-    print_string (Report.outcome_summary s.Parallel.results);
+  if failures <> [] then begin
+    print_string (Report.outcome_summary results);
+    if List.length policies > 1 then
+      print_string (Report.policy_outcome_summary ~policies results)
+  end;
   Ucp_core.Checkpoint.write_atomic ~path:summary_path
-    (Report.sweep_jsonl ~wall_s:s.Parallel.wall_s ~jobs:s.Parallel.jobs
-       ~timings:tm ~outcomes:s.Parallel.results records);
+    (Report.sweep_jsonl ~wall_s:sweep_wall ~jobs:some.Parallel.jobs
+       ~timings:tm ~outcomes:results records);
   Printf.printf "per-use-case summary written to %s (%d records + summary line)\n\n%!"
     summary_path (List.length records);
   print_string (Report.all records);
@@ -225,6 +273,34 @@ let reproduce () =
   print_newline ();
   print_string (baseline_table ());
   records
+
+(* The policy refactor must not perturb the default engine: on an
+   LRU-only sub-grid the parallel sweep's Report.record_json stream has
+   to match the sequential reference engine byte for byte. *)
+let lru_identity_guard () =
+  let programs =
+    List.map (fun n -> (n, Ucp_workloads.Suite.find n)) [ "fft1"; "crc" ]
+  in
+  let configs =
+    match Experiments.quick_configs with a :: b :: _ -> [ a; b ] | l -> l
+  in
+  let techs = [ Tech.nm45 ] in
+  let seq =
+    List.map Report.record_json (Experiments.sweep ~programs ~configs ~techs ())
+  in
+  let par =
+    List.map Report.record_json
+      (Parallel.sweep ~programs ~configs ~techs ~jobs ()).Parallel.records
+  in
+  if seq <> par then begin
+    prerr_endline
+      "bench: LRU identity guard FAILED: parallel sweep records differ from \
+       the sequential engine";
+    exit 1
+  end;
+  Printf.printf
+    "LRU identity guard: %d records byte-identical (parallel vs sequential)\n%!"
+    (List.length seq)
 
 (* ------------------------------------------------------------------ *)
 (* part 2: Bechamel micro-benchmarks *)
@@ -279,5 +355,7 @@ let micro_benchmarks records =
 
 let () =
   let records = reproduce () in
+  print_newline ();
+  lru_identity_guard ();
   micro_benchmarks records;
   print_endline "\nbench: done"

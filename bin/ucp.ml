@@ -51,6 +51,14 @@ let tech_conv =
   in
   Arg.conv (parse, Tech.pp)
 
+let policy_conv =
+  let parse s =
+    match Ucp_policy.of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Ucp_policy.pp)
+
 let program_arg =
   Arg.(
     required
@@ -72,6 +80,13 @@ let tech_arg =
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulator seed.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Ucp_policy.Lru
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Cache replacement policy: lru, fifo or plru (default lru).")
 
 (* ------------------------------------------------------------------ *)
 (* commands *)
@@ -97,29 +112,15 @@ let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"Print Tables 1 and 2 of the paper.")
     Term.(const run $ const ())
 
-let classification_histogram w =
-  let analysis = w.Wcet.analysis in
-  let vivu = Analysis.vivu analysis in
-  let program = Ucp_cfg.Vivu.program vivu in
-  let ah = ref 0 and am = ref 0 and nc = ref 0 in
-  for node = 0 to Ucp_cfg.Vivu.node_count vivu - 1 do
-    let nd = Ucp_cfg.Vivu.node vivu node in
-    for pos = 0 to Ucp_isa.Program.slots program nd.Ucp_cfg.Vivu.block - 1 do
-      match Analysis.classif analysis ~node ~pos with
-      | Ucp_wcet.Classification.Always_hit -> incr ah
-      | Ucp_wcet.Classification.Always_miss -> incr am
-      | Ucp_wcet.Classification.Not_classified -> incr nc
-    done
-  done;
-  (!ah, !am, !nc)
-
 let analyze_cmd =
-  let run program config tech =
+  let run program config tech policy =
     let model = Pipeline.model config tech in
-    let w = Wcet.compute program config model in
-    let ah, am, nc = classification_histogram w in
+    let w = Wcet.compute ~policy program config model in
+    let ah, am, nc = Analysis.classification_counts w.Wcet.analysis in
     Printf.printf "program            : %s\n" (Ucp_isa.Program.name program);
-    Printf.printf "cache              : %s, %s\n" (Config.id config) tech.Tech.label;
+    Printf.printf "cache              : %s, %s, %s\n" (Config.id config)
+      tech.Tech.label
+      (Ucp_policy.to_string policy);
     Printf.printf "tau_w (memory)     : %d cycles\n" w.Wcet.tau;
     Printf.printf "WCET-path misses   : %d\n" (Wcet.wcet_misses w);
     Printf.printf "miss bound         : %d\n" (Analysis.miss_count_bound w.Wcet.analysis);
@@ -130,12 +131,12 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Cache-aware WCET analysis of one use case.")
-    Term.(const run $ program_arg $ config_arg $ tech_arg)
+    Term.(const run $ program_arg $ config_arg $ tech_arg $ policy_arg)
 
 let optimize_cmd =
-  let run program config tech verbose =
+  let run program config tech policy verbose =
     let model = Pipeline.model config tech in
-    let r = Optimizer.optimize program config model in
+    let r = Optimizer.optimize ~policy program config model in
     Printf.printf "tau_w              : %d -> %d cycles (%.1f%% reduction)\n"
       r.Optimizer.tau_before r.Optimizer.tau_after
       (100.0
@@ -157,16 +158,17 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run the WCET-safe prefetch optimization on one use case.")
-    Term.(const run $ program_arg $ config_arg $ tech_arg $ verbose)
+    Term.(const run $ program_arg $ config_arg $ tech_arg $ policy_arg $ verbose)
 
 let simulate_cmd =
-  let run program config tech seed optimized =
+  let run program config tech policy seed optimized =
     let model = Pipeline.model config tech in
     let program =
-      if optimized then (Optimizer.optimize program config model).Optimizer.program
+      if optimized then
+        (Optimizer.optimize ~policy program config model).Optimizer.program
       else program
     in
-    let stats = Simulator.run ~seed program config model in
+    let stats = Simulator.run ~seed ~policy program config model in
     let b = Ucp_energy.Account.energy model stats.Simulator.counts in
     Printf.printf "executed           : %d instructions (%d prefetches)\n"
       stats.Simulator.executed stats.Simulator.executed_prefetches;
@@ -181,7 +183,9 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Trace-simulate one use case (ACET, miss rate, energy).")
-    Term.(const run $ program_arg $ config_arg $ tech_arg $ seed_arg $ optimized)
+    Term.(
+      const run $ program_arg $ config_arg $ tech_arg $ policy_arg $ seed_arg
+      $ optimized)
 
 let baselines_cmd =
   let run program config tech seed =
@@ -334,7 +338,8 @@ let persistence_cmd =
     Term.(const run $ program_arg $ config_arg)
 
 let experiment_cmd =
-  let run full figure jobs timeout checkpoint resume programs =
+  let run full figure jobs timeout checkpoint resume programs configs techs
+      policies =
     (* fault-injection hooks for robustness testing: parsed up front so a
        typo in UCP_FAULT aborts before the sweep starts *)
     (try Ucp_core.Fault.load_env ()
@@ -342,7 +347,18 @@ let experiment_cmd =
        Printf.eprintf "ucp: %s\n" msg;
        exit 124);
     let configs =
-      if full then Experiments.default_configs else Experiments.quick_configs
+      match configs with
+      | Some ids ->
+        List.map
+          (fun id ->
+            match List.assoc_opt id Config.paper_configs with
+            | Some c -> (id, c)
+            | None ->
+              Printf.eprintf "ucp: unknown configuration %S (k1..k36)\n" id;
+              exit 124)
+          ids
+      | None ->
+        if full then Experiments.default_configs else Experiments.quick_configs
     in
     let programs =
       match programs with
@@ -388,8 +404,8 @@ let experiment_cmd =
     in
     let s =
       try
-        Ucp_core.Parallel.sweep ~programs ~configs ~jobs ~progress ?timeout
-          ?checkpoint ~resume ()
+        Ucp_core.Parallel.sweep ~programs ~configs ?techs ~policies ~jobs
+          ~progress ?timeout ?checkpoint ~resume ()
       with Failure msg ->
         (* e.g. resuming against a journal for a different grid *)
         Printf.eprintf "ucp: %s\n" msg;
@@ -416,6 +432,9 @@ let experiment_cmd =
     in
     print_string out;
     prerr_string (Report.outcome_summary s.Ucp_core.Parallel.results);
+    if List.length policies > 1 then
+      prerr_string
+        (Report.policy_outcome_summary ~policies s.Ucp_core.Parallel.results);
     if s.Ucp_core.Parallel.failures <> [] then exit 3
   in
   let full =
@@ -488,10 +507,36 @@ let experiment_cmd =
       & info [ "programs" ] ~docv:"NAMES"
           ~doc:"Comma-separated subset of workload programs to sweep.")
   in
+  let configs =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "configs" ] ~docv:"IDS"
+          ~doc:
+            "Comma-separated subset of Table 2 configurations (k1..k36); \
+             overrides $(b,--full)/quick selection.")
+  in
+  let techs =
+    Arg.(
+      value
+      & opt (some (list tech_conv)) None
+      & info [ "techs" ] ~docv:"TECHS"
+          ~doc:"Comma-separated process technologies (default: 45nm,32nm).")
+  in
+  let policies =
+    Arg.(
+      value
+      & opt (list policy_conv) [ Ucp_policy.Lru ]
+      & info [ "policies" ] ~docv:"POLICIES"
+          ~doc:
+            "Comma-separated replacement policies (lru, fifo, plru); each \
+             multiplies the use-case grid (default lru).")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run the evaluation sweep and print the paper's figures.")
     Term.(
-      const run $ full $ figure $ jobs $ timeout $ checkpoint $ resume $ programs)
+      const run $ full $ figure $ jobs $ timeout $ checkpoint $ resume $ programs
+      $ configs $ techs $ policies)
 
 let () =
   let doc = "WCET-safe, energy-oriented instruction-cache prefetching (DAC 2013)" in

@@ -16,7 +16,7 @@ smoke_err=$(mktemp)
 trap 'rm -f "$smoke_err"' EXIT
 
 status=0
-UCP_FAULT='fft1:k2:45nm=raise,crc:k2:32nm=stall:30' \
+UCP_FAULT='fft1:k2:45nm:lru=raise,crc:k2:32nm:lru=stall:30' \
   dune exec --no-build bin/ucp.exe -- experiment \
   --programs fft1,crc --timeout 1 --jobs 2 \
   >/dev/null 2>"$smoke_err" || status=$?
@@ -28,8 +28,8 @@ if [ "$status" -ne 3 ]; then
 fi
 for pat in \
   'cases: 46 ok, 1 failed, 1 timed out, 0 invariant violations' \
-  'fft1:k2:45nm: failed:.*Injected' \
-  'crc:k2:32nm: timed out'
+  'fft1:k2:45nm:lru: failed:.*Injected' \
+  'crc:k2:32nm:lru: timed out'
 do
   if ! grep -q "$pat" "$smoke_err"; then
     echo "ci: fault smoke: expected output matching '$pat'" >&2
@@ -38,3 +38,34 @@ do
   fi
 done
 echo "ci: fault-injection smoke passed"
+
+# Multi-policy smoke: 2 programs x 2 configs x 1 tech x 3 policies =
+# 12 use cases with a fault injected on the FIFO slice only.  Checks
+# the policy axis end to end: the grid triples, the per-policy outcome
+# lines appear on stderr, and the fault hits exactly the FIFO case.
+status=0
+UCP_FAULT='fft1:k2:45nm:fifo=raise' \
+  dune exec --no-build bin/ucp.exe -- experiment \
+  --programs fft1,crc --configs k2,k5 --techs 45nm \
+  --policies lru,fifo,plru --jobs 2 \
+  >/dev/null 2>"$smoke_err" || status=$?
+
+if [ "$status" -ne 3 ]; then
+  echo "ci: policy smoke: expected exit status 3 (failed case), got $status" >&2
+  cat "$smoke_err" >&2
+  exit 1
+fi
+for pat in \
+  'cases: 11 ok, 1 failed, 0 timed out, 0 invariant violations' \
+  'fft1:k2:45nm:fifo: failed:.*Injected' \
+  'policy lru *4 ok, 0 failed' \
+  'policy fifo *3 ok, 1 failed' \
+  'policy plru *4 ok, 0 failed'
+do
+  if ! grep -q "$pat" "$smoke_err"; then
+    echo "ci: policy smoke: expected output matching '$pat'" >&2
+    cat "$smoke_err" >&2
+    exit 1
+  fi
+done
+echo "ci: multi-policy smoke passed"

@@ -1,77 +1,63 @@
-type kind = Must | May
+type kind = Ucp_policy.kind = Must | May
 
 (* Per set: association list (memory block, age bound), sorted by block
    id.  Ages range over [0, assoc); entries reaching [assoc] are evicted
-   from the abstract state. *)
+   from the abstract state.  The per-set transfer functions live in
+   Ucp_policy and are dispatched through the policy's first-class
+   module; for LRU they are byte-identical to the seed's formulas. *)
 type t = {
   config : Config.t;
   kind : kind;
-  sets : (int * int) list array;
+  policy : Ucp_policy.id;
+  pol : (module Ucp_policy.POLICY);
+  sets : Ucp_policy.aset array;
 }
 
-let empty config kind = { config; kind; sets = Array.make config.Config.sets [] }
+let empty ?(policy = Ucp_policy.Lru) config kind =
+  Ucp_policy.check_assoc policy ~assoc:config.Config.assoc;
+  {
+    config;
+    kind;
+    policy;
+    pol = Ucp_policy.find policy;
+    sets = Array.make config.Config.sets [];
+  }
 
 let kind t = t.kind
 let config t = t.config
+let policy t = t.policy
 
 let set_idx t mb = Config.set_of_mem_block t.config mb
 
-(* The abstract LRU update is the same formula for must and may: the
-   accessed block moves to age 0 and every block with an age bound
-   strictly below the accessed block's old bound (or the associativity,
-   if absent) ages by one; entries reaching the associativity are
-   dropped.  The two analyses differ in their join and interpretation. *)
-let update_set ~assoc entries mb =
-  let old_age = try List.assoc mb entries with Not_found -> assoc in
-  let aged =
-    List.filter_map
-      (fun (x, a) ->
-        if x = mb then None
-        else
-          let a' = if a < old_age then a + 1 else a in
-          if a' >= assoc then None else Some (x, a'))
-      entries
-  in
-  List.sort compare ((mb, 0) :: aged)
-
-let apply t mb =
+let apply op ?(hint = Ucp_policy.Unknown) t mb =
+  let module P = (val t.pol : Ucp_policy.POLICY) in
+  let f = match op with `Update -> P.aset_update | `Fill -> P.aset_fill in
   let s = set_idx t mb in
   let sets = Array.copy t.sets in
-  sets.(s) <- update_set ~assoc:t.config.Config.assoc sets.(s) mb;
+  sets.(s) <- f t.kind ~assoc:t.config.Config.assoc ~hint sets.(s) mb;
   { t with sets }
 
-let update t mb = apply t mb
-let fill t mb = apply t mb
+let update ?hint t mb = apply `Update ?hint t mb
+let fill ?hint t mb = apply `Fill ?hint t mb
 
 let join a b =
   if a.kind <> b.kind then invalid_arg "Abstract.join: kind mismatch";
   if not (Config.equal a.config b.config) then
     invalid_arg "Abstract.join: configuration mismatch";
-  let join_set ea eb =
-    match a.kind with
-    | Must ->
-      (* intersection, maximal age *)
-      List.filter_map
-        (fun (x, age_a) ->
-          match List.assoc_opt x eb with
-          | Some age_b -> Some (x, max age_a age_b)
-          | None -> None)
-        ea
-      |> List.sort compare
-    | May ->
-      (* union, minimal age *)
-      let from_a =
-        List.map
-          (fun (x, age_a) ->
-            match List.assoc_opt x eb with
-            | Some age_b -> (x, min age_a age_b)
-            | None -> (x, age_a))
-          ea
-      in
-      let only_b = List.filter (fun (x, _) -> not (List.mem_assoc x ea)) eb in
-      List.sort compare (from_a @ only_b)
-  in
+  if a.policy <> b.policy then invalid_arg "Abstract.join: policy mismatch";
+  let module P = (val a.pol : Ucp_policy.POLICY) in
+  let join_set ea eb = P.aset_join a.kind ea eb |> List.sort compare in
   { a with sets = Array.init (Array.length a.sets) (fun i -> join_set a.sets.(i) b.sets.(i)) }
+
+let leq a b =
+  if a.kind <> b.kind then invalid_arg "Abstract.leq: kind mismatch";
+  if not (Config.equal a.config b.config) then
+    invalid_arg "Abstract.leq: configuration mismatch";
+  if a.policy <> b.policy then invalid_arg "Abstract.leq: policy mismatch";
+  let module P = (val a.pol : Ucp_policy.POLICY) in
+  let n = Array.length a.sets in
+  let rec go i = i >= n || (P.aset_leq a.kind a.sets.(i) b.sets.(i) && go (i + 1)) in
+  go 0
 
 let contains t mb = List.mem_assoc mb t.sets.(set_idx t mb)
 
@@ -80,19 +66,22 @@ let age t mb = List.assoc_opt mb t.sets.(set_idx t mb)
 let blocks t =
   Array.to_list t.sets |> List.concat |> List.map fst |> List.sort compare
 
-let victims t mb =
+let victims ?(hint = Ucp_policy.Unknown) t mb =
+  let module P = (val t.pol : Ucp_policy.POLICY) in
   let before = t.sets.(set_idx t mb) in
-  let after = update_set ~assoc:t.config.Config.assoc before mb in
+  let after = P.aset_update t.kind ~assoc:t.config.Config.assoc ~hint before mb in
   List.filter_map
     (fun (x, _) -> if x <> mb && not (List.mem_assoc x after) then Some x else None)
     before
 
 let equal a b =
-  a.kind = b.kind && Config.equal a.config b.config && a.sets = b.sets
+  a.kind = b.kind && a.policy = b.policy && Config.equal a.config b.config
+  && a.sets = b.sets
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>%s cache:@,"
-    (match t.kind with Must -> "must" | May -> "may");
+  Format.fprintf ppf "@[<v>%s cache (%s):@,"
+    (match t.kind with Must -> "must" | May -> "may")
+    (Ucp_policy.to_string t.policy);
   Array.iteri
     (fun i entries ->
       if entries <> [] then begin

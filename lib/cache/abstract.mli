@@ -1,5 +1,7 @@
-(** Abstract cache states for LRU must/may analysis (Ferdinand-style,
-    the classical semantics the paper reuses from [8, 21]).
+(** Abstract cache states for must/may analysis (Ferdinand-style, the
+    classical semantics the paper reuses from [8, 21]), parametric in
+    the replacement policy (see {!Ucp_policy}; default LRU, for which
+    the domains are bit-identical to the seed's LRU-only analyses).
 
     A state maps each resident memory block to an {e age bound}:
 
@@ -12,32 +14,50 @@
       reference to a block absent from the may state is an
       {e always-miss}.
 
-    States are immutable; [update] implements the abstract LRU update
-    Û, and [fill] the prefetch-extended semantics in which a block is
-    installed as most recently used without a demand access (as in the
-    prefetching extension of the abstract semantics [22]). *)
+    States are immutable; [update] implements the abstract update Û of
+    the selected policy, and [fill] the prefetch-extended semantics in
+    which a block is installed without a demand access (as in the
+    prefetching extension of the abstract semantics [22]).  Policies
+    whose aging depends on the access outcome (FIFO) additionally take
+    a classification [?hint] for the transferred access; [Unknown] is
+    always sound and LRU/PLRU ignore hints entirely. *)
 
-type kind = Must | May
+type kind = Ucp_policy.kind = Must | May
 
 type t
 
-val empty : Config.t -> kind -> t
+val empty : ?policy:Ucp_policy.id -> Config.t -> kind -> t
 (** Cold cache: nothing resident.  For must analysis this is also the
-    sound "no guarantees" element used at unknown program points. *)
+    sound "no guarantees" element used at unknown program points.
+    @raise Invalid_argument if the policy rejects the configuration's
+    associativity (PLRU requires a power of two). *)
 
 val kind : t -> kind
 val config : t -> Config.t
 
-val update : t -> int -> t
-(** Abstract LRU update for a demand reference to a memory block. *)
+val policy : t -> Ucp_policy.id
+(** The replacement policy this state models. *)
 
-val fill : t -> int -> t
-(** Abstract effect of a completed prefetch of a memory block: same
-    aging as {!update} (the block lands as MRU either way). *)
+val update : ?hint:Ucp_policy.hint -> t -> int -> t
+(** Abstract update for a demand reference to a memory block.  [?hint]
+    (default [Unknown]) is the classification of this very access, when
+    the caller knows it. *)
+
+val fill : ?hint:Ucp_policy.hint -> t -> int -> t
+(** Abstract effect of a completed prefetch of a memory block; [?hint]
+    says whether the block is known resident ([Hit]), known absent
+    ([Miss]) or unknown. *)
 
 val join : t -> t -> t
 (** Must: intersection/max-age.  May: union/min-age.
-    @raise Invalid_argument when kinds or configurations differ. *)
+    @raise Invalid_argument when kinds, configurations or policies
+    differ. *)
+
+val leq : t -> t -> bool
+(** Domain order with {!join} as an upper bound: [leq a b] iff every
+    concrete cache described by [a] is also described by [b].
+    @raise Invalid_argument when kinds, configurations or policies
+    differ. *)
 
 val contains : t -> int -> bool
 (** Membership in the abstract state (guaranteed for must, possible for
@@ -49,11 +69,12 @@ val age : t -> int -> int option
 val blocks : t -> int list
 (** Resident blocks, ascending (the paper's [B(ĉ)], Definition 9). *)
 
-val victims : t -> int -> int list
-(** [victims t mb] lists the blocks that [update t mb] removes from the
-    state — for must analysis, the references that lose their cached
-    guarantee.  This implements the replacement detection of Property 3
-    that drives prefetch-candidate discovery. *)
+val victims : ?hint:Ucp_policy.hint -> t -> int -> int list
+(** [victims t mb] lists the blocks that [update t mb] (under the same
+    hint) removes from the state — for must analysis, the references
+    that lose their cached guarantee.  This implements the replacement
+    detection of Property 3 that drives prefetch-candidate discovery,
+    and asks the policy domain who can be evicted. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

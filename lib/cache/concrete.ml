@@ -1,9 +1,12 @@
-type policy = Lru | Fifo
+type policy = Ucp_policy.id = Lru | Fifo | Plru
 
 type t = {
   config : Config.t;
   policy : policy;
-  sets : int list array;  (* per set: resident memory blocks, youngest first *)
+  pol : (module Ucp_policy.POLICY);
+  sets : Ucp_policy.cset array;
+  (* per set: policy-specific state (recency/insertion queue for
+     LRU/FIFO, way array + tree bits for PLRU) *)
 }
 
 type outcome =
@@ -11,64 +14,48 @@ type outcome =
   | Miss of int option
 
 let create ?(policy = Lru) config =
-  { config; policy; sets = Array.make config.Config.sets [] }
+  Ucp_policy.check_assoc policy ~assoc:config.Config.assoc;
+  let pol = Ucp_policy.find policy in
+  let module P = (val pol : Ucp_policy.POLICY) in
+  {
+    config;
+    policy;
+    pol;
+    sets = Array.init config.Config.sets (fun _ -> P.cset_empty ~assoc:config.Config.assoc);
+  }
 
 let policy t = t.policy
 
-let copy t = { t with sets = Array.copy t.sets }
+let copy t =
+  { t with sets = Array.map Ucp_policy.cset_copy t.sets }
 
 let set_idx t mb = Config.set_of_mem_block t.config mb
 
-(* Insert [mb] as the youngest block of its set; under FIFO a resident
-   block keeps its position (no reordering on hit). *)
-let insert_front t mb =
-  let s = set_idx t mb in
-  let resident = List.mem mb t.sets.(s) in
-  if resident then begin
-    (match t.policy with
-    | Lru ->
-      let without = List.filter (fun x -> x <> mb) t.sets.(s) in
-      t.sets.(s) <- mb :: without
-    | Fifo -> ());
-    (true, None)
-  end
-  else if List.length t.sets.(s) < t.config.Config.assoc then begin
-    t.sets.(s) <- mb :: t.sets.(s);
-    (false, None)
-  end
-  else begin
-    (* evict the oldest block (last element) *)
-    let rec split_last acc = function
-      | [] -> assert false
-      | [ last ] -> (List.rev acc, last)
-      | x :: tl -> split_last (x :: acc) tl
-    in
-    let kept, victim = split_last [] t.sets.(s) in
-    t.sets.(s) <- mb :: kept;
-    (false, Some victim)
-  end
-
 let access t mb =
-  match insert_front t mb with
-  | true, _ -> Hit
-  | false, victim -> Miss victim
+  let module P = (val t.pol : Ucp_policy.POLICY) in
+  let s = set_idx t mb in
+  let cs', hit, victim = P.cset_access ~assoc:t.config.Config.assoc t.sets.(s) mb in
+  t.sets.(s) <- cs';
+  if hit then Hit else Miss victim
 
 let fill t mb =
-  match insert_front t mb with
-  | _, victim -> victim
+  let module P = (val t.pol : Ucp_policy.POLICY) in
+  let s = set_idx t mb in
+  let cs', victim = P.cset_fill ~assoc:t.config.Config.assoc t.sets.(s) mb in
+  t.sets.(s) <- cs';
+  victim
 
-let contains t mb = List.mem mb t.sets.(set_idx t mb)
+let contains t mb = Ucp_policy.cset_contains t.sets.(set_idx t mb) mb
 
 let age t mb =
-  let rec find i = function
-    | [] -> None
-    | x :: tl -> if x = mb then Some i else find (i + 1) tl
-  in
-  find 0 t.sets.(set_idx t mb)
+  let module P = (val t.pol : Ucp_policy.POLICY) in
+  P.cset_age ~assoc:t.config.Config.assoc t.sets.(set_idx t mb) mb
 
 let contents t =
-  Array.to_list t.sets |> List.concat |> List.sort compare
+  Array.to_list t.sets
+  |> List.concat_map Ucp_policy.cset_blocks
+  |> List.sort compare
 
-let resident_in_set t s = t.sets.(s)
+let resident_in_set t s = Ucp_policy.cset_blocks t.sets.(s)
 
 let config t = t.config

@@ -1,7 +1,7 @@
 module Config = Ucp_cache.Config
 module Tech = Ucp_energy.Tech
 
-let format_version = 1
+let format_version = 2
 
 (* ------------------------------------------------------------------ *)
 (* minimal JSON: just enough to round-trip our own journal lines *)
@@ -185,10 +185,10 @@ let flt f = Printf.sprintf "%.17g" f
 
 let measurement_json (m : Pipeline.measurement) =
   Printf.sprintf
-    {|{"tau":%d,"acet":%d,"energy_pj":%s,"miss_rate":%s,"executed":%d,"demand_misses":%d,"wcet_miss_bound":%d}|}
+    {|{"tau":%d,"acet":%d,"energy_pj":%s,"miss_rate":%s,"executed":%d,"demand_misses":%d,"wcet_miss_bound":%d,"ah":%d,"am":%d,"nc":%d}|}
     m.Pipeline.tau m.Pipeline.acet (flt m.Pipeline.energy_pj)
     (flt m.Pipeline.miss_rate) m.Pipeline.executed m.Pipeline.demand_misses
-    m.Pipeline.wcet_miss_bound
+    m.Pipeline.wcet_miss_bound m.Pipeline.ah m.Pipeline.am m.Pipeline.nc
 
 let measurement_of_json j : Pipeline.measurement =
   {
@@ -199,17 +199,21 @@ let measurement_of_json j : Pipeline.measurement =
     executed = to_int (field j "executed");
     demand_misses = to_int (field j "demand_misses");
     wcet_miss_bound = to_int (field j "wcet_miss_bound");
+    ah = to_int (field j "ah");
+    am = to_int (field j "am");
+    nc = to_int (field j "nc");
   }
 
 let record_line ~id (r : Experiments.record) =
   Printf.sprintf
-    {|{"case":%s,"program":%s,"config_id":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tech":%s,"prefetches":%d,"rejected":%d,"original":%s,"optimized":%s}|}
+    {|{"case":%s,"program":%s,"config_id":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tech":%s,"policy":%s,"prefetches":%d,"rejected":%d,"original":%s,"optimized":%s}|}
     (Report.json_string id)
     (Report.json_string r.Experiments.program_name)
     (Report.json_string r.Experiments.config_id)
     r.Experiments.config.Config.assoc r.Experiments.config.Config.block_bytes
     r.Experiments.config.Config.capacity
     (Report.json_string r.Experiments.tech.Tech.label)
+    (Report.json_string (Ucp_policy.to_string r.Experiments.policy))
     r.Experiments.prefetches r.Experiments.rejected
     (measurement_json r.Experiments.original)
     (measurement_json r.Experiments.optimized)
@@ -218,6 +222,11 @@ let tech_of_label label =
   match List.find_opt (fun t -> t.Tech.label = label) Tech.all with
   | Some t -> t
   | None -> raise (Malformed ("unknown technology " ^ label))
+
+let policy_of_name name =
+  match Ucp_policy.of_string name with
+  | Ok p -> p
+  | Error msg -> raise (Malformed msg)
 
 let parse_line line =
   match parse line with
@@ -235,6 +244,7 @@ let parse_line line =
               ~block_bytes:(to_int (field j "block_bytes"))
               ~capacity:(to_int (field j "capacity"));
           tech = tech_of_label (to_string (field j "tech"));
+          policy = policy_of_name (to_string (field j "policy"));
           original = measurement_of_json (field j "original");
           optimized = measurement_of_json (field j "optimized");
           prefetches = to_int (field j "prefetches");
@@ -247,7 +257,7 @@ let parse_line line =
 (* ------------------------------------------------------------------ *)
 (* grid fingerprint *)
 
-let fingerprint ~programs ~configs ~techs =
+let fingerprint ?(policies = [ Ucp_policy.Lru ]) ~programs ~configs ~techs () =
   let buf = Buffer.create 512 in
   Buffer.add_string buf (Printf.sprintf "ucp-checkpoint-v%d\n" format_version);
   List.iter
@@ -264,6 +274,10 @@ let fingerprint ~programs ~configs ~techs =
   List.iter
     (fun (t : Tech.t) -> Buffer.add_string buf (Printf.sprintf "t %s\n" t.Tech.label))
     techs;
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (Printf.sprintf "y %s\n" (Ucp_policy.to_string p)))
+    policies;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let header_line fingerprint =

@@ -9,19 +9,24 @@
     invariant-violating cases are {e not} journaled — a resume retries
     them.
 
-    The fingerprint hashes the suite, the configuration grid and the
-    technology list; resuming against a journal written for a different
-    grid is rejected instead of silently mixing records. *)
+    The fingerprint hashes the suite, the configuration grid, the
+    technology list and the replacement-policy list; resuming against a
+    journal written for a different grid — including an LRU-only
+    journal against a multi-policy grid — is rejected instead of
+    silently mixing records. *)
 
 type t
 
 val fingerprint :
+  ?policies:Ucp_policy.id list ->
   programs:(string * Ucp_isa.Program.t) list ->
   configs:(string * Ucp_cache.Config.t) list ->
   techs:Ucp_energy.Tech.t list ->
+  unit ->
   string
 (** Hex digest of the sweep grid (program names and sizes, config ids
-    and geometries, tech labels, plus the journal format version). *)
+    and geometries, tech labels, replacement policies — default
+    [[Lru]] — plus the journal format version). *)
 
 val start :
   path:string -> fingerprint:string -> resume:bool -> t

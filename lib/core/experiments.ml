@@ -7,6 +7,7 @@ type record = {
   config_id : string;
   config : Config.t;
   tech : Tech.t;
+  policy : Ucp_policy.id;
   original : Pipeline.measurement;
   optimized : Pipeline.measurement;
   prefetches : int;
@@ -27,30 +28,38 @@ type case = {
   case_config_id : string;
   case_config : Config.t;
   case_tech : Tech.t;
+  case_policy : Ucp_policy.id;
 }
 
 (* The stable identity of a use case across runs: suite name, Table-2
-   config id and technology label.  Checkpoint journals and fault
-   injection key on this string. *)
+   config id, technology label and replacement policy.  Checkpoint
+   journals and fault injection key on this string. *)
 let case_id c =
-  Printf.sprintf "%s:%s:%s" c.case_program_name c.case_config_id
+  Printf.sprintf "%s:%s:%s:%s" c.case_program_name c.case_config_id
     c.case_tech.Tech.label
+    (Ucp_policy.to_string c.case_policy)
 
-let cases ~programs ~configs ~techs =
+(* The policy is the innermost axis, so an LRU-only grid enumerates in
+   exactly the seed's order. *)
+let cases ?(policies = [ Ucp_policy.Lru ]) ~programs ~configs ~techs () =
   Array.of_list
     (List.concat_map
        (fun (case_program_name, case_program) ->
          List.concat_map
            (fun (case_config_id, case_config) ->
-             List.map
+             List.concat_map
                (fun case_tech ->
-                 {
-                   case_program_name;
-                   case_program;
-                   case_config_id;
-                   case_config;
-                   case_tech;
-                 })
+                 List.map
+                   (fun case_policy ->
+                     {
+                       case_program_name;
+                       case_program;
+                       case_config_id;
+                       case_config;
+                       case_tech;
+                       case_policy;
+                     })
+                   policies)
                techs)
            configs)
        programs)
@@ -69,14 +78,15 @@ let model_table configs techs =
 
 let run_case ?deadline ?timed ~model c =
   let cmp =
-    Pipeline.compare_optimized ?deadline ~model ?timed c.case_program c.case_config
-      c.case_tech
+    Pipeline.compare_optimized ?deadline ~model ?timed ~policy:c.case_policy
+      c.case_program c.case_config c.case_tech
   in
   {
     program_name = c.case_program_name;
     config_id = c.case_config_id;
     config = c.case_config;
     tech = c.case_tech;
+    policy = c.case_policy;
     original = cmp.Pipeline.original;
     optimized = cmp.Pipeline.optimized;
     prefetches = cmp.Pipeline.prefetches;
@@ -110,7 +120,7 @@ let check_invariants r =
   | ps -> Error (String.concat "; " ps)
 
 let sweep ?(programs = Ucp_workloads.Suite.all) ?(configs = default_configs)
-    ?(techs = Tech.all) ?(progress = fun _ -> ()) () =
+    ?(techs = Tech.all) ?policies ?(progress = fun _ -> ()) () =
   let models = model_table configs techs in
   let last = ref None in
   Array.to_list
@@ -121,7 +131,7 @@ let sweep ?(programs = Ucp_workloads.Suite.all) ?(configs = default_configs)
            progress c.case_program_name
          end;
          run_case ~model:(Hashtbl.find models (c.case_config, c.case_tech)) c)
-       (cases ~programs ~configs ~techs))
+       (cases ?policies ~programs ~configs ~techs ()))
 
 let capacities records =
   List.sort_uniq compare (List.map (fun r -> r.config.Config.capacity) records)
@@ -327,6 +337,43 @@ let figure8 records =
         degenerate = List.length rs - List.length ratios;
       })
     (capacities records)
+
+type policy_row = {
+  row_policy : Ucp_policy.id;
+  row_cases : int;
+  row_prefetches : int;  (** accepted insertions summed over the cases *)
+  row_ah : int;  (** original-program slots classified always-hit *)
+  row_am : int;
+  row_nc : int;
+  row_ah_opt : int;  (** optimized-program counterparts *)
+  row_am_opt : int;
+  row_nc_opt : int;
+}
+
+(* Per-policy classification-precision counters, summed over the static
+   slots of every record's expanded graph.  Rows follow
+   [Ucp_policy.all] order; policies absent from the records yield no
+   row. *)
+let policy_precision records =
+  List.filter_map
+    (fun p ->
+      let rs = List.filter (fun r -> r.policy = p) records in
+      if rs = [] then None
+      else
+        let sum f = List.fold_left (fun acc r -> acc + f r) 0 rs in
+        Some
+          {
+            row_policy = p;
+            row_cases = List.length rs;
+            row_prefetches = sum (fun r -> r.prefetches);
+            row_ah = sum (fun r -> r.original.Pipeline.ah);
+            row_am = sum (fun r -> r.original.Pipeline.am);
+            row_nc = sum (fun r -> r.original.Pipeline.nc);
+            row_ah_opt = sum (fun r -> r.optimized.Pipeline.ah);
+            row_am_opt = sum (fun r -> r.optimized.Pipeline.am);
+            row_nc_opt = sum (fun r -> r.optimized.Pipeline.nc);
+          })
+    Ucp_policy.all
 
 let table1 () =
   List.map

@@ -10,6 +10,7 @@ type record = {
   config_id : string;  (** Table 2 label, e.g. ["k17"] *)
   config : Ucp_cache.Config.t;
   tech : Ucp_energy.Tech.t;
+  policy : Ucp_policy.id;  (** replacement policy of the case *)
   original : Pipeline.measurement;
   optimized : Pipeline.measurement;
   prefetches : int;
@@ -20,21 +21,24 @@ val sweep :
   ?programs:(string * Ucp_isa.Program.t) list ->
   ?configs:(string * Ucp_cache.Config.t) list ->
   ?techs:Ucp_energy.Tech.t list ->
+  ?policies:Ucp_policy.id list ->
   ?progress:(string -> unit) ->
   unit ->
   record list
 (** Run every use case sequentially (defaults: all 37 programs × 36
-    configurations × 2 technologies = 2664 cases, the paper's full
-    setup).  {!Parallel.sweep} runs the same grid on a domain pool and
-    produces record-for-record identical results. *)
+    configurations × 2 technologies = 2664 cases under LRU, the paper's
+    full setup; [?policies] (default [[Lru]]) multiplies the grid by a
+    replacement-policy axis).  {!Parallel.sweep} runs the same grid on
+    a domain pool and produces record-for-record identical results. *)
 
 (** {2 The use-case grid}
 
     Shared between this sequential driver and {!Parallel}: the grid is
     materialized in deterministic program-major order (programs, then
-    configurations, then technologies — the record order [sweep]
-    returns), and both engines evaluate a case through the same
-    {!run_case}. *)
+    configurations, then technologies, then policies — the record
+    order [sweep] returns; with the default LRU-only axis this is
+    exactly the seed's order), and both engines evaluate a case
+    through the same {!run_case}. *)
 
 type case = {
   case_program_name : string;
@@ -42,19 +46,24 @@ type case = {
   case_config_id : string;
   case_config : Ucp_cache.Config.t;
   case_tech : Ucp_energy.Tech.t;
+  case_policy : Ucp_policy.id;
 }
 
 val cases :
+  ?policies:Ucp_policy.id list ->
   programs:(string * Ucp_isa.Program.t) list ->
   configs:(string * Ucp_cache.Config.t) list ->
   techs:Ucp_energy.Tech.t list ->
+  unit ->
   case array
-(** The full cross product, in sweep order. *)
+(** The full cross product, in sweep order ([?policies] default
+    [[Lru]], the innermost axis). *)
 
 val case_id : case -> string
 (** Stable identity of a use case across runs and processes:
-    ["<program>:<config id>:<tech label>"], e.g. ["fft1:k14:45nm"].
-    Checkpoint journals and fault injection are keyed on it. *)
+    ["<program>:<config id>:<tech label>:<policy>"], e.g.
+    ["fft1:k14:45nm:lru"].  Checkpoint journals and fault injection are
+    keyed on it. *)
 
 val model_table :
   (string * Ucp_cache.Config.t) list ->
@@ -158,6 +167,26 @@ type exec_row = {
 }
 
 val figure8 : record list -> exec_row list
+
+(** Per-policy classification-precision counters: static instruction
+    slots of the expanded graphs classified always-hit / always-miss /
+    not-classified, summed over a policy's records, for the original
+    and the optimized program. *)
+type policy_row = {
+  row_policy : Ucp_policy.id;
+  row_cases : int;
+  row_prefetches : int;  (** accepted insertions summed over the cases *)
+  row_ah : int;  (** original-program slots classified always-hit *)
+  row_am : int;
+  row_nc : int;
+  row_ah_opt : int;  (** optimized-program counterparts *)
+  row_am_opt : int;
+  row_nc_opt : int;
+}
+
+val policy_precision : record list -> policy_row list
+(** One row per policy present in the records, in {!Ucp_policy.all}
+    order. *)
 
 val table1 : unit -> (string * string * int) list
 (** Program id, name, static slots (Table 1 + size info). *)

@@ -205,21 +205,24 @@ let strip = function
   | Outcome.Invariant_violation m -> Outcome.Invariant_violation m
 
 let sweep ?(programs = Ucp_workloads.Suite.all)
-    ?(configs = Experiments.default_configs) ?(techs = Tech.all) ?jobs ?chunk
+    ?(configs = Experiments.default_configs) ?(techs = Tech.all)
+    ?(policies = [ Ucp_policy.Lru ]) ?jobs ?chunk
     ?progress ?timeout ?checkpoint ?(resume = false) () =
   (match timeout with
   | Some t when (not (Float.is_finite t)) || t <= 0.0 ->
     invalid_arg "Parallel.sweep: timeout must be a positive number of seconds"
   | Some _ | None -> ());
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  let cases = Experiments.cases ~programs ~configs ~techs in
+  let cases = Experiments.cases ~policies ~programs ~configs ~techs () in
   let models = Experiments.model_table configs techs in
   let n = Array.length cases in
   let journal =
     match checkpoint with
     | None -> None
     | Some path ->
-      let fingerprint = Checkpoint.fingerprint ~programs ~configs ~techs in
+      let fingerprint =
+        Checkpoint.fingerprint ~policies ~programs ~configs ~techs ()
+      in
       Some (Checkpoint.start ~path ~fingerprint ~resume)
   in
   Fun.protect

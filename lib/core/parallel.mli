@@ -3,7 +3,8 @@
     only) evaluating the paper's use-case grid in parallel.
 
     Every use case is an independent (program, configuration,
-    technology) triple, so the sweep is embarrassingly parallel; the
+    technology, replacement policy) tuple, so the sweep is
+    embarrassingly parallel; the
     engine writes each result at its input index and therefore returns
     records in deterministic input order — record-for-record identical
     to the sequential {!Experiments.sweep} — regardless of worker
@@ -106,6 +107,7 @@ val sweep :
   ?programs:(string * Ucp_isa.Program.t) list ->
   ?configs:(string * Ucp_cache.Config.t) list ->
   ?techs:Ucp_energy.Tech.t list ->
+  ?policies:Ucp_policy.id list ->
   ?jobs:int ->
   ?chunk:int ->
   ?progress:(done_:int -> total:int -> unit) ->
@@ -115,7 +117,10 @@ val sweep :
   unit ->
   sweep
 (** Evaluate the use-case grid (defaults: the paper's full 2664-case
-    setup) on a worker pool.  The CACTI model is computed once per
+    setup under LRU; [?policies] (default [[Lru]]) multiplies the grid
+    by a replacement-policy axis and is part of the checkpoint
+    fingerprint, so resuming an LRU-only journal against a
+    multi-policy grid is rejected) on a worker pool.  The CACTI model is computed once per
     (configuration, technology) pair up front, and within each use case
     the original program's WCET analysis is shared between the
     optimizer and the original measurement (see

@@ -15,6 +15,9 @@ type measurement = {
   executed : int;
   demand_misses : int;
   wcet_miss_bound : int;
+  ah : int;
+  am : int;
+  nc : int;
 }
 
 type timings = {
@@ -48,17 +51,24 @@ let on_simulate tm d = tm.simulate_s <- tm.simulate_s +. d
 
 let model config tech = Cacti.model config tech
 
-let measure ?deadline ?(seed = 42) ?model:mdl ?wcet ?timed:tm program config tech =
+let measure ?deadline ?(seed = 42) ?model:mdl ?wcet ?timed:tm
+    ?(policy = Ucp_policy.Lru) program config tech =
   let m = match mdl with Some m -> m | None -> model config tech in
+  (* The may analysis is on so the measurement carries real always-miss
+     counts; tau and the miss bound are unaffected (always-miss and
+     not-classified are charged identically in the WCET scenario). *)
   let w =
     match wcet with
     | Some w -> w
     | None ->
       timed tm on_analysis (fun () ->
-          Wcet.compute ?deadline ~with_may:false program config m)
+          Wcet.compute ?deadline ~with_may:true ~policy program config m)
   in
-  let stats = timed tm on_simulate (fun () -> Simulator.run ~seed program config m) in
+  let stats =
+    timed tm on_simulate (fun () -> Simulator.run ~seed ~policy program config m)
+  in
   let breakdown = Account.energy m stats.Simulator.counts in
+  let ah, am, nc = Analysis.classification_counts w.Wcet.analysis in
   {
     tau = Wcet.tau_with_residual w;
     acet = Simulator.acet stats;
@@ -67,11 +77,14 @@ let measure ?deadline ?(seed = 42) ?model:mdl ?wcet ?timed:tm program config tec
     executed = stats.Simulator.executed;
     demand_misses = stats.Simulator.counts.Account.misses;
     wcet_miss_bound = Analysis.miss_count_bound w.Wcet.analysis;
+    ah;
+    am;
+    nc;
   }
 
-let optimize ?model:mdl program config tech =
+let optimize ?model:mdl ?policy program config tech =
   let m = match mdl with Some m -> m | None -> model config tech in
-  Optimizer.optimize program config m
+  Optimizer.optimize ?policy program config m
 
 type comparison = {
   original : measurement;
@@ -80,23 +93,30 @@ type comparison = {
   rejected : int;
 }
 
-let compare_optimized ?deadline ?(seed = 42) ?model:mdl ?timed:tm program config tech =
+let compare_optimized ?deadline ?(seed = 42) ?model:mdl ?timed:tm
+    ?(policy = Ucp_policy.Lru) program config tech =
   let m = match mdl with Some m -> m | None -> model config tech in
   (* The original program's cache-aware analysis is the most expensive
      shared artifact of a use case: compute it once and hand it to both
      the optimizer (which otherwise recomputes it as its starting
-     fixpoint) and the original-program measurement. *)
+     fixpoint) and the original-program measurement.  The may analysis
+     is on for the sake of the measurement's classification counters;
+     the optimizer's own re-analyses stay may-free where the policy
+     allows it. *)
   let w0 =
     timed tm on_analysis (fun () ->
-        Wcet.compute ?deadline ~with_may:false program config m)
+        Wcet.compute ?deadline ~with_may:true ~policy program config m)
   in
   let result =
     timed tm on_optimize (fun () ->
         Optimizer.optimize ?deadline ~initial:w0 program config m)
   in
-  let original = measure ?deadline ~seed ~model:m ~wcet:w0 ?timed:tm program config tech in
+  let original =
+    measure ?deadline ~seed ~model:m ~wcet:w0 ?timed:tm ~policy program config tech
+  in
   let optimized =
-    measure ?deadline ~seed ~model:m ?timed:tm result.Optimizer.program config tech
+    measure ?deadline ~seed ~model:m ?timed:tm ~policy result.Optimizer.program
+      config tech
   in
   {
     original;

@@ -14,6 +14,12 @@ type measurement = {
   executed : int;  (** dynamically executed instructions *)
   demand_misses : int;  (** demand misses of the simulated run *)
   wcet_miss_bound : int;  (** the analysis' bound on demand misses *)
+  ah : int;  (** instruction slots classified always-hit *)
+  am : int;  (** instruction slots classified always-miss *)
+  nc : int;
+      (** instruction slots left unclassified — with [ah] and [am] the
+          per-policy classification-precision counters of the sweep
+          (unweighted static slots of the expanded graph) *)
 }
 
 (** Per-stage wall-clock accumulators: abstract-interpretation WCET
@@ -48,14 +54,19 @@ val measure :
   ?model:Ucp_energy.Cacti.t ->
   ?wcet:Ucp_wcet.Wcet.t ->
   ?timed:timings ->
+  ?policy:Ucp_policy.id ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Tech.t ->
   measurement
-(** Analyze and simulate one program under one use case.  [?model]
+(** Analyze and simulate one program under one use case.  [?policy]
+    selects the replacement policy on both sides — the abstract
+    domains of the analysis and the concrete cache of the simulator
+    (default LRU).  [?model]
     reuses a precomputed {!model} (it must equal [model config tech]);
     [?wcet] reuses a precomputed analysis of the {e same} program under
-    the same configuration and model, skipping the analysis stage;
+    the same configuration, model and policy, skipping the analysis
+    stage;
     [?timed] accumulates the per-stage wall-clock cost; [?deadline]
     bounds the analysis stage (the trace simulation does not check it —
     its step count is already bounded by [Simulator.run]'s
@@ -63,6 +74,7 @@ val measure :
 
 val optimize :
   ?model:Ucp_energy.Cacti.t ->
+  ?policy:Ucp_policy.id ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Tech.t ->
@@ -81,11 +93,13 @@ val compare_optimized :
   ?seed:int ->
   ?model:Ucp_energy.Cacti.t ->
   ?timed:timings ->
+  ?policy:Ucp_policy.id ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Tech.t ->
   comparison
-(** Optimize and evaluate both versions under the same use case.  The
+(** Optimize and evaluate both versions under the same use case, under
+    the replacement policy [?policy] (default LRU).  The
     original program is analyzed exactly once: the optimizer starts
     from that fixpoint and the original measurement reuses it.
     Theorem 1 materializes as [optimized.tau <= original.tau].

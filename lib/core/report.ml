@@ -125,6 +125,32 @@ let figure8 records =
   section "Figure 8: executed-instruction ratio (optimized / original)"
     (Table.render t)
 
+let policies records =
+  let t =
+    Table.create
+      [
+        "policy"; "cases"; "prefetches"; "AH"; "AM"; "NC"; "AH opt"; "AM opt";
+        "NC opt";
+      ]
+  in
+  List.iter
+    (fun (r : Experiments.policy_row) ->
+      Table.add_row t
+        [
+          Ucp_policy.to_string r.row_policy;
+          string_of_int r.row_cases;
+          string_of_int r.row_prefetches;
+          string_of_int r.row_ah;
+          string_of_int r.row_am;
+          string_of_int r.row_nc;
+          string_of_int r.row_ah_opt;
+          string_of_int r.row_am_opt;
+          string_of_int r.row_nc_opt;
+        ])
+    (Experiments.policy_precision records);
+  section "Replacement policies: classification precision (summed static slots)"
+    (Table.render t)
+
 let headline records =
   let rows = Experiments.figure3 records in
   let avg f = Stats.mean (List.map f rows) in
@@ -157,16 +183,19 @@ let json_string s =
 let record_json (r : Experiments.record) =
   let m = r.Experiments.original and o = r.Experiments.optimized in
   Printf.sprintf
-    {|{"program":%s,"config":%s,"tech":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tau":%d,"tau_opt":%d,"acet":%d,"acet_opt":%d,"energy_pj":%.3f,"energy_opt_pj":%.3f,"miss_rate":%.6f,"miss_opt_rate":%.6f,"demand_misses":%d,"demand_misses_opt":%d,"executed":%d,"executed_opt":%d,"prefetches":%d,"rejected":%d}|}
+    {|{"program":%s,"config":%s,"tech":%s,"policy":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tau":%d,"tau_opt":%d,"acet":%d,"acet_opt":%d,"energy_pj":%.3f,"energy_opt_pj":%.3f,"miss_rate":%.6f,"miss_opt_rate":%.6f,"demand_misses":%d,"demand_misses_opt":%d,"executed":%d,"executed_opt":%d,"ah":%d,"am":%d,"nc":%d,"ah_opt":%d,"am_opt":%d,"nc_opt":%d,"prefetches":%d,"rejected":%d}|}
     (json_string r.Experiments.program_name)
     (json_string r.Experiments.config_id)
     (json_string r.Experiments.tech.Ucp_energy.Tech.label)
+    (json_string (Ucp_policy.to_string r.Experiments.policy))
     r.Experiments.config.Config.assoc r.Experiments.config.Config.block_bytes
     r.Experiments.config.Config.capacity m.Pipeline.tau o.Pipeline.tau
     m.Pipeline.acet o.Pipeline.acet m.Pipeline.energy_pj o.Pipeline.energy_pj
     m.Pipeline.miss_rate o.Pipeline.miss_rate m.Pipeline.demand_misses
     o.Pipeline.demand_misses m.Pipeline.executed
-    o.Pipeline.executed r.Experiments.prefetches r.Experiments.rejected
+    o.Pipeline.executed m.Pipeline.ah m.Pipeline.am m.Pipeline.nc
+    o.Pipeline.ah o.Pipeline.am o.Pipeline.nc
+    r.Experiments.prefetches r.Experiments.rejected
 
 let outcome_counts outcomes =
   List.fold_left
@@ -177,6 +206,29 @@ let outcome_counts outcomes =
       | Outcome.Timed_out -> (ok, failed, timed_out + 1, violations)
       | Outcome.Invariant_violation _ -> (ok, failed, timed_out, violations + 1))
     (0, 0, 0, 0) outcomes
+
+(* case ids end in ":<policy>" (Experiments.case_id); bucket outcomes by
+   that suffix so a multi-policy sweep can report each slice. *)
+let policy_outcome_summary ~policies outcomes =
+  let suffix p = ":" ^ Ucp_policy.to_string p in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      let slice =
+        List.filter
+          (fun (id, _) ->
+            let s = suffix p in
+            let n = String.length s and l = String.length id in
+            l >= n && String.sub id (l - n) n = s)
+          outcomes
+      in
+      let ok, failed, timed_out, violations = outcome_counts slice in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "policy %-5s %d ok, %d failed, %d timed out, %d invariant violations\n"
+           (Ucp_policy.to_string p) ok failed timed_out violations))
+    policies;
+  Buffer.contents buf
 
 let outcome_summary outcomes =
   let ok, failed, timed_out, violations = outcome_counts outcomes in
@@ -228,5 +280,6 @@ let all records =
       figure5 records;
       figure7 records;
       figure8 records;
+      policies records;
       headline records;
     ]

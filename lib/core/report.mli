@@ -22,6 +22,13 @@ val figure7 : Experiments.record list -> string
 val figure8 : Experiments.record list -> string
 (** Figure 8: executed-instruction ratios. *)
 
+val policies : Experiments.record list -> string
+(** Replacement-policy precision table: per policy present in the
+    records, the case count, accepted prefetches, and the summed
+    always-hit / always-miss / not-classified static-slot counts for
+    the original and optimized programs (see
+    {!Experiments.policy_precision}). *)
+
 val headline : Experiments.record list -> string
 (** The abstract's three numbers for this run: average reductions of
     energy, ACET and WCET. *)
@@ -35,15 +42,24 @@ val json_string : string -> string
     journal. *)
 
 val record_json : Experiments.record -> string
-(** One use case as a single-line JSON object: program/config/tech
+(** One use case as a single-line JSON object: program/config/tech/policy
     identification, the cache geometry, and both measurements
-    ([tau]/[acet]/[energy_pj]/[miss_rate]/[executed] for the original,
-    the same fields with [_opt] for the optimized binary), plus the
+    ([tau]/[acet]/[energy_pj]/[miss_rate]/[executed] and the
+    [ah]/[am]/[nc] classification counters for the original, the same
+    fields with [_opt] for the optimized binary), plus the
     accepted/rolled-back prefetch counts. *)
 
 val outcome_summary : (string * Experiments.record Outcome.t) list -> string
 (** Human-readable failure digest of a sweep: a counts line, then one
     line per non-[Ok] case with its id and what went wrong. *)
+
+val policy_outcome_summary :
+  policies:Ucp_policy.id list ->
+  (string * Experiments.record Outcome.t) list ->
+  string
+(** Per-policy outcome counts: one line per requested policy, counting
+    the outcomes whose case id carries that policy suffix
+    ({!Experiments.case_id} ends in [":<policy>"]). *)
 
 val sweep_jsonl :
   wall_s:float ->

@@ -148,14 +148,32 @@ let discover ?(placement = At_eviction) (w : Wcet.t) =
      reduces confluences to the WCET-path predecessor, so the walk is a
      chain); Property 3 exposes each reference's replacement victims. *)
   let victims = Array.make view.len [] in
-  let st = ref (Abstract.empty config Abstract.Must) in
+  let policy = Analysis.policy analysis in
+  let st = ref (Abstract.empty ~policy config Abstract.Must) in
+  (* Classification hints for the chain-walked updates: the chain must
+     state itself proves hits; otherwise fall back on the fixpoint
+     analysis' per-slot classification.  LRU ignores hints (the walk is
+     bit-identical to the seed); FIFO needs them to age soundly. *)
+  let demand_hint i =
+    if Abstract.contains !st view.mem_block.(i) then Ucp_policy.Hit
+    else
+      match Analysis.classif analysis ~node:view.node.(i) ~pos:view.pos.(i) with
+      | Classification.Always_hit -> Ucp_policy.Hit
+      | Classification.Always_miss -> Ucp_policy.Miss
+      | Classification.Not_classified -> Ucp_policy.Unknown
+  in
+  let fill_hint tb =
+    if Abstract.contains !st tb then Ucp_policy.Hit else Ucp_policy.Unknown
+  in
   for i = 0 to view.len - 1 do
-    let demand_victims = Abstract.victims !st view.mem_block.(i) in
-    st := Abstract.update !st view.mem_block.(i);
+    let hint = demand_hint i in
+    let demand_victims = Abstract.victims ~hint !st view.mem_block.(i) in
+    st := Abstract.update ~hint !st view.mem_block.(i);
     let fill_victims =
       if view.is_pf.(i) then begin
-        let v = Abstract.victims !st view.pf_target.(i) in
-        st := Abstract.fill !st view.pf_target.(i);
+        let hint = fill_hint view.pf_target.(i) in
+        let v = Abstract.victims ~hint !st view.pf_target.(i) in
+        st := Abstract.fill ~hint !st view.pf_target.(i);
         v
       end
       else []
@@ -314,10 +332,18 @@ let miss_bound w = Analysis.miss_count_bound w.Wcet.analysis
 let tau_eff w = Wcet.tau_with_residual w
 
 let optimize ?deadline ?(placement = At_eviction) ?(max_insertions = 2000)
-    ?(overhead_budget = 0.05) ?pinned ?initial program config model =
+    ?(overhead_budget = 0.05) ?pinned ?initial ?(policy = Ucp_policy.Lru) program
+    config model =
+  (* When the caller supplies [?initial], its policy wins — re-analyses
+     must run the same domains the initial analysis did. *)
+  let policy =
+    match initial with
+    | Some w -> Analysis.policy w.Wcet.analysis
+    | None -> policy
+  in
   let analyze p =
     Ucp_util.Deadline.check deadline;
-    Wcet.compute ?deadline ~with_may:false ?pinned p config model
+    Wcet.compute ?deadline ~with_may:false ?pinned ~policy p config model
   in
   let w0 = match initial with Some w -> w | None -> analyze program in
   (* Dynamic-overhead budget: inserted prefetches may add at most this

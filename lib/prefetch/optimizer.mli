@@ -64,6 +64,7 @@ val optimize :
   ?overhead_budget:float ->
   ?pinned:(int -> bool) ->
   ?initial:Ucp_wcet.Wcet.t ->
+  ?policy:Ucp_policy.id ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Cacti.t ->
@@ -72,12 +73,18 @@ val optimize :
     the overhead budget is exhausted).  [~deadline] bounds the wall
     clock: it is checked before every verification analysis and inside
     each analysis fixpoint, raising
-    [Ucp_util.Deadline.Deadline_exceeded] once passed.  [~initial] supplies the
+    [Ucp_util.Deadline.Deadline_exceeded] once passed.  [~policy]
+    selects the replacement policy (default LRU): the Property-3 victim
+    detection asks that policy's must domain who can be evicted, and
+    every verification analysis runs its domains, so Theorem 1 holds
+    per policy.  [~initial] supplies the
     already-computed analysis of [program] under the same [?pinned],
-    configuration and model — exactly
-    [Wcet.compute ~with_may:false ?pinned program config model] — so a
+    configuration and model — a result of
+    [Wcet.compute ?pinned ?policy program config model] (with or
+    without the may analysis) — so a
     caller that has measured the original program does not pay for that
-    fixpoint twice; passing anything else is unspecified.
+    fixpoint twice; its policy then overrides [?policy]; passing
+    anything else is unspecified.
     [~pinned] marks blocks held in
     locked ways (see {!Ucp_wcet.Analysis.run}); pass the configuration
     of the unlocked ways — this is the hybrid mode used by

@@ -73,7 +73,7 @@ let fetch_locked st locked mb =
     false
   end
 
-let fetch_lru st mb =
+let fetch_demand st mb =
   st.fetches <- st.fetches + 1;
   if Concrete.contains st.cache mb then begin
     (* stall if the line's prefetch is still in flight *)
@@ -108,7 +108,7 @@ let cond_decision st block model =
   | Branch_model.Bernoulli p -> Rng.bernoulli st.rng p
 
 let run ?(seed = 42) ?(max_steps = 3_000_000) ?(policy = Concrete.Lru) ?hw ?locked
-    ?(pinned = []) ?cache_config program config model =
+    ?(pinned = []) ?cache_config ?on_fetch program config model =
   let layout = Layout.make program ~block_bytes:config.Ucp_cache.Config.block_bytes in
   let cache_config = match cache_config with Some c -> c | None -> config in
   let hw = match hw with Some h -> h | None -> Hw_prefetch.none () in
@@ -155,7 +155,17 @@ let run ?(seed = 42) ?(max_steps = 3_000_000) ?(policy = Concrete.Lru) ?hw ?lock
         st.cycles <- st.cycles + st.model.Cacti.hit_cycles;
         true
       end
-      else fetch_lru st mb
+      else fetch_demand st mb
+  in
+  (* Demand fetch of the slot at [(block, pos)], reporting the static
+     slot coordinates and the hit/miss verdict to [?on_fetch] (the
+     soundness cross-validation probe). *)
+  let fetch_at st ~block ~pos mb =
+    let hit = fetch st mb in
+    (match on_fetch with
+    | Some probe -> probe ~block ~pos ~hit
+    | None -> ());
+    hit
   in
   let hw_observe info =
     List.iter
@@ -175,7 +185,7 @@ let run ?(seed = 42) ?(max_steps = 3_000_000) ?(policy = Concrete.Lru) ?hw ?lock
     for pos = 0 to body_len - 1 do
       let addr = Layout.addr layout ~block ~pos in
       let mb = Layout.mem_block_of_addr layout addr in
-      let hit = fetch st mb in
+      let hit = fetch_at st ~block ~pos mb in
       st.executed <- st.executed + 1;
       let instr = b.Program.body.(pos) in
       (match instr.Instr.kind with
@@ -202,7 +212,7 @@ let run ?(seed = 42) ?(max_steps = 3_000_000) ?(policy = Concrete.Lru) ?hw ?lock
     | Program.Jump { target; _ } ->
       let addr = Layout.addr layout ~block ~pos:body_len in
       let mb = Layout.mem_block_of_addr layout addr in
-      let hit = fetch st mb in
+      let hit = fetch_at st ~block ~pos:body_len mb in
       st.executed <- st.executed + 1;
       hw_observe
         {
@@ -217,12 +227,12 @@ let run ?(seed = 42) ?(max_steps = 3_000_000) ?(policy = Concrete.Lru) ?hw ?lock
     | Program.Return _ ->
       let addr = Layout.addr layout ~block ~pos:body_len in
       let mb = Layout.mem_block_of_addr layout addr in
-      let _hit = fetch st mb in
+      let _hit = fetch_at st ~block ~pos:body_len mb in
       st.executed <- st.executed + 1
     | Program.Cond { taken; fallthrough; model = bm; _ } ->
       let addr = Layout.addr layout ~block ~pos:body_len in
       let mb = Layout.mem_block_of_addr layout addr in
-      let hit = fetch st mb in
+      let hit = fetch_at st ~block ~pos:body_len mb in
       st.executed <- st.executed + 1;
       let decision = cond_decision st block bm in
       let target_addr =

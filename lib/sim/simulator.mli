@@ -2,9 +2,11 @@
 
     Walks the CFG concretely, driving branch decisions from each
     conditional's {!Ucp_isa.Branch_model.t}, and models the timed memory
-    system: an LRU instruction cache, a constant-latency DRAM, and a
-    non-blocking prefetch port.  A demand fetch of a block whose
-    prefetch is still in flight stalls only for the remaining latency.
+    system: a set-associative instruction cache under any
+    {!Ucp_policy} replacement policy (LRU, FIFO or tree-PLRU), a
+    constant-latency DRAM, and a non-blocking prefetch port.  A demand
+    fetch of a block whose prefetch is still in flight stalls only for
+    the remaining latency.
 
     Produces the event counts the energy model consumes and the ACET in
     cycles.  Runs are deterministic for a given seed. *)
@@ -27,12 +29,20 @@ val run :
   ?locked:int list ->
   ?pinned:int list ->
   ?cache_config:Ucp_cache.Config.t ->
+  ?on_fetch:(block:int -> pos:int -> hit:bool -> unit) ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Cacti.t ->
   stats
 (** Execute the program to its [Return].  [~policy] selects the
-    replacement policy (default LRU, the analyses' model).  [~locked]
+    concrete replacement policy (default LRU); the abstract analyses
+    are policy-parametric too ({!Ucp_wcet.Analysis.run}), so pass the
+    same policy on both sides when cross-validating.  [~on_fetch] is
+    invoked at every demand fetch with the static slot coordinates
+    [(block, pos)] (the terminator sits at [pos = body length]) and the
+    hit/miss verdict — the hook the per-policy soundness
+    cross-validation test uses to compare the simulator against the
+    abstract classification.  [~locked]
     switches the cache into fully-locked mode: the given memory blocks
     always hit, everything else always misses, no allocation happens,
     and prefetch instructions have no memory effect (the cache-locking

@@ -9,6 +9,7 @@ type t = {
   vivu : Vivu.t;
   layout : Layout.t;
   config : Config.t;
+  policy : Ucp_policy.id;
   in_must : Abstract.t array;
   in_may : Abstract.t array;
   classif : Classification.t array array;
@@ -26,6 +27,13 @@ let prefetch_target layout instr =
     | None ->
       invalid_arg
         (Printf.sprintf "Analysis: prefetch targets unknown uid %d" target_uid))
+
+(* Residency hint for a prefetch/hardware fill: known resident, known
+   absent, or unknown — from the states right before the fill. *)
+let fill_hint ~with_may must may tb =
+  if Abstract.contains must tb then Ucp_policy.Hit
+  else if with_may && not (Abstract.contains may tb) then Ucp_policy.Miss
+  else Ucp_policy.Unknown
 
 (* Transfer one node: thread both states through its slots, optionally
    recording per-slot classifications. *)
@@ -53,14 +61,24 @@ let transfer ~vivu ~layout ~with_may ~hw_next_n ~pinned ~record node_id (must0, 
       (match record with
       | Some classif -> classif.(node_id).(pos) <- cls
       | None -> ());
-      must := Abstract.update !must s;
-      if with_may then may := Abstract.update !may s;
+      (* The classification of this very access is fed back into the
+         abstract update as a hint: policies with outcome-dependent
+         aging (FIFO) need it, LRU/PLRU ignore it. *)
+      let hint =
+        match cls with
+        | Classification.Always_hit -> Ucp_policy.Hit
+        | Classification.Always_miss -> Ucp_policy.Miss
+        | Classification.Not_classified -> Ucp_policy.Unknown
+      in
+      must := Abstract.update ~hint !must s;
+      if with_may then may := Abstract.update ~hint !may s;
       (* next-N-line-always hardware prefetching [22]: every reference
          also installs the sequentially following blocks *)
       for k = 1 to hw_next_n do
         if not (pinned (s + k)) then begin
-          must := Abstract.fill !must (s + k);
-          if with_may then may := Abstract.fill !may (s + k)
+          let hint = fill_hint ~with_may !must !may (s + k) in
+          must := Abstract.fill ~hint !must (s + k);
+          if with_may then may := Abstract.fill ~hint !may (s + k)
         end
       done
     end;
@@ -69,18 +87,25 @@ let transfer ~vivu ~layout ~with_may ~hw_next_n ~pinned ~record node_id (must0, 
     | None -> ()
     | Some tb ->
       if not (pinned tb) then begin
-        must := Abstract.fill !must tb;
-        if with_may then may := Abstract.fill !may tb
+        let hint = fill_hint ~with_may !must !may tb in
+        must := Abstract.fill ~hint !must tb;
+        if with_may then may := Abstract.fill ~hint !may tb
       end
   done;
   (!must, !may)
 
 let run ?deadline ?(with_may = true) ?(hw_next_n = 0) ?(pinned = fun _ -> false)
-    vivu layout config =
+    ?(policy = Ucp_policy.Lru) vivu layout config =
+  (* Policies whose must domain only gains precision from definite
+     misses (FIFO) force the may analysis on regardless of the caller's
+     [?with_may] economy.  Always-miss classifications may then appear
+     where the caller expected Not_classified; the WCET bound treats
+     the two identically, so only precision improves. *)
+  let with_may = with_may || Ucp_policy.needs_may policy in
   let n = Vivu.node_count vivu in
   let program = Vivu.program vivu in
-  let cold_must = Abstract.empty config Abstract.Must in
-  let cold_may = Abstract.empty config Abstract.May in
+  let cold_must = Abstract.empty ~policy config Abstract.Must in
+  let cold_may = Abstract.empty ~policy config Abstract.May in
   let out_states : (Abstract.t * Abstract.t) option array = Array.make n None in
   let in_states : (Abstract.t * Abstract.t) option array = Array.make n None in
   let entry = Vivu.entry vivu in
@@ -151,11 +176,12 @@ let run ?deadline ?(with_may = true) ?(hw_next_n = 0) ?(pinned = fun _ -> false)
         (transfer ~vivu ~layout ~with_may ~hw_next_n ~pinned ~record:(Some classif)
            node_id input))
     topo;
-  { vivu; layout; config; in_must; in_may; classif; passes = !passes }
+  { vivu; layout; config; policy; in_must; in_may; classif; passes = !passes }
 
 let vivu t = t.vivu
 let layout t = t.layout
 let config t = t.config
+let policy t = t.policy
 let classif t ~node ~pos = t.classif.(node).(pos)
 let in_must t node = t.in_must.(node)
 let in_may t node = t.in_may.(node)
@@ -183,5 +209,21 @@ let miss_count_bound t =
       total := !total + (Vivu.mult t.vivu node_id * !misses))
     t.classif;
   !total
+
+let classification_counts t =
+  let program = Vivu.program t.vivu in
+  let ah = ref 0 and am = ref 0 and nc = ref 0 in
+  Array.iteri
+    (fun node_id per_slot ->
+      let nd = Vivu.node t.vivu node_id in
+      let n_slots = Program.slots program nd.Vivu.block in
+      for pos = 0 to n_slots - 1 do
+        match per_slot.(pos) with
+        | Classification.Always_hit -> incr ah
+        | Classification.Always_miss -> incr am
+        | Classification.Not_classified -> incr nc
+      done)
+    t.classif;
+  (!ah, !am, !nc)
 
 let fixpoint_passes t = t.passes

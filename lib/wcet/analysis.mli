@@ -14,6 +14,7 @@ val run :
   ?with_may:bool ->
   ?hw_next_n:int ->
   ?pinned:(int -> bool) ->
+  ?policy:Ucp_policy.id ->
   Ucp_cfg.Vivu.t ->
   Ucp_isa.Layout.t ->
   Ucp_cache.Config.t ->
@@ -23,6 +24,14 @@ val run :
     rather than [Always_miss] — the WCET bound is unchanged (both are
     charged as misses), and the optimizer's inner loop uses this to
     halve the fixpoint cost.
+
+    [~policy] selects the replacement policy whose abstract domains are
+    run (default LRU, bit-identical to the seed's analyses; see
+    {!Ucp_policy}).  A policy whose must domain needs definite-miss
+    information ({!Ucp_policy.needs_may}, i.e. FIFO) forces the may
+    analysis on even under [~with_may:false]; always-miss
+    classifications may then appear where the caller expected
+    [Not_classified] — the WCET bound treats the two identically.
 
     [~hw_next_n:n] enables the next-N-line-always hardware prefetcher
     in the abstract semantics (the extension of the classical update
@@ -42,6 +51,9 @@ val vivu : t -> Ucp_cfg.Vivu.t
 val layout : t -> Ucp_isa.Layout.t
 val config : t -> Ucp_cache.Config.t
 
+val policy : t -> Ucp_policy.id
+(** The replacement policy the analysis modelled. *)
+
 val classif : t -> node:int -> pos:int -> Classification.t
 (** Classification of an instruction slot of an expanded node. *)
 
@@ -59,6 +71,12 @@ val prefetch_target_block : t -> node:int -> pos:int -> int option
 val miss_count_bound : t -> int
 (** Σ over expanded nodes of [mult x] WCET-charged misses — the
     analysis' upper bound on demand misses (used by Condition 2). *)
+
+val classification_counts : t -> int * int * int
+(** [(ah, am, nc)]: how many instruction slots of the expanded graph
+    were classified always-hit / always-miss / not-classified
+    (unweighted by context multiplicity) — the per-policy
+    classification-precision counters reported by the sweep. *)
 
 val fixpoint_passes : t -> int
 (** Number of sweeps the fixpoint needed (diagnostics). *)

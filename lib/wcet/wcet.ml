@@ -79,10 +79,12 @@ let of_analysis analysis model =
   let n_w = Array.init n (fun id -> if on_path.(id) then Vivu.mult vivu id else 0) in
   { analysis; model; slot_cycles; node_cycles; n_w; on_path; path; tau }
 
-let compute ?deadline ?with_may ?hw_next_n ?pinned program config model =
+let compute ?deadline ?with_may ?hw_next_n ?pinned ?policy program config model =
   let layout = Layout.make program ~block_bytes:config.Ucp_cache.Config.block_bytes in
   let vivu = Vivu.expand program in
-  let analysis = Analysis.run ?deadline ?with_may ?hw_next_n ?pinned vivu layout config in
+  let analysis =
+    Analysis.run ?deadline ?with_may ?hw_next_n ?pinned ?policy vivu layout config
+  in
   of_analysis analysis model
 
 let path_refs t =

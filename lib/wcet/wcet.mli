@@ -25,13 +25,15 @@ val compute :
   ?with_may:bool ->
   ?hw_next_n:int ->
   ?pinned:(int -> bool) ->
+  ?policy:Ucp_policy.id ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Cacti.t ->
   t
 (** Full pipeline: layout, VIVU expansion, abstract interpretation,
-    timing, longest path.  [~deadline], [~with_may], [~hw_next_n] and
-    [~pinned] are forwarded to {!Analysis.run}. *)
+    timing, longest path.  [~deadline], [~with_may], [~hw_next_n],
+    [~pinned] and [~policy] (replacement policy, default LRU) are
+    forwarded to {!Analysis.run}. *)
 
 val of_analysis : Analysis.t -> Ucp_energy.Cacti.t -> t
 (** Timing + path on an existing analysis. *)

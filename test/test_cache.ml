@@ -324,6 +324,79 @@ let prop_may_misses_are_misses =
           (not predicted_miss) || actual <> Concrete.Hit)
         seq)
 
+(* ------------------------------------------------------------------ *)
+(* Policy-parametric soundness: the same walk, under each policy's
+   domains with the hint feedback the analysis uses — the access's own
+   classification (must-hit / may-miss / unknown) is fed back into the
+   abstract update, exactly as Analysis.transfer does. *)
+
+let prop_policy_walk_sound policy =
+  let pname = Ucp_policy.to_string policy in
+  QCheck2.Test.make
+    ~name:(pname ^ ": hint-driven must/may walk is sound vs concrete")
+    ~count:400
+    QCheck2.Gen.(pair Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence)
+    (fun (config, seq) ->
+      let c = Concrete.create ~policy config in
+      let must = ref (Abstract.empty ~policy config Abstract.Must) in
+      let may = ref (Abstract.empty ~policy config Abstract.May) in
+      let sound = ref true in
+      List.iter
+        (fun mb ->
+          let predicted_hit = Abstract.contains !must mb in
+          let predicted_miss = not (Abstract.contains !may mb) in
+          let hint =
+            if predicted_hit then Ucp_policy.Hit
+            else if predicted_miss then Ucp_policy.Miss
+            else Ucp_policy.Unknown
+          in
+          let actual = Concrete.access c mb in
+          must := Abstract.update ~hint !must mb;
+          may := Abstract.update ~hint !may mb;
+          if predicted_hit && actual <> Concrete.Hit then sound := false;
+          if predicted_miss && actual = Concrete.Hit then sound := false)
+        seq;
+      (* the sandwich must also hold in the final state *)
+      !sound
+      && List.for_all (fun mb -> Concrete.contains c mb) (Abstract.blocks !must)
+      && List.for_all (fun mb -> Abstract.contains !may mb) (Concrete.contents c))
+
+let prop_policy_fill_sound policy =
+  let pname = Ucp_policy.to_string policy in
+  QCheck2.Test.make
+    ~name:(pname ^ ": prefetch fills stay sound vs concrete")
+    ~count:300
+    QCheck2.Gen.(
+      triple Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence
+        (list_size (int_range 1 20) (int_bound 12)))
+    (fun (config, seq, fills) ->
+      (* interleave demand accesses and prefetch fills; the abstract
+         fill transfer must keep the sandwich *)
+      let c = Concrete.create ~policy config in
+      let must = ref (Abstract.empty ~policy config Abstract.Must) in
+      let may = ref (Abstract.empty ~policy config Abstract.May) in
+      let hint_for mb =
+        if Abstract.contains !must mb then Ucp_policy.Hit
+        else if not (Abstract.contains !may mb) then Ucp_policy.Miss
+        else Ucp_policy.Unknown
+      in
+      List.iteri
+        (fun i mb ->
+          if i mod 3 = 2 && fills <> [] then begin
+            let fb = List.nth fills (i mod List.length fills) in
+            let fhint = hint_for fb in
+            ignore (Concrete.fill c fb);
+            must := Abstract.fill ~hint:fhint !must fb;
+            may := Abstract.fill ~hint:fhint !may fb
+          end;
+          let hint = hint_for mb in
+          ignore (Concrete.access c mb);
+          must := Abstract.update ~hint !must mb;
+          may := Abstract.update ~hint !may mb)
+        seq;
+      List.for_all (fun mb -> Concrete.contains c mb) (Abstract.blocks !must)
+      && List.for_all (fun mb -> Abstract.contains !may mb) (Concrete.contents c))
+
 let () =
   Alcotest.run "ucp_cache"
     [
@@ -374,4 +447,12 @@ let () =
           QCheck_alcotest.to_alcotest prop_must_hits_are_hits;
           QCheck_alcotest.to_alcotest prop_may_misses_are_misses;
         ] );
+      ( "policies",
+        List.concat_map
+          (fun policy ->
+            [
+              QCheck_alcotest.to_alcotest (prop_policy_walk_sound policy);
+              QCheck_alcotest.to_alcotest (prop_policy_fill_sound policy);
+            ])
+          Ucp_policy.all );
     ]

@@ -289,17 +289,17 @@ let with_faults faults f =
 let test_sweep_isolates_crashed_case () =
   let programs, configs, techs = tiny_grid () in
   with_faults
-    [ ("fft1:a:45nm", Fault.Raise) ]
+    [ ("fft1:a:45nm:lru", Fault.Raise) ]
     (fun () ->
       let s = Parallel.sweep ~programs ~configs ~techs ~jobs:2 () in
       Alcotest.(check int) "grid size" 2 s.Parallel.cases;
       Alcotest.(check int) "one record survives" 1 (List.length s.Parallel.records);
       Alcotest.(check int) "one failure" 1 (List.length s.Parallel.failures);
       (match s.Parallel.results with
-      | [ ("fft1:a:45nm", Outcome.Failed { exn_text; backtrace = _ }); ("crc:a:45nm", Outcome.Ok r) ]
+      | [ ("fft1:a:45nm:lru", Outcome.Failed { exn_text; backtrace = _ }); ("crc:a:45nm:lru", Outcome.Ok r) ]
         ->
         Alcotest.(check bool) "injected exception text" true
-          (Ucp_testlib.contains ~substring:"fft1:a:45nm" exn_text);
+          (Ucp_testlib.contains ~substring:"fft1:a:45nm:lru" exn_text);
         Alcotest.(check string) "surviving record is crc" "crc"
           r.Experiments.program_name
       | _ -> Alcotest.fail "expected [fft1 Failed; crc Ok] in input order"))
@@ -307,24 +307,24 @@ let test_sweep_isolates_crashed_case () =
 let test_sweep_times_out_stalled_case () =
   let programs, configs, techs = tiny_grid () in
   with_faults
-    [ ("crc:a:45nm", Fault.Stall 30.0) ]
+    [ ("crc:a:45nm:lru", Fault.Stall 30.0) ]
     (fun () ->
       let t0 = Unix.gettimeofday () in
       let s = Parallel.sweep ~programs ~configs ~techs ~jobs:2 ~timeout:0.3 () in
       Alcotest.(check bool) "stall cut short by the deadline" true
         (Unix.gettimeofday () -. t0 < 10.0);
       match s.Parallel.results with
-      | [ (_, Outcome.Ok _); ("crc:a:45nm", Outcome.Timed_out) ] -> ()
+      | [ (_, Outcome.Ok _); ("crc:a:45nm:lru", Outcome.Timed_out) ] -> ()
       | _ -> Alcotest.fail "expected [fft1 Ok; crc Timed_out]")
 
 let test_sweep_demotes_invariant_violation () =
   let programs, configs, techs = tiny_grid () in
   with_faults
-    [ ("fft1:a:45nm", Fault.Corrupt_tau 1_000_000) ]
+    [ ("fft1:a:45nm:lru", Fault.Corrupt_tau 1_000_000) ]
     (fun () ->
       let s = Parallel.sweep ~programs ~configs ~techs ~jobs:2 () in
       match s.Parallel.results with
-      | [ ("fft1:a:45nm", Outcome.Invariant_violation msg); (_, Outcome.Ok _) ] ->
+      | [ ("fft1:a:45nm:lru", Outcome.Invariant_violation msg); (_, Outcome.Ok _) ] ->
         Alcotest.(check bool) "names Theorem 1" true
           (Ucp_testlib.contains ~substring:"Theorem 1" msg);
         Alcotest.(check int) "corrupt record not reported" 1
@@ -455,6 +455,50 @@ let test_sweep_checkpoint_fingerprint_mismatch () =
            false
          with Failure msg -> Ucp_testlib.contains ~substring:"fingerprint" msg))
 
+(* the policy axis in the journal: case ids carry the policy suffix,
+   records round-trip with their policy, and an LRU-only journal cannot
+   seed a multi-policy grid *)
+let test_checkpoint_policy_roundtrip () =
+  let programs, configs, techs = tiny_grid () in
+  let s =
+    Parallel.sweep ~programs ~configs ~techs ~policies:[ Ucp_policy.Fifo ]
+      ~jobs:1 ()
+  in
+  Alcotest.(check int) "fifo grid evaluated" 2 (List.length s.Parallel.records);
+  List.iter
+    (fun (id, o) ->
+      match o with
+      | Outcome.Ok r -> (
+        Alcotest.(check bool) "id carries the policy suffix" true
+          (Ucp_testlib.contains ~substring:":fifo" id);
+        match Checkpoint.parse_line (Checkpoint.record_line ~id r) with
+        | Some (id', r') ->
+          Alcotest.(check string) "id round-trips" id id';
+          Alcotest.(check bool) "policy survives the journal" true
+            (r'.Experiments.policy = Ucp_policy.Fifo);
+          Alcotest.(check bool) "record round-trips bit for bit" true (r = r')
+        | None -> Alcotest.fail "record_line should parse back")
+      | _ -> Alcotest.fail "fifo grid should be fault-free")
+    s.Parallel.results
+
+let test_checkpoint_policy_fingerprint_mismatch () =
+  let programs, configs, techs = tiny_grid () in
+  let path = Filename.temp_file "ucp_ckpt" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* an LRU-only journal from a completed default sweep ... *)
+      ignore (Parallel.sweep ~programs ~configs ~techs ~jobs:1 ~checkpoint:path ());
+      (* ... must be rejected when resuming a multi-policy grid *)
+      Alcotest.(check bool) "LRU journal rejected for multi-policy grid" true
+        (try
+           ignore
+             (Parallel.sweep ~programs ~configs ~techs
+                ~policies:[ Ucp_policy.Lru; Ucp_policy.Fifo; Ucp_policy.Plru ]
+                ~jobs:1 ~checkpoint:path ~resume:true ());
+           false
+         with Failure msg -> Ucp_testlib.contains ~substring:"fingerprint" msg))
+
 let test_experiments_ratio_degenerate () =
   Alcotest.(check bool) "zero denominator is None" true
     (Experiments.ratio 5 0 = None);
@@ -519,6 +563,10 @@ let () =
             test_sweep_checkpoint_resume;
           Alcotest.test_case "checkpoint fingerprint mismatch" `Quick
             test_sweep_checkpoint_fingerprint_mismatch;
+          Alcotest.test_case "checkpoint policy round-trip" `Quick
+            test_checkpoint_policy_roundtrip;
+          Alcotest.test_case "checkpoint rejects LRU journal for multi-policy grid"
+            `Quick test_checkpoint_policy_fingerprint_mismatch;
           Alcotest.test_case "degenerate ratios" `Quick
             test_experiments_ratio_degenerate;
         ] );
