@@ -94,6 +94,22 @@ let timeout =
       prerr_endline ("bench: timeout " ^ s ^ ": expected positive seconds");
       exit 124)
 
+let audit =
+  (* --audit off|sample:N|full on the command line wins over UCP_AUDIT *)
+  let spec =
+    match argv_opt "audit" with
+    | Some _ as v -> v
+    | None -> ( match Sys.getenv_opt "UCP_AUDIT" with Some "" -> None | v -> v)
+  in
+  match spec with
+  | None -> Ucp_verify.Off
+  | Some s -> (
+    match Ucp_verify.mode_of_string s with
+    | Ok m -> m
+    | Error msg ->
+      prerr_endline ("bench: --audit: " ^ msg);
+      exit 124)
+
 (* ------------------------------------------------------------------ *)
 (* part 1: reproduction *)
 
@@ -200,6 +216,9 @@ let reproduce () =
     (List.length Ucp_workloads.Suite.all * List.length configs * 2
     * List.length policies)
     (if full then " (full paper setup)" else " (quick subset; UCP_FULL=1 for all 36)");
+  (match audit with
+  | Ucp_verify.Off -> ()
+  | m -> Printf.printf "  certification audit: %s\n%!" (Ucp_verify.mode_to_string m));
   let progress ~done_ ~total =
     if done_ = total || done_ mod 64 = 0 then
       Printf.eprintf "\r[sweep] %d/%d%!" done_ total
@@ -220,7 +239,10 @@ let reproduce () =
     List.map
       (fun p ->
         let tp = wall_s () in
-        let s = Parallel.sweep ~configs ~policies:[ p ] ~jobs ~progress ?timeout () in
+        let s =
+          Parallel.sweep ~configs ~policies:[ p ] ~audit ~jobs ~progress
+            ?timeout ()
+        in
         Printf.eprintf "\r%!";
         Printf.printf "  policy %-5s %d use cases in %.1fs wall\n%!"
           (Ucp_policy.to_string p) s.Parallel.cases (wall_s () -. tp);
@@ -239,8 +261,9 @@ let reproduce () =
           Pipeline.analysis_s = acc.Pipeline.analysis_s +. t.Pipeline.analysis_s;
           optimize_s = acc.Pipeline.optimize_s +. t.Pipeline.optimize_s;
           simulate_s = acc.Pipeline.simulate_s +. t.Pipeline.simulate_s;
+          audit_s = acc.Pipeline.audit_s +. t.Pipeline.audit_s;
         })
-      { Pipeline.analysis_s = 0.0; optimize_s = 0.0; simulate_s = 0.0 }
+      { Pipeline.analysis_s = 0.0; optimize_s = 0.0; simulate_s = 0.0; audit_s = 0.0 }
       sweeps
   in
   let sweep_wall =
@@ -249,8 +272,9 @@ let reproduce () =
   Printf.printf "sweep finished in %.1fs wall on %d worker%s\n"
     (wall_s () -. t0) some.Parallel.jobs (if some.Parallel.jobs = 1 then "" else "s");
   Printf.printf
-    "  per-stage cost (summed over workers): analysis %.1fs | optimize %.1fs | simulate %.1fs\n\n%!"
-    tm.Pipeline.analysis_s tm.Pipeline.optimize_s tm.Pipeline.simulate_s;
+    "  per-stage cost (summed over workers): analysis %.1fs | optimize %.1fs | simulate %.1fs | audit %.1fs\n\n%!"
+    tm.Pipeline.analysis_s tm.Pipeline.optimize_s tm.Pipeline.simulate_s
+    tm.Pipeline.audit_s;
   if failures <> [] then begin
     print_string (Report.outcome_summary results);
     if List.length policies > 1 then

@@ -337,9 +337,52 @@ let persistence_cmd =
        ~doc:"Per-loop persistence analysis: blocks that miss at most once per entry.")
     Term.(const run $ program_arg $ config_arg)
 
+let verify_cmd =
+  let run program config tech policy seed =
+    let model = Pipeline.model config tech in
+    Printf.printf "use case           : %s, %s, %s, %s\n"
+      (Ucp_isa.Program.name program) (Config.id config) tech.Tech.label
+      (Ucp_policy.to_string policy);
+    let w0 = Wcet.compute ~with_may:true ~policy program config model in
+    let r = Optimizer.optimize ~initial:w0 program config model in
+    let w1 =
+      Wcet.compute ~with_may:true ~policy r.Optimizer.program config model
+    in
+    let failed = ref 0 in
+    let check name result =
+      match result with
+      | Ok () -> Printf.printf "  [pass] %s\n" name
+      | Error msg ->
+        incr failed;
+        Printf.printf "  [FAIL] %s: %s\n" name msg
+    in
+    check "ipet-certificate (original)" (Ucp_verify.certify_ipet w0);
+    check "ipet-certificate (optimized)" (Ucp_verify.certify_ipet w1);
+    check "witness-replay (original)" (Ucp_verify.replay_witness ~seed w0);
+    check "witness-replay (optimized)" (Ucp_verify.replay_witness ~seed w1);
+    check "optimizer-audit-trail"
+      (Ucp_verify.audit_trail ~original:w0 ~optimized:w1 r);
+    if !failed = 0 then
+      Printf.printf "all certification obligations hold (tau %d -> %d)\n"
+        (Wcet.tau_with_residual w0) (Wcet.tau_with_residual w1)
+    else begin
+      Printf.printf "%d obligation%s failed\n" !failed
+        (if !failed = 1 then "" else "s");
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Independently certify one use case: LP/IPET duality certificates, \
+          WCET witness replay on the concrete simulator, and the optimizer's \
+          audit trail (Theorem 1, Eq. 5-9).  Exits nonzero if any obligation \
+          fails.")
+    Term.(const run $ program_arg $ config_arg $ tech_arg $ policy_arg $ seed_arg)
+
 let experiment_cmd =
   let run full figure jobs timeout checkpoint resume programs configs techs
-      policies =
+      policies audit =
     (* fault-injection hooks for robustness testing: parsed up front so a
        typo in UCP_FAULT aborts before the sweep starts *)
     (try Ucp_core.Fault.load_env ()
@@ -404,8 +447,8 @@ let experiment_cmd =
     in
     let s =
       try
-        Ucp_core.Parallel.sweep ~programs ~configs ?techs ~policies ~jobs
-          ~progress ?timeout ?checkpoint ~resume ()
+        Ucp_core.Parallel.sweep ~programs ~configs ?techs ~policies ~audit
+          ~jobs ~progress ?timeout ?checkpoint ~resume ()
       with Failure msg ->
         (* e.g. resuming against a journal for a different grid *)
         Printf.eprintf "ucp: %s\n" msg;
@@ -532,11 +575,32 @@ let experiment_cmd =
             "Comma-separated replacement policies (lru, fifo, plru); each \
              multiplies the use-case grid (default lru).")
   in
+  let audit_conv =
+    let parse s =
+      match Ucp_verify.mode_of_string s with
+      | Ok m -> Ok m
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv
+      (parse, fun ppf m -> Format.pp_print_string ppf (Ucp_verify.mode_to_string m))
+  in
+  let audit =
+    Arg.(
+      value
+      & opt audit_conv Ucp_verify.Off
+      & info [ "audit" ] ~docv:"MODE"
+          ~doc:
+            "Certification audit of the sweep: $(b,off) (default), \
+             $(b,sample:N) (deterministic 1-in-N of the use cases, stable \
+             across resume) or $(b,full).  An audited case whose certificate \
+             fails any obligation is demoted to an invariant violation naming \
+             the obligation.")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run the evaluation sweep and print the paper's figures.")
     Term.(
       const run $ full $ figure $ jobs $ timeout $ checkpoint $ resume $ programs
-      $ configs $ techs $ policies)
+      $ configs $ techs $ policies $ audit)
 
 let () =
   let doc = "WCET-safe, energy-oriented instruction-cache prefetching (DAC 2013)" in
@@ -554,5 +618,6 @@ let () =
             dump_cmd;
             ipet_cmd;
             persistence_cmd;
+            verify_cmd;
             experiment_cmd;
           ]))

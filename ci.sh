@@ -69,3 +69,57 @@ do
   fi
 done
 echo "ci: multi-policy smoke passed"
+
+# Certification smoke: the same tiny grid under --audit full must
+# certify every case (exit 0, zero invariant violations, an audited
+# count covering the whole grid).
+status=0
+dune exec --no-build bin/ucp.exe -- experiment \
+  --programs fft1,crc --configs k2,k5 --techs 45nm \
+  --audit full --jobs 2 \
+  >/dev/null 2>"$smoke_err" || status=$?
+
+if [ "$status" -ne 0 ]; then
+  echo "ci: audit smoke: expected exit status 0 (clean audited sweep), got $status" >&2
+  cat "$smoke_err" >&2
+  exit 1
+fi
+for pat in \
+  'cases: 4 ok, 0 failed, 0 timed out, 0 invariant violations' \
+  'audited: 4 cases certified (20 checks'
+do
+  if ! grep -q "$pat" "$smoke_err"; then
+    echo "ci: audit smoke: expected output matching '$pat'" >&2
+    cat "$smoke_err" >&2
+    exit 1
+  fi
+done
+echo "ci: certification audit smoke passed"
+
+# Negative certification smoke: corrupt one case's certified claim and
+# require the audit to catch it -- the case must be demoted to an
+# invariant violation naming the failed obligation, and the sweep must
+# exit 3.
+status=0
+UCP_FAULT='fft1:k2:45nm:lru=corrupt-cert' \
+  dune exec --no-build bin/ucp.exe -- experiment \
+  --programs fft1,crc --configs k2,k5 --techs 45nm \
+  --audit full --jobs 2 \
+  >/dev/null 2>"$smoke_err" || status=$?
+
+if [ "$status" -ne 3 ]; then
+  echo "ci: corrupt-cert smoke: expected exit status 3 (audit rejection), got $status" >&2
+  cat "$smoke_err" >&2
+  exit 1
+fi
+for pat in \
+  'cases: 3 ok, 0 failed, 0 timed out, 1 invariant violations' \
+  'fft1:k2:45nm:lru: invariant violation: audit: optimizer-tau-after'
+do
+  if ! grep -q "$pat" "$smoke_err"; then
+    echo "ci: corrupt-cert smoke: expected output matching '$pat'" >&2
+    cat "$smoke_err" >&2
+    exit 1
+  fi
+done
+echo "ci: corrupt-cert audit smoke passed"

@@ -151,6 +151,14 @@ let parse (s : string) : json =
   if !pos <> n then fail "trailing garbage";
   v
 
+(* [None] when the key is absent: journals written before the audit
+   fields existed stay readable (format_version is unchanged — the
+   fields are additive) *)
+let opt_field obj key =
+  match obj with
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> raise (Malformed "expected an object")
+
 let field obj key =
   match obj with
   | Obj kvs -> (
@@ -204,9 +212,24 @@ let measurement_of_json j : Pipeline.measurement =
     nc = to_int (field j "nc");
   }
 
+let audit_json (a : Pipeline.audit) =
+  match a with
+  | Pipeline.Not_audited -> ""
+  | Pipeline.Audited { checks; seconds } ->
+    Printf.sprintf {|,"audit_checks":%d,"audit_s":%s|} checks (flt seconds)
+
+let audit_of_json j : Pipeline.audit =
+  match opt_field j "audit_checks" with
+  | None -> Pipeline.Not_audited
+  | Some checks ->
+    let seconds =
+      match opt_field j "audit_s" with Some s -> to_float s | None -> 0.0
+    in
+    Pipeline.Audited { checks = to_int checks; seconds }
+
 let record_line ~id (r : Experiments.record) =
   Printf.sprintf
-    {|{"case":%s,"program":%s,"config_id":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tech":%s,"policy":%s,"prefetches":%d,"rejected":%d,"original":%s,"optimized":%s}|}
+    {|{"case":%s,"program":%s,"config_id":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tech":%s,"policy":%s,"prefetches":%d,"rejected":%d%s,"original":%s,"optimized":%s}|}
     (Report.json_string id)
     (Report.json_string r.Experiments.program_name)
     (Report.json_string r.Experiments.config_id)
@@ -215,6 +238,7 @@ let record_line ~id (r : Experiments.record) =
     (Report.json_string r.Experiments.tech.Tech.label)
     (Report.json_string (Ucp_policy.to_string r.Experiments.policy))
     r.Experiments.prefetches r.Experiments.rejected
+    (audit_json r.Experiments.audit)
     (measurement_json r.Experiments.original)
     (measurement_json r.Experiments.optimized)
 
@@ -249,6 +273,7 @@ let parse_line line =
           optimized = measurement_of_json (field j "optimized");
           prefetches = to_int (field j "prefetches");
           rejected = to_int (field j "rejected");
+          audit = audit_of_json j;
         }
       in
       Some (id, record)

@@ -12,6 +12,7 @@ type record = {
   optimized : Pipeline.measurement;
   prefetches : int;
   rejected : int;
+  audit : Pipeline.audit;
 }
 
 let default_configs = Config.paper_configs
@@ -76,10 +77,10 @@ let model_table configs techs =
     configs;
   tbl
 
-let run_case ?deadline ?timed ~model c =
+let run_case ?deadline ?timed ?audit ?corrupt_cert ~model c =
   let cmp =
     Pipeline.compare_optimized ?deadline ~model ?timed ~policy:c.case_policy
-      c.case_program c.case_config c.case_tech
+      ?audit ?corrupt_cert c.case_program c.case_config c.case_tech
   in
   {
     program_name = c.case_program_name;
@@ -91,6 +92,7 @@ let run_case ?deadline ?timed ~model c =
     optimized = cmp.Pipeline.optimized;
     prefetches = cmp.Pipeline.prefetches;
     rejected = cmp.Pipeline.rejected;
+    audit = cmp.Pipeline.audit;
   }
 
 (* Defense in depth for the paper's central claims (Theorem 1,

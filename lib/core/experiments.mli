@@ -15,6 +15,7 @@ type record = {
   optimized : Pipeline.measurement;
   prefetches : int;
   rejected : int;
+  audit : Pipeline.audit;  (** certification verdict (see {!Ucp_verify}) *)
 }
 
 val sweep :
@@ -76,12 +77,17 @@ val model_table :
 val run_case :
   ?deadline:Ucp_util.Deadline.t ->
   ?timed:Pipeline.timings ->
+  ?audit:bool ->
+  ?corrupt_cert:bool ->
   model:Ucp_energy.Cacti.t ->
   case ->
   record
 (** Evaluate one use case ([model] must be the case's entry from
     {!model_table}).  [?deadline] bounds the analysis/optimizer stages
-    (see {!Pipeline.compare_optimized}). *)
+    (see {!Pipeline.compare_optimized}).  [?audit] runs the
+    {!Ucp_verify} certification on the case; [?corrupt_cert] injects
+    the certificate corruption the audit must catch (both default
+    false). *)
 
 val check_invariants : record -> (unit, string) result
 (** Runtime guard over the paper's soundness claims: Theorem 1

@@ -4,6 +4,7 @@ type mode =
   | Raise
   | Stall of float
   | Corrupt_tau of int
+  | Corrupt_cert
 
 exception Injected of string
 
@@ -43,6 +44,7 @@ let parse_entry entry =
       else if
         mode = "corrupt" || (String.length mode > 8 && String.sub mode 0 8 = "corrupt:")
       then Corrupt_tau (arg "corrupt" mode 1000 int_of_string_opt)
+      else if mode = "corrupt-cert" then Corrupt_cert
       else invalid_arg (Printf.sprintf "UCP_FAULT: unknown mode %S" mode)
     in
     (id, mode)
@@ -58,9 +60,11 @@ let load_env () =
           set id mode)
       (String.split_on_char ',' spec)
 
+let corrupt_cert id = match find id with Some Corrupt_cert -> true | _ -> false
+
 let apply_pre ?deadline id =
   match find id with
-  | None | Some (Corrupt_tau _) -> ()
+  | None | Some (Corrupt_tau _) | Some Corrupt_cert -> ()
   | Some Raise -> raise (Injected id)
   | Some (Stall secs) ->
     let t0 = Unix.gettimeofday () in

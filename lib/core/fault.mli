@@ -22,6 +22,14 @@ type mode =
       (** run the case normally, then inflate the optimized [tau] by
           the given number of cycles — a synthetic Theorem-1 violation
           for exercising the invariant guard *)
+  | Corrupt_cert
+      (** run the case with the audit's certificate-corruption hook
+          armed ({!Pipeline.compare_optimized}'s [~corrupt_cert]): one
+          field of the optimizer's audit trail is perturbed before
+          checking, so an audited case must be demoted to
+          [Invariant_violation] naming the violated obligation — the
+          negative test that the certification layer actually checks
+          something *)
 
 exception Injected of string
 (** Raised by a [Raise] hook; the payload is the case id. *)
@@ -37,16 +45,21 @@ val find : string -> mode option
 val load_env : unit -> unit
 (** Install hooks from [UCP_FAULT]: a comma-separated list of
     [<case_id>=<mode>] entries where mode is [raise], [stall],
-    [stall:<secs>] (default 10s) or [corrupt] / [corrupt:<cycles>]
-    (default 1000).  Example:
+    [stall:<secs>] (default 10s), [corrupt] / [corrupt:<cycles>]
+    (default 1000) or [corrupt-cert].  Example:
     [UCP_FAULT='fft1:k2:45nm=raise,crc:k3:32nm=stall'].  Unset or empty
     means no hooks.
     @raise Invalid_argument on a malformed entry. *)
 
+val corrupt_cert : string -> bool
+(** Is a [Corrupt_cert] hook installed for this case?  The sweep passes
+    the answer to {!Experiments.run_case} as [~corrupt_cert]. *)
+
 val apply_pre : ?deadline:Ucp_util.Deadline.t -> string -> unit
 (** Run the pre-execution side of the case's hook, if any: [Raise]
     raises {!Injected}, [Stall] spins until its duration elapses or the
-    deadline fires.  [Corrupt_tau] does nothing here. *)
+    deadline fires.  [Corrupt_tau] and [Corrupt_cert] do nothing
+    here. *)
 
 val corrupt : string -> Experiments.record -> Experiments.record
 (** Apply the case's [Corrupt_tau] hook to a finished record, if any;

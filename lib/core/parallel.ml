@@ -206,7 +206,7 @@ let strip = function
 
 let sweep ?(programs = Ucp_workloads.Suite.all)
     ?(configs = Experiments.default_configs) ?(techs = Tech.all)
-    ?(policies = [ Ucp_policy.Lru ]) ?jobs ?chunk
+    ?(policies = [ Ucp_policy.Lru ]) ?(audit = Ucp_verify.Off) ?jobs ?chunk
     ?progress ?timeout ?checkpoint ?(resume = false) () =
   (match timeout with
   | Some t when (not (Float.is_finite t)) || t <= 0.0 ->
@@ -272,7 +272,11 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
         let model =
           Hashtbl.find models (c.Experiments.case_config, c.Experiments.case_tech)
         in
-        let r = Experiments.run_case ?deadline ~timed ~model c in
+        let r =
+          Experiments.run_case ?deadline ~timed
+            ~audit:(Ucp_verify.selects audit id)
+            ~corrupt_cert:(Fault.corrupt_cert id) ~model c
+        in
         let r = Fault.corrupt id r in
         (match Experiments.check_invariants r with
         | Ok () -> ()

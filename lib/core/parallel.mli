@@ -108,6 +108,7 @@ val sweep :
   ?configs:(string * Ucp_cache.Config.t) list ->
   ?techs:Ucp_energy.Tech.t list ->
   ?policies:Ucp_policy.id list ->
+  ?audit:Ucp_verify.mode ->
   ?jobs:int ->
   ?chunk:int ->
   ?progress:(done_:int -> total:int -> unit) ->
@@ -133,6 +134,16 @@ val sweep :
     {!Experiments.check_invariants} (e.g. Theorem 1: the optimized
     WCET bound must not exceed the original) — is recorded in
     [results]/[failures] while every other case still completes.
+
+    Certification: [?audit] (default [Off]) runs the {!Ucp_verify}
+    audit on every case ([Full]) or a deterministic 1-in-N sample keyed
+    by case id ([Sample N], stable across resume).  An audited case
+    whose certificate fails any obligation is demoted to
+    [Invariant_violation] with the obligation named; audited records
+    carry their verdict and cost in {!Experiments.record.audit} and the
+    audit wall-clock lands in [timings].  A [Fault.Corrupt_cert] hook
+    arms the certificate-corruption path on its case, which must then
+    fail its audit.
 
     Checkpointing: with [?checkpoint:path] every sound finished record
     is appended to a JSONL journal and flushed; with [resume:true] a

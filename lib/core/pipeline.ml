@@ -24,16 +24,19 @@ type timings = {
   mutable analysis_s : float;
   mutable optimize_s : float;
   mutable simulate_s : float;
+  mutable audit_s : float;
 }
 
-let fresh_timings () = { analysis_s = 0.0; optimize_s = 0.0; simulate_s = 0.0 }
+let fresh_timings () =
+  { analysis_s = 0.0; optimize_s = 0.0; simulate_s = 0.0; audit_s = 0.0 }
 
 let add_timings acc t =
   acc.analysis_s <- acc.analysis_s +. t.analysis_s;
   acc.optimize_s <- acc.optimize_s +. t.optimize_s;
-  acc.simulate_s <- acc.simulate_s +. t.simulate_s
+  acc.simulate_s <- acc.simulate_s +. t.simulate_s;
+  acc.audit_s <- acc.audit_s +. t.audit_s
 
-let total_timings t = t.analysis_s +. t.optimize_s +. t.simulate_s
+let total_timings t = t.analysis_s +. t.optimize_s +. t.simulate_s +. t.audit_s
 
 (* accumulate the wall-clock cost of [f] into one stage of [tm] *)
 let timed tm add f =
@@ -48,6 +51,7 @@ let timed tm add f =
 let on_analysis tm d = tm.analysis_s <- tm.analysis_s +. d
 let on_optimize tm d = tm.optimize_s <- tm.optimize_s +. d
 let on_simulate tm d = tm.simulate_s <- tm.simulate_s +. d
+let on_audit tm d = tm.audit_s <- tm.audit_s +. d
 
 let model config tech = Cacti.model config tech
 
@@ -86,15 +90,19 @@ let optimize ?model:mdl ?policy program config tech =
   let m = match mdl with Some m -> m | None -> model config tech in
   Optimizer.optimize ?policy program config m
 
+type audit = Not_audited | Audited of { checks : int; seconds : float }
+
 type comparison = {
   original : measurement;
   optimized : measurement;
   prefetches : int;
   rejected : int;
+  audit : audit;
 }
 
 let compare_optimized ?deadline ?(seed = 42) ?model:mdl ?timed:tm
-    ?(policy = Ucp_policy.Lru) program config tech =
+    ?(policy = Ucp_policy.Lru) ?(audit = false) ?(corrupt_cert = false) program
+    config tech =
   let m = match mdl with Some m -> m | None -> model config tech in
   (* The original program's cache-aware analysis is the most expensive
      shared artifact of a use case: compute it once and hand it to both
@@ -111,16 +119,36 @@ let compare_optimized ?deadline ?(seed = 42) ?model:mdl ?timed:tm
     timed tm on_optimize (fun () ->
         Optimizer.optimize ?deadline ~initial:w0 program config m)
   in
+  (* The optimized program's measurement analysis, computed explicitly
+     so the audit can reuse it as its independent "after" artifact. *)
+  let w1 =
+    timed tm on_analysis (fun () ->
+        Wcet.compute ?deadline ~with_may:true ~policy result.Optimizer.program
+          config m)
+  in
   let original =
     measure ?deadline ~seed ~model:m ~wcet:w0 ?timed:tm ~policy program config tech
   in
   let optimized =
-    measure ?deadline ~seed ~model:m ?timed:tm ~policy result.Optimizer.program
-      config tech
+    measure ?deadline ~seed ~model:m ~wcet:w1 ?timed:tm ~policy
+      result.Optimizer.program config tech
+  in
+  let audit =
+    if not audit then Not_audited
+    else
+      let v =
+        timed tm on_audit (fun () ->
+            Ucp_verify.audit_case ?deadline ~seed ~corrupt:corrupt_cert
+              ~original:w0 ~optimized:w1 result)
+      in
+      match v with
+      | Ok { Ucp_verify.checks; seconds } -> Audited { checks; seconds }
+      | Error msg -> raise (Outcome.Invariant ("audit: " ^ msg))
   in
   {
     original;
     optimized;
     prefetches = List.length result.Optimizer.insertions;
     rejected = result.Optimizer.rejected;
+    audit;
   }

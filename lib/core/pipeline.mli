@@ -23,14 +23,15 @@ type measurement = {
 }
 
 (** Per-stage wall-clock accumulators: abstract-interpretation WCET
-    analysis, the optimizer's materialize-and-verify loop, and trace
-    simulation.  Mutable so one accumulator can follow a whole sweep;
-    not thread-safe — use one per worker and {!add_timings} the totals
-    together. *)
+    analysis, the optimizer's materialize-and-verify loop, trace
+    simulation, and the certification audit.  Mutable so one
+    accumulator can follow a whole sweep; not thread-safe — use one per
+    worker and {!add_timings} the totals together. *)
 type timings = {
   mutable analysis_s : float;
   mutable optimize_s : float;
   mutable simulate_s : float;
+  mutable audit_s : float;
 }
 
 val fresh_timings : unit -> timings
@@ -81,11 +82,17 @@ val optimize :
   Ucp_prefetch.Optimizer.result
 (** The paper's optimization for this use case. *)
 
+(** Was this use case audited by the {!Ucp_verify} certification layer,
+    and at what cost?  A {e failed} audit never produces a value — it
+    raises {!Outcome.Invariant} instead (see [compare_optimized]). *)
+type audit = Not_audited | Audited of { checks : int; seconds : float }
+
 type comparison = {
   original : measurement;
   optimized : measurement;
   prefetches : int;  (** accepted prefetch insertions *)
   rejected : int;  (** candidates rolled back by the safety net *)
+  audit : audit;  (** certification verdict for this case *)
 }
 
 val compare_optimized :
@@ -94,6 +101,8 @@ val compare_optimized :
   ?model:Ucp_energy.Cacti.t ->
   ?timed:timings ->
   ?policy:Ucp_policy.id ->
+  ?audit:bool ->
+  ?corrupt_cert:bool ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Tech.t ->
@@ -105,4 +114,12 @@ val compare_optimized :
     Theorem 1 materializes as [optimized.tau <= original.tau].
     [?deadline] is threaded into every analysis fixpoint and optimizer
     round; once it passes, the pending stage raises
-    [Ucp_util.Deadline.Deadline_exceeded] at its next check. *)
+    [Ucp_util.Deadline.Deadline_exceeded] at its next check.
+
+    [~audit:true] runs the full {!Ucp_verify.audit_case} certification
+    (LP/IPET certificates, witness replay of both programs, optimizer
+    audit trail) on the case's own analyses; a failed obligation raises
+    [Outcome.Invariant ("audit: " ^ msg)], which the sweep demotes to a
+    structured [Invariant_violation].  [~corrupt_cert:true] is the
+    [corrupt-cert] fault-injection hook: it perturbs one certificate
+    field before checking, so the audit must fail. *)

@@ -180,10 +180,18 @@ let json_string s =
   Buffer.add_char buf '"';
   Buffer.contents buf
 
+(* appended to record_json: absent entirely for unaudited cases, so an
+   audit-off sweep's stream is byte-identical to the seed's *)
+let audit_json (a : Pipeline.audit) =
+  match a with
+  | Pipeline.Not_audited -> ""
+  | Pipeline.Audited { checks; seconds } ->
+    Printf.sprintf {|,"audit_checks":%d,"audit_s":%.3f|} checks seconds
+
 let record_json (r : Experiments.record) =
   let m = r.Experiments.original and o = r.Experiments.optimized in
   Printf.sprintf
-    {|{"program":%s,"config":%s,"tech":%s,"policy":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tau":%d,"tau_opt":%d,"acet":%d,"acet_opt":%d,"energy_pj":%.3f,"energy_opt_pj":%.3f,"miss_rate":%.6f,"miss_opt_rate":%.6f,"demand_misses":%d,"demand_misses_opt":%d,"executed":%d,"executed_opt":%d,"ah":%d,"am":%d,"nc":%d,"ah_opt":%d,"am_opt":%d,"nc_opt":%d,"prefetches":%d,"rejected":%d}|}
+    {|{"program":%s,"config":%s,"tech":%s,"policy":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tau":%d,"tau_opt":%d,"acet":%d,"acet_opt":%d,"energy_pj":%.3f,"energy_opt_pj":%.3f,"miss_rate":%.6f,"miss_opt_rate":%.6f,"demand_misses":%d,"demand_misses_opt":%d,"executed":%d,"executed_opt":%d,"ah":%d,"am":%d,"nc":%d,"ah_opt":%d,"am_opt":%d,"nc_opt":%d,"prefetches":%d,"rejected":%d%s}|}
     (json_string r.Experiments.program_name)
     (json_string r.Experiments.config_id)
     (json_string r.Experiments.tech.Ucp_energy.Tech.label)
@@ -196,6 +204,7 @@ let record_json (r : Experiments.record) =
     o.Pipeline.executed m.Pipeline.ah m.Pipeline.am m.Pipeline.nc
     o.Pipeline.ah o.Pipeline.am o.Pipeline.nc
     r.Experiments.prefetches r.Experiments.rejected
+    (audit_json r.Experiments.audit)
 
 let outcome_counts outcomes =
   List.fold_left
@@ -230,12 +239,28 @@ let policy_outcome_summary ~policies outcomes =
     policies;
   Buffer.contents buf
 
+(* audited-case digest over the [Ok] records of a sweep *)
+let audit_counts outcomes =
+  List.fold_left
+    (fun (n, checks, secs) (_, o) ->
+      match (o : Experiments.record Outcome.t) with
+      | Outcome.Ok { Experiments.audit = Pipeline.Audited { checks = c; seconds }; _ }
+        ->
+        (n + 1, checks + c, secs +. seconds)
+      | _ -> (n, checks, secs))
+    (0, 0, 0.0) outcomes
+
 let outcome_summary outcomes =
   let ok, failed, timed_out, violations = outcome_counts outcomes in
   let buf = Buffer.create 256 in
   Buffer.add_string buf
     (Printf.sprintf "cases: %d ok, %d failed, %d timed out, %d invariant violations\n"
        ok failed timed_out violations);
+  (let audited, checks, secs = audit_counts outcomes in
+   if audited > 0 then
+     Buffer.add_string buf
+       (Printf.sprintf "audited: %d cases certified (%d checks, %.1fs)\n" audited
+          checks secs));
   List.iter
     (fun (id, o) ->
       if not (Outcome.is_ok o) then
@@ -261,12 +286,19 @@ let sweep_jsonl ~wall_s ~jobs ~timings ?(outcomes = []) records =
       end)
     outcomes;
   let _, failed, timed_out, violations = outcome_counts outcomes in
+  let audited =
+    List.length
+      (List.filter
+         (fun (r : Experiments.record) ->
+           r.Experiments.audit <> Pipeline.Not_audited)
+         records)
+  in
   Buffer.add_string buf
     (Printf.sprintf
-       {|{"summary":true,"cases":%d,"failed":%d,"timed_out":%d,"invariant_violations":%d,"jobs":%d,"wall_s":%.3f,"analysis_s":%.3f,"optimize_s":%.3f,"simulate_s":%.3f}|}
-       (List.length records) failed timed_out violations jobs wall_s
+       {|{"summary":true,"cases":%d,"failed":%d,"timed_out":%d,"invariant_violations":%d,"audited":%d,"jobs":%d,"wall_s":%.3f,"analysis_s":%.3f,"optimize_s":%.3f,"simulate_s":%.3f,"audit_s":%.3f}|}
+       (List.length records) failed timed_out violations audited jobs wall_s
        timings.Pipeline.analysis_s timings.Pipeline.optimize_s
-       timings.Pipeline.simulate_s);
+       timings.Pipeline.simulate_s timings.Pipeline.audit_s);
   Buffer.add_char buf '\n';
   Buffer.contents buf
 

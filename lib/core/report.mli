@@ -47,11 +47,15 @@ val record_json : Experiments.record -> string
     ([tau]/[acet]/[energy_pj]/[miss_rate]/[executed] and the
     [ah]/[am]/[nc] classification counters for the original, the same
     fields with [_opt] for the optimized binary), plus the
-    accepted/rolled-back prefetch counts. *)
+    accepted/rolled-back prefetch counts.  An audited case additionally
+    carries ["audit_checks"] and ["audit_s"] (certificates passed and
+    audit wall-clock; see {!Ucp_verify}); unaudited cases omit both, so
+    an audit-off sweep's stream is byte-identical to the seed's. *)
 
 val outcome_summary : (string * Experiments.record Outcome.t) list -> string
-(** Human-readable failure digest of a sweep: a counts line, then one
-    line per non-[Ok] case with its id and what went wrong. *)
+(** Human-readable failure digest of a sweep: a counts line, an
+    audited-cases line when any case was certified, then one line per
+    non-[Ok] case with its id and what went wrong. *)
 
 val policy_outcome_summary :
   policies:Ucp_policy.id list ->
@@ -72,6 +76,7 @@ val sweep_jsonl :
     {!record_json} line per use case, then one
     [{"case":..,"outcome":..,"detail":..}] line per non-[Ok] outcome,
     terminated by a summary line [{"summary":true,"cases":..,
-    "failed":..,"timed_out":..,"invariant_violations":..,"jobs":..,
-    "wall_s":..,"analysis_s":..,"optimize_s":..,"simulate_s":..}] so
-    perf trajectories can be tracked across PRs. *)
+    "failed":..,"timed_out":..,"invariant_violations":..,"audited":..,
+    "jobs":..,"wall_s":..,"analysis_s":..,"optimize_s":..,
+    "simulate_s":..,"audit_s":..}] so perf trajectories can be tracked
+    across PRs. *)

@@ -5,6 +5,14 @@ type outcome =
   | Infeasible
   | Unbounded
 
+exception Node_budget_exhausted of int
+
+let () =
+  Printexc.register_printer (function
+    | Node_budget_exhausted n ->
+      Some (Printf.sprintf "Ilp.Node_budget_exhausted: %d branch-and-bound nodes" n)
+    | _ -> None)
+
 let fractional_var assignment =
   let n = Array.length assignment in
   let rec find j =
@@ -29,13 +37,13 @@ let maximize ?deadline ?(max_nodes = 100_000) (problem : Simplex.problem) =
   in
   let rec explore extra =
     incr nodes;
-    if !nodes > max_nodes then failwith "Ilp.maximize: node budget exhausted";
+    if !nodes > max_nodes then raise (Node_budget_exhausted !nodes);
     Ucp_util.Deadline.check deadline;
     let p = { problem with Simplex.constraints = problem.Simplex.constraints @ extra } in
     match Simplex.maximize ?deadline p with
     | Simplex.Infeasible -> `Done
     | Simplex.Unbounded -> `Unbounded
-    | Simplex.Optimal { value; assignment } ->
+    | Simplex.Optimal { value; assignment; _ } ->
       if not (better value) then `Done
       else begin
         match fractional_var assignment with

@@ -8,12 +8,18 @@ type outcome =
   | Infeasible
   | Unbounded
 
+exception Node_budget_exhausted of int
+(** Raised when branch & bound explores more than [max_nodes] nodes.
+    Carries the node count.  A printer is registered, so sweep failure
+    records show ["Ilp.Node_budget_exhausted: N branch-and-bound
+    nodes"] instead of a generic crash text.  IPET instances are
+    near-integral network flows, so hitting the budget indicates a
+    malformed model rather than a hard instance. *)
+
 val maximize :
   ?deadline:Ucp_util.Deadline.t -> ?max_nodes:int -> Simplex.problem -> outcome
 (** Solve, exploring at most [max_nodes] branch-and-bound nodes
     (default [100_000]).
-    @raise Failure if the node budget is exhausted — IPET instances are
-    near-integral network flows, so hitting the budget indicates a
-    malformed model rather than a hard instance.
+    @raise Node_budget_exhausted if the node budget is exhausted.
     @raise Ucp_util.Deadline.Deadline_exceeded if [?deadline] passes
     (checked per node and inside every LP solve). *)

@@ -8,7 +8,7 @@ type problem = {
   constraints : (Q.t array * op * Q.t) list;
 }
 
-type solution = { value : Q.t; assignment : Q.t array }
+type solution = { value : Q.t; assignment : Q.t array; dual : Q.t array }
 
 type outcome =
   | Optimal of solution
@@ -95,46 +95,57 @@ let build problem =
     (fun (coeffs, _, _) ->
       if Array.length coeffs <> n then invalid_arg "Simplex: constraint length mismatch")
     problem.constraints;
-  (* Normalize rows to nonnegative rhs. *)
+  (* Normalize rows to nonnegative rhs, remembering which rows were
+     negated so dual values can be mapped back to the original rows. *)
   let rows =
     List.map
       (fun (coeffs, op, rhs) ->
         if Q.sign rhs < 0 then
           ( Array.map Q.neg coeffs,
             (match op with Le -> Ge | Ge -> Le | Eq -> Eq),
-            Q.neg rhs )
-        else (Array.copy coeffs, op, rhs))
+            Q.neg rhs,
+            true )
+        else (Array.copy coeffs, op, rhs, false))
       problem.constraints
   in
   let m = List.length rows in
-  let n_slack = List.length (List.filter (fun (_, op, _) -> op <> Eq) rows) in
-  let n_art = List.length (List.filter (fun (_, op, _) -> op <> Le) rows) in
+  let n_slack = List.length (List.filter (fun (_, op, _, _) -> op <> Eq) rows) in
+  let n_art = List.length (List.filter (fun (_, op, _, _) -> op <> Le) rows) in
   let cols = n + n_slack + n_art in
   let art_start = n + n_slack in
   let tab = Array.init m (fun _ -> Array.make (cols + 1) Q.zero) in
   let basis = Array.make m (-1) in
+  (* Per original constraint: the column whose constraint-matrix column
+     is exactly the unit vector e_i (the Le slack, or the artificial for
+     Ge/Eq rows), plus whether normalization negated the row.  The
+     phase-2 reduced cost of that column is -y_i for the simplex
+     multipliers y = c_B B^-1, which is exactly the dual solution. *)
+  let dual_cols = Array.make m (-1, false) in
   let slack = ref n and art = ref art_start in
   List.iteri
-    (fun i (coeffs, op, rhs) ->
+    (fun i (coeffs, op, rhs, flipped) ->
       Array.blit coeffs 0 tab.(i) 0 n;
       tab.(i).(cols) <- rhs;
       (match op with
       | Le ->
         tab.(i).(!slack) <- Q.one;
         basis.(i) <- !slack;
+        dual_cols.(i) <- (!slack, flipped);
         incr slack
       | Ge ->
         tab.(i).(!slack) <- Q.neg Q.one;
         incr slack;
         tab.(i).(!art) <- Q.one;
         basis.(i) <- !art;
+        dual_cols.(i) <- (!art, flipped);
         incr art
       | Eq ->
         tab.(i).(!art) <- Q.one;
         basis.(i) <- !art;
+        dual_cols.(i) <- (!art, flipped);
         incr art))
     rows;
-  ({ rows = tab; basis; cols }, art_start)
+  ({ rows = tab; basis; cols }, art_start, dual_cols)
 
 (* Reduced-cost row for objective [c] (over variable columns) given the
    current basis: z = c - sum over rows of c_basic * row.  The cell
@@ -153,7 +164,7 @@ let make_z t c =
   z
 
 let maximize ?deadline problem =
-  let t, art_start = build problem in
+  let t, art_start, dual_cols = build problem in
   let m = Array.length t.rows in
   (* Phase 1: maximize -(sum of artificials). *)
   let phase1_obj = Array.make t.cols Q.zero in
@@ -189,11 +200,21 @@ let maximize ?deadline problem =
       Array.iteri
         (fun i b -> if b < problem.num_vars then assignment.(b) <- t.rows.(i).(t.cols))
         t.basis;
-      Optimal { value = Q.neg z2.(t.cols); assignment }
+      (* Dual solution: y_i = -z2 at row i's unit column (see [build]);
+         rows negated during normalization negate back. *)
+      let dual =
+        Array.map
+          (fun (col, flipped) ->
+            let y = Q.neg z2.(col) in
+            if flipped then Q.neg y else y)
+          dual_cols
+      in
+      Optimal { value = Q.neg z2.(t.cols); assignment; dual }
   end
 
 let minimize ?deadline problem =
   let neg = { problem with objective = Array.map Q.neg problem.objective } in
   match maximize ?deadline neg with
-  | Optimal { value; assignment } -> Optimal { value = Q.neg value; assignment }
+  | Optimal { value; assignment; dual } ->
+    Optimal { value = Q.neg value; assignment; dual = Array.map Q.neg dual }
   | (Infeasible | Unbounded) as o -> o

@@ -14,7 +14,20 @@ type problem = {
       (** rows [(coeffs, op, rhs)]; [coeffs] has length [num_vars] *)
 }
 
-type solution = { value : Rational.t; assignment : Rational.t array }
+type solution = {
+  value : Rational.t;
+  assignment : Rational.t array;  (** length [num_vars] *)
+  dual : Rational.t array;
+      (** LP duality certificate: one multiplier per constraint row, in
+          the order of [constraints].  For [maximize], a correct dual
+          satisfies the sign conditions (y_i ≥ 0 for [Le] rows,
+          y_i ≤ 0 for [Ge] rows, free for [Eq]), dual feasibility
+          (Aᵀy ≥ c componentwise) and strong duality
+          (bᵀy = [value] = cᵀx) — all checkable in exact rationals by
+          {!Ucp_verify.certify_lp}.  [minimize] negates the duals, so
+          the mirrored conditions hold (y_i ≤ 0 for [Le], y_i ≥ 0 for
+          [Ge], Aᵀy ≤ c, bᵀy = value). *)
+}
 
 type outcome =
   | Optimal of solution

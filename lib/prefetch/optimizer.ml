@@ -17,6 +17,14 @@ type insertion = {
   est_gain : int;
 }
 
+type round = {
+  round_insertions : (int * int) list;
+  round_tau_before : int;
+  round_tau_after : int;
+  round_misses_before : int;
+  round_misses_after : int;
+}
+
 type result = {
   program : Program.t;
   original : Program.t;
@@ -27,6 +35,7 @@ type result = {
   rounds : int;
   tau_before : int;
   tau_after : int;
+  trail : round list;
 }
 
 type candidate = {
@@ -439,9 +448,9 @@ let optimize ?deadline ?(placement = At_eviction) ?(max_insertions = 2000)
         end
       end
   in
-  let rec go p w misses_p insertions rejected ~cached =
+  let rec go p w misses_p insertions rejected trail ~cached =
     if List.length insertions >= max_insertions || !rounds > 4000 then
-      (p, w, insertions, rejected)
+      (p, w, insertions, rejected, trail)
     else begin
       (* discovery only depends on the current program, so it is reused
          across rounds that merely banned candidates *)
@@ -480,10 +489,23 @@ let optimize ?deadline ?(placement = At_eviction) ?(max_insertions = 2000)
               })
             uids
         in
-        go p' w' misses' (accepted @ insertions) rejected ~cached:None
+        (* Proof obligation record for this accepted round: the audit
+           layer re-derives these claims from its own analyses. *)
+        let round =
+          {
+            round_insertions =
+              List.map (fun (c, uid) -> (uid, c.cand_target_uid)) uids;
+            round_tau_before = tau_eff w;
+            round_tau_after = tau_eff w';
+            round_misses_before = misses_p;
+            round_misses_after = misses';
+          }
+        in
+        go p' w' misses' (accepted @ insertions) rejected (round :: trail)
+          ~cached:None
       in
       match cands with
-      | [] -> (p, w, insertions, rejected)
+      | [] -> (p, w, insertions, rejected, trail)
       | top :: rest -> (
         match descend p w misses_p cands (List.length cands) with
         | Some result -> accept result rejected
@@ -493,11 +515,11 @@ let optimize ?deadline ?(placement = At_eviction) ?(max_insertions = 2000)
           Hashtbl.add banned (top.cand_before_uid, top.cand_target_uid) ();
           match walk_singles p w misses_p 30 rest with
           | Some result -> accept result (rejected + 1)
-          | None -> (p, w, insertions, rejected + 1 + List.length rest)))
+          | None -> (p, w, insertions, rejected + 1 + List.length rest, trail)))
     end
   in
-  let p, w, insertions, rejected =
-    go program w0 (miss_bound w0) [] 0 ~cached:None
+  let p, w, insertions, rejected, trail =
+    go program w0 (miss_bound w0) [] 0 [] ~cached:None
   in
   assert (tau_eff w <= tau_eff w0);
   assert (Program.prefetch_equivalent program p);
@@ -511,4 +533,5 @@ let optimize ?deadline ?(placement = At_eviction) ?(max_insertions = 2000)
     rounds = !rounds;
     tau_before = tau_eff w0;
     tau_after = tau_eff w;
+    trail = List.rev trail;
   }

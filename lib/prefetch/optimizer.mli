@@ -34,6 +34,22 @@ type insertion = {
   est_gain : int;  (** mcost - pcost estimate that admitted it *)
 }
 
+type round = {
+  round_insertions : (int * int) list;
+      (** materialized [(prefetch_uid, target_uid)] pairs of the round *)
+  round_tau_before : int;  (** τ_w + residual claimed before the round *)
+  round_tau_after : int;
+  round_misses_before : int;  (** analysis miss bound claimed before *)
+  round_misses_after : int;
+}
+(** Proof obligations of one {e accepted} batch: the acceptance test
+    (Equations 5–9 / Theorem 1) claims
+    [round_tau_after <= round_tau_before] and
+    ([round_misses_after < round_misses_before] or
+    [round_tau_after < round_tau_before]).  {!Ucp_verify.audit_trail}
+    re-derives the endpoints from independent analyses and checks the
+    chain without trusting the optimizer's arithmetic. *)
+
 type result = {
   program : Ucp_isa.Program.t;  (** the optimized, prefetch-equivalent program *)
   original : Ucp_isa.Program.t;
@@ -44,6 +60,7 @@ type result = {
   rounds : int;  (** analysis recomputations *)
   tau_before : int;
   tau_after : int;
+  trail : round list;  (** audit trail, one entry per accepted round *)
 }
 
 type placement =

@@ -108,7 +108,7 @@ let cond_decision st block model =
   | Branch_model.Bernoulli p -> Rng.bernoulli st.rng p
 
 let run ?(seed = 42) ?(max_steps = 3_000_000) ?(policy = Concrete.Lru) ?hw ?locked
-    ?(pinned = []) ?cache_config ?on_fetch program config model =
+    ?(pinned = []) ?cache_config ?on_fetch ?branch_oracle program config model =
   let layout = Layout.make program ~block_bytes:config.Ucp_cache.Config.block_bytes in
   let cache_config = match cache_config with Some c -> c | None -> config in
   let hw = match hw with Some h -> h | None -> Hw_prefetch.none () in
@@ -234,7 +234,11 @@ let run ?(seed = 42) ?(max_steps = 3_000_000) ?(policy = Concrete.Lru) ?hw ?lock
       let mb = Layout.mem_block_of_addr layout addr in
       let hit = fetch_at st ~block ~pos:body_len mb in
       st.executed <- st.executed + 1;
-      let decision = cond_decision st block bm in
+      let decision =
+        match branch_oracle with
+        | Some oracle -> oracle block
+        | None -> cond_decision st block bm
+      in
       let target_addr =
         try Some (Layout.addr layout ~block:taken ~pos:0)
         with Invalid_argument _ -> None

@@ -30,6 +30,7 @@ val run :
   ?pinned:int list ->
   ?cache_config:Ucp_cache.Config.t ->
   ?on_fetch:(block:int -> pos:int -> hit:bool -> unit) ->
+  ?branch_oracle:(int -> bool) ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Cacti.t ->
@@ -42,7 +43,11 @@ val run :
     [(block, pos)] (the terminator sits at [pos = body length]) and the
     hit/miss verdict — the hook the per-policy soundness
     cross-validation test uses to compare the simulator against the
-    abstract classification.  [~locked]
+    abstract classification.  [~branch_oracle], when given, overrides
+    every conditional's branch model: [oracle block] decides whether
+    the conditional ending [block] is taken at this dynamic instance —
+    the hook witness replay ({!Ucp_verify}) uses to force the
+    simulator down the abstract WCET path.  [~locked]
     switches the cache into fully-locked mode: the given memory blocks
     always hit, everything else always misses, no allocation happens,
     and prefetch instructions have no memory effect (the cache-locking

@@ -1,0 +1,605 @@
+module Q = Ucp_lp.Rational
+module Simplex = Ucp_lp.Simplex
+module Ilp = Ucp_lp.Ilp
+module Wcet = Ucp_wcet.Wcet
+module Analysis = Ucp_wcet.Analysis
+module Ipet = Ucp_wcet.Ipet
+module Classification = Ucp_wcet.Classification
+module Vivu = Ucp_cfg.Vivu
+module Program = Ucp_isa.Program
+module Instr = Ucp_isa.Instr
+module Simulator = Ucp_sim.Simulator
+module Optimizer = Ucp_prefetch.Optimizer
+module Cacti = Ucp_energy.Cacti
+
+(* ------------------------------------------------------------------ *)
+(* Audit modes *)
+
+type mode = Off | Sample of int | Full
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" -> Ok Off
+  | "full" -> Ok Full
+  | s -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "sample" -> (
+      let arg = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt arg with
+      | Some n when n >= 1 -> Ok (Sample n)
+      | _ -> Error (Printf.sprintf "audit: bad sample rate %S (want sample:N, N >= 1)" arg))
+    | _ -> Error (Printf.sprintf "audit: unknown mode %S (want off|sample:N|full)" s))
+
+let mode_to_string = function
+  | Off -> "off"
+  | Full -> "full"
+  | Sample n -> Printf.sprintf "sample:%d" n
+
+(* Deterministic 1-in-N selection keyed by the case id, so a resumed or
+   re-run sweep audits the same cases. *)
+let selects mode id =
+  match mode with
+  | Off -> false
+  | Full -> true
+  | Sample n -> Hashtbl.hash id mod n = 0
+
+(* ------------------------------------------------------------------ *)
+(* Helpers: every check returns (unit, string) result where the error
+   names the violated obligation first, then the numbers. *)
+
+let ( let* ) = Result.bind
+
+let fail obligation fmt =
+  Printf.ksprintf (fun s -> Error (obligation ^ ": " ^ s)) fmt
+
+let q_to_string v = Format.asprintf "%a" Q.pp v
+
+let dot coeffs x =
+  let acc = ref Q.zero in
+  Array.iteri (fun j c -> acc := Q.add !acc (Q.mul c x.(j))) coeffs;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* LP certificates *)
+
+let certify_lp ?(minimize = false) (problem : Simplex.problem)
+    (sol : Simplex.solution) =
+  (* A minimization answer is the negated-objective maximization answer
+     with value and duals negated back; undo that and check the
+     canonical maximize conditions. *)
+  let problem, sol =
+    if minimize then
+      ( { problem with Simplex.objective = Array.map Q.neg problem.Simplex.objective },
+        { sol with Simplex.value = Q.neg sol.Simplex.value;
+          dual = Array.map Q.neg sol.Simplex.dual } )
+    else (problem, sol)
+  in
+  let { Simplex.value; assignment; dual } = sol in
+  let n = problem.Simplex.num_vars in
+  let rows = Array.of_list problem.Simplex.constraints in
+  let m = Array.length rows in
+  let* () =
+    if Array.length assignment <> n then
+      fail "lp-shape" "assignment has %d entries, want %d" (Array.length assignment) n
+    else if Array.length dual <> m then
+      fail "lp-shape" "dual has %d entries, want %d rows" (Array.length dual) m
+    else Ok ()
+  in
+  (* Primal feasibility: x >= 0 and every row satisfied, exactly. *)
+  let* () =
+    let bad = ref None in
+    Array.iteri
+      (fun j x -> if !bad = None && Q.sign x < 0 then bad := Some j)
+      assignment;
+    match !bad with
+    | Some j -> fail "lp-primal-feasible" "x_%d = %s < 0" j (q_to_string assignment.(j))
+    | None ->
+      let row_err = ref None in
+      Array.iteri
+        (fun i (coeffs, op, rhs) ->
+          if !row_err = None then begin
+            let lhs = dot coeffs assignment in
+            let ok =
+              match op with
+              | Simplex.Le -> Q.compare lhs rhs <= 0
+              | Simplex.Ge -> Q.compare lhs rhs >= 0
+              | Simplex.Eq -> Q.equal lhs rhs
+            in
+            if not ok then row_err := Some (i, lhs, rhs)
+          end)
+        rows;
+      (match !row_err with
+      | Some (i, lhs, rhs) ->
+        fail "lp-primal-feasible" "row %d violated: lhs %s vs rhs %s" i
+          (q_to_string lhs) (q_to_string rhs)
+      | None -> Ok ())
+  in
+  (* Dual sign conditions: y_i >= 0 for Le rows, y_i <= 0 for Ge rows,
+     free for Eq rows. *)
+  let* () =
+    let bad = ref None in
+    Array.iteri
+      (fun i (_, op, _) ->
+        if !bad = None then
+          match op with
+          | Simplex.Le when Q.sign dual.(i) < 0 -> bad := Some (i, ">=")
+          | Simplex.Ge when Q.sign dual.(i) > 0 -> bad := Some (i, "<=")
+          | _ -> ())
+      rows;
+    match !bad with
+    | Some (i, want) ->
+      fail "lp-dual-sign" "y_%d = %s violates y %s 0" i (q_to_string dual.(i)) want
+    | None -> Ok ()
+  in
+  (* Dual feasibility: (A^T y)_j >= c_j for every variable. *)
+  let* () =
+    let bad = ref None in
+    for j = 0 to n - 1 do
+      if !bad = None then begin
+        let aty = ref Q.zero in
+        Array.iteri
+          (fun i (coeffs, _, _) -> aty := Q.add !aty (Q.mul coeffs.(j) dual.(i)))
+          rows;
+        if Q.compare !aty problem.Simplex.objective.(j) < 0 then
+          bad := Some (j, !aty)
+      end
+    done;
+    match !bad with
+    | Some (j, aty) ->
+      fail "lp-dual-feasible" "(A^T y)_%d = %s < c_%d = %s" j (q_to_string aty) j
+        (q_to_string problem.Simplex.objective.(j))
+    | None -> Ok ()
+  in
+  (* Strong duality: c^T x = value = b^T y, closing the sandwich
+     c^T x <= value <= b^T y from both sides. *)
+  let cx = dot problem.Simplex.objective assignment in
+  let by =
+    let acc = ref Q.zero in
+    Array.iteri (fun i (_, _, rhs) -> acc := Q.add !acc (Q.mul rhs dual.(i))) rows;
+    !acc
+  in
+  if not (Q.equal cx value) then
+    fail "lp-strong-duality" "c^T x = %s but claimed value = %s" (q_to_string cx)
+      (q_to_string value)
+  else if not (Q.equal by value) then
+    fail "lp-strong-duality" "b^T y = %s but claimed value = %s" (q_to_string by)
+      (q_to_string value)
+  else Ok ()
+
+let certify_ilp (problem : Simplex.problem) ~(value : Q.t) ~(assignment : int array) =
+  let n = problem.Simplex.num_vars in
+  let* () =
+    if Array.length assignment <> n then
+      fail "ilp-shape" "assignment has %d entries, want %d" (Array.length assignment) n
+    else Ok ()
+  in
+  let* () =
+    let bad = ref None in
+    Array.iteri (fun j x -> if !bad = None && x < 0 then bad := Some j) assignment;
+    match !bad with
+    | Some j -> fail "ilp-feasible" "x_%d = %d < 0" j assignment.(j)
+    | None -> Ok ()
+  in
+  let xq = Array.map Q.of_int assignment in
+  let* () =
+    let bad = ref None in
+    List.iteri
+      (fun i (coeffs, op, rhs) ->
+        if !bad = None then begin
+          let lhs = dot coeffs xq in
+          let ok =
+            match op with
+            | Simplex.Le -> Q.compare lhs rhs <= 0
+            | Simplex.Ge -> Q.compare lhs rhs >= 0
+            | Simplex.Eq -> Q.equal lhs rhs
+          in
+          if not ok then bad := Some (i, lhs, rhs)
+        end)
+      problem.Simplex.constraints;
+    match !bad with
+    | Some (i, lhs, rhs) ->
+      fail "ilp-feasible" "row %d violated: lhs %s vs rhs %s" i (q_to_string lhs)
+        (q_to_string rhs)
+    | None -> Ok ()
+  in
+  let cx = dot problem.Simplex.objective xq in
+  if not (Q.equal cx value) then
+    fail "ilp-objective" "c^T x = %s but claimed value = %s" (q_to_string cx)
+      (q_to_string value)
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* IPET cross-check: certify that the DAG longest-path tau_w equals the
+   optimum of the independent flow model. *)
+
+let certify_ipet ?deadline (w : Wcet.t) =
+  let problem, _n = Ipet.build w in
+  let tau_q = Q.of_int w.Wcet.tau in
+  match Simplex.maximize ?deadline problem with
+  | Simplex.Infeasible -> fail "ipet-lp" "flow relaxation infeasible"
+  | Simplex.Unbounded -> fail "ipet-lp" "flow relaxation unbounded"
+  | Simplex.Optimal sol ->
+    let* () = certify_lp problem sol in
+    if Q.compare tau_q sol.Simplex.value > 0 then
+      fail "ipet-upper-bound" "tau_w = %d exceeds the certified LP optimum %s"
+        w.Wcet.tau
+        (q_to_string sol.Simplex.value)
+    else if Q.equal sol.Simplex.value tau_q then Ok ()
+    else begin
+      (* Integrality gap at the root: fall back to the exact ILP and
+         require agreement (two independent algorithms, one answer). *)
+      match Ilp.maximize ?deadline problem with
+      | Ilp.Infeasible -> fail "ipet-ilp" "flow model infeasible"
+      | Ilp.Unbounded -> fail "ipet-ilp" "flow model unbounded"
+      | Ilp.Optimal { value; assignment } ->
+        let* () = certify_ilp problem ~value ~assignment in
+        if Q.equal value tau_q then Ok ()
+        else
+          fail "ipet-ilp-agreement" "tau_w = %d but the ILP optimum is %s" w.Wcet.tau
+            (q_to_string value)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* WCET witness replay *)
+
+let cycles_of model cls =
+  if Classification.is_wcet_miss cls then
+    model.Cacti.hit_cycles + model.Cacti.miss_penalty
+  else model.Cacti.hit_cycles
+
+exception Replay_abort
+
+let replay_witness ?(seed = 42) (w : Wcet.t) =
+  let analysis = w.Wcet.analysis in
+  let vivu = Analysis.vivu analysis in
+  let program = Vivu.program vivu in
+  let config = Analysis.config analysis in
+  let policy = Analysis.policy analysis in
+  let model = w.Wcet.model in
+  let path = w.Wcet.path in
+  let len = Array.length path in
+  let block_of id = (Vivu.node vivu id).Vivu.block in
+  (* Structural validity: the witness must be a real walk of the
+     expanded DAG, which by VIVU construction projects to a real CFG
+     execution — entry first, DAG edges between steps, terminators
+     agreeing with the projected block sequence, a reachable exit
+     last. *)
+  let* () =
+    if len = 0 then fail "witness-path" "empty path"
+    else if path.(0) <> Vivu.entry vivu then
+      fail "witness-path" "does not start at the entry node"
+    else Ok ()
+  in
+  let* () =
+    let bad = ref None in
+    for i = 0 to len - 2 do
+      if !bad = None then begin
+        let u = path.(i) and v = path.(i + 1) in
+        if not (List.mem v (Vivu.dag_succ vivu u)) then
+          bad := Some (Printf.sprintf "step %d: no DAG edge %d -> %d" i u v)
+        else begin
+          let b = Program.block program (block_of u) in
+          let ok =
+            match b.Program.term with
+            | Program.Fallthrough t | Program.Jump { target = t; _ } ->
+              block_of v = t
+            | Program.Cond { taken; fallthrough; _ } ->
+              block_of v = taken || block_of v = fallthrough
+            | Program.Return _ -> false
+          in
+          if not ok then
+            bad :=
+              Some
+                (Printf.sprintf "step %d: block %d cannot fall to block %d" i
+                   (block_of u) (block_of v))
+        end
+      end
+    done;
+    match !bad with Some msg -> fail "witness-path" "%s" msg | None -> Ok ()
+  in
+  let* () =
+    if not (List.mem path.(len - 1) (Vivu.exit_nodes vivu)) then
+      fail "witness-path" "does not end at an exit node"
+    else Ok ()
+  in
+  (* n_w / on_path bookkeeping the optimizer and reports rely on. *)
+  let* () =
+    let on = Array.make (Vivu.node_count vivu) false in
+    Array.iter (fun id -> on.(id) <- true) path;
+    let bad = ref None in
+    for id = 0 to Vivu.node_count vivu - 1 do
+      if !bad = None then begin
+        if w.Wcet.on_path.(id) <> on.(id) then
+          bad := Some (Printf.sprintf "on_path.(%d) disagrees with the path" id)
+        else begin
+          let want = if on.(id) then Vivu.mult vivu id else 0 in
+          if w.Wcet.n_w.(id) <> want then
+            bad := Some (Printf.sprintf "n_w.(%d) = %d, want %d" id w.Wcet.n_w.(id) want)
+        end
+      end
+    done;
+    match !bad with Some msg -> fail "witness-counts" "%s" msg | None -> Ok ()
+  in
+  (* Abstract re-derivation of tau_w: sum the per-slot WCET charges
+     along the witness from the classifications and the timing model
+     alone, without trusting slot_cycles/node_cycles. *)
+  let* () =
+    let tau' = ref 0 in
+    Array.iter
+      (fun id ->
+        let mult = Vivu.mult vivu id in
+        for pos = 0 to Program.slots program (block_of id) - 1 do
+          tau' := !tau' + (mult * cycles_of model (Analysis.classif analysis ~node:id ~pos))
+        done)
+      path;
+    if !tau' <> w.Wcet.tau then
+      fail "witness-tau" "path charges re-derive to %d, claimed tau_w = %d" !tau'
+        w.Wcet.tau
+    else Ok ()
+  in
+  (* Concrete replay: force the simulator down the witness and check
+     every Always-Hit (resp. Always-Miss) classification against the
+     concrete cache state, per policy. *)
+  let refs = Wcet.path_refs w in
+  let n_refs = Array.length refs in
+  let decisions = Queue.create () in
+  for i = 0 to len - 2 do
+    match (Program.block program (block_of path.(i))).Program.term with
+    | Program.Cond { taken; _ } ->
+      Queue.add (block_of path.(i), block_of path.(i + 1) = taken) decisions
+    | _ -> ()
+  done;
+  let err = ref None in
+  let abort msg =
+    if !err = None then err := Some msg;
+    raise Replay_abort
+  in
+  let idx = ref 0 in
+  let on_fetch ~block ~pos ~hit =
+    if !idx >= n_refs then
+      abort
+        (Printf.sprintf "witness-refs: fetch %d of (%d,%d) beyond the %d witness refs"
+           !idx block pos n_refs);
+    let node, wpos = refs.(!idx) in
+    if block_of node <> block || wpos <> pos then
+      abort
+        (Printf.sprintf
+           "witness-refs: fetch %d at (%d,%d) but the witness expects (%d,%d)" !idx
+           block pos (block_of node) wpos);
+    (match Analysis.classif analysis ~node ~pos with
+    | Classification.Always_hit ->
+      if not hit then
+        abort
+          (Printf.sprintf
+             "always-hit: slot (%d,%d) classified Always_hit missed concretely under %s"
+             block pos
+             (Ucp_policy.to_string policy))
+    | Classification.Always_miss ->
+      if hit then
+        abort
+          (Printf.sprintf
+             "always-miss: slot (%d,%d) classified Always_miss hit concretely under %s"
+             block pos
+             (Ucp_policy.to_string policy))
+    | Classification.Not_classified -> ());
+    incr idx
+  in
+  let branch_oracle block =
+    if Queue.is_empty decisions then
+      abort (Printf.sprintf "witness-branches: block %d branches beyond the witness" block);
+    let b, d = Queue.pop decisions in
+    if b <> block then
+      abort
+        (Printf.sprintf "witness-branches: conditional at block %d, witness expects %d"
+           block b);
+    d
+  in
+  let stats =
+    try Ok (Simulator.run ~seed ~policy ~on_fetch ~branch_oracle program config model)
+    with
+    | Replay_abort ->
+      Error (match !err with Some m -> m | None -> "witness-replay: aborted")
+    | Failure msg -> Error ("witness-replay: " ^ msg)
+  in
+  let* stats = stats in
+  let* () = match !err with Some msg -> Error msg | None -> Ok () in
+  let* () =
+    if !idx <> n_refs then
+      fail "witness-refs" "replay fetched %d of %d witness references" !idx n_refs
+    else if not (Queue.is_empty decisions) then
+      fail "witness-branches" "%d witness branch decisions left unconsumed"
+        (Queue.length decisions)
+    else Ok ()
+  in
+  (* Bound direction: the concrete cost of the witness execution may
+     not exceed the abstract bound, and late-prefetch stalls may not
+     exceed the residual charge (the d >= Lambda effectiveness
+     obligation; exact when the residual is zero). *)
+  let bound = Wcet.tau_with_residual w in
+  let residual = Wcet.residual_prefetch_stall w in
+  if stats.Simulator.counts.Ucp_energy.Account.cycles > bound then
+    fail "witness-tau-bound" "replayed witness cost %d cycles, bound is %d"
+      stats.Simulator.counts.Ucp_energy.Account.cycles bound
+  else if stats.Simulator.late_prefetch_stall_cycles > residual then
+    fail "prefetch-effectiveness" "witness stalled %d cycles on prefetches, residual charge is %d"
+      stats.Simulator.late_prefetch_stall_cycles residual
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer audit trail *)
+
+let audit_trail ~(original : Wcet.t) ~(optimized : Wcet.t)
+    (r : Optimizer.result) =
+  (* Endpoints re-derived from independent analyses: the optimizer's
+     claimed before/after figures must match without trusting its
+     arithmetic.  tau_with_residual and miss_count_bound are invariant
+     under with_may, so the pipeline's may-enabled analyses re-derive
+     the optimizer's may-free inner figures exactly. *)
+  let tau0 = Wcet.tau_with_residual original in
+  let tau1 = Wcet.tau_with_residual optimized in
+  let m0 = Analysis.miss_count_bound original.Wcet.analysis in
+  let m1 = Analysis.miss_count_bound optimized.Wcet.analysis in
+  let* () =
+    if r.Optimizer.tau_before <> tau0 then
+      fail "optimizer-tau-before" "claimed %d, independent analysis derives %d"
+        r.Optimizer.tau_before tau0
+    else Ok ()
+  in
+  let* () =
+    if r.Optimizer.tau_after <> tau1 then
+      fail "optimizer-tau-after" "claimed %d, independent analysis derives %d"
+        r.Optimizer.tau_after tau1
+    else Ok ()
+  in
+  let* () =
+    if tau1 > tau0 then
+      fail "theorem-1" "tau_w grew from %d to %d" tau0 tau1
+    else Ok ()
+  in
+  (* Equation 5-9 / Theorem 1 per accepted round, chained so the claims
+     connect the independent endpoints without gaps. *)
+  let trail = r.Optimizer.trail in
+  let* () =
+    match trail with
+    | [] ->
+      if r.Optimizer.insertions <> [] then
+        fail "optimizer-trail" "%d insertions but an empty audit trail"
+          (List.length r.Optimizer.insertions)
+      else if tau1 <> tau0 then
+        fail "optimizer-trail" "no accepted round but tau changed %d -> %d" tau0 tau1
+      else Ok ()
+    | first :: _ ->
+      let rec chain i prev = function
+        | [] -> Ok ()
+        | (rd : Optimizer.round) :: tl ->
+          let* () =
+            match prev with
+            | Some (pt, pm) ->
+              if rd.Optimizer.round_tau_before <> pt then
+                fail "optimizer-trail" "round %d tau_before %d breaks the chain (prev after %d)"
+                  i rd.Optimizer.round_tau_before pt
+              else if rd.Optimizer.round_misses_before <> pm then
+                fail "optimizer-trail" "round %d misses_before %d breaks the chain (prev after %d)"
+                  i rd.Optimizer.round_misses_before pm
+              else Ok ()
+            | None -> Ok ()
+          in
+          let* () =
+            if rd.Optimizer.round_tau_after > rd.Optimizer.round_tau_before then
+              fail "eq5-9-acceptance" "round %d grew tau %d -> %d" i
+                rd.Optimizer.round_tau_before rd.Optimizer.round_tau_after
+            else if
+              rd.Optimizer.round_misses_after >= rd.Optimizer.round_misses_before
+              && rd.Optimizer.round_tau_after >= rd.Optimizer.round_tau_before
+            then
+              fail "eq5-9-acceptance"
+                "round %d improves neither the miss bound (%d -> %d) nor tau (%d -> %d)"
+                i rd.Optimizer.round_misses_before rd.Optimizer.round_misses_after
+                rd.Optimizer.round_tau_before rd.Optimizer.round_tau_after
+            else if rd.Optimizer.round_insertions = [] then
+              fail "optimizer-trail" "round %d accepted no insertion" i
+            else Ok ()
+          in
+          chain (i + 1)
+            (Some (rd.Optimizer.round_tau_after, rd.Optimizer.round_misses_after))
+            tl
+      in
+      let* () =
+        if first.Optimizer.round_tau_before <> tau0 then
+          fail "optimizer-trail" "first round tau_before %d, independent analysis derives %d"
+            first.Optimizer.round_tau_before tau0
+        else if first.Optimizer.round_misses_before <> m0 then
+          fail "optimizer-trail" "first round misses_before %d, independent analysis derives %d"
+            first.Optimizer.round_misses_before m0
+        else Ok ()
+      in
+      let* () = chain 0 None trail in
+      let last = List.nth trail (List.length trail - 1) in
+      if last.Optimizer.round_tau_after <> tau1 then
+        fail "optimizer-trail" "last round tau_after %d, independent analysis derives %d"
+          last.Optimizer.round_tau_after tau1
+      else if last.Optimizer.round_misses_after <> m1 then
+        fail "optimizer-trail" "last round misses_after %d, independent analysis derives %d"
+          last.Optimizer.round_misses_after m1
+      else Ok ()
+  in
+  (* Every accepted prefetch must be materialized in the final program
+     exactly as recorded (mcost - pcost > 0 admitted it, Equation 9). *)
+  let* () =
+    let bad = ref None in
+    List.iter
+      (fun (ins : Optimizer.insertion) ->
+        if !bad = None && ins.Optimizer.est_gain <= 0 then
+          bad :=
+            Some
+              (Printf.sprintf "prefetch %d admitted with nonpositive gain %d"
+                 ins.Optimizer.prefetch_uid ins.Optimizer.est_gain))
+      r.Optimizer.insertions;
+    match !bad with Some msg -> fail "mcost-pcost" "%s" msg | None -> Ok ()
+  in
+  let* () =
+    let bad = ref None in
+    List.iter
+      (fun (rd : Optimizer.round) ->
+        List.iter
+          (fun (pf_uid, target_uid) ->
+            if !bad = None then
+              match Program.find_uid r.Optimizer.program pf_uid with
+              | None ->
+                bad := Some (Printf.sprintf "prefetch uid %d absent from the program" pf_uid)
+              | Some (block, pos) -> (
+                let instr = Program.slot_instr r.Optimizer.program ~block ~pos in
+                match instr.Instr.kind with
+                | Instr.Prefetch t when t = target_uid -> ()
+                | Instr.Prefetch t ->
+                  bad :=
+                    Some
+                      (Printf.sprintf "prefetch uid %d targets %d, trail says %d" pf_uid
+                         t target_uid)
+                | Instr.Compute ->
+                  bad :=
+                    Some (Printf.sprintf "uid %d is not a prefetch instruction" pf_uid)))
+          rd.Optimizer.round_insertions)
+      trail;
+    match !bad with Some msg -> fail "optimizer-materialized" "%s" msg | None -> Ok ()
+  in
+  let trail_count =
+    List.fold_left (fun acc (rd : Optimizer.round) ->
+        acc + List.length rd.Optimizer.round_insertions)
+      0 trail
+  in
+  let* () =
+    if trail_count <> List.length r.Optimizer.insertions then
+      fail "optimizer-trail" "trail records %d insertions, result lists %d" trail_count
+        (List.length r.Optimizer.insertions)
+    else Ok ()
+  in
+  if not (Program.prefetch_equivalent r.Optimizer.original r.Optimizer.program) then
+    fail "prefetch-equivalent" "optimized program is not prefetch-equivalent to the original"
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* One-case orchestration *)
+
+type verdict = { checks : int; seconds : float }
+
+let audit_case ?deadline ?seed ?(corrupt = false) ~(original : Wcet.t)
+    ~(optimized : Wcet.t) (r : Optimizer.result) =
+  let t0 = Unix.gettimeofday () in
+  (* Fault-injection hook: perturb one certificate field (the claimed
+     optimized tau) so the audit must catch the corruption. *)
+  let r =
+    if corrupt then { r with Optimizer.tau_after = r.Optimizer.tau_after + 1 } else r
+  in
+  let result =
+    let* () = certify_ipet ?deadline original in
+    let* () = certify_ipet ?deadline optimized in
+    let* () = replay_witness ?seed original in
+    let* () = replay_witness ?seed optimized in
+    let* () = audit_trail ~original ~optimized r in
+    Ok ()
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  match result with
+  | Ok () -> Ok { checks = 5; seconds }
+  | Error msg -> Error msg

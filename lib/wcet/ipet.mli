@@ -13,10 +13,16 @@ type result = {
   counts : int array;  (** per expanded node: n_w in the ILP optimum *)
 }
 
+val build : Wcet.t -> Ucp_lp.Simplex.problem * int
+(** The raw IPET flow problem over the expanded graph, plus the number
+    of node variables [n] (variables [0..n-1] are per-node counts; edge,
+    entry and exit flows follow).  Exposed so an independent checker
+    ({!Ucp_verify}) can certify solver answers against the model. *)
+
 val solve : ?deadline:Ucp_util.Deadline.t -> Wcet.t -> result
 (** Build and solve the IPET ILP for the analyzed program.
-    @raise Failure if the solver exhausts its node budget (malformed
-    model). *)
+    @raise Ucp_lp.Ilp.Node_budget_exhausted if the solver exhausts its
+    branch-and-bound node budget (malformed model). *)
 
 val agrees_with_longest_path : Wcet.t -> bool
 (** [true] iff the ILP optimum equals the longest-path τ_w. *)

@@ -331,6 +331,59 @@ let test_sweep_demotes_invariant_violation () =
           (List.length s.Parallel.records)
       | _ -> Alcotest.fail "expected [fft1 Invariant_violation; crc Ok]")
 
+(* certification audit threaded through the sweep: every record of an
+   audited run carries a verdict, un-audited runs stay Not_audited *)
+let test_sweep_audit_full () =
+  let programs, configs, techs = tiny_grid () in
+  let s =
+    Parallel.sweep ~programs ~configs ~techs ~jobs:2 ~audit:Ucp_verify.Full ()
+  in
+  Alcotest.(check int) "audited grid is clean" 2 (List.length s.Parallel.records);
+  List.iter
+    (fun r ->
+      match r.Experiments.audit with
+      | Pipeline.Audited { checks; seconds } ->
+        Alcotest.(check int) "five obligations per case" 5 checks;
+        Alcotest.(check bool) "non-negative audit cost" true (seconds >= 0.0)
+      | Pipeline.Not_audited -> Alcotest.fail "audited sweep left a record unaudited")
+    s.Parallel.records;
+  let s0 = Parallel.sweep ~programs ~configs ~techs ~jobs:2 () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "default sweep is not audited" true
+        (r.Experiments.audit = Pipeline.Not_audited))
+    s0.Parallel.records
+
+(* a corrupt-cert fault must be caught by the audit and demoted to an
+   invariant violation naming the failed obligation *)
+let test_sweep_audit_demotes_corrupt_cert () =
+  let programs, configs, techs = tiny_grid () in
+  with_faults
+    [ ("fft1:a:45nm:lru", Fault.Corrupt_cert) ]
+    (fun () ->
+      let s =
+        Parallel.sweep ~programs ~configs ~techs ~jobs:2
+          ~audit:Ucp_verify.Full ()
+      in
+      match s.Parallel.results with
+      | [ ("fft1:a:45nm:lru", Outcome.Invariant_violation msg); (_, Outcome.Ok _) ] ->
+        Alcotest.(check bool) "names the audit obligation" true
+          (Ucp_testlib.contains ~substring:"audit: optimizer-tau-after" msg);
+        Alcotest.(check int) "corrupt record not reported" 1
+          (List.length s.Parallel.records)
+      | _ -> Alcotest.fail "expected [fft1 Invariant_violation; crc Ok]")
+
+(* a corrupt-cert fault without the audit passes silently: the fault
+   only perturbs the certificate, not the measurements *)
+let test_sweep_corrupt_cert_needs_audit () =
+  let programs, configs, techs = tiny_grid () in
+  with_faults
+    [ ("fft1:a:45nm:lru", Fault.Corrupt_cert) ]
+    (fun () ->
+      let s = Parallel.sweep ~programs ~configs ~techs ~jobs:2 () in
+      Alcotest.(check int) "un-audited sweep misses the corruption" 2
+        (List.length s.Parallel.records))
+
 let test_sweep_rejects_bad_timeout () =
   Alcotest.(check bool) "timeout 0 rejected" true
     (try
@@ -348,9 +401,19 @@ let test_fault_env_parsing () =
           (match Fault.find "y" with
           | Some (Fault.Stall s) -> Alcotest.(check (float 1e-9)) "stall secs" 0.5 s
           | _ -> Alcotest.fail "y should be Stall");
-          match Fault.find "z" with
+          (match Fault.find "z" with
           | Some (Fault.Corrupt_tau 42) -> ()
-          | _ -> Alcotest.fail "z should be Corrupt_tau 42"));
+          | _ -> Alcotest.fail "z should be Corrupt_tau 42")));
+  with_env "UCP_FAULT" "w=corrupt-cert" (fun () ->
+      Fun.protect ~finally:Fault.clear (fun () ->
+          Fault.load_env ();
+          (match Fault.find "w" with
+          | Some Fault.Corrupt_cert -> ()
+          | _ -> Alcotest.fail "w should be Corrupt_cert");
+          Alcotest.(check bool) "corrupt_cert fires for w" true
+            (Fault.corrupt_cert "w");
+          Alcotest.(check bool) "corrupt_cert quiet elsewhere" false
+            (Fault.corrupt_cert "v")));
   List.iter
     (fun bad ->
       with_env "UCP_FAULT" bad (fun () ->
@@ -379,6 +442,24 @@ let test_checkpoint_record_roundtrip () =
         | None -> Alcotest.fail "record_line should parse back")
       | _ -> Alcotest.fail "tiny grid should be fault-free")
     s.Parallel.results;
+  (* audited records round-trip with their verdict; a journal written
+     before the audit fields existed still parses (as Not_audited) *)
+  let sa =
+    Parallel.sweep ~programs ~configs ~techs ~jobs:1 ~audit:Ucp_verify.Full ()
+  in
+  List.iter
+    (fun (id, o) ->
+      match o with
+      | Outcome.Ok r -> (
+        Alcotest.(check bool) "audited sweep record carries a verdict" true
+          (r.Experiments.audit <> Pipeline.Not_audited);
+        match Checkpoint.parse_line (Checkpoint.record_line ~id r) with
+        | Some (_, r') ->
+          Alcotest.(check bool) "audited record round-trips bit for bit" true
+            (r = r')
+        | None -> Alcotest.fail "audited record_line should parse back")
+      | _ -> Alcotest.fail "audited tiny grid should be fault-free")
+    sa.Parallel.results;
   Alcotest.(check bool) "malformed line rejected" true
     (Checkpoint.parse_line "{\"case\":\"tr" = None)
 
@@ -554,6 +635,12 @@ let () =
             test_sweep_times_out_stalled_case;
           Alcotest.test_case "sweep demotes invariant violation" `Quick
             test_sweep_demotes_invariant_violation;
+          Alcotest.test_case "sweep audit certifies every record" `Quick
+            test_sweep_audit_full;
+          Alcotest.test_case "sweep audit demotes corrupt certificate" `Quick
+            test_sweep_audit_demotes_corrupt_cert;
+          Alcotest.test_case "corrupt certificate needs the audit" `Quick
+            test_sweep_corrupt_cert_needs_audit;
           Alcotest.test_case "sweep rejects bad timeout" `Quick
             test_sweep_rejects_bad_timeout;
           Alcotest.test_case "UCP_FAULT parsing" `Quick test_fault_env_parsing;

@@ -89,7 +89,7 @@ let test_simplex_basic () =
         ([| Q.zero; Q.one |], Simplex.Le, qi 3);
       ]
   with
-  | Simplex.Optimal { value; assignment } ->
+  | Simplex.Optimal { value; assignment; _ } ->
     Alcotest.check q_testable "value" (qi 7) value;
     Alcotest.check q_testable "x" (qi 4) assignment.(0);
     Alcotest.check q_testable "y" (qi 3) assignment.(1)
@@ -209,7 +209,7 @@ let test_simplex_equality_only () =
         ([| Q.zero; Q.one |], Simplex.Eq, qi 3);
       ]
   with
-  | Simplex.Optimal { value; assignment } ->
+  | Simplex.Optimal { value; assignment; _ } ->
     Alcotest.check q_testable "value" (qi (-1)) value;
     Alcotest.check q_testable "x" (qi 2) assignment.(0);
     Alcotest.check q_testable "y" (qi 3) assignment.(1)
@@ -341,6 +341,158 @@ let prop_ilp_assignment_feasible =
         && Array.for_all (fun x -> x >= 0) assignment
       | Ilp.Infeasible | Ilp.Unbounded -> true)
 
+(* ------------------------------------------------------------------ *)
+(* certification: every Optimal answer carries a dual certificate the
+   independent checker must accept, and corrupted certificates must be
+   rejected *)
+
+module Verify = Ucp_verify
+
+let certify ?minimize p = function
+  | Simplex.Optimal sol -> (
+    match Verify.certify_lp ?minimize p sol with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "certificate rejected: %s" msg)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_certificates_known () =
+  let p1 =
+    {
+      Simplex.num_vars = 2;
+      objective = [| Q.one; Q.one |];
+      constraints =
+        [
+          ([| Q.one; Q.zero |], Simplex.Le, qi 4);
+          ([| Q.zero; Q.one |], Simplex.Le, qi 3);
+        ];
+    }
+  in
+  certify p1 (Simplex.maximize p1);
+  let p2 =
+    {
+      Simplex.num_vars = 2;
+      objective = [| Q.one; Q.zero |];
+      constraints =
+        [
+          ([| Q.one; Q.one |], Simplex.Eq, qi 5);
+          ([| Q.one; Q.zero |], Simplex.Ge, qi 2);
+          ([| Q.zero; Q.one |], Simplex.Ge, qi 1);
+        ];
+    }
+  in
+  certify p2 (Simplex.maximize p2);
+  (* a negative rhs flips the row during normalization; the extracted
+     dual must be flipped back *)
+  let p3 =
+    {
+      Simplex.num_vars = 1;
+      objective = [| Q.neg Q.one |];
+      constraints = [ ([| Q.neg Q.one |], Simplex.Le, qi (-3)) ];
+    }
+  in
+  certify p3 (Simplex.maximize p3);
+  let p4 =
+    {
+      Simplex.num_vars = 1;
+      objective = [| Q.one |];
+      constraints = [ ([| Q.one |], Simplex.Ge, qi 2) ];
+    }
+  in
+  certify ~minimize:true p4 (Simplex.minimize p4)
+
+let test_corrupted_certificates_rejected () =
+  let p =
+    {
+      Simplex.num_vars = 2;
+      objective = [| qi 3; qi 2 |];
+      constraints =
+        [
+          ([| Q.one; Q.one |], Simplex.Le, qi 4);
+          ([| Q.one; qi 3 |], Simplex.Le, qi 6);
+        ];
+    }
+  in
+  match Simplex.maximize p with
+  | Simplex.Optimal sol ->
+    let reject field mutated =
+      match Verify.certify_lp p mutated with
+      | Error msg ->
+        Alcotest.(check bool)
+          (field ^ " names an lp obligation")
+          true
+          (String.length msg >= 3 && String.sub msg 0 3 = "lp-")
+      | Ok () -> Alcotest.failf "corrupted %s accepted" field
+    in
+    reject "dual"
+      { sol with Simplex.dual = Array.map (fun y -> Q.add y Q.one) sol.Simplex.dual };
+    reject "value" { sol with Simplex.value = Q.add sol.Simplex.value Q.one };
+    reject "assignment"
+      {
+        sol with
+        Simplex.assignment =
+          Array.map (fun x -> Q.add x Q.one) sol.Simplex.assignment;
+      }
+  | _ -> Alcotest.fail "expected optimal"
+
+(* general LPs: mixed operators, signed coefficients and rhs — the
+   outcome may be optimal, infeasible or unbounded, and every optimal
+   answer must certify *)
+let gen_general_lp =
+  QCheck2.Gen.(
+    let* n = int_range 1 4 in
+    let* c = array_repeat n (map Q.of_int (int_range (-5) 5)) in
+    let* rows = int_range 1 4 in
+    let* constraints =
+      list_repeat rows
+        (let* coeffs = array_repeat n (map Q.of_int (int_range (-4) 4)) in
+         let* op = oneofl [ Simplex.Le; Simplex.Ge; Simplex.Eq ] in
+         let* rhs = map Q.of_int (int_range (-10) 12) in
+         return (coeffs, op, rhs))
+    in
+    return { Simplex.num_vars = n; objective = c; constraints })
+
+let prop_lp_certified =
+  QCheck2.Test.make ~name:"every optimal maximize answer certifies" ~count:300
+    gen_general_lp (fun p ->
+      match Simplex.maximize p with
+      | Simplex.Optimal sol -> Result.is_ok (Verify.certify_lp p sol)
+      | Simplex.Infeasible | Simplex.Unbounded -> true)
+
+let prop_lp_minimize_certified =
+  QCheck2.Test.make ~name:"every optimal minimize answer certifies" ~count:300
+    gen_general_lp (fun p ->
+      match Simplex.minimize p with
+      | Simplex.Optimal sol -> Result.is_ok (Verify.certify_lp ~minimize:true p sol)
+      | Simplex.Infeasible | Simplex.Unbounded -> true)
+
+let prop_ilp_certified =
+  QCheck2.Test.make ~name:"every optimal ILP answer certifies" ~count:150
+    gen_general_lp (fun p ->
+      match Ilp.maximize p with
+      | Ilp.Optimal { value; assignment } ->
+        Result.is_ok (Verify.certify_ilp p ~value ~assignment)
+      | Ilp.Infeasible | Ilp.Unbounded -> true
+      | exception Ilp.Node_budget_exhausted _ -> true)
+
+let test_node_budget_exhausted () =
+  (* the knapsack relaxation is fractional, so branch & bound needs at
+     least one node: a zero budget must raise, not return a wrong answer *)
+  let p =
+    {
+      Simplex.num_vars = 2;
+      objective = [| qi 5; qi 4 |];
+      constraints = [ ([| qi 6; qi 5 |], Simplex.Le, qi 10) ];
+    }
+  in
+  (try
+     ignore (Ilp.maximize ~max_nodes:0 p);
+     Alcotest.fail "expected Node_budget_exhausted"
+   with Ilp.Node_budget_exhausted n ->
+     Alcotest.(check bool) "node count positive" true (n >= 1));
+  let printed = Printexc.to_string (Ilp.Node_budget_exhausted 7) in
+  Alcotest.(check bool) "registered printer" true
+    (printed = "Ilp.Node_budget_exhausted: 7 branch-and-bound nodes")
+
 let () =
   Alcotest.run "ucp_lp"
     [
@@ -377,7 +529,17 @@ let () =
           Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
           Alcotest.test_case "infeasible" `Quick test_ilp_infeasible;
           Alcotest.test_case "deadline" `Quick test_ilp_deadline;
+          Alcotest.test_case "node budget" `Quick test_node_budget_exhausted;
           QCheck_alcotest.to_alcotest prop_ilp_below_lp;
           QCheck_alcotest.to_alcotest prop_ilp_assignment_feasible;
+        ] );
+      ( "certification",
+        [
+          Alcotest.test_case "known problems certify" `Quick test_certificates_known;
+          Alcotest.test_case "corrupted certificates rejected" `Quick
+            test_corrupted_certificates_rejected;
+          QCheck_alcotest.to_alcotest prop_lp_certified;
+          QCheck_alcotest.to_alcotest prop_lp_minimize_certified;
+          QCheck_alcotest.to_alcotest prop_ilp_certified;
         ] );
     ]

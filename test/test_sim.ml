@@ -241,6 +241,46 @@ let test_fifo_policy_runs () =
   Alcotest.(check bool) "fifo not better than lru here" true
     (fifo.Simulator.counts.Account.misses >= lru.Simulator.counts.Account.misses)
 
+(* ------------------------------------------------------------------ *)
+(* branch oracle: the witness-replay hook overrides every conditional *)
+
+let test_branch_oracle_forces_path () =
+  (* a single conditional, no loop latch: a constant oracle picks one
+     arm without ever consulting the seeded branch model *)
+  let p =
+    Dsl.compile ~name:"bo" [ Dsl.if_ ~p:0.5 [ Dsl.compute 9 ] [ Dsl.compute 1 ] ]
+  in
+  let forced decision =
+    Simulator.run ~branch_oracle:(fun _block -> decision) p config model
+  in
+  let all_taken = forced true and none_taken = forced false in
+  (* the then-branch is 9 instructions, the else-branch 1: forcing the
+     oracle must change the instruction stream deterministically *)
+  Alcotest.(check bool) "taken path is longer" true
+    (all_taken.Simulator.executed > none_taken.Simulator.executed);
+  (* the oracle overrides the seeded Bernoulli model entirely: any two
+     seeds agree once the oracle decides *)
+  let again = forced true in
+  Alcotest.(check int) "oracle makes the run deterministic"
+    all_taken.Simulator.executed again.Simulator.executed
+
+let test_witness_replay_certifies () =
+  (* the full replay check, on the simulator's own test config: the
+     analysis witness drives the simulator and the bound holds, for
+     each policy *)
+  let p =
+    Dsl.compile ~name:"wr"
+      [ Dsl.compute 3; Dsl.loop 6 [ Dsl.if_ [ Dsl.compute 5 ] [ Dsl.compute 2 ] ] ]
+  in
+  List.iter
+    (fun policy ->
+      let w = Ucp_wcet.Wcet.compute ~with_may:true ~policy p config model in
+      match Ucp_verify.replay_witness w with
+      | Ok () -> ()
+      | Error msg ->
+        Alcotest.failf "%s: %s" (Ucp_policy.to_string policy) msg)
+    [ Ucp_policy.Lru; Ucp_policy.Fifo; Ucp_policy.Plru ]
+
 let prop_cycles_consistent =
   QCheck2.Test.make ~name:"cycle count >= executed instructions" ~count:150
     ~print:Ucp_testlib.print_program Ucp_testlib.gen_program (fun p ->
@@ -290,6 +330,11 @@ let () =
         ] );
       ( "policy",
         [ Alcotest.test_case "fifo runs" `Quick test_fifo_policy_runs ] );
+      ( "witness",
+        [
+          Alcotest.test_case "branch oracle" `Quick test_branch_oracle_forces_path;
+          Alcotest.test_case "replay certifies" `Quick test_witness_replay_certifies;
+        ] );
       ( "invariants",
         [
           QCheck_alcotest.to_alcotest prop_cycles_consistent;

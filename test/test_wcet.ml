@@ -208,6 +208,31 @@ let prop_sim_within_wcet_across_configs =
       let stats = Simulator.run p c model in
       Simulator.acet stats <= w.Wcet.tau)
 
+(* ------------------------------------------------------------------ *)
+(* witness replay: the certification layer must accept every genuine
+   analysis — the WCET path is a real execution whose replayed cost
+   stays within tau_w, under each replacement policy *)
+
+let test_witness_replay_policies () =
+  let p = Ucp_workloads.Suite.find "crc" in
+  let c = Config.make ~assoc:2 ~block_bytes:16 ~capacity:256 in
+  List.iter
+    (fun policy ->
+      let w = Wcet.compute ~with_may:true ~policy p c model in
+      match Ucp_verify.replay_witness w with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" (Ucp_policy.to_string policy) msg)
+    [ Ucp_policy.Lru; Ucp_policy.Fifo; Ucp_policy.Plru ]
+
+let prop_witness_replay =
+  QCheck2.Test.make ~name:"witness replay certifies random programs (all policies)"
+    ~count:60 ~print:Ucp_testlib.print_program Ucp_testlib.gen_program (fun p ->
+      List.for_all
+        (fun policy ->
+          let w = Wcet.compute ~with_may:true ~policy p config model in
+          Result.is_ok (Ucp_verify.replay_witness w))
+        [ Ucp_policy.Lru; Ucp_policy.Fifo; Ucp_policy.Plru ])
+
 let () =
   Alcotest.run "ucp_wcet"
     [
@@ -242,5 +267,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_sim_within_wcet;
           QCheck_alcotest.to_alcotest prop_sim_misses_within_bound;
           QCheck_alcotest.to_alcotest prop_sim_within_wcet_across_configs;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "replay on a suite case" `Quick
+            test_witness_replay_policies;
+          QCheck_alcotest.to_alcotest prop_witness_replay;
         ] );
     ]
