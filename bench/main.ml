@@ -110,6 +110,33 @@ let audit =
       prerr_endline ("bench: --audit: " ^ msg);
       exit 124)
 
+let trace_path =
+  (* --trace FILE on the command line wins over UCP_TRACE *)
+  match argv_opt "trace" with
+  | Some _ as v -> v
+  | None -> ( match Sys.getenv_opt "UCP_TRACE" with Some "" -> None | v -> v)
+
+let heartbeat =
+  (* --heartbeat SECS on the command line wins over UCP_HEARTBEAT *)
+  let spec =
+    match argv_opt "heartbeat" with
+    | Some _ as v -> v
+    | None -> (
+      match Sys.getenv_opt "UCP_HEARTBEAT" with Some "" -> None | v -> v)
+  in
+  match spec with
+  | None -> None
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some t when t > 0.0 -> Some t
+    | Some _ | None ->
+      prerr_endline ("bench: heartbeat " ^ s ^ ": expected positive seconds");
+      exit 124)
+
+(* tracing implies metrics so the exported spans and the counter table
+   describe the same run *)
+let metrics_on = trace_path <> None || Sys.getenv_opt "UCP_METRICS" = Some "1"
+
 (* ------------------------------------------------------------------ *)
 (* part 1: reproduction *)
 
@@ -219,9 +246,22 @@ let reproduce () =
   (match audit with
   | Ucp_verify.Off -> ()
   | m -> Printf.printf "  certification audit: %s\n%!" (Ucp_verify.mode_to_string m));
-  let progress ~done_ ~total =
-    if done_ = total || done_ mod 64 = 0 then
-      Printf.eprintf "\r[sweep] %d/%d%!" done_ total
+  (* per-policy progress line: completion, throughput and run-rate ETA,
+     refreshed every 16 cases (progress now arrives per case) *)
+  let make_progress () =
+    let t_start = wall_s () in
+    fun ~done_ ~total ->
+      if done_ = total || done_ mod 16 = 0 then begin
+        let elapsed = wall_s () -. t_start in
+        let rate = if elapsed > 0.0 then float_of_int done_ /. elapsed else 0.0 in
+        let eta =
+          if rate > 0.0 then
+            Printf.sprintf "%.0fs" (float_of_int (total - done_) /. rate)
+          else "?"
+        in
+        Printf.eprintf "\r[sweep] %d/%d | %.1f case/s | elapsed %.0fs | eta %s%!"
+          done_ total rate elapsed eta
+      end
   in
   (* probe before the (minutes-long) sweep so a bad UCP_SWEEP_OUT path
      fails immediately instead of discarding the finished run; the real
@@ -231,6 +271,15 @@ let reproduce () =
    with Sys_error msg ->
      prerr_endline ("bench: " ^ msg);
      exit 1);
+  (match trace_path with
+  | None -> ()
+  | Some path -> (
+    try close_out (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+    with Sys_error msg ->
+      prerr_endline ("bench: " ^ msg);
+      exit 1));
+  if metrics_on then Ucp_obs.Metrics.enable ();
+  if trace_path <> None then Ucp_obs.Trace.start ();
   let t0 = wall_s () in
   (* one sweep per policy so each slice's wall time is observable on its
      own; the concatenation covers the same grid as a single
@@ -240,49 +289,58 @@ let reproduce () =
       (fun p ->
         let tp = wall_s () in
         let s =
-          Parallel.sweep ~configs ~policies:[ p ] ~audit ~jobs ~progress
-            ?timeout ()
+          Parallel.sweep ~configs ~policies:[ p ] ~audit ~jobs
+            ~progress:(make_progress ()) ?heartbeat ?timeout ()
         in
         Printf.eprintf "\r%!";
         Printf.printf "  policy %-5s %d use cases in %.1fs wall\n%!"
           (Ucp_policy.to_string p) s.Parallel.cases (wall_s () -. tp);
+        if metrics_on then
+          print_string (Report.worker_table ~wall_s:s.Parallel.wall_s s.Parallel.workers);
         s)
       policies
   in
+  Ucp_obs.Trace.stop ();
+  (match trace_path with
+  | None -> ()
+  | Some path ->
+    Ucp_obs.Trace.export path;
+    Printf.printf "trace written to %s (%d spans)\n%!" path
+      (List.length (Ucp_obs.Trace.spans ())));
   let records = List.concat_map (fun s -> s.Parallel.records) sweeps in
   let results = List.concat_map (fun s -> s.Parallel.results) sweeps in
   let failures = List.concat_map (fun s -> s.Parallel.failures) sweeps in
   let some = List.hd sweeps in
-  let tm =
-    List.fold_left
-      (fun acc s ->
-        let t = s.Parallel.timings in
-        {
-          Pipeline.analysis_s = acc.Pipeline.analysis_s +. t.Pipeline.analysis_s;
-          optimize_s = acc.Pipeline.optimize_s +. t.Pipeline.optimize_s;
-          simulate_s = acc.Pipeline.simulate_s +. t.Pipeline.simulate_s;
-          audit_s = acc.Pipeline.audit_s +. t.Pipeline.audit_s;
-        })
-      { Pipeline.analysis_s = 0.0; optimize_s = 0.0; simulate_s = 0.0; audit_s = 0.0 }
-      sweeps
-  in
+  let tm = Pipeline.fresh_timings () in
+  List.iter (fun s -> Pipeline.add_timings tm s.Parallel.timings) sweeps;
   let sweep_wall =
     List.fold_left (fun acc s -> acc +. s.Parallel.wall_s) 0.0 sweeps
   in
   Printf.printf "sweep finished in %.1fs wall on %d worker%s\n"
     (wall_s () -. t0) some.Parallel.jobs (if some.Parallel.jobs = 1 then "" else "s");
-  Printf.printf
-    "  per-stage cost (summed over workers): analysis %.1fs | optimize %.1fs | simulate %.1fs | audit %.1fs\n\n%!"
-    tm.Pipeline.analysis_s tm.Pipeline.optimize_s tm.Pipeline.simulate_s
-    tm.Pipeline.audit_s;
+  print_string
+    (Report.stage_table
+       (List.map2
+          (fun p (s : Parallel.sweep) ->
+            (Ucp_policy.to_string p, s.Parallel.timings))
+          policies sweeps
+       @ (if List.length policies > 1 then [ ("total", tm) ] else [])));
+  print_newline ();
   if failures <> [] then begin
     print_string (Report.outcome_summary results);
     if List.length policies > 1 then
       print_string (Report.policy_outcome_summary ~policies results)
   end;
+  let metrics_dump = if metrics_on then Ucp_obs.Metrics.dump () else [] in
+  if metrics_dump <> [] then print_string (Report.metrics_table metrics_dump);
   Ucp_core.Checkpoint.write_atomic ~path:summary_path
-    (Report.sweep_jsonl ~wall_s:sweep_wall ~jobs:some.Parallel.jobs
-       ~timings:tm ~outcomes:results records);
+    (Report.sweep_jsonl ~wall_s:sweep_wall ~jobs:some.Parallel.jobs ~timings:tm
+       ~outcomes:results
+       ?metrics:(if metrics_dump = [] then None else Some metrics_dump)
+       records);
+  (* keep the identity guard and the micro-benchmarks out of the
+     reported counters *)
+  if metrics_on then Ucp_obs.Metrics.disable ();
   Printf.printf "per-use-case summary written to %s (%d records + summary line)\n\n%!"
     summary_path (List.length records);
   print_string (Report.all records);

@@ -382,7 +382,7 @@ let verify_cmd =
 
 let experiment_cmd =
   let run full figure jobs timeout checkpoint resume programs configs techs
-      policies audit =
+      policies audit trace heartbeat metrics sweep_out =
     (* fault-injection hooks for robustness testing: parsed up front so a
        typo in UCP_FAULT aborts before the sweep starts *)
     (try Ucp_core.Fault.load_env ()
@@ -445,15 +445,42 @@ let experiment_cmd =
     let progress ~done_ ~total =
       Printf.eprintf "\r[sweep] %d/%d use cases%!" done_ total
     in
+    (* probe output paths before the (possibly hours-long) sweep so a
+       bad --trace/--sweep-out path fails immediately instead of
+       discarding the finished run; the real writes are atomic or
+       whole-file, so an existing file is never left half-written *)
+    List.iter
+      (fun path ->
+        match path with
+        | None -> ()
+        | Some path -> (
+          try close_out (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+          with Sys_error msg ->
+            Printf.eprintf "ucp: %s\n" msg;
+            exit 124))
+      [ trace; sweep_out ];
+    (* tracing implies metrics so the exported spans and the counter
+       table describe the same run *)
+    let metrics_on = metrics || trace <> None in
+    if metrics_on then Ucp_obs.Metrics.enable ();
+    if trace <> None then Ucp_obs.Trace.start ();
     let s =
       try
         Ucp_core.Parallel.sweep ~programs ~configs ?techs ~policies ~audit
-          ~jobs ~progress ?timeout ?checkpoint ~resume ()
+          ~jobs ~progress ?heartbeat ?timeout ?checkpoint ~resume ()
       with Failure msg ->
         (* e.g. resuming against a journal for a different grid *)
         Printf.eprintf "ucp: %s\n" msg;
         exit 2
     in
+    Ucp_obs.Trace.stop ();
+    (match trace with
+    | None -> ()
+    | Some path ->
+      Ucp_obs.Trace.export path;
+      Printf.eprintf "[trace] %d spans -> %s\n%!"
+        (List.length (Ucp_obs.Trace.spans ()))
+        path);
     Printf.eprintf "\r[sweep] %d use cases on %d worker%s in %.1fs wall\n%!"
       s.Ucp_core.Parallel.cases s.Ucp_core.Parallel.jobs
       (if s.Ucp_core.Parallel.jobs = 1 then "" else "s")
@@ -463,6 +490,21 @@ let experiment_cmd =
         s.Ucp_core.Parallel.resumed
         (if s.Ucp_core.Parallel.resumed = 1 then "" else "s");
     let records = s.Ucp_core.Parallel.records in
+    let metrics_dump = if metrics_on then Ucp_obs.Metrics.dump () else [] in
+    (match sweep_out with
+    | None -> ()
+    | Some path ->
+      let jsonl =
+        Report.sweep_jsonl ~wall_s:s.Ucp_core.Parallel.wall_s
+          ~jobs:s.Ucp_core.Parallel.jobs ~timings:s.Ucp_core.Parallel.timings
+          ~outcomes:s.Ucp_core.Parallel.results
+          ?metrics:(if metrics_dump = [] then None else Some metrics_dump)
+          records
+      in
+      let oc = open_out path in
+      output_string oc jsonl;
+      close_out oc;
+      Printf.eprintf "[sweep] JSONL summary -> %s\n%!" path);
     let out =
       match figure with
       | None -> Report.all records
@@ -478,6 +520,13 @@ let experiment_cmd =
     if List.length policies > 1 then
       prerr_string
         (Report.policy_outcome_summary ~policies s.Ucp_core.Parallel.results);
+    if metrics_on then begin
+      prerr_string (Report.metrics_table metrics_dump);
+      if s.Ucp_core.Parallel.workers <> [||] then
+        prerr_string
+          (Report.worker_table ~wall_s:s.Ucp_core.Parallel.wall_s
+             s.Ucp_core.Parallel.workers)
+    end;
     if s.Ucp_core.Parallel.failures <> [] then exit 3
   in
   let full =
@@ -596,11 +645,172 @@ let experiment_cmd =
              fails any obligation is demoted to an invariant violation naming \
              the obligation.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a span trace of the sweep (pipeline stages, fixpoint \
+             passes, simplex/ILP solves, optimizer rounds, audit obligations) \
+             and write it to $(docv) as Chrome trace_event JSON — load it in \
+             Perfetto or inspect it with $(b,ucp trace).  Implies \
+             $(b,--metrics).")
+  in
+  let heartbeat =
+    Arg.(
+      value
+      & opt (some timeout_conv) None
+      & info [ "heartbeat" ] ~docv:"SECS"
+          ~doc:
+            "Print a liveness line (cases done, throughput, ETA) to stderr \
+             every $(docv) seconds while the sweep runs.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Collect runtime counters (simplex pivots, ILP nodes, fixpoint \
+             iterations, cache fetches per policy, per-case durations, GC \
+             deltas) and print them after the sweep; with $(b,--sweep-out) \
+             they are also embedded in the JSONL summary line.")
+  in
+  let sweep_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sweep-out" ] ~docv:"PATH"
+          ~doc:
+            "Write the machine-readable sweep JSONL (one record per use case \
+             plus a summary line) to $(docv).")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run the evaluation sweep and print the paper's figures.")
     Term.(
       const run $ full $ figure $ jobs $ timeout $ checkpoint $ resume $ programs
-      $ configs $ techs $ policies $ audit)
+      $ configs $ techs $ policies $ audit $ trace $ heartbeat $ metrics
+      $ sweep_out)
+
+let trace_cmd =
+  let run file top =
+    let spans =
+      match Ucp_obs.Trace.parse_file file with
+      | Ok spans -> spans
+      | Error msg ->
+        Printf.eprintf "ucp: %s: %s\n" file msg;
+        exit 1
+      | exception Sys_error msg ->
+        Printf.eprintf "ucp: %s\n" msg;
+        exit 1
+    in
+    (* per-name aggregate *)
+    let by_name = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Ucp_obs.Trace.span) ->
+        let prev = try Hashtbl.find by_name s.Ucp_obs.Trace.span_name with Not_found -> [] in
+        Hashtbl.replace by_name s.Ucp_obs.Trace.span_name (s :: prev))
+      spans;
+    let names =
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_name [])
+    in
+    let agg = Ucp_util.Table.create [ "span"; "count"; "total (ms)"; "mean (ms)"; "max (ms)" ] in
+    List.iter
+      (fun name ->
+        let ss = Hashtbl.find by_name name in
+        let n = List.length ss in
+        let total =
+          List.fold_left (fun acc s -> acc +. s.Ucp_obs.Trace.dur_us) 0.0 ss
+        in
+        let max_ =
+          List.fold_left (fun acc s -> Float.max acc s.Ucp_obs.Trace.dur_us) 0.0 ss
+        in
+        Ucp_util.Table.add_row agg
+          [
+            name;
+            string_of_int n;
+            Printf.sprintf "%.2f" (total /. 1e3);
+            Printf.sprintf "%.3f" (total /. 1e3 /. float_of_int n);
+            Printf.sprintf "%.2f" (max_ /. 1e3);
+          ])
+      names;
+    Printf.printf "%d spans in %s\n\n%s\n" (List.length spans) file
+      (Ucp_util.Table.render agg);
+    (* integer span-arg totals, e.g. the simplex pivot count: lets a
+       recorded trace be cross-checked against the metrics counters *)
+    let arg_totals = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Ucp_obs.Trace.span) ->
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | Ucp_obs.Trace.Int n ->
+              let key = s.Ucp_obs.Trace.span_name ^ "." ^ k in
+              Hashtbl.replace arg_totals key
+                (n + try Hashtbl.find arg_totals key with Not_found -> 0)
+            | Ucp_obs.Trace.Float _ | Ucp_obs.Trace.Str _ -> ())
+          s.Ucp_obs.Trace.args)
+      spans;
+    let totals =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) arg_totals [])
+    in
+    if totals <> [] then begin
+      print_string "span-arg totals:\n";
+      List.iter (fun (k, v) -> Printf.printf "  %s=%d\n" k v) totals;
+      print_newline ()
+    end;
+    (* slowest individual spans per name *)
+    let render_arg (k, v) =
+      match v with
+      | Ucp_obs.Trace.Int n -> Printf.sprintf "%s=%d" k n
+      | Ucp_obs.Trace.Float x -> Printf.sprintf "%s=%g" k x
+      | Ucp_obs.Trace.Str s -> Printf.sprintf "%s=%s" k s
+    in
+    let slow =
+      Ucp_util.Table.create [ "span"; "dur (ms)"; "start (ms)"; "tid"; "args" ]
+    in
+    List.iter
+      (fun name ->
+        let ss =
+          List.sort
+            (fun (a : Ucp_obs.Trace.span) b ->
+              compare b.Ucp_obs.Trace.dur_us a.Ucp_obs.Trace.dur_us)
+            (Hashtbl.find by_name name)
+        in
+        List.iteri
+          (fun i (s : Ucp_obs.Trace.span) ->
+            if i < top then
+              Ucp_util.Table.add_row slow
+                [
+                  name;
+                  Printf.sprintf "%.3f" (s.Ucp_obs.Trace.dur_us /. 1e3);
+                  Printf.sprintf "%.2f" (s.Ucp_obs.Trace.ts_us /. 1e3);
+                  string_of_int s.Ucp_obs.Trace.tid;
+                  String.concat " " (List.map render_arg s.Ucp_obs.Trace.args);
+                ])
+          ss)
+      names;
+    Printf.printf "top %d slowest spans per name:\n%s" top
+      (Ucp_util.Table.render slow)
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace file written by $(b,--trace).")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N" ~doc:"Slowest spans to list per span name (default 5).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Summarize a recorded span trace: per-name counts and durations, \
+          integer span-arg totals (e.g. simplex pivots), and the slowest \
+          individual spans.")
+    Term.(const run $ file $ top)
 
 let () =
   let doc = "WCET-safe, energy-oriented instruction-cache prefetching (DAC 2013)" in
@@ -620,4 +830,5 @@ let () =
             persistence_cmd;
             verify_cmd;
             experiment_cmd;
+            trace_cmd;
           ]))

@@ -123,3 +123,81 @@ do
   fi
 done
 echo "ci: corrupt-cert audit smoke passed"
+
+# Observability smoke: trace a tiny audited sweep (2 programs x 1
+# config x 1 tech = 2 cases per binary stage) and check the trace is
+# well-formed JSON carrying spans from every pipeline stage, that
+# `ucp trace` can read it back, that the simplex pivot total derived
+# from the trace matches the simplex_pivots_total counter on the JSONL
+# summary line, and that instrumentation never changes the per-record
+# output: a traced sweep's record lines must be byte-identical to an
+# untraced run's.
+obs_dir=$(mktemp -d)
+trap 'rm -f "$smoke_err"; rm -rf "$obs_dir"' EXIT
+
+dune exec --no-build bin/ucp.exe -- experiment \
+  --programs fft1,crc --configs k2,k5 --techs 45nm \
+  --audit full --jobs 2 \
+  --trace "$obs_dir/trace.json" --sweep-out "$obs_dir/traced.jsonl" \
+  >/dev/null 2>"$smoke_err" || {
+  echo "ci: obs smoke: traced sweep failed" >&2
+  cat "$smoke_err" >&2
+  exit 1
+}
+# byte-equality pair: audit off, because an audited record carries its
+# own audit wall-clock (audit_s), which differs between any two runs
+dune exec --no-build bin/ucp.exe -- experiment \
+  --programs fft1,crc --configs k2,k5 --techs 45nm --jobs 2 \
+  --trace "$obs_dir/trace2.json" --sweep-out "$obs_dir/traced2.jsonl" \
+  >/dev/null 2>"$smoke_err" || {
+  echo "ci: obs smoke: traced unaudited sweep failed" >&2
+  cat "$smoke_err" >&2
+  exit 1
+}
+dune exec --no-build bin/ucp.exe -- experiment \
+  --programs fft1,crc --configs k2,k5 --techs 45nm --jobs 2 \
+  --sweep-out "$obs_dir/plain.jsonl" \
+  >/dev/null 2>"$smoke_err" || {
+  echo "ci: obs smoke: untraced sweep failed" >&2
+  cat "$smoke_err" >&2
+  exit 1
+}
+
+# spans from all instrumented layers must be present
+for span in case analysis optimize simulate audit \
+  optimizer-round fixpoint-pass simplex audit-obligation
+do
+  if ! grep -q "\"name\":\"$span\"" "$obs_dir/trace.json"; then
+    echo "ci: obs smoke: trace has no '$span' span" >&2
+    exit 1
+  fi
+done
+
+# `ucp trace` strictly parses the file (well-formedness check) and
+# summarizes it
+if ! dune exec --no-build bin/ucp.exe -- trace "$obs_dir/trace.json" \
+  >"$obs_dir/trace.txt" 2>&1; then
+  echo "ci: obs smoke: 'ucp trace' failed on the recorded trace" >&2
+  cat "$obs_dir/trace.txt" >&2
+  exit 1
+fi
+
+# the pivot total summed from trace spans must equal the metrics
+# counter embedded in the JSONL summary line
+pivots_trace=$(sed -n 's/.*simplex\.pivots=\([0-9][0-9]*\).*/\1/p' "$obs_dir/trace.txt")
+pivots_metric=$(sed -n 's/.*"simplex_pivots_total":\([0-9][0-9]*\).*/\1/p' "$obs_dir/traced.jsonl")
+if [ -z "$pivots_trace" ] || [ "$pivots_trace" != "$pivots_metric" ]; then
+  echo "ci: obs smoke: simplex pivots disagree: trace='$pivots_trace' metric='$pivots_metric'" >&2
+  exit 1
+fi
+
+# record lines must be byte-identical traced vs untraced (only the
+# summary line may differ, by its "metrics" object)
+grep -v '"summary"' "$obs_dir/traced2.jsonl" >"$obs_dir/traced.records"
+grep -v '"summary"' "$obs_dir/plain.jsonl" >"$obs_dir/plain.records"
+if ! cmp -s "$obs_dir/traced.records" "$obs_dir/plain.records"; then
+  echo "ci: obs smoke: tracing changed the per-record JSONL output" >&2
+  diff "$obs_dir/traced.records" "$obs_dir/plain.records" >&2 || true
+  exit 1
+fi
+echo "ci: observability smoke passed"

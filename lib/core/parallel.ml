@@ -4,17 +4,23 @@ module Deadline = Ucp_util.Deadline
 (* ------------------------------------------------------------------ *)
 (* fixed-size domain pool with a chunked work queue *)
 
+(* per-worker telemetry, aggregated under [pool.mutex] when a task
+   finishes (the worker holds the lock there anyway); the public
+   snapshot type is {!Telemetry.worker_stat} *)
+type wstat = { mutable w_busy : float; mutable w_tasks : int; mutable w_cases : int }
+
 type pool = {
   mutex : Mutex.t;
   work : Condition.t;  (* a task was queued, or the pool closed *)
   idle : Condition.t;  (* the last pending task finished *)
-  tasks : (unit -> unit) Queue.t;
+  tasks : (int * (unit -> unit)) Queue.t;  (* weight (work items), task *)
   mutable pending : int;  (* queued or running tasks *)
   mutable closed : bool;
   (* first task exception plus the backtrace captured at the raise
      site, re-raised by [wait] with the original trace intact *)
   mutable failure : (exn * Printexc.raw_backtrace) option;
   mutable workers : unit Domain.t list;
+  stats : wstat array;
 }
 
 let default_jobs () =
@@ -26,7 +32,7 @@ let default_jobs () =
     | Some _ | None ->
       invalid_arg (Printf.sprintf "UCP_JOBS=%s: expected a positive integer" s))
 
-let rec worker pool =
+let rec worker pool w =
   Mutex.lock pool.mutex;
   let rec next () =
     if not (Queue.is_empty pool.tasks) then Some (Queue.pop pool.tasks)
@@ -38,21 +44,27 @@ let rec worker pool =
   in
   match next () with
   | None -> Mutex.unlock pool.mutex
-  | Some task ->
+  | Some (weight, task) ->
     Mutex.unlock pool.mutex;
+    let t0 = Unix.gettimeofday () in
     let outcome =
       match task () with
       | () -> None
       | exception exn -> Some (exn, Printexc.get_raw_backtrace ())
     in
+    let busy = Unix.gettimeofday () -. t0 in
     Mutex.lock pool.mutex;
+    let st = pool.stats.(w) in
+    st.w_busy <- st.w_busy +. busy;
+    st.w_tasks <- st.w_tasks + 1;
+    st.w_cases <- st.w_cases + weight;
     (match outcome with
     | Some _ when pool.failure = None -> pool.failure <- outcome
     | Some _ | None -> ());
     pool.pending <- pool.pending - 1;
     if pool.pending = 0 then Condition.broadcast pool.idle;
     Mutex.unlock pool.mutex;
-    worker pool
+    worker pool w
 
 let create ~jobs =
   if jobs < 1 then invalid_arg "Parallel.create: jobs must be positive";
@@ -66,21 +78,37 @@ let create ~jobs =
       closed = false;
       failure = None;
       workers = [];
+      stats = Array.init jobs (fun _ -> { w_busy = 0.0; w_tasks = 0; w_cases = 0 });
     }
   in
-  pool.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool.workers <- List.init jobs (fun w -> Domain.spawn (fun () -> worker pool w));
   pool
 
-let submit pool task =
+let submit ?(weight = 1) pool task =
   Mutex.lock pool.mutex;
   if pool.closed then begin
     Mutex.unlock pool.mutex;
     invalid_arg "Parallel.submit: pool is shut down"
   end;
-  Queue.push task pool.tasks;
+  Queue.push (weight, task) pool.tasks;
   pool.pending <- pool.pending + 1;
   Condition.signal pool.work;
   Mutex.unlock pool.mutex
+
+let worker_stats pool =
+  Mutex.lock pool.mutex;
+  let snap =
+    Array.map
+      (fun st ->
+        {
+          Telemetry.busy_s = st.w_busy;
+          tasks = st.w_tasks;
+          cases = st.w_cases;
+        })
+      pool.stats
+  in
+  Mutex.unlock pool.mutex;
+  snap
 
 let wait pool =
   Mutex.lock pool.mutex;
@@ -106,11 +134,14 @@ let shutdown pool =
 (* ------------------------------------------------------------------ *)
 (* deterministic parallel map *)
 
-let map ?jobs ?chunk ?progress f items =
+let map ?jobs ?chunk ?progress ?telemetry f items =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then invalid_arg "Parallel.map: jobs must be positive";
   let n = Array.length items in
-  if n = 0 then [||]
+  if n = 0 then begin
+    Option.iter (fun cb -> cb [||]) telemetry;
+    [||]
+  end
   else begin
     let chunk =
       match chunk with
@@ -130,6 +161,27 @@ let map ?jobs ?chunk ?progress f items =
        the computed results: the first exception disables further
        callbacks and the map completes normally *)
     let progress_dead = ref false in
+    (* per finished element, not per chunk: callbacks are serialized
+       under a dedicated lock and observe a strictly increasing count *)
+    let note_done () =
+      match progress with
+      | None -> ()
+      | Some cb ->
+        Mutex.lock pmutex;
+        incr completed;
+        let done_ = !completed in
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock pmutex)
+          (fun () ->
+            if not !progress_dead then
+              try cb ~done_ ~total:n
+              with exn ->
+                progress_dead := true;
+                Ucp_obs.Log.warn
+                  "progress callback raised %s; progress reporting disabled for \
+                   the rest of this run"
+                  (Printexc.to_string exn))
+    in
     let pool = create ~jobs in
     Fun.protect
       ~finally:(fun () -> shutdown pool)
@@ -137,39 +189,20 @@ let map ?jobs ?chunk ?progress f items =
         let lo = ref 0 in
         while !lo < n do
           let l = !lo and h = min n (!lo + chunk) in
-          submit pool (fun () ->
+          submit ~weight:(h - l) pool (fun () ->
               for k = l to h - 1 do
-                results.(k) <- Some (f items.(k))
-              done;
-              match progress with
-              | None -> ()
-              | Some cb ->
-                (* serialized under its own lock: callbacks observe a
-                   monotonically increasing done count and never run
-                   concurrently *)
-                Mutex.lock pmutex;
-                completed := !completed + (h - l);
-                let done_ = !completed in
-                Fun.protect
-                  ~finally:(fun () -> Mutex.unlock pmutex)
-                  (fun () ->
-                    if not !progress_dead then
-                      try cb ~done_ ~total:n
-                      with exn ->
-                        progress_dead := true;
-                        Printf.eprintf
-                          "ucp: progress callback raised %s; progress reporting \
-                           disabled for the rest of this run\n\
-                           %!"
-                          (Printexc.to_string exn)));
+                results.(k) <- Some (f items.(k));
+                note_done ()
+              done);
           lo := h
         done;
-        wait pool);
+        wait pool;
+        Option.iter (fun cb -> cb (worker_stats pool)) telemetry);
     Array.map (function Some v -> v | None -> assert false) results
   end
 
-let try_map ?jobs ?chunk ?progress f items =
-  map ?jobs ?chunk ?progress
+let try_map ?jobs ?chunk ?progress ?telemetry f items =
+  map ?jobs ?chunk ?progress ?telemetry
     (fun x ->
       match f x with
       | v -> Outcome.Ok v
@@ -196,7 +229,50 @@ type sweep = {
   timings : Pipeline.timings;
   jobs : int;
   cases : int;
+  workers : Telemetry.worker_stat array;
 }
+
+(* sweep-level instruments (registered on first use, so a sweep with
+   metrics disabled never touches the registry) *)
+let case_seconds =
+  lazy
+    (Ucp_obs.Metrics.histogram "case_duration_seconds"
+       ~buckets:[| 0.01; 0.03; 0.1; 0.3; 1.0; 3.0; 10.0; 30.0; 100.0 |])
+
+let gc_minor_words_total = lazy (Ucp_obs.Metrics.fcounter "gc_minor_words_total")
+let gc_major_words_total = lazy (Ucp_obs.Metrics.fcounter "gc_major_words_total")
+
+let gc_minor_collections_total =
+  lazy (Ucp_obs.Metrics.counter "gc_minor_collections_total")
+
+let gc_major_collections_total =
+  lazy (Ucp_obs.Metrics.counter "gc_major_collections_total")
+
+(* per-case Gc.quick_stat delta + wall-clock, recorded around the case
+   body (including failed cases: a case that dies after allocating for
+   ten seconds should still show up in the histograms) *)
+let observed_case f =
+  if not (Ucp_obs.Metrics.enabled ()) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let g0 = Gc.quick_stat () in
+    Fun.protect
+      ~finally:(fun () ->
+        let g1 = Gc.quick_stat () in
+        Ucp_obs.Metrics.fadd (Lazy.force gc_minor_words_total)
+          (g1.Gc.minor_words -. g0.Gc.minor_words);
+        Ucp_obs.Metrics.fadd (Lazy.force gc_major_words_total)
+          (g1.Gc.major_words -. g0.Gc.major_words);
+        Ucp_obs.Metrics.add
+          (Lazy.force gc_minor_collections_total)
+          (g1.Gc.minor_collections - g0.Gc.minor_collections);
+        Ucp_obs.Metrics.add
+          (Lazy.force gc_major_collections_total)
+          (g1.Gc.major_collections - g0.Gc.major_collections);
+        Ucp_obs.Metrics.observe (Lazy.force case_seconds)
+          (Unix.gettimeofday () -. t0))
+      f
+  end
 
 let strip = function
   | Outcome.Ok (r, _) -> Outcome.Ok r
@@ -207,10 +283,14 @@ let strip = function
 let sweep ?(programs = Ucp_workloads.Suite.all)
     ?(configs = Experiments.default_configs) ?(techs = Tech.all)
     ?(policies = [ Ucp_policy.Lru ]) ?(audit = Ucp_verify.Off) ?jobs ?chunk
-    ?progress ?timeout ?checkpoint ?(resume = false) () =
+    ?progress ?heartbeat ?timeout ?checkpoint ?(resume = false) () =
   (match timeout with
   | Some t when (not (Float.is_finite t)) || t <= 0.0 ->
     invalid_arg "Parallel.sweep: timeout must be a positive number of seconds"
+  | Some _ | None -> ());
+  (match heartbeat with
+  | Some h when (not (Float.is_finite h)) || h <= 0.0 ->
+    invalid_arg "Parallel.sweep: heartbeat must be a positive number of seconds"
   | Some _ | None -> ());
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let cases = Experiments.cases ~policies ~programs ~configs ~techs () in
@@ -252,41 +332,104 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
         Array.of_list
           (List.filter (fun i -> Option.is_none final.(i)) (List.init n Fun.id))
       in
+      (* grid-level completion count, fed by the progress path and read
+         by the heartbeat domain *)
+      let hb_done = Atomic.make !resumed in
       let progress =
         (* report against the whole grid, counting replayed cases as
            already done *)
-        Option.map
-          (fun cb ~done_ ~total:_ -> cb ~done_:(done_ + !resumed) ~total:n)
-          progress
+        if Option.is_none progress && Option.is_none heartbeat then None
+        else
+          Some
+            (fun ~done_ ~total:_ ->
+              let done_ = done_ + !resumed in
+              Atomic.set hb_done done_;
+              match progress with
+              | None -> ()
+              | Some cb -> cb ~done_ ~total:n)
       in
       let run i =
         let c = cases.(i) in
         let id = Experiments.case_id c in
-        (* the deadline clock starts when the case starts executing,
-           not when the sweep was launched *)
-        let deadline = Option.map Deadline.after timeout in
-        Fault.apply_pre ?deadline id;
-        (* one timing accumulator per case: workers never share one, so
-           no synchronization is needed on the hot path *)
-        let timed = Pipeline.fresh_timings () in
-        let model =
-          Hashtbl.find models (c.Experiments.case_config, c.Experiments.case_tech)
-        in
-        let r =
-          Experiments.run_case ?deadline ~timed
-            ~audit:(Ucp_verify.selects audit id)
-            ~corrupt_cert:(Fault.corrupt_cert id) ~model c
-        in
-        let r = Fault.corrupt id r in
-        (match Experiments.check_invariants r with
-        | Ok () -> ()
-        | Error msg -> raise (Outcome.Invariant msg));
-        (* journal only sound, complete records; failures are retried
-           on resume *)
-        Option.iter (fun j -> Checkpoint.record j ~id r) journal;
-        (r, timed)
+        Ucp_obs.Trace.with_span ~name:"case"
+          ~args:[ ("id", Ucp_obs.Trace.Str id) ] (fun () ->
+            observed_case (fun () ->
+                (* the deadline clock starts when the case starts
+                   executing, not when the sweep was launched *)
+                let deadline = Option.map Deadline.after timeout in
+                Fault.apply_pre ?deadline id;
+                (* one timing accumulator per case: workers never share
+                   one, so no synchronization is needed on the hot path *)
+                let timed = Pipeline.fresh_timings () in
+                let model =
+                  Hashtbl.find models
+                    (c.Experiments.case_config, c.Experiments.case_tech)
+                in
+                let r =
+                  Experiments.run_case ?deadline ~timed
+                    ~audit:(Ucp_verify.selects audit id)
+                    ~corrupt_cert:(Fault.corrupt_cert id) ~model c
+                in
+                let r = Fault.corrupt id r in
+                (match Experiments.check_invariants r with
+                | Ok () -> ()
+                | Error msg -> raise (Outcome.Invariant msg));
+                (* journal only sound, complete records; failures are
+                   retried on resume *)
+                Option.iter (fun j -> Checkpoint.record j ~id r) journal;
+                (r, timed)))
       in
-      let out = try_map ~jobs ?chunk ?progress run todo in
+      let stats = ref [||] in
+      (* periodic liveness line on stderr: overall completion, sweep
+         throughput and a run-rate ETA, so a hung worker is visible long
+         before any per-case deadline fires *)
+      let hb_stop = Atomic.make false in
+      let hb_domain =
+        Option.map
+          (fun every ->
+            Domain.spawn (fun () ->
+                let started = Unix.gettimeofday () in
+                let rec loop next =
+                  if not (Atomic.get hb_stop) then begin
+                    Unix.sleepf 0.05;
+                    let now = Unix.gettimeofday () in
+                    if now < next then loop next
+                    else begin
+                      let done_ = Atomic.get hb_done in
+                      let elapsed = now -. started in
+                      let rate =
+                        if elapsed > 0.0 then
+                          float_of_int (done_ - !resumed) /. elapsed
+                        else 0.0
+                      in
+                      let eta =
+                        if done_ >= n then "0s"
+                        else if rate > 0.0 then
+                          Printf.sprintf "%.0fs" (float_of_int (n - done_) /. rate)
+                        else "?"
+                      in
+                      Ucp_obs.Log.out
+                        (Printf.sprintf
+                           "[heartbeat] %d/%d cases | %.2f case/s | elapsed %.0fs \
+                            | eta %s"
+                           done_ n rate elapsed eta);
+                      loop (next +. every)
+                    end
+                  end
+                in
+                loop (started +. every)))
+          heartbeat
+      in
+      let out =
+        Fun.protect
+          ~finally:(fun () ->
+            Atomic.set hb_stop true;
+            Option.iter Domain.join hb_domain)
+          (fun () ->
+            try_map ~jobs ?chunk ?progress
+              ~telemetry:(fun st -> stats := st)
+              run todo)
+      in
       Array.iteri (fun k i -> final.(i) <- Some out.(k)) todo;
       let timings = Pipeline.fresh_timings () in
       Array.iter
@@ -316,4 +459,5 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
         timings;
         jobs;
         cases = n;
+        workers = !stats;
       })

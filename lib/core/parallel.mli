@@ -32,9 +32,15 @@ val create : jobs:int -> pool
 (** Spawn [jobs] worker domains blocked on the queue.
     @raise Invalid_argument if [jobs < 1]. *)
 
-val submit : pool -> (unit -> unit) -> unit
-(** Enqueue a task; returns immediately.
+val submit : ?weight:int -> pool -> (unit -> unit) -> unit
+(** Enqueue a task; returns immediately.  [?weight] (default 1) is the
+    number of work items the task stands for, counted in that worker's
+    {!Telemetry.worker_stat.cases}.
     @raise Invalid_argument on a pool that was shut down. *)
+
+val worker_stats : pool -> Telemetry.worker_stat array
+(** Snapshot of every worker's telemetry; stats are committed when a
+    task finishes, so call after {!wait} for complete numbers. *)
 
 val wait : pool -> unit
 (** Block until every submitted task has finished.  If any task raised,
@@ -49,6 +55,7 @@ val map :
   ?jobs:int ->
   ?chunk:int ->
   ?progress:(done_:int -> total:int -> unit) ->
+  ?telemetry:(Telemetry.worker_stat array -> unit) ->
   ('a -> 'b) ->
   'a array ->
   'b array
@@ -56,19 +63,23 @@ val map :
     [?jobs] (default {!default_jobs}) workers and returns the results
     in input order.  Work is handed out in contiguous chunks of
     [?chunk] elements (default: enough for ~4 chunks per worker).
-    [?progress] is invoked after each finished chunk with the number of
-    elements completed so far; calls are serialized under a dedicated
-    lock and [done_] is strictly increasing, but they arrive on worker
-    domains — callbacks must not assume the main domain.  A raising
-    progress callback does not void the results: the first exception
-    disables further callbacks (with a warning on stderr) and the map
-    completes normally.  If [f] raises, the first exception is
-    re-raised after the pool drains, with its original backtrace. *)
+    [?progress] is invoked after {e each finished element} with the
+    number of elements completed so far; calls are serialized under a
+    dedicated lock and [done_] is strictly increasing, but they arrive
+    on worker domains — callbacks must not assume the main domain.  A
+    raising progress callback does not void the results: the first
+    exception disables further callbacks (with a {!Ucp_obs.Log.warn})
+    and the map completes normally.  [?telemetry] receives the final
+    per-worker {!Telemetry.worker_stat} snapshot once every task has drained
+    (an empty array for an empty input).  If [f] raises, the first
+    exception is re-raised after the pool drains, with its original
+    backtrace. *)
 
 val try_map :
   ?jobs:int ->
   ?chunk:int ->
   ?progress:(done_:int -> total:int -> unit) ->
+  ?telemetry:(Telemetry.worker_stat array -> unit) ->
   ('a -> 'b) ->
   'a array ->
   'b Outcome.t array
@@ -101,6 +112,10 @@ type sweep = {
           [n] *)
   jobs : int;  (** worker count actually used *)
   cases : int;  (** number of use cases in the grid *)
+  workers : Telemetry.worker_stat array;
+      (** per-worker busy time and case counts ([cases] there counts
+          evaluated cases only — resumed cases ran no task); empty when
+          every case was replayed from the journal *)
 }
 
 val sweep :
@@ -112,6 +127,7 @@ val sweep :
   ?jobs:int ->
   ?chunk:int ->
   ?progress:(done_:int -> total:int -> unit) ->
+  ?heartbeat:float ->
   ?timeout:float ->
   ?checkpoint:string ->
   ?resume:bool ->
@@ -151,5 +167,17 @@ val sweep :
     (enforced by fingerprint) is replayed first and the journaled
     cases are skipped, so crash + resume produces the same records as
     an uninterrupted run.
-    @raise Invalid_argument if [?timeout] is not positive;
+
+    Liveness: [?heartbeat:secs] spawns a watcher domain that writes a
+    [\[heartbeat\] done/total | rate | elapsed | eta] line to stderr
+    every [secs] seconds (through the {!Ucp_obs.Log} sink, so it never
+    interleaves mid-line with log output), making a hung worker visible
+    long before a per-case deadline fires.
+
+    Observability: when {!Ucp_obs.Trace} is recording, every case runs
+    inside a ["case"] span carrying its id, and when {!Ucp_obs.Metrics}
+    is enabled each case feeds the [case_duration_seconds] histogram
+    and the [gc_*_total] allocation/collection counters.
+    @raise Invalid_argument if [?timeout] or [?heartbeat] is not
+    positive;
     @raise Failure on a checkpoint fingerprint mismatch. *)

@@ -38,8 +38,11 @@ let add_timings acc t =
 
 let total_timings t = t.analysis_s +. t.optimize_s +. t.simulate_s +. t.audit_s
 
-(* accumulate the wall-clock cost of [f] into one stage of [tm] *)
-let timed tm add f =
+(* accumulate the wall-clock cost of [f] into one stage of [tm], and
+   record the stage as a trace span (span recording is independent of
+   whether a timings accumulator was supplied) *)
+let timed ~name tm add f =
+  let f () = Ucp_obs.Trace.with_span ~name f in
   match tm with
   | None -> f ()
   | Some tm ->
@@ -65,11 +68,11 @@ let measure ?deadline ?(seed = 42) ?model:mdl ?wcet ?timed:tm
     match wcet with
     | Some w -> w
     | None ->
-      timed tm on_analysis (fun () ->
+      timed ~name:"analysis" tm on_analysis (fun () ->
           Wcet.compute ?deadline ~with_may:true ~policy program config m)
   in
   let stats =
-    timed tm on_simulate (fun () -> Simulator.run ~seed ~policy program config m)
+    timed ~name:"simulate" tm on_simulate (fun () -> Simulator.run ~seed ~policy program config m)
   in
   let breakdown = Account.energy m stats.Simulator.counts in
   let ah, am, nc = Analysis.classification_counts w.Wcet.analysis in
@@ -88,7 +91,8 @@ let measure ?deadline ?(seed = 42) ?model:mdl ?wcet ?timed:tm
 
 let optimize ?model:mdl ?policy program config tech =
   let m = match mdl with Some m -> m | None -> model config tech in
-  Optimizer.optimize ?policy program config m
+  Ucp_obs.Trace.with_span ~name:"optimize" (fun () ->
+      Optimizer.optimize ?policy program config m)
 
 type audit = Not_audited | Audited of { checks : int; seconds : float }
 
@@ -112,17 +116,17 @@ let compare_optimized ?deadline ?(seed = 42) ?model:mdl ?timed:tm
      the optimizer's own re-analyses stay may-free where the policy
      allows it. *)
   let w0 =
-    timed tm on_analysis (fun () ->
+    timed ~name:"analysis" tm on_analysis (fun () ->
         Wcet.compute ?deadline ~with_may:true ~policy program config m)
   in
   let result =
-    timed tm on_optimize (fun () ->
+    timed ~name:"optimize" tm on_optimize (fun () ->
         Optimizer.optimize ?deadline ~initial:w0 program config m)
   in
   (* The optimized program's measurement analysis, computed explicitly
      so the audit can reuse it as its independent "after" artifact. *)
   let w1 =
-    timed tm on_analysis (fun () ->
+    timed ~name:"analysis" tm on_analysis (fun () ->
         Wcet.compute ?deadline ~with_may:true ~policy result.Optimizer.program
           config m)
   in
@@ -137,7 +141,7 @@ let compare_optimized ?deadline ?(seed = 42) ?model:mdl ?timed:tm
     if not audit then Not_audited
     else
       let v =
-        timed tm on_audit (fun () ->
+        timed ~name:"audit" tm on_audit (fun () ->
             Ucp_verify.audit_case ?deadline ~seed ~corrupt:corrupt_cert
               ~original:w0 ~optimized:w1 result)
       in

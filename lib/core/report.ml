@@ -268,7 +268,89 @@ let outcome_summary outcomes =
     outcomes;
   Buffer.contents buf
 
-let sweep_jsonl ~wall_s ~jobs ~timings ?(outcomes = []) records =
+(* ------------------------------------------------------------------ *)
+(* observability: metrics, worker telemetry and per-stage rendering *)
+
+(* one JSON member per instrument, nested under a single "metrics"
+   object on the sweep summary line (additive: absent when metrics are
+   disabled, so the stream stays v2-compatible byte for byte) *)
+let metrics_json metrics =
+  let value = function
+    | Ucp_obs.Metrics.Counter n -> string_of_int n
+    | Ucp_obs.Metrics.Fcounter x | Ucp_obs.Metrics.Gauge x ->
+      Printf.sprintf "%.6g" x
+    | Ucp_obs.Metrics.Histogram { count; sum; _ } ->
+      Printf.sprintf {|{"count":%d,"sum":%.6g}|} count sum
+  in
+  Printf.sprintf {|,"metrics":{%s}|}
+    (String.concat ","
+       (List.map (fun (name, v) -> json_string name ^ ":" ^ value v) metrics))
+
+let metrics_table metrics =
+  let t = Table.create [ "metric"; "value" ] in
+  List.iter
+    (fun (name, v) ->
+      match (v : Ucp_obs.Metrics.value) with
+      | Ucp_obs.Metrics.Counter n -> Table.add_row t [ name; string_of_int n ]
+      | Ucp_obs.Metrics.Fcounter x | Ucp_obs.Metrics.Gauge x ->
+        Table.add_row t [ name; Printf.sprintf "%.6g" x ]
+      | Ucp_obs.Metrics.Histogram { bounds; counts; sum; count } ->
+        Table.add_row t
+          [
+            name;
+            Printf.sprintf "count=%d sum=%.3f mean=%.4f" count sum
+              (if count = 0 then 0.0 else sum /. float_of_int count);
+          ];
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              let le =
+                if i < Array.length bounds then Printf.sprintf "%g" bounds.(i)
+                else "+inf"
+              in
+              Table.add_row t
+                [ Printf.sprintf "  %s{le=%s}" name le; string_of_int c ])
+          counts)
+    metrics;
+  section "Metrics" (Table.render t)
+
+let worker_table ~wall_s (stats : Telemetry.worker_stat array) =
+  let t = Table.create [ "worker"; "cases"; "tasks"; "busy (s)"; "utilization" ] in
+  Array.iteri
+    (fun i (w : Telemetry.worker_stat) ->
+      Table.add_row t
+        [
+          string_of_int i;
+          string_of_int w.Telemetry.cases;
+          string_of_int w.Telemetry.tasks;
+          Printf.sprintf "%.2f" w.Telemetry.busy_s;
+          (if wall_s > 0.0 then
+             Printf.sprintf "%.0f%%" (100.0 *. w.Telemetry.busy_s /. wall_s)
+           else "-");
+        ])
+    stats;
+  section "Worker telemetry" (Table.render t)
+
+let stage_table rows =
+  let t =
+    Table.create
+      [ "slice"; "analysis (s)"; "optimize (s)"; "simulate (s)"; "audit (s)"; "total (s)" ]
+  in
+  List.iter
+    (fun (label, tm) ->
+      Table.add_row t
+        [
+          label;
+          Printf.sprintf "%.2f" tm.Pipeline.analysis_s;
+          Printf.sprintf "%.2f" tm.Pipeline.optimize_s;
+          Printf.sprintf "%.2f" tm.Pipeline.simulate_s;
+          Printf.sprintf "%.2f" tm.Pipeline.audit_s;
+          Printf.sprintf "%.2f" (Pipeline.total_timings tm);
+        ])
+    rows;
+  section "Per-stage wall-clock (summed over workers)" (Table.render t)
+
+let sweep_jsonl ~wall_s ~jobs ~timings ?(outcomes = []) ?metrics records =
   let buf = Buffer.create 4096 in
   List.iter
     (fun r ->
@@ -295,10 +377,13 @@ let sweep_jsonl ~wall_s ~jobs ~timings ?(outcomes = []) records =
   in
   Buffer.add_string buf
     (Printf.sprintf
-       {|{"summary":true,"cases":%d,"failed":%d,"timed_out":%d,"invariant_violations":%d,"audited":%d,"jobs":%d,"wall_s":%.3f,"analysis_s":%.3f,"optimize_s":%.3f,"simulate_s":%.3f,"audit_s":%.3f}|}
+       {|{"summary":true,"cases":%d,"failed":%d,"timed_out":%d,"invariant_violations":%d,"audited":%d,"jobs":%d,"wall_s":%.3f,"analysis_s":%.3f,"optimize_s":%.3f,"simulate_s":%.3f,"audit_s":%.3f%s}|}
        (List.length records) failed timed_out violations audited jobs wall_s
        timings.Pipeline.analysis_s timings.Pipeline.optimize_s
-       timings.Pipeline.simulate_s timings.Pipeline.audit_s);
+       timings.Pipeline.simulate_s timings.Pipeline.audit_s
+       (match metrics with
+       | None | Some [] -> ""
+       | Some ms -> metrics_json ms));
   Buffer.add_char buf '\n';
   Buffer.contents buf
 

@@ -65,11 +65,25 @@ val policy_outcome_summary :
     the outcomes whose case id carries that policy suffix
     ({!Experiments.case_id} ends in [":<policy>"]). *)
 
+val metrics_table : (string * Ucp_obs.Metrics.value) list -> string
+(** A {!Ucp_obs.Metrics.dump} snapshot as a two-column table; histogram
+    rows are followed by one indented [name{le=bound}] row per
+    non-empty bucket. *)
+
+val worker_table : wall_s:float -> Telemetry.worker_stat array -> string
+(** Per-worker telemetry table: cases and tasks executed, busy seconds,
+    and busy/wall utilization. *)
+
+val stage_table : (string * Pipeline.timings) list -> string
+(** Per-stage wall-clock breakdown, one row per labelled slice (e.g.
+    one per replacement policy) plus the per-stage totals. *)
+
 val sweep_jsonl :
   wall_s:float ->
   jobs:int ->
   timings:Pipeline.timings ->
   ?outcomes:(string * Experiments.record Outcome.t) list ->
+  ?metrics:(string * Ucp_obs.Metrics.value) list ->
   Experiments.record list ->
   string
 (** The machine-readable sweep summary the bench harness writes: one
@@ -79,4 +93,8 @@ val sweep_jsonl :
     "failed":..,"timed_out":..,"invariant_violations":..,"audited":..,
     "jobs":..,"wall_s":..,"analysis_s":..,"optimize_s":..,
     "simulate_s":..,"audit_s":..}] so perf trajectories can be tracked
-    across PRs. *)
+    across PRs.  [?metrics] (a {!Ucp_obs.Metrics.dump} snapshot, when
+    metrics were enabled) adds one nested ["metrics"] object to the
+    summary line; the per-record lines never change, so a
+    traced/metered sweep's records stay byte-identical to an untraced
+    run's. *)

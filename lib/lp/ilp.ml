@@ -27,7 +27,10 @@ let bound_row num_vars j q op =
   coeffs.(j) <- Q.one;
   (coeffs, op, q)
 
+let nodes_total = lazy (Ucp_obs.Metrics.counter "ilp_nodes_total")
+
 let maximize ?deadline ?(max_nodes = 100_000) (problem : Simplex.problem) =
+  Ucp_obs.Trace.with_span ~name:"ilp" (fun () ->
   let nodes = ref 0 in
   let incumbent = ref None in
   let better value =
@@ -60,9 +63,16 @@ let maximize ?deadline ?(max_nodes = 100_000) (problem : Simplex.problem) =
           | `Done -> explore (ge :: extra))
       end
   in
-  match explore [] with
-  | `Unbounded -> Unbounded
-  | `Done -> (
-    match !incumbent with
-    | Some (value, assignment) -> Optimal { value; assignment }
-    | None -> Infeasible)
+  (* As in Simplex.maximize: record the node count even when the node
+     budget or a deadline aborts the search. *)
+  Fun.protect
+    ~finally:(fun () ->
+      Ucp_obs.Trace.set_arg "nodes" (Ucp_obs.Trace.Int !nodes);
+      Ucp_obs.Metrics.add (Lazy.force nodes_total) !nodes)
+    (fun () ->
+      match explore [] with
+      | `Unbounded -> Unbounded
+      | `Done -> (
+        match !incumbent with
+        | Some (value, assignment) -> Optimal { value; assignment }
+        | None -> Infeasible)))

@@ -47,9 +47,8 @@ let pivots_per_deadline_check = 64
 (* Bland's rule: entering column = lowest-index eligible column with a
    positive reduced cost; leaving row = lexicographically by minimum
    ratio then lowest basic-variable index. *)
-let run ?deadline t z ~allowed =
+let run ?deadline ~pivots t z ~allowed =
   let m = Array.length t.rows in
-  let pivots = ref 0 in
   let rec step () =
     incr pivots;
     if !pivots mod pivots_per_deadline_check = 0 then
@@ -163,54 +162,66 @@ let make_z t c =
     t.basis;
   z
 
+let pivots_total = lazy (Ucp_obs.Metrics.counter "simplex_pivots_total")
+
 let maximize ?deadline problem =
-  let t, art_start, dual_cols = build problem in
-  let m = Array.length t.rows in
-  (* Phase 1: maximize -(sum of artificials). *)
-  let phase1_obj = Array.make t.cols Q.zero in
-  for j = art_start to t.cols - 1 do
-    phase1_obj.(j) <- Q.neg Q.one
-  done;
-  let z1 = make_z t phase1_obj in
-  (match run ?deadline t z1 ~allowed:(fun _ -> true) with
-  | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
-  | `Optimal -> ());
-  let phase1_value = Q.neg z1.(t.cols) in
-  if Q.sign phase1_value < 0 then Infeasible
-  else begin
-    (* Drive any remaining (zero-valued) artificials out of the basis
-       where possible; rows where it is impossible are redundant. *)
-    for i = 0 to m - 1 do
-      if t.basis.(i) >= art_start then begin
-        let j = ref 0 and found = ref false in
-        while (not !found) && !j < art_start do
-          if Q.sign t.rows.(i).(!j) <> 0 then found := true else incr j
-        done;
-        if !found then pivot t (Array.make (t.cols + 1) Q.zero) ~row:i ~col:!j
-      end
-    done;
-    (* Phase 2: the real objective; artificial columns may not enter. *)
-    let phase2_obj = Array.make t.cols Q.zero in
-    Array.blit problem.objective 0 phase2_obj 0 problem.num_vars;
-    let z2 = make_z t phase2_obj in
-    match run ?deadline t z2 ~allowed:(fun j -> j < art_start) with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
-      let assignment = Array.make problem.num_vars Q.zero in
-      Array.iteri
-        (fun i b -> if b < problem.num_vars then assignment.(b) <- t.rows.(i).(t.cols))
-        t.basis;
-      (* Dual solution: y_i = -z2 at row i's unit column (see [build]);
-         rows negated during normalization negate back. *)
-      let dual =
-        Array.map
-          (fun (col, flipped) ->
-            let y = Q.neg z2.(col) in
-            if flipped then Q.neg y else y)
-          dual_cols
-      in
-      Optimal { value = Q.neg z2.(t.cols); assignment; dual }
-  end
+  Ucp_obs.Trace.with_span ~name:"simplex" (fun () ->
+      let pivots = ref 0 in
+      (* Record the pivot count even when a deadline fires mid-solve, so
+         the metric and the trace args agree under timeouts too. *)
+      Fun.protect
+        ~finally:(fun () ->
+          Ucp_obs.Trace.set_arg "pivots" (Ucp_obs.Trace.Int !pivots);
+          Ucp_obs.Metrics.add (Lazy.force pivots_total) !pivots)
+        (fun () ->
+          let t, art_start, dual_cols = build problem in
+          let m = Array.length t.rows in
+          (* Phase 1: maximize -(sum of artificials). *)
+          let phase1_obj = Array.make t.cols Q.zero in
+          for j = art_start to t.cols - 1 do
+            phase1_obj.(j) <- Q.neg Q.one
+          done;
+          let z1 = make_z t phase1_obj in
+          (match run ?deadline ~pivots t z1 ~allowed:(fun _ -> true) with
+          | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
+          | `Optimal -> ());
+          let phase1_value = Q.neg z1.(t.cols) in
+          if Q.sign phase1_value < 0 then Infeasible
+          else begin
+            (* Drive any remaining (zero-valued) artificials out of the basis
+               where possible; rows where it is impossible are redundant. *)
+            for i = 0 to m - 1 do
+              if t.basis.(i) >= art_start then begin
+                let j = ref 0 and found = ref false in
+                while (not !found) && !j < art_start do
+                  if Q.sign t.rows.(i).(!j) <> 0 then found := true else incr j
+                done;
+                if !found then pivot t (Array.make (t.cols + 1) Q.zero) ~row:i ~col:!j
+              end
+            done;
+            (* Phase 2: the real objective; artificial columns may not enter. *)
+            let phase2_obj = Array.make t.cols Q.zero in
+            Array.blit problem.objective 0 phase2_obj 0 problem.num_vars;
+            let z2 = make_z t phase2_obj in
+            match run ?deadline ~pivots t z2 ~allowed:(fun j -> j < art_start) with
+            | `Unbounded -> Unbounded
+            | `Optimal ->
+              let assignment = Array.make problem.num_vars Q.zero in
+              Array.iteri
+                (fun i b ->
+                  if b < problem.num_vars then assignment.(b) <- t.rows.(i).(t.cols))
+                t.basis;
+              (* Dual solution: y_i = -z2 at row i's unit column (see [build]);
+                 rows negated during normalization negate back. *)
+              let dual =
+                Array.map
+                  (fun (col, flipped) ->
+                    let y = Q.neg z2.(col) in
+                    if flipped then Q.neg y else y)
+                  dual_cols
+              in
+              Optimal { value = Q.neg z2.(t.cols); assignment; dual }
+          end))
 
 let minimize ?deadline problem =
   let neg = { problem with objective = Array.map Q.neg problem.objective } in

@@ -1,0 +1,72 @@
+type level = Debug | Info | Warn | Error | Quiet
+
+let severity = function
+  | Debug -> 0
+  | Info -> 1
+  | Warn -> 2
+  | Error -> 3
+  | Quiet -> 4
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | "quiet" | "off" | "none" -> Ok Quiet
+  | s -> Error (Printf.sprintf "UCP_LOG=%s: expected debug|info|warn|error|quiet" s)
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+  | Quiet -> "quiet"
+
+(* A bad UCP_LOG value must not crash the tool at module-init time
+   (the sweep may be hours from its first log line); fall back on the
+   default and complain once on the first emission instead. *)
+let init_complaint = ref None
+
+let default_level =
+  match Sys.getenv_opt "UCP_LOG" with
+  | None | Some "" -> Warn
+  | Some s -> (
+    match level_of_string s with
+    | Ok l -> l
+    | Error msg ->
+      init_complaint := Some msg;
+      Warn)
+
+let current = Atomic.make default_level
+
+let set_level l = Atomic.set current l
+let level () = Atomic.get current
+let enabled l = severity l >= severity (Atomic.get current) && l <> Quiet
+
+(* One process-wide sink lock: a log line is written with a single
+   [output_string] under the lock, so lines from concurrent domains
+   never interleave mid-line. *)
+let sink_mutex = Mutex.create ()
+
+let out line =
+  Mutex.lock sink_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink_mutex)
+    (fun () ->
+      output_string stderr (line ^ "\n");
+      flush stderr)
+
+let emit l msg =
+  (match !init_complaint with
+  | Some complaint ->
+    init_complaint := None;
+    out (Printf.sprintf "ucp: warn: %s (falling back to warn)" complaint)
+  | None -> ());
+  if enabled l then
+    out (Printf.sprintf "ucp: %s: %s" (level_to_string l) msg)
+
+let debug fmt = Printf.ksprintf (emit Debug) fmt
+let info fmt = Printf.ksprintf (emit Info) fmt
+let warn fmt = Printf.ksprintf (emit Warn) fmt
+let error fmt = Printf.ksprintf (emit Error) fmt

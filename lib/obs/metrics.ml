@@ -1,0 +1,185 @@
+(* Thread-safe metrics registry.  Instruments are registered (and
+   looked up) under one mutex; the hot-path operations — counter adds,
+   gauge stores, histogram observations — are lock-free atomics guarded
+   by a single [Atomic.get] on the enabled flag, so a disabled registry
+   costs one load per call site and records nothing. *)
+
+let enabled_flag = Atomic.make false
+
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+(* Atomic float accumulation: the value read is the same boxed float we
+   CAS against, so the loop retries exactly on concurrent updates. *)
+let rec atomic_fadd cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. x)) then atomic_fadd cell x
+
+type counter = int Atomic.t
+type fcounter = float Atomic.t
+type gauge = float Atomic.t
+
+type histogram = {
+  bounds : float array;  (* inclusive upper bounds, strictly increasing *)
+  bucket_counts : int Atomic.t array;  (* length (bounds) + 1: last is +inf *)
+  h_sum : float Atomic.t;
+  h_count : int Atomic.t;
+}
+
+type instrument =
+  | I_counter of counter
+  | I_fcounter of fcounter
+  | I_gauge of gauge
+  | I_histogram of histogram
+
+type value =
+  | Counter of int
+  | Fcounter of float
+  | Gauge of float
+  | Histogram of {
+      bounds : float array;
+      counts : int array;
+      sum : float;
+      count : int;
+    }
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let kind_name = function
+  | I_counter _ -> "counter"
+  | I_fcounter _ -> "fcounter"
+  | I_gauge _ -> "gauge"
+  | I_histogram _ -> "histogram"
+
+let register name make match_existing =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some existing -> (
+        match match_existing existing with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s is already registered as a %s" name
+               (kind_name existing)))
+      | None ->
+        let instrument, v = make () in
+        Hashtbl.add registry name instrument;
+        v)
+
+let counter name =
+  register name
+    (fun () ->
+      let c = Atomic.make 0 in
+      (I_counter c, c))
+    (function I_counter c -> Some c | _ -> None)
+
+let fcounter name =
+  register name
+    (fun () ->
+      let c = Atomic.make 0.0 in
+      (I_fcounter c, c))
+    (function I_fcounter c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = Atomic.make 0.0 in
+      (I_gauge g, g))
+    (function I_gauge g -> Some g | _ -> None)
+
+let histogram name ~buckets =
+  let n = Array.length buckets in
+  if n = 0 then invalid_arg "Metrics.histogram: empty bucket list";
+  for i = 1 to n - 1 do
+    if buckets.(i) <= buckets.(i - 1) then
+      invalid_arg "Metrics.histogram: bucket bounds must be strictly increasing"
+  done;
+  register name
+    (fun () ->
+      let h =
+        {
+          bounds = Array.copy buckets;
+          bucket_counts = Array.init (n + 1) (fun _ -> Atomic.make 0);
+          h_sum = Atomic.make 0.0;
+          h_count = Atomic.make 0;
+        }
+      in
+      (I_histogram h, h))
+    (function
+      | I_histogram h when h.bounds = buckets -> Some h
+      | I_histogram _ ->
+        invalid_arg
+          (Printf.sprintf "Metrics: histogram %s re-registered with different buckets"
+             name)
+      | _ -> None)
+
+let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c n)
+let incr c = add c 1
+let fadd c x = if Atomic.get enabled_flag then atomic_fadd c x
+let set g x = if Atomic.get enabled_flag then Atomic.set g x
+
+let bucket_index h x =
+  (* first bound >= x; the overflow bucket catches the rest *)
+  let n = Array.length h.bounds in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if h.bounds.(mid) >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe h x =
+  if Atomic.get enabled_flag then begin
+    ignore (Atomic.fetch_and_add h.bucket_counts.(bucket_index h x) 1);
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    atomic_fadd h.h_sum x
+  end
+
+let read_instrument = function
+  | I_counter c -> Counter (Atomic.get c)
+  | I_fcounter c -> Fcounter (Atomic.get c)
+  | I_gauge g -> Gauge (Atomic.get g)
+  | I_histogram h ->
+    Histogram
+      {
+        bounds = Array.copy h.bounds;
+        counts = Array.map Atomic.get h.bucket_counts;
+        sum = Atomic.get h.h_sum;
+        count = Atomic.get h.h_count;
+      }
+
+let dump () =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      Hashtbl.fold (fun name i acc -> (name, read_instrument i) :: acc) registry []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+let find name =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () -> Option.map read_instrument (Hashtbl.find_opt registry name))
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | I_counter c -> Atomic.set c 0
+          | I_fcounter c -> Atomic.set c 0.0
+          | I_gauge g -> Atomic.set g 0.0
+          | I_histogram h ->
+            Array.iter (fun b -> Atomic.set b 0) h.bucket_counts;
+            Atomic.set h.h_sum 0.0;
+            Atomic.set h.h_count 0)
+        registry)

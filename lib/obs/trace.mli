@@ -1,0 +1,56 @@
+(** Structured tracing: lightweight nested spans recorded into
+    per-domain buffers, exported as Chrome [trace_event] JSON (open the
+    file in Perfetto or [chrome://tracing]).
+
+    Recording is {e zero-cost when disabled}: [with_span] runs its body
+    directly after one [Atomic.get], allocates nothing and records
+    nothing.  When enabled, each domain appends completed spans to its
+    own buffer — the hot path takes no lock and writes no shared
+    memory, so tracing a parallel sweep perturbs its timing by well
+    under the 5%% overhead budget.
+
+    {!spans}, {!to_json} and {!export} read the domain buffers without
+    locking them; call them only after the recording domains have been
+    joined (the sweep engine shuts its pool down before returning). *)
+
+type arg = Int of int | Float of float | Str of string
+
+type span = {
+  span_name : string;
+  ts_us : float;  (** start time, µs since {!start} *)
+  dur_us : float;  (** duration, µs *)
+  tid : int;  (** numeric id of the recording domain *)
+  depth : int;  (** nesting depth within its domain, 0 = top level *)
+  args : (string * arg) list;
+}
+
+val start : unit -> unit
+(** Clear every buffer, restart the clock, enable recording. *)
+
+val stop : unit -> unit
+val enabled : unit -> bool
+
+val with_span : name:string -> ?args:(string * arg) list -> (unit -> 'a) -> 'a
+(** Run the body inside a span.  The span is recorded (with the time
+    actually spent) even if the body raises.  Nested calls on the same
+    domain record increasing [depth]; spans on different domains carry
+    different [tid]s. *)
+
+val set_arg : string -> arg -> unit
+(** Attach (or overwrite) an argument on the innermost open span of the
+    calling domain — for values only known at the end of the work, like
+    a pivot count.  No-op when disabled or outside any span. *)
+
+val spans : unit -> span list
+(** Completed spans of all domains, oldest first. *)
+
+val to_json : unit -> Ucp_util.Json.t
+(** The whole trace as a Chrome [trace_event] object
+    ([{"traceEvents": [...]}] with ["ph":"X"] complete events). *)
+
+val export : string -> unit
+(** Write {!to_json} to a file, atomically (temp + rename). *)
+
+val parse_file : string -> (span list, string) result
+(** Strictly parse a trace file written by {!export} back into spans
+    ([depth] is not persisted and reads back as 0). *)

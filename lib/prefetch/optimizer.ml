@@ -7,6 +7,8 @@ module Wcet = Ucp_wcet.Wcet
 module Classification = Ucp_wcet.Classification
 module Cacti = Ucp_energy.Cacti
 
+let optimizer_rounds_total = lazy (Ucp_obs.Metrics.counter "optimizer_rounds_total")
+
 type insertion = {
   target_uid : int;
   prefetch_uid : int;
@@ -350,9 +352,13 @@ let optimize ?deadline ?(placement = At_eviction) ?(max_insertions = 2000)
     | Some w -> Analysis.policy w.Wcet.analysis
     | None -> policy
   in
+  let analyze_calls = ref 0 in
   let analyze p =
     Ucp_util.Deadline.check deadline;
-    Wcet.compute ?deadline ~with_may:false ?pinned ~policy p config model
+    incr analyze_calls;
+    Ucp_obs.Trace.with_span ~name:"optimizer-round"
+      ~args:[ ("round", Ucp_obs.Trace.Int !analyze_calls) ] (fun () ->
+        Wcet.compute ?deadline ~with_may:false ?pinned ~policy p config model)
   in
   let w0 = match initial with Some w -> w | None -> analyze program in
   (* Dynamic-overhead budget: inserted prefetches may add at most this
@@ -523,6 +529,7 @@ let optimize ?deadline ?(placement = At_eviction) ?(max_insertions = 2000)
   in
   assert (tau_eff w <= tau_eff w0);
   assert (Program.prefetch_equivalent program p);
+  Ucp_obs.Metrics.add (Lazy.force optimizer_rounds_total) !rounds;
   {
     program = p;
     original = program;

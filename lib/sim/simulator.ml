@@ -255,6 +255,15 @@ let run ?(seed = 42) ?(max_steps = 3_000_000) ?(policy = Concrete.Lru) ?hw ?lock
       exec_block (if decision then taken else fallthrough)
   in
   exec_block (Program.entry program);
+  if Ucp_obs.Metrics.enabled () then begin
+    let label = "{policy=" ^ Ucp_policy.to_string policy ^ "}" in
+    Ucp_obs.Metrics.add
+      (Ucp_obs.Metrics.counter ("cache_fetches_total" ^ label))
+      st.fetches;
+    Ucp_obs.Metrics.add
+      (Ucp_obs.Metrics.counter ("cache_misses_total" ^ label))
+      st.misses
+  end;
   let counts =
     {
       Account.fetches = st.fetches;

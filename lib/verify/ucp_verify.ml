@@ -12,6 +12,8 @@ module Simulator = Ucp_sim.Simulator
 module Optimizer = Ucp_prefetch.Optimizer
 module Cacti = Ucp_energy.Cacti
 
+let audit_obligations_total = lazy (Ucp_obs.Metrics.counter "audit_obligations_total")
+
 (* ------------------------------------------------------------------ *)
 (* Audit modes *)
 
@@ -591,12 +593,18 @@ let audit_case ?deadline ?seed ?(corrupt = false) ~(original : Wcet.t)
   let r =
     if corrupt then { r with Optimizer.tau_after = r.Optimizer.tau_after + 1 } else r
   in
+  let obligation name check =
+    Ucp_obs.Trace.with_span ~name:"audit-obligation"
+      ~args:[ ("obligation", Ucp_obs.Trace.Str name) ] (fun () ->
+        Ucp_obs.Metrics.incr (Lazy.force audit_obligations_total);
+        check ())
+  in
   let result =
-    let* () = certify_ipet ?deadline original in
-    let* () = certify_ipet ?deadline optimized in
-    let* () = replay_witness ?seed original in
-    let* () = replay_witness ?seed optimized in
-    let* () = audit_trail ~original ~optimized r in
+    let* () = obligation "ipet-original" (fun () -> certify_ipet ?deadline original) in
+    let* () = obligation "ipet-optimized" (fun () -> certify_ipet ?deadline optimized) in
+    let* () = obligation "witness-original" (fun () -> replay_witness ?seed original) in
+    let* () = obligation "witness-optimized" (fun () -> replay_witness ?seed optimized) in
+    let* () = obligation "trail" (fun () -> audit_trail ~original ~optimized r) in
     Ok ()
   in
   let seconds = Unix.gettimeofday () -. t0 in

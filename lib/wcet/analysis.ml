@@ -5,6 +5,8 @@ module Instr = Ucp_isa.Instr
 module Abstract = Ucp_cache.Abstract
 module Config = Ucp_cache.Config
 
+let fixpoint_iterations_total = lazy (Ucp_obs.Metrics.counter "fixpoint_iterations_total")
+
 type t = {
   vivu : Vivu.t;
   layout : Layout.t;
@@ -132,6 +134,8 @@ let run ?deadline ?(with_may = true) ?(hw_next_n = 0) ?(pinned = fun _ -> false)
     if !passes > n + 1000 then failwith "Analysis.run: fixpoint did not converge";
     Ucp_util.Deadline.check deadline;
     changed := false;
+    Ucp_obs.Trace.with_span ~name:"fixpoint-pass"
+      ~args:[ ("pass", Ucp_obs.Trace.Int !passes) ] (fun () ->
     Array.iter
       (fun node_id ->
         match join_in node_id with
@@ -152,8 +156,11 @@ let run ?deadline ?(with_may = true) ?(hw_next_n = 0) ?(pinned = fun _ -> false)
             out_states.(node_id) <- Some output;
             changed := true
           end)
-      topo
+      topo)
   done;
+  Ucp_obs.Metrics.add
+    (Lazy.force fixpoint_iterations_total)
+    !passes;
   (* Final recording pass from converged in-states. *)
   let classif =
     Array.init n (fun node_id ->

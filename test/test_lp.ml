@@ -468,11 +468,19 @@ let prop_lp_minimize_certified =
 let prop_ilp_certified =
   QCheck2.Test.make ~name:"every optimal ILP answer certifies" ~count:150
     gen_general_lp (fun p ->
-      match Ilp.maximize p with
+      (* a general random LP can legitimately spend hours of
+         exact-rational pivoting inside the default 100k-node budget
+         (node cost grows with branching depth); a node cap plus a
+         per-instance deadline keeps the run bounded, and aborted
+         instances are skipped below either way *)
+      match
+        Ilp.maximize ~max_nodes:2_000 ~deadline:(Ucp_util.Deadline.after 2.0) p
+      with
       | Ilp.Optimal { value; assignment } ->
         Result.is_ok (Verify.certify_ilp p ~value ~assignment)
       | Ilp.Infeasible | Ilp.Unbounded -> true
-      | exception Ilp.Node_budget_exhausted _ -> true)
+      | exception Ilp.Node_budget_exhausted _ -> true
+      | exception Ucp_util.Deadline.Deadline_exceeded -> true)
 
 let test_node_budget_exhausted () =
   (* the knapsack relaxation is fractional, so branch & bound needs at

@@ -1,0 +1,301 @@
+(* Tests for Ucp_obs: span nesting and per-domain buffers, the metrics
+   registry under multi-domain contention, trace-file round-trip through
+   the strict JSON parser, and the zero-output guarantee when disabled.
+
+   Trace and Metrics are process-global, so every test puts the flags
+   back the way it found them (off) and metrics tests reset the
+   registry before counting. *)
+
+module Trace = Ucp_obs.Trace
+module Metrics = Ucp_obs.Metrics
+module Log = Ucp_obs.Log
+
+let with_tmp_file f =
+  let path = Filename.temp_file "ucp_obs_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* tracing *)
+
+let test_span_nesting () =
+  Trace.start ();
+  let r =
+    Trace.with_span ~name:"outer" (fun () ->
+        Trace.with_span ~name:"mid" (fun () ->
+            Trace.with_span ~name:"leaf" (fun () -> 41))
+        + 1)
+  in
+  Trace.stop ();
+  Alcotest.(check int) "body result" 42 r;
+  let spans = Trace.spans () in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let by_name n = List.find (fun s -> s.Trace.span_name = n) spans in
+  let outer = by_name "outer" and mid = by_name "mid" and leaf = by_name "leaf" in
+  Alcotest.(check int) "outer depth" 0 outer.Trace.depth;
+  Alcotest.(check int) "mid depth" 1 mid.Trace.depth;
+  Alcotest.(check int) "leaf depth" 2 leaf.Trace.depth;
+  Alcotest.(check bool) "same domain" true
+    (outer.Trace.tid = mid.Trace.tid && mid.Trace.tid = leaf.Trace.tid);
+  (* children are contained in their parents, timewise *)
+  let inside child parent =
+    child.Trace.ts_us >= parent.Trace.ts_us
+    && child.Trace.ts_us +. child.Trace.dur_us
+       <= parent.Trace.ts_us +. parent.Trace.dur_us +. 1.0 (* clock slack *)
+  in
+  Alcotest.(check bool) "mid inside outer" true (inside mid outer);
+  Alcotest.(check bool) "leaf inside mid" true (inside leaf mid)
+
+let test_span_recorded_on_raise () =
+  Trace.start ();
+  (try
+     Trace.with_span ~name:"boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Trace.stop ();
+  Alcotest.(check (list string)) "span survives the raise" [ "boom" ]
+    (List.map (fun s -> s.Trace.span_name) (Trace.spans ()))
+
+let test_set_arg () =
+  Trace.start ();
+  Trace.with_span ~name:"work" ~args:[ ("static", Trace.Str "yes") ] (fun () ->
+      Trace.set_arg "pivots" (Trace.Int 1);
+      (* overwrite must replace, not duplicate *)
+      Trace.set_arg "pivots" (Trace.Int 17));
+  Trace.stop ();
+  match Trace.spans () with
+  | [ s ] ->
+    Alcotest.(check int) "two args" 2 (List.length s.Trace.args);
+    Alcotest.(check bool) "pivots overwritten" true
+      (List.assoc "pivots" s.Trace.args = Trace.Int 17);
+    Alcotest.(check bool) "static arg kept" true
+      (List.assoc "static" s.Trace.args = Trace.Str "yes")
+  | spans -> Alcotest.failf "expected exactly one span, got %d" (List.length spans)
+
+let test_spans_across_domains () =
+  let domains = 4 and per_domain = 25 in
+  Trace.start ();
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Trace.with_span ~name:"outer"
+                ~args:[ ("domain", Trace.Int d) ]
+                (fun () -> Trace.with_span ~name:"inner" (fun () -> ignore i))
+            done))
+  in
+  List.iter Domain.join ds;
+  Trace.stop ();
+  let spans = Trace.spans () in
+  Alcotest.(check int) "span count" (domains * per_domain * 2) (List.length spans);
+  let tids =
+    List.sort_uniq compare (List.map (fun s -> s.Trace.tid) spans)
+  in
+  Alcotest.(check int) "one tid per domain" domains (List.length tids);
+  (* nesting holds within each domain: every inner span is depth 1 *)
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (s.Trace.span_name ^ " depth")
+        (if s.Trace.span_name = "inner" then 1 else 0)
+        s.Trace.depth)
+    spans;
+  List.iter (fun s -> Alcotest.(check bool) "dur >= 0" true (s.Trace.dur_us >= 0.0)) spans
+
+let test_trace_round_trip () =
+  Trace.start ();
+  Trace.with_span ~name:"alpha"
+    ~args:[ ("n", Trace.Int 42); ("x", Trace.Float 2.5); ("s", Trace.Str "he\"y\n") ]
+    (fun () -> Trace.with_span ~name:"beta" (fun () -> ()));
+  Trace.stop ();
+  let written = Trace.spans () in
+  with_tmp_file (fun path ->
+      Trace.export path;
+      match Trace.parse_file path with
+      | Error msg -> Alcotest.failf "parse_file: %s" msg
+      | Ok parsed ->
+        Alcotest.(check int) "span count" (List.length written) (List.length parsed);
+        List.iter2
+          (fun (w : Trace.span) (p : Trace.span) ->
+            Alcotest.(check string) "name" w.Trace.span_name p.Trace.span_name;
+            Alcotest.(check int) "tid" w.Trace.tid p.Trace.tid;
+            Alcotest.(check (float 1e-3)) "ts" w.Trace.ts_us p.Trace.ts_us;
+            Alcotest.(check (float 1e-3)) "dur" w.Trace.dur_us p.Trace.dur_us;
+            Alcotest.(check bool) "args" true (w.Trace.args = p.Trace.args))
+          written parsed)
+
+let test_trace_parse_rejects_garbage () =
+  with_tmp_file (fun path ->
+      let oc = open_out path in
+      output_string oc "{\"traceEvents\": [{\"name\": \"x\"}]}";
+      close_out oc;
+      match Trace.parse_file path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted an event with no ph/ts/dur/tid");
+  with_tmp_file (fun path ->
+      let oc = open_out path in
+      output_string oc "{\"events\": []}";
+      close_out oc;
+      match Trace.parse_file path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted a file without traceEvents")
+
+(* ------------------------------------------------------------------ *)
+(* metrics *)
+
+let test_metrics_contention () =
+  let domains = 4 and iters = 10_000 in
+  Metrics.enable ();
+  Metrics.reset ();
+  let c = Metrics.counter "obs_test_total" in
+  let fc = Metrics.fcounter "obs_test_fsum" in
+  let h = Metrics.histogram "obs_test_hist" ~buckets:[| 1.0; 2.0; 3.0 |] in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 1 to iters do
+              Metrics.incr c;
+              Metrics.fadd fc 1.0;
+              (* observations cycle the three finite buckets plus the
+                 overflow bucket, [iters/4] each *)
+              Metrics.observe h (float_of_int (1 + (i mod 4)))
+            done))
+  in
+  List.iter Domain.join ds;
+  Metrics.disable ();
+  let expected = domains * iters in
+  (match Metrics.find "obs_test_total" with
+  | Some (Metrics.Counter n) -> Alcotest.(check int) "exact counter" expected n
+  | _ -> Alcotest.fail "counter missing");
+  (match Metrics.find "obs_test_fsum" with
+  | Some (Metrics.Fcounter x) ->
+    (* sums of 1.0 up to 40000 are exactly representable *)
+    Alcotest.(check (float 0.0)) "exact fcounter" (float_of_int expected) x
+  | _ -> Alcotest.fail "fcounter missing");
+  match Metrics.find "obs_test_hist" with
+  | Some (Metrics.Histogram { counts; sum; count; _ }) ->
+    Alcotest.(check int) "observation count" expected count;
+    Alcotest.(check (array int)) "no torn buckets"
+      (Array.make 4 (expected / 4))
+      counts;
+    Alcotest.(check (float 1e-6)) "sum"
+      (float_of_int (domains * iters / 4 * (1 + 2 + 3 + 4)))
+      sum
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_metrics_kind_clash () =
+  Metrics.reset ();
+  ignore (Metrics.counter "obs_test_kind");
+  Alcotest.check_raises "re-register as gauge"
+    (Invalid_argument "Metrics: obs_test_kind is already registered as a counter")
+    (fun () -> ignore (Metrics.gauge "obs_test_kind"))
+
+let test_metrics_idempotent_registration () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let a = Metrics.counter "obs_test_same" in
+  let b = Metrics.counter "obs_test_same" in
+  Metrics.add a 2;
+  Metrics.add b 3;
+  Metrics.disable ();
+  match Metrics.find "obs_test_same" with
+  | Some (Metrics.Counter 5) -> ()
+  | v ->
+    Alcotest.failf "expected one shared counter at 5, got %s"
+      (match v with Some (Metrics.Counter n) -> string_of_int n | _ -> "none")
+
+(* ------------------------------------------------------------------ *)
+(* zero output when disabled *)
+
+let test_disabled_emits_nothing () =
+  Trace.start ();
+  Trace.stop ();
+  (* both flags off: instrumented code must run and record nothing *)
+  Alcotest.(check bool) "trace disabled" false (Trace.enabled ());
+  Alcotest.(check bool) "metrics disabled" false (Metrics.enabled ());
+  let r = Trace.with_span ~name:"ghost" (fun () -> 7) in
+  Trace.set_arg "k" (Trace.Int 1);
+  Alcotest.(check int) "body still runs" 7 r;
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Trace.spans ()));
+  Metrics.reset ();
+  let c = Metrics.counter "obs_test_ghost" in
+  Metrics.add c 5;
+  Metrics.incr c;
+  (match Metrics.find "obs_test_ghost" with
+  | Some (Metrics.Counter 0) -> ()
+  | _ -> Alcotest.fail "disabled counter must stay at 0");
+  let h = Metrics.histogram "obs_test_ghost_h" ~buckets:[| 1.0 |] in
+  Metrics.observe h 0.5;
+  match Metrics.find "obs_test_ghost_h" with
+  | Some (Metrics.Histogram { count = 0; sum = 0.0; _ }) -> ()
+  | _ -> Alcotest.fail "disabled histogram must stay empty"
+
+let test_disabled_jsonl_unchanged () =
+  (* the machine-readable summary only gains a "metrics" field when a
+     dump is passed; an empty/absent dump leaves the line untouched *)
+  let base =
+    Ucp_core.Report.sweep_jsonl ~wall_s:1.0 ~jobs:1
+      ~timings:(Ucp_core.Pipeline.fresh_timings ())
+      []
+  in
+  let with_empty =
+    Ucp_core.Report.sweep_jsonl ~wall_s:1.0 ~jobs:1
+      ~timings:(Ucp_core.Pipeline.fresh_timings ())
+      ~metrics:[] []
+  in
+  Alcotest.(check string) "empty dump adds nothing" base with_empty;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "no metrics field" false (contains base "\"metrics\"")
+
+(* ------------------------------------------------------------------ *)
+(* log levels *)
+
+let test_log_levels () =
+  let saved = Log.level () in
+  Fun.protect
+    ~finally:(fun () -> Log.set_level saved)
+    (fun () ->
+      Log.set_level Log.Debug;
+      Alcotest.(check bool) "debug enables info" true (Log.enabled Log.Info);
+      Log.set_level Log.Warn;
+      Alcotest.(check bool) "warn disables info" false (Log.enabled Log.Info);
+      Log.set_level Log.Quiet;
+      Alcotest.(check bool) "quiet disables error" false (Log.enabled Log.Error));
+  (match Log.level_of_string "info" with
+  | Ok Log.Info -> ()
+  | _ -> Alcotest.fail "level_of_string info");
+  match Log.level_of_string "loud" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a bogus level"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "recorded on raise" `Quick test_span_recorded_on_raise;
+          Alcotest.test_case "set_arg" `Quick test_set_arg;
+          Alcotest.test_case "across domains" `Quick test_spans_across_domains;
+          Alcotest.test_case "round trip" `Quick test_trace_round_trip;
+          Alcotest.test_case "parse rejects garbage" `Quick
+            test_trace_parse_rejects_garbage;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "4-domain contention" `Quick test_metrics_contention;
+          Alcotest.test_case "kind clash" `Quick test_metrics_kind_clash;
+          Alcotest.test_case "idempotent registration" `Quick
+            test_metrics_idempotent_registration;
+        ] );
+      ( "disabled",
+        [
+          Alcotest.test_case "emits nothing" `Quick test_disabled_emits_nothing;
+          Alcotest.test_case "jsonl unchanged" `Quick test_disabled_jsonl_unchanged;
+        ] );
+      ("log", [ Alcotest.test_case "levels" `Quick test_log_levels ]);
+    ]
