@@ -384,6 +384,43 @@ let lru_identity_guard () =
     "LRU identity guard: %d records byte-identical (parallel vs sequential)\n%!"
     (List.length seq)
 
+(* Audit-cost trajectory: the ci.sh smoke grid swept unaudited and
+   under --audit full, recorded in the tracked BENCH_6.json so future
+   changes can see certification-cost drift.  With the certificate
+   fast path the audit is linear checks only, so the ratio must stay
+   small; ci.sh enforces <= 3x on the same grid. *)
+let audit_speed_trajectory () =
+  let names = [ "fft1"; "crc"; "st"; "fdct" ] in
+  let programs = List.map (fun n -> (n, Ucp_workloads.Suite.find n)) names in
+  let configs =
+    List.filter (fun (id, _) -> List.mem id [ "k2"; "k5"; "k17" ]) Config.paper_configs
+  in
+  let run audit =
+    let s = Parallel.sweep ~programs ~configs ~audit ~jobs () in
+    if s.Parallel.failures <> [] then begin
+      prerr_endline "bench: audit trajectory: sweep had failing cases";
+      exit 1
+    end;
+    s
+  in
+  let plain = run Ucp_verify.Off in
+  let audited = run Ucp_verify.Full in
+  let ratio = audited.Parallel.wall_s /. Float.max 1e-9 plain.Parallel.wall_s in
+  let path =
+    match Sys.getenv_opt "UCP_BENCH_OUT" with
+    | Some p when p <> "" -> p
+    | Some _ | None -> "BENCH_6.json"
+  in
+  Ucp_core.Checkpoint.write_atomic ~path
+    (Printf.sprintf
+       {|{"bench":"audit-speed","grid":"%s x k2,k5,k17 x 2 techs","cases":%d,"jobs":%d,"wall_unaudited_s":%.3f,"wall_audited_s":%.3f,"ratio":%.2f}|}
+       (String.concat "," names) audited.Parallel.cases audited.Parallel.jobs
+       plain.Parallel.wall_s audited.Parallel.wall_s ratio
+    ^ "\n");
+  Printf.printf
+    "audit-speed trajectory: %d cases, unaudited %.2fs vs audited %.2fs (%.2fx) -> %s\n%!"
+    audited.Parallel.cases plain.Parallel.wall_s audited.Parallel.wall_s ratio path
+
 (* ------------------------------------------------------------------ *)
 (* part 2: Bechamel micro-benchmarks *)
 
@@ -436,8 +473,15 @@ let micro_benchmarks records =
     tests
 
 let () =
+  (* --audit-trajectory: regenerate BENCH_6.json alone, without the
+     minutes-long reproduction sweep *)
+  if Array.exists (( = ) "--audit-trajectory") Sys.argv then begin
+    audit_speed_trajectory ();
+    exit 0
+  end;
   let records = reproduce () in
   print_newline ();
   lru_identity_guard ();
+  audit_speed_trajectory ();
   micro_benchmarks records;
   print_endline "\nbench: done"

@@ -127,8 +127,8 @@ echo "ci: corrupt-cert audit smoke passed"
 # Observability smoke: trace a tiny audited sweep (2 programs x 1
 # config x 1 tech = 2 cases per binary stage) and check the trace is
 # well-formed JSON carrying spans from every pipeline stage, that
-# `ucp trace` can read it back, that the simplex pivot total derived
-# from the trace matches the simplex_pivots_total counter on the JSONL
+# `ucp trace` can read it back, that the fixpoint-pass span count in
+# the trace matches the fixpoint_iterations_total counter on the JSONL
 # summary line, and that instrumentation never changes the per-record
 # output: a traced sweep's record lines must be byte-identical to an
 # untraced run's.
@@ -165,13 +165,20 @@ dune exec --no-build bin/ucp.exe -- experiment \
 
 # spans from all instrumented layers must be present
 for span in case analysis optimize simulate audit \
-  optimizer-round fixpoint-pass simplex audit-obligation
+  optimizer-round fixpoint-pass audit-obligation
 do
   if ! grep -q "\"name\":\"$span\"" "$obs_dir/trace.json"; then
     echo "ci: obs smoke: trace has no '$span' span" >&2
     exit 1
   fi
 done
+
+# the audit fast path certifies without a solver: a clean audited sweep
+# must record no simplex span at all
+if grep -q '"name":"simplex"' "$obs_dir/trace.json"; then
+  echo "ci: obs smoke: audited sweep ran the simplex (fast path regressed)" >&2
+  exit 1
+fi
 
 # `ucp trace` strictly parses the file (well-formedness check) and
 # summarizes it
@@ -182,12 +189,12 @@ if ! dune exec --no-build bin/ucp.exe -- trace "$obs_dir/trace.json" \
   exit 1
 fi
 
-# the pivot total summed from trace spans must equal the metrics
-# counter embedded in the JSONL summary line
-pivots_trace=$(sed -n 's/.*simplex\.pivots=\([0-9][0-9]*\).*/\1/p' "$obs_dir/trace.txt")
-pivots_metric=$(sed -n 's/.*"simplex_pivots_total":\([0-9][0-9]*\).*/\1/p' "$obs_dir/traced.jsonl")
-if [ -z "$pivots_trace" ] || [ "$pivots_trace" != "$pivots_metric" ]; then
-  echo "ci: obs smoke: simplex pivots disagree: trace='$pivots_trace' metric='$pivots_metric'" >&2
+# the fixpoint-pass span count must equal the metrics counter embedded
+# in the JSONL summary line (one span per pass, one counted pass each)
+fp_trace=$(grep -o '"name":"fixpoint-pass"' "$obs_dir/trace.json" | wc -l)
+fp_metric=$(sed -n 's/.*"fixpoint_iterations_total":\([0-9][0-9]*\).*/\1/p' "$obs_dir/traced.jsonl")
+if [ -z "$fp_metric" ] || [ "$fp_trace" -eq 0 ] || [ "$fp_trace" != "$fp_metric" ]; then
+  echo "ci: obs smoke: fixpoint passes disagree: trace='$fp_trace' metric='$fp_metric'" >&2
   exit 1
 fi
 
@@ -201,3 +208,49 @@ if ! cmp -s "$obs_dir/traced.records" "$obs_dir/plain.records"; then
   exit 1
 fi
 echo "ci: observability smoke passed"
+
+# Audit-speed smoke: full certification must ride along nearly free.
+# The certificate checks are linear passes (no re-solve), so on a
+# 24-case grid the audited wall stays within 3x of the unaudited one
+# (plus a small absolute slack against timer noise on fast machines),
+# and auditing must not perturb the measurements: the audited records,
+# with the audit verdict fields stripped, are byte-identical to the
+# unaudited run's.
+speed_dir=$(mktemp -d)
+trap 'rm -f "$smoke_err"; rm -rf "$obs_dir" "$speed_dir"' EXIT
+
+dune exec --no-build bin/ucp.exe -- experiment \
+  --programs fft1,crc,st,fdct --configs k2,k5,k17 --jobs 2 \
+  --sweep-out "$speed_dir/plain.jsonl" \
+  >/dev/null 2>"$smoke_err" || {
+  echo "ci: audit-speed smoke: unaudited sweep failed" >&2
+  cat "$smoke_err" >&2
+  exit 1
+}
+dune exec --no-build bin/ucp.exe -- experiment \
+  --programs fft1,crc,st,fdct --configs k2,k5,k17 --jobs 2 \
+  --audit full --sweep-out "$speed_dir/audited.jsonl" \
+  >/dev/null 2>"$smoke_err" || {
+  echo "ci: audit-speed smoke: audited sweep failed" >&2
+  cat "$smoke_err" >&2
+  exit 1
+}
+
+wall_plain=$(sed -n 's/.*"wall_s":\([0-9.]*\).*/\1/p' "$speed_dir/plain.jsonl")
+wall_audited=$(sed -n 's/.*"wall_s":\([0-9.]*\).*/\1/p' "$speed_dir/audited.jsonl")
+if ! awk -v a="$wall_audited" -v p="$wall_plain" \
+  'BEGIN { exit !(a <= 3 * p + 0.25) }'; then
+  echo "ci: audit-speed smoke: audited wall ${wall_audited}s exceeds 3x unaudited ${wall_plain}s" >&2
+  exit 1
+fi
+
+grep -v '"summary"' "$speed_dir/audited.jsonl" \
+  | sed 's/,"audit_checks":[0-9]*,"audit_s":[0-9.]*//' \
+  >"$speed_dir/audited.records"
+grep -v '"summary"' "$speed_dir/plain.jsonl" >"$speed_dir/plain.records"
+if ! cmp -s "$speed_dir/audited.records" "$speed_dir/plain.records"; then
+  echo "ci: audit-speed smoke: auditing changed the per-record JSONL output" >&2
+  diff "$speed_dir/audited.records" "$speed_dir/plain.records" >&2 || true
+  exit 1
+fi
+echo "ci: audit-speed smoke passed (audited ${wall_audited}s vs unaudited ${wall_plain}s)"

@@ -29,8 +29,26 @@ type t
 val empty : ?policy:Ucp_policy.id -> Config.t -> kind -> t
 (** Cold cache: nothing resident.  For must analysis this is also the
     sound "no guarantees" element used at unknown program points.
+    Functional (per-set association list) representation.
     @raise Invalid_argument if the policy rejects the configuration's
     associativity (PLRU requires a power of two). *)
+
+val empty_flat :
+  ?policy:Ucp_policy.id -> base:int -> universe:int -> Config.t -> kind -> t
+(** Cold cache in the cacheaudit-style flat age-vector representation:
+    one packed int array over the memory blocks
+    [\[base, base + universe)], absence encoded by saturation at the
+    policy's eviction threshold.  [base] keeps the vector dense — code
+    blocks sit near the layout's anchor address, so the array spans the
+    program's id range, not the address space.  Same abstract semantics
+    as {!empty} (qcheck-tested equivalent), cheaper transfers and
+    joins.  All states flowing into {!join}, {!leq} or {!equal}
+    together must share one representation (base and universe);
+    operations on blocks outside the universe raise
+    [Invalid_argument]. *)
+
+val is_flat : t -> bool
+(** Whether this state uses the flat age-vector representation. *)
 
 val kind : t -> kind
 val config : t -> Config.t
@@ -47,6 +65,19 @@ val fill : ?hint:Ucp_policy.hint -> t -> int -> t
 (** Abstract effect of a completed prefetch of a memory block; [?hint]
     says whether the block is known resident ([Hit]), known absent
     ([Miss]) or unknown. *)
+
+val copy : t -> t
+(** Independent deep copy, for use with the destructive variants
+    below: mutations of the copy never alias the original. *)
+
+val update_ip : ?hint:Ucp_policy.hint -> t -> int -> unit
+(** Destructive {!update}, for the analysis hot loop: mutates [t] in
+    place.  Only apply to states obtained from {!copy} that no other
+    holder can observe — one copy per node transfer instead of one
+    allocation per instruction slot. *)
+
+val fill_ip : ?hint:Ucp_policy.hint -> t -> int -> unit
+(** Destructive {!fill}; same ownership contract as {!update_ip}. *)
 
 val join : t -> t -> t
 (** Must: intersection/max-age.  May: union/min-age.

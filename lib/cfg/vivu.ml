@@ -176,6 +176,7 @@ let entry t = t.entry
 let exit_nodes t = t.exit_nodes
 let dag_succ t id = t.dag_succ.(id)
 let dag_pred t id = t.dag_pred.(id)
+let iter_succ t id = t.iter_succ.(id)
 let iter_pred t id = t.iter_pred.(id)
 let all_pred t id = t.dag_pred.(id) @ t.iter_pred.(id)
 let mult t id = t.mult.(id)

@@ -41,6 +41,11 @@ val exit_nodes : t -> int list
 val dag_succ : t -> int -> int list
 val dag_pred : t -> int -> int list
 
+val iter_succ : t -> int -> int list
+(** Successors through iteration (rest back) edges only — the
+    wrap-around edges a lap of the loop follows back to its rest
+    header. *)
+
 val iter_pred : t -> int -> int list
 (** Predecessors through iteration (rest back) edges only. *)
 

@@ -217,15 +217,20 @@ let audit_json (a : Pipeline.audit) =
   | Pipeline.Not_audited -> ""
   | Pipeline.Audited { checks; seconds } ->
     Printf.sprintf {|,"audit_checks":%d,"audit_s":%s|} checks (flt seconds)
+  | Pipeline.Audit_skipped reason ->
+    Printf.sprintf {|,"audit_skipped":%s|} (Report.json_string reason)
 
 let audit_of_json j : Pipeline.audit =
   match opt_field j "audit_checks" with
-  | None -> Pipeline.Not_audited
   | Some checks ->
     let seconds =
       match opt_field j "audit_s" with Some s -> to_float s | None -> 0.0
     in
     Pipeline.Audited { checks = to_int checks; seconds }
+  | None -> (
+    match opt_field j "audit_skipped" with
+    | Some reason -> Pipeline.Audit_skipped (to_string reason)
+    | None -> Pipeline.Not_audited)
 
 let record_line ~id (r : Experiments.record) =
   Printf.sprintf

@@ -74,9 +74,37 @@ val model_table :
     front so a 2664-case sweep derives 72 models instead of 2664, and
     so worker domains only ever read the table. *)
 
+(** A sweep-wide memo of original-program analyses, keyed
+    ["<program>:<config id>:<policy>"].  The cache-aware fixpoint never
+    reads the CACTI timing model, so the technology axis of the grid
+    shares one analysis per key.  Thread-safe (mutex-guarded lookups;
+    misses compute outside the lock, racing workers may duplicate but
+    never block). *)
+module Analysis_memo : sig
+  type t
+
+  val create : unit -> t
+end
+
+val eval_case :
+  ?deadline:Ucp_util.Deadline.t ->
+  ?timed:Pipeline.timings ->
+  ?memo:Analysis_memo.t ->
+  ?audit:bool ->
+  ?corrupt_cert:bool ->
+  model:Ucp_energy.Cacti.t ->
+  case ->
+  record * Pipeline.audit_input option
+(** Evaluate one use case without discharging its audit: the record
+    carries [Not_audited] and, under [?audit:true], the deferred
+    obligation is returned for {!Pipeline.finish_audit} — the parallel
+    sweep schedules it as its own work item.  [?memo] shares
+    original-program analyses across the technology axis. *)
+
 val run_case :
   ?deadline:Ucp_util.Deadline.t ->
   ?timed:Pipeline.timings ->
+  ?memo:Analysis_memo.t ->
   ?audit:bool ->
   ?corrupt_cert:bool ->
   model:Ucp_energy.Cacti.t ->
@@ -87,7 +115,7 @@ val run_case :
     (see {!Pipeline.compare_optimized}).  [?audit] runs the
     {!Ucp_verify} certification on the case; [?corrupt_cert] injects
     the certificate corruption the audit must catch (both default
-    false). *)
+    false).  {!eval_case} followed by {!Pipeline.finish_audit}. *)
 
 val check_invariants : record -> (unit, string) result
 (** Runtime guard over the paper's soundness claims: Theorem 1

@@ -295,6 +295,7 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let cases = Experiments.cases ~policies ~programs ~configs ~techs () in
   let models = Experiments.model_table configs techs in
+  let memo = Experiments.Analysis_memo.create () in
   let n = Array.length cases in
   let journal =
     match checkpoint with
@@ -332,52 +333,117 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
         Array.of_list
           (List.filter (fun i -> Option.is_none final.(i)) (List.init n Fun.id))
       in
-      (* grid-level completion count, fed by the progress path and read
+      (* grid-level completion count, fed by the finalize path and read
          by the heartbeat domain *)
       let hb_done = Atomic.make !resumed in
-      let progress =
-        (* report against the whole grid, counting replayed cases as
-           already done *)
-        if Option.is_none progress && Option.is_none heartbeat then None
-        else
-          Some
-            (fun ~done_ ~total:_ ->
-              let done_ = done_ + !resumed in
-              Atomic.set hb_done done_;
-              match progress with
-              | None -> ()
-              | Some cb -> cb ~done_ ~total:n)
+      (* per finalized case, serialized under a dedicated lock; a
+         raising progress callback must not poison the pool and void
+         the computed results, so the first exception disables further
+         callbacks and the sweep completes normally *)
+      let pmutex = Mutex.create () in
+      let completed = ref 0 in
+      let progress_dead = ref false in
+      let note_done () =
+        Mutex.lock pmutex;
+        incr completed;
+        let done_ = !completed + !resumed in
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock pmutex)
+          (fun () ->
+            Atomic.set hb_done done_;
+            match progress with
+            | None -> ()
+            | Some cb ->
+              if not !progress_dead then
+                try cb ~done_ ~total:n
+                with exn ->
+                  progress_dead := true;
+                  Ucp_obs.Log.warn
+                    "progress callback raised %s; progress reporting disabled \
+                     for the rest of this run"
+                    (Printexc.to_string exn))
       in
-      let run i =
+      (* Evaluation and certification are separate work items on one
+         pool: a case task analyzes/optimizes/simulates, then queues its
+         deferred audit obligation (weight 0, so per-worker case counts
+         tally each case once); fault hooks, invariant checks and
+         journaling run only after the audit verdict is in — the same
+         order the old inline audit observed. *)
+      let wrap f =
+        match f () with
+        | v -> Outcome.Ok v
+        | exception Deadline.Deadline_exceeded -> Outcome.Timed_out
+        | exception Outcome.Invariant msg -> Outcome.Invariant_violation msg
+        | exception exn ->
+          let bt = Printexc.get_raw_backtrace () in
+          Outcome.Failed
+            {
+              Outcome.exn_text = Printexc.to_string exn;
+              backtrace = Printexc.raw_backtrace_to_string bt;
+            }
+      in
+      (* each index is written by exactly one task, so [final] needs no
+         lock; [note_done] serializes the user-visible side effects *)
+      let set_final i o =
+        final.(i) <- Some o;
+        note_done ()
+      in
+      let finalize id (r : Experiments.record) timed =
+        let r = Fault.corrupt id r in
+        (match Experiments.check_invariants r with
+        | Ok () -> ()
+        | Error msg -> raise (Outcome.Invariant msg));
+        (* journal only sound, complete records; failures are retried
+           on resume *)
+        Option.iter (fun j -> Checkpoint.record j ~id r) journal;
+        (r, timed)
+      in
+      let pool = create ~jobs in
+      let audit_task i id r input timed () =
+        set_final i
+          (wrap (fun () ->
+               (* the obligation gets its own deadline window: time
+                  spent queued behind other cases is not execution *)
+               let deadline = Option.map Deadline.after timeout in
+               let audit = Pipeline.finish_audit ?deadline ~timed input in
+               finalize id { r with Experiments.audit } timed))
+      in
+      let case_task i =
         let c = cases.(i) in
         let id = Experiments.case_id c in
-        Ucp_obs.Trace.with_span ~name:"case"
-          ~args:[ ("id", Ucp_obs.Trace.Str id) ] (fun () ->
-            observed_case (fun () ->
-                (* the deadline clock starts when the case starts
-                   executing, not when the sweep was launched *)
-                let deadline = Option.map Deadline.after timeout in
-                Fault.apply_pre ?deadline id;
-                (* one timing accumulator per case: workers never share
-                   one, so no synchronization is needed on the hot path *)
-                let timed = Pipeline.fresh_timings () in
-                let model =
-                  Hashtbl.find models
-                    (c.Experiments.case_config, c.Experiments.case_tech)
-                in
-                let r =
-                  Experiments.run_case ?deadline ~timed
-                    ~audit:(Ucp_verify.selects audit id)
-                    ~corrupt_cert:(Fault.corrupt_cert id) ~model c
-                in
-                let r = Fault.corrupt id r in
-                (match Experiments.check_invariants r with
-                | Ok () -> ()
-                | Error msg -> raise (Outcome.Invariant msg));
-                (* journal only sound, complete records; failures are
-                   retried on resume *)
-                Option.iter (fun j -> Checkpoint.record j ~id r) journal;
-                (r, timed)))
+        let evaluated =
+          wrap (fun () ->
+              Ucp_obs.Trace.with_span ~name:"case"
+                ~args:[ ("id", Ucp_obs.Trace.Str id) ] (fun () ->
+                  observed_case (fun () ->
+                      (* the deadline clock starts when the case starts
+                         executing, not when the sweep was launched *)
+                      let deadline = Option.map Deadline.after timeout in
+                      Fault.apply_pre ?deadline id;
+                      (* one timing accumulator per case: workers never
+                         share one, so no synchronization is needed on
+                         the hot path *)
+                      let timed = Pipeline.fresh_timings () in
+                      let model =
+                        Hashtbl.find models
+                          (c.Experiments.case_config, c.Experiments.case_tech)
+                      in
+                      let r, obligation =
+                        Experiments.eval_case ?deadline ~timed ~memo
+                          ~audit:(Ucp_verify.selects audit id)
+                          ~corrupt_cert:(Fault.corrupt_cert id) ~model c
+                      in
+                      (r, obligation, timed))))
+        in
+        match evaluated with
+        | Outcome.Ok (r, Some input, timed) ->
+          submit ~weight:0 pool (audit_task i id r input timed)
+        | Outcome.Ok (r, None, timed) ->
+          set_final i (wrap (fun () -> finalize id r timed))
+        | Outcome.Failed f -> set_final i (Outcome.Failed f)
+        | Outcome.Timed_out -> set_final i Outcome.Timed_out
+        | Outcome.Invariant_violation m ->
+          set_final i (Outcome.Invariant_violation m)
       in
       let stats = ref [||] in
       (* periodic liveness line on stderr: overall completion, sweep
@@ -420,17 +486,36 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
                 loop (started +. every)))
           heartbeat
       in
-      let out =
-        Fun.protect
-          ~finally:(fun () ->
-            Atomic.set hb_stop true;
-            Option.iter Domain.join hb_domain)
-          (fun () ->
-            try_map ~jobs ?chunk ?progress
-              ~telemetry:(fun st -> stats := st)
-              run todo)
-      in
-      Array.iteri (fun k i -> final.(i) <- Some out.(k)) todo;
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set hb_stop true;
+          Option.iter Domain.join hb_domain)
+        (fun () ->
+          Fun.protect
+            ~finally:(fun () -> shutdown pool)
+            (fun () ->
+              let todo_n = Array.length todo in
+              let chunk =
+                match chunk with
+                | Some c when c >= 1 -> c
+                | Some _ ->
+                  invalid_arg "Parallel.sweep: chunk must be positive"
+                (* small chunks smooth out the order-of-magnitude spread
+                   in per-case cost across programs; 4 chunks per worker
+                   bounds the tail wait by ~1/4 of a worker's share *)
+                | None -> max 1 (todo_n / (jobs * 4))
+              in
+              let lo = ref 0 in
+              while !lo < todo_n do
+                let l = !lo and h = min todo_n (!lo + chunk) in
+                submit ~weight:(h - l) pool (fun () ->
+                    for k = l to h - 1 do
+                      case_task todo.(k)
+                    done);
+                lo := h
+              done;
+              wait pool;
+              stats := worker_stats pool));
       let timings = Pipeline.fresh_timings () in
       Array.iter
         (function

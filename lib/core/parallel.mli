@@ -138,8 +138,10 @@ val sweep :
     by a replacement-policy axis and is part of the checkpoint
     fingerprint, so resuming an LRU-only journal against a
     multi-policy grid is rejected) on a worker pool.  The CACTI model is computed once per
-    (configuration, technology) pair up front, and within each use case
-    the original program's WCET analysis is shared between the
+    (configuration, technology) pair up front; a sweep-wide
+    {!Experiments.Analysis_memo} shares each original-program analysis
+    across the technology axis (the fixpoint never reads the timing
+    model), and within each use case it is further shared between the
     optimizer and the original measurement (see
     {!Pipeline.compare_optimized}).
 
@@ -153,13 +155,17 @@ val sweep :
 
     Certification: [?audit] (default [Off]) runs the {!Ucp_verify}
     audit on every case ([Full]) or a deterministic 1-in-N sample keyed
-    by case id ([Sample N], stable across resume).  An audited case
-    whose certificate fails any obligation is demoted to
-    [Invariant_violation] with the obligation named; audited records
-    carry their verdict and cost in {!Experiments.record.audit} and the
-    audit wall-clock lands in [timings].  A [Fault.Corrupt_cert] hook
-    arms the certificate-corruption path on its case, which must then
-    fail its audit.
+    by case id ([Sample N], stable across resume).  Each audit runs as
+    its own pool work item after its case's evaluation (with a fresh
+    per-case deadline — queue wait is not execution); the record is
+    finalized (fault hooks, invariant guard, checkpoint journal) only
+    once the verdict is in.  An audited case whose certificate fails
+    any obligation is demoted to [Invariant_violation] with the
+    obligation named; audited records carry their verdict and cost in
+    {!Experiments.record.audit} and the audit wall-clock lands in
+    [timings].  A [Fault.Corrupt_cert] hook arms the
+    certificate-corruption path on its case, which must then fail its
+    audit.
 
     Checkpointing: with [?checkpoint:path] every sound finished record
     is appended to a JSONL journal and flushed; with [resume:true] a

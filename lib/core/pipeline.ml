@@ -94,7 +94,10 @@ let optimize ?model:mdl ?policy program config tech =
   Ucp_obs.Trace.with_span ~name:"optimize" (fun () ->
       Optimizer.optimize ?policy program config m)
 
-type audit = Not_audited | Audited of { checks : int; seconds : float }
+type audit =
+  | Not_audited
+  | Audited of { checks : int; seconds : float }
+  | Audit_skipped of string
 
 type comparison = {
   original : measurement;
@@ -104,20 +107,52 @@ type comparison = {
   audit : audit;
 }
 
-let compare_optimized ?deadline ?(seed = 42) ?model:mdl ?timed:tm
-    ?(policy = Ucp_policy.Lru) ?(audit = false) ?(corrupt_cert = false) program
-    config tech =
+type audit_input = {
+  ai_original : Wcet.t;
+  ai_optimized : Wcet.t;
+  ai_result : Optimizer.result;
+  ai_corrupt : bool;
+  ai_seed : int;
+}
+
+let finish_audit ?deadline ?timed:tm input =
+  let v =
+    Ucp_obs.Trace.with_span ~name:"audit" (fun () ->
+        Ucp_verify.audit_case ?deadline ~seed:input.ai_seed
+          ~corrupt:input.ai_corrupt ~original:input.ai_original
+          ~optimized:input.ai_optimized input.ai_result)
+  in
+  match v with
+  | Ok verdict ->
+    (* The audit stage of [timed] accumulates the verdict's own
+       per-obligation intervals — the same measurements that feed the
+       [audit_seconds_total] metrics fcounter — not a second ad-hoc
+       clock around this call, so traced and untraced runs put
+       identical audit numbers on the summary line. *)
+    Option.iter (fun tm -> on_audit tm (Ucp_verify.verdict_seconds verdict)) tm;
+    (match verdict with
+    | Ucp_verify.Certified { checks; seconds } -> Audited { checks; seconds }
+    | Ucp_verify.Skipped { reason } -> Audit_skipped reason)
+  | Error msg -> raise (Outcome.Invariant ("audit: " ^ msg))
+
+let prepare ?deadline ?(seed = 42) ?model:mdl ?timed:tm
+    ?(policy = Ucp_policy.Lru) ?analysis0 ?(audit = false)
+    ?(corrupt_cert = false) program config tech =
   let m = match mdl with Some m -> m | None -> model config tech in
   (* The original program's cache-aware analysis is the most expensive
      shared artifact of a use case: compute it once and hand it to both
      the optimizer (which otherwise recomputes it as its starting
-     fixpoint) and the original-program measurement.  The may analysis
-     is on for the sake of the measurement's classification counters;
-     the optimizer's own re-analyses stay may-free where the policy
-     allows it. *)
+     fixpoint) and the original-program measurement — or reuse a
+     [?analysis0] memoized by the sweep across the technology axis
+     (the abstract interpretation never looks at the timing model).
+     The may analysis is on for the sake of the measurement's
+     classification counters; the optimizer's own re-analyses stay
+     may-free where the policy allows it. *)
   let w0 =
     timed ~name:"analysis" tm on_analysis (fun () ->
-        Wcet.compute ?deadline ~with_may:true ~policy program config m)
+        match analysis0 with
+        | Some a -> Wcet.of_analysis a m
+        | None -> Wcet.compute ?deadline ~with_may:true ~policy program config m)
   in
   let result =
     timed ~name:"optimize" tm on_optimize (fun () ->
@@ -137,22 +172,35 @@ let compare_optimized ?deadline ?(seed = 42) ?model:mdl ?timed:tm
     measure ?deadline ~seed ~model:m ~wcet:w1 ?timed:tm ~policy
       result.Optimizer.program config tech
   in
-  let audit =
-    if not audit then Not_audited
-    else
-      let v =
-        timed ~name:"audit" tm on_audit (fun () ->
-            Ucp_verify.audit_case ?deadline ~seed ~corrupt:corrupt_cert
-              ~original:w0 ~optimized:w1 result)
-      in
-      match v with
-      | Ok { Ucp_verify.checks; seconds } -> Audited { checks; seconds }
-      | Error msg -> raise (Outcome.Invariant ("audit: " ^ msg))
+  let cmp =
+    {
+      original;
+      optimized;
+      prefetches = List.length result.Optimizer.insertions;
+      rejected = result.Optimizer.rejected;
+      audit = Not_audited;
+    }
   in
-  {
-    original;
-    optimized;
-    prefetches = List.length result.Optimizer.insertions;
-    rejected = result.Optimizer.rejected;
-    audit;
-  }
+  let obligation =
+    if not audit then None
+    else
+      Some
+        {
+          ai_original = w0;
+          ai_optimized = w1;
+          ai_result = result;
+          ai_corrupt = corrupt_cert;
+          ai_seed = seed;
+        }
+  in
+  (cmp, obligation)
+
+let compare_optimized ?deadline ?seed ?model:mdl ?timed:tm ?policy ?analysis0
+    ?audit ?corrupt_cert program config tech =
+  let cmp, obligation =
+    prepare ?deadline ?seed ?model:mdl ?timed:tm ?policy ?analysis0 ?audit
+      ?corrupt_cert program config tech
+  in
+  match obligation with
+  | None -> cmp
+  | Some input -> { cmp with audit = finish_audit ?deadline ?timed:tm input }

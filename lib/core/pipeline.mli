@@ -84,8 +84,14 @@ val optimize :
 
 (** Was this use case audited by the {!Ucp_verify} certification layer,
     and at what cost?  A {e failed} audit never produces a value — it
-    raises {!Outcome.Invariant} instead (see [compare_optimized]). *)
-type audit = Not_audited | Audited of { checks : int; seconds : float }
+    raises {!Outcome.Invariant} instead (see [compare_optimized]).
+    [Audit_skipped] is an audit that could not run (non-plain analysis:
+    pinned/locked ways or a hardware prefetcher) — surfaced explicitly
+    so such records cannot claim a certification they never had. *)
+type audit =
+  | Not_audited
+  | Audited of { checks : int; seconds : float }
+  | Audit_skipped of string
 
 type comparison = {
   original : measurement;
@@ -95,12 +101,52 @@ type comparison = {
   audit : audit;  (** certification verdict for this case *)
 }
 
+type audit_input
+(** A deferred audit obligation: the two analyses, the optimizer result
+    and the fault hook of an evaluated case, detached from the
+    evaluation so the sweep can schedule certification as its own work
+    item on the domain pool. *)
+
+val prepare :
+  ?deadline:Ucp_util.Deadline.t ->
+  ?seed:int ->
+  ?model:Ucp_energy.Cacti.t ->
+  ?timed:timings ->
+  ?policy:Ucp_policy.id ->
+  ?analysis0:Ucp_wcet.Analysis.t ->
+  ?audit:bool ->
+  ?corrupt_cert:bool ->
+  Ucp_isa.Program.t ->
+  Ucp_cache.Config.t ->
+  Ucp_energy.Tech.t ->
+  comparison * audit_input option
+(** Evaluate one use case (analysis, optimization, simulation) without
+    running its audit: the returned comparison always carries
+    [Not_audited], and [~audit:true] returns the pending obligation as
+    an {!audit_input} for {!finish_audit} instead of certifying
+    inline.  [?analysis0] reuses a memoized cache-aware analysis of the
+    {e original} program (same program, configuration and policy, may
+    analysis on) — the abstract interpretation never reads the timing
+    model, so the sweep shares one analysis across the technology
+    axis.  All other parameters as in {!compare_optimized}. *)
+
+val finish_audit :
+  ?deadline:Ucp_util.Deadline.t -> ?timed:timings -> audit_input -> audit
+(** Discharge a deferred obligation: run {!Ucp_verify.audit_case} and
+    return the verdict ([Audited] or [Audit_skipped]).  A failed
+    obligation raises [Outcome.Invariant ("audit: " ^ msg)].  The
+    [audit_s] accumulated into [?timed] is the verdict's own
+    per-obligation cost — the same intervals that feed the
+    [audit_seconds_total] metrics fcounter — so traced and untraced
+    runs report identical audit numbers. *)
+
 val compare_optimized :
   ?deadline:Ucp_util.Deadline.t ->
   ?seed:int ->
   ?model:Ucp_energy.Cacti.t ->
   ?timed:timings ->
   ?policy:Ucp_policy.id ->
+  ?analysis0:Ucp_wcet.Analysis.t ->
   ?audit:bool ->
   ?corrupt_cert:bool ->
   Ucp_isa.Program.t ->
@@ -110,16 +156,20 @@ val compare_optimized :
 (** Optimize and evaluate both versions under the same use case, under
     the replacement policy [?policy] (default LRU).  The
     original program is analyzed exactly once: the optimizer starts
-    from that fixpoint and the original measurement reuses it.
+    from that fixpoint and the original measurement reuses it (pass
+    [?analysis0] to skip even that — see {!prepare}).
     Theorem 1 materializes as [optimized.tau <= original.tau].
     [?deadline] is threaded into every analysis fixpoint and optimizer
     round; once it passes, the pending stage raises
     [Ucp_util.Deadline.Deadline_exceeded] at its next check.
 
     [~audit:true] runs the full {!Ucp_verify.audit_case} certification
-    (LP/IPET certificates, witness replay of both programs, optimizer
-    audit trail) on the case's own analyses; a failed obligation raises
+    (IPET certificates via the flow-certificate fast path, witness
+    replay of both programs, optimizer audit trail) on the case's own
+    analyses; a failed obligation raises
     [Outcome.Invariant ("audit: " ^ msg)], which the sweep demotes to a
-    structured [Invariant_violation].  [~corrupt_cert:true] is the
-    [corrupt-cert] fault-injection hook: it perturbs one certificate
-    field before checking, so the audit must fail. *)
+    structured [Invariant_violation].  A case the audit cannot replay
+    (non-plain analysis) yields [Audit_skipped].  [~corrupt_cert:true]
+    is the [corrupt-cert] fault-injection hook: it perturbs one
+    certificate field before checking, so the audit must fail.
+    Equivalent to {!prepare} followed by {!finish_audit}. *)

@@ -187,6 +187,8 @@ let audit_json (a : Pipeline.audit) =
   | Pipeline.Not_audited -> ""
   | Pipeline.Audited { checks; seconds } ->
     Printf.sprintf {|,"audit_checks":%d,"audit_s":%.3f|} checks seconds
+  | Pipeline.Audit_skipped reason ->
+    Printf.sprintf {|,"audit_skipped":%s|} (json_string reason)
 
 let record_json (r : Experiments.record) =
   let m = r.Experiments.original and o = r.Experiments.optimized in
@@ -239,16 +241,20 @@ let policy_outcome_summary ~policies outcomes =
     policies;
   Buffer.contents buf
 
-(* audited-case digest over the [Ok] records of a sweep *)
+(* audited-case digest over the [Ok] records of a sweep: certified
+   cases with their check/second totals, plus the cases the audit had
+   to skip (unsupported analysis modes) *)
 let audit_counts outcomes =
   List.fold_left
-    (fun (n, checks, secs) (_, o) ->
+    (fun (n, checks, secs, skipped) (_, o) ->
       match (o : Experiments.record Outcome.t) with
       | Outcome.Ok { Experiments.audit = Pipeline.Audited { checks = c; seconds }; _ }
         ->
-        (n + 1, checks + c, secs +. seconds)
-      | _ -> (n, checks, secs))
-    (0, 0, 0.0) outcomes
+        (n + 1, checks + c, secs +. seconds, skipped)
+      | Outcome.Ok { Experiments.audit = Pipeline.Audit_skipped _; _ } ->
+        (n, checks, secs, skipped + 1)
+      | _ -> (n, checks, secs, skipped))
+    (0, 0, 0.0, 0) outcomes
 
 let outcome_summary outcomes =
   let ok, failed, timed_out, violations = outcome_counts outcomes in
@@ -256,11 +262,15 @@ let outcome_summary outcomes =
   Buffer.add_string buf
     (Printf.sprintf "cases: %d ok, %d failed, %d timed out, %d invariant violations\n"
        ok failed timed_out violations);
-  (let audited, checks, secs = audit_counts outcomes in
+  (let audited, checks, secs, skipped = audit_counts outcomes in
    if audited > 0 then
      Buffer.add_string buf
        (Printf.sprintf "audited: %d cases certified (%d checks, %.1fs)\n" audited
-          checks secs));
+          checks secs);
+   if skipped > 0 then
+     Buffer.add_string buf
+       (Printf.sprintf "audit skipped: %d cases (unsupported analysis modes)\n"
+          skipped));
   List.iter
     (fun (id, o) ->
       if not (Outcome.is_ok o) then

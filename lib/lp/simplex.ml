@@ -229,3 +229,120 @@ let minimize ?deadline problem =
   | Optimal { value; assignment; dual } ->
     Optimal { value = Q.neg value; assignment; dual = Array.map Q.neg dual }
   | (Infeasible | Unbounded) as o -> o
+
+(* ------------------------------------------------------------------ *)
+(* Direct certificate checking: the stored primal/dual pair is verified
+   by linear passes over the problem data — no pivots, no re-solve.
+   This is the trusted half of the audit's LP fast path; [maximize] /
+   [minimize] only ever act as untrusted certificate producers. *)
+
+let ( let* ) = Result.bind
+
+let cert_fail obligation fmt =
+  Printf.ksprintf (fun s -> Error (obligation ^ ": " ^ s)) fmt
+
+let q_to_string v = Format.asprintf "%a" Q.pp v
+
+let dot coeffs x =
+  let acc = ref Q.zero in
+  Array.iteri (fun j c -> acc := Q.add !acc (Q.mul c x.(j))) coeffs;
+  !acc
+
+let check_certificate ?(minimize = false) problem (sol : solution) =
+  (* A minimization answer is the negated-objective maximization answer
+     with value and duals negated back; undo that and check the
+     canonical maximize conditions. *)
+  let problem, sol =
+    if minimize then
+      ( { problem with objective = Array.map Q.neg problem.objective },
+        { sol with value = Q.neg sol.value; dual = Array.map Q.neg sol.dual } )
+    else (problem, sol)
+  in
+  let { value; assignment; dual } = sol in
+  let n = problem.num_vars in
+  let rows = Array.of_list problem.constraints in
+  let m = Array.length rows in
+  let* () =
+    if Array.length assignment <> n then
+      cert_fail "lp-shape" "assignment has %d entries, want %d"
+        (Array.length assignment) n
+    else if Array.length dual <> m then
+      cert_fail "lp-shape" "dual has %d entries, want %d rows" (Array.length dual) m
+    else Ok ()
+  in
+  (* Primal feasibility: x >= 0 and every row satisfied, exactly. *)
+  let* () =
+    let bad = ref None in
+    Array.iteri (fun j x -> if !bad = None && Q.sign x < 0 then bad := Some j) assignment;
+    match !bad with
+    | Some j ->
+      cert_fail "lp-primal-feasible" "x_%d = %s < 0" j (q_to_string assignment.(j))
+    | None ->
+      let row_err = ref None in
+      Array.iteri
+        (fun i (coeffs, op, rhs) ->
+          if !row_err = None then begin
+            let lhs = dot coeffs assignment in
+            let ok =
+              match op with
+              | Le -> Q.compare lhs rhs <= 0
+              | Ge -> Q.compare lhs rhs >= 0
+              | Eq -> Q.equal lhs rhs
+            in
+            if not ok then row_err := Some (i, lhs, rhs)
+          end)
+        rows;
+      (match !row_err with
+      | Some (i, lhs, rhs) ->
+        cert_fail "lp-primal-feasible" "row %d violated: lhs %s vs rhs %s" i
+          (q_to_string lhs) (q_to_string rhs)
+      | None -> Ok ())
+  in
+  (* Dual sign conditions: y_i >= 0 for Le rows, y_i <= 0 for Ge rows,
+     free for Eq rows. *)
+  let* () =
+    let bad = ref None in
+    Array.iteri
+      (fun i (_, op, _) ->
+        if !bad = None then
+          match op with
+          | Le when Q.sign dual.(i) < 0 -> bad := Some (i, ">=")
+          | Ge when Q.sign dual.(i) > 0 -> bad := Some (i, "<=")
+          | _ -> ())
+      rows;
+    match !bad with
+    | Some (i, want) ->
+      cert_fail "lp-dual-sign" "y_%d = %s violates y %s 0" i (q_to_string dual.(i)) want
+    | None -> Ok ()
+  in
+  (* Dual feasibility: (A^T y)_j >= c_j for every variable. *)
+  let* () =
+    let bad = ref None in
+    for j = 0 to n - 1 do
+      if !bad = None then begin
+        let aty = ref Q.zero in
+        Array.iteri (fun i (coeffs, _, _) -> aty := Q.add !aty (Q.mul coeffs.(j) dual.(i))) rows;
+        if Q.compare !aty problem.objective.(j) < 0 then bad := Some (j, !aty)
+      end
+    done;
+    match !bad with
+    | Some (j, aty) ->
+      cert_fail "lp-dual-feasible" "(A^T y)_%d = %s < c_%d = %s" j (q_to_string aty) j
+        (q_to_string problem.objective.(j))
+    | None -> Ok ()
+  in
+  (* Strong duality: c^T x = value = b^T y, closing the sandwich
+     c^T x <= value <= b^T y from both sides. *)
+  let cx = dot problem.objective assignment in
+  let by =
+    let acc = ref Q.zero in
+    Array.iteri (fun i (_, _, rhs) -> acc := Q.add !acc (Q.mul rhs dual.(i))) rows;
+    !acc
+  in
+  if not (Q.equal cx value) then
+    cert_fail "lp-strong-duality" "c^T x = %s but claimed value = %s" (q_to_string cx)
+      (q_to_string value)
+  else if not (Q.equal by value) then
+    cert_fail "lp-strong-duality" "b^T y = %s but claimed value = %s" (q_to_string by)
+      (q_to_string value)
+  else Ok ()

@@ -41,3 +41,14 @@ val maximize : ?deadline:Ucp_util.Deadline.t -> problem -> outcome
 
 val minimize : ?deadline:Ucp_util.Deadline.t -> problem -> outcome
 (** Convenience wrapper: negates the objective. *)
+
+val check_certificate :
+  ?minimize:bool -> problem -> solution -> (unit, string) result
+(** Verify a stored primal/dual certificate directly: primal
+    feasibility, dual sign conditions, dual feasibility (Aᵀy ≥ c) and
+    strong duality (cᵀx = value = bᵀy), all in exact rationals — linear
+    passes over the problem data, no pivots.  [~minimize] checks the
+    mirrored conditions {!minimize} produces.  On failure the error
+    names the violated obligation ([lp-shape], [lp-primal-feasible],
+    [lp-dual-sign], [lp-dual-feasible], [lp-strong-duality]) and the
+    offending numbers. *)

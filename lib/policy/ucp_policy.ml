@@ -119,6 +119,36 @@ let join_may ea eb =
   in
   List.sort compare merged
 
+(* ---------------------------------------------------------------- *)
+(* Flat age-vector helpers (cacheaudit-style packed domains)        *)
+(* ---------------------------------------------------------------- *)
+
+(* [lru_update_set] on the packed representation: ages are stored in a
+   whole-universe int array with absence encoded as the saturation
+   value [cap]; only the accessed block's set members can change.
+   Entries younger than the accessed block's old age grow by one and
+   saturate at [cap] (eviction); the accessed block moves to 0. *)
+let flat_lru_update ~cap ages members mb =
+  let old_age = ages.(mb) in
+  Array.iter
+    (fun x ->
+      if x <> mb && ages.(x) < old_age then begin
+        let a' = ages.(x) + 1 in
+        ages.(x) <- (if a' >= cap then cap else a')
+      end)
+    members;
+  ages.(mb) <- 0
+
+(* [Fifo_policy.age_others ~drop:true] on the packed representation. *)
+let flat_age_others ~cap ages members mb =
+  Array.iter
+    (fun x ->
+      if x <> mb && ages.(x) < cap then begin
+        let a' = ages.(x) + 1 in
+        ages.(x) <- (if a' >= cap then cap else a')
+      end)
+    members
+
 (* Domain order with [join] as upper bound: [leq a b] iff every
    concrete set state described by [a] is also described by [b].
    Must: [b]'s guarantees are implied by [a]'s (each entry of [b] is in
@@ -179,6 +209,18 @@ module type POLICY = sig
 
   val aset_join : kind -> aset -> aset -> aset
   val aset_leq : kind -> aset -> aset -> bool
+
+  (* Flat age-vector view: packed whole-universe [ages] array, absence
+     encoded as [flat_cap]; [members] = universe blocks of the accessed
+     block's set.  Mutates [ages] in place; element-wise equivalent to
+     the aset_* transfers. *)
+  val flat_cap : kind -> assoc:int -> int
+
+  val fset_update :
+    kind -> assoc:int -> hint:hint -> ages:int array -> members:int array -> int -> unit
+
+  val fset_fill :
+    kind -> assoc:int -> hint:hint -> ages:int array -> members:int array -> int -> unit
 end
 
 (* ---------------------------------------------------------------- *)
@@ -215,6 +257,12 @@ module Lru_policy : POLICY = struct
     match kind with Must -> join_must ea eb | May -> join_may ea eb
 
   let aset_leq = aset_leq
+  let flat_cap _kind ~assoc = assoc
+
+  let fset_update _kind ~assoc ~hint:_ ~ages ~members mb =
+    flat_lru_update ~cap:assoc ages members mb
+
+  let fset_fill = fset_update
 end
 
 (* ---------------------------------------------------------------- *)
@@ -295,6 +343,19 @@ module Fifo_policy : POLICY = struct
     match kind with Must -> join_must ea eb | May -> join_may ea eb
 
   let aset_leq = aset_leq
+  let flat_cap _kind ~assoc = assoc
+
+  let fset_update kind ~assoc ~hint ~ages ~members mb =
+    let cap = assoc in
+    match (kind, hint) with
+    | _, Hit -> ()
+    | _, Miss ->
+      flat_age_others ~cap ages members mb;
+      ages.(mb) <- 0
+    | Must, Unknown -> if ages.(mb) >= cap then flat_age_others ~cap ages members mb
+    | May, Unknown -> ages.(mb) <- 0
+
+  let fset_fill = fset_update
 end
 
 (* ---------------------------------------------------------------- *)
@@ -412,6 +473,16 @@ module Plru_policy : POLICY = struct
     match kind with Must -> join_must ea eb | May -> join_may ea eb
 
   let aset_leq = aset_leq
+
+  let flat_cap kind ~assoc =
+    match kind with Must -> plru_must_assoc assoc | May -> assoc
+
+  let fset_update kind ~assoc ~hint:_ ~ages ~members mb =
+    match kind with
+    | Must -> flat_lru_update ~cap:(plru_must_assoc assoc) ages members mb
+    | May -> ages.(mb) <- 0
+
+  let fset_fill = fset_update
 end
 
 (* ---------------------------------------------------------------- *)

@@ -95,6 +95,30 @@ module type POLICY = sig
   val aset_leq : kind -> aset -> aset -> bool
   (** Domain order with [aset_join] as an upper bound: [leq a b] iff
       every concrete set state described by [a] is described by [b]. *)
+
+  (** {2 Flat age-vector view}
+
+      Cacheaudit-style packed representation of the same domains: one
+      [int array] over the whole memory-block universe, [ages.(mb)]
+      holding the block's age bound and absence encoded as the
+      saturation value {!flat_cap} (the policy/kind eviction
+      threshold).  [members] lists the universe blocks mapping to the
+      accessed block's cache set.  The transfers mutate [ages] in
+      place (the caller copies) and are element-wise equivalent to
+      their [aset_*] counterparts — qcheck-tested against them. *)
+
+  val flat_cap : kind -> assoc:int -> int
+  (** Age value that encodes "absent" / "evicted": LRU and FIFO use the
+      associativity, the PLRU must domain its reduced effective
+      associativity {!plru_must_assoc}. *)
+
+  val fset_update :
+    kind -> assoc:int -> hint:hint -> ages:int array -> members:int array -> int -> unit
+  (** Flat counterpart of [aset_update]. *)
+
+  val fset_fill :
+    kind -> assoc:int -> hint:hint -> ages:int array -> members:int array -> int -> unit
+  (** Flat counterpart of [aset_fill]. *)
 end
 
 val find : id -> (module POLICY)

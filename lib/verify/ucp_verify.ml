@@ -13,6 +13,9 @@ module Optimizer = Ucp_prefetch.Optimizer
 module Cacti = Ucp_energy.Cacti
 
 let audit_obligations_total = lazy (Ucp_obs.Metrics.counter "audit_obligations_total")
+let audit_seconds_total = lazy (Ucp_obs.Metrics.fcounter "audit_seconds_total")
+let audit_fastpath_total = lazy (Ucp_obs.Metrics.counter "audit_ipet_fastpath_total")
+let audit_slowpath_total = lazy (Ucp_obs.Metrics.counter "audit_ipet_slowpath_total")
 
 (* ------------------------------------------------------------------ *)
 (* Audit modes *)
@@ -64,109 +67,12 @@ let dot coeffs x =
 (* ------------------------------------------------------------------ *)
 (* LP certificates *)
 
-let certify_lp ?(minimize = false) (problem : Simplex.problem)
-    (sol : Simplex.solution) =
-  (* A minimization answer is the negated-objective maximization answer
-     with value and duals negated back; undo that and check the
-     canonical maximize conditions. *)
-  let problem, sol =
-    if minimize then
-      ( { problem with Simplex.objective = Array.map Q.neg problem.Simplex.objective },
-        { sol with Simplex.value = Q.neg sol.Simplex.value;
-          dual = Array.map Q.neg sol.Simplex.dual } )
-    else (problem, sol)
-  in
-  let { Simplex.value; assignment; dual } = sol in
-  let n = problem.Simplex.num_vars in
-  let rows = Array.of_list problem.Simplex.constraints in
-  let m = Array.length rows in
-  let* () =
-    if Array.length assignment <> n then
-      fail "lp-shape" "assignment has %d entries, want %d" (Array.length assignment) n
-    else if Array.length dual <> m then
-      fail "lp-shape" "dual has %d entries, want %d rows" (Array.length dual) m
-    else Ok ()
-  in
-  (* Primal feasibility: x >= 0 and every row satisfied, exactly. *)
-  let* () =
-    let bad = ref None in
-    Array.iteri
-      (fun j x -> if !bad = None && Q.sign x < 0 then bad := Some j)
-      assignment;
-    match !bad with
-    | Some j -> fail "lp-primal-feasible" "x_%d = %s < 0" j (q_to_string assignment.(j))
-    | None ->
-      let row_err = ref None in
-      Array.iteri
-        (fun i (coeffs, op, rhs) ->
-          if !row_err = None then begin
-            let lhs = dot coeffs assignment in
-            let ok =
-              match op with
-              | Simplex.Le -> Q.compare lhs rhs <= 0
-              | Simplex.Ge -> Q.compare lhs rhs >= 0
-              | Simplex.Eq -> Q.equal lhs rhs
-            in
-            if not ok then row_err := Some (i, lhs, rhs)
-          end)
-        rows;
-      (match !row_err with
-      | Some (i, lhs, rhs) ->
-        fail "lp-primal-feasible" "row %d violated: lhs %s vs rhs %s" i
-          (q_to_string lhs) (q_to_string rhs)
-      | None -> Ok ())
-  in
-  (* Dual sign conditions: y_i >= 0 for Le rows, y_i <= 0 for Ge rows,
-     free for Eq rows. *)
-  let* () =
-    let bad = ref None in
-    Array.iteri
-      (fun i (_, op, _) ->
-        if !bad = None then
-          match op with
-          | Simplex.Le when Q.sign dual.(i) < 0 -> bad := Some (i, ">=")
-          | Simplex.Ge when Q.sign dual.(i) > 0 -> bad := Some (i, "<=")
-          | _ -> ())
-      rows;
-    match !bad with
-    | Some (i, want) ->
-      fail "lp-dual-sign" "y_%d = %s violates y %s 0" i (q_to_string dual.(i)) want
-    | None -> Ok ()
-  in
-  (* Dual feasibility: (A^T y)_j >= c_j for every variable. *)
-  let* () =
-    let bad = ref None in
-    for j = 0 to n - 1 do
-      if !bad = None then begin
-        let aty = ref Q.zero in
-        Array.iteri
-          (fun i (coeffs, _, _) -> aty := Q.add !aty (Q.mul coeffs.(j) dual.(i)))
-          rows;
-        if Q.compare !aty problem.Simplex.objective.(j) < 0 then
-          bad := Some (j, !aty)
-      end
-    done;
-    match !bad with
-    | Some (j, aty) ->
-      fail "lp-dual-feasible" "(A^T y)_%d = %s < c_%d = %s" j (q_to_string aty) j
-        (q_to_string problem.Simplex.objective.(j))
-    | None -> Ok ()
-  in
-  (* Strong duality: c^T x = value = b^T y, closing the sandwich
-     c^T x <= value <= b^T y from both sides. *)
-  let cx = dot problem.Simplex.objective assignment in
-  let by =
-    let acc = ref Q.zero in
-    Array.iteri (fun i (_, _, rhs) -> acc := Q.add !acc (Q.mul rhs dual.(i))) rows;
-    !acc
-  in
-  if not (Q.equal cx value) then
-    fail "lp-strong-duality" "c^T x = %s but claimed value = %s" (q_to_string cx)
-      (q_to_string value)
-  else if not (Q.equal by value) then
-    fail "lp-strong-duality" "b^T y = %s but claimed value = %s" (q_to_string by)
-      (q_to_string value)
-  else Ok ()
+(* Direct check of the stored primal/dual pair — linear passes over the
+   tableau data in exact rationals, no pivots.  The checking itself
+   lives next to the solver in {!Ucp_lp.Simplex} (it is generic LP
+   machinery, not audit policy); this wrapper just keeps the audit's
+   historical entry point. *)
+let certify_lp ?minimize problem sol = Simplex.check_certificate ?minimize problem sol
 
 let certify_ilp (problem : Simplex.problem) ~(value : Q.t) ~(assignment : int array) =
   let n = problem.Simplex.num_vars in
@@ -211,10 +117,129 @@ let certify_ilp (problem : Simplex.problem) ~(value : Q.t) ~(assignment : int ar
   else Ok ()
 
 (* ------------------------------------------------------------------ *)
-(* IPET cross-check: certify that the DAG longest-path tau_w equals the
-   optimum of the independent flow model. *)
+(* IPET certification: prove that the DAG longest-path tau_w is a sound
+   and exact bound for the flow model.
 
-let certify_ipet ?deadline (w : Wcet.t) =
+   Fast path (no solver): re-derive the per-node costs from the
+   classifications and the timing model, cross-check tau against an
+   independently-coded longest-path DP, then verify the combinatorial
+   flow certificate {!Wcet.flow_certificate} — per-node suffix bounds
+   X plus per-rest-header lap charges Lam, morally the flow LP's dual —
+   by linear passes over the expanded graph's edges (conditions C0-C4,
+   see {!Wcet.flow_cert}).  Slow path (any fast-path shortfall, e.g. a
+   certificate the constructor could not close): the historical
+   simplex root solve with direct dual-certificate checking, plus the
+   exact ILP on an integrality gap. *)
+
+let cycles_of model cls =
+  if Classification.is_wcet_miss cls then
+    model.Cacti.hit_cycles + model.Cacti.miss_penalty
+  else model.Cacti.hit_cycles
+
+(* Per-node costs re-derived from classifications + model alone,
+   without trusting [w.node_cycles]. *)
+let derive_node_cycles (w : Wcet.t) =
+  let analysis = w.Wcet.analysis in
+  let vivu = Analysis.vivu analysis in
+  let program = Vivu.program vivu in
+  Array.init (Vivu.node_count vivu) (fun id ->
+      let nd = Vivu.node vivu id in
+      let acc = ref 0 in
+      for pos = 0 to Program.slots program nd.Vivu.block - 1 do
+        acc := !acc + cycles_of w.Wcet.model (Analysis.classif analysis ~node:id ~pos)
+      done;
+      !acc)
+
+(* Independent longest-path DP over the expanded DAG with the
+   re-derived costs: tau must be exactly the mult-weighted optimum. *)
+let check_longest_path (w : Wcet.t) c =
+  let vivu = Analysis.vivu w.Wcet.analysis in
+  let n = Vivu.node_count vivu in
+  let entry = Vivu.entry vivu in
+  let dist = Array.make n min_int in
+  Array.iter
+    (fun id ->
+      let weight = c.(id) * Vivu.mult vivu id in
+      if id = entry then dist.(id) <- weight
+      else begin
+        let best = ref min_int in
+        List.iter (fun p -> if dist.(p) > !best then best := dist.(p)) (Vivu.dag_pred vivu id);
+        if !best > min_int then dist.(id) <- !best + weight
+      end)
+    (Vivu.topo vivu);
+  let best =
+    List.fold_left (fun acc e -> max acc dist.(e)) min_int (Vivu.exit_nodes vivu)
+  in
+  if best = min_int then fail "ipet-longest-path" "no exit reachable from the entry"
+  else if best <> w.Wcet.tau then
+    fail "ipet-longest-path" "independent longest path re-derives %d, claimed tau_w = %d"
+      best w.Wcet.tau
+  else Ok ()
+
+(* Check the flow certificate's conditions C0-C4 against independently
+   re-derived costs.  Linear in nodes + edges. *)
+let check_flow_cert (w : Wcet.t) c (cert : Wcet.flow_cert) =
+  let vivu = Analysis.vivu w.Wcet.analysis in
+  let n = Vivu.node_count vivu in
+  let x = cert.Wcet.fc_x and lam = cert.Wcet.fc_lam in
+  let* () =
+    if Array.length x <> n || Array.length lam <> n then
+      fail "flow-cert-shape" "certificate arrays have %d/%d entries, want %d"
+        (Array.length x) (Array.length lam) n
+    else Ok ()
+  in
+  let k = Wcet.rest_budget vivu in
+  let entry_charge v = match k.(v) with Some kv -> (kv - 1) * lam.(v) | None -> 0 in
+  let err = ref None in
+  let report fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  for v = 0 to n - 1 do
+    if !err = None then begin
+      (* C0: lap charges are nonnegative at rest headers *)
+      (match k.(v) with
+      | Some _ when lam.(v) < 0 -> report "C0: Lam_%d = %d < 0" v lam.(v)
+      | _ -> ());
+      (* C3: a walk may stop anywhere, X covers at least the node itself *)
+      if !err = None && x.(v) < c.(v) then
+        report "C3: X_%d = %d < c_%d = %d" v x.(v) v c.(v);
+      (* C1 over DAG edges; edges into zero-budget rest headers are
+         exempt — the execution model cannot enter them at all *)
+      if !err = None then
+        List.iter
+          (fun s ->
+            if !err = None && k.(s) <> Some 0 && x.(v) < c.(v) + x.(s) + entry_charge s
+            then
+              report "C1: X_%d = %d < c_%d + X_%d + charge = %d on DAG edge %d->%d" v
+                x.(v) v s
+                (c.(v) + x.(s) + entry_charge s)
+                v s)
+          (Vivu.dag_succ vivu v);
+      (* C2 over iteration edges: each lap refunds one Lam *)
+      if !err = None then
+        List.iter
+          (fun h ->
+            if !err = None then
+              if k.(h) = None then
+                report "C2: iteration edge %d->%d targets a non-rest-header" v h
+              else if x.(v) < c.(v) + x.(h) - lam.(h) then
+                report "C2: X_%d = %d < c_%d + X_%d - Lam_%d = %d on iteration edge"
+                  v x.(v) v h h
+                  (c.(v) + x.(h) - lam.(h)))
+          (Vivu.iter_succ vivu v)
+    end
+  done;
+  match !err with
+  | Some msg -> fail "flow-cert" "%s" msg
+  | None ->
+    (* C4: the entry bound is exactly the claimed tau *)
+    let entry = Vivu.entry vivu in
+    if x.(entry) <> w.Wcet.tau then
+      fail "flow-cert" "C4: X_entry = %d, claimed tau_w = %d" x.(entry) w.Wcet.tau
+    else Ok ()
+
+(* The historical solver-based path, kept as the authoritative fallback:
+   root LP solve with direct dual-certificate checking, exact ILP plus
+   agreement on an integrality gap. *)
+let certify_ipet_solver ?deadline (w : Wcet.t) =
   let problem, _n = Ipet.build w in
   let tau_q = Q.of_int w.Wcet.tau in
   match Simplex.maximize ?deadline problem with
@@ -241,13 +266,29 @@ let certify_ipet ?deadline (w : Wcet.t) =
             (q_to_string value)
     end
 
+let certify_ipet ?deadline (w : Wcet.t) =
+  let c = derive_node_cycles w in
+  (* The cross-check runs on both paths: tau must equal an
+     independently-coded longest path over the re-derived costs. *)
+  let* () = check_longest_path w c in
+  let fast =
+    match Wcet.flow_certificate w with
+    | None -> Error "flow-cert: constructor did not converge"
+    | Some cert -> check_flow_cert w c cert
+  in
+  match fast with
+  | Ok () ->
+    Ucp_obs.Metrics.incr (Lazy.force audit_fastpath_total);
+    Ok ()
+  | Error reason ->
+    (* Any fast-path shortfall — an unclosable certificate, a genuine
+       violation — defers to the solver, which is authoritative. *)
+    Ucp_obs.Metrics.incr (Lazy.force audit_slowpath_total);
+    Ucp_obs.Log.debug "audit: ipet fast path failed (%s), falling back to the LP" reason;
+    certify_ipet_solver ?deadline w
+
 (* ------------------------------------------------------------------ *)
 (* WCET witness replay *)
-
-let cycles_of model cls =
-  if Classification.is_wcet_miss cls then
-    model.Cacti.hit_cycles + model.Cacti.miss_penalty
-  else model.Cacti.hit_cycles
 
 exception Replay_abort
 
@@ -583,31 +624,59 @@ let audit_trail ~(original : Wcet.t) ~(optimized : Wcet.t)
 (* ------------------------------------------------------------------ *)
 (* One-case orchestration *)
 
-type verdict = { checks : int; seconds : float }
+type verdict =
+  | Certified of { checks : int; seconds : float }
+  | Skipped of { reason : string }
+
+let verdict_seconds = function Certified { seconds; _ } -> seconds | Skipped _ -> 0.0
 
 let audit_case ?deadline ?seed ?(corrupt = false) ~(original : Wcet.t)
     ~(optimized : Wcet.t) (r : Optimizer.result) =
-  let t0 = Unix.gettimeofday () in
-  (* Fault-injection hook: perturb one certificate field (the claimed
-     optimized tau) so the audit must catch the corruption. *)
-  let r =
-    if corrupt then { r with Optimizer.tau_after = r.Optimizer.tau_after + 1 } else r
-  in
-  let obligation name check =
-    Ucp_obs.Trace.with_span ~name:"audit-obligation"
-      ~args:[ ("obligation", Ucp_obs.Trace.Str name) ] (fun () ->
-        Ucp_obs.Metrics.incr (Lazy.force audit_obligations_total);
-        check ())
-  in
-  let result =
-    let* () = obligation "ipet-original" (fun () -> certify_ipet ?deadline original) in
-    let* () = obligation "ipet-optimized" (fun () -> certify_ipet ?deadline optimized) in
-    let* () = obligation "witness-original" (fun () -> replay_witness ?seed original) in
-    let* () = obligation "witness-optimized" (fun () -> replay_witness ?seed optimized) in
-    let* () = obligation "trail" (fun () -> audit_trail ~original ~optimized r) in
-    Ok ()
-  in
-  let seconds = Unix.gettimeofday () -. t0 in
-  match result with
-  | Ok () -> Ok { checks = 5; seconds }
-  | Error msg -> Error msg
+  if
+    not
+      (Analysis.is_plain original.Wcet.analysis
+      && Analysis.is_plain optimized.Wcet.analysis)
+  then
+    (* The witness replay cannot drive the simulator through pinned
+       (locked-way) or hardware-prefetching semantics; an honest
+       Skipped verdict beats a silent pass. *)
+    Ok
+      (Skipped
+         {
+           reason =
+             "non-plain analysis (pinned/locked ways or hardware prefetcher): \
+              witness replay unsupported";
+         })
+  else begin
+    (* Fault-injection hook: perturb one certificate field (the claimed
+       optimized tau) so the audit must catch the corruption. *)
+    let r =
+      if corrupt then { r with Optimizer.tau_after = r.Optimizer.tau_after + 1 } else r
+    in
+    (* One measured interval per obligation feeds the metrics registry
+       AND the verdict's seconds, so the traced and untraced audit
+       report identical numbers on the JSONL summary line. *)
+    let elapsed = ref 0.0 in
+    let obligation name check =
+      Ucp_obs.Trace.with_span ~name:"audit-obligation"
+        ~args:[ ("obligation", Ucp_obs.Trace.Str name) ] (fun () ->
+          Ucp_obs.Metrics.incr (Lazy.force audit_obligations_total);
+          let t0 = Unix.gettimeofday () in
+          let res = check () in
+          let d = Unix.gettimeofday () -. t0 in
+          elapsed := !elapsed +. d;
+          Ucp_obs.Metrics.fadd (Lazy.force audit_seconds_total) d;
+          res)
+    in
+    let result =
+      let* () = obligation "ipet-original" (fun () -> certify_ipet ?deadline original) in
+      let* () = obligation "ipet-optimized" (fun () -> certify_ipet ?deadline optimized) in
+      let* () = obligation "witness-original" (fun () -> replay_witness ?seed original) in
+      let* () = obligation "witness-optimized" (fun () -> replay_witness ?seed optimized) in
+      let* () = obligation "trail" (fun () -> audit_trail ~original ~optimized r) in
+      Ok ()
+    in
+    match result with
+    | Ok () -> Ok (Certified { checks = 5; seconds = !elapsed })
+    | Error msg -> Error msg
+  end

@@ -10,13 +10,20 @@
     - {b LP/ILP certificates}: a {!Ucp_lp.Simplex} answer carries its
       dual solution; {!certify_lp} verifies primal feasibility, dual
       sign conditions, dual feasibility and strong duality in exact
-      rationals (no tolerances).  {!certify_ilp} checks integral
-      answers for feasibility and objective equality.
-    - {b IPET cross-check}: {!certify_ipet} rebuilds the flow model of
-      the expanded graph and certifies that the DAG longest-path τ{_w}
-      equals its optimum — via the root-LP duality certificate when the
-      relaxation is integral at the optimum, falling back to the exact
-      branch & bound otherwise.
+      rationals (no tolerances, no pivots — see
+      {!Ucp_lp.Simplex.check_certificate}).  {!certify_ilp} checks
+      integral answers for feasibility and objective equality.
+    - {b IPET certification}: {!certify_ipet} cross-checks the DAG
+      longest-path τ{_w} against an independently-coded longest-path DP
+      over re-derived per-node costs, then verifies the combinatorial
+      flow certificate {!Ucp_wcet.Wcet.flow_certificate} (per-node
+      suffix bounds + per-loop lap charges — morally the flow LP's
+      dual) by linear passes over the expanded graph's edges.  No
+      solver runs on this fast path; any shortfall falls back to the
+      historical root-LP solve with direct dual-certificate checking
+      and, on an integrality gap, the exact branch & bound.  The
+      [audit_ipet_fastpath_total] / [audit_ipet_slowpath_total]
+      metrics count the two routes.
     - {b WCET witness replay}: {!replay_witness} checks the WCET path
       is a genuine CFG execution, re-derives τ{_w} from the
       classifications, then forces the concrete simulator down the
@@ -70,8 +77,10 @@ val certify_ilp :
 
 val certify_ipet :
   ?deadline:Ucp_util.Deadline.t -> Ucp_wcet.Wcet.t -> (unit, string) result
-(** Cross-check the DAG longest-path τ{_w} against an independently
-    solved and certified IPET flow model (see module doc). *)
+(** Certify the DAG longest-path τ{_w} against the IPET flow model:
+    flow-certificate fast path (linear checks, no solver), LP/ILP
+    fallback (see module doc).  [?deadline] only guards the fallback —
+    the fast path is linear. *)
 
 val replay_witness :
   ?seed:int -> Ucp_wcet.Wcet.t -> (unit, string) result
@@ -80,7 +89,9 @@ val replay_witness :
     simulator under the analysis' replacement policy and check the
     classifications, the cost bound and the prefetch-effectiveness
     residual.  Only supports plain analyses (no [~pinned]/[~locked]
-    modes — the audited sweep pipeline never uses them). *)
+    modes and no hardware prefetcher); {!audit_case} returns an
+    explicit {!Skipped} verdict for non-plain analyses instead of a
+    silent pass. *)
 
 val audit_trail :
   original:Ucp_wcet.Wcet.t ->
@@ -96,10 +107,21 @@ val audit_trail :
     [result.original]/[result.program] under the sweep's policy and
     configuration. *)
 
-type verdict = {
-  checks : int;  (** top-level certificates that passed (currently 5) *)
-  seconds : float;  (** wall-clock cost of the audit *)
-}
+type verdict =
+  | Certified of {
+      checks : int;  (** top-level certificates that passed (currently 5) *)
+      seconds : float;
+          (** audit cost: the sum of the per-obligation intervals that
+              also feed the [audit_seconds_total] metrics fcounter, so
+              traced and untraced runs report identical numbers *)
+    }
+  | Skipped of { reason : string }
+      (** the case could not be audited (non-plain analysis: pinned /
+          locked ways or a hardware prefetcher) — surfaced explicitly
+          so such records cannot claim a clean audit they never had *)
+
+val verdict_seconds : verdict -> float
+(** Audit wall-clock of a verdict ([0.] for [Skipped]). *)
 
 val audit_case :
   ?deadline:Ucp_util.Deadline.t ->

@@ -7,11 +7,14 @@ module Config = Ucp_cache.Config
 
 let fixpoint_iterations_total = lazy (Ucp_obs.Metrics.counter "fixpoint_iterations_total")
 
+type domain = Flat | Functional
+
 type t = {
   vivu : Vivu.t;
   layout : Layout.t;
   config : Config.t;
   policy : Ucp_policy.id;
+  plain : bool;
   in_must : Abstract.t array;
   in_may : Abstract.t array;
   classif : Classification.t array array;
@@ -44,7 +47,9 @@ let transfer ~vivu ~layout ~with_may ~hw_next_n ~pinned ~record node_id (must0, 
   let nd = Vivu.node vivu node_id in
   let block = nd.Vivu.block in
   let n_slots = Program.slots program block in
-  let must = ref must0 and may = ref may0 in
+  (* one defensive copy per node, then destructive per-slot updates —
+     the inputs stay usable as the node's recorded in-states *)
+  let must = Abstract.copy must0 and may = Abstract.copy may0 in
   for pos = 0 to n_slots - 1 do
     let s = slot_mem_block_of layout ~block ~pos in
     if pinned s then begin
@@ -55,8 +60,8 @@ let transfer ~vivu ~layout ~with_may ~hw_next_n ~pinned ~record node_id (must0, 
     end
     else begin
       let cls =
-        if Abstract.contains !must s then Classification.Always_hit
-        else if with_may && not (Abstract.contains !may s) then
+        if Abstract.contains must s then Classification.Always_hit
+        else if with_may && not (Abstract.contains may s) then
           Classification.Always_miss
         else Classification.Not_classified
       in
@@ -72,15 +77,15 @@ let transfer ~vivu ~layout ~with_may ~hw_next_n ~pinned ~record node_id (must0, 
         | Classification.Always_miss -> Ucp_policy.Miss
         | Classification.Not_classified -> Ucp_policy.Unknown
       in
-      must := Abstract.update ~hint !must s;
-      if with_may then may := Abstract.update ~hint !may s;
+      Abstract.update_ip ~hint must s;
+      if with_may then Abstract.update_ip ~hint may s;
       (* next-N-line-always hardware prefetching [22]: every reference
          also installs the sequentially following blocks *)
       for k = 1 to hw_next_n do
         if not (pinned (s + k)) then begin
-          let hint = fill_hint ~with_may !must !may (s + k) in
-          must := Abstract.fill ~hint !must (s + k);
-          if with_may then may := Abstract.fill ~hint !may (s + k)
+          let hint = fill_hint ~with_may must may (s + k) in
+          Abstract.fill_ip ~hint must (s + k);
+          if with_may then Abstract.fill_ip ~hint may (s + k)
         end
       done
     end;
@@ -89,15 +94,20 @@ let transfer ~vivu ~layout ~with_may ~hw_next_n ~pinned ~record node_id (must0, 
     | None -> ()
     | Some tb ->
       if not (pinned tb) then begin
-        let hint = fill_hint ~with_may !must !may tb in
-        must := Abstract.fill ~hint !must tb;
-        if with_may then may := Abstract.fill ~hint !may tb
+        let hint = fill_hint ~with_may must may tb in
+        Abstract.fill_ip ~hint must tb;
+        if with_may then Abstract.fill_ip ~hint may tb
       end
   done;
-  (!must, !may)
+  (must, may)
 
-let run ?deadline ?(with_may = true) ?(hw_next_n = 0) ?(pinned = fun _ -> false)
-    ?(policy = Ucp_policy.Lru) vivu layout config =
+let run ?deadline ?(with_may = true) ?(hw_next_n = 0) ?pinned
+    ?(policy = Ucp_policy.Lru) ?(domain = Flat) vivu layout config =
+  (* Plain analyses (no pinned/locked ways, no hardware next-N fills)
+     are the only ones the witness-replay audit can certify; record the
+     modes so the audit can report an honest [Skipped] verdict. *)
+  let plain = Option.is_none pinned && hw_next_n = 0 in
+  let pinned = match pinned with Some f -> f | None -> fun _ -> false in
   (* Policies whose must domain only gains precision from definite
      misses (FIFO) force the may analysis on regardless of the caller's
      [?with_may] economy.  Always-miss classifications may then appear
@@ -106,8 +116,24 @@ let run ?deadline ?(with_may = true) ?(hw_next_n = 0) ?(pinned = fun _ -> false)
   let with_may = with_may || Ucp_policy.needs_may policy in
   let n = Vivu.node_count vivu in
   let program = Vivu.program vivu in
-  let cold_must = Abstract.empty ~policy config Abstract.Must in
-  let cold_may = Abstract.empty ~policy config Abstract.May in
+  let cold_must, cold_may =
+    match domain with
+    | Functional ->
+      ( Abstract.empty ~policy config Abstract.Must,
+        Abstract.empty ~policy config Abstract.May )
+    | Flat ->
+      (* Universe of the packed age vectors: the program's own id range
+         (dense — raw ids sit near the layout's anchor address) plus
+         the overshoot of hardware next-N fills past the program's
+         end. *)
+      let ids = Layout.mem_block_ids layout in
+      let base = match ids with [] -> 0 | mb :: _ -> mb in
+      let universe =
+        List.fold_left max base ids - base + hw_next_n + 2
+      in
+      ( Abstract.empty_flat ~policy ~base ~universe config Abstract.Must,
+        Abstract.empty_flat ~policy ~base ~universe config Abstract.May )
+  in
   let out_states : (Abstract.t * Abstract.t) option array = Array.make n None in
   let in_states : (Abstract.t * Abstract.t) option array = Array.make n None in
   let entry = Vivu.entry vivu in
@@ -183,12 +209,13 @@ let run ?deadline ?(with_may = true) ?(hw_next_n = 0) ?(pinned = fun _ -> false)
         (transfer ~vivu ~layout ~with_may ~hw_next_n ~pinned ~record:(Some classif)
            node_id input))
     topo;
-  { vivu; layout; config; policy; in_must; in_may; classif; passes = !passes }
+  { vivu; layout; config; policy; plain; in_must; in_may; classif; passes = !passes }
 
 let vivu t = t.vivu
 let layout t = t.layout
 let config t = t.config
 let policy t = t.policy
+let is_plain t = t.plain
 let classif t ~node ~pos = t.classif.(node).(pos)
 let in_must t node = t.in_must.(node)
 let in_may t node = t.in_may.(node)

@@ -9,12 +9,20 @@
 
 type t
 
+type domain = Flat | Functional
+(** Representation of the abstract cache states the fixpoint runs on:
+    packed cacheaudit-style age vectors ([Flat], the default) or the
+    per-set functional association lists ([Functional], the reference
+    semantics the flat domains are qcheck-tested against).  Same
+    classifications either way. *)
+
 val run :
   ?deadline:Ucp_util.Deadline.t ->
   ?with_may:bool ->
   ?hw_next_n:int ->
   ?pinned:(int -> bool) ->
   ?policy:Ucp_policy.id ->
+  ?domain:domain ->
   Ucp_cfg.Vivu.t ->
   Ucp_isa.Layout.t ->
   Ucp_cache.Config.t ->
@@ -53,6 +61,12 @@ val config : t -> Ucp_cache.Config.t
 
 val policy : t -> Ucp_policy.id
 (** The replacement policy the analysis modelled. *)
+
+val is_plain : t -> bool
+(** Whether the analysis ran without [~pinned] ways and without a
+    hardware prefetcher ([hw_next_n = 0]) — the only modes the
+    witness-replay audit supports.  Non-plain analyses get an explicit
+    [Skipped] audit verdict instead of a silent pass. *)
 
 val classif : t -> node:int -> pos:int -> Classification.t
 (** Classification of an instruction slot of an expanded node. *)

@@ -1,4 +1,5 @@
 module Vivu = Ucp_cfg.Vivu
+module Loops = Ucp_cfg.Loops
 module Program = Ucp_isa.Program
 module Layout = Ucp_isa.Layout
 module Cacti = Ucp_energy.Cacti
@@ -79,13 +80,13 @@ let of_analysis analysis model =
   let n_w = Array.init n (fun id -> if on_path.(id) then Vivu.mult vivu id else 0) in
   { analysis; model; slot_cycles; node_cycles; n_w; on_path; path; tau }
 
-let compute ?deadline ?with_may ?hw_next_n ?pinned ?policy program config model =
+let analyze ?deadline ?with_may ?hw_next_n ?pinned ?policy ?domain program config =
   let layout = Layout.make program ~block_bytes:config.Ucp_cache.Config.block_bytes in
   let vivu = Vivu.expand program in
-  let analysis =
-    Analysis.run ?deadline ?with_may ?hw_next_n ?pinned ?policy vivu layout config
-  in
-  of_analysis analysis model
+  Analysis.run ?deadline ?with_may ?hw_next_n ?pinned ?policy ?domain vivu layout config
+
+let compute ?deadline ?with_may ?hw_next_n ?pinned ?policy program config model =
+  of_analysis (analyze ?deadline ?with_may ?hw_next_n ?pinned ?policy program config) model
 
 let path_refs t =
   let vivu = Analysis.vivu t.analysis in
@@ -119,9 +120,11 @@ let wcet_misses t =
    first later access to the target block by at most
    Λ - (minimum number of intervening slots), because each slot costs
    at least one cycle on every execution path.  The minimum is taken
-   over ALL paths of the expanded DAG (breadth-first search on slots),
-   so the charge covers alternate paths too, and it is weighted by the
-   prefetch instance's full multiplicity, not just its WCET-path count. *)
+   over ALL walks of the expanded graph — DAG and iteration edges alike
+   (breadth-first search on slots) — so the charge covers alternate
+   paths and wrap-around uses across a loop's back edge, and it is
+   weighted by the prefetch instance's full multiplicity, not just its
+   WCET-path count. *)
 let residual_prefetch_stall t =
   let analysis = t.analysis in
   let vivu = Analysis.vivu analysis in
@@ -147,9 +150,19 @@ let residual_prefetch_stall t =
              buckets.(dist) <- rest;
              if not (Hashtbl.mem visited (node, pos)) then begin
                Hashtbl.replace visited (node, pos) ();
-               if pos >= slots node then
+               if pos >= slots node then begin
+                 (* follow BOTH edge kinds: a loop body's first later use
+                    of the target may sit across the wrap-around
+                    (iteration) edge back to the rest header, which can
+                    be strictly closer than any use downstream in the
+                    DAG.  Ignoring iteration edges over-estimated [d]
+                    and under-charged the stall (the fdct:k17/k18
+                    soundness demotions). *)
                  List.iter (fun s -> buckets.(dist) <- (s, 0) :: buckets.(dist))
-                   (Vivu.dag_succ vivu node)
+                   (Vivu.dag_succ vivu node);
+                 List.iter (fun s -> buckets.(dist) <- (s, 0) :: buckets.(dist))
+                   (Vivu.iter_succ vivu node)
+               end
                else if Analysis.slot_mem_block analysis ~node ~pos = target then begin
                  result := Some dist;
                  raise Exit
@@ -181,3 +194,138 @@ let residual_prefetch_stall t =
   !total
 
 let tau_with_residual t = t.tau + residual_prefetch_stall t
+
+(* ------------------------------------------------------------------ *)
+(* Combinatorial flow certificate for tau (the audit fast path).
+
+   For every expanded node v, X_v bounds the node-cycle cost of any
+   walk suffix starting at v (inclusive of v); for every rest header h
+   with per-entry execution budget k_h = bound - 1, Lam_h >= 0 is a
+   prepaid charge per potential lap.  The VIVU execution model lets a
+   walk arriving at h via a DAG edge execute h at most k_h times per
+   entry: once on arrival plus at most k_h - 1 laps through an
+   iteration edge.  Charging (k_h - 1) * Lam_h on the entering DAG edge
+   and refunding Lam_h on each iteration edge makes the potential
+
+     M = X_current + sum over active loop entries of remaining_laps * Lam
+
+   non-increasing along every model-allowed step, so any certificate
+   satisfying
+
+     C0  Lam_h >= 0                          for every rest header h
+     C1  X_u >= c_u + X_v + entry_charge v   for every DAG edge u->v
+     C2  X_u >= c_u + X_h - Lam_h            for every iter edge u->h
+     C3  X_v >= c_v                          for every node v
+     C4  X_entry = tau
+
+   (entry_charge v = (k_v - 1) * Lam_v when v is a rest header, and C1
+   is waived for edges into rest headers with k_v = 0, which the model
+   forbids entering at all) proves tau an upper bound on every walk —
+   checkable in linear passes, no LP solve.  {!Ucp_verify} re-derives
+   the per-node costs c_v from the classification and model on its own
+   and checks C0-C4; this constructor is untrusted. *)
+
+type flow_cert = {
+  fc_x : int array;  (** per node: inclusive suffix bound X_v *)
+  fc_lam : int array;  (** per node: lap charge Lam (0 unless rest header) *)
+}
+
+(* [Some (bound - 1)] per rest-header node, [None] elsewhere. *)
+let rest_budget vivu =
+  let forest = Vivu.forest vivu in
+  Array.init (Vivu.node_count vivu) (fun v ->
+      let nd = Vivu.node vivu v in
+      match List.rev nd.Vivu.ctx with
+      | (l, Vivu.Rest) :: _ when forest.Loops.loops.(l).Loops.header = nd.Vivu.block
+        ->
+        Some (forest.Loops.loops.(l).Loops.bound - 1)
+      | _ -> None)
+
+let flow_certificate t =
+  let vivu = Analysis.vivu t.analysis in
+  let n = Vivu.node_count vivu in
+  let c = t.node_cycles in
+  let k = rest_budget vivu in
+  let lam = Array.make n 0 in
+  let ctx v = (Vivu.node vivu v).Vivu.ctx in
+  let rec is_prefix p l =
+    match (p, l) with
+    | [], _ -> true
+    | x :: p', y :: l' -> x = y && is_prefix p' l'
+    | _ :: _, [] -> false
+  in
+  let rtopo =
+    let topo = Vivu.topo vivu in
+    Array.init n (fun i -> topo.(n - 1 - i))
+  in
+  let entry_charge w = match k.(w) with Some kw -> (kw - 1) * lam.(w) | None -> 0 in
+  (* Lam_h = worst-case cost of one lap (header back to itself through an
+     iteration edge), by a reverse-topological chain DP over the body;
+     instances are processed innermost-first so inner Lam values are
+     final when an outer lap crosses an inner header's entry edge. *)
+  let headers =
+    List.sort
+      (fun a b -> compare (List.length (ctx b)) (List.length (ctx a)))
+      (List.filter (fun v -> k.(v) <> None) (List.init n Fun.id))
+  in
+  List.iter
+    (fun h ->
+      let hctx = ctx h in
+      let in_body v = is_prefix hctx (ctx v) in
+      let lap_src = Array.make n false in
+      List.iter (fun u -> lap_src.(u) <- true) (Vivu.iter_pred vivu h);
+      let lap = Array.make n None in
+      Array.iter
+        (fun v ->
+          if in_body v then begin
+            let best = ref (if lap_src.(v) then Some 0 else None) in
+            List.iter
+              (fun w ->
+                if in_body w && k.(w) <> Some 0 then
+                  match lap.(w) with
+                  | None -> ()
+                  | Some lw ->
+                    let cand = lw + entry_charge w in
+                    (match !best with
+                    | None -> best := Some cand
+                    | Some b -> if cand > b then best := Some cand))
+              (Vivu.dag_succ vivu v);
+            lap.(v) <- Option.map (fun b -> c.(v) + b) !best
+          end)
+        rtopo;
+      lam.(h) <- (match lap.(h) with Some l when l > 0 -> l | _ -> 0))
+    headers;
+  (* X: least solution of C1-C3 by monotone Bellman sweeps in reverse
+     topological order.  DAG candidates settle in one sweep; iteration
+     edges feed back one nesting level per sweep, and converge because
+     Lam_h prepays the worst lap (cycle gain <= 0).  Give up (caller
+     falls back to the LP) if the cap is exceeded. *)
+  let x = Array.init n (fun v -> c.(v)) in
+  let changed = ref true in
+  let passes = ref 0 in
+  let max_passes = List.length headers + 2 in
+  while !changed && !passes <= max_passes do
+    changed := false;
+    incr passes;
+    Array.iter
+      (fun v ->
+        let best = ref c.(v) in
+        List.iter
+          (fun w ->
+            if k.(w) <> Some 0 then begin
+              let cand = c.(v) + x.(w) + entry_charge w in
+              if cand > !best then best := cand
+            end)
+          (Vivu.dag_succ vivu v);
+        List.iter
+          (fun h ->
+            let cand = c.(v) + x.(h) - lam.(h) in
+            if cand > !best then best := cand)
+          (Vivu.iter_succ vivu v);
+        if !best > x.(v) then begin
+          x.(v) <- !best;
+          changed := true
+        end)
+      rtopo
+  done;
+  if !changed then None else Some { fc_x = x; fc_lam = lam }

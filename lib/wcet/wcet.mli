@@ -35,6 +35,21 @@ val compute :
     [~pinned] and [~policy] (replacement policy, default LRU) are
     forwarded to {!Analysis.run}. *)
 
+val analyze :
+  ?deadline:Ucp_util.Deadline.t ->
+  ?with_may:bool ->
+  ?hw_next_n:int ->
+  ?pinned:(int -> bool) ->
+  ?policy:Ucp_policy.id ->
+  ?domain:Analysis.domain ->
+  Ucp_isa.Program.t ->
+  Ucp_cache.Config.t ->
+  Analysis.t
+(** Layout, VIVU expansion and abstract interpretation only — the
+    model-independent front half of {!compute}.  The result can be
+    shared across technology nodes (it does not depend on the Cacti
+    model) and finished per tech with {!of_analysis}. *)
+
 val of_analysis : Analysis.t -> Ucp_energy.Cacti.t -> t
 (** Timing + path on an existing analysis. *)
 
@@ -55,8 +70,10 @@ val residual_prefetch_stall : t -> int
     provably effective.  Every execution of every prefetch instance is
     charged [max 0 (lambda - d)], where [d] is the minimum number of
     instruction slots between the prefetch and the first later access
-    of its target block over {e all} paths of the expanded DAG (each
-    slot costs at least one cycle on any execution).  Near zero for
+    of its target block over {e all} walks of the expanded graph —
+    following DAG {e and} iteration (wrap-around) edges, since inside a
+    loop the first later use can sit across the back edge (each slot
+    costs at least one cycle on any execution).  Near zero for
     programs optimized by the paper's criterion (Definition 10
     guarantees effectiveness in the WCET scenario); large for naive
     baselines such as the basic-block-start inserter of [5]. *)
@@ -64,3 +81,34 @@ val residual_prefetch_stall : t -> int
 val tau_with_residual : t -> int
 (** [tau t + residual_prefetch_stall t] — the sound bound for programs
     with unchecked prefetches. *)
+
+(** {2 Combinatorial flow certificate (the audit fast path)} *)
+
+type flow_cert = {
+  fc_x : int array;
+      (** per node: X_v, an upper bound on the node-cycle cost of any
+          walk suffix starting at (and including) v *)
+  fc_lam : int array;
+      (** per node: Lam_h, the prepaid per-lap charge of a rest header
+          (0 for every other node) *)
+}
+(** Witness that [tau] bounds every walk of the VIVU execution model.
+    Valid iff, with [c_v] the per-node cycles and
+    [entry_charge v = (k_v - 1) * Lam_v] at rest headers of per-entry
+    budget [k_v = bound - 1]:
+    [Lam_h >= 0]; [X_u >= c_u + X_v + entry_charge v] on DAG edges
+    (waived into [k_v = 0] headers, which cannot be entered);
+    [X_u >= c_u + X_h - Lam_h] on iteration edges; [X_v >= c_v]
+    everywhere; and [X_entry = tau].  {!Ucp_verify.certify_ipet} checks
+    these conditions with independently re-derived costs in linear
+    passes — no simplex or branch-and-bound. *)
+
+val rest_budget : Ucp_cfg.Vivu.t -> int option array
+(** [Some (bound - 1)] per rest-header node (its per-entry execution
+    budget in the flow model), [None] elsewhere. *)
+
+val flow_certificate : t -> flow_cert option
+(** Construct a certificate by a per-loop lap-chain DP (Lam) followed by
+    monotone Bellman sweeps (X).  Untrusted: the audit re-checks the
+    conditions from scratch.  [None] if the sweeps fail to converge
+    within the pass cap (the audit then falls back to the LP/ILP). *)

@@ -397,6 +397,103 @@ let prop_policy_fill_sound policy =
       List.for_all (fun mb -> Concrete.contains c mb) (Abstract.blocks !must)
       && List.for_all (fun mb -> Abstract.contains !may mb) (Concrete.contents c))
 
+(* ------------------------------------------------------------------ *)
+(* Representation equivalence: the flat age-vector domains must be
+   observationally identical to the functional reference — same
+   membership, ages, victims, joins and ordering after any interleaving
+   of updates and fills under any hints.  Blocks are shifted up to a
+   layout-like anchor so the dense [base] offset translation is on the
+   path. *)
+
+let prop_flat_equiv policy =
+  let pname = Ucp_policy.to_string policy in
+  let shift = 1 lsl 20 in
+  let universe = 14 in
+  QCheck2.Test.make
+    ~name:(pname ^ ": flat age vectors match the functional domains")
+    ~count:400
+    QCheck2.Gen.(
+      triple Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence
+        Ucp_testlib.gen_access_sequence)
+    (fun (config, s1, s2) ->
+      let s1 = List.map (( + ) shift) s1 and s2 = List.map (( + ) shift) s2 in
+      let agree func flat =
+        Abstract.blocks func = Abstract.blocks flat
+        && List.for_all
+             (fun idx ->
+               let mb = shift + idx in
+               Abstract.age func mb = Abstract.age flat mb
+               && Abstract.contains func mb = Abstract.contains flat mb)
+             (List.init universe Fun.id)
+      in
+      let hints = [| Ucp_policy.Hit; Ucp_policy.Miss; Ucp_policy.Unknown |] in
+      let walk kind seq =
+        let step i (func, flat) mb =
+          let hint = hints.(i mod 3) in
+          let sorted l = List.sort compare l in
+          if
+            sorted (Abstract.victims ~hint func mb)
+            <> sorted (Abstract.victims ~hint flat mb)
+          then failwith "victims diverge";
+          let f = if i mod 2 = 0 then Abstract.update else Abstract.fill in
+          let func = f ~hint func mb and flat = f ~hint flat mb in
+          if not (agree func flat) then failwith "states diverge";
+          (func, flat)
+        in
+        List.fold_left
+          (fun (i, st) mb -> (i + 1, step i st mb))
+          ( 0,
+            ( Abstract.empty ~policy config kind,
+              Abstract.empty_flat ~policy ~base:shift ~universe config kind ) )
+          seq
+        |> snd
+      in
+      List.for_all
+        (fun kind ->
+          let func1, flat1 = walk kind s1 in
+          let func2, flat2 = walk kind s2 in
+          agree (Abstract.join func1 func2) (Abstract.join flat1 flat2)
+          && Abstract.leq func1 func2 = Abstract.leq flat1 flat2
+          && Abstract.leq func2 func1 = Abstract.leq flat2 flat1)
+        [ Abstract.Must; Abstract.May ])
+
+(* the destructive hot-loop variants are the same functions *)
+let prop_flat_inplace_equiv policy =
+  let pname = Ucp_policy.to_string policy in
+  let shift = 1 lsl 20 in
+  let universe = 14 in
+  QCheck2.Test.make
+    ~name:(pname ^ ": in-place updates match the persistent ones")
+    ~count:300
+    QCheck2.Gen.(pair Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence)
+    (fun (config, seq) ->
+      let seq = List.map (( + ) shift) seq in
+      let hints = [| Ucp_policy.Hit; Ucp_policy.Miss; Ucp_policy.Unknown |] in
+      List.for_all
+        (fun kind ->
+          List.for_all
+            (fun mk ->
+              let pure = ref (mk kind) in
+              let ip = Abstract.copy (mk kind) in
+              List.iteri
+                (fun i mb ->
+                  let hint = hints.(i mod 3) in
+                  if i mod 2 = 0 then begin
+                    pure := Abstract.update ~hint !pure mb;
+                    Abstract.update_ip ~hint ip mb
+                  end
+                  else begin
+                    pure := Abstract.fill ~hint !pure mb;
+                    Abstract.fill_ip ~hint ip mb
+                  end)
+                seq;
+              Abstract.equal !pure ip)
+            [
+              Abstract.empty ~policy config;
+              Abstract.empty_flat ~policy ~base:shift ~universe config;
+            ])
+        [ Abstract.Must; Abstract.May ])
+
 let () =
   Alcotest.run "ucp_cache"
     [
@@ -453,6 +550,14 @@ let () =
             [
               QCheck_alcotest.to_alcotest (prop_policy_walk_sound policy);
               QCheck_alcotest.to_alcotest (prop_policy_fill_sound policy);
+            ])
+          Ucp_policy.all );
+      ( "domains",
+        List.concat_map
+          (fun policy ->
+            [
+              QCheck_alcotest.to_alcotest (prop_flat_equiv policy);
+              QCheck_alcotest.to_alcotest (prop_flat_inplace_equiv policy);
             ])
           Ucp_policy.all );
     ]

@@ -345,6 +345,8 @@ let test_sweep_audit_full () =
       | Pipeline.Audited { checks; seconds } ->
         Alcotest.(check int) "five obligations per case" 5 checks;
         Alcotest.(check bool) "non-negative audit cost" true (seconds >= 0.0)
+      | Pipeline.Audit_skipped reason ->
+        Alcotest.failf "plain case skipped: %s" reason
       | Pipeline.Not_audited -> Alcotest.fail "audited sweep left a record unaudited")
     s.Parallel.records;
   let s0 = Parallel.sweep ~programs ~configs ~techs ~jobs:2 () in

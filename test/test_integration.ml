@@ -107,6 +107,48 @@ let test_regression_pins () =
   let same = Pipeline.measure ~seed:42 program config Tech.nm45 in
   Alcotest.(check int) "measurement is reproducible" m.Pipeline.acet same.Pipeline.acet
 
+(* The four geometries where the residual prefetch-stall charge used to
+   ignore iteration back edges in its distance-to-use BFS: a prefetch
+   whose use sits across a loop back edge was credited with the short
+   intra-lap distance, under-charging the residual and letting the
+   simulated ACET exceed the certified bound (fdct's demotions under
+   --audit full).  Pinned end-to-end: the cases must evaluate, certify
+   and satisfy every soundness invariant. *)
+let test_fdct_residual_pins () =
+  let module Experiments = Ucp_core.Experiments in
+  let program = Ucp_workloads.Suite.find "fdct" in
+  List.iter
+    (fun (kid, tech) ->
+      let label = Printf.sprintf "fdct:%s:%s" kid tech.Tech.label in
+      let config = List.assoc kid Config.paper_configs in
+      let case =
+        {
+          Experiments.case_program_name = "fdct";
+          case_program = program;
+          case_config_id = kid;
+          case_config = config;
+          case_tech = tech;
+          case_policy = Ucp_policy.Lru;
+        }
+      in
+      let r =
+        Experiments.run_case ~audit:true ~model:(Pipeline.model config tech) case
+      in
+      (match Experiments.check_invariants r with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s violates invariants: %s" label msg);
+      match r.Experiments.audit with
+      | Pipeline.Audited _ -> ()
+      | Pipeline.Not_audited -> Alcotest.failf "%s was not audited" label
+      | Pipeline.Audit_skipped reason ->
+        Alcotest.failf "%s audit skipped: %s" label reason)
+    [
+      ("k17", Tech.nm45);
+      ("k17", Tech.nm32);
+      ("k18", Tech.nm45);
+      ("k18", Tech.nm32);
+    ]
+
 let test_technology_ordering () =
   (* 32 nm: faster clock but leakier; the energy of the same run must
      reflect the leakage increase *)
@@ -150,6 +192,8 @@ let () =
       ( "model",
         [
           Alcotest.test_case "regression pins" `Quick test_regression_pins;
+          Alcotest.test_case "fdct residual-stall pins" `Quick
+            test_fdct_residual_pins;
           Alcotest.test_case "technology ordering" `Quick test_technology_ordering;
           Alcotest.test_case "downsizing energy" `Quick test_downsizing_energy_story;
         ] );

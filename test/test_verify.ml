@@ -89,11 +89,14 @@ let test_audit_case_passes () =
     (fun policy ->
       let w0, r, w1 = setup ~policy "fft1" in
       match Verify.audit_case ~original:w0 ~optimized:w1 r with
-      | Ok { Verify.checks; seconds } ->
+      | Ok (Verify.Certified { checks; seconds }) ->
         Alcotest.(check int)
           (Ucp_policy.to_string policy ^ " checks")
           5 checks;
         Alcotest.(check bool) "non-negative cost" true (seconds >= 0.0)
+      | Ok (Verify.Skipped { reason }) ->
+        Alcotest.failf "%s: plain analysis skipped: %s"
+          (Ucp_policy.to_string policy) reason
       | Error msg ->
         Alcotest.failf "%s: audit failed: %s" (Ucp_policy.to_string policy) msg)
     [ Ucp_policy.Lru; Ucp_policy.Fifo; Ucp_policy.Plru ]
@@ -102,6 +105,49 @@ let test_audit_case_corrupt_hook () =
   let w0, r, w1 = setup "fft1" in
   expect_obligation "corrupt hook" "optimizer-tau-after"
     (Verify.audit_case ~corrupt:true ~original:w0 ~optimized:w1 r)
+
+(* ------------------------------------------------------------------ *)
+(* IPET fast path: the flow certificate must carry genuine cases
+   without a solver, and tampered bounds must die on the linear
+   cross-checks before any fallback *)
+
+let test_ipet_fastpath_fires () =
+  Ucp_obs.Metrics.enable ();
+  Fun.protect ~finally:Ucp_obs.Metrics.disable (fun () ->
+      Ucp_obs.Metrics.reset ();
+      List.iter
+        (fun name ->
+          let w0, _, w1 = setup name in
+          List.iter
+            (fun (label, w) ->
+              match Verify.certify_ipet w with
+              | Ok () -> ()
+              | Error msg -> Alcotest.failf "%s/%s: %s" name label msg)
+            [ ("original", w0); ("optimized", w1) ])
+        [ "fft1"; "st"; "fdct" ];
+      let count k =
+        match Ucp_obs.Metrics.find k with
+        | Some (Ucp_obs.Metrics.Counter n) -> n
+        | _ -> 0
+      in
+      Alcotest.(check int)
+        "every certification took the fast path" 6
+        (count "audit_ipet_fastpath_total");
+      Alcotest.(check int) "no solver fallback" 0
+        (count "audit_ipet_slowpath_total"))
+
+let test_ipet_tau_mutation () =
+  let w0, _, _ = setup "fft1" in
+  List.iter
+    (fun d ->
+      match Verify.certify_ipet { w0 with Wcet.tau = w0.Wcet.tau + d } with
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "tampered tau (%+d) names the cross-check (got %S)" d msg)
+          true
+          (String.length msg >= 5 && String.sub msg 0 5 = "ipet-")
+      | Ok () -> Alcotest.failf "tampered tau (%+d) accepted" d)
+    [ 1; -1 ]
 
 (* ------------------------------------------------------------------ *)
 (* witness replay mutations *)
@@ -203,6 +249,13 @@ let () =
             test_audit_case_passes;
           Alcotest.test_case "corrupt hook must fail" `Quick
             test_audit_case_corrupt_hook;
+        ] );
+      ( "ipet",
+        [
+          Alcotest.test_case "fast path carries genuine cases" `Quick
+            test_ipet_fastpath_fires;
+          Alcotest.test_case "tampered tau rejected" `Quick
+            test_ipet_tau_mutation;
         ] );
       ( "witness",
         [
