@@ -692,6 +692,186 @@ let experiment_cmd =
       $ configs $ techs $ policies $ audit $ trace $ heartbeat $ metrics
       $ sweep_out)
 
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the analysis daemon.")
+
+let serve_cmd =
+  let run socket store jobs cache queue timeout =
+    (try Ucp_core.Fault.load_env ()
+     with Invalid_argument msg ->
+       Printf.eprintf "ucp: %s\n" msg;
+       exit 124);
+    let cfg =
+      {
+        Ucp_serve.Server.socket;
+        store_dir = store;
+        jobs;
+        cache_capacity = cache;
+        queue_limit = queue;
+        timeout;
+      }
+    in
+    match Ucp_serve.Server.run cfg with
+    | () -> ()  (* graceful drain: exit 0 *)
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "ucp: serve: %s: %s %s\n" fn (Unix.error_message e) arg;
+      exit 1
+    | exception Invalid_argument msg ->
+      Printf.eprintf "ucp: %s\n" msg;
+      exit 124
+  in
+  let store =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Result store directory (created if missing) — the daemon's only \
+             persistent state.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for cold evaluations (default 2).")
+  in
+  let cache =
+    Arg.(
+      value & opt int 64
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"In-memory LRU result-cache entries; 0 disables it (default 64).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 32
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: cold evaluations in flight before further cold \
+             queries are shed with a retry hint (default 32).  Cache and \
+             store hits are never shed.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:"Per-case cooperative deadline for daemon-side evaluation.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the crash-only analysis daemon: answers use-case queries from an \
+          in-memory LRU cache, a self-healing content-addressed store, or cold \
+          evaluation on a worker pool.  SIGTERM/SIGINT (or `ucp query \
+          --shutdown') drains in-flight requests and exits 0; after kill -9 it \
+          recovers from the store alone.")
+    Term.(const run $ socket_arg $ store $ jobs $ cache $ queue $ timeout)
+
+let query_cmd =
+  let run socket ids health shutdown retries seed =
+    if ids = [] && (not health) && not shutdown then begin
+      Printf.eprintf "ucp: query: nothing to do (give case IDs, --health or --shutdown)\n";
+      exit 124
+    end;
+    let failed = ref false in
+    let module P = Ucp_serve.Protocol in
+    let source = function
+      | P.Memory -> "memory"
+      | P.Store -> "store"
+      | P.Computed -> "computed"
+    in
+    List.iter
+      (fun id ->
+        match Ucp_serve.Client.query ~retries ~seed ~socket (P.Case id) with
+        | Ok (P.Record { source = src; json; _ }) ->
+          Printf.eprintf "[query] %s answered from %s\n%!" id (source src);
+          print_string json;
+          print_newline ()
+        | Ok (P.Failed { message; _ }) ->
+          Printf.eprintf "ucp: query %s: %s\n" id message;
+          failed := true
+        | Ok (P.Retry { reason; _ }) ->
+          Printf.eprintf "ucp: query %s: still shedding load (%s)\n" id reason;
+          failed := true
+        | Ok (P.Health_stats _ | P.Bye) ->
+          Printf.eprintf "ucp: query %s: unexpected response kind\n" id;
+          failed := true
+        | Error msg ->
+          Printf.eprintf "ucp: query %s: %s\n" id msg;
+          failed := true)
+      ids;
+    if health then begin
+      match Ucp_serve.Client.query ~retries ~seed ~socket P.Health with
+      | Ok (P.Health_stats stats) ->
+        List.iter (fun (k, v) -> Printf.printf "%s=%d\n" k v) stats
+      | Ok _ ->
+        Printf.eprintf "ucp: health: unexpected response kind\n";
+        failed := true
+      | Error msg ->
+        Printf.eprintf "ucp: health: %s\n" msg;
+        failed := true
+    end;
+    if shutdown then begin
+      match Ucp_serve.Client.query ~socket P.Shutdown with
+      | Ok P.Bye -> Printf.eprintf "[query] daemon shutting down\n%!"
+      | Ok _ ->
+        Printf.eprintf "ucp: shutdown: unexpected response kind\n";
+        failed := true
+      | Error msg ->
+        Printf.eprintf "ucp: shutdown: %s\n" msg;
+        failed := true
+    end;
+    if !failed then exit 1
+  in
+  let ids =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID"
+          ~doc:
+            "Use-case ids (<program>:<config>:<tech>:<policy>, e.g. \
+             fft1:k14:45nm:lru).  Each answer is printed to stdout as the \
+             same JSONL record a batch `ucp experiment --sweep-out' would \
+             emit; the answer's source (memory/store/computed) goes to \
+             stderr.")
+  in
+  let health =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Print the daemon's statistics (cache hits/misses, queue depth, \
+             shed count, worker restarts, quarantined store entries, metric \
+             counters) as key=value lines.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit (never retried).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 8
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Attempts for idempotent queries before giving up (default 8).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Seed of the deterministic retry-backoff jitter (default 1).")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Query the analysis daemon.  Idempotent queries retry through daemon \
+          restarts and load shedding with deterministic exponential backoff; \
+          exits 0 when everything was answered, 1 otherwise, 124 on bad \
+          arguments.")
+    Term.(const run $ socket_arg $ ids $ health $ shutdown $ retries $ seed)
+
 let trace_cmd =
   let run file top =
     let spans =
@@ -830,5 +1010,7 @@ let () =
             persistence_cmd;
             verify_cmd;
             experiment_cmd;
+            serve_cmd;
+            query_cmd;
             trace_cmd;
           ]))

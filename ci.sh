@@ -254,3 +254,136 @@ if ! cmp -s "$speed_dir/audited.records" "$speed_dir/plain.records"; then
   exit 1
 fi
 echo "ci: audit-speed smoke passed (audited ${wall_audited}s vs unaudited ${wall_plain}s)"
+
+# Serve smoke: the analysis daemon end to end.  Start `ucp serve` with
+# two faults armed -- the worker domain evaluating fft1:k2:45nm:lru is
+# killed mid-request (one-shot), and crc:k5:45nm:lru's store entry is
+# scribbled after persisting (one-shot) -- then drive it with `ucp
+# query` and require: the killed request is retried to success on a
+# respawned worker; the repeated query is a memory-cache hit with the
+# identical bytes; the warm answer is byte-identical to the batch
+# sweep's JSONL record for the same case; the corrupt store entry is
+# quarantined and transparently recomputed; --health reports >=1
+# worker restart and >=1 quarantined entry; kill -9 plus restart
+# recovers every computed case from the store alone; and a graceful
+# shutdown exits 0.
+serve_dir=$(mktemp -d)
+trap 'rm -f "$smoke_err"; rm -rf "$obs_dir" "$speed_dir" "$serve_dir"' EXIT
+UCP="./_build/default/bin/ucp.exe"
+SOCK="$serve_dir/ucp.sock"
+STORE="$serve_dir/store"
+
+# batch reference for the byte-identity check (single-case sweep)
+"$UCP" experiment --programs fft1 --configs k2 --techs 45nm --jobs 1 \
+  --sweep-out "$serve_dir/batch.jsonl" >/dev/null 2>"$smoke_err" || {
+  echo "ci: serve smoke: batch reference sweep failed" >&2
+  cat "$smoke_err" >&2
+  exit 1
+}
+grep -v '"summary"' "$serve_dir/batch.jsonl" >"$serve_dir/batch.record"
+
+UCP_FAULT='fft1:k2:45nm:lru=kill-worker,crc:k5:45nm:lru=corrupt-store' \
+  "$UCP" serve --socket "$SOCK" --store "$STORE" -j 2 --cache 1 \
+  2>"$serve_dir/serve1.err" &
+serve_pid=$!
+
+# cold query: the worker dies under it; the client's backoff retry
+# must get a real answer from the respawned worker
+"$UCP" query --socket "$SOCK" fft1:k2:45nm:lru \
+  >"$serve_dir/cold.json" 2>"$serve_dir/q1.err" || {
+  echo "ci: serve smoke: cold query failed (kill-worker not survived)" >&2
+  cat "$serve_dir/q1.err" "$serve_dir/serve1.err" >&2
+  exit 1
+}
+grep -q 'answered from computed' "$serve_dir/q1.err" || {
+  echo "ci: serve smoke: cold query was not computed" >&2
+  cat "$serve_dir/q1.err" >&2
+  exit 1
+}
+
+# repeated query: memory-cache hit, identical bytes
+"$UCP" query --socket "$SOCK" fft1:k2:45nm:lru \
+  >"$serve_dir/warm.json" 2>"$serve_dir/q2.err"
+grep -q 'answered from memory' "$serve_dir/q2.err" || {
+  echo "ci: serve smoke: repeated query missed the memory cache" >&2
+  cat "$serve_dir/q2.err" >&2
+  exit 1
+}
+cmp -s "$serve_dir/cold.json" "$serve_dir/warm.json" || {
+  echo "ci: serve smoke: warm answer differs from cold answer" >&2
+  exit 1
+}
+
+# the daemon's answer must be byte-identical to the batch JSONL record
+cmp -s "$serve_dir/warm.json" "$serve_dir/batch.record" || {
+  echo "ci: serve smoke: served record differs from batch sweep record" >&2
+  diff "$serve_dir/warm.json" "$serve_dir/batch.record" >&2 || true
+  exit 1
+}
+
+# corrupt-store case: computed, persisted, then scribbled on disk.
+# Evict it from the 1-entry memory cache, re-query: the store read
+# must detect the bad checksum, quarantine the entry and recompute.
+"$UCP" query --socket "$SOCK" crc:k5:45nm:lru \
+  >"$serve_dir/crc1.json" 2>/dev/null
+"$UCP" query --socket "$SOCK" fft1:k2:45nm:lru >/dev/null 2>&1  # evict crc
+"$UCP" query --socket "$SOCK" crc:k5:45nm:lru \
+  >"$serve_dir/crc2.json" 2>"$serve_dir/q3.err"
+grep -q 'answered from computed' "$serve_dir/q3.err" || {
+  echo "ci: serve smoke: corrupt store entry was not recomputed" >&2
+  cat "$serve_dir/q3.err" >&2
+  exit 1
+}
+cmp -s "$serve_dir/crc1.json" "$serve_dir/crc2.json" || {
+  echo "ci: serve smoke: recomputed answer differs after quarantine" >&2
+  exit 1
+}
+ls "$STORE"/*.quarantine >/dev/null 2>&1 || {
+  echo "ci: serve smoke: no quarantined entry on disk" >&2
+  exit 1
+}
+
+# health must carry the robustness counters
+"$UCP" query --socket "$SOCK" --health >"$serve_dir/health.txt" 2>/dev/null
+for counter in worker_restarts store_quarantined; do
+  n=$(sed -n "s/^$counter=\([0-9][0-9]*\)$/\1/p" "$serve_dir/health.txt")
+  if [ -z "$n" ] || [ "$n" -lt 1 ]; then
+    echo "ci: serve smoke: health $counter='$n', expected >= 1" >&2
+    cat "$serve_dir/health.txt" >&2
+    exit 1
+  fi
+done
+
+# crash-only recovery: kill -9, restart on the same store, and the
+# previously computed case answers from disk with the same bytes
+kill -9 "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+"$UCP" serve --socket "$SOCK" --store "$STORE" -j 2 --cache 4 \
+  2>"$serve_dir/serve2.err" &
+serve_pid=$!
+"$UCP" query --socket "$SOCK" fft1:k2:45nm:lru \
+  >"$serve_dir/restart.json" 2>"$serve_dir/q4.err" || {
+  echo "ci: serve smoke: query after kill -9 restart failed" >&2
+  cat "$serve_dir/q4.err" "$serve_dir/serve2.err" >&2
+  exit 1
+}
+grep -q 'answered from store' "$serve_dir/q4.err" || {
+  echo "ci: serve smoke: restarted daemon did not answer from the store" >&2
+  cat "$serve_dir/q4.err" >&2
+  exit 1
+}
+cmp -s "$serve_dir/restart.json" "$serve_dir/batch.record" || {
+  echo "ci: serve smoke: post-restart answer differs from batch record" >&2
+  exit 1
+}
+
+# graceful shutdown: drain and exit 0
+"$UCP" query --socket "$SOCK" --shutdown >/dev/null 2>&1
+status=0
+wait "$serve_pid" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "ci: serve smoke: graceful shutdown exited $status, expected 0" >&2
+  cat "$serve_dir/serve2.err" >&2
+  exit 1
+fi
+echo "ci: serve smoke passed"

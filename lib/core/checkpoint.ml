@@ -368,6 +368,37 @@ let replay path ~fingerprint tbl =
                  (i + 2)))
       rest
 
+(* durability: [flush] alone hands the bytes to the kernel page cache,
+   where a power cut (as opposed to a mere process crash) can still eat
+   them — every acknowledged journal write is fsynced to the device.
+   The counter exists so a test can pin the sync-before-ack ordering. *)
+let synced = Atomic.make 0
+
+let synced_writes () = Atomic.get synced
+
+let fsync_out oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
+  Atomic.incr synced
+
+(* a rename is only durable once the parent directory's entry is on
+   disk; without this fsync the file can vanish across a power cut even
+   though the rename "succeeded" *)
+let fsync_dir path =
+  let dir = Filename.dirname path in
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (* some filesystems refuse fsync on a directory fd; losing the
+           belt-and-braces sync there is not an error *)
+        try
+          Unix.fsync fd;
+          Atomic.incr synced
+        with Unix.Unix_error _ -> ())
+
 let start ~path ~fingerprint ~resume =
   let loaded = Hashtbl.create 97 in
   if resume && Sys.file_exists path then begin
@@ -382,14 +413,14 @@ let start ~path ~fingerprint ~resume =
         output_string oc (record_line ~id record);
         output_char oc '\n')
       loaded;
-    flush oc;
+    fsync_out oc;
     { oc; lock = Mutex.create (); loaded }
   end
   else begin
     let oc = open_out path in
     output_string oc (header_line fingerprint);
     output_char oc '\n';
-    flush oc;
+    fsync_out oc;
     { oc; lock = Mutex.create (); loaded }
   end
 
@@ -403,17 +434,21 @@ let record t ~id record =
     (fun () ->
       output_string t.oc line;
       output_char t.oc '\n';
-      flush t.oc)
+      fsync_out t.oc)
 
 let close t = close_out_noerr t.oc
 
 let write_atomic ~path content =
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let oc = open_out tmp in
-  (match output_string oc content with
+  (match
+     output_string oc content;
+     fsync_out oc
+   with
   | () -> close_out oc
   | exception e ->
     close_out_noerr oc;
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  fsync_dir path

@@ -4,8 +4,9 @@
     of the sweep grid, then one line per {e completed} use case with
     the full record (floats serialized losslessly, so a resumed sweep
     reproduces an uninterrupted run bit for bit).  Lines are appended
-    and flushed as cases finish; a crash can tear at most the final
-    line, which {!start} tolerates and drops.  Failed / timed-out /
+    and fsynced as cases finish — an acknowledged write survives not
+    just a process crash but a power cut; a crash can tear at most the
+    final line, which {!start} tolerates and drops.  Failed / timed-out /
     invariant-violating cases are {e not} journaled — a resume retries
     them.
 
@@ -45,8 +46,9 @@ val completed : t -> (string, Experiments.record) Hashtbl.t
     {!Experiments.case_id}.  Empty unless resuming. *)
 
 val record : t -> id:string -> Experiments.record -> unit
-(** Append one finished case and flush.  Thread-safe (worker domains
-    journal concurrently). *)
+(** Append one finished case, flush {e and fsync} before returning —
+    once [record] returns, the line is on the device.  Thread-safe
+    (worker domains journal concurrently). *)
 
 val close : t -> unit
 
@@ -59,5 +61,12 @@ val parse_line : string -> (string * Experiments.record) option
 (** Inverse of {!record_line}; [None] on malformed input. *)
 
 val write_atomic : path:string -> string -> unit
-(** Write a whole file via temp-file + rename, so readers never observe
-    a half-written output and a crash leaves the old file intact. *)
+(** Write a whole file via temp-file + fsync + rename (followed by a
+    best-effort parent-directory fsync), so readers never observe a
+    half-written output and a crash — including a power cut — leaves
+    either the old file or the complete new one. *)
+
+val synced_writes : unit -> int
+(** Process-wide count of fsyncs issued by this module ({!record},
+    {!start}, {!write_atomic}).  Exposed so a test can pin that
+    acknowledged journal appends really hit the sync path. *)

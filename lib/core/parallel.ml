@@ -21,7 +21,22 @@ type pool = {
   mutable failure : (exn * Printexc.raw_backtrace) option;
   mutable workers : unit Domain.t list;
   stats : wstat array;
+  (* worker-death accounting: an exception that escapes task isolation
+     (e.g. a [Fault.Killed_worker], or a fatal error in the pool
+     machinery itself) terminates its domain; the pool either respawns
+     a replacement ([respawn]) or fails [wait] with a structured
+     {!Worker_died} instead of hanging forever *)
+  respawn : bool;
+  mutable alive : int;
+  mutable restarts : int;
 }
+
+exception Worker_died of string
+
+(* lazily registered so pools in metrics-off runs never touch the
+   registry; fed by the respawn path, surfaced by the serve daemon's
+   health query *)
+let worker_restarts_total = lazy (Ucp_obs.Metrics.counter "worker_restarts_total")
 
 let default_jobs () =
   match Sys.getenv_opt "UCP_JOBS" with
@@ -50,6 +65,9 @@ let rec worker pool w =
     let outcome =
       match task () with
       | () -> None
+      (* a kill escapes task isolation by design: the domain dies and
+         the pool's death handler takes over the bookkeeping *)
+      | exception (Fault.Killed_worker _ as e) -> raise e
       | exception exn -> Some (exn, Printexc.get_raw_backtrace ())
     in
     let busy = Unix.gettimeofday () -. t0 in
@@ -66,7 +84,38 @@ let rec worker pool w =
     Mutex.unlock pool.mutex;
     worker pool w
 
-let create ~jobs =
+(* runs on the worker domain; any exception reaching it means the
+   worker died outside task isolation with its task still counted in
+   [pending] — account the loss, wake the waiters, and either spawn a
+   replacement domain or poison the pool with a structured error *)
+let rec guarded_worker pool w =
+  try worker pool w
+  with exn ->
+    let bt = Printexc.get_raw_backtrace () in
+    let died =
+      Worker_died
+        (Printf.sprintf "worker %d died outside task isolation: %s" w
+           (Printexc.to_string exn))
+    in
+    Mutex.lock pool.mutex;
+    pool.alive <- pool.alive - 1;
+    (* the in-flight task will never finish; without this decrement
+       [wait] would block forever on a count that cannot drain *)
+    pool.pending <- pool.pending - 1;
+    if pool.respawn && not pool.closed then begin
+      pool.restarts <- pool.restarts + 1;
+      Ucp_obs.Metrics.incr (Lazy.force worker_restarts_total);
+      pool.alive <- pool.alive + 1;
+      pool.workers <-
+        Domain.spawn (fun () -> guarded_worker pool w) :: pool.workers
+    end
+    else if pool.failure = None then pool.failure <- Some (died, bt);
+    Condition.broadcast pool.idle;
+    Mutex.unlock pool.mutex;
+    Ucp_obs.Log.warn "%s%s" (Printexc.to_string exn)
+      (if pool.respawn then " — worker domain replaced" else "")
+
+let create ?(respawn = false) ~jobs () =
   if jobs < 1 then invalid_arg "Parallel.create: jobs must be positive";
   let pool =
     {
@@ -79,10 +128,19 @@ let create ~jobs =
       failure = None;
       workers = [];
       stats = Array.init jobs (fun _ -> { w_busy = 0.0; w_tasks = 0; w_cases = 0 });
+      respawn;
+      alive = jobs;
+      restarts = 0;
     }
   in
-  pool.workers <- List.init jobs (fun w -> Domain.spawn (fun () -> worker pool w));
+  pool.workers <- List.init jobs (fun w -> Domain.spawn (fun () -> guarded_worker pool w));
   pool
+
+let restarts pool =
+  Mutex.lock pool.mutex;
+  let r = pool.restarts in
+  Mutex.unlock pool.mutex;
+  r
 
 let submit ?(weight = 1) pool task =
   Mutex.lock pool.mutex;
@@ -112,24 +170,39 @@ let worker_stats pool =
 
 let wait pool =
   Mutex.lock pool.mutex;
-  while pool.pending > 0 do
+  (* a pool whose last worker died can never drain its queue: stop
+     waiting and report the death instead of hanging forever *)
+  while pool.pending > 0 && pool.alive > 0 do
     Condition.wait pool.idle pool.mutex
   done;
   let failure = pool.failure in
   pool.failure <- None;
+  let wedged = pool.pending > 0 && pool.alive = 0 in
   Mutex.unlock pool.mutex;
   match failure with
   | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
-  | None -> ()
+  | None ->
+    if wedged then
+      raise (Worker_died "every worker domain died; queued tasks abandoned")
 
 let shutdown pool =
   Mutex.lock pool.mutex;
   pool.closed <- true;
   Condition.broadcast pool.work;
   Mutex.unlock pool.mutex;
-  let workers = pool.workers in
-  pool.workers <- [];
-  List.iter Domain.join workers
+  (* joining can race a death handler appending a replacement domain,
+     so drain the worker list until it stays empty *)
+  let rec drain () =
+    Mutex.lock pool.mutex;
+    let workers = pool.workers in
+    pool.workers <- [];
+    Mutex.unlock pool.mutex;
+    if workers <> [] then begin
+      List.iter Domain.join workers;
+      drain ()
+    end
+  in
+  drain ()
 
 (* ------------------------------------------------------------------ *)
 (* deterministic parallel map *)
@@ -182,7 +255,7 @@ let map ?jobs ?chunk ?progress ?telemetry f items =
                    the rest of this run"
                   (Printexc.to_string exn))
     in
-    let pool = create ~jobs in
+    let pool = create ~jobs () in
     Fun.protect
       ~finally:(fun () -> shutdown pool)
       (fun () ->
@@ -208,6 +281,7 @@ let try_map ?jobs ?chunk ?progress ?telemetry f items =
       | v -> Outcome.Ok v
       | exception Deadline.Deadline_exceeded -> Outcome.Timed_out
       | exception Outcome.Invariant msg -> Outcome.Invariant_violation msg
+      | exception (Fault.Killed_worker _ as e) -> raise e
       | exception exn ->
         let bt = Printexc.get_raw_backtrace () in
         Outcome.Failed
@@ -230,6 +304,7 @@ type sweep = {
   jobs : int;
   cases : int;
   workers : Telemetry.worker_stat array;
+  worker_restarts : int;
 }
 
 (* sweep-level instruments (registered on first use, so a sweep with
@@ -374,6 +449,7 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
         | v -> Outcome.Ok v
         | exception Deadline.Deadline_exceeded -> Outcome.Timed_out
         | exception Outcome.Invariant msg -> Outcome.Invariant_violation msg
+        | exception (Fault.Killed_worker _ as e) -> raise e
         | exception exn ->
           let bt = Printexc.get_raw_backtrace () in
           Outcome.Failed
@@ -398,7 +474,10 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
         Option.iter (fun j -> Checkpoint.record j ~id r) journal;
         (r, timed)
       in
-      let pool = create ~jobs in
+      (* a killed worker domain must not sink the whole sweep: the pool
+         replaces dead domains and the lost chunk's cases surface as
+         structured failures below *)
+      let pool = create ~respawn:true ~jobs () in
       let audit_task i id r input timed () =
         set_final i
           (wrap (fun () ->
@@ -446,6 +525,7 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
           set_final i (Outcome.Invariant_violation m)
       in
       let stats = ref [||] in
+      let pool_restarts = ref 0 in
       (* periodic liveness line on stderr: overall completion, sweep
          throughput and a run-rate ETA, so a hung worker is visible long
          before any per-case deadline fires *)
@@ -515,7 +595,8 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
                 lo := h
               done;
               wait pool;
-              stats := worker_stats pool));
+              stats := worker_stats pool;
+              pool_restarts := restarts pool));
       let timings = Pipeline.fresh_timings () in
       Array.iter
         (function
@@ -528,7 +609,16 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
              (fun i c ->
                match final.(i) with
                | Some o -> (Experiments.case_id c, strip o)
-               | None -> assert false)
+               | None ->
+                 (* the chunk task holding this case died with its
+                    worker domain before [set_final] ran *)
+                 ( Experiments.case_id c,
+                   Outcome.Failed
+                     {
+                       Outcome.exn_text =
+                         "case lost: worker domain died mid-task";
+                       backtrace = "";
+                     } ))
              cases)
       in
       {
@@ -545,4 +635,5 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
         jobs;
         cases = n;
         workers = !stats;
+        worker_restarts = !pool_restarts;
       })

@@ -28,9 +28,24 @@ val default_jobs : unit -> int
 
 type pool
 
-val create : jobs:int -> pool
-(** Spawn [jobs] worker domains blocked on the queue.
+exception Worker_died of string
+(** A worker domain terminated outside task isolation (e.g. a
+    {!Fault.Killed_worker} hook, or a crash in the pool machinery
+    itself).  Raised by {!wait} on a non-respawning pool, or when every
+    worker has died with tasks still queued — instead of hanging on a
+    queue that can never drain. *)
+
+val create : ?respawn:bool -> jobs:int -> unit -> pool
+(** Spawn [jobs] worker domains blocked on the queue.  With
+    [~respawn:true] (default [false]) a worker domain that dies outside
+    task isolation is replaced by a fresh domain (the in-flight task is
+    lost and accounted for, {!restarts} and the
+    [worker_restarts_total] metric are bumped); without it the death
+    poisons the pool and {!wait} raises {!Worker_died}.
     @raise Invalid_argument if [jobs < 1]. *)
+
+val restarts : pool -> int
+(** Number of worker domains replaced so far (0 unless [~respawn]). *)
 
 val submit : ?weight:int -> pool -> (unit -> unit) -> unit
 (** Enqueue a task; returns immediately.  [?weight] (default 1) is the
@@ -45,7 +60,9 @@ val worker_stats : pool -> Telemetry.worker_stat array
 val wait : pool -> unit
 (** Block until every submitted task has finished.  If any task raised,
     re-raises the first such exception with the backtrace captured at
-    the original raise site (the remaining tasks still run). *)
+    the original raise site (the remaining tasks still run).  Never
+    hangs on worker death: a died worker on a non-respawning pool (or a
+    pool whose every worker died) surfaces as {!Worker_died}. *)
 
 val shutdown : pool -> unit
 (** Reject further submissions, let queued tasks drain, and join the
@@ -116,6 +133,10 @@ type sweep = {
       (** per-worker busy time and case counts ([cases] there counts
           evaluated cases only — resumed cases ran no task); empty when
           every case was replayed from the journal *)
+  worker_restarts : int;
+      (** worker domains that died mid-sweep and were replaced (the
+          sweep pool runs with [~respawn:true]); cases lost with a dead
+          domain surface in [failures] as [Outcome.Failed] *)
 }
 
 val sweep :

@@ -1,0 +1,84 @@
+module Rng = Ucp_util.Rng
+module Backoff = Ucp_util.Backoff
+module P = Protocol
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* read until one whole frame has arrived (responses are one frame) *)
+let read_response fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    match P.unframe (Buffer.contents buf) with
+    | P.Frame (payload, _) -> P.response_of_string payload
+    | P.Malformed msg -> Error ("malformed frame from daemon: " ^ msg)
+    | P.Incomplete -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Error "connection closed mid-response"
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+  in
+  loop ()
+
+let once ~socket req =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "socket: %s" (Unix.error_message e))
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "connect %s: %s" socket (Unix.error_message e))
+        | () -> (
+          match write_all fd (P.frame (P.request_to_string req)) with
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "send: %s" (Unix.error_message e))
+          | () -> read_response fd))
+
+let idempotent = function P.Case _ | P.Health -> true | P.Shutdown -> false
+
+(* Every failure mode short of a definitive daemon answer is worth a
+   retry for an idempotent request: connection refused (daemon
+   restarting), a torn response (daemon killed mid-answer), an explicit
+   [Retry] shed, and [Failed {retryable = true}] (a worker domain died
+   under the request).  Delays follow the decorrelated-jitter schedule
+   seeded by [?seed], so a retry storm cannot synchronize and the test
+   suite can pin the exact timing. *)
+let query ?(retries = 8) ?(seed = 1) ?base ?cap ~socket req =
+  let b = Backoff.create ?base ?cap (Rng.create seed) in
+  let sleep hint =
+    let d = Backoff.next b in
+    Unix.sleepf (Float.max d hint)
+  in
+  let rec go attempt last_err =
+    if attempt > retries then
+      Error (Printf.sprintf "giving up after %d attempts: %s" retries last_err)
+    else
+      match once ~socket req with
+      | Ok (P.Retry { after_s; reason }) when idempotent req ->
+        sleep after_s;
+        go (attempt + 1) (Printf.sprintf "daemon shedding load: %s" reason)
+      | Ok (P.Failed { retryable = true; message }) when idempotent req ->
+        sleep 0.0;
+        go (attempt + 1) message
+      | Ok resp -> Ok resp
+      | Error msg when idempotent req ->
+        sleep 0.0;
+        go (attempt + 1) msg
+      | Error _ as e -> e
+  in
+  go 1 "no attempt made"

@@ -1,0 +1,30 @@
+(** Client side of the analysis service.
+
+    {!query} retries {e idempotent} requests ([Case], [Health]) through
+    every transient failure mode — connection refused while the daemon
+    (re)starts, a connection torn mid-response by a daemon crash, an
+    explicit load-shedding [Retry], and retryable errors such as a
+    worker domain dying under the request.  Delays follow exponential
+    backoff with decorrelated jitter ({!Ucp_util.Backoff}), entirely
+    driven by the deterministic {!Ucp_util.Rng} seed, so retry timing
+    is reproducible.  [Shutdown] is never retried: one attempt, and any
+    transport error is returned as-is. *)
+
+val once :
+  socket:string -> Protocol.request -> (Protocol.response, string) result
+(** One attempt: connect, send, read one response.  No retries. *)
+
+val query :
+  ?retries:int ->
+  ?seed:int ->
+  ?base:float ->
+  ?cap:float ->
+  socket:string ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** Retrying query: up to [?retries] (default 8) attempts for
+    idempotent requests, sleeping [max backoff retry_after] between
+    attempts ([?base]/[?cap] as in {!Ucp_util.Backoff.create}; [?seed]
+    default 1 drives the jitter).  Returns the first definitive daemon
+    answer — including non-retryable [Failed]s — or [Error] once the
+    attempts are exhausted. *)

@@ -1,0 +1,189 @@
+module Json = Ucp_util.Json
+
+(* ------------------------------------------------------------------ *)
+(* wire types *)
+
+type request =
+  | Case of string
+  | Health
+  | Shutdown
+
+type source = Memory | Store | Computed
+
+type response =
+  | Record of { id : string; source : source; json : string }
+  | Health_stats of (string * int) list
+  | Retry of { after_s : float; reason : string }
+  | Failed of { retryable : bool; message : string }
+  | Bye
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* framing: "<decimal length>\n<payload>\n".  The length line bounds
+   the read; the trailing newline is a cheap tear detector and keeps a
+   captured stream greppable. *)
+
+let max_frame = 16 * 1024 * 1024
+
+type unframed =
+  | Frame of string * string  (** payload, unconsumed rest *)
+  | Incomplete
+  | Malformed of string
+
+let frame payload =
+  if String.length payload > max_frame then
+    invalid_arg "Protocol.frame: payload exceeds max_frame";
+  Printf.sprintf "%d\n%s\n" (String.length payload) payload
+
+(* the length header of a max_frame payload is 8 digits; anything
+   longer without a newline can never become a valid frame *)
+let max_header = 9
+
+let unframe buf =
+  match String.index_opt buf '\n' with
+  | None ->
+    if String.length buf > max_header then Malformed "oversized length header"
+    else Incomplete
+  | Some nl ->
+    let header = String.sub buf 0 nl in
+    let len =
+      if header = "" then None
+      else if String.for_all (fun c -> c >= '0' && c <= '9') header then
+        int_of_string_opt header
+      else None
+    in
+    (match len with
+    | None -> Malformed (Printf.sprintf "bad length header %S" header)
+    | Some len when len > max_frame ->
+      Malformed (Printf.sprintf "frame of %d bytes exceeds limit" len)
+    | Some len ->
+      (* header + '\n' + payload + '\n' *)
+      let total = nl + 1 + len + 1 in
+      if String.length buf < total then Incomplete
+      else if buf.[total - 1] <> '\n' then Malformed "missing frame terminator"
+      else
+        Frame
+          ( String.sub buf (nl + 1) len,
+            String.sub buf total (String.length buf - total) ))
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding *)
+
+let source_to_string = function
+  | Memory -> "memory"
+  | Store -> "store"
+  | Computed -> "computed"
+
+let source_of_string = function
+  | "memory" -> Some Memory
+  | "store" -> Some Store
+  | "computed" -> Some Computed
+  | _ -> None
+
+let v_field = ("v", Json.Num (float_of_int version))
+
+let request_to_string = function
+  | Case id -> Json.to_string (Json.Obj [ v_field; ("req", Str "case"); ("id", Str id) ])
+  | Health -> Json.to_string (Json.Obj [ v_field; ("req", Str "health") ])
+  | Shutdown -> Json.to_string (Json.Obj [ v_field; ("req", Str "shutdown") ])
+
+let str_member key j = Option.bind (Json.member key j) Json.to_str
+
+let check_version j =
+  match Option.bind (Json.member "v" j) Json.to_int with
+  | Some v when v = version -> Ok ()
+  | Some v -> Error (Printf.sprintf "unsupported protocol version %d" v)
+  | None -> Error "missing protocol version"
+
+let request_of_string s =
+  match Json.parse s with
+  | Error msg -> Error (Printf.sprintf "malformed request: %s" msg)
+  | Ok j -> (
+    match check_version j with
+    | Error _ as e -> e
+    | Ok () -> (
+      match str_member "req" j with
+      | Some "case" -> (
+        match str_member "id" j with
+        | Some id when id <> "" -> Ok (Case id)
+        | Some _ | None -> Error "case request without an id")
+      | Some "health" -> Ok Health
+      | Some "shutdown" -> Ok Shutdown
+      | Some other -> Error (Printf.sprintf "unknown request %S" other)
+      | None -> Error "request without a req field"))
+
+let response_to_string = function
+  | Record { id; source; json } ->
+    Json.to_string
+      (Json.Obj
+         [
+           v_field;
+           ("resp", Str "record");
+           ("id", Str id);
+           ("source", Str (source_to_string source));
+           ("record", Str json);
+         ])
+  | Health_stats stats ->
+    Json.to_string
+      (Json.Obj
+         [
+           v_field;
+           ("resp", Str "health");
+           ("stats", Obj (List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) stats));
+         ])
+  | Retry { after_s; reason } ->
+    Json.to_string
+      (Json.Obj
+         [ v_field; ("resp", Str "retry"); ("after_s", Num after_s); ("reason", Str reason) ])
+  | Failed { retryable; message } ->
+    Json.to_string
+      (Json.Obj
+         [
+           v_field;
+           ("resp", Str "error");
+           ("retryable", Bool retryable);
+           ("message", Str message);
+         ])
+  | Bye -> Json.to_string (Json.Obj [ v_field; ("resp", Str "bye") ])
+
+let response_of_string s =
+  match Json.parse s with
+  | Error msg -> Error (Printf.sprintf "malformed response: %s" msg)
+  | Ok j -> (
+    match check_version j with
+    | Error _ as e -> e
+    | Ok () -> (
+      match str_member "resp" j with
+      | Some "record" -> (
+        match
+          (str_member "id" j, Option.bind (str_member "source" j) source_of_string,
+           str_member "record" j)
+        with
+        | Some id, Some source, Some json -> Ok (Record { id; source; json })
+        | _ -> Error "record response with missing fields")
+      | Some "health" -> (
+        match Json.member "stats" j with
+        | Some (Json.Obj kvs) ->
+          let ints =
+            List.filter_map
+              (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int v))
+              kvs
+          in
+          if List.length ints = List.length kvs then Ok (Health_stats ints)
+          else Error "health response with non-integer stats"
+        | Some _ | None -> Error "health response without stats")
+      | Some "retry" -> (
+        match
+          (Option.bind (Json.member "after_s" j) Json.to_float, str_member "reason" j)
+        with
+        | Some after_s, Some reason when after_s >= 0.0 -> Ok (Retry { after_s; reason })
+        | _ -> Error "retry response with missing fields")
+      | Some "error" -> (
+        match (Json.member "retryable" j, str_member "message" j) with
+        | Some (Json.Bool retryable), Some message ->
+          Ok (Failed { retryable; message })
+        | _ -> Error "error response with missing fields")
+      | Some "bye" -> Ok Bye
+      | Some other -> Error (Printf.sprintf "unknown response %S" other)
+      | None -> Error "response without a resp field"))

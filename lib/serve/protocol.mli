@@ -1,0 +1,63 @@
+(** Wire protocol of the analysis service: length-framed JSON messages
+    over a Unix-domain socket.
+
+    Each message is one frame — ["<decimal length>\n<payload>\n"] — and
+    each payload is one compact JSON object carrying a protocol
+    version.  Framing and JSON are decoded strictly: a torn frame is
+    distinguishable from a malformed one ({!Incomplete} vs
+    {!Malformed}), and garbage never parses as a message, so a client
+    talking to the wrong socket gets a clean error instead of
+    undefined behaviour. *)
+
+(** {2 Messages} *)
+
+type request =
+  | Case of string
+      (** evaluate (or recall) one use case by {!Experiments.case_id} *)
+  | Health  (** daemon statistics snapshot *)
+  | Shutdown  (** ack with {!Bye}, then drain and exit *)
+
+(** Where the answer came from — surfaced so tests and the CI smoke can
+    assert cache behaviour. *)
+type source =
+  | Memory  (** in-memory LRU result cache *)
+  | Store  (** on-disk content-addressed store *)
+  | Computed  (** cold: evaluated on the worker pool *)
+
+type response =
+  | Record of { id : string; source : source; json : string }
+      (** [json] is the {!Ucp_core.Report.record_json} line of the case
+          — byte-identical to what a batch sweep would emit for it *)
+  | Health_stats of (string * int) list
+  | Retry of { after_s : float; reason : string }
+      (** load shed: come back after [after_s] seconds *)
+  | Failed of { retryable : bool; message : string }
+  | Bye  (** shutdown acknowledged *)
+
+val version : int
+
+(** {2 Framing} *)
+
+val max_frame : int
+(** Upper bound on a payload (16 MiB); larger frames are rejected
+    before any allocation proportional to the claimed length. *)
+
+val frame : string -> string
+(** Wrap a payload.
+    @raise Invalid_argument beyond {!max_frame}. *)
+
+type unframed =
+  | Frame of string * string
+      (** one complete payload, plus the unconsumed tail of the input *)
+  | Incomplete  (** a prefix of a valid frame: read more bytes *)
+  | Malformed of string  (** this byte stream can never frame: drop it *)
+
+val unframe : string -> unframed
+(** Incremental decoder over whatever has been received so far. *)
+
+(** {2 Serialization} — total inverses: [of_string (to_string m) = Ok m]. *)
+
+val request_to_string : request -> string
+val request_of_string : string -> (request, string) result
+val response_to_string : response -> string
+val response_of_string : string -> (response, string) result

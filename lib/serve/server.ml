@@ -1,0 +1,466 @@
+module Config = Ucp_cache.Config
+module Tech = Ucp_energy.Tech
+module Suite = Ucp_workloads.Suite
+module Experiments = Ucp_core.Experiments
+module Checkpoint = Ucp_core.Checkpoint
+module Pipeline = Ucp_core.Pipeline
+module Report = Ucp_core.Report
+module Parallel = Ucp_core.Parallel
+module Fault = Ucp_core.Fault
+module Deadline = Ucp_util.Deadline
+module Lru = Ucp_util.Lru
+module P = Protocol
+
+type config = {
+  socket : string;
+  store_dir : string;
+  jobs : int;
+  cache_capacity : int;
+  queue_limit : int;
+  timeout : float option;
+}
+
+let default_config ~socket ~store_dir =
+  {
+    socket;
+    store_dir;
+    jobs = 2;
+    cache_capacity = 64;
+    queue_limit = 32;
+    timeout = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* server state *)
+
+type stats = {
+  smutex : Mutex.t;
+  mutable requests_total : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable store_hits : int;
+  mutable computed_total : int;
+  mutable shed_total : int;
+  mutable inflight : int;  (* cold computations queued or running *)
+}
+
+type t = {
+  cfg : config;
+  stop : bool Atomic.t;
+  pool : Parallel.pool;
+  store : Store.t;
+  (* case id -> (checkpoint record line, rendered record_json); both
+     strings are final bytes, so cache hits are trivially byte-stable *)
+  cache : (string, string * string) Lru.t;
+  cmutex : Mutex.t;
+  memo : Experiments.Analysis_memo.t;
+  models : (Config.t * Tech.t, Ucp_energy.Cacti.t) Hashtbl.t;
+  mmutex : Mutex.t;
+  stats : stats;
+}
+
+let tally t f =
+  Mutex.lock t.stats.smutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.stats.smutex) (fun () -> f t.stats)
+
+let cache_find t id =
+  Mutex.lock t.cmutex;
+  let v = Lru.find t.cache id in
+  Mutex.unlock t.cmutex;
+  v
+
+let cache_add t id v =
+  Mutex.lock t.cmutex;
+  Lru.add t.cache id v;
+  Mutex.unlock t.cmutex
+
+let model t (c : Experiments.case) =
+  Mutex.lock t.mmutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mmutex)
+    (fun () ->
+      let key = (c.Experiments.case_config, c.Experiments.case_tech) in
+      match Hashtbl.find_opt t.models key with
+      | Some m -> m
+      | None ->
+        let m =
+          Pipeline.model c.Experiments.case_config c.Experiments.case_tech
+        in
+        Hashtbl.add t.models key m;
+        m)
+
+(* ------------------------------------------------------------------ *)
+(* case-id resolution *)
+
+let resolve_case id =
+  match String.split_on_char ':' id with
+  | [ pname; cid; tlabel; pol ] -> (
+    match Suite.find pname with
+    | exception Not_found ->
+      Error (Printf.sprintf "unknown program %S (try `ucp list')" pname)
+    | program -> (
+      match List.assoc_opt cid Config.paper_configs with
+      | None -> Error (Printf.sprintf "unknown configuration %S (k1..k36)" cid)
+      | Some config -> (
+        let tech =
+          match tlabel with
+          | "45nm" -> Some Tech.nm45
+          | "32nm" -> Some Tech.nm32
+          | _ -> None
+        in
+        match tech with
+        | None -> Error (Printf.sprintf "unknown technology %S (45nm | 32nm)" tlabel)
+        | Some tech -> (
+          match Ucp_policy.of_string pol with
+          | Error msg -> Error msg
+          | Ok policy ->
+            Ok
+              {
+                Experiments.case_program_name = pname;
+                case_program = program;
+                case_config_id = cid;
+                case_config = config;
+                case_tech = tech;
+                case_policy = policy;
+              }))))
+  | _ ->
+    Error
+      (Printf.sprintf "malformed case id %S: expected <program>:<config>:<tech>:<policy>"
+         id)
+
+(* ------------------------------------------------------------------ *)
+(* cold evaluation on the worker pool *)
+
+(* one slot per in-flight request: the connection thread blocks on it,
+   the pool task (or its death handler) fills it exactly once *)
+type slot = {
+  sm : Mutex.t;
+  sc : Condition.t;
+  mutable sres : P.response option;
+}
+
+let fill slot r =
+  Mutex.lock slot.sm;
+  if slot.sres = None then begin
+    slot.sres <- Some r;
+    Condition.broadcast slot.sc
+  end;
+  Mutex.unlock slot.sm
+
+let await slot =
+  Mutex.lock slot.sm;
+  while slot.sres = None do
+    Condition.wait slot.sc slot.sm
+  done;
+  let r = Option.get slot.sres in
+  Mutex.unlock slot.sm;
+  r
+
+let compute t id (c : Experiments.case) key =
+  let slot = { sm = Mutex.create (); sc = Condition.create (); sres = None } in
+  let model = model t c in
+  Parallel.submit t.pool (fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          tally t (fun s -> s.inflight <- s.inflight - 1);
+          (* normally a no-op (the slot is already filled); if the task
+             is dying on an exception that escapes isolation, this is
+             what keeps the request from hanging: the client gets a
+             retryable error while the pool replaces the dead domain *)
+          fill slot
+            (P.Failed
+               {
+                 retryable = true;
+                 message = "worker domain died mid-request; retry";
+               }))
+        (fun () ->
+          let resp =
+            match
+              let deadline = Option.map Deadline.after t.cfg.timeout in
+              (* fault hooks run on the pool domain, so a kill-worker
+                 hook kills a worker, not the connection thread *)
+              Fault.apply_pre ?deadline id;
+              let r = Experiments.run_case ?deadline ~memo:t.memo ~model c in
+              let r = Fault.corrupt id r in
+              match Experiments.check_invariants r with
+              | Error msg -> Error (Printf.sprintf "invariant violation: %s" msg)
+              | Ok () -> Ok r
+            with
+            | Ok r ->
+              let line = Checkpoint.record_line ~id r in
+              let json = Report.record_json r in
+              Store.put t.store ~id ~key line;
+              cache_add t id (line, json);
+              tally t (fun s -> s.computed_total <- s.computed_total + 1);
+              P.Record { id; source = P.Computed; json }
+            | Error msg -> P.Failed { retryable = false; message = msg }
+            | exception Deadline.Deadline_exceeded ->
+              P.Failed { retryable = false; message = "case deadline exceeded" }
+            | exception (Fault.Killed_worker _ as e) -> raise e
+            | exception exn ->
+              P.Failed { retryable = false; message = Printexc.to_string exn }
+          in
+          fill slot resp));
+  await slot
+
+(* ------------------------------------------------------------------ *)
+(* request handling (runs on the per-connection thread) *)
+
+let answer_case t id =
+  tally t (fun s -> s.requests_total <- s.requests_total + 1);
+  match resolve_case id with
+  | Error msg -> P.Failed { retryable = false; message = msg }
+  | Ok c -> (
+    match
+      let deadline = Option.map Deadline.after t.cfg.timeout in
+      Option.iter (Fault.busy_wait ?deadline) (Fault.stall_request id)
+    with
+    | exception Deadline.Deadline_exceeded ->
+      P.Failed { retryable = false; message = "case deadline exceeded" }
+    | () -> (
+      match cache_find t id with
+      | Some (_, json) ->
+        tally t (fun s -> s.cache_hits <- s.cache_hits + 1);
+        P.Record { id; source = P.Memory; json }
+      | None -> (
+        tally t (fun s -> s.cache_misses <- s.cache_misses + 1);
+        let key = Store.key c in
+        let from_store =
+          match Store.find t.store ~key with
+          | None -> None
+          | Some line -> (
+            match Checkpoint.parse_line line with
+            | Some (id', r) when id' = id -> Some (line, Report.record_json r)
+            | Some _ | None ->
+              (* checksum-clean but semantically wrong: same self-heal
+                 path as bit rot *)
+              Store.quarantine t.store ~key "unparseable entry";
+              None)
+        in
+        match from_store with
+        | Some (line, json) ->
+          tally t (fun s -> s.store_hits <- s.store_hits + 1);
+          cache_add t id (line, json);
+          P.Record { id; source = P.Store; json }
+        | None ->
+          (* cold: bounded admission — cache/store answers above never
+             shed, so an overloaded daemon degrades to cache-only *)
+          let admitted =
+            tally t (fun s ->
+                if s.inflight >= t.cfg.queue_limit then begin
+                  s.shed_total <- s.shed_total + 1;
+                  false
+                end
+                else begin
+                  s.inflight <- s.inflight + 1;
+                  true
+                end)
+          in
+          if not admitted then
+            P.Retry
+              {
+                after_s = 0.25;
+                reason =
+                  Printf.sprintf "admission queue full (%d in flight)"
+                    t.cfg.queue_limit;
+              }
+          else compute t id c key)))
+
+let health t =
+  let s =
+    tally t (fun s ->
+        [
+          ("requests_total", s.requests_total);
+          ("cache_hits", s.cache_hits);
+          ("cache_misses", s.cache_misses);
+          ("store_hits", s.store_hits);
+          ("computed_total", s.computed_total);
+          ("shed_total", s.shed_total);
+          ("queue_depth", s.inflight);
+        ])
+  in
+  let metrics =
+    (* integer counters from the PR-5 registry (worker_restarts_total,
+       store_quarantined_total, fixpoint/pivot counts, ...) ride along *)
+    List.filter_map
+      (function
+        | name, Ucp_obs.Metrics.Counter n -> Some (name, n)
+        | _ -> None)
+      (Ucp_obs.Metrics.dump ())
+  in
+  P.Health_stats
+    (s
+    @ [
+        ("worker_restarts", Parallel.restarts t.pool);
+        ("store_quarantined", Store.quarantined t.store);
+        ("store_corruptions_injected", Store.corruptions_injected t.store);
+        ("cache_evictions",
+         (Mutex.lock t.cmutex;
+          let e = Lru.evictions t.cache in
+          Mutex.unlock t.cmutex;
+          e));
+      ]
+    @ metrics)
+
+(* ------------------------------------------------------------------ *)
+(* connection plumbing *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let send fd resp = write_all fd (P.frame (P.response_to_string resp))
+
+(* returns [false] when the connection should close *)
+let handle_frame t fd payload =
+  match P.request_of_string payload with
+  | Error msg ->
+    send fd (P.Failed { retryable = false; message = msg });
+    true
+  | Ok (P.Case id) ->
+    send fd (answer_case t id);
+    true
+  | Ok P.Health ->
+    send fd (health t);
+    true
+  | Ok P.Shutdown ->
+    send fd P.Bye;
+    Atomic.set t.stop true;
+    false
+
+let handle_conn t fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    match P.unframe (Buffer.contents buf) with
+    | P.Frame (payload, rest) ->
+      Buffer.clear buf;
+      Buffer.add_string buf rest;
+      if handle_frame t fd payload then loop ()
+    | P.Malformed msg ->
+      (* never try to resynchronize a broken stream: one structured
+         error, then hang up *)
+      send fd (P.Failed { retryable = false; message = "protocol error: " ^ msg })
+    | P.Incomplete -> (
+      (* poll so an idle connection notices a draining daemon *)
+      match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ ->
+        if Atomic.get t.stop && Buffer.length buf = 0 then () else loop ()
+      | _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()  (* peer closed *)
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try loop ()
+      with
+      | Unix.Unix_error _ | Sys_error _ ->
+        (* a vanished client is the client's problem, not the daemon's *)
+        ())
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle *)
+
+let install_signals t =
+  let quit _ = Atomic.set t.stop true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+  (* a client that disappears mid-answer must not kill the daemon *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let run ?(signals = true) cfg =
+  if cfg.jobs < 1 then invalid_arg "Server.run: jobs must be positive";
+  if cfg.queue_limit < 1 then invalid_arg "Server.run: queue limit must be positive";
+  (* the health query reads registry counters, so the daemon always
+     meters itself *)
+  Ucp_obs.Metrics.enable ();
+  let store = Store.open_ ~dir:cfg.store_dir in
+  let t =
+    {
+      cfg;
+      stop = Atomic.make false;
+      pool = Parallel.create ~respawn:true ~jobs:cfg.jobs ();
+      store;
+      cache = Lru.create ~capacity:cfg.cache_capacity;
+      cmutex = Mutex.create ();
+      memo = Experiments.Analysis_memo.create ();
+      models = Hashtbl.create 16;
+      mmutex = Mutex.create ();
+      stats =
+        {
+          smutex = Mutex.create ();
+          requests_total = 0;
+          cache_hits = 0;
+          cache_misses = 0;
+          store_hits = 0;
+          computed_total = 0;
+          shed_total = 0;
+          inflight = 0;
+        };
+    }
+  in
+  if signals then install_signals t;
+  (* crash-only restart: a previous kill -9 leaves the socket file
+     behind; it is dead weight, not state — remove and rebind *)
+  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+     Unix.listen listen_fd 16
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  Ucp_obs.Log.out
+    (Printf.sprintf "[serve] listening on %s (store %s, %d workers, cache %d)"
+       cfg.socket cfg.store_dir cfg.jobs cfg.cache_capacity);
+  let conns = ref [] in
+  let cmutex = Mutex.create () in
+  let accept_loop () =
+    while not (Atomic.get t.stop) do
+      match Unix.select [ listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept listen_fd with
+        | fd, _ ->
+          let th = Thread.create (fun () -> handle_conn t fd) () in
+          Mutex.lock cmutex;
+          conns := th :: !conns;
+          Mutex.unlock cmutex
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+      (* drain: every accepted connection finishes its current request
+         (in-flight computations included — their connection threads
+         block on the pool), then the pool itself is drained *)
+      let rec join () =
+        Mutex.lock cmutex;
+        let ths = !conns in
+        conns := [];
+        Mutex.unlock cmutex;
+        if ths <> [] then begin
+          List.iter Thread.join ths;
+          join ()
+        end
+      in
+      join ();
+      Parallel.shutdown t.pool;
+      Ucp_obs.Log.out "[serve] drained, shut down")
+    accept_loop

@@ -1,0 +1,55 @@
+(** The analysis daemon: answers {!Protocol} requests over a
+    Unix-domain socket.
+
+    A [Case] query is answered from, in order:
+
+    + the in-memory LRU result cache ({!Protocol.Memory}),
+    + the content-addressed on-disk {!Store} ({!Protocol.Store}) —
+      corrupt entries are quarantined and fall through,
+    + cold evaluation on a {!Ucp_core.Parallel} worker pool
+      ({!Protocol.Computed}), after which the result is persisted and
+      cached.
+
+    Whatever the source, the answer's [json] is byte-identical to the
+    {!Ucp_core.Report.record_json} line a batch sweep would emit for
+    the same case: the store and cache keep the lossless checkpoint
+    record line and the JSON is re-rendered from the identical floats.
+
+    Robustness properties (each exercised by a [Fault] hook and the CI
+    serve smoke):
+
+    - {e worker death}: the pool runs with [~respawn:true]; a domain
+      killed mid-request is replaced, and the dying task's request slot
+      is filled with a retryable error so the client retries instead of
+      hanging.
+    - {e load shedding}: at most [queue_limit] cold evaluations are in
+      flight; beyond that, cold queries get a structured
+      [Retry {after_s}] while cache and store hits keep being served —
+      overload degrades to cache-only answers, it does not stall.
+    - {e crash-only}: all persistent state lives in the store.  Startup
+      unlinks a stale socket and sweeps temp files, so recovery from
+      [kill -9] is just "start it again".
+    - {e graceful drain}: SIGTERM/SIGINT (or a [Shutdown] request)
+      stops accepting, finishes every in-flight request, drains the
+      pool and returns. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path *)
+  store_dir : string;  (** result store directory (created) *)
+  jobs : int;  (** worker domains for cold evaluation *)
+  cache_capacity : int;  (** LRU entries; 0 disables the memory cache *)
+  queue_limit : int;  (** max in-flight cold evaluations before shedding *)
+  timeout : float option;  (** per-case cooperative deadline, seconds *)
+}
+
+val default_config : socket:string -> store_dir:string -> config
+(** 2 workers, 64 cache entries, queue limit 32, no timeout. *)
+
+val run : ?signals:bool -> config -> unit
+(** Serve until SIGTERM/SIGINT or a [Shutdown] request, then drain and
+    return.  [?signals] (default true) installs the TERM/INT handlers
+    and ignores SIGPIPE; pass [false] when embedding the server in a
+    test thread.  Metrics are enabled unconditionally (the health query
+    reads the registry).
+    @raise Invalid_argument on a non-positive [jobs]/[queue_limit];
+    @raise Unix.Unix_error if the socket cannot be bound. *)

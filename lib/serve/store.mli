@@ -1,0 +1,54 @@
+(** Content-addressed on-disk result store of the analysis service.
+
+    One file per use case, named by {!key} — a digest of the case's
+    singleton-grid {!Ucp_core.Checkpoint.fingerprint} plus its
+    {!Ucp_core.Experiments.case_id} — holding the case's checkpoint
+    record line (floats serialized losslessly) behind a CRC-32 header.
+
+    Durability and self-healing are the point:
+
+    - {!put} writes via temp file + fsync + rename (reusing
+      {!Ucp_core.Checkpoint.write_atomic}), so a crash mid-write leaves
+      either no entry or a complete one — never a torn file under the
+      final name.
+    - {!find} verifies the checksum on every read; a corrupt entry is
+      {e quarantined} (renamed to [<entry>.quarantine], bytes kept for
+      post-mortem) and reported as a miss, which the daemon answers by
+      recomputing and re-persisting.  Corruption is never fatal.
+    - {!open_} sweeps temp files left by a [kill -9], so restart
+      recovery needs no tooling: the store {e is} the daemon's only
+      persistent state (crash-only design).
+
+    A [Fault.Corrupt_store] hook on a case makes {!put} scribble one
+    byte of that entry after persisting it — the test harness for the
+    quarantine path. *)
+
+type t
+
+val open_ : dir:string -> t
+(** Open (creating directories as needed) and sweep stale temp files. *)
+
+val dir : t -> string
+
+val key : Ucp_core.Experiments.case -> string
+(** Stable content address of a case (hex digest). *)
+
+val find : t -> key:string -> string option
+(** The stored record line, or [None] on a miss {e or} a corrupt entry
+    (which is quarantined as a side effect).  Thread-safe. *)
+
+val put : t -> id:string -> key:string -> string -> unit
+(** Persist a record line durably; [id] is the case id (consulted for
+    the [Corrupt_store] fault hook).  Thread-safe. *)
+
+val quarantine : t -> key:string -> string -> unit
+(** Quarantine an entry explicitly (e.g. the daemon found the bytes
+    checksum-clean but semantically unparseable); the string is the
+    reason logged. *)
+
+val quarantined : t -> int
+(** Entries quarantined since {!open_}. *)
+
+val corruptions_injected : t -> int
+(** Entries scribbled by the [Corrupt_store] fault hook since
+    {!open_} (test observability). *)

@@ -1,0 +1,34 @@
+(* Exponential backoff with decorrelated jitter (Brooker's variant):
+   each delay is drawn uniformly from [base, 3 * previous), capped.
+   All randomness comes from a caller-supplied Rng, so a retry schedule
+   is a pure function of the seed — tests replay it exactly. *)
+
+type t = {
+  base : float;
+  cap : float;
+  rng : Rng.t;
+  mutable prev : float;
+  mutable attempts : int;
+}
+
+let create ?(base = 0.05) ?(cap = 5.0) rng =
+  if (not (Float.is_finite base)) || base <= 0.0 then
+    invalid_arg "Backoff.create: base must be positive";
+  if (not (Float.is_finite cap)) || cap < base then
+    invalid_arg "Backoff.create: cap must be >= base";
+  { base; cap; rng; prev = base; attempts = 0 }
+
+let next t =
+  let hi = 3.0 *. t.prev in
+  let span = hi -. t.base in
+  let d = if span > 0.0 then Rng.float t.rng span else 0.0 in
+  let delay = Float.min t.cap (t.base +. d) in
+  t.prev <- delay;
+  t.attempts <- t.attempts + 1;
+  delay
+
+let attempts t = t.attempts
+
+let reset t =
+  t.prev <- t.base;
+  t.attempts <- 0

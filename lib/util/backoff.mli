@@ -1,0 +1,27 @@
+(** Exponential backoff with decorrelated jitter.
+
+    Each call to {!next} draws the following delay uniformly from
+    [\[base, 3 × previous)], capped at [cap] — the "decorrelated
+    jitter" schedule, which spreads retrying clients apart instead of
+    letting them synchronize into retry storms.  All randomness comes
+    from the supplied {!Rng.t}, so the whole schedule is deterministic
+    in the seed: the serve client's retry timing is replayable and the
+    tests pin the exact sequence. *)
+
+type t
+
+val create : ?base:float -> ?cap:float -> Rng.t -> t
+(** [create rng] with [?base] (default 0.05 s, the first delay's lower
+    bound) and [?cap] (default 5 s, the largest delay ever returned).
+    @raise Invalid_argument unless [0 < base <= cap] (finite). *)
+
+val next : t -> float
+(** The next delay in seconds: uniform in [\[base, 3 × previous)],
+    capped at [cap].  Always within [\[base, cap\]]. *)
+
+val attempts : t -> int
+(** Number of {!next} calls since {!create}/{!reset}. *)
+
+val reset : t -> unit
+(** Forget the history: the next delay is drawn as if freshly created
+    (the generator's stream is {e not} rewound). *)

@@ -1,0 +1,14 @@
+(** CRC-32 (the IEEE 802.3 / zlib polynomial, reflected).
+
+    Used by the serve result store to detect torn or corrupted on-disk
+    entries — a checksum mismatch quarantines the entry instead of
+    serving garbage.  Values are 32-bit and carried in a native [int]. *)
+
+val string : string -> int
+(** CRC-32 of a whole string.  [string "123456789" = 0xCBF43926]. *)
+
+val update : int -> string -> int
+(** Continue a running checksum: [update (string a) b = string (a ^ b)]. *)
+
+val to_hex : int -> string
+(** Fixed-width lowercase hex (8 digits) — the store's on-disk form. *)

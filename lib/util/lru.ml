@@ -1,0 +1,100 @@
+(* Bounded LRU map: a hashtable over the nodes of a doubly-linked
+   recency list (most-recent at the front), after the cachecache
+   exemplar named in the ROADMAP.  Every operation is O(1) except
+   [to_list]/[fold].  Not thread-safe — callers serialize. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards the MRU end *)
+  mutable next : ('k, 'v) node option;  (* towards the LRU end *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable mru : ('k, 'v) node option;
+  mutable lru : ('k, 'v) node option;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: capacity must be non-negative";
+  {
+    capacity;
+    table = Hashtbl.create (max 16 capacity);
+    mru = None;
+    lru = None;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let evictions t = t.evictions
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.mru;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let promote t n =
+  unlink t n;
+  push_front t n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some n ->
+    promote t n;
+    Some n.value
+
+let peek t k = Option.map (fun n -> n.value) (Hashtbl.find_opt t.table k)
+let mem t k = Hashtbl.mem t.table k
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table k
+
+let add t k v =
+  if t.capacity = 0 then ()
+  else
+    match Hashtbl.find_opt t.table k with
+    | Some n ->
+      n.value <- v;
+      promote t n
+    | None ->
+      if Hashtbl.length t.table >= t.capacity then begin
+        match t.lru with
+        | Some victim ->
+          unlink t victim;
+          Hashtbl.remove t.table victim.key;
+          t.evictions <- t.evictions + 1
+        | None -> ()
+      end;
+      let n = { key = k; value = v; prev = None; next = None } in
+      push_front t n;
+      Hashtbl.add t.table k n
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go ((n.key, n.value) :: acc) n.next
+  in
+  go [] t.mru
+
+let fold f t acc = List.fold_left (fun acc (k, v) -> f k v acc) acc (to_list t)
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.mru <- None;
+  t.lru <- None

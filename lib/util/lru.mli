@@ -1,0 +1,50 @@
+(** Bounded least-recently-used map.
+
+    A hashtable indexes the nodes of a doubly-linked recency list, so
+    lookup, insert, promote and evict are all O(1) (the intrusive-list
+    layout of the CraigFe/cachecache exemplar).  {!find} and {!add}
+    promote their key to most-recently-used; inserting into a full map
+    silently evicts the least-recently-used entry.
+
+    Not thread-safe: callers that share a map across domains or threads
+    must serialize access themselves (the serve daemon keeps its result
+    cache under one mutex). *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** An empty map holding at most [capacity] entries.  [capacity = 0] is
+    a valid degenerate map on which {!add} is a no-op — a disabled
+    cache, everything misses.
+    @raise Invalid_argument if [capacity < 0]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val evictions : ('k, 'v) t -> int
+(** Entries evicted by capacity pressure since {!create}. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit promotes the key to most-recently-used. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Lookup {e without} promoting — recency order is unchanged. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership without promoting. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace, promoting the key to most-recently-used; a new
+    key on a full map first evicts the least-recently-used entry. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** Remove if present. *)
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Entries in recency order, most-recently-used first — the order the
+    qcheck model validates. *)
+
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+(** Fold in recency order (MRU first). *)
+
+val clear : ('k, 'v) t -> unit

@@ -154,7 +154,7 @@ let test_parallel_map_progress () =
 
 let test_pool_rejects_bad_jobs () =
   Alcotest.check_raises "jobs 0" (Invalid_argument "Parallel.create: jobs must be positive")
-    (fun () -> ignore (Parallel.create ~jobs:0))
+    (fun () -> ignore (Parallel.create ~jobs:0 ()))
 
 (* the ISSUE's headline guarantee: the parallel engine's records are
    identical, record for record, to the sequential sweep's — on a slice
@@ -385,6 +385,81 @@ let test_sweep_corrupt_cert_needs_audit () =
       let s = Parallel.sweep ~programs ~configs ~techs ~jobs:2 () in
       Alcotest.(check int) "un-audited sweep misses the corruption" 2
         (List.length s.Parallel.records))
+
+(* worker-death handling: a task whose exception escapes per-task
+   isolation (a Fault.Killed_worker) kills its domain; the pool must
+   never hang on it — it either fails wait with a structured error or
+   (under ~respawn) replaces the domain and carries on *)
+let test_pool_worker_death_fails_wait () =
+  let pool = Parallel.create ~jobs:2 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown pool)
+    (fun () ->
+      Parallel.submit pool (fun () -> raise (Fault.Killed_worker "boom"));
+      Alcotest.(check bool) "wait raises Worker_died instead of hanging" true
+        (try
+           Parallel.wait pool;
+           false
+         with Parallel.Worker_died _ -> true))
+
+let test_pool_respawn_replaces_dead_worker () =
+  let pool = Parallel.create ~respawn:true ~jobs:1 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown pool)
+    (fun () ->
+      let hit = Atomic.make 0 in
+      Parallel.submit pool (fun () -> raise (Fault.Killed_worker "boom"));
+      Parallel.submit pool (fun () -> Atomic.incr hit);
+      (* the queued task outlives the killed domain: the replacement
+         runs it and wait returns normally *)
+      Parallel.wait pool;
+      Alcotest.(check int) "replacement ran the queued task" 1 (Atomic.get hit);
+      Alcotest.(check int) "one restart recorded" 1 (Parallel.restarts pool))
+
+let test_sweep_survives_killed_worker () =
+  let programs, configs, techs = tiny_grid () in
+  with_faults
+    [ ("fft1:a:45nm:lru", Fault.Kill_worker) ]
+    (fun () ->
+      let s = Parallel.sweep ~programs ~configs ~techs ~jobs:2 ~chunk:1 () in
+      Alcotest.(check int) "one worker replaced" 1 s.Parallel.worker_restarts;
+      match s.Parallel.results with
+      | [ ("fft1:a:45nm:lru", Outcome.Failed { exn_text; _ }); (_, Outcome.Ok r) ] ->
+        Alcotest.(check bool) "lost case is structured, not an assert" true
+          (Ucp_testlib.contains ~substring:"worker domain died" exn_text);
+        Alcotest.(check string) "other case unaffected" "crc"
+          r.Experiments.program_name
+      | _ -> Alcotest.fail "expected [fft1 Failed (lost with its domain); crc Ok]")
+
+(* durability: an acknowledged journal append (and every write_atomic)
+   must reach fsync, not just the kernel page cache *)
+let test_checkpoint_writes_are_fsynced () =
+  let programs, configs, techs = tiny_grid () in
+  let path = Filename.temp_file "ucp_sync" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let fingerprint = Checkpoint.fingerprint ~programs ~configs ~techs () in
+      let before = Checkpoint.synced_writes () in
+      let j = Checkpoint.start ~path ~fingerprint ~resume:false in
+      Fun.protect
+        ~finally:(fun () -> Checkpoint.close j)
+        (fun () ->
+          Alcotest.(check bool) "header is synced" true
+            (Checkpoint.synced_writes () > before);
+          let r =
+            match Experiments.sweep ~programs ~configs ~techs () with
+            | r :: _ -> r
+            | [] -> Alcotest.fail "tiny grid produced no record"
+          in
+          let mid = Checkpoint.synced_writes () in
+          Checkpoint.record j ~id:"fft1:a:45nm:lru" r;
+          Alcotest.(check bool) "record syncs before returning" true
+            (Checkpoint.synced_writes () > mid));
+      let before_wa = Checkpoint.synced_writes () in
+      Checkpoint.write_atomic ~path "replacement contents\n";
+      Alcotest.(check bool) "write_atomic syncs before rename" true
+        (Checkpoint.synced_writes () > before_wa))
 
 let test_sweep_rejects_bad_timeout () =
   Alcotest.(check bool) "timeout 0 rejected" true
@@ -643,6 +718,14 @@ let () =
             test_sweep_audit_demotes_corrupt_cert;
           Alcotest.test_case "corrupt certificate needs the audit" `Quick
             test_sweep_corrupt_cert_needs_audit;
+          Alcotest.test_case "worker death fails wait" `Quick
+            test_pool_worker_death_fails_wait;
+          Alcotest.test_case "respawn replaces dead worker" `Quick
+            test_pool_respawn_replaces_dead_worker;
+          Alcotest.test_case "sweep survives killed worker" `Quick
+            test_sweep_survives_killed_worker;
+          Alcotest.test_case "checkpoint writes are fsynced" `Quick
+            test_checkpoint_writes_are_fsynced;
           Alcotest.test_case "sweep rejects bad timeout" `Quick
             test_sweep_rejects_bad_timeout;
           Alcotest.test_case "UCP_FAULT parsing" `Quick test_fault_env_parsing;

@@ -1,10 +1,14 @@
 (* Unit and property tests for Ucp_util: deterministic RNG, statistics,
-   table rendering, cooperative deadlines. *)
+   table rendering, cooperative deadlines, LRU map, retry backoff,
+   CRC-32. *)
 
 module Rng = Ucp_util.Rng
 module Stats = Ucp_util.Stats
 module Table = Ucp_util.Table
 module Deadline = Ucp_util.Deadline
+module Lru = Ucp_util.Lru
+module Backoff = Ucp_util.Backoff
+module Crc32 = Ucp_util.Crc32
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -222,6 +226,180 @@ let test_deadline_rejects_bad_secs () =
          with Invalid_argument _ -> true))
     [ 0.0; -1.0; Float.nan; Float.infinity ]
 
+(* ------------------------------------------------------------------ *)
+(* Lru *)
+
+let test_lru_basic () =
+  let m = Lru.create ~capacity:2 in
+  Lru.add m "a" 1;
+  Lru.add m "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find m "a");
+  (* a is now MRU; adding c evicts b *)
+  Lru.add m "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find m "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find m "a");
+  Alcotest.(check int) "evictions" 1 (Lru.evictions m);
+  Alcotest.(check int) "length" 2 (Lru.length m)
+
+let test_lru_zero_capacity () =
+  let m = Lru.create ~capacity:0 in
+  Lru.add m "a" 1;
+  Alcotest.(check (option int)) "disabled cache misses" None (Lru.find m "a");
+  Alcotest.(check int) "empty" 0 (Lru.length m)
+
+let test_lru_rejects_negative () =
+  Alcotest.check_raises "capacity -1"
+    (Invalid_argument "Lru.create: capacity must be non-negative") (fun () ->
+      ignore (Lru.create ~capacity:(-1)))
+
+let test_lru_peek_does_not_promote () =
+  let m = Lru.create ~capacity:2 in
+  Lru.add m "a" 1;
+  Lru.add m "b" 2;
+  Alcotest.(check (option int)) "peek a" (Some 1) (Lru.peek m "a");
+  (* a was NOT promoted, so it is still the LRU entry *)
+  Lru.add m "c" 3;
+  Alcotest.(check bool) "a evicted" false (Lru.mem m "a");
+  Alcotest.(check bool) "b kept" true (Lru.mem m "b")
+
+(* executable naive model: an assoc list in MRU-first order, trimmed to
+   capacity — the qcheck oracle for the intrusive-list implementation *)
+module Model = struct
+  type t = { cap : int; mutable entries : (int * int) list }
+
+  let create cap = { cap; entries = [] }
+
+  let find m k =
+    match List.assoc_opt k m.entries with
+    | None -> None
+    | Some v ->
+      m.entries <- (k, v) :: List.remove_assoc k m.entries;
+      Some v
+
+  let add m k v =
+    if m.cap > 0 then begin
+      let without = List.remove_assoc k m.entries in
+      let trimmed =
+        if List.mem_assoc k m.entries || List.length without < m.cap then without
+        else List.filteri (fun i _ -> i < m.cap - 1) without
+      in
+      m.entries <- (k, v) :: trimmed
+    end
+
+  let remove m k = m.entries <- List.remove_assoc k m.entries
+end
+
+type lru_op = Add of int * int | Find of int | Remove of int
+
+let lru_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun k v -> Add (k, v)) (int_bound 12) (int_bound 1000));
+        (3, map (fun k -> Find k) (int_bound 12));
+        (1, map (fun k -> Remove k) (int_bound 12));
+      ])
+
+let lru_op_print = function
+  | Add (k, v) -> Printf.sprintf "add %d %d" k v
+  | Find k -> Printf.sprintf "find %d" k
+  | Remove k -> Printf.sprintf "remove %d" k
+
+let prop_lru_matches_model =
+  QCheck.Test.make ~count:500 ~name:"lru agrees with naive model"
+    QCheck.(
+      pair (int_range 0 6)
+        (list_of_size Gen.(int_range 0 60) (make ~print:lru_op_print lru_op_gen)))
+    (fun (cap, ops) ->
+      let m = Lru.create ~capacity:cap in
+      let model = Model.create cap in
+      List.iter
+        (fun op ->
+          match op with
+          | Add (k, v) ->
+            Lru.add m k v;
+            Model.add model k v
+          | Find k ->
+            if Lru.find m k <> Model.find model k then
+              QCheck.Test.fail_report "find disagrees with model"
+          | Remove k ->
+            Lru.remove m k;
+            Model.remove model k)
+        ops;
+      (* full-state check: same entries in the same recency order *)
+      Lru.to_list m = model.Model.entries
+      && Lru.length m = List.length model.Model.entries
+      && Lru.length m <= max cap 0)
+
+(* ------------------------------------------------------------------ *)
+(* Backoff *)
+
+let test_backoff_deterministic () =
+  let mk () = Backoff.create ~base:0.05 ~cap:5.0 (Rng.create 42) in
+  let a = mk () and b = mk () in
+  for _ = 1 to 50 do
+    check_float "same schedule" (Backoff.next a) (Backoff.next b)
+  done;
+  Alcotest.(check int) "attempts counted" 50 (Backoff.attempts a)
+
+let test_backoff_bounds () =
+  let b = Backoff.create ~base:0.1 ~cap:2.0 (Rng.create 7) in
+  let prev = ref 0.1 in
+  for _ = 1 to 200 do
+    let d = Backoff.next b in
+    Alcotest.(check bool) "within [base, cap]" true (d >= 0.1 && d <= 2.0);
+    (* decorrelated jitter: next delay < 3 * previous (or capped) *)
+    Alcotest.(check bool) "decorrelated" true (d <= Float.max (3.0 *. !prev) 0.1 +. 1e-9);
+    prev := d
+  done
+
+let test_backoff_reset () =
+  let rng = Rng.create 9 in
+  let b = Backoff.create ~base:0.05 ~cap:5.0 rng in
+  for _ = 1 to 10 do
+    ignore (Backoff.next b)
+  done;
+  Backoff.reset b;
+  Alcotest.(check int) "attempts reset" 0 (Backoff.attempts b);
+  let d = Backoff.next b in
+  (* first post-reset delay is drawn from the fresh interval [base, 3*base) *)
+  Alcotest.(check bool) "fresh interval" true (d >= 0.05 && d < 0.15)
+
+let test_backoff_rejects_bad_params () =
+  List.iter
+    (fun (base, cap) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "base %g cap %g rejected" base cap)
+        true
+        (try
+           ignore (Backoff.create ~base ~cap (Rng.create 1));
+           false
+         with Invalid_argument _ -> true))
+    [ (0.0, 1.0); (-1.0, 1.0); (2.0, 1.0); (Float.nan, 1.0); (0.1, Float.infinity) ]
+
+(* ------------------------------------------------------------------ *)
+(* Crc32 *)
+
+let test_crc32_vector () =
+  (* the standard CRC-32 check value *)
+  Alcotest.(check string) "123456789" "cbf43926"
+    (Crc32.to_hex (Crc32.string "123456789"));
+  Alcotest.(check string) "empty" "00000000" (Crc32.to_hex (Crc32.string ""))
+
+let prop_crc32_update_concat =
+  QCheck.Test.make ~count:300 ~name:"crc32 update composes over concatenation"
+    QCheck.(pair printable_string printable_string)
+    (fun (a, b) -> Crc32.update (Crc32.string a) b = Crc32.string (a ^ b))
+
+let prop_crc32_detects_flip =
+  QCheck.Test.make ~count:300 ~name:"crc32 detects any single bit flip"
+    QCheck.(pair (string_of_size Gen.(int_range 1 64)) (pair small_nat small_nat))
+    (fun (s, (i, bit)) ->
+      let i = i mod String.length s and bit = bit mod 8 in
+      let b = Bytes.of_string s in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      Crc32.string (Bytes.to_string b) <> Crc32.string s)
+
 let () =
   Alcotest.run "ucp_util"
     [
@@ -267,5 +445,26 @@ let () =
           Alcotest.test_case "unexpired" `Quick test_deadline_unexpired;
           Alcotest.test_case "expiry" `Quick test_deadline_expiry;
           Alcotest.test_case "rejects bad seconds" `Quick test_deadline_rejects_bad_secs;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basic eviction" `Quick test_lru_basic;
+          Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
+          Alcotest.test_case "rejects negative" `Quick test_lru_rejects_negative;
+          Alcotest.test_case "peek does not promote" `Quick test_lru_peek_does_not_promote;
+          QCheck_alcotest.to_alcotest prop_lru_matches_model;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "deterministic in the seed" `Quick test_backoff_deterministic;
+          Alcotest.test_case "bounds" `Quick test_backoff_bounds;
+          Alcotest.test_case "reset" `Quick test_backoff_reset;
+          Alcotest.test_case "rejects bad params" `Quick test_backoff_rejects_bad_params;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "check vector" `Quick test_crc32_vector;
+          QCheck_alcotest.to_alcotest prop_crc32_update_concat;
+          QCheck_alcotest.to_alcotest prop_crc32_detects_flip;
         ] );
     ]
