@@ -421,6 +421,83 @@ let audit_speed_trajectory () =
     "audit-speed trajectory: %d cases, unaudited %.2fs vs audited %.2fs (%.2fx) -> %s\n%!"
     audited.Parallel.cases plain.Parallel.wall_s audited.Parallel.wall_s ratio path
 
+(* Refinement-precision trajectory: the ci.sh smoke grid swept across
+   all three replacement policies with --refine nc, recorded in the
+   tracked BENCH_8.json so future changes can see precision drift.
+   The exact exploration must strictly reduce the not-classified slot
+   count for at least two of the three policies on this grid — the
+   refinement's reason to exist. *)
+let refine_precision_trajectory () =
+  let names = [ "fft1"; "crc"; "st"; "fdct" ] in
+  let programs = List.map (fun n -> (n, Ucp_workloads.Suite.find n)) names in
+  let configs =
+    List.filter (fun (id, _) -> List.mem id [ "k2"; "k5"; "k17" ]) Config.paper_configs
+  in
+  let all_policies = [ Ucp_policy.Lru; Ucp_policy.Fifo; Ucp_policy.Plru ] in
+  let s =
+    Parallel.sweep ~programs ~configs ~policies:all_policies
+      ~refine:Ucp_refine.Mode.Nc ~jobs ()
+  in
+  if s.Parallel.failures <> [] then begin
+    prerr_endline "bench: refine trajectory: sweep had failing cases";
+    exit 1
+  end;
+  let rows = Experiments.refine_precision s.Parallel.records in
+  let delta_pct (r : Experiments.refine_row) =
+    if r.Experiments.rr_tau = 0 then 0.0
+    else
+      100.0
+      *. float_of_int (r.Experiments.rr_tau - r.Experiments.rr_tau_refined)
+      /. float_of_int r.Experiments.rr_tau
+  in
+  let row_json (r : Experiments.refine_row) =
+    Printf.sprintf
+      {|{"policy":"%s","cases":%d,"nc_before":%d,"nc_after":%d,"ah_gained":%d,"am_gained":%d,"wcet_delta_pct":%.4f,"quant_cases":%d,"budget_hits":%d}|}
+      (Ucp_policy.to_string r.Experiments.rr_policy)
+      r.Experiments.rr_cases r.Experiments.rr_nc_before
+      r.Experiments.rr_nc_after r.Experiments.rr_ah_gained
+      r.Experiments.rr_am_gained (delta_pct r) r.Experiments.rr_quant_cases
+      r.Experiments.rr_budget_hits
+  in
+  let path =
+    match Sys.getenv_opt "UCP_BENCH8_OUT" with
+    | Some p when p <> "" -> p
+    | Some _ | None -> "BENCH_8.json"
+  in
+  Ucp_core.Checkpoint.write_atomic ~path
+    (Printf.sprintf
+       {|{"bench":"refine-precision","grid":"%s x k2,k5,k17 x 2 techs x lru,fifo,plru","cases":%d,"jobs":%d,"wall_s":%.3f,"policies":[%s]}|}
+       (String.concat "," names) s.Parallel.cases s.Parallel.jobs
+       s.Parallel.wall_s
+       (String.concat "," (List.map row_json rows))
+    ^ "\n");
+  print_string (Report.refinement s.Parallel.records);
+  List.iter
+    (fun (r : Experiments.refine_row) ->
+      Printf.printf
+        "refine-precision %-5s NC %d -> %d (+%d AH, +%d AM), WCET bound -%.2f%%\n"
+        (Ucp_policy.to_string r.Experiments.rr_policy)
+        r.Experiments.rr_nc_before r.Experiments.rr_nc_after
+        r.Experiments.rr_ah_gained r.Experiments.rr_am_gained (delta_pct r))
+    rows;
+  let strictly_reduced =
+    List.length
+      (List.filter
+         (fun (r : Experiments.refine_row) ->
+           r.Experiments.rr_nc_after < r.Experiments.rr_nc_before)
+         rows)
+  in
+  if strictly_reduced < 2 then begin
+    Printf.eprintf
+      "bench: refine trajectory FAILED: NC strictly reduced for only %d of %d \
+       policies\n"
+      strictly_reduced (List.length rows);
+    exit 1
+  end;
+  Printf.printf
+    "refine-precision trajectory: NC strictly reduced for %d/%d policies -> %s\n%!"
+    strictly_reduced (List.length rows) path
+
 (* ------------------------------------------------------------------ *)
 (* part 2: Bechamel micro-benchmarks *)
 
@@ -479,9 +556,15 @@ let () =
     audit_speed_trajectory ();
     exit 0
   end;
+  (* --refine-trajectory: regenerate BENCH_8.json alone *)
+  if Array.exists (( = ) "--refine-trajectory") Sys.argv then begin
+    refine_precision_trajectory ();
+    exit 0
+  end;
   let records = reproduce () in
   print_newline ();
   lru_identity_guard ();
   audit_speed_trajectory ();
+  refine_precision_trajectory ();
   micro_benchmarks records;
   print_endline "\nbench: done"

@@ -59,6 +59,14 @@ let policy_conv =
   in
   Arg.conv (parse, Ucp_policy.pp)
 
+let refine_conv =
+  let parse s =
+    match Ucp_refine.Mode.of_string s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Ucp_refine.Mode.pp)
+
 let program_arg =
   Arg.(
     required
@@ -382,7 +390,7 @@ let verify_cmd =
 
 let experiment_cmd =
   let run full figure jobs timeout checkpoint resume programs configs techs
-      policies audit trace heartbeat metrics sweep_out =
+      policies audit refine trace heartbeat metrics sweep_out =
     (* fault-injection hooks for robustness testing: parsed up front so a
        typo in UCP_FAULT aborts before the sweep starts *)
     (try Ucp_core.Fault.load_env ()
@@ -467,7 +475,7 @@ let experiment_cmd =
     let s =
       try
         Ucp_core.Parallel.sweep ~programs ~configs ?techs ~policies ~audit
-          ~jobs ~progress ?heartbeat ?timeout ?checkpoint ~resume ()
+          ~refine ~jobs ~progress ?heartbeat ?timeout ?checkpoint ~resume ()
       with Failure msg ->
         (* e.g. resuming against a journal for a different grid *)
         Printf.eprintf "ucp: %s\n" msg;
@@ -645,6 +653,21 @@ let experiment_cmd =
              fails any obligation is demoted to an invariant violation naming \
              the obligation.")
   in
+  let refine =
+    Arg.(
+      value
+      & opt refine_conv Ucp_refine.Mode.Nc
+      & info [ "refine" ] ~docv:"MODE"
+          ~doc:
+            "Exact classification refinement after the abstract fixpoint: \
+             $(b,off), $(b,nc) (default — per-set product exploration of the \
+             not-classified references, reclassifying the provable ones) or \
+             $(b,full) (additionally cross-checks every abstract \
+             always-hit/always-miss against the exploration).  The base \
+             record fields stay unrefined; refined bounds ride along as \
+             $(b,refine_*) fields.  The mode is part of the checkpoint \
+             fingerprint.")
+  in
   let trace =
     Arg.(
       value
@@ -689,8 +712,8 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run the evaluation sweep and print the paper's figures.")
     Term.(
       const run $ full $ figure $ jobs $ timeout $ checkpoint $ resume $ programs
-      $ configs $ techs $ policies $ audit $ trace $ heartbeat $ metrics
-      $ sweep_out)
+      $ configs $ techs $ policies $ audit $ refine $ trace $ heartbeat
+      $ metrics $ sweep_out)
 
 let socket_arg =
   Arg.(
@@ -699,7 +722,7 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the analysis daemon.")
 
 let serve_cmd =
-  let run socket store jobs cache queue timeout =
+  let run socket store jobs cache queue timeout refine =
     (try Ucp_core.Fault.load_env ()
      with Invalid_argument msg ->
        Printf.eprintf "ucp: %s\n" msg;
@@ -712,6 +735,7 @@ let serve_cmd =
         cache_capacity = cache;
         queue_limit = queue;
         timeout;
+        refine;
       }
     in
     match Ucp_serve.Server.run cfg with
@@ -760,6 +784,16 @@ let serve_cmd =
       & info [ "timeout" ] ~docv:"SECS"
           ~doc:"Per-case cooperative deadline for daemon-side evaluation.")
   in
+  let refine =
+    Arg.(
+      value
+      & opt refine_conv Ucp_refine.Mode.Nc
+      & info [ "refine" ] ~docv:"MODE"
+          ~doc:
+            "Exact classification refinement for cold evaluations: $(b,off), \
+             $(b,nc) (default) or $(b,full).  Part of the store's content \
+             address, so entries computed under different modes never alias.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -768,7 +802,7 @@ let serve_cmd =
           evaluation on a worker pool.  SIGTERM/SIGINT (or `ucp query \
           --shutdown') drains in-flight requests and exits 0; after kill -9 it \
           recovers from the store alone.")
-    Term.(const run $ socket_arg $ store $ jobs $ cache $ queue $ timeout)
+    Term.(const run $ socket_arg $ store $ jobs $ cache $ queue $ timeout $ refine)
 
 let query_cmd =
   let run socket ids health shutdown retries seed =

@@ -72,7 +72,9 @@ echo "ci: multi-policy smoke passed"
 
 # Certification smoke: the same tiny grid under --audit full must
 # certify every case (exit 0, zero invariant violations, an audited
-# count covering the whole grid).
+# count covering the whole grid at 7 checks per case: the 5 base
+# obligations plus the two refine obligations of the default
+# --refine nc).
 status=0
 dune exec --no-build bin/ucp.exe -- experiment \
   --programs fft1,crc --configs k2,k5 --techs 45nm \
@@ -86,7 +88,7 @@ if [ "$status" -ne 0 ]; then
 fi
 for pat in \
   'cases: 4 ok, 0 failed, 0 timed out, 0 invariant violations' \
-  'audited: 4 cases certified (20 checks'
+  'audited: 4 cases certified (28 checks'
 do
   if ! grep -q "$pat" "$smoke_err"; then
     echo "ci: audit smoke: expected output matching '$pat'" >&2
@@ -255,6 +257,55 @@ if ! cmp -s "$speed_dir/audited.records" "$speed_dir/plain.records"; then
 fi
 echo "ci: audit-speed smoke passed (audited ${wall_audited}s vs unaudited ${wall_plain}s)"
 
+# Refinement smoke: the exact-refinement axis end to end.  A small
+# audited sweep under --refine nc must certify every case (the two
+# refine obligations ride along), reclaim at least one NC slot, and
+# stay record-comparable with --refine off: the refined record lines,
+# with the additive refine_* fields (and the audit verdict fields)
+# stripped, are byte-identical to an unrefined sweep's -- the base
+# fields always carry the unrefined figures.
+refine_dir=$(mktemp -d)
+trap 'rm -f "$smoke_err"; rm -rf "$obs_dir" "$speed_dir" "$refine_dir"' EXIT
+
+status=0
+dune exec --no-build bin/ucp.exe -- experiment \
+  --programs fft1,crc --configs k2,k5 --techs 45nm \
+  --refine nc --audit full --jobs 2 \
+  --sweep-out "$refine_dir/nc.jsonl" \
+  >/dev/null 2>"$smoke_err" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "ci: refine smoke: expected exit 0 from the refined audited sweep, got $status" >&2
+  cat "$smoke_err" >&2
+  exit 1
+fi
+
+# refinement must actually reclaim NC slots somewhere on the grid
+if ! grep -q '"refine_ah_gained":[1-9]' "$refine_dir/nc.jsonl" \
+  && ! grep -q '"refine_am_gained":[1-9]' "$refine_dir/nc.jsonl"; then
+  echo "ci: refine smoke: no case reclaimed a single NC slot" >&2
+  exit 1
+fi
+
+dune exec --no-build bin/ucp.exe -- experiment \
+  --programs fft1,crc --configs k2,k5 --techs 45nm \
+  --refine off --jobs 2 --sweep-out "$refine_dir/off.jsonl" \
+  >/dev/null 2>"$smoke_err" || {
+  echo "ci: refine smoke: unrefined sweep failed" >&2
+  cat "$smoke_err" >&2
+  exit 1
+}
+grep -v '"summary"' "$refine_dir/nc.jsonl" \
+  | sed -E 's/,"refine_[a-z_]*":("[^"]*"|[0-9-]+|true|false|null)//g' \
+  | sed 's/,"audit_checks":[0-9]*,"audit_s":[0-9.]*//' \
+  >"$refine_dir/nc.records"
+grep -v '"summary"' "$refine_dir/off.jsonl" >"$refine_dir/off.records"
+if ! cmp -s "$refine_dir/nc.records" "$refine_dir/off.records"; then
+  echo "ci: refine smoke: refinement changed the base record fields" >&2
+  diff "$refine_dir/nc.records" "$refine_dir/off.records" >&2 || true
+  exit 1
+fi
+echo "ci: refinement smoke passed"
+
 # Serve smoke: the analysis daemon end to end.  Start `ucp serve` with
 # two faults armed -- the worker domain evaluating fft1:k2:45nm:lru is
 # killed mid-request (one-shot), and crc:k5:45nm:lru's store entry is
@@ -268,7 +319,7 @@ echo "ci: audit-speed smoke passed (audited ${wall_audited}s vs unaudited ${wall
 # recovers every computed case from the store alone; and a graceful
 # shutdown exits 0.
 serve_dir=$(mktemp -d)
-trap 'rm -f "$smoke_err"; rm -rf "$obs_dir" "$speed_dir" "$serve_dir"' EXIT
+trap 'rm -f "$smoke_err"; rm -rf "$obs_dir" "$speed_dir" "$refine_dir" "$serve_dir"' EXIT
 UCP="./_build/default/bin/ucp.exe"
 SOCK="$serve_dir/ucp.sock"
 STORE="$serve_dir/store"

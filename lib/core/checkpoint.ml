@@ -1,7 +1,9 @@
 module Config = Ucp_cache.Config
 module Tech = Ucp_energy.Tech
 
-let format_version = 2
+(* v3: the grid fingerprint covers the refine mode and measurements
+   carry the (additive) refine_* fields *)
+let format_version = 3
 
 (* ------------------------------------------------------------------ *)
 (* minimal JSON: just enough to round-trip our own journal lines *)
@@ -191,12 +193,59 @@ let to_string = function
 (* %.17g round-trips any finite double exactly *)
 let flt f = Printf.sprintf "%.17g" f
 
+(* the refine fields sit flat and last inside the measurement object,
+   so a refined record stream differs from an unrefined one only by a
+   strippable suffix per measurement (the ci byte-identity check
+   depends on this) *)
+let refine_json (s : Ucp_refine.Explore.summary option) =
+  match s with
+  | None -> ""
+  | Some s ->
+    let open Ucp_refine.Explore in
+    Printf.sprintf
+      {|,"refine_mode":%s,"refine_nc_before":%d,"refine_nc":%d,"refine_ah_gained":%d,"refine_am_gained":%d,"refine_tau":%d,"refine_miss_bound":%d,"refine_quant":%s,"refine_states":%d,"refine_budget_hit":%b,"refine_digest":%s|}
+      (Report.json_string (Ucp_refine.Mode.to_string s.s_mode))
+      s.s_nc_before s.s_nc_after s.s_ah_gained s.s_am_gained s.s_tau
+      s.s_miss_bound
+      (match s.s_quant with None -> "null" | Some q -> string_of_int q)
+      s.s_states s.s_budget_hit
+      (Report.json_string s.s_digest)
+
+let refine_of_json j : Ucp_refine.Explore.summary option =
+  match opt_field j "refine_mode" with
+  | None -> None
+  | Some mode ->
+    let s_mode =
+      match Ucp_refine.Mode.of_string (to_string mode) with
+      | Ok m -> m
+      | Error msg -> raise (Malformed msg)
+    in
+    Some
+      {
+        Ucp_refine.Explore.s_mode;
+        s_nc_before = to_int (field j "refine_nc_before");
+        s_nc_after = to_int (field j "refine_nc");
+        s_ah_gained = to_int (field j "refine_ah_gained");
+        s_am_gained = to_int (field j "refine_am_gained");
+        s_tau = to_int (field j "refine_tau");
+        s_miss_bound = to_int (field j "refine_miss_bound");
+        s_quant =
+          (match field j "refine_quant" with Null -> None | v -> Some (to_int v));
+        s_states = to_int (field j "refine_states");
+        s_budget_hit =
+          (match field j "refine_budget_hit" with
+          | Bool b -> b
+          | _ -> raise (Malformed "refine_budget_hit: expected a bool"));
+        s_digest = to_string (field j "refine_digest");
+      }
+
 let measurement_json (m : Pipeline.measurement) =
   Printf.sprintf
-    {|{"tau":%d,"acet":%d,"energy_pj":%s,"miss_rate":%s,"executed":%d,"demand_misses":%d,"wcet_miss_bound":%d,"ah":%d,"am":%d,"nc":%d}|}
+    {|{"tau":%d,"acet":%d,"energy_pj":%s,"miss_rate":%s,"executed":%d,"demand_misses":%d,"wcet_miss_bound":%d,"ah":%d,"am":%d,"nc":%d%s}|}
     m.Pipeline.tau m.Pipeline.acet (flt m.Pipeline.energy_pj)
     (flt m.Pipeline.miss_rate) m.Pipeline.executed m.Pipeline.demand_misses
     m.Pipeline.wcet_miss_bound m.Pipeline.ah m.Pipeline.am m.Pipeline.nc
+    (refine_json m.Pipeline.refine)
 
 let measurement_of_json j : Pipeline.measurement =
   {
@@ -210,6 +259,7 @@ let measurement_of_json j : Pipeline.measurement =
     ah = to_int (field j "ah");
     am = to_int (field j "am");
     nc = to_int (field j "nc");
+    refine = refine_of_json j;
   }
 
 let audit_json (a : Pipeline.audit) =
@@ -287,7 +337,8 @@ let parse_line line =
 (* ------------------------------------------------------------------ *)
 (* grid fingerprint *)
 
-let fingerprint ?(policies = [ Ucp_policy.Lru ]) ~programs ~configs ~techs () =
+let fingerprint ?(policies = [ Ucp_policy.Lru ])
+    ?(refine = Ucp_refine.Mode.Off) ~programs ~configs ~techs () =
   let buf = Buffer.create 512 in
   Buffer.add_string buf (Printf.sprintf "ucp-checkpoint-v%d\n" format_version);
   List.iter
@@ -308,6 +359,8 @@ let fingerprint ?(policies = [ Ucp_policy.Lru ]) ~programs ~configs ~techs () =
     (fun p ->
       Buffer.add_string buf (Printf.sprintf "y %s\n" (Ucp_policy.to_string p)))
     policies;
+  Buffer.add_string buf
+    (Printf.sprintf "r %s\n" (Ucp_refine.Mode.to_string refine));
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let header_line fingerprint =

@@ -11,15 +11,17 @@
     them.
 
     The fingerprint hashes the suite, the configuration grid, the
-    technology list and the replacement-policy list; resuming against a
-    journal written for a different grid — including an LRU-only
-    journal against a multi-policy grid — is rejected instead of
-    silently mixing records. *)
+    technology list, the replacement-policy list and the refine mode;
+    resuming against a journal written for a different grid — including
+    an LRU-only journal against a multi-policy grid, or a journal swept
+    under a different refine mode — is rejected instead of silently
+    mixing records. *)
 
 type t
 
 val fingerprint :
   ?policies:Ucp_policy.id list ->
+  ?refine:Ucp_refine.Mode.t ->
   programs:(string * Ucp_isa.Program.t) list ->
   configs:(string * Ucp_cache.Config.t) list ->
   techs:Ucp_energy.Tech.t list ->
@@ -27,7 +29,8 @@ val fingerprint :
   string
 (** Hex digest of the sweep grid (program names and sizes, config ids
     and geometries, tech labels, replacement policies — default
-    [[Lru]] — plus the journal format version). *)
+    [[Lru]] — and the refine mode — default [Off] — plus the journal
+    format version). *)
 
 val start :
   path:string -> fingerprint:string -> resume:bool -> t

@@ -141,19 +141,23 @@ let record_of c (cmp : Pipeline.comparison) =
     audit = cmp.Pipeline.audit;
   }
 
-let eval_case ?deadline ?timed ?memo ?audit ?corrupt_cert ~model c =
+let eval_case ?deadline ?timed ?memo ?audit ?corrupt_cert ?refine
+    ?corrupt_refine ~model c =
   let analysis0 =
     Option.map (fun memo -> memoized_analysis ?deadline ?timed memo c) memo
   in
   let cmp, obligation =
     Pipeline.prepare ?deadline ~model ?timed ~policy:c.case_policy ?analysis0
-      ?audit ?corrupt_cert c.case_program c.case_config c.case_tech
+      ?audit ?corrupt_cert ?refine ?corrupt_refine c.case_program c.case_config
+      c.case_tech
   in
   (record_of c cmp, obligation)
 
-let run_case ?deadline ?timed ?memo ?audit ?corrupt_cert ~model c =
+let run_case ?deadline ?timed ?memo ?audit ?corrupt_cert ?refine ?corrupt_refine
+    ~model c =
   let r, obligation =
-    eval_case ?deadline ?timed ?memo ?audit ?corrupt_cert ~model c
+    eval_case ?deadline ?timed ?memo ?audit ?corrupt_cert ?refine
+      ?corrupt_refine ~model c
   in
   match obligation with
   | None -> r
@@ -177,7 +181,29 @@ let check_invariants r =
         m.Pipeline.tau;
     if m.Pipeline.demand_misses > m.Pipeline.wcet_miss_bound then
       add "%s: simulated demand misses %d exceed the analysis bound %d" label
-        m.Pipeline.demand_misses m.Pipeline.wcet_miss_bound
+        m.Pipeline.demand_misses m.Pipeline.wcet_miss_bound;
+    (* refined bounds are tightenings, never relaxations: they must
+       stay above the concrete execution and below the unrefined
+       figures (the digest audit catches tampering deterministically;
+       these clauses catch it dynamically on un-audited sweeps) *)
+    match m.Pipeline.refine with
+    | None -> ()
+    | Some s ->
+      let open Ucp_refine.Explore in
+      if s.s_tau > m.Pipeline.tau then
+        add "%s: refined tau %d exceeds the unrefined bound %d" label s.s_tau
+          m.Pipeline.tau;
+      if m.Pipeline.acet > s.s_tau then
+        add "%s: simulated ACET %d exceeds the refined WCET bound %d" label
+          m.Pipeline.acet s.s_tau;
+      if m.Pipeline.demand_misses > s.s_miss_bound then
+        add "%s: simulated demand misses %d exceed the refined bound %d" label
+          m.Pipeline.demand_misses s.s_miss_bound;
+      (match s.s_quant with
+      | Some q when m.Pipeline.demand_misses > q ->
+        add "%s: simulated demand misses %d exceed the quantitative bound %d"
+          label m.Pipeline.demand_misses q
+      | _ -> ())
   in
   side "original" r.original;
   side "optimized" r.optimized;
@@ -186,7 +212,8 @@ let check_invariants r =
   | ps -> Error (String.concat "; " ps)
 
 let sweep ?(programs = Ucp_workloads.Suite.all) ?(configs = default_configs)
-    ?(techs = Tech.all) ?policies ?(progress = fun _ -> ()) () =
+    ?(techs = Tech.all) ?policies ?(refine = Ucp_refine.Mode.Nc)
+    ?(progress = fun _ -> ()) () =
   let models = model_table configs techs in
   let last = ref None in
   Array.to_list
@@ -196,7 +223,9 @@ let sweep ?(programs = Ucp_workloads.Suite.all) ?(configs = default_configs)
            last := Some c.case_program_name;
            progress c.case_program_name
          end;
-         run_case ~model:(Hashtbl.find models (c.case_config, c.case_tech)) c)
+         run_case ~refine
+           ~model:(Hashtbl.find models (c.case_config, c.case_tech))
+           c)
        (cases ?policies ~programs ~configs ~techs ()))
 
 let capacities records =
@@ -438,6 +467,56 @@ let policy_precision records =
             row_ah_opt = sum (fun r -> r.optimized.Pipeline.ah);
             row_am_opt = sum (fun r -> r.optimized.Pipeline.am);
             row_nc_opt = sum (fun r -> r.optimized.Pipeline.nc);
+          })
+    Ucp_policy.all
+
+type refine_row = {
+  rr_policy : Ucp_policy.id;
+  rr_cases : int;  (** records whose original side carries a summary *)
+  rr_nc_before : int;
+  rr_nc_after : int;
+  rr_ah_gained : int;
+  rr_am_gained : int;
+  rr_tau : int;  (** sum of unrefined original taus over [rr_cases] *)
+  rr_tau_refined : int;  (** sum of refined original taus *)
+  rr_quant_cases : int;  (** cases carrying a quantitative miss bound *)
+  rr_budget_hits : int;  (** cases where the exploration hit its budget *)
+}
+
+(* Per-policy refinement-precision counters, over the original side of
+   every record that carries a refine summary (records measured with
+   refinement off contribute nothing).  Rows follow [Ucp_policy.all]
+   order. *)
+let refine_precision records =
+  List.filter_map
+    (fun p ->
+      let rs =
+        List.filter_map
+          (fun r ->
+            if r.policy = p then
+              Option.map
+                (fun s -> (r.original.Pipeline.tau, s))
+                r.original.Pipeline.refine
+            else None)
+          records
+      in
+      if rs = [] then None
+      else
+        let sum f = List.fold_left (fun acc x -> acc + f x) 0 rs in
+        let open Ucp_refine.Explore in
+        Some
+          {
+            rr_policy = p;
+            rr_cases = List.length rs;
+            rr_nc_before = sum (fun (_, s) -> s.s_nc_before);
+            rr_nc_after = sum (fun (_, s) -> s.s_nc_after);
+            rr_ah_gained = sum (fun (_, s) -> s.s_ah_gained);
+            rr_am_gained = sum (fun (_, s) -> s.s_am_gained);
+            rr_tau = sum fst;
+            rr_tau_refined = sum (fun (_, s) -> s.s_tau);
+            rr_quant_cases =
+              sum (fun (_, s) -> if s.s_quant <> None then 1 else 0);
+            rr_budget_hits = sum (fun (_, s) -> if s.s_budget_hit then 1 else 0);
           })
     Ucp_policy.all
 

@@ -23,13 +23,17 @@ val sweep :
   ?configs:(string * Ucp_cache.Config.t) list ->
   ?techs:Ucp_energy.Tech.t list ->
   ?policies:Ucp_policy.id list ->
+  ?refine:Ucp_refine.Mode.t ->
   ?progress:(string -> unit) ->
   unit ->
   record list
 (** Run every use case sequentially (defaults: all 37 programs × 36
     configurations × 2 technologies = 2664 cases under LRU, the paper's
     full setup; [?policies] (default [[Lru]]) multiplies the grid by a
-    replacement-policy axis).  {!Parallel.sweep} runs the same grid on
+    replacement-policy axis).  [?refine] (default [Nc] — sweeps refine
+    by default; the base record fields stay unrefined so record streams
+    remain comparable across modes) runs the exact classification
+    refinement per case.  {!Parallel.sweep} runs the same grid on
     a domain pool and produces record-for-record identical results. *)
 
 (** {2 The use-case grid}
@@ -92,6 +96,8 @@ val eval_case :
   ?memo:Analysis_memo.t ->
   ?audit:bool ->
   ?corrupt_cert:bool ->
+  ?refine:Ucp_refine.Mode.t ->
+  ?corrupt_refine:bool ->
   model:Ucp_energy.Cacti.t ->
   case ->
   record * Pipeline.audit_input option
@@ -107,6 +113,8 @@ val run_case :
   ?memo:Analysis_memo.t ->
   ?audit:bool ->
   ?corrupt_cert:bool ->
+  ?refine:Ucp_refine.Mode.t ->
+  ?corrupt_refine:bool ->
   model:Ucp_energy.Cacti.t ->
   case ->
   record
@@ -114,14 +122,20 @@ val run_case :
     {!model_table}).  [?deadline] bounds the analysis/optimizer stages
     (see {!Pipeline.compare_optimized}).  [?audit] runs the
     {!Ucp_verify} certification on the case; [?corrupt_cert] injects
-    the certificate corruption the audit must catch (both default
-    false).  {!eval_case} followed by {!Pipeline.finish_audit}. *)
+    the certificate corruption the audit must catch; [?refine] (default
+    [Off]) runs the exact classification refinement on both sides and
+    [?corrupt_refine] injects the [corrupt-refine] fault (all default
+    false/[Off]).  {!eval_case} followed by {!Pipeline.finish_audit}. *)
 
 val check_invariants : record -> (unit, string) result
 (** Runtime guard over the paper's soundness claims: Theorem 1
     ([optimized.tau <= original.tau]) and, per measurement, the
     simulated run staying under its analysis bounds ([acet <= tau],
-    [demand_misses <= wcet_miss_bound]).  [Error msg] describes every
+    [demand_misses <= wcet_miss_bound]) — plus, when the measurement
+    carries a refinement summary, the refined bounds sandwiched the
+    same way ([acet <= s_tau <= tau],
+    [demand_misses <= s_miss_bound], and [demand_misses] under the
+    quantitative bound when one exists).  [Error msg] describes every
     violated invariant; the parallel sweep turns it into an
     [Invariant_violation] outcome instead of a record. *)
 
@@ -221,6 +235,30 @@ type policy_row = {
 val policy_precision : record list -> policy_row list
 (** One row per policy present in the records, in {!Ucp_policy.all}
     order. *)
+
+(** Per-policy refinement-precision counters, aggregated over the
+    original side of every record that carries a refine summary:
+    not-classified slots before/after the exact refinement, the
+    reclassification split, the unrefined vs refined WCET-bound sums
+    (their ratio is the reclaimed-slack fraction), how many cases
+    additionally carry a quantitative non-LRU miss bound, and how many
+    explorations hit the state budget. *)
+type refine_row = {
+  rr_policy : Ucp_policy.id;
+  rr_cases : int;  (** records whose original side carries a summary *)
+  rr_nc_before : int;
+  rr_nc_after : int;
+  rr_ah_gained : int;
+  rr_am_gained : int;
+  rr_tau : int;  (** sum of unrefined original taus over [rr_cases] *)
+  rr_tau_refined : int;  (** sum of refined original taus *)
+  rr_quant_cases : int;  (** cases carrying a quantitative miss bound *)
+  rr_budget_hits : int;  (** cases where the exploration hit its budget *)
+}
+
+val refine_precision : record list -> refine_row list
+(** One row per policy with refined records, in {!Ucp_policy.all}
+    order; an empty list when the sweep ran with refinement off. *)
 
 val table1 : unit -> (string * string * int) list
 (** Program id, name, static slots (Table 1 + size info). *)

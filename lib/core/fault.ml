@@ -5,6 +5,7 @@ type mode =
   | Stall of float
   | Corrupt_tau of int
   | Corrupt_cert
+  | Corrupt_refine
   | Kill_worker
   | Corrupt_store
   | Stall_request of float
@@ -39,7 +40,8 @@ let parse_entry entry =
   | None ->
     invalid_arg
       (Printf.sprintf
-         "UCP_FAULT: %S: expected <case_id>=<raise|stall|corrupt|corrupt-cert|kill-worker|corrupt-store|stall-request>"
+         "UCP_FAULT: %S: expected \
+          <case_id>=<raise|stall|corrupt|corrupt-cert|corrupt-refine|kill-worker|corrupt-store|stall-request>"
          entry)
   | Some i ->
     let id = String.sub entry 0 i in
@@ -64,6 +66,7 @@ let parse_entry entry =
       else if mode = "corrupt" || prefixed "corrupt:" mode then
         Corrupt_tau (arg "corrupt" mode 1000 int_of_string_opt)
       else if mode = "corrupt-cert" then Corrupt_cert
+      else if mode = "corrupt-refine" then Corrupt_refine
       else if mode = "kill-worker" then Kill_worker
       else if mode = "corrupt-store" then Corrupt_store
       else invalid_arg (Printf.sprintf "UCP_FAULT: unknown mode %S" mode)
@@ -83,6 +86,12 @@ let load_env () =
 
 let corrupt_cert id = match find id with Some Corrupt_cert -> true | _ -> false
 
+(* one-shot: the unsound reclassification is injected into a single
+   evaluation; once the audit has caught it, a retry of the same case
+   refines honestly *)
+let corrupt_refine id =
+  take_if id (function Corrupt_refine -> true | _ -> false) <> None
+
 let corrupt_store id =
   take_if id (function Corrupt_store -> true | _ -> false) <> None
 
@@ -100,7 +109,8 @@ let busy_wait ?deadline secs =
 
 let apply_pre ?deadline id =
   match find id with
-  | None | Some (Corrupt_tau _) | Some Corrupt_cert | Some Corrupt_store
+  | None | Some (Corrupt_tau _) | Some Corrupt_cert | Some Corrupt_refine
+  | Some Corrupt_store
   | Some (Stall_request _) ->
     ()
   | Some Raise -> raise (Injected id)

@@ -30,6 +30,16 @@ type mode =
           [Invariant_violation] naming the violated obligation — the
           negative test that the certification layer actually checks
           something *)
+  | Corrupt_refine
+      (** {e one-shot}: run the case with the refinement's
+          fault-injection hook armed ({!Pipeline.prepare}'s
+          [~corrupt_refine]): the original side's exact exploration
+          claims one not-proven reference [Always_hit], so the ILP
+          drops a miss term it must not — an audited case must be
+          demoted to [Invariant_violation] naming the [refine-original]
+          obligation (the audit recomputes the exploration and the
+          digests disagree).  The negative test that unsound
+          refinement cannot slip through certification. *)
   | Kill_worker
       (** {e one-shot}: the worker domain evaluating this case raises
           {!Killed_worker}, which escapes task isolation and kills the
@@ -69,7 +79,8 @@ val load_env : unit -> unit
 (** Install hooks from [UCP_FAULT]: a comma-separated list of
     [<case_id>=<mode>] entries where mode is [raise], [stall],
     [stall:<secs>] (default 10s), [corrupt] / [corrupt:<cycles>]
-    (default 1000), [corrupt-cert], [kill-worker], [corrupt-store] or
+    (default 1000), [corrupt-cert], [corrupt-refine], [kill-worker],
+    [corrupt-store] or
     [stall-request] / [stall-request:<secs>] (default 10s).  Example:
     [UCP_FAULT='fft1:k2:45nm=raise,crc:k3:32nm=stall'].  Unset or empty
     means no hooks.
@@ -78,6 +89,11 @@ val load_env : unit -> unit
 val corrupt_cert : string -> bool
 (** Is a [Corrupt_cert] hook installed for this case?  The sweep passes
     the answer to {!Experiments.run_case} as [~corrupt_cert]. *)
+
+val corrupt_refine : string -> bool
+(** Consume a [Corrupt_refine] hook for this case, if armed (one-shot:
+    true at most once).  The sweep passes the answer to
+    {!Experiments.run_case} as [~corrupt_refine]. *)
 
 val corrupt_store : string -> bool
 (** Consume a [Corrupt_store] hook for this case, if armed (one-shot:
@@ -97,7 +113,8 @@ val apply_pre : ?deadline:Ucp_util.Deadline.t -> string -> unit
     raises {!Injected}, [Stall] spins until its duration elapses or the
     deadline fires, [Kill_worker] consumes its (one-shot) hook and
     raises {!Killed_worker}.  [Corrupt_tau], [Corrupt_cert],
-    [Corrupt_store] and [Stall_request] do nothing here. *)
+    [Corrupt_refine], [Corrupt_store] and [Stall_request] do nothing
+    here. *)
 
 val corrupt : string -> Experiments.record -> Experiments.record
 (** Apply the case's [Corrupt_tau] hook to a finished record, if any;

@@ -357,7 +357,8 @@ let strip = function
 
 let sweep ?(programs = Ucp_workloads.Suite.all)
     ?(configs = Experiments.default_configs) ?(techs = Tech.all)
-    ?(policies = [ Ucp_policy.Lru ]) ?(audit = Ucp_verify.Off) ?jobs ?chunk
+    ?(policies = [ Ucp_policy.Lru ]) ?(audit = Ucp_verify.Off)
+    ?(refine = Ucp_refine.Mode.Nc) ?jobs ?chunk
     ?progress ?heartbeat ?timeout ?checkpoint ?(resume = false) () =
   (match timeout with
   | Some t when (not (Float.is_finite t)) || t <= 0.0 ->
@@ -377,7 +378,7 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
     | None -> None
     | Some path ->
       let fingerprint =
-        Checkpoint.fingerprint ~policies ~programs ~configs ~techs ()
+        Checkpoint.fingerprint ~policies ~refine ~programs ~configs ~techs ()
       in
       Some (Checkpoint.start ~path ~fingerprint ~resume)
   in
@@ -510,7 +511,8 @@ let sweep ?(programs = Ucp_workloads.Suite.all)
                       let r, obligation =
                         Experiments.eval_case ?deadline ~timed ~memo
                           ~audit:(Ucp_verify.selects audit id)
-                          ~corrupt_cert:(Fault.corrupt_cert id) ~model c
+                          ~corrupt_cert:(Fault.corrupt_cert id) ~refine
+                          ~corrupt_refine:(Fault.corrupt_refine id) ~model c
                       in
                       (r, obligation, timed))))
         in

@@ -145,6 +145,7 @@ val sweep :
   ?techs:Ucp_energy.Tech.t list ->
   ?policies:Ucp_policy.id list ->
   ?audit:Ucp_verify.mode ->
+  ?refine:Ucp_refine.Mode.t ->
   ?jobs:int ->
   ?chunk:int ->
   ?progress:(done_:int -> total:int -> unit) ->
@@ -186,6 +187,16 @@ val sweep :
     {!Experiments.record.audit} and the audit wall-clock lands in
     [timings].  A [Fault.Corrupt_cert] hook arms the
     certificate-corruption path on its case, which must then fail its
+    audit.
+
+    Refinement: [?refine] (default [Nc] — parallel sweeps refine by
+    default, matching {!Experiments.sweep}) runs the focused exact
+    classification refinement per case ({!Ucp_refine.Explore}); the
+    mode is part of the checkpoint fingerprint, so resuming a journal
+    swept under a different refine mode is rejected.  Audited refined
+    cases carry the two extra refine obligations, and a
+    [Fault.Corrupt_refine] hook (one-shot) arms the unsound-
+    reclassification path on its case, which must then fail its
     audit.
 
     Checkpointing: with [?checkpoint:path] every sound finished record

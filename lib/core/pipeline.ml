@@ -6,6 +6,8 @@ module Wcet = Ucp_wcet.Wcet
 module Analysis = Ucp_wcet.Analysis
 module Simulator = Ucp_sim.Simulator
 module Optimizer = Ucp_prefetch.Optimizer
+module Refine = Ucp_refine.Explore
+module Refine_mode = Ucp_refine.Mode
 
 type measurement = {
   tau : int;
@@ -18,25 +20,39 @@ type measurement = {
   ah : int;
   am : int;
   nc : int;
+  refine : Refine.summary option;
+      (* additive: the base bounds above are always the unrefined ones
+         (so refined and unrefined record streams stay comparable and
+         the optimizer trail's endpoints keep matching); the refined
+         tau / miss bound / classification counts ride along here *)
 }
 
 type timings = {
   mutable analysis_s : float;
+  mutable refine_s : float;
   mutable optimize_s : float;
   mutable simulate_s : float;
   mutable audit_s : float;
 }
 
 let fresh_timings () =
-  { analysis_s = 0.0; optimize_s = 0.0; simulate_s = 0.0; audit_s = 0.0 }
+  {
+    analysis_s = 0.0;
+    refine_s = 0.0;
+    optimize_s = 0.0;
+    simulate_s = 0.0;
+    audit_s = 0.0;
+  }
 
 let add_timings acc t =
   acc.analysis_s <- acc.analysis_s +. t.analysis_s;
+  acc.refine_s <- acc.refine_s +. t.refine_s;
   acc.optimize_s <- acc.optimize_s +. t.optimize_s;
   acc.simulate_s <- acc.simulate_s +. t.simulate_s;
   acc.audit_s <- acc.audit_s +. t.audit_s
 
-let total_timings t = t.analysis_s +. t.optimize_s +. t.simulate_s +. t.audit_s
+let total_timings t =
+  t.analysis_s +. t.refine_s +. t.optimize_s +. t.simulate_s +. t.audit_s
 
 (* accumulate the wall-clock cost of [f] into one stage of [tm], and
    record the stage as a trace span (span recording is independent of
@@ -52,6 +68,7 @@ let timed ~name tm add f =
     r
 
 let on_analysis tm d = tm.analysis_s <- tm.analysis_s +. d
+let on_refine tm d = tm.refine_s <- tm.refine_s +. d
 let on_optimize tm d = tm.optimize_s <- tm.optimize_s +. d
 let on_simulate tm d = tm.simulate_s <- tm.simulate_s +. d
 let on_audit tm d = tm.audit_s <- tm.audit_s +. d
@@ -59,7 +76,8 @@ let on_audit tm d = tm.audit_s <- tm.audit_s +. d
 let model config tech = Cacti.model config tech
 
 let measure ?deadline ?(seed = 42) ?model:mdl ?wcet ?timed:tm
-    ?(policy = Ucp_policy.Lru) program config tech =
+    ?(policy = Ucp_policy.Lru) ?(refine = Refine_mode.Off)
+    ?(corrupt_refine = false) program config tech =
   let m = match mdl with Some m -> m | None -> model config tech in
   (* The may analysis is on so the measurement carries real always-miss
      counts; tau and the miss bound are unaffected (always-miss and
@@ -70,6 +88,13 @@ let measure ?deadline ?(seed = 42) ?model:mdl ?wcet ?timed:tm
     | None ->
       timed ~name:"analysis" tm on_analysis (fun () ->
           Wcet.compute ?deadline ~with_may:true ~policy program config m)
+  in
+  let refined =
+    match refine with
+    | Refine_mode.Off -> None
+    | mode ->
+      timed ~name:"refine" tm on_refine (fun () ->
+          Refine.run ?deadline ~corrupt:corrupt_refine ~mode w)
   in
   let stats =
     timed ~name:"simulate" tm on_simulate (fun () -> Simulator.run ~seed ~policy program config m)
@@ -87,6 +112,7 @@ let measure ?deadline ?(seed = 42) ?model:mdl ?wcet ?timed:tm
     ah;
     am;
     nc;
+    refine = Option.map fst refined;
   }
 
 let optimize ?model:mdl ?policy program config tech =
@@ -113,14 +139,20 @@ type audit_input = {
   ai_result : Optimizer.result;
   ai_corrupt : bool;
   ai_seed : int;
+  ai_refine : Refine_mode.t;
+  ai_refine_original : Refine.summary option;
+  ai_refine_optimized : Refine.summary option;
 }
 
 let finish_audit ?deadline ?timed:tm input =
   let v =
     Ucp_obs.Trace.with_span ~name:"audit" (fun () ->
         Ucp_verify.audit_case ?deadline ~seed:input.ai_seed
-          ~corrupt:input.ai_corrupt ~original:input.ai_original
-          ~optimized:input.ai_optimized input.ai_result)
+          ~corrupt:input.ai_corrupt
+          ~refine:
+            (input.ai_refine, input.ai_refine_original, input.ai_refine_optimized)
+          ~original:input.ai_original ~optimized:input.ai_optimized
+          input.ai_result)
   in
   match v with
   | Ok verdict ->
@@ -137,7 +169,8 @@ let finish_audit ?deadline ?timed:tm input =
 
 let prepare ?deadline ?(seed = 42) ?model:mdl ?timed:tm
     ?(policy = Ucp_policy.Lru) ?analysis0 ?(audit = false)
-    ?(corrupt_cert = false) program config tech =
+    ?(corrupt_cert = false) ?(refine = Refine_mode.Off)
+    ?(corrupt_refine = false) program config tech =
   let m = match mdl with Some m -> m | None -> model config tech in
   (* The original program's cache-aware analysis is the most expensive
      shared artifact of a use case: compute it once and hand it to both
@@ -165,11 +198,15 @@ let prepare ?deadline ?(seed = 42) ?model:mdl ?timed:tm
         Wcet.compute ?deadline ~with_may:true ~policy result.Optimizer.program
           config m)
   in
+  (* the corrupt-refine fault targets the original side only: one
+     unsound reclassification is enough for the audit to have to
+     catch, and the optimized side stays an honest control *)
   let original =
-    measure ?deadline ~seed ~model:m ~wcet:w0 ?timed:tm ~policy program config tech
+    measure ?deadline ~seed ~model:m ~wcet:w0 ?timed:tm ~policy ~refine
+      ~corrupt_refine program config tech
   in
   let optimized =
-    measure ?deadline ~seed ~model:m ~wcet:w1 ?timed:tm ~policy
+    measure ?deadline ~seed ~model:m ~wcet:w1 ?timed:tm ~policy ~refine
       result.Optimizer.program config tech
   in
   let cmp =
@@ -191,15 +228,18 @@ let prepare ?deadline ?(seed = 42) ?model:mdl ?timed:tm
           ai_result = result;
           ai_corrupt = corrupt_cert;
           ai_seed = seed;
+          ai_refine = refine;
+          ai_refine_original = original.refine;
+          ai_refine_optimized = optimized.refine;
         }
   in
   (cmp, obligation)
 
 let compare_optimized ?deadline ?seed ?model:mdl ?timed:tm ?policy ?analysis0
-    ?audit ?corrupt_cert program config tech =
+    ?audit ?corrupt_cert ?refine ?corrupt_refine program config tech =
   let cmp, obligation =
     prepare ?deadline ?seed ?model:mdl ?timed:tm ?policy ?analysis0 ?audit
-      ?corrupt_cert program config tech
+      ?corrupt_cert ?refine ?corrupt_refine program config tech
   in
   match obligation with
   | None -> cmp

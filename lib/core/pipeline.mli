@@ -20,15 +20,25 @@ type measurement = {
       (** instruction slots left unclassified — with [ah] and [am] the
           per-policy classification-precision counters of the sweep
           (unweighted static slots of the expanded graph) *)
+  refine : Ucp_refine.Explore.summary option;
+      (** exact-refinement results when [?refine] was not [Off] and the
+          analysis was plain.  Strictly additive: [tau],
+          [wcet_miss_bound] and the classification counters above are
+          always the {e unrefined} figures, so refined and unrefined
+          record streams stay field-for-field comparable and the
+          optimizer's audited endpoints are untouched — the tightened
+          bounds live in the summary ([s_tau], [s_miss_bound], ...). *)
 }
 
 (** Per-stage wall-clock accumulators: abstract-interpretation WCET
-    analysis, the optimizer's materialize-and-verify loop, trace
-    simulation, and the certification audit.  Mutable so one
-    accumulator can follow a whole sweep; not thread-safe — use one per
-    worker and {!add_timings} the totals together. *)
+    analysis, exact classification refinement, the optimizer's
+    materialize-and-verify loop, trace simulation, and the
+    certification audit.  Mutable so one accumulator can follow a whole
+    sweep; not thread-safe — use one per worker and {!add_timings} the
+    totals together. *)
 type timings = {
   mutable analysis_s : float;
+  mutable refine_s : float;
   mutable optimize_s : float;
   mutable simulate_s : float;
   mutable audit_s : float;
@@ -56,6 +66,8 @@ val measure :
   ?wcet:Ucp_wcet.Wcet.t ->
   ?timed:timings ->
   ?policy:Ucp_policy.id ->
+  ?refine:Ucp_refine.Mode.t ->
+  ?corrupt_refine:bool ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Tech.t ->
@@ -68,6 +80,10 @@ val measure :
     [?wcet] reuses a precomputed analysis of the {e same} program under
     the same configuration, model and policy, skipping the analysis
     stage;
+    [?refine] (default [Off]) runs the focused exact classification
+    refinement after the fixpoint and attaches its summary to the
+    measurement; [?corrupt_refine] injects the [corrupt-refine] fault
+    into that stage;
     [?timed] accumulates the per-stage wall-clock cost; [?deadline]
     bounds the analysis stage (the trace simulation does not check it —
     its step count is already bounded by [Simulator.run]'s
@@ -116,6 +132,8 @@ val prepare :
   ?analysis0:Ucp_wcet.Analysis.t ->
   ?audit:bool ->
   ?corrupt_cert:bool ->
+  ?refine:Ucp_refine.Mode.t ->
+  ?corrupt_refine:bool ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Tech.t ->
@@ -149,12 +167,19 @@ val compare_optimized :
   ?analysis0:Ucp_wcet.Analysis.t ->
   ?audit:bool ->
   ?corrupt_cert:bool ->
+  ?refine:Ucp_refine.Mode.t ->
+  ?corrupt_refine:bool ->
   Ucp_isa.Program.t ->
   Ucp_cache.Config.t ->
   Ucp_energy.Tech.t ->
   comparison
 (** Optimize and evaluate both versions under the same use case, under
-    the replacement policy [?policy] (default LRU).  The
+    the replacement policy [?policy] (default LRU).  [?refine] (default
+    [Off]) additionally runs the exact classification refinement on
+    both sides and, when the case is audited, adds the two refine
+    obligations (digest-checked recomputation plus refined witness
+    replay) to the audit.  [?corrupt_refine] injects the
+    [corrupt-refine] fault on the original side.  The
     original program is analyzed exactly once: the optimizer starts
     from that fixpoint and the original measurement reuses it (pass
     [?analysis0] to skip even that — see {!prepare}).

@@ -151,6 +151,45 @@ let policies records =
   section "Replacement policies: classification precision (summed static slots)"
     (Table.render t)
 
+(* WCET-bound slack reclaimed by refinement, as a percentage of the
+   unrefined bound sum *)
+let reclaimed rr =
+  match rr.Experiments.rr_tau with
+  | 0 -> 0.0
+  | tau ->
+    100.0
+    *. float_of_int (tau - rr.Experiments.rr_tau_refined)
+    /. float_of_int tau
+
+let refinement records =
+  match Experiments.refine_precision records with
+  | [] -> ""
+  | rows ->
+    let t =
+      Table.create
+        [
+          "policy"; "cases"; "NC before"; "NC after"; "+AH"; "+AM";
+          "WCET delta %"; "quant"; "budget hits";
+        ]
+    in
+    List.iter
+      (fun (r : Experiments.refine_row) ->
+        Table.add_row t
+          [
+            Ucp_policy.to_string r.rr_policy;
+            string_of_int r.rr_cases;
+            string_of_int r.rr_nc_before;
+            string_of_int r.rr_nc_after;
+            string_of_int r.rr_ah_gained;
+            string_of_int r.rr_am_gained;
+            Printf.sprintf "%.2f" (reclaimed r);
+            string_of_int r.rr_quant_cases;
+            string_of_int r.rr_budget_hits;
+          ])
+      rows;
+    section "Exact refinement: reclaimed NC slack per policy (original programs)"
+      (Table.render t)
+
 let headline records =
   let rows = Experiments.figure3 records in
   let avg f = Stats.mean (List.map f rows) in
@@ -190,10 +229,36 @@ let audit_json (a : Pipeline.audit) =
   | Pipeline.Audit_skipped reason ->
     Printf.sprintf {|,"audit_skipped":%s|} (json_string reason)
 
+(* appended to record_json: absent when the case was measured with
+   refinement off, so stripping every [,"refine_*":v] pair — and
+   nothing else — restores the unrefined record stream byte for byte
+   (ci.sh pins this) *)
+let refine_json_side suffix (s : Ucp_refine.Explore.summary option) =
+  match s with
+  | None -> ""
+  | Some s ->
+    let open Ucp_refine.Explore in
+    let kv k v = Printf.sprintf {|,"%s%s":%s|} k suffix v in
+    String.concat ""
+      [
+        kv "refine_mode" (json_string (Ucp_refine.Mode.to_string s.s_mode));
+        kv "refine_nc_before" (string_of_int s.s_nc_before);
+        kv "refine_nc" (string_of_int s.s_nc_after);
+        kv "refine_ah_gained" (string_of_int s.s_ah_gained);
+        kv "refine_am_gained" (string_of_int s.s_am_gained);
+        kv "refine_tau" (string_of_int s.s_tau);
+        kv "refine_miss_bound" (string_of_int s.s_miss_bound);
+        kv "refine_quant"
+          (match s.s_quant with None -> "null" | Some q -> string_of_int q);
+        kv "refine_states" (string_of_int s.s_states);
+        kv "refine_budget_hit" (string_of_bool s.s_budget_hit);
+        kv "refine_digest" (json_string s.s_digest);
+      ]
+
 let record_json (r : Experiments.record) =
   let m = r.Experiments.original and o = r.Experiments.optimized in
   Printf.sprintf
-    {|{"program":%s,"config":%s,"tech":%s,"policy":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tau":%d,"tau_opt":%d,"acet":%d,"acet_opt":%d,"energy_pj":%.3f,"energy_opt_pj":%.3f,"miss_rate":%.6f,"miss_opt_rate":%.6f,"demand_misses":%d,"demand_misses_opt":%d,"executed":%d,"executed_opt":%d,"ah":%d,"am":%d,"nc":%d,"ah_opt":%d,"am_opt":%d,"nc_opt":%d,"prefetches":%d,"rejected":%d%s}|}
+    {|{"program":%s,"config":%s,"tech":%s,"policy":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tau":%d,"tau_opt":%d,"acet":%d,"acet_opt":%d,"energy_pj":%.3f,"energy_opt_pj":%.3f,"miss_rate":%.6f,"miss_opt_rate":%.6f,"demand_misses":%d,"demand_misses_opt":%d,"executed":%d,"executed_opt":%d,"ah":%d,"am":%d,"nc":%d,"ah_opt":%d,"am_opt":%d,"nc_opt":%d,"prefetches":%d,"rejected":%d%s%s%s}|}
     (json_string r.Experiments.program_name)
     (json_string r.Experiments.config_id)
     (json_string r.Experiments.tech.Ucp_energy.Tech.label)
@@ -207,6 +272,8 @@ let record_json (r : Experiments.record) =
     o.Pipeline.ah o.Pipeline.am o.Pipeline.nc
     r.Experiments.prefetches r.Experiments.rejected
     (audit_json r.Experiments.audit)
+    (refine_json_side "" m.Pipeline.refine)
+    (refine_json_side "_opt" o.Pipeline.refine)
 
 let outcome_counts outcomes =
   List.fold_left
@@ -344,7 +411,10 @@ let worker_table ~wall_s (stats : Telemetry.worker_stat array) =
 let stage_table rows =
   let t =
     Table.create
-      [ "slice"; "analysis (s)"; "optimize (s)"; "simulate (s)"; "audit (s)"; "total (s)" ]
+      [
+        "slice"; "analysis (s)"; "refine (s)"; "optimize (s)"; "simulate (s)";
+        "audit (s)"; "total (s)";
+      ]
   in
   List.iter
     (fun (label, tm) ->
@@ -352,6 +422,7 @@ let stage_table rows =
         [
           label;
           Printf.sprintf "%.2f" tm.Pipeline.analysis_s;
+          Printf.sprintf "%.2f" tm.Pipeline.refine_s;
           Printf.sprintf "%.2f" tm.Pipeline.optimize_s;
           Printf.sprintf "%.2f" tm.Pipeline.simulate_s;
           Printf.sprintf "%.2f" tm.Pipeline.audit_s;
@@ -387,9 +458,10 @@ let sweep_jsonl ~wall_s ~jobs ~timings ?(outcomes = []) ?metrics records =
   in
   Buffer.add_string buf
     (Printf.sprintf
-       {|{"summary":true,"cases":%d,"failed":%d,"timed_out":%d,"invariant_violations":%d,"audited":%d,"jobs":%d,"wall_s":%.3f,"analysis_s":%.3f,"optimize_s":%.3f,"simulate_s":%.3f,"audit_s":%.3f%s}|}
+       {|{"summary":true,"cases":%d,"failed":%d,"timed_out":%d,"invariant_violations":%d,"audited":%d,"jobs":%d,"wall_s":%.3f,"analysis_s":%.3f,"refine_s":%.3f,"optimize_s":%.3f,"simulate_s":%.3f,"audit_s":%.3f%s}|}
        (List.length records) failed timed_out violations audited jobs wall_s
-       timings.Pipeline.analysis_s timings.Pipeline.optimize_s
+       timings.Pipeline.analysis_s timings.Pipeline.refine_s
+       timings.Pipeline.optimize_s
        timings.Pipeline.simulate_s timings.Pipeline.audit_s
        (match metrics with
        | None | Some [] -> ""
@@ -408,5 +480,6 @@ let all records =
       figure7 records;
       figure8 records;
       policies records;
+      refinement records;
       headline records;
     ]

@@ -29,6 +29,14 @@ val policies : Experiments.record list -> string
     the original and optimized programs (see
     {!Experiments.policy_precision}). *)
 
+val refinement : Experiments.record list -> string
+(** Exact-refinement precision table: per policy, the not-classified
+    slot counts before/after refinement, the reclassification split,
+    the reclaimed WCET-bound slack in percent, how many cases carry a
+    quantitative non-LRU miss bound and how many hit the exploration
+    budget (see {!Experiments.refine_precision}).  Empty for a sweep
+    run with refinement off. *)
+
 val headline : Experiments.record list -> string
 (** The abstract's three numbers for this run: average reductions of
     energy, ACET and WCET. *)
@@ -50,7 +58,15 @@ val record_json : Experiments.record -> string
     accepted/rolled-back prefetch counts.  An audited case additionally
     carries ["audit_checks"] and ["audit_s"] (certificates passed and
     audit wall-clock; see {!Ucp_verify}); unaudited cases omit both, so
-    an audit-off sweep's stream is byte-identical to the seed's. *)
+    an audit-off sweep's stream is byte-identical to the seed's.  A
+    case measured with [--refine] additionally carries the flat
+    [refine_*] fields per side ([refine_mode], [refine_nc_before],
+    [refine_nc], [refine_ah_gained], [refine_am_gained], [refine_tau],
+    [refine_miss_bound], [refine_quant] (int or null),
+    [refine_states], [refine_budget_hit], [refine_digest]; [_opt]
+    suffix for the optimized side) — appended last, so stripping every
+    [,"refine_*":v] pair restores the unrefined stream byte for
+    byte. *)
 
 val outcome_summary : (string * Experiments.record Outcome.t) list -> string
 (** Human-readable failure digest of a sweep: a counts line, an
@@ -91,7 +107,7 @@ val sweep_jsonl :
     [{"case":..,"outcome":..,"detail":..}] line per non-[Ok] outcome,
     terminated by a summary line [{"summary":true,"cases":..,
     "failed":..,"timed_out":..,"invariant_violations":..,"audited":..,
-    "jobs":..,"wall_s":..,"analysis_s":..,"optimize_s":..,
+    "jobs":..,"wall_s":..,"analysis_s":..,"refine_s":..,"optimize_s":..,
     "simulate_s":..,"audit_s":..}] so perf trajectories can be tracked
     across PRs.  [?metrics] (a {!Ucp_obs.Metrics.dump} snapshot, when
     metrics were enabled) adds one nested ["metrics"] object to the

@@ -184,6 +184,13 @@ module type POLICY = sig
   val check_assoc : assoc:int -> unit
   (** @raise Invalid_argument if the policy cannot handle [assoc]. *)
 
+  val competitiveness : assoc:int -> (int * int * int) option
+  (** Quantitative competitiveness against an LRU reference set
+      (Kahlen/Reineke-style): [Some (va, ratio, add)] means every
+      per-set reference sequence (cold start, demand accesses only)
+      satisfies [misses_policy(assoc) <= ratio * misses_LRU(va) + add].
+      [None] when no useful bound exists (LRU itself). *)
+
   (* Concrete per-set machine *)
   val cset_empty : assoc:int -> cset
   val cset_access : assoc:int -> cset -> int -> cset * bool * int option
@@ -232,6 +239,10 @@ module Lru_policy : POLICY = struct
   let name = "lru"
   let needs_may = false
   let check_assoc ~assoc:_ = ()
+
+  (* LRU is its own reference policy: a competitiveness bound against
+     itself adds nothing over the direct must/may analysis. *)
+  let competitiveness ~assoc:_ = None
   let cset_empty ~assoc:_ = Order []
 
   let cset_access ~assoc cs mb =
@@ -296,6 +307,12 @@ module Fifo_policy : POLICY = struct
   let name = "fifo"
   let needs_may = true
   let check_assoc ~assoc:_ = ()
+
+  (* FIFO is conservative (never evicts on a hit), so the classic
+     Sleator-Tarjan argument makes it k-competitive against OPT(k) with
+     additive constant k; OPT's misses are bounded by LRU(k)'s, giving
+     misses_FIFO(k) <= k * misses_LRU(k) + k per set from cold. *)
+  let competitiveness ~assoc = Some (assoc, assoc, assoc)
   let cset_empty ~assoc:_ = Order []
 
   let cset_access ~assoc cs mb =
@@ -384,6 +401,11 @@ module Plru_policy : POLICY = struct
     if not (is_pow2 assoc) then
       invalid_arg
         (Printf.sprintf "Plru: associativity %d is not a power of two" assoc)
+
+  (* The log2 k + 1 most recently used distinct blocks of a k-way
+     tree-PLRU set are resident (Reineke/Grund), so every PLRU miss is
+     an LRU(log2 k + 1) miss: 1-competitive, no additive constant. *)
+  let competitiveness ~assoc = Some (plru_must_assoc assoc, 1, 0)
 
   let cset_empty ~assoc = Tree { ways = Array.make assoc (-1); bits = 0 }
 
@@ -501,3 +523,7 @@ let needs_may p =
 let check_assoc p ~assoc =
   let (module P) = find p in
   P.check_assoc ~assoc
+
+let competitiveness p ~assoc =
+  let (module P) = find p in
+  P.competitiveness ~assoc

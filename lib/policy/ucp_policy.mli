@@ -69,6 +69,16 @@ module type POLICY = sig
   (** @raise Invalid_argument if the policy cannot handle [assoc]
       (PLRU requires a power of two). *)
 
+  val competitiveness : assoc:int -> (int * int * int) option
+  (** Quantitative competitiveness against an LRU reference set
+      (Kahlen/Reineke-style): [Some (va, ratio, add)] guarantees
+      [misses_policy(assoc) <= ratio * misses_LRU(va) + add] for every
+      per-set demand-access sequence from cold caches.  FIFO:
+      [(k, k, k)] (Sleator-Tarjan conservativeness); PLRU:
+      [(log2 k + 1, 1, 0)] (Reineke/Grund relative competitiveness);
+      LRU: [None].  The bound does {e not} hold in the presence of
+      prefetch fills — callers must gate on prefetch-free programs. *)
+
   val cset_empty : assoc:int -> cset
 
   val cset_access : assoc:int -> cset -> int -> cset * bool * int option
@@ -126,6 +136,10 @@ val needs_may : id -> bool
 
 val check_assoc : id -> assoc:int -> unit
 (** @raise Invalid_argument if the policy cannot handle [assoc]. *)
+
+val competitiveness : id -> assoc:int -> (int * int * int) option
+(** Per-policy quantitative competitiveness triple [(va, ratio, add)];
+    see {!POLICY.competitiveness}. *)
 
 val plru_must_assoc : int -> int
 (** Effective LRU associativity of the PLRU must domain:

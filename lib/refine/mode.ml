@@ -1,0 +1,20 @@
+(* Refinement knob threaded from the CLI down to the explorer.  [Nc]
+   focuses the exact exploration on the references the abstract
+   analysis left Not_classified — the cheap mode the sweeps default
+   to; [Full] also re-derives every already-classified reference and
+   cross-checks it against the abstract verdict (a self-test of the
+   whole analysis stack, not just a precision pass). *)
+
+type t = Off | Nc | Full
+
+let all = [ Off; Nc; Full ]
+let to_string = function Off -> "off" | Nc -> "nc" | Full -> "full"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" -> Ok Off
+  | "nc" -> Ok Nc
+  | "full" -> Ok Full
+  | other -> Error (Printf.sprintf "unknown refine mode %S" other)
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)

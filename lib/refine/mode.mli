@@ -1,0 +1,18 @@
+(** Classification-refinement mode ([--refine off|nc|full]).
+
+    [Off] skips refinement entirely.  [Nc] runs the focused exact
+    exploration only for the references the must/may fixpoint left
+    [Not_classified] (the default for sweeps).  [Full] explores every
+    reference and additionally cross-checks the exploration against
+    the abstract classification — a contradiction there means the
+    analysis itself is unsound and raises {!Explore.Unsound}. *)
+
+type t = Off | Nc | Full
+
+val all : t list
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Case-insensitive; accepts ["off"], ["nc"], ["full"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+(* Per-set exact reachability over the VIVU-expanded graph: the
+   product of the expanded CFG with the concrete cache automaton of a
+   single set, collapsed Touzeau-style — all three supported policies
+   are set-partitioned, so references mapping to other sets cannot
+   touch the tracked state and are simply skipped.  The walk set
+   explored here (DAG plus iteration edges from a cold entry) is
+   exactly the one the abstract fixpoint over-approximates, which is
+   what makes the exploration's verdicts definitive: a reference that
+   hits in every reachable in-state hits on every walk the WCET bound
+   ranges over. *)
+
+module Vivu = Ucp_cfg.Vivu
+module Program = Ucp_isa.Program
+module Layout = Ucp_isa.Layout
+module Instr = Ucp_isa.Instr
+module Config = Ucp_cache.Config
+module Deadline = Ucp_util.Deadline
+
+type r = {
+  per_node : Ucp_policy.cset list array;
+  visited : int;
+  exhausted : bool;
+}
+
+let default_budget = 32768
+
+(* Thread one set's concrete state through a basic block's slots,
+   mirroring [Analysis.transfer] / the simulator slot order exactly:
+   demand access first, then the slot's prefetch fill.  [on_access]
+   sees the hit verdict of each same-set demand access — the explorer
+   replays converged in-states through this very function, so the
+   reachability sweep and the verdict pass can never disagree. *)
+let transfer (module P : Ucp_policy.POLICY) ~assoc ~config ~layout ~program
+    ~set ?on_access ~block cs0 =
+  let cs = ref cs0 in
+  let n_slots = Program.slots program block in
+  for pos = 0 to n_slots - 1 do
+    let s = Layout.mem_block layout ~block ~pos in
+    if Config.set_of_mem_block config s = set then begin
+      let cs', hit, _ = P.cset_access ~assoc !cs s in
+      (match on_access with Some f -> f ~pos ~hit | None -> ());
+      cs := cs'
+    end;
+    let instr = Program.slot_instr program ~block ~pos in
+    match instr.Instr.kind with
+    | Instr.Compute -> ()
+    | Instr.Prefetch uid -> (
+      match Layout.mem_block_of_uid layout uid with
+      | Some tb when Config.set_of_mem_block config tb = set ->
+        let cs', _ = P.cset_fill ~assoc !cs tb in
+        cs := cs'
+      | Some _ | None -> ())
+  done;
+  !cs
+
+let reachable ?deadline ?(budget = default_budget) ~policy ~set vivu layout
+    config =
+  let (module P : Ucp_policy.POLICY) = Ucp_policy.find policy in
+  let assoc = config.Config.assoc in
+  let program = Vivu.program vivu in
+  let n = Vivu.node_count vivu in
+  let per_node : Ucp_policy.cset list array = Array.make n [] in
+  let seen : (int * Ucp_policy.cset, unit) Hashtbl.t = Hashtbl.create 256 in
+  let work = Queue.create () in
+  let visited = ref 0 in
+  let exhausted = ref false in
+  let push node cs =
+    if (not !exhausted) && not (Hashtbl.mem seen (node, cs)) then begin
+      Hashtbl.add seen (node, cs) ();
+      per_node.(node) <- cs :: per_node.(node);
+      incr visited;
+      if !visited > budget then exhausted := true
+      else Queue.add (node, cs) work
+    end
+  in
+  push (Vivu.entry vivu) (P.cset_empty ~assoc);
+  let steps = ref 0 in
+  while (not !exhausted) && not (Queue.is_empty work) do
+    incr steps;
+    if !steps land 255 = 0 then Deadline.check deadline;
+    let node, cs = Queue.pop work in
+    let nd = Vivu.node vivu node in
+    let out =
+      transfer (module P) ~assoc ~config ~layout ~program ~set
+        ~block:nd.Vivu.block cs
+    in
+    List.iter (fun succ -> push succ out) (Vivu.dag_succ vivu node);
+    List.iter (fun succ -> push succ out) (Vivu.iter_succ vivu node)
+  done;
+  (* FIFO worklist + insertion-order state lists keep the result (and
+     the budget cutoff point) fully deterministic *)
+  Array.iteri (fun i l -> per_node.(i) <- List.rev l) per_node;
+  { per_node; visited = !visited; exhausted = !exhausted }

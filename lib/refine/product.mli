@@ -1,0 +1,48 @@
+(** Per-set exact reachability: the product of the VIVU-expanded graph
+    with the concrete cache automaton of one cache set (Touzeau-style
+    focused collapse — the policies are set-partitioned, so the
+    automaton only tracks the focus set's state). *)
+
+type r = {
+  per_node : Ucp_policy.cset list array;
+      (** reachable in-states per expanded node, in discovery order *)
+  visited : int;  (** total (node, state) product pairs discovered *)
+  exhausted : bool;
+      (** the state budget cut the sweep short — [per_node] is partial
+          and must not be used for verdicts *)
+}
+
+val default_budget : int
+(** Default per-set cap on product pairs (32768). *)
+
+val transfer :
+  (module Ucp_policy.POLICY) ->
+  assoc:int ->
+  config:Ucp_cache.Config.t ->
+  layout:Ucp_isa.Layout.t ->
+  program:Ucp_isa.Program.t ->
+  set:int ->
+  ?on_access:(pos:int -> hit:bool -> unit) ->
+  block:int ->
+  Ucp_policy.cset ->
+  Ucp_policy.cset
+(** Thread one set's state through a basic block's slots (demand
+    access first, then the slot's prefetch fill — the same order as
+    [Analysis.transfer] and the simulator).  [on_access] observes the
+    hit verdict of every same-set demand access. *)
+
+val reachable :
+  ?deadline:Ucp_util.Deadline.t ->
+  ?budget:int ->
+  policy:Ucp_policy.id ->
+  set:int ->
+  Ucp_cfg.Vivu.t ->
+  Ucp_isa.Layout.t ->
+  Ucp_cache.Config.t ->
+  r
+(** Breadth-first product sweep from a cold entry along DAG and
+    iteration edges — exactly the walk set the abstract fixpoint
+    over-approximates.  Deterministic, including where the [budget]
+    cuts it short.
+    @raise Ucp_util.Deadline.Deadline_exceeded if [?deadline] passes
+    (checked every 256 expansions). *)

@@ -18,6 +18,7 @@ type config = {
   cache_capacity : int;
   queue_limit : int;
   timeout : float option;
+  refine : Ucp_refine.Mode.t;
 }
 
 let default_config ~socket ~store_dir =
@@ -28,6 +29,7 @@ let default_config ~socket ~store_dir =
     cache_capacity = 64;
     queue_limit = 32;
     timeout = None;
+    refine = Ucp_refine.Mode.Nc;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -180,7 +182,11 @@ let compute t id (c : Experiments.case) key =
               (* fault hooks run on the pool domain, so a kill-worker
                  hook kills a worker, not the connection thread *)
               Fault.apply_pre ?deadline id;
-              let r = Experiments.run_case ?deadline ~memo:t.memo ~model c in
+              let r =
+                Experiments.run_case ?deadline ~memo:t.memo
+                  ~refine:t.cfg.refine
+                  ~corrupt_refine:(Fault.corrupt_refine id) ~model c
+              in
               let r = Fault.corrupt id r in
               match Experiments.check_invariants r with
               | Error msg -> Error (Printf.sprintf "invariant violation: %s" msg)
@@ -224,7 +230,7 @@ let answer_case t id =
         P.Record { id; source = P.Memory; json }
       | None -> (
         tally t (fun s -> s.cache_misses <- s.cache_misses + 1);
-        let key = Store.key c in
+        let key = Store.key ~refine:t.cfg.refine c in
         let from_store =
           match Store.find t.store ~key with
           | None -> None

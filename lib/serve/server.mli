@@ -40,10 +40,15 @@ type config = {
   cache_capacity : int;  (** LRU entries; 0 disables the memory cache *)
   queue_limit : int;  (** max in-flight cold evaluations before shedding *)
   timeout : float option;  (** per-case cooperative deadline, seconds *)
+  refine : Ucp_refine.Mode.t;
+      (** exact-refinement mode for cold evaluations; part of the
+          store's content address, so entries computed under different
+          modes never alias *)
 }
 
 val default_config : socket:string -> store_dir:string -> config
-(** 2 workers, 64 cache entries, queue limit 32, no timeout. *)
+(** 2 workers, 64 cache entries, queue limit 32, no timeout, refine
+    [Nc]. *)
 
 val run : ?signals:bool -> config -> unit
 (** Serve until SIGTERM/SIGINT or a [Shutdown] request, then drain and

@@ -39,13 +39,15 @@ let open_ ~dir =
 let dir t = t.dir
 
 (* content address: the digest covers the case's own singleton-grid
-   fingerprint (geometry, program identity, journal format version)
-   plus its id, so a regenerated workload or a format bump changes the
-   key instead of resurrecting stale bytes *)
-let key (c : Experiments.case) =
+   fingerprint (geometry, program identity, refine mode, journal format
+   version) plus its id, so a regenerated workload, a different refine
+   mode or a format bump changes the key instead of resurrecting stale
+   bytes *)
+let key ?refine (c : Experiments.case) =
   let fingerprint =
     Checkpoint.fingerprint
       ~policies:[ c.Experiments.case_policy ]
+      ?refine
       ~programs:[ (c.Experiments.case_program_name, c.Experiments.case_program) ]
       ~configs:[ (c.Experiments.case_config_id, c.Experiments.case_config) ]
       ~techs:[ c.Experiments.case_tech ] ()

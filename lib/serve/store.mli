@@ -30,8 +30,10 @@ val open_ : dir:string -> t
 
 val dir : t -> string
 
-val key : Ucp_core.Experiments.case -> string
-(** Stable content address of a case (hex digest). *)
+val key : ?refine:Ucp_refine.Mode.t -> Ucp_core.Experiments.case -> string
+(** Stable content address of a case (hex digest).  [?refine] (default
+    [Off]) is hashed into the address via the fingerprint, so entries
+    computed under different refine modes never alias. *)
 
 val find : t -> key:string -> string option
 (** The stored record line, or [None] on a miss {e or} a corrupt entry

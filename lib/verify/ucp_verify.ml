@@ -630,7 +630,42 @@ type verdict =
 
 let verdict_seconds = function Certified { seconds; _ } -> seconds | Skipped _ -> 0.0
 
-let audit_case ?deadline ?seed ?(corrupt = false) ~(original : Wcet.t)
+(* Re-run the exact classification refinement from the audited side's
+   own analysis and require byte-identical digests: the digest covers
+   every reclassification and the bounds derived from them, so any
+   tampering between measurement and record (the corrupt-refine fault,
+   a stale cache, a bug) surfaces deterministically.  The recomputed
+   refined WCET then goes through the same concrete witness replay as
+   the unrefined ones — an unsound exploration verdict on the witness
+   path fails there even if the digests agree. *)
+let check_refine ?deadline ?seed ~mode side (w : Wcet.t)
+    (measured : Ucp_refine.Explore.summary option) =
+  match Ucp_refine.Explore.run ?deadline ~mode w with
+  | exception Ucp_refine.Explore.Unsound msg ->
+    fail ("refine-" ^ side) "exploration contradicts the abstract analysis: %s" msg
+  | None -> (
+    match measured with
+    | None -> Ok ()
+    | Some s ->
+      fail ("refine-" ^ side)
+        "record carries a refinement (digest %s) but recomputation declines"
+        s.Ucp_refine.Explore.s_digest)
+  | Some (s', refined_w) -> (
+    match measured with
+    | None ->
+      fail ("refine-" ^ side) "recomputation refines (digest %s) but the record has none"
+        s'.Ucp_refine.Explore.s_digest
+    | Some s ->
+      let* () =
+        if s.Ucp_refine.Explore.s_digest <> s'.Ucp_refine.Explore.s_digest then
+          fail ("refine-" ^ side) "digest mismatch: recorded %s, recomputed %s"
+            s.Ucp_refine.Explore.s_digest s'.Ucp_refine.Explore.s_digest
+        else Ok ()
+      in
+      replay_witness ?seed refined_w)
+
+let audit_case ?deadline ?seed ?(corrupt = false)
+    ?(refine = (Ucp_refine.Mode.Off, None, None)) ~(original : Wcet.t)
     ~(optimized : Wcet.t) (r : Optimizer.result) =
   if
     not
@@ -668,15 +703,27 @@ let audit_case ?deadline ?seed ?(corrupt = false) ~(original : Wcet.t)
           Ucp_obs.Metrics.fadd (Lazy.force audit_seconds_total) d;
           res)
     in
+    let refine_mode, refine_original, refine_optimized = refine in
+    let with_refine = refine_mode <> Ucp_refine.Mode.Off in
     let result =
       let* () = obligation "ipet-original" (fun () -> certify_ipet ?deadline original) in
       let* () = obligation "ipet-optimized" (fun () -> certify_ipet ?deadline optimized) in
       let* () = obligation "witness-original" (fun () -> replay_witness ?seed original) in
       let* () = obligation "witness-optimized" (fun () -> replay_witness ?seed optimized) in
       let* () = obligation "trail" (fun () -> audit_trail ~original ~optimized r) in
-      Ok ()
+      if not with_refine then Ok ()
+      else
+        let* () =
+          obligation "refine-original" (fun () ->
+              check_refine ?deadline ?seed ~mode:refine_mode "original" original
+                refine_original)
+        in
+        obligation "refine-optimized" (fun () ->
+            check_refine ?deadline ?seed ~mode:refine_mode "optimized" optimized
+              refine_optimized)
     in
     match result with
-    | Ok () -> Ok (Certified { checks = 5; seconds = !elapsed })
+    | Ok () ->
+      Ok (Certified { checks = (if with_refine then 7 else 5); seconds = !elapsed })
     | Error msg -> Error msg
   end

@@ -109,7 +109,9 @@ val audit_trail :
 
 type verdict =
   | Certified of {
-      checks : int;  (** top-level certificates that passed (currently 5) *)
+      checks : int;
+          (** top-level certificates that passed (5, or 7 when the
+              refine obligations ran) *)
       seconds : float;
           (** audit cost: the sum of the per-obligation intervals that
               also feed the [audit_seconds_total] metrics fcounter, so
@@ -127,6 +129,10 @@ val audit_case :
   ?deadline:Ucp_util.Deadline.t ->
   ?seed:int ->
   ?corrupt:bool ->
+  ?refine:
+    Ucp_refine.Mode.t
+    * Ucp_refine.Explore.summary option
+    * Ucp_refine.Explore.summary option ->
   original:Ucp_wcet.Wcet.t ->
   optimized:Ucp_wcet.Wcet.t ->
   Ucp_prefetch.Optimizer.result ->
@@ -135,4 +141,14 @@ val audit_case :
     witness replay of both, and the optimizer audit trail.  [~corrupt]
     is the [corrupt-cert] fault-injection hook: it perturbs one
     certificate field (the claimed optimized τ) before checking, so a
-    correct checker must fail with the violated obligation named. *)
+    correct checker must fail with the violated obligation named.
+
+    [?refine] is the case's refine mode plus the measured refinement
+    summaries of the two sides.  A mode other than [Off] adds two
+    obligations ([refine-original], [refine-optimized]): the exact
+    exploration is recomputed from the audited side's own analysis and
+    its digest — covering every reclassification and the refined
+    bounds — must match the recorded one byte-for-byte (this is what
+    catches the [corrupt-refine] fault), and the recomputed refined
+    WCET goes through the same concrete witness replay as the
+    unrefined analyses. *)

@@ -244,6 +244,17 @@ let miss_count_bound t =
     t.classif;
   !total
 
+(* Feed externally-proven facts (the exact-exploration verdicts of
+   Ucp_refine) back in as tightened classifications.  The result is a
+   fresh value — the caller's analysis is untouched, so unrefined and
+   refined bounds can coexist in one record.  Soundness of the
+   overrides is the caller's obligation; the audit re-derives the
+   exploration and cross-checks. *)
+let override_classif t overrides =
+  let classif = Array.map Array.copy t.classif in
+  List.iter (fun (node, pos, cls) -> classif.(node).(pos) <- cls) overrides;
+  { t with classif }
+
 let classification_counts t =
   let program = Vivu.program t.vivu in
   let ah = ref 0 and am = ref 0 and nc = ref 0 in

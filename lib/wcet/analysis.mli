@@ -86,6 +86,14 @@ val miss_count_bound : t -> int
 (** Σ over expanded nodes of [mult x] WCET-charged misses — the
     analysis' upper bound on demand misses (used by Condition 2). *)
 
+val override_classif : t -> (int * int * Classification.t) list -> t
+(** [override_classif t [(node, pos, cls); ...]] is a copy of [t] with
+    the listed slots reclassified — the feedback edge the exact
+    classification refinement ([Ucp_refine]) uses to tighten the flow
+    facts the IPET ILP sees.  [t] itself is untouched.  The caller
+    vouches for the soundness of every override (the certification
+    audit re-derives and cross-checks them). *)
+
 val classification_counts : t -> int * int * int
 (** [(ah, am, nc)]: how many instruction slots of the expanded graph
     were classified always-hit / always-miss / not-classified

@@ -343,7 +343,9 @@ let test_sweep_audit_full () =
     (fun r ->
       match r.Experiments.audit with
       | Pipeline.Audited { checks; seconds } ->
-        Alcotest.(check int) "five obligations per case" 5 checks;
+        (* 5 base obligations + 2 refine obligations (sweeps refine by
+           default) *)
+        Alcotest.(check int) "seven obligations per case" 7 checks;
         Alcotest.(check bool) "non-negative audit cost" true (seconds >= 0.0)
       | Pipeline.Audit_skipped reason ->
         Alcotest.failf "plain case skipped: %s" reason

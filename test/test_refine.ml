@@ -1,0 +1,445 @@
+(* Tests for Ucp_refine: the exact classification refinement and the
+   quantitative non-LRU bounds (ISSUE 8).
+
+   The centrepiece is the per-policy soundness cross-validation: every
+   slot the exploration reclassifies to always-hit / always-miss is
+   checked against the concrete simulator under the same policy — a
+   refined AH slot must never miss, a refined AM slot must never hit.
+   Around it: budget-exhaustion determinism (a starved exploration
+   degrades to Genuinely_unknown, identically on every run, and stays
+   sound), the checkpoint-fingerprint refine axis (journals swept under
+   different modes never mix), the lossless record round-trip of the
+   refine summary, the corrupt-refine fault being caught by the audit's
+   digest recomputation, and QCheck properties for the concrete
+   competitiveness inequalities behind {!Ucp_refine.Quantitative}. *)
+
+module Mode = Ucp_refine.Mode
+module Explore = Ucp_refine.Explore
+module Quantitative = Ucp_refine.Quantitative
+module Policy = Ucp_policy
+module Config = Ucp_cache.Config
+module Concrete = Ucp_cache.Concrete
+module Wcet = Ucp_wcet.Wcet
+module Analysis = Ucp_wcet.Analysis
+module Classification = Ucp_wcet.Classification
+module Simulator = Ucp_sim.Simulator
+module Vivu = Ucp_cfg.Vivu
+module Program = Ucp_isa.Program
+module Suite = Ucp_workloads.Suite
+module Tech = Ucp_energy.Tech
+module Pipeline = Ucp_core.Pipeline
+module Checkpoint = Ucp_core.Checkpoint
+module Experiments = Ucp_core.Experiments
+module Outcome = Ucp_core.Outcome
+
+let model = Ucp_testlib.tiny_model
+let paper_config id = List.assoc id Config.paper_configs
+
+(* The bench grid's configurations, so the NC populations the
+   refinement feeds on here match BENCH_8.json. *)
+let test_configs = [ paper_config "k2"; paper_config "k5" ]
+let test_programs = [ "fft1"; "crc" ]
+
+(* ------------------------------------------------------------------ *)
+(* mode identifiers *)
+
+let test_mode_roundtrip () =
+  List.iter
+    (fun m ->
+      match Mode.of_string (Mode.to_string m) with
+      | Ok m' -> Alcotest.(check bool) (Mode.to_string m) true (m = m')
+      | Error msg -> Alcotest.fail msg)
+    Mode.all;
+  Alcotest.(check bool) "case-insensitive" true (Mode.of_string "NC" = Ok Mode.Nc);
+  Alcotest.(check bool) "unknown rejected" true
+    (match Mode.of_string "some" with Error _ -> true | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* refined-classification soundness vs the concrete simulator *)
+
+(* Meet the classifications over every VIVU context of a static slot,
+   exactly as in test_policy: the concrete trace does not know which
+   context it is in, so only a slot that is AH (resp. AM) in every
+   context may claim it never misses (resp. never hits). *)
+let meet_classifications analysis program =
+  let vivu = Analysis.vivu analysis in
+  let tbl = Hashtbl.create 997 in
+  for node = 0 to Vivu.node_count vivu - 1 do
+    let nd = Vivu.node vivu node in
+    let b = nd.Vivu.block in
+    for pos = 0 to Program.slots program b - 1 do
+      let c = Analysis.classif analysis ~node ~pos in
+      match Hashtbl.find_opt tbl (b, pos) with
+      | None -> Hashtbl.replace tbl (b, pos) c
+      | Some prev ->
+        if prev <> c then
+          Hashtbl.replace tbl (b, pos) Classification.Not_classified
+    done
+  done;
+  tbl
+
+let refined_violations ~policy ~seed program config (w' : Wcet.t) =
+  let tbl = meet_classifications w'.Wcet.analysis program in
+  let violations = ref [] in
+  let on_fetch ~block ~pos ~hit =
+    match Hashtbl.find_opt tbl (block, pos) with
+    | Some Classification.Always_hit when not hit ->
+      violations :=
+        Printf.sprintf "refined AH slot (%d,%d) missed" block pos :: !violations
+    | Some Classification.Always_miss when hit ->
+      violations :=
+        Printf.sprintf "refined AM slot (%d,%d) hit" block pos :: !violations
+    | _ -> ()
+  in
+  ignore (Simulator.run ~seed ~policy ~on_fetch program config model);
+  !violations
+
+let check_summary_arithmetic name (s : Explore.summary) w =
+  Alcotest.(check int)
+    (name ^ ": nc_after = nc_before - gained")
+    (s.Explore.s_nc_before - s.Explore.s_ah_gained - s.Explore.s_am_gained)
+    s.Explore.s_nc_after;
+  Alcotest.(check bool)
+    (name ^ ": refined tau never above the abstract tau")
+    true
+    (s.Explore.s_tau <= Wcet.tau_with_residual w)
+
+let test_refined_soundness policy () =
+  List.iter
+    (fun name ->
+      let program = Suite.find name in
+      List.iter
+        (fun config ->
+          let w = Wcet.compute ~with_may:true ~policy program config model in
+          match Explore.run ~mode:Mode.Nc w with
+          | None ->
+            Alcotest.fail
+              (Printf.sprintf "%s: refinement skipped a plain program" name)
+          | Some (s, w') ->
+            check_summary_arithmetic name s w;
+            Alcotest.(check int)
+              (name ^ ": refined tau matches refined wcet")
+              s.Explore.s_tau
+              (Wcet.tau_with_residual w');
+            List.iter
+              (fun seed ->
+                match refined_violations ~policy ~seed program config w' with
+                | [] -> ()
+                | v ->
+                  Alcotest.fail
+                    (Printf.sprintf "%s under %s @%s seed %d: %s" name
+                       (Policy.to_string policy) (Config.id config) seed
+                       (String.concat "; " v)))
+              [ 1; 42 ])
+        test_configs)
+    test_programs
+
+(* The bench grid reclaims NC under every policy; make sure the test
+   grid exercises reclassification rather than vacuously passing. *)
+let test_strict_reduction () =
+  let reduced =
+    List.filter
+      (fun policy ->
+        List.exists
+          (fun name ->
+            let program = Suite.find name in
+            List.exists
+              (fun config ->
+                let w =
+                  Wcet.compute ~with_may:true ~policy program config model
+                in
+                match Explore.run ~mode:Mode.Nc w with
+                | None -> false
+                | Some (s, _) ->
+                  s.Explore.s_nc_before > 0
+                  && s.Explore.s_nc_after < s.Explore.s_nc_before)
+              test_configs)
+          test_programs)
+      Policy.all
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "NC strictly reduced for >= 2 policies (got %d: %s)"
+       (List.length reduced)
+       (String.concat "," (List.map Policy.to_string reduced)))
+    true
+    (List.length reduced >= 2)
+
+(* Full mode explores every reference and cross-checks the abstract
+   classification; on these workloads it must agree, not raise. *)
+let test_full_mode_agrees () =
+  let program = Suite.find "crc" in
+  let config = paper_config "k2" in
+  List.iter
+    (fun policy ->
+      let w = Wcet.compute ~with_may:true ~policy program config model in
+      match Explore.run ~mode:Mode.Full w with
+      | None -> Alcotest.fail "full refinement skipped a plain program"
+      | Some (s, _) ->
+        Alcotest.(check bool)
+          (Policy.to_string policy ^ ": full mode reports its mode")
+          true
+          (s.Explore.s_mode = Mode.Full)
+      | exception Explore.Unsound msg ->
+        Alcotest.fail ("full cross-check contradiction: " ^ msg))
+    Policy.all
+
+(* ------------------------------------------------------------------ *)
+(* budget exhaustion: deterministic, degraded, still sound *)
+
+let test_budget_exhaustion () =
+  let budget_hit = ref false in
+  List.iter
+    (fun policy ->
+      let program = Suite.find "fft1" in
+      let config = paper_config "k2" in
+      let w = Wcet.compute ~with_may:true ~policy program config model in
+      let run () = Explore.run ~budget:2 ~mode:Mode.Nc w in
+      match (run (), run ()) with
+      | Some (s1, w1), Some (s2, _) ->
+        Alcotest.(check bool)
+          (Policy.to_string policy ^ ": starved summaries identical")
+          true (s1 = s2);
+        Alcotest.(check string)
+          (Policy.to_string policy ^ ": starved digests identical")
+          s1.Explore.s_digest s2.Explore.s_digest;
+        check_summary_arithmetic (Policy.to_string policy) s1 w;
+        if s1.Explore.s_budget_hit then budget_hit := true;
+        List.iter
+          (fun seed ->
+            match refined_violations ~policy ~seed program config w1 with
+            | [] -> ()
+            | v ->
+              Alcotest.fail
+                (Printf.sprintf "starved refinement unsound under %s: %s"
+                   (Policy.to_string policy)
+                   (String.concat "; " v)))
+          [ 1; 42 ]
+      | None, None -> Alcotest.fail "refinement skipped a plain program"
+      | _ -> Alcotest.fail "budgeted exploration is nondeterministic")
+    Policy.all;
+  Alcotest.(check bool) "a 2-state budget actually starves some set" true
+    !budget_hit
+
+(* ------------------------------------------------------------------ *)
+(* checkpoint fingerprint: the refine mode is part of the grid identity *)
+
+let test_fingerprint_refine_axis () =
+  let programs = [ ("fft1", Suite.find "fft1") ] in
+  let configs = [ ("k2", paper_config "k2") ] in
+  let techs = [ Tech.nm45 ] in
+  let fp m = Checkpoint.fingerprint ~refine:m ~programs ~configs ~techs () in
+  Alcotest.(check bool) "nc <> off" true (fp Mode.Nc <> fp Mode.Off);
+  Alcotest.(check bool) "full <> nc" true (fp Mode.Full <> fp Mode.Nc);
+  Alcotest.(check bool) "full <> off" true (fp Mode.Full <> fp Mode.Off);
+  Alcotest.(check string) "deterministic" (fp Mode.Nc) (fp Mode.Nc);
+  Alcotest.(check string) "default mode is off" (fp Mode.Off)
+    (Checkpoint.fingerprint ~programs ~configs ~techs ());
+  (* a journal swept under nc must be rejected when resumed under off *)
+  let path = Filename.temp_file "ucp_refine_ckpt" ".jsonl" in
+  let j = Checkpoint.start ~path ~fingerprint:(fp Mode.Nc) ~resume:false in
+  Checkpoint.close j;
+  (match Checkpoint.start ~path ~fingerprint:(fp Mode.Off) ~resume:true with
+  | exception Failure _ -> ()
+  | j ->
+    Checkpoint.close j;
+    Sys.remove path;
+    Alcotest.fail "journal with a different refine mode was accepted");
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* record round-trip: the refine summary survives the journal losslessly *)
+
+let test_record_roundtrip () =
+  let program = Suite.find "crc" in
+  let config = paper_config "k2" in
+  let cmp =
+    Pipeline.compare_optimized ~policy:Policy.Fifo ~refine:Mode.Nc program
+      config Tech.nm45
+  in
+  Alcotest.(check bool) "original measurement carries a summary" true
+    (cmp.Pipeline.original.Pipeline.refine <> None);
+  let r =
+    {
+      Experiments.program_name = "crc";
+      config_id = "k2";
+      config;
+      tech = Tech.nm45;
+      policy = Policy.Fifo;
+      original = cmp.Pipeline.original;
+      optimized = cmp.Pipeline.optimized;
+      prefetches = cmp.Pipeline.prefetches;
+      rejected = cmp.Pipeline.rejected;
+      audit = cmp.Pipeline.audit;
+    }
+  in
+  match Checkpoint.parse_line (Checkpoint.record_line ~id:"crc:k2:45nm:fifo" r) with
+  | None -> Alcotest.fail "record line did not parse back"
+  | Some (id, r') ->
+    Alcotest.(check string) "id" "crc:k2:45nm:fifo" id;
+    Alcotest.(check bool) "original refine summary round-trips" true
+      (r'.Experiments.original.Pipeline.refine
+      = r.Experiments.original.Pipeline.refine);
+    Alcotest.(check bool) "optimized refine summary round-trips" true
+      (r'.Experiments.optimized.Pipeline.refine
+      = r.Experiments.optimized.Pipeline.refine)
+
+(* ------------------------------------------------------------------ *)
+(* corrupt-refine: the audit's digest recomputation must catch the lie *)
+
+let test_corrupt_refine_caught () =
+  (* pick a case whose exploration leaves something not proven
+     always-hit, so the fault has a reference to lie about *)
+  let case =
+    List.find_map
+      (fun policy ->
+        List.find_map
+          (fun name ->
+            let program = Suite.find name in
+            List.find_map
+              (fun config ->
+                let w =
+                  Wcet.compute ~with_may:true ~policy program config model
+                in
+                match Explore.run ~mode:Mode.Nc w with
+                | Some (s, _)
+                  when s.Explore.s_am_gained + s.Explore.s_nc_after > 0 ->
+                  Some (policy, program, config)
+                | _ -> None)
+              test_configs)
+          test_programs)
+      Policy.all
+  in
+  match case with
+  | None -> Alcotest.fail "no candidate case with a corruptible reference"
+  | Some (policy, program, config) -> (
+    match
+      Pipeline.compare_optimized ~policy ~audit:true ~refine:Mode.Nc
+        ~corrupt_refine:true program config Tech.nm45
+    with
+    | exception Outcome.Invariant msg ->
+      Alcotest.(check bool)
+        ("violation names the refine obligation: " ^ msg)
+        true
+        (Ucp_testlib.contains ~substring:"refine-original" msg)
+    | _ -> Alcotest.fail "corrupt-refine slipped past the audit")
+
+(* ------------------------------------------------------------------ *)
+(* quantitative bounds *)
+
+(* The analysis-level bound holds on the simulated run. *)
+let test_quant_bounds_run () =
+  List.iter
+    (fun policy ->
+      let program = Suite.find "crc" in
+      let config = paper_config "k2" in
+      let m =
+        Pipeline.measure ~policy ~refine:Mode.Nc program config Tech.nm45
+      in
+      match m.Pipeline.refine with
+      | None -> Alcotest.fail "no refine summary"
+      | Some s -> (
+        match (policy, s.Explore.s_quant) with
+        | Policy.Lru, Some _ -> Alcotest.fail "LRU has no competitiveness bound"
+        | Policy.Lru, None -> ()
+        | _, None ->
+          Alcotest.fail
+            (Policy.to_string policy ^ ": expected a quantitative bound")
+        | _, Some b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: demand misses %d <= quant bound %d"
+               (Policy.to_string policy) m.Pipeline.demand_misses b)
+            true
+            (m.Pipeline.demand_misses <= b)))
+    Policy.all
+
+(* Concrete Sleator-Tarjan inequality behind the FIFO triple:
+   misses_FIFO(k) <= k * misses_LRU(k) + k per touched set, from cold
+   caches, on arbitrary demand-access sequences. *)
+let count_misses policy config trace =
+  let c = Concrete.create ~policy config in
+  List.fold_left
+    (fun acc mb ->
+      match Concrete.access c mb with
+      | Concrete.Hit -> acc
+      | Concrete.Miss _ -> acc + 1)
+    0 trace
+
+let distinct_sets config trace =
+  let seen = Hashtbl.create 8 in
+  List.iter (fun mb -> Hashtbl.replace seen (Config.set_of_mem_block config mb) ()) trace;
+  Hashtbl.length seen
+
+let prop_fifo_competitive =
+  QCheck2.Test.make
+    ~name:"fifo misses <= k * lru misses + k per touched set" ~count:300
+    QCheck2.Gen.(pair Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence)
+    (fun (config, trace) ->
+      let k = config.Config.assoc in
+      let fifo = count_misses Concrete.Fifo config trace in
+      let lru = count_misses Concrete.Lru config trace in
+      fifo <= (k * lru) + (k * distinct_sets config trace))
+
+(* Reineke/Grund inequality behind the PLRU triple: every PLRU(k) miss
+   is an LRU(log2 k + 1) miss — same set count, reference associativity
+   log2 k + 1, ratio 1, no additive term. *)
+let prop_plru_competitive =
+  QCheck2.Test.make
+    ~name:"plru misses <= lru misses at the must associativity" ~count:300
+    QCheck2.Gen.(pair Ucp_testlib.gen_config Ucp_testlib.gen_access_sequence)
+    (fun (config, trace) ->
+      let k = config.Config.assoc in
+      let va = Policy.plru_must_assoc k in
+      let ref_config =
+        Config.make ~assoc:va ~block_bytes:config.Config.block_bytes
+          ~capacity:(va * config.Config.block_bytes * config.Config.sets)
+      in
+      let plru = count_misses Concrete.Plru config trace in
+      let lru = count_misses Concrete.Lru ref_config trace in
+      plru <= lru)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "refine"
+    [
+      ( "mode",
+        [ Alcotest.test_case "string round-trip" `Quick test_mode_roundtrip ] );
+      ( "soundness",
+        List.map
+          (fun policy ->
+            Alcotest.test_case
+              ("refined classification sound under " ^ Policy.to_string policy)
+              `Slow
+              (test_refined_soundness policy))
+          Policy.all
+        @ [
+            Alcotest.test_case "NC strictly reduced for >= 2 policies" `Slow
+              test_strict_reduction;
+            Alcotest.test_case "full mode agrees with the abstraction" `Slow
+              test_full_mode_agrees;
+          ] );
+      ( "budget",
+        [
+          Alcotest.test_case "starved exploration: deterministic and sound"
+            `Slow test_budget_exhaustion;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "fingerprint has a refine axis" `Quick
+            test_fingerprint_refine_axis;
+          Alcotest.test_case "refine summary round-trips the journal" `Slow
+            test_record_roundtrip;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "corrupt-refine is caught" `Slow
+            test_corrupt_refine_caught;
+        ] );
+      ( "quantitative",
+        [
+          Alcotest.test_case "analysis bound holds on the simulated run" `Slow
+            test_quant_bounds_run;
+          QCheck_alcotest.to_alcotest prop_fifo_competitive;
+          QCheck_alcotest.to_alcotest prop_plru_competitive;
+        ] );
+    ]
