@@ -549,6 +549,35 @@ let micro_benchmarks records =
         results)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* optional fuzzing throughput leg: UCP_FUZZ=N runs an N-case
+   differential campaign (seed 1, the ucp fuzz defaults) on the same
+   domain pool and reports cases/s, so generator and oracle cost
+   regressions show up next to the sweep numbers *)
+
+let fuzz_throughput () =
+  match Sys.getenv_opt "UCP_FUZZ" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    match int_of_string_opt spec with
+    | Some n when n > 0 ->
+      let module Campaign = Ucp_fuzz.Campaign in
+      let t0 = wall_s () in
+      let s = Campaign.run { Campaign.default with Campaign.c_count = n } in
+      let dt = Float.max 1e-9 (wall_s () -. t0) in
+      Printf.printf
+        "\n== Fuzzing throughput (UCP_FUZZ=%d) ==\n\
+        \  %d cases in %.1f s (%.1f cases/s): %d pass, %d findings, %d timeouts, %d failed\n"
+        n s.Campaign.s_cases dt
+        (float_of_int s.Campaign.s_cases /. dt)
+        s.Campaign.s_pass s.Campaign.s_findings s.Campaign.s_timeouts
+        s.Campaign.s_failed;
+      if not (Campaign.clean s) then
+        print_endline "  WARNING: campaign not clean -- run ucp fuzz to triage"
+    | Some _ | None ->
+      prerr_endline ("bench: UCP_FUZZ=" ^ spec ^ ": expected a positive case count");
+      exit 124)
+
 let () =
   (* --audit-trajectory: regenerate BENCH_6.json alone, without the
      minutes-long reproduction sweep *)
@@ -567,4 +596,5 @@ let () =
   audit_speed_trajectory ();
   refine_precision_trajectory ();
   micro_benchmarks records;
+  fuzz_throughput ();
   print_endline "\nbench: done"

@@ -715,6 +715,257 @@ let experiment_cmd =
       $ configs $ techs $ policies $ audit $ refine $ trace $ heartbeat
       $ metrics $ sweep_out)
 
+(* ------------------------------------------------------------------ *)
+(* ucp fuzz: generative differential fuzzing campaigns *)
+
+let fuzz_cmd =
+  let module Campaign = Ucp_fuzz.Campaign in
+  let run seed count classes policies configs full techs refine refine_full_every
+      jobs timeout corpus chaos chaos_serve out replay =
+    Ucp_obs.Metrics.enable ();
+    let out_channel, close_out_channel =
+      match out with
+      | None -> (stdout, fun () -> ())
+      | Some path -> (
+        try
+          let oc = open_out path in
+          (oc, fun () -> close_out oc)
+        with Sys_error msg ->
+          Printf.eprintf "ucp: %s\n" msg;
+          exit 124)
+    in
+    let emit line =
+      output_string out_channel line;
+      output_char out_channel '\n'
+    in
+    match replay with
+    | Some dir ->
+      (* corpus replay: the CI pin over checked-in reproducers *)
+      let ok, failures = Campaign.replay_corpus ~emit ~dir () in
+      close_out_channel ();
+      Printf.eprintf "[fuzz] corpus replay: %d ok, %d failed\n" ok
+        (List.length failures);
+      List.iter
+        (fun (path, msg) -> Printf.eprintf "[fuzz]   %s: %s\n" path msg)
+        failures;
+      if failures <> [] then exit 1
+    | None ->
+      let classes =
+        List.iter
+          (fun c ->
+            if Ucp_workloads.Generate.find_class c = None then begin
+              Printf.eprintf "ucp: unknown size class %S (s | m | l)\n" c;
+              exit 124
+            end)
+          classes;
+        classes
+      in
+      let configs =
+        match configs with
+        | Some ids ->
+          List.map
+            (fun id ->
+              match List.assoc_opt id Config.paper_configs with
+              | Some c -> (id, c)
+              | None ->
+                Printf.eprintf "ucp: unknown configuration %S (k1..k36)\n" id;
+                exit 124)
+            ids
+        | None ->
+          if full then Experiments.default_configs else Experiments.quick_configs
+      in
+      if count < 1 then begin
+        Printf.eprintf "ucp: --count must be positive\n";
+        exit 124
+      end;
+      let chaos_dir =
+        if not chaos_serve then None
+        else begin
+          let dir =
+            Filename.concat (Filename.get_temp_dir_name ())
+              (Printf.sprintf "ucp-fuzz-%d" (Unix.getpid ()))
+          in
+          (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+          Some dir
+        end
+      in
+      let cfg =
+        {
+          Campaign.c_seed = seed;
+          c_count = count;
+          c_classes = classes;
+          c_policies = policies;
+          c_configs = configs;
+          c_techs = techs;
+          c_refine = refine;
+          c_refine_full_every = refine_full_every;
+          c_jobs = jobs;
+          c_timeout = timeout;
+          c_corpus = corpus;
+          c_chaos = chaos;
+          c_serve = chaos_dir;
+        }
+      in
+      let progress ~done_ ~total =
+        Printf.eprintf "\r[fuzz] %d/%d cases%!" done_ total
+      in
+      let s = Campaign.run ~emit ~progress cfg in
+      Printf.eprintf "\r[fuzz] %d cases: %d pass, %d findings (%d distinct), %d caught, %d timeouts, %d failed"
+        s.Campaign.s_cases s.Campaign.s_pass s.Campaign.s_findings
+        s.Campaign.s_distinct s.Campaign.s_caught s.Campaign.s_timeouts
+        s.Campaign.s_failed;
+      if s.Campaign.s_chaos_total > 0 then
+        Printf.eprintf ", chaos %d/%d healed" s.Campaign.s_chaos_ok
+          s.Campaign.s_chaos_total;
+      prerr_newline ();
+      List.iter (fun p -> Printf.eprintf "[fuzz] reproducer: %s\n" p) s.Campaign.s_corpus;
+      close_out_channel ();
+      (match chaos_dir with
+      | Some dir when Campaign.clean s ->
+        ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+      | Some dir -> Printf.eprintf "[fuzz] daemon scratch kept at %s\n" dir
+      | None -> ());
+      (* distinct exit code for findings so CI can tell "the fuzzer
+         found a soundness bug" from an infrastructure error *)
+      if not (Campaign.clean s) then exit 4
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Campaign seed.  The whole plan — program seeds, size classes, \
+             use-case axes, oracle choices — derives from it, so the same \
+             seed replays record for record.")
+  in
+  let count =
+    Arg.(
+      value & opt int Campaign.default.Campaign.c_count
+      & info [ "count" ] ~docv:"N" ~doc:"Generated programs to run (default 200).")
+  in
+  let classes =
+    Arg.(
+      value
+      & opt (list string) Campaign.default.Campaign.c_classes
+      & info [ "classes" ] ~docv:"CLS"
+          ~doc:"Generator size classes to draw from: $(b,s), $(b,m), $(b,l).")
+  in
+  let policies =
+    Arg.(
+      value
+      & opt (list policy_conv) Ucp_policy.all
+      & info [ "policies" ] ~docv:"P"
+          ~doc:
+            "Replacement policies to fuzz (default all three: lru, fifo, \
+             plru; plru degrades to lru on non-power-of-two associativity).")
+  in
+  let configs =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "configs" ] ~docv:"IDS"
+          ~doc:
+            "Cache configurations (Table 2 ids).  Overrides $(b,--full)/quick \
+             selection.")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Draw from all 36 Table 2 configurations instead of the quick 12.")
+  in
+  let techs =
+    Arg.(
+      value
+      & opt (list tech_conv) [ Tech.nm45 ]
+      & info [ "techs" ] ~docv:"T" ~doc:"Technology nodes (default 45nm).")
+  in
+  let refine =
+    Arg.(
+      value
+      & opt refine_conv Ucp_refine.Mode.Nc
+      & info [ "refine" ] ~docv:"MODE"
+          ~doc:"Refinement mode of the end-to-end oracle (default nc).")
+  in
+  let refine_full_every =
+    Arg.(
+      value
+      & opt int Campaign.default.Campaign.c_refine_full_every
+      & info [ "refine-full-every" ] ~docv:"N"
+          ~doc:
+            "Expected period of the Mode.Full exploration cross-check oracle \
+             (roughly one case in $(docv) runs it; 0 disables, default 4).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains (default: all cores).")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) (Some 60.)
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:"Per-case cooperative deadline (default 60).")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Deposit shrunk reproducers here (one single-line JSON file per \
+             distinct finding; created if missing).")
+  in
+  let chaos =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos" ] ~docv:"N"
+          ~doc:
+            "Run $(docv) injected-fault legs (alternating corrupt-cert and \
+             corrupt-refine): the audit must catch every one; each catch is \
+             shrunk and deposited like a finding.")
+  in
+  let chaos_serve =
+    Arg.(
+      value & flag
+      & info [ "chaos-serve" ]
+          ~doc:
+            "Also run the live-daemon chaos leg: kill-worker, corrupt-store \
+             and stall-request are injected against an in-process analysis \
+             daemon whose answers must stay byte-identical to batch records.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:"Write the campaign JSONL there instead of stdout.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:
+            "Replay every corpus entry under $(docv) instead of fuzzing: each \
+             stored oracle must reproduce its recorded signature.  Exits 1 on \
+             any mismatch.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generative differential fuzzing: seeded random DSL programs driven \
+          through the abstract-vs-concrete classification oracle, the full \
+          audited pipeline, the Mode.Full exploration cross-check and \
+          batch-vs-daemon identity, with shrinking reproducers and chaos \
+          campaigns.  Exits 0 when clean, 4 on findings.")
+    Term.(
+      const run $ seed $ count $ classes $ policies $ configs $ full $ techs
+      $ refine $ refine_full_every $ jobs $ timeout $ corpus $ chaos
+      $ chaos_serve $ out $ replay)
+
 let socket_arg =
   Arg.(
     required
@@ -1044,6 +1295,7 @@ let () =
             persistence_cmd;
             verify_cmd;
             experiment_cmd;
+            fuzz_cmd;
             serve_cmd;
             query_cmd;
             trace_cmd;

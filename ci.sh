@@ -438,3 +438,88 @@ if [ "$status" -ne 0 ]; then
   exit 1
 fi
 echo "ci: serve smoke passed"
+
+# Fuzzing smoke: a fixed-seed differential campaign must come back
+# clean and record-for-record deterministic; the checked-in reproducer
+# corpus must replay green; and injected corruptions must be caught,
+# shrunk and deposited as replayable reproducers -- with a tampered
+# entry proving the replay comparison actually bites.
+fuzz_dir=$(mktemp -d)
+trap 'rm -f "$smoke_err"; rm -rf "$obs_dir" "$speed_dir" "$refine_dir" "$serve_dir" "$fuzz_dir"' EXIT
+
+# fixed seed, zero findings (exit 0), and a rerun is byte-identical
+# modulo the summary line (the only line carrying wall-clock)
+"$UCP" fuzz --seed 1 --count 60 --timeout 30 -j 2 \
+  --out "$fuzz_dir/a.jsonl" 2>"$fuzz_dir/a.err" || {
+  echo "ci: fuzz smoke: fixed-seed campaign exited non-zero" >&2
+  cat "$fuzz_dir/a.err" >&2
+  exit 1
+}
+"$UCP" fuzz --seed 1 --count 60 --timeout 30 -j 2 \
+  --out "$fuzz_dir/b.jsonl" 2>/dev/null || {
+  echo "ci: fuzz smoke: same-seed rerun exited non-zero" >&2
+  exit 1
+}
+grep -v '"fuzz_summary"' "$fuzz_dir/a.jsonl" >"$fuzz_dir/a.records"
+grep -v '"fuzz_summary"' "$fuzz_dir/b.jsonl" >"$fuzz_dir/b.records"
+cmp -s "$fuzz_dir/a.records" "$fuzz_dir/b.records" || {
+  echo "ci: fuzz smoke: same-seed reruns differ record for record" >&2
+  exit 1
+}
+
+# the checked-in reproducers pin past escapes: every fault entry must
+# still be caught with the same normalized signature
+"$UCP" fuzz --replay corpus >/dev/null 2>"$fuzz_dir/replay.err" || {
+  echo "ci: fuzz smoke: checked-in corpus replay failed" >&2
+  cat "$fuzz_dir/replay.err" >&2
+  exit 1
+}
+
+# negative smoke: chaos legs inject corrupt-cert / corrupt-refine and
+# the audit must catch (or prove no-op) every one; each catch is
+# shrunk, deposited, and replays green from the fresh corpus
+"$UCP" fuzz --seed 3 --count 10 --chaos 8 --corpus "$fuzz_dir/corpus" \
+  --out "$fuzz_dir/c.jsonl" 2>"$fuzz_dir/c.err" || {
+  echo "ci: fuzz smoke: chaos campaign exited non-zero" >&2
+  cat "$fuzz_dir/c.err" >&2
+  exit 1
+}
+grep -q '"verdict":"caught:' "$fuzz_dir/c.jsonl" || {
+  echo "ci: fuzz smoke: no chaos leg reported a caught injection" >&2
+  cat "$fuzz_dir/c.jsonl" >&2
+  exit 1
+}
+if grep -q '"verdict":"escaped:' "$fuzz_dir/c.jsonl"; then
+  echo "ci: fuzz smoke: an injected corruption escaped the audit" >&2
+  exit 1
+fi
+ls "$fuzz_dir/corpus"/*.json >/dev/null 2>&1 || {
+  echo "ci: fuzz smoke: chaos catch deposited no reproducer" >&2
+  exit 1
+}
+"$UCP" fuzz --replay "$fuzz_dir/corpus" >/dev/null 2>"$fuzz_dir/replay2.err" || {
+  echo "ci: fuzz smoke: fresh reproducers do not replay" >&2
+  cat "$fuzz_dir/replay2.err" >&2
+  exit 1
+}
+
+# tamper with a stored signature: replay must notice and exit 1,
+# proving the pin actually compares rather than rubber-stamping
+mkdir "$fuzz_dir/tampered"
+first=$(ls "$fuzz_dir/corpus"/*.json | head -n 1)
+sed 's/"signature":"audit:/"signature":"audit:TAMPERED /' "$first" \
+  >"$fuzz_dir/tampered/entry.json"
+status=0
+"$UCP" fuzz --replay "$fuzz_dir/tampered" \
+  >/dev/null 2>"$fuzz_dir/tamper.err" || status=$?
+if [ "$status" -ne 1 ]; then
+  echo "ci: fuzz smoke: tampered replay exited $status, expected 1" >&2
+  cat "$fuzz_dir/tamper.err" >&2
+  exit 1
+fi
+grep -q 'signature mismatch' "$fuzz_dir/tamper.err" || {
+  echo "ci: fuzz smoke: tampered replay did not report the mismatch" >&2
+  cat "$fuzz_dir/tamper.err" >&2
+  exit 1
+}
+echo "ci: fuzz smoke passed"

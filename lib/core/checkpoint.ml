@@ -203,12 +203,12 @@ let refine_json (s : Ucp_refine.Explore.summary option) =
   | Some s ->
     let open Ucp_refine.Explore in
     Printf.sprintf
-      {|,"refine_mode":%s,"refine_nc_before":%d,"refine_nc":%d,"refine_ah_gained":%d,"refine_am_gained":%d,"refine_tau":%d,"refine_miss_bound":%d,"refine_quant":%s,"refine_states":%d,"refine_budget_hit":%b,"refine_digest":%s|}
+      {|,"refine_mode":%s,"refine_nc_before":%d,"refine_nc":%d,"refine_ah_gained":%d,"refine_am_gained":%d,"refine_tau":%d,"refine_miss_bound":%d,"refine_quant":%s,"refine_states":%d,"refine_budget_hit":%b,"refine_budget_exhausted":%d,"refine_digest":%s|}
       (Report.json_string (Ucp_refine.Mode.to_string s.s_mode))
       s.s_nc_before s.s_nc_after s.s_ah_gained s.s_am_gained s.s_tau
       s.s_miss_bound
       (match s.s_quant with None -> "null" | Some q -> string_of_int q)
-      s.s_states s.s_budget_hit
+      s.s_states s.s_budget_hit s.s_budget_exhausted
       (Report.json_string s.s_digest)
 
 let refine_of_json j : Ucp_refine.Explore.summary option =
@@ -236,6 +236,12 @@ let refine_of_json j : Ucp_refine.Explore.summary option =
           (match field j "refine_budget_hit" with
           | Bool b -> b
           | _ -> raise (Malformed "refine_budget_hit: expected a bool"));
+        (* additive: absent in journals written before the demotion
+           count existed *)
+        s_budget_exhausted =
+          (match opt_field j "refine_budget_exhausted" with
+          | Some v -> to_int v
+          | None -> 0);
         s_digest = to_string (field j "refine_digest");
       }
 
@@ -284,7 +290,7 @@ let audit_of_json j : Pipeline.audit =
 
 let record_line ~id (r : Experiments.record) =
   Printf.sprintf
-    {|{"case":%s,"program":%s,"config_id":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tech":%s,"policy":%s,"prefetches":%d,"rejected":%d%s,"original":%s,"optimized":%s}|}
+    {|{"case":%s,"program":%s,"config_id":%s,"assoc":%d,"block_bytes":%d,"capacity":%d,"tech":%s,"policy":%s,"prefetches":%d,"rejected":%d%s%s,"original":%s,"optimized":%s}|}
     (Report.json_string id)
     (Report.json_string r.Experiments.program_name)
     (Report.json_string r.Experiments.config_id)
@@ -293,6 +299,9 @@ let record_line ~id (r : Experiments.record) =
     (Report.json_string r.Experiments.tech.Tech.label)
     (Report.json_string (Ucp_policy.to_string r.Experiments.policy))
     r.Experiments.prefetches r.Experiments.rejected
+    (* additive generator provenance, recomputed from the program name
+       (so a resume rewrite reproduces it byte for byte) *)
+    (Report.gen_json r.Experiments.program_name)
     (audit_json r.Experiments.audit)
     (measurement_json r.Experiments.original)
     (measurement_json r.Experiments.optimized)

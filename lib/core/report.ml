@@ -252,8 +252,25 @@ let refine_json_side suffix (s : Ucp_refine.Explore.summary option) =
           (match s.s_quant with None -> "null" | Some q -> string_of_int q);
         kv "refine_states" (string_of_int s.s_states);
         kv "refine_budget_hit" (string_of_bool s.s_budget_hit);
+        kv "refine_budget_exhausted" (string_of_int s.s_budget_exhausted);
         kv "refine_digest" (json_string s.s_digest);
       ]
+
+(* generator provenance, recovered from the program name: generated
+   programs are named by {!Ucp_workloads.Generate.name}, so any JSONL
+   line that identifies its program can carry the full reproducer
+   [(seed, shape)] as additive fields — empty for suite programs *)
+let gen_json program_name =
+  match Ucp_workloads.Generate.parse_name program_name with
+  | None -> ""
+  | Some (seed, cls) ->
+    Printf.sprintf {|,"gen_seed":%d,"gen_shape":%s|} seed (json_string cls)
+
+(* case ids are "<program>:<config>:<tech>:<policy>" *)
+let gen_json_of_case_id id =
+  match String.index_opt id ':' with
+  | None -> gen_json id
+  | Some i -> gen_json (String.sub id 0 i)
 
 let record_json (r : Experiments.record) =
   let m = r.Experiments.original and o = r.Experiments.optimized in
@@ -441,10 +458,15 @@ let sweep_jsonl ~wall_s ~jobs ~timings ?(outcomes = []) ?metrics records =
   List.iter
     (fun (id, o) ->
       if not (Outcome.is_ok o) then begin
+        (* failed / timed-out / invariant-violating cases echo their
+           generator provenance, so the failure is replayable from the
+           artifact alone *)
         Buffer.add_string buf
-          (Printf.sprintf {|{"case":%s,"outcome":%s,"detail":%s}|} (json_string id)
+          (Printf.sprintf {|{"case":%s,"outcome":%s,"detail":%s%s}|}
+             (json_string id)
              (json_string (Outcome.label o))
-             (json_string (Outcome.describe o)));
+             (json_string (Outcome.describe o))
+             (gen_json_of_case_id id));
         Buffer.add_char buf '\n'
       end)
     outcomes;

@@ -49,6 +49,14 @@ val json_string : string -> string
     control characters).  Shared by {!record_json} and the checkpoint
     journal. *)
 
+val gen_json : string -> string
+(** Generator-provenance suffix for a program name: when the name is a
+    {!Ucp_workloads.Generate.name} (["gen-<class>-<seed>"]), the
+    additive [,"gen_seed":..,"gen_shape":..] JSONL fields that make any
+    record carrying them replayable from the artifact alone; [""] for
+    suite programs.  Appended to sweep failure lines and checkpoint
+    journal entries. *)
+
 val record_json : Experiments.record -> string
 (** One use case as a single-line JSON object: program/config/tech/policy
     identification, the cache geometry, and both measurements

@@ -1,0 +1,76 @@
+(** The fuzzing campaign driver behind [ucp fuzz].
+
+    A campaign is a pure function of its {!config}: the plan — which
+    generator seeds, size classes and use-case axes each case gets, and
+    which oracles run on it — is drawn up front from one SplitMix64
+    stream seeded with [c_seed], and per-case JSONL lines carry no
+    wall-clock data, so re-running the same configuration is
+    record-for-record identical (only the summary line has [wall_s]).
+
+    Cases run on the fault-isolated {!Ucp_core.Parallel.try_map} pool
+    under a per-case deadline.  Findings are deduplicated by signature,
+    shrunk with {!Shrink}, deposited in the {!Corpus} and emitted as
+    their own JSONL lines. *)
+
+type config = {
+  c_seed : int;  (** campaign seed — the whole plan derives from it *)
+  c_count : int;  (** generated programs to run *)
+  c_classes : string list;  (** {!Ucp_workloads.Generate.classes} keys *)
+  c_policies : Ucp_policy.id list;
+  c_configs : (string * Ucp_cache.Config.t) list;
+  c_techs : Ucp_energy.Tech.t list;
+  c_refine : Ucp_refine.Mode.t;  (** refine mode of the end-to-end oracle *)
+  c_refine_full_every : int;
+      (** expected period of the (expensive) Mode.Full cross-check
+          oracle; 0 disables it *)
+  c_jobs : int option;  (** worker domains (default {!Ucp_core.Parallel.default_jobs}) *)
+  c_timeout : float option;  (** per-case deadline, seconds *)
+  c_corpus : string option;  (** deposit shrunk reproducers here *)
+  c_chaos : int;  (** injected corrupt-cert/corrupt-refine legs to run *)
+  c_serve : string option;
+      (** when set: scratch directory for the live-daemon chaos leg
+          (kill-worker, corrupt-store, stall-request against an
+          in-process [ucp serve]) *)
+}
+
+val default : config
+(** Seed 1, 200 cases, all classes and policies, the quick 12-config
+    subset, 45nm, refine [Nc], refine-full every ~4th case, 60 s
+    per-case deadline, no corpus, no chaos. *)
+
+type summary = {
+  s_cases : int;
+  s_pass : int;
+  s_findings : int;
+      (** soundness findings, occurrences (includes escaped faults) *)
+  s_distinct : int;  (** deduplicated signatures *)
+  s_caught : int;  (** injected faults detected (chaos legs) *)
+  s_escaped : int;  (** injected faults that were NOT detected *)
+  s_timeouts : int;
+  s_failed : int;  (** cases whose oracles themselves crashed *)
+  s_budget_exhausted : int;
+      (** summed refine budget-exhaustion demotions across cases *)
+  s_corpus : string list;  (** reproducer paths deposited this run *)
+  s_chaos_ok : int;  (** daemon chaos legs that healed *)
+  s_chaos_total : int;
+}
+
+val run :
+  ?emit:(string -> unit) ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  config ->
+  summary
+(** Execute the campaign.  [?emit] receives each JSONL line (per-case
+    records, finding records with shrunk reproducers, chaos records,
+    and finally the one summary line carrying [wall_s] and the metrics
+    snapshot). *)
+
+val clean : summary -> bool
+(** No findings, no escaped faults, no crashed oracles, every daemon
+    chaos leg healed — the campaign verdict [ucp fuzz] exits 0 on. *)
+
+val replay_corpus :
+  ?emit:(string -> unit) -> dir:string -> unit -> int * (string * string) list
+(** Replay every corpus entry under [dir]: [(ok_count, failures)] where
+    each failure is [(path, reason)].  The CI pin: checked-in fault
+    reproducers must keep being caught with the recorded signature. *)

@@ -1,0 +1,277 @@
+(* The differential oracles: every end-to-end soundness claim the
+   reproduction makes, phrased as a check over one generated program.
+
+   Each oracle returns a structured {!verdict} instead of raising, so
+   the campaign runner can count, deduplicate and shrink findings.  A
+   finding's [f_signature] is its deduplication key: the oracle name
+   plus the failure message with digit runs collapsed, so two seeds
+   tripping the same check on different slot numbers triage as one
+   bug. *)
+
+module Dsl = Ucp_workloads.Dsl
+module Generate = Ucp_workloads.Generate
+module Config = Ucp_cache.Config
+module Tech = Ucp_energy.Tech
+module Wcet = Ucp_wcet.Wcet
+module Analysis = Ucp_wcet.Analysis
+module Classification = Ucp_wcet.Classification
+module Simulator = Ucp_sim.Simulator
+module Vivu = Ucp_cfg.Vivu
+module Program = Ucp_isa.Program
+module Experiments = Ucp_core.Experiments
+module Pipeline = Ucp_core.Pipeline
+module Outcome = Ucp_core.Outcome
+module Explore = Ucp_refine.Explore
+module Mode = Ucp_refine.Mode
+module Deadline = Ucp_util.Deadline
+
+type finding = { f_oracle : string; f_signature : string; f_detail : string }
+
+type verdict = Pass | Finding of finding | Caught of finding
+
+type fault = Corrupt_cert | Corrupt_refine
+
+let fault_to_string = function
+  | Corrupt_cert -> "corrupt-cert"
+  | Corrupt_refine -> "corrupt-refine"
+
+let fault_of_string = function
+  | "corrupt-cert" -> Some Corrupt_cert
+  | "corrupt-refine" -> Some Corrupt_refine
+  | _ -> None
+
+(* digit runs and long hex runs -> '#': "slot (14,3) missed" matches
+   "slot (7,1) missed", and two digest-mismatch messages with different
+   MD5 fragments are the same bug *)
+let normalize msg =
+  let n = String.length msg in
+  let b = Buffer.create n in
+  let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false in
+  let is_digit c = c >= '0' && c <= '9' in
+  let i = ref 0 in
+  while !i < n do
+    if is_hex msg.[!i] then begin
+      let j = ref !i in
+      while !j < n && is_hex msg.[!j] do incr j done;
+      let run = String.sub msg !i (!j - !i) in
+      if !j - !i >= 8 || String.for_all is_digit run then Buffer.add_char b '#'
+      else Buffer.add_string b run;
+      i := !j
+    end
+    else begin
+      Buffer.add_char b msg.[!i];
+      incr i
+    end
+  done;
+  let s = Buffer.contents b in
+  if String.length s > 160 then String.sub s 0 160 else s
+
+let finding ~oracle detail =
+  { f_oracle = oracle; f_signature = oracle ^ ":" ^ normalize detail; f_detail = detail }
+
+(* ------------------------------------------------------------------ *)
+(* targets *)
+
+type target = {
+  t_name : string;
+  t_body : Dsl.stmt list;
+  t_procs : (string * Dsl.stmt list) list;
+  t_policy : Ucp_policy.id;
+  t_config_id : string;
+  t_config : Config.t;
+  t_tech : Tech.t;
+}
+
+let of_gen ~seed ~cls ~policy ~config_id ~config ~tech =
+  let body, procs = Generate.stmts ~seed ~cls in
+  {
+    t_name = Generate.name ~seed ~cls;
+    t_body = body;
+    t_procs = procs;
+    t_policy = policy;
+    t_config_id = config_id;
+    t_config = config;
+    t_tech = tech;
+  }
+
+let with_prog t ((body, procs) : Shrink.prog) = { t with t_body = body; t_procs = procs }
+
+let prog t = (t.t_body, t.t_procs)
+
+let compile t = Dsl.compile ~procs:t.t_procs ~name:t.t_name t.t_body
+
+let case t =
+  {
+    Experiments.case_program_name = t.t_name;
+    case_program = compile t;
+    case_config_id = t.t_config_id;
+    case_config = t.t_config;
+    case_tech = t.t_tech;
+    case_policy = t.t_policy;
+  }
+
+let case_id t = Experiments.case_id (case t)
+
+(* an oracle body that raises (other than a deadline) is itself a
+   finding: generated programs must never crash the pipeline *)
+let guard ~oracle f =
+  try f () with
+  | Deadline.Deadline_exceeded -> raise Deadline.Deadline_exceeded
+  | exn -> Finding (finding ~oracle ("exception: " ^ Printexc.to_string exn))
+
+(* ------------------------------------------------------------------ *)
+(* oracle 1: abstract classification vs the concrete simulator *)
+
+(* per static slot, the meet of the classifications over every VIVU
+   context: only a slot that is always-hit in *every* context may claim
+   "never misses" against a trace that does not know its context *)
+let meet_classifications analysis program =
+  let vivu = Analysis.vivu analysis in
+  let tbl = Hashtbl.create 997 in
+  for node = 0 to Vivu.node_count vivu - 1 do
+    let nd = Vivu.node vivu node in
+    let b = nd.Vivu.block in
+    for pos = 0 to Program.slots program b - 1 do
+      let c = Analysis.classif analysis ~node ~pos in
+      match Hashtbl.find_opt tbl (b, pos) with
+      | None -> Hashtbl.replace tbl (b, pos) c
+      | Some prev ->
+        if prev <> c then Hashtbl.replace tbl (b, pos) Classification.Not_classified
+    done
+  done;
+  tbl
+
+let classification ?deadline ?(sim_seed = 42) t =
+  guard ~oracle:"classification" (fun () ->
+      let program = compile t in
+      let model = Pipeline.model t.t_config t.t_tech in
+      let w =
+        Wcet.compute ?deadline ~with_may:true ~policy:t.t_policy program t.t_config
+          model
+      in
+      let tbl = meet_classifications w.Wcet.analysis program in
+      let violation = ref None in
+      let on_fetch ~block ~pos ~hit =
+        if !violation = None then
+          match Hashtbl.find_opt tbl (block, pos) with
+          | Some Classification.Always_hit when not hit ->
+            violation := Some (Printf.sprintf "always-hit slot (%d,%d) missed" block pos)
+          | Some Classification.Always_miss when hit ->
+            violation := Some (Printf.sprintf "always-miss slot (%d,%d) hit" block pos)
+          | _ -> ()
+      in
+      ignore
+        (Simulator.run ~seed:sim_seed ~policy:t.t_policy ~on_fetch program t.t_config
+           model);
+      match !violation with
+      | None -> Pass
+      | Some msg -> Finding (finding ~oracle:"classification" msg))
+
+(* ------------------------------------------------------------------ *)
+(* oracle 2: the full pipeline under audit — Theorem 1, Eq. 5-9, IPET
+   certificates, witness replay, refine digests, plus the runtime
+   invariant guard (ACET <= tau, misses <= bound) *)
+
+(* did the corrupt-refine hook actually change anything?  The lie only
+   lands when some focus reference is not already proven always-hit;
+   otherwise the injection is a no-op and a clean run is the correct
+   outcome.  Decided by digest comparison of the exploration with and
+   without the hook — the same digests the audit itself compares. *)
+let refine_fault_applies ?deadline ~refine t =
+  let program = compile t in
+  let model = Pipeline.model t.t_config t.t_tech in
+  let w =
+    Wcet.compute ?deadline ~with_may:true ~policy:t.t_policy program t.t_config model
+  in
+  match
+    (Explore.run ?deadline ~mode:refine w, Explore.run ?deadline ~mode:refine ~corrupt:true w)
+  with
+  | Some (s0, _), Some (s1, _) -> s0.Explore.s_digest <> s1.Explore.s_digest
+  | _ -> false
+
+let endtoend ?deadline ?fault ?(refine = Mode.Nc) t =
+  let oracle = "audit" in
+  guard ~oracle (fun () ->
+      let c = case t in
+      let model = Pipeline.model t.t_config t.t_tech in
+      let corrupt_cert = fault = Some Corrupt_cert in
+      let corrupt_refine = fault = Some Corrupt_refine in
+      match
+        Experiments.run_case ?deadline ~audit:true ~corrupt_cert ~refine
+          ~corrupt_refine ~model c
+      with
+      | r -> (
+        match fault with
+        | Some Corrupt_refine when not (refine_fault_applies ?deadline ~refine t) ->
+          (* nothing to corrupt on this program: the clean completion is
+             correct, not an escape *)
+          Pass
+        | Some f ->
+          (* the injected lie survived every obligation: that is the
+             finding, and a grave one *)
+          Finding
+            (finding ~oracle
+               (Printf.sprintf "injected %s escaped the audit" (fault_to_string f)))
+        | None -> (
+          match Experiments.check_invariants r with
+          | Ok () -> Pass
+          | Error msg -> Finding (finding ~oracle ("invariant: " ^ msg))))
+      | exception Outcome.Invariant msg -> (
+        match fault with
+        | Some _ -> Caught (finding ~oracle msg)
+        | None -> Finding (finding ~oracle msg))
+      | exception Explore.Unsound msg ->
+        Finding (finding ~oracle ("refine-unsound: " ^ msg)))
+
+(* ------------------------------------------------------------------ *)
+(* oracle 3: Mode.Full exploration cross-check — the exact product
+   automaton must never contradict an abstract AH/AM *)
+
+let refine_full ?deadline t =
+  let oracle = "refine-full" in
+  let budget_exhausted = ref 0 in
+  let v =
+    guard ~oracle (fun () ->
+        let program = compile t in
+        let model = Pipeline.model t.t_config t.t_tech in
+        let w =
+          Wcet.compute ?deadline ~with_may:true ~policy:t.t_policy program t.t_config
+            model
+        in
+        match Explore.run ?deadline ~mode:Mode.Full w with
+        | None -> Pass
+        | Some (s, _) ->
+          budget_exhausted := s.Explore.s_budget_exhausted;
+          Pass
+        | exception Explore.Unsound msg -> Finding (finding ~oracle msg))
+  in
+  (v, !budget_exhausted)
+
+(* ------------------------------------------------------------------ *)
+(* oracle 4: the analysis service must answer byte-identically to a
+   batch sweep for the same case *)
+
+let serve_identity ?deadline ?(retries = 8) ?(refine = Mode.Nc) ~socket t =
+  let oracle = "serve-identity" in
+  guard ~oracle (fun () ->
+      let c = case t in
+      let id = Experiments.case_id c in
+      let model = Pipeline.model t.t_config t.t_tech in
+      let local = Experiments.run_case ?deadline ~refine ~model c in
+      let expected = Ucp_core.Report.record_json local in
+      let module P = Ucp_serve.Protocol in
+      match Ucp_serve.Client.query ~retries ~socket (P.Case id) with
+      | Ok (P.Record { json; _ }) ->
+        if String.equal json expected then Pass
+        else
+          Finding
+            (finding ~oracle
+               (Printf.sprintf "daemon answer differs from batch record for %s" id))
+      | Ok (P.Failed { message; _ }) ->
+        Finding (finding ~oracle (Printf.sprintf "daemon failed %s: %s" id message))
+      | Ok (P.Retry { reason; _ }) ->
+        Finding (finding ~oracle (Printf.sprintf "daemon kept shedding %s: %s" id reason))
+      | Ok (P.Health_stats _ | P.Bye) ->
+        Finding (finding ~oracle "daemon returned an unexpected response kind")
+      | Error msg ->
+        Finding (finding ~oracle (Printf.sprintf "daemon unreachable for %s: %s" id msg)))

@@ -1,0 +1,126 @@
+(** Differential soundness oracles over generated programs.
+
+    Each oracle checks one end-to-end claim of the reproduction on one
+    {!target} and reports a {!verdict} instead of raising, so the
+    campaign driver can count, deduplicate (by {!finding} signature)
+    and shrink what it finds.  All oracles are deterministic functions
+    of the target (simulator seeds are fixed), which is what makes
+    record-for-record campaign replay possible. *)
+
+type finding = {
+  f_oracle : string;  (** which oracle fired *)
+  f_signature : string;
+      (** dedup key: oracle name + failure message with digit runs
+          collapsed to [#], so the same bug at different slot numbers
+          triages once *)
+  f_detail : string;  (** the full failure message *)
+}
+
+type verdict =
+  | Pass
+  | Finding of finding  (** a soundness violation on a clean run *)
+  | Caught of finding
+      (** an injected fault detected by the defence it targets — the
+          expected verdict of a chaos case *)
+
+(** The corruption modes the end-to-end oracle can inject (the
+    process-level faults — kill-worker, corrupt-store, stall-request —
+    are driven by the campaign through {!Ucp_core.Parallel.Fault} and a
+    live daemon instead). *)
+type fault = Corrupt_cert | Corrupt_refine
+
+val fault_to_string : fault -> string
+(** ["corrupt-cert"] / ["corrupt-refine"] — matches the
+    {!Ucp_core.Parallel.Fault} spec syntax. *)
+
+val fault_of_string : string -> fault option
+
+val normalize : string -> string
+(** The signature normalization: digit runs become [#], output is
+    truncated to 160 bytes. *)
+
+val finding : oracle:string -> string -> finding
+
+(** {2 Targets} *)
+
+type target = {
+  t_name : string;
+  t_body : Ucp_workloads.Dsl.stmt list;
+  t_procs : (string * Ucp_workloads.Dsl.stmt list) list;
+  t_policy : Ucp_policy.id;
+  t_config_id : string;
+  t_config : Ucp_cache.Config.t;
+  t_tech : Ucp_energy.Tech.t;
+}
+(** One fuzz case: a DSL program plus the use-case axes it runs
+    under. *)
+
+val of_gen :
+  seed:int ->
+  cls:string ->
+  policy:Ucp_policy.id ->
+  config_id:string ->
+  config:Ucp_cache.Config.t ->
+  tech:Ucp_energy.Tech.t ->
+  target
+(** Draw the target's program from {!Ucp_workloads.Generate}. *)
+
+val with_prog : target -> Shrink.prog -> target
+(** Same axes, different program — how the shrinker re-tests
+    candidates. *)
+
+val prog : target -> Shrink.prog
+
+val compile : target -> Ucp_isa.Program.t
+
+val case : target -> Ucp_core.Experiments.case
+
+val case_id : target -> string
+
+(** {2 The oracles} *)
+
+val classification :
+  ?deadline:Ucp_util.Deadline.t -> ?sim_seed:int -> target -> verdict
+(** Abstract-vs-concrete differential: computes the per-slot meet of
+    the abstract classification over all VIVU contexts, then replays
+    the program through {!Ucp_sim.Simulator} under the same policy and
+    fails on any always-hit slot that misses or always-miss slot that
+    hits. *)
+
+val endtoend :
+  ?deadline:Ucp_util.Deadline.t ->
+  ?fault:fault ->
+  ?refine:Ucp_refine.Mode.t ->
+  target ->
+  verdict
+(** The full pipeline under audit ({!Ucp_core.Experiments.run_case}
+    with [~audit:true]): Theorem 1, the Eq. 5-9 runtime invariants, the
+    IPET certificate, witness replay and refine-digest obligations.
+    With [?fault], the corresponding corruption is injected and the
+    verdict is [Caught] when the audit detects it — a completed run
+    under an armed fault is itself a [Finding] (the lie escaped),
+    except for a [Corrupt_refine] injection with nothing to corrupt
+    (every focus reference already proven always-hit, decided by digest
+    comparison), where the clean completion is the correct outcome and
+    the verdict is [Pass]. *)
+
+val refine_full :
+  ?deadline:Ucp_util.Deadline.t -> target -> verdict * int
+(** {!Ucp_refine.Explore.run} in {!Ucp_refine.Mode.Full}: the exact
+    product exploration must never contradict an abstract AH/AM
+    ({!Ucp_refine.Explore.Unsound} is the finding).  Also returns the
+    summary's budget-exhaustion count ([s_budget_exhausted], 0 when
+    exploration was skipped). *)
+
+val serve_identity :
+  ?deadline:Ucp_util.Deadline.t ->
+  ?retries:int ->
+  ?refine:Ucp_refine.Mode.t ->
+  socket:string ->
+  target ->
+  verdict
+(** Batch-vs-daemon differential: computes the case locally with
+    {!Ucp_core.Experiments.run_case}, queries a running [ucp serve]
+    daemon for the same case id, and requires the two JSON records to
+    be byte-identical.  [?refine] must match the daemon's configured
+    mode. *)

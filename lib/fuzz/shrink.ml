@@ -1,0 +1,165 @@
+(* DSL-level delta debugging.
+
+   A reproducer is only useful small: the generator finds failures in
+   40-statement loop nests, the human debugging them wants the 3-
+   statement core.  [run] greedily applies single-step reductions —
+   drop a statement, hoist a structured body, shrink a constant — as
+   long as the caller's predicate still fails, until no single step
+   reproduces.  Everything is deterministic: candidates are enumerated
+   in a fixed depth-first order and the first reproducing one is taken,
+   so the same failing program shrinks to the same minimum on every
+   machine.
+
+   Every candidate offered to the predicate is {!Dsl.validate}-clean by
+   construction and re-checked before use: reductions preserve
+   [1 <= trips <= bound] (trips only ever shrink toward 1, bounds are
+   never lowered below trips), never empty a loop body (a loop whose
+   body would vanish is itself removed or hoisted instead), and keep
+   [Far]/procedure well-formedness (dropping a procedure is only
+   offered once no call site remains). *)
+
+module Dsl = Ucp_workloads.Dsl
+module Branch_model = Ucp_isa.Branch_model
+module Deadline = Ucp_util.Deadline
+
+type prog = Dsl.stmt list * (string * Dsl.stmt list) list
+
+(* ------------------------------------------------------------------ *)
+(* single-step reductions of a statement list, innermost last: the
+   candidate order prefers big cuts (dropping whole statements) over
+   local simplifications, which keeps the greedy loop short *)
+
+(* all lists obtained by replacing the [i]th statement with zero or
+   more statements *)
+let splice stmts i repl =
+  List.concat (List.mapi (fun j s -> if j = i then repl else [ s ]) stmts)
+
+let simpler_model = function
+  | Branch_model.Always_taken -> None
+  | _ -> Some Branch_model.Always_taken
+
+(* candidates for one statement, in order: structural hoists first,
+   then in-place simplifications, then recursive descent *)
+let rec stmt_candidates (s : Dsl.stmt) : Dsl.stmt list Seq.t =
+  match s with
+  | Dsl.Compute n ->
+    if n > 1 then Seq.cons [ Dsl.Compute 0 ] (Seq.return [ Dsl.Compute (n / 2) ])
+    else if n = 1 then Seq.return [ Dsl.Compute 0 ]
+    else Seq.empty
+  | Dsl.If (m, then_, else_) ->
+    Seq.append
+      (* hoist either branch *)
+      (Seq.append (Seq.return then_) (Seq.return else_))
+      (Seq.append
+         (match simpler_model m with
+         | Some m' -> Seq.return [ Dsl.If (m', then_, else_) ]
+         | None -> Seq.empty)
+         (Seq.append
+            (Seq.map (fun t -> [ Dsl.If (m, t, else_) ]) (list_candidates then_))
+            (Seq.map (fun e -> [ Dsl.If (m, then_, e) ]) (list_candidates else_))))
+  | Dsl.Loop { bound; trips; body } ->
+    Seq.append
+      (Seq.return body) (* hoist: one straight-line iteration *)
+      (Seq.append
+         (if trips > 1 then
+            Seq.cons
+              [ Dsl.Loop { bound; trips = 1; body } ]
+              (Seq.return [ Dsl.Loop { bound; trips = trips / 2; body } ])
+          else Seq.empty)
+         (Seq.append
+            (if bound > trips then
+               Seq.return [ Dsl.Loop { bound = trips; trips; body } ]
+             else Seq.empty)
+            (* loop bodies must stay nonempty: candidates emptying the
+               body are filtered here, the hoist above covers them *)
+            (Seq.filter_map
+               (fun b -> if b = [] then None else Some [ Dsl.Loop { bound; trips; body = b } ])
+               (list_candidates body))))
+  | Dsl.Far body ->
+    Seq.append (Seq.return body)
+      (Seq.map (fun b -> [ Dsl.Far b ]) (list_candidates body))
+  | Dsl.Call _ -> Seq.return [ Dsl.Compute 0 ]
+
+(* candidates for a statement list: for each position, first drop the
+   statement entirely, then its per-statement reductions *)
+and list_candidates (stmts : Dsl.stmt list) : Dsl.stmt list Seq.t =
+  let indexed = List.mapi (fun i s -> (i, s)) stmts in
+  Seq.concat_map
+    (fun (i, s) ->
+      Seq.cons (splice stmts i []) (Seq.map (splice stmts i) (stmt_candidates s)))
+    (List.to_seq indexed)
+
+let candidates ((body, procs) : prog) : prog Seq.t =
+  let calls stmts =
+    let rec count acc = function
+      | Dsl.Call n -> n :: acc
+      | Dsl.Compute _ -> acc
+      | Dsl.If (_, t, e) -> List.fold_left count (List.fold_left count acc t) e
+      | Dsl.Loop { body; _ } | Dsl.Far body -> List.fold_left count acc body
+    in
+    List.fold_left count [] stmts
+  in
+  let body_cands = Seq.map (fun b -> (b, procs)) (list_candidates body) in
+  (* drop a procedure no remaining statement calls *)
+  let referenced =
+    List.concat (calls body :: List.map (fun (_, b) -> calls b) procs)
+  in
+  let drop_procs =
+    Seq.filter_map
+      (fun (name, _) ->
+        if List.mem name referenced then None
+        else Some (body, List.filter (fun (n, _) -> n <> name) procs))
+      (List.to_seq procs)
+  in
+  (* shrink a procedure body (procedures may call earlier ones, so the
+     same list reductions apply; empties are fine — an empty procedure
+     is just a no-op call target) *)
+  let proc_cands =
+    Seq.concat_map
+      (fun (name, pbody) ->
+        Seq.map
+          (fun pb ->
+            (body, List.map (fun (n, b) -> if n = name then (n, pb) else (n, b)) procs))
+          (list_candidates pbody))
+      (List.to_seq procs)
+  in
+  Seq.filter
+    (fun (b, ps) -> Result.is_ok (Dsl.validate ~procs:ps b))
+    (Seq.append body_cands (Seq.append drop_procs proc_cands))
+
+(* ------------------------------------------------------------------ *)
+
+let size ((body, procs) : prog) =
+  let rec stmt acc = function
+    | Dsl.Compute _ | Dsl.Call _ -> acc + 1
+    | Dsl.If (_, t, e) -> List.fold_left stmt (List.fold_left stmt (acc + 1) t) e
+    | Dsl.Loop { body; _ } | Dsl.Far body -> List.fold_left stmt (acc + 1) body
+  in
+  List.fold_left stmt
+    (List.fold_left (fun acc (_, b) -> List.fold_left stmt acc b) 0 procs)
+    body
+
+let run ?deadline ?(max_steps = 10_000) ~still_fails (p : prog) : prog * int =
+  let steps = ref 0 in
+  let cur = ref p in
+  (try
+     let progress = ref true in
+     while !progress && !steps < max_steps do
+       progress := false;
+       (* first reproducing candidate wins; restart enumeration from
+          the reduced program (greedy ddmin) *)
+       (match
+          Seq.find
+            (fun cand ->
+              Deadline.check deadline;
+              still_fails cand)
+            (candidates !cur)
+        with
+       | Some cand ->
+         cur := cand;
+         incr steps;
+         progress := true
+       | None -> ())
+     done
+   with Deadline.Deadline_exceeded -> ());
+  (!cur, !steps)

@@ -1,0 +1,44 @@
+(** Deterministic DSL-level delta debugging.
+
+    Reduces a failing generated program to a minimal reproducer:
+    {!run} greedily applies the first single-step reduction whose
+    result still fails the caller's predicate, restarting until no
+    single step reproduces — so the result is 1-minimal with respect to
+    {!candidates}.  Candidate enumeration is a fixed depth-first order
+    over the term, making shrinking a pure function of
+    [(program, predicate)]: the same failure shrinks to the same
+    minimum on every machine. *)
+
+type prog = Ucp_workloads.Dsl.stmt list * (string * Ucp_workloads.Dsl.stmt list) list
+(** [(body, procedures)] — the pair {!Ucp_workloads.Generate.gen}
+    draws and {!Ucp_workloads.Dsl.compile} consumes. *)
+
+val candidates : prog -> prog Seq.t
+(** All single-step reductions, in the deterministic order {!run}
+    tries them: per body position, dropping the statement, hoisting a
+    structured body ([If] branch / one [Loop] iteration / [Far] body),
+    simplifying in place (constants halve toward 0, [trips] toward 1,
+    [bound] toward [trips], branch models toward [Always_taken], calls
+    to [Compute 0]), then the same inside procedure bodies, plus
+    dropping procedures that no remaining statement calls.  Every
+    candidate satisfies {!Ucp_workloads.Dsl.validate} ([trips <= bound]
+    and [Far]/loop-body well-formedness are preserved by
+    construction). *)
+
+val size : prog -> int
+(** Statement count over body and procedures (shrinking decreases it
+    strictly on every accepted step). *)
+
+val run :
+  ?deadline:Ucp_util.Deadline.t ->
+  ?max_steps:int ->
+  still_fails:(prog -> bool) ->
+  prog ->
+  prog * int
+(** [run ~still_fails p] is [(minimal, accepted_steps)].  [still_fails]
+    must return [true] when its argument still reproduces the original
+    failure; it is only ever called on validate-clean candidates.  The
+    result is the input itself when no candidate reproduces.  An
+    expired [?deadline] (or [?max_steps], default 10000, exhausted)
+    stops early and returns the best reduction so far — still a valid
+    reproducer, just not necessarily 1-minimal. *)

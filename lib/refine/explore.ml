@@ -42,6 +42,7 @@ type summary = {
   s_quant : int option;
   s_states : int;
   s_budget_hit : bool;
+  s_budget_exhausted : int;
   s_digest : string;
 }
 
@@ -59,9 +60,10 @@ let refine_budget_exhausted_total =
    concluded: the audit recomputes the exploration from the same
    inputs and compares digests, so any tampering with the reclassified
    facts (or the bounds derived from them) is caught byte-for-byte. *)
-let digest ~mode ~policy ~overrides ~tau ~miss_bound ~quant ~states ~budget_hit =
+let digest ~mode ~policy ~overrides ~tau ~miss_bound ~quant ~states ~budget_hit
+    ~budget_exhausted =
   let b = Buffer.create 256 in
-  Buffer.add_string b "ucp-refine-v1\n";
+  Buffer.add_string b "ucp-refine-v2\n";
   Buffer.add_string b (Mode.to_string mode);
   Buffer.add_char b '\n';
   Buffer.add_string b (Ucp_policy.to_string policy);
@@ -72,10 +74,10 @@ let digest ~mode ~policy ~overrides ~tau ~miss_bound ~quant ~states ~budget_hit 
         (Printf.sprintf "%d:%d:%s\n" node pos (Classification.to_string cls)))
     overrides;
   Buffer.add_string b
-    (Printf.sprintf "tau %d\nmiss %d\nquant %s\nstates %d\nbudget %b\n" tau
-       miss_bound
+    (Printf.sprintf "tau %d\nmiss %d\nquant %s\nstates %d\nbudget %b\ndemoted %d\n"
+       tau miss_bound
        (match quant with None -> "-" | Some q -> string_of_int q)
-       states budget_hit);
+       states budget_hit budget_exhausted);
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 let run_plain ?deadline ?budget ~corrupt ~mode (w : Wcet.t) =
@@ -116,16 +118,27 @@ let run_plain ?deadline ?budget ~corrupt ~mode (w : Wcet.t) =
   let sets = List.sort compare (Hashtbl.fold (fun s _ acc -> s :: acc) by_set []) in
   let states = ref 0 in
   let budget_hit = ref false in
+  let budget_exhausted = ref 0 in
   let overrides = ref [] in
   List.iter
     (fun set ->
       Deadline.check deadline;
       let r = Product.reachable ?deadline ?budget ~policy ~set vivu layout config in
       states := !states + r.Product.visited;
-      if r.Product.exhausted then
+      if r.Product.exhausted then begin
         (* partial reachability proves nothing: every focus reference
-           of this set degrades gracefully to Genuinely_unknown *)
-        budget_hit := true
+           of this set degrades gracefully to Genuinely_unknown; count
+           the Not_classified refs actually demoted so campaigns can
+           tell "sound but imprecise" from "suspicious" geometries *)
+        budget_hit := true;
+        List.iter
+          (fun (node, pos) ->
+            if
+              Analysis.classif analysis ~node ~pos
+              = Classification.Not_classified
+            then incr budget_exhausted)
+          !(Hashtbl.find by_set set)
+      end
       else begin
         (* regroup this set's focus refs per expanded node *)
         let per_node : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
@@ -233,7 +246,7 @@ let run_plain ?deadline ?budget ~corrupt ~mode (w : Wcet.t) =
   let miss_bound = Analysis.miss_count_bound refined_analysis in
   let dg =
     digest ~mode ~policy ~overrides ~tau ~miss_bound ~quant ~states:!states
-      ~budget_hit:!budget_hit
+      ~budget_hit:!budget_hit ~budget_exhausted:!budget_exhausted
   in
   Ucp_obs.Metrics.add (Lazy.force refine_refs_total) (List.length !focus_all);
   Ucp_obs.Metrics.add
@@ -254,6 +267,7 @@ let run_plain ?deadline ?budget ~corrupt ~mode (w : Wcet.t) =
       s_quant = quant;
       s_states = !states;
       s_budget_hit = !budget_hit;
+      s_budget_exhausted = !budget_exhausted;
       s_digest = dg;
     }
   in

@@ -32,6 +32,11 @@ type summary = {
   s_budget_hit : bool;
       (** at least one set's exploration hit the state budget and was
           discarded *)
+  s_budget_exhausted : int;
+      (** focus references demoted to {!Genuinely_unknown} because
+          their set's exploration exhausted the budget — distinguishes
+          "sound but imprecise" geometries (large counts, no finding)
+          from genuinely suspicious ones in fuzz and sweep records *)
   s_digest : string;
       (** MD5 over mode, policy, every reclassification and the derived
           bounds — the audit recomputes the exploration and compares *)

@@ -94,13 +94,23 @@ let model t (c : Experiments.case) =
 (* ------------------------------------------------------------------ *)
 (* case-id resolution *)
 
+(* generated programs ("gen-<class>-<seed>") resolve by regeneration:
+   the name is the reproducer, so the daemon can serve fuzz cases no
+   suite ships *)
+let resolve_program pname =
+  match Suite.find pname with
+  | program -> Ok program
+  | exception Not_found -> (
+    match Ucp_workloads.Generate.parse_name pname with
+    | Some (seed, cls) -> Ok (Ucp_workloads.Generate.program ~seed ~cls)
+    | None -> Error (Printf.sprintf "unknown program %S (try `ucp list')" pname))
+
 let resolve_case id =
   match String.split_on_char ':' id with
   | [ pname; cid; tlabel; pol ] -> (
-    match Suite.find pname with
-    | exception Not_found ->
-      Error (Printf.sprintf "unknown program %S (try `ucp list')" pname)
-    | program -> (
+    match resolve_program pname with
+    | Error msg -> Error msg
+    | Ok program -> (
       match List.assoc_opt cid Config.paper_configs with
       | None -> Error (Printf.sprintf "unknown configuration %S (k1..k36)" cid)
       | Some config -> (

@@ -19,6 +19,200 @@ let loop ?bound trips body =
 let call name = Call name
 let far_call name = Far [ Call name ]
 
+(* The single validity check shared by the compiler, the random
+   generator ({!Generate}) and the shrinker ({!Ucp_fuzz}): a validated
+   program compiles without raising, and the CFG it compiles to is
+   reducible with a bound on every natural loop header (structured
+   control flow guarantees reducibility; the checks below guard the
+   value-level invariants the structure cannot). *)
+let validate ?(procs = []) stmts =
+  let exception Invalid of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt in
+  let rec check stack stmts = List.iter (check_stmt stack) stmts
+  and check_stmt stack = function
+    | Compute n -> if n < 0 then fail "negative Compute"
+    | If (_, then_, else_) ->
+      check stack then_;
+      check stack else_
+    | Loop { bound; trips; body } ->
+      if body = [] then fail "empty loop body";
+      if trips < 1 then fail "loop needs >= 1 trip";
+      if trips > bound then fail "loop trips exceed its bound";
+      check stack body
+    | Far body -> check stack body
+    | Call name -> (
+      if List.mem name stack then fail "recursive call of %s" name;
+      match List.assoc_opt name procs with
+      | Some body -> check (name :: stack) body
+      | None -> fail "unknown procedure %s" name)
+  in
+  match check [] stmts with () -> Ok () | exception Invalid msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* serialization: a lossless single-line s-expression round-trip, so a
+   fuzzing corpus can store a shrunk program as replayable text *)
+
+let string_of_model = function
+  | Branch_model.Always_taken -> "at"
+  | Branch_model.Never_taken -> "nt"
+  | Branch_model.Every k -> Printf.sprintf "(every %d)" k
+  (* %h prints the exact bit pattern as a hex float, so Bernoulli
+     probabilities survive the text round-trip bit for bit *)
+  | Branch_model.Bernoulli p -> Printf.sprintf "(bern %h)" p
+
+let rec add_stmt buf = function
+  | Compute n -> Buffer.add_string buf (Printf.sprintf "(c %d)" n)
+  | If (m, then_, else_) ->
+    Buffer.add_string buf (Printf.sprintf "(if %s " (string_of_model m));
+    add_stmts buf then_;
+    Buffer.add_char buf ' ';
+    add_stmts buf else_;
+    Buffer.add_char buf ')'
+  | Loop { bound; trips; body } ->
+    Buffer.add_string buf (Printf.sprintf "(loop %d %d " bound trips);
+    add_stmts buf body;
+    Buffer.add_char buf ')'
+  | Call name -> Buffer.add_string buf (Printf.sprintf "(call %s)" name)
+  | Far body ->
+    Buffer.add_string buf "(far ";
+    add_stmts buf body;
+    Buffer.add_char buf ')'
+
+and add_stmts buf stmts =
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ' ';
+      add_stmt buf s)
+    stmts;
+  Buffer.add_char buf ')'
+
+let to_string ?(procs = []) stmts =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '(';
+  List.iter
+    (fun (name, body) ->
+      Buffer.add_string buf (Printf.sprintf "(proc %s " name);
+      add_stmts buf body;
+      Buffer.add_string buf ") ")
+    procs;
+  Buffer.add_string buf "(body ";
+  add_stmts buf stmts;
+  Buffer.add_string buf "))";
+  Buffer.contents buf
+
+type sexp = Atom of string | Sexp_list of sexp list
+
+exception Bad_dsl of string
+
+let tokenize s =
+  let toks = ref [] and i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    match s.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' ->
+      toks := "(" :: !toks;
+      incr i
+    | ')' ->
+      toks := ")" :: !toks;
+      incr i
+    | _ ->
+      let start = !i in
+      while
+        !i < n
+        && match s.[!i] with ' ' | '\t' | '\n' | '\r' | '(' | ')' -> false | _ -> true
+      do
+        incr i
+      done;
+      toks := String.sub s start (!i - start) :: !toks
+  done;
+  List.rev !toks
+
+let parse_sexp toks =
+  let rest = ref toks in
+  let rec value () =
+    match !rest with
+    | [] -> raise (Bad_dsl "unexpected end of input")
+    | "(" :: tl ->
+      rest := tl;
+      let items = ref [] in
+      let rec go () =
+        match !rest with
+        | ")" :: tl ->
+          rest := tl;
+          Sexp_list (List.rev !items)
+        | [] -> raise (Bad_dsl "unclosed (")
+        | _ ->
+          items := value () :: !items;
+          go ()
+      in
+      go ()
+    | ")" :: _ -> raise (Bad_dsl "unexpected )")
+    | atom :: tl ->
+      rest := tl;
+      Atom atom
+  in
+  let v = value () in
+  if !rest <> [] then raise (Bad_dsl "trailing garbage");
+  v
+
+let int_atom what = function
+  | Atom a -> (
+    match int_of_string_opt a with
+    | Some i -> i
+    | None -> raise (Bad_dsl (what ^ ": not an integer")))
+  | Sexp_list _ -> raise (Bad_dsl (what ^ ": expected an integer"))
+
+let model_of_sexp = function
+  | Atom "at" -> Branch_model.Always_taken
+  | Atom "nt" -> Branch_model.Never_taken
+  | Sexp_list [ Atom "every"; k ] -> Branch_model.Every (int_atom "every" k)
+  | Sexp_list [ Atom "bern"; Atom p ] -> (
+    match float_of_string_opt p with
+    | Some p -> Branch_model.Bernoulli p
+    | None -> raise (Bad_dsl "bern: not a float"))
+  | _ -> raise (Bad_dsl "malformed branch model")
+
+let rec stmt_of_sexp = function
+  | Sexp_list [ Atom "c"; n ] -> Compute (int_atom "c" n)
+  | Sexp_list [ Atom "if"; m; then_; else_ ] ->
+    If (model_of_sexp m, stmts_of_sexp then_, stmts_of_sexp else_)
+  | Sexp_list [ Atom "loop"; bound; trips; body ] ->
+    Loop
+      {
+        bound = int_atom "loop bound" bound;
+        trips = int_atom "loop trips" trips;
+        body = stmts_of_sexp body;
+      }
+  | Sexp_list [ Atom "call"; Atom name ] -> Call name
+  | Sexp_list [ Atom "far"; body ] -> Far (stmts_of_sexp body)
+  | _ -> raise (Bad_dsl "malformed statement")
+
+and stmts_of_sexp = function
+  | Sexp_list items -> List.map stmt_of_sexp items
+  | Atom _ -> raise (Bad_dsl "expected a statement list")
+
+let parse s =
+  match
+    let procs = ref [] and body = ref None in
+    (match parse_sexp (tokenize s) with
+    | Sexp_list items ->
+      List.iter
+        (function
+          | Sexp_list [ Atom "proc"; Atom name; b ] ->
+            procs := (name, stmts_of_sexp b) :: !procs
+          | Sexp_list [ Atom "body"; b ] -> body := Some (stmts_of_sexp b)
+          | _ -> raise (Bad_dsl "expected (proc ...) or (body ...)"))
+        items
+    | Atom _ -> raise (Bad_dsl "expected a program"));
+    match !body with
+    | None -> raise (Bad_dsl "missing (body ...)")
+    | Some b -> (b, List.rev !procs)
+  with
+  | r -> Ok r
+  | exception Bad_dsl msg -> Error msg
+
 (* Block under construction; terminators are patched in as the
    structure unfolds. *)
 type bterm =
@@ -53,7 +247,6 @@ let new_block b =
 let block b id = Hashtbl.find b.blocks id
 
 let emit b n =
-  if n < 0 then invalid_arg (Printf.sprintf "Dsl(%s): negative Compute" b.name);
   let blk = block b b.cur in
   blk.body <- blk.body + n
 
@@ -83,10 +276,6 @@ and compile_stmt b stack = function
     finish b (T_fall join_b);
     b.cur <- join_b
   | Loop { bound; trips; body } ->
-    if body = [] then invalid_arg (Printf.sprintf "Dsl(%s): empty loop body" b.name);
-    if trips < 1 then invalid_arg (Printf.sprintf "Dsl(%s): loop needs >= 1 trip" b.name);
-    if trips > bound then
-      invalid_arg (Printf.sprintf "Dsl(%s): loop trips exceed its bound" b.name);
     let head = new_block b in
     finish b (T_fall head);
     (block b head).bound <- Some bound;
@@ -112,16 +301,13 @@ and compile_stmt b stack = function
     finish b (T_jump back);
     b.cur <- back
   | Call name ->
-    if List.mem name stack then
-      invalid_arg (Printf.sprintf "Dsl(%s): recursive call of %s" b.name name);
-    let body =
-      match List.assoc_opt name b.procs with
-      | Some body -> body
-      | None -> invalid_arg (Printf.sprintf "Dsl(%s): unknown procedure %s" b.name name)
-    in
-    compile_stmts b (name :: stack) body
+    (* validated upfront: the procedure exists and is non-recursive *)
+    compile_stmts b (name :: stack) (List.assoc name b.procs)
 
 let compile ?(procs = []) ~name stmts =
+  (match validate ~procs stmts with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Dsl(%s): %s" name msg));
   let b =
     { blocks = Hashtbl.create 32; count = 0; cur = 0; far_depth = 0; procs; name }
   in

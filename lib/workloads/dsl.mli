@@ -42,9 +42,27 @@ val call : string -> stmt
 val far_call : string -> stmt
 (** [far_call name] expands the procedure out of line: [Far [Call name]]. *)
 
+val validate :
+  ?procs:(string * stmt list) list -> stmt list -> (unit, string) result
+(** The single validity check shared by {!compile}, the random
+    generator ({!Generate}) and the fuzzing shrinker: no negative
+    [Compute], nonempty loop bodies, [1 <= trips <= bound], and every
+    [Call] resolving to a known, non-recursive procedure.  A validated
+    program compiles without raising, and — structured control flow
+    being reducible by construction — satisfies the preconditions of
+    the loop-nest analysis. *)
+
 val compile :
   ?procs:(string * stmt list) list -> name:string -> stmt list -> Ucp_isa.Program.t
 (** Compile a program body.  Procedures are inlined at their call sites
     (recursion is rejected).
-    @raise Invalid_argument on unknown or recursive calls, empty loops,
-    or [trips > bound]. *)
+    @raise Invalid_argument when {!validate} rejects the program. *)
+
+val to_string : ?procs:(string * stmt list) list -> stmt list -> string
+(** Lossless single-line s-expression rendering of a program (body plus
+    procedures) — the storage format of fuzzing-corpus reproducers.
+    Bernoulli probabilities are printed as hex floats, so
+    [parse (to_string ~procs b) = Ok (b, procs)] holds bit for bit. *)
+
+val parse : string -> (stmt list * (string * stmt list) list, string) result
+(** Inverse of {!to_string}: [(body, procs)], or a parse error. *)

@@ -1,0 +1,141 @@
+(* Seeded random program generator over the structured DSL — the
+   workload side of the fuzzing harness (ROADMAP item 5).
+
+   Everything is a pure function of (seed, size class): the same pair
+   regenerates the same program on any machine, so a campaign record
+   carrying the two is a complete reproducer.  All randomness flows
+   through {!Ucp_util.Rng} (SplitMix64), never [Random].
+
+   The generator only ever emits programs {!Dsl.validate} accepts:
+   loops are born nonempty with [1 <= trips <= bound], calls resolve to
+   earlier-defined procedures (so the call graph is acyclic by
+   construction), and [Far] bodies nest freely.  Nested loop trip
+   counts are budgeted multiplicatively so the concrete simulator's
+   work stays bounded regardless of shape. *)
+
+module Rng = Ucp_util.Rng
+module Branch_model = Ucp_isa.Branch_model
+
+type shape = {
+  g_class : string;  (** size-class label, part of generated names *)
+  g_stmts : int;  (** statement budget for the whole program *)
+  g_depth : int;  (** maximum structural nesting depth *)
+  g_procs : int;  (** procedures to define (callable acyclically) *)
+  g_max_trips : int;  (** per-loop trip-count cap *)
+  g_work : int;  (** cap on the product of nested trip counts *)
+}
+
+let classes =
+  [
+    ("s", { g_class = "s"; g_stmts = 8; g_depth = 2; g_procs = 1; g_max_trips = 4; g_work = 16 });
+    ("m", { g_class = "m"; g_stmts = 20; g_depth = 3; g_procs = 2; g_max_trips = 6; g_work = 36 });
+    ("l", { g_class = "l"; g_stmts = 40; g_depth = 4; g_procs = 3; g_max_trips = 8; g_work = 64 });
+  ]
+
+let find_class c = List.assoc_opt c classes
+
+let models rng =
+  match Rng.int rng 6 with
+  | 0 -> Branch_model.Always_taken
+  | 1 -> Branch_model.Never_taken
+  | 2 -> Branch_model.Every (2 + Rng.int rng 3)
+  | 3 -> Branch_model.Bernoulli 0.25
+  | 4 -> Branch_model.Bernoulli 0.5
+  | _ -> Branch_model.Bernoulli 0.75
+
+(* [mult] is the product of enclosing trip counts: a loop may only
+   multiply it up to [shape.g_work], which bounds total concrete work
+   at roughly [g_stmts * g_work] block executions. *)
+let rec gen_stmts rng shape ~depth ~mult ~callable ~budget acc =
+  if !budget <= 0 then List.rev acc
+  else begin
+    decr budget;
+    let stmt = gen_stmt rng shape ~depth ~mult ~callable ~budget in
+    (* geometric stop: longer sequences at shallow depth *)
+    let stop = Rng.int rng (3 + depth) = 0 in
+    if stop || !budget <= 0 then List.rev (stmt :: acc)
+    else gen_stmts rng shape ~depth ~mult ~callable ~budget (stmt :: acc)
+  end
+
+and gen_stmt rng shape ~depth ~mult ~callable ~budget =
+  let structural = depth < shape.g_depth && !budget > 0 in
+  let loop_ok = structural && mult < shape.g_work in
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 -> Dsl.Compute (Rng.int rng 13)
+  | 3 | 4 when structural ->
+    let then_ =
+      gen_stmts rng shape ~depth:(depth + 1) ~mult ~callable ~budget []
+    in
+    let else_ =
+      if Rng.bool rng then []
+      else gen_stmts rng shape ~depth:(depth + 1) ~mult ~callable ~budget []
+    in
+    Dsl.If (models rng, then_, else_)
+  | 5 | 6 when loop_ok ->
+    let cap = max 1 (min shape.g_max_trips (shape.g_work / max 1 mult)) in
+    let trips = 1 + Rng.int rng cap in
+    let bound = trips + Rng.int rng 3 in
+    let body =
+      match
+        gen_stmts rng shape ~depth:(depth + 1) ~mult:(mult * trips) ~callable
+          ~budget []
+      with
+      | [] -> [ Dsl.Compute (1 + Rng.int rng 4) ]
+      | body -> body
+    in
+    Dsl.Loop { bound; trips; body }
+  | 7 when callable <> [] ->
+    Dsl.Call (List.nth callable (Rng.int rng (List.length callable)))
+  | 8 when structural ->
+    let body =
+      gen_stmts rng shape ~depth:(depth + 1) ~mult ~callable ~budget []
+    in
+    Dsl.Far (if body = [] then [ Dsl.Compute (1 + Rng.int rng 4) ] else body)
+  | _ -> Dsl.Compute (1 + Rng.int rng 8)
+
+let gen rng shape =
+  (* procedures first; proc i may call only procs j < i, so inlining
+     terminates by construction *)
+  let procs = ref [] in
+  for i = 0 to shape.g_procs - 1 do
+    let callable = List.map fst !procs in
+    let budget = ref (max 2 (shape.g_stmts / 4)) in
+    let body =
+      match gen_stmts rng shape ~depth:1 ~mult:1 ~callable ~budget [] with
+      | [] -> [ Dsl.Compute (1 + Rng.int rng 4) ]
+      | body -> body
+    in
+    procs := !procs @ [ (Printf.sprintf "p%d" i, body) ]
+  done;
+  let budget = ref shape.g_stmts in
+  let callable = List.map fst !procs in
+  let body =
+    match gen_stmts rng shape ~depth:0 ~mult:1 ~callable ~budget [] with
+    | [] -> [ Dsl.Compute 1 ]
+    | body -> body
+  in
+  (body, !procs)
+
+(* Generated names are parseable provenance: any record or journal line
+   that carries the program name carries the reproducer.  The format
+   contains no ':' (the case-id separator). *)
+let name ~seed ~cls = Printf.sprintf "gen-%s-%d" cls seed
+
+let parse_name n =
+  match String.split_on_char '-' n with
+  | [ "gen"; cls; seed ] -> (
+    match (int_of_string_opt seed, find_class cls) with
+    | Some seed, Some _ when seed >= 0 -> Some (seed, cls)
+    | _ -> None)
+  | _ -> None
+
+let stmts ~seed ~cls =
+  match find_class cls with
+  | None -> invalid_arg (Printf.sprintf "Generate.stmts: unknown class %S" cls)
+  | Some shape ->
+    let rng = Rng.create (seed * 2 + Hashtbl.hash cls) in
+    gen rng shape
+
+let program ~seed ~cls =
+  let body, procs = stmts ~seed ~cls in
+  Dsl.compile ~procs ~name:(name ~seed ~cls) body

@@ -1,0 +1,45 @@
+(** Seeded random program generator over the {!Dsl} — the workload
+    frontier of the fuzzing harness.
+
+    Programs are pure functions of a [(seed, size class)] pair through
+    {!Ucp_util.Rng} (SplitMix64), so any record carrying the pair is a
+    complete reproducer: {!program} regenerates the same
+    {!Ucp_isa.Program.t} bit for bit on any machine.  Every emitted
+    program passes {!Dsl.validate} by construction — reducible loop
+    nests with [1 <= trips <= bound], acyclic procedure calls, [Far]
+    outlined layouts — and the product of nested trip counts is
+    budgeted, so the concrete simulator always terminates quickly. *)
+
+type shape = {
+  g_class : string;  (** size-class label, part of generated names *)
+  g_stmts : int;  (** statement budget for the whole program *)
+  g_depth : int;  (** maximum structural nesting depth *)
+  g_procs : int;  (** procedures defined (callable acyclically) *)
+  g_max_trips : int;  (** per-loop trip-count cap *)
+  g_work : int;  (** cap on the product of nested trip counts *)
+}
+
+val classes : (string * shape) list
+(** The size classes: ["s"] (tiny), ["m"], ["l"]. *)
+
+val find_class : string -> shape option
+
+val gen : Ucp_util.Rng.t -> shape -> Dsl.stmt list * (string * Dsl.stmt list) list
+(** Draw one program: [(body, procs)].  Always {!Dsl.validate}-clean. *)
+
+val name : seed:int -> cls:string -> string
+(** Canonical generated-program name, ["gen-<class>-<seed>"] — free of
+    [':'] so it composes with {!Ucp_core.Experiments.case_id}. *)
+
+val parse_name : string -> (int * string) option
+(** [(seed, class)] when the name is a well-formed {!name} of a known
+    size class — how sweep records and journal entries recover the
+    generator provenance from a program name alone. *)
+
+val stmts : seed:int -> cls:string -> Dsl.stmt list * (string * Dsl.stmt list) list
+(** Regenerate the DSL term for a [(seed, class)] pair.
+    @raise Invalid_argument on an unknown class. *)
+
+val program : seed:int -> cls:string -> Ucp_isa.Program.t
+(** {!stmts} compiled under the canonical {!name}.
+    @raise Invalid_argument on an unknown class. *)

@@ -1,0 +1,392 @@
+(* Tests for the generative differential fuzzing harness: the seeded
+   program generator, signature normalization, the deterministic
+   shrinker (determinism, validity, 1-minimality), the oracles on clean
+   and corrupted runs, the corpus round-trip + replay, and whole-
+   campaign determinism. *)
+
+module Dsl = Ucp_workloads.Dsl
+module Generate = Ucp_workloads.Generate
+module Config = Ucp_cache.Config
+module Tech = Ucp_energy.Tech
+module Experiments = Ucp_core.Experiments
+module Oracle = Ucp_fuzz.Oracle
+module Shrink = Ucp_fuzz.Shrink
+module Corpus = Ucp_fuzz.Corpus
+module Campaign = Ucp_fuzz.Campaign
+module Mode = Ucp_refine.Mode
+
+let temp_dir prefix =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let rm_rf dir =
+  let rec walk p =
+    if Sys.is_directory p then (
+      Array.iter (fun n -> walk (Filename.concat p n)) (Sys.readdir p);
+      Unix.rmdir p)
+    else Sys.remove p
+  in
+  try walk dir with Sys_error _ | Unix.Unix_error _ -> ()
+
+let k2 = List.assoc "k2" Config.paper_configs
+
+let target ?(policy = Ucp_policy.Lru) ?(cls = "m") seed =
+  Oracle.of_gen ~seed ~cls ~policy ~config_id:"k2" ~config:k2 ~tech:Tech.nm45
+
+(* ------------------------------------------------------------------ *)
+(* generator *)
+
+let test_generator_validates () =
+  List.iter
+    (fun (cls, _) ->
+      for seed = 0 to 30 do
+        let body, procs = Generate.stmts ~seed ~cls in
+        (match Dsl.validate ~procs body with
+        | Ok () -> ()
+        | Error msg ->
+          Alcotest.failf "gen-%s-%d rejected by validate: %s" cls seed msg);
+        (* a validated program compiles without raising *)
+        ignore (Generate.program ~seed ~cls)
+      done)
+    Generate.classes
+
+let test_generator_deterministic () =
+  List.iter
+    (fun (cls, _) ->
+      for seed = 0 to 10 do
+        Alcotest.(check bool)
+          (Printf.sprintf "gen-%s-%d stable" cls seed)
+          true
+          (Generate.stmts ~seed ~cls = Generate.stmts ~seed ~cls)
+      done)
+    Generate.classes
+
+let test_generator_names () =
+  Alcotest.(check (option (pair int string)))
+    "roundtrip" (Some (42, "m"))
+    (Generate.parse_name (Generate.name ~seed:42 ~cls:"m"));
+  Alcotest.(check (option (pair int string))) "suite name" None (Generate.parse_name "fft1");
+  Alcotest.(check (option (pair int string)))
+    "unknown class" None (Generate.parse_name "gen-x-3");
+  Alcotest.(check (option (pair int string)))
+    "negative seed" None (Generate.parse_name "gen-s--3");
+  (* ':' is the case-id separator and must never appear *)
+  List.iter
+    (fun (cls, _) ->
+      Alcotest.(check bool) "no colon" false
+        (String.contains (Generate.name ~seed:123 ~cls) ':'))
+    Generate.classes
+
+let test_generator_distinct_seeds () =
+  (* different seeds should overwhelmingly draw different programs *)
+  let distinct = Hashtbl.create 64 in
+  for seed = 0 to 49 do
+    Hashtbl.replace distinct (Generate.stmts ~seed ~cls:"m") ()
+  done;
+  Alcotest.(check bool) "at least 45/50 distinct" true (Hashtbl.length distinct >= 45)
+
+(* ------------------------------------------------------------------ *)
+(* signatures *)
+
+let test_normalize () =
+  Alcotest.(check string)
+    "digit runs collapse" "slot (#,#) missed"
+    (Oracle.normalize "slot (14,3) missed");
+  Alcotest.(check string)
+    "same bug same signature"
+    (Oracle.normalize "slot (7,1) missed")
+    (Oracle.normalize "slot (14,3) missed");
+  Alcotest.(check string)
+    "long hex collapses" "digest # vs #"
+    (Oracle.normalize "digest 4c2f00ab9d vs f00dfeed11");
+  Alcotest.(check string)
+    "short words survive" "cafe beef decode"
+    (Oracle.normalize "cafe beef decode");
+  Alcotest.(check bool) "truncated" true
+    (String.length (Oracle.normalize (String.make 500 'x')) <= 160)
+
+(* ------------------------------------------------------------------ *)
+(* shrinker *)
+
+let rec has_big_loop stmts =
+  List.exists
+    (function
+      | Dsl.Loop { trips; body; _ } -> trips >= 2 || has_big_loop body
+      | Dsl.If (_, t, e) -> has_big_loop t || has_big_loop e
+      | Dsl.Far b -> has_big_loop b
+      | Dsl.Compute _ | Dsl.Call _ -> false)
+    stmts
+
+let pred ((body, procs) : Shrink.prog) =
+  has_big_loop body || List.exists (fun (_, b) -> has_big_loop b) procs
+
+let find_shrinkable () =
+  let rec go seed =
+    if seed > 200 then Alcotest.fail "no generated program has a trips>=2 loop"
+    else
+      let p = Generate.stmts ~seed ~cls:"m" in
+      if pred p && Shrink.size p > 5 then p else go (seed + 1)
+  in
+  go 0
+
+let test_shrink_deterministic_and_minimal () =
+  let p = find_shrinkable () in
+  let r1, steps1 = Shrink.run ~still_fails:pred p in
+  let r2, steps2 = Shrink.run ~still_fails:pred p in
+  Alcotest.(check bool) "deterministic result" true (r1 = r2);
+  Alcotest.(check int) "deterministic steps" steps1 steps2;
+  Alcotest.(check bool) "still fails" true (pred r1);
+  Alcotest.(check bool) "shrank" true (Shrink.size r1 < Shrink.size p);
+  let body, procs = r1 in
+  (match Dsl.validate ~procs body with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "shrunk program invalid: %s" msg);
+  (* 1-minimality: no single-step reduction still satisfies the
+     predicate *)
+  Alcotest.(check bool) "1-minimal" true
+    (Seq.for_all (fun cand -> not (pred cand)) (Shrink.candidates r1));
+  (* the minimum for "contains a trips>=2 loop" is exactly one loop of
+     one compute *)
+  Alcotest.(check int) "minimal size" 2 (Shrink.size r1)
+
+let test_shrink_candidates_validate () =
+  for seed = 0 to 15 do
+    let p = Generate.stmts ~seed ~cls:"m" in
+    Seq.iter
+      (fun (body, procs) ->
+        match Dsl.validate ~procs body with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "seed %d candidate invalid: %s" seed msg)
+      (Shrink.candidates p)
+  done
+
+let test_shrink_noop_when_nothing_fails () =
+  let p = Generate.stmts ~seed:3 ~cls:"s" in
+  let r, steps = Shrink.run ~still_fails:(fun _ -> false) p in
+  Alcotest.(check bool) "unchanged" true (r = p);
+  Alcotest.(check int) "no steps" 0 steps
+
+(* ------------------------------------------------------------------ *)
+(* oracles *)
+
+let test_oracles_pass_on_clean_tree () =
+  List.iter
+    (fun policy ->
+      let t = target ~policy 11 in
+      (match Oracle.classification t with
+      | Oracle.Pass -> ()
+      | Oracle.Finding f -> Alcotest.failf "classification: %s" f.Oracle.f_detail
+      | Oracle.Caught _ -> Alcotest.fail "classification: phantom Caught");
+      (match Oracle.endtoend t with
+      | Oracle.Pass -> ()
+      | Oracle.Finding f -> Alcotest.failf "endtoend: %s" f.Oracle.f_detail
+      | Oracle.Caught _ -> Alcotest.fail "endtoend: phantom Caught");
+      match Oracle.refine_full t with
+      | Oracle.Pass, exhausted -> Alcotest.(check bool) "exhausted >= 0" true (exhausted >= 0)
+      | Oracle.Finding f, _ -> Alcotest.failf "refine_full: %s" f.Oracle.f_detail
+      | Oracle.Caught _, _ -> Alcotest.fail "refine_full: phantom Caught")
+    Ucp_policy.all
+
+let test_corrupt_cert_caught_and_shrinks () =
+  let t = target 17 in
+  match Oracle.endtoend ~fault:Oracle.Corrupt_cert t with
+  | Oracle.Pass -> Alcotest.fail "corrupt-cert escaped the audit"
+  | Oracle.Finding f -> Alcotest.failf "corrupt-cert mis-reported: %s" f.Oracle.f_detail
+  | Oracle.Caught f ->
+    Alcotest.(check bool) "audit oracle" true (f.Oracle.f_oracle = "audit");
+    (* the catch shrinks like any finding: same signature must keep
+       reproducing on candidates *)
+    let still_caught cand =
+      match Oracle.endtoend ~fault:Oracle.Corrupt_cert (Oracle.with_prog t cand) with
+      | Oracle.Caught f' -> f'.Oracle.f_signature = f.Oracle.f_signature
+      | _ -> false
+    in
+    let shrunk, _steps = Shrink.run ~max_steps:50 ~still_fails:still_caught (Oracle.prog t) in
+    Alcotest.(check bool) "shrunk reproduces" true (still_caught shrunk);
+    Alcotest.(check bool) "no growth" true (Shrink.size shrunk <= Shrink.size (Oracle.prog t))
+
+let test_corrupt_refine_caught_or_noop () =
+  (* whatever the draw, the verdict must never be Finding: either the
+     audit catches the lie or the lie had nothing to corrupt *)
+  for seed = 0 to 5 do
+    let t = target ~policy:Ucp_policy.Fifo seed in
+    match Oracle.endtoend ~fault:Oracle.Corrupt_refine t with
+    | Oracle.Caught f ->
+      Alcotest.(check bool) "names the refine obligation" true
+        (Ucp_testlib.contains ~substring:"refine" f.Oracle.f_detail)
+    | Oracle.Pass -> ()
+    | Oracle.Finding f -> Alcotest.failf "seed %d escaped: %s" seed f.Oracle.f_detail
+  done
+
+(* ------------------------------------------------------------------ *)
+(* corpus *)
+
+let sample_entry () =
+  let t = target 17 in
+  match Oracle.endtoend ~fault:Oracle.Corrupt_cert t with
+  | Oracle.Caught f ->
+    Corpus.of_finding ~seed:17 ~cls:"m" ~fault:(Some Oracle.Corrupt_cert)
+      ~shrunk:(Oracle.prog t) ~shrink_steps:0 t f
+  | _ -> Alcotest.fail "corrupt-cert not caught"
+
+let test_corpus_roundtrip () =
+  let e = sample_entry () in
+  (match Corpus.of_line (Corpus.to_line e) with
+  | Ok e' -> Alcotest.(check bool) "line roundtrip" true (e = e')
+  | Error msg -> Alcotest.failf "of_line: %s" msg);
+  let dir = temp_dir "ucp-corpus" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let path = Corpus.save ~dir e in
+      Alcotest.(check (list string)) "listed" [ path ] (Corpus.list ~dir);
+      (* idempotent: same entry, same file *)
+      let path2 = Corpus.save ~dir e in
+      Alcotest.(check string) "stable path" path path2;
+      Alcotest.(check (list string)) "still one entry" [ path ] (Corpus.list ~dir);
+      match Corpus.load path with
+      | Ok e' -> Alcotest.(check bool) "file roundtrip" true (e = e')
+      | Error msg -> Alcotest.failf "load: %s" msg)
+
+let test_corpus_replay () =
+  let e = sample_entry () in
+  (match Corpus.replay e with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "replay of a caught fault: %s" msg);
+  (* a clean-bug entry that does not reproduce on a sound tree must
+     fail replay — that is the fixed-regression direction of the pin *)
+  let stale = { e with e_fault = None; e_oracle = "classification" } in
+  match Corpus.replay stale with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "phantom clean finding reproduced"
+
+let test_corpus_rejects_garbage () =
+  (match Corpus.of_line "not json at all" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parsed garbage");
+  match Corpus.of_line "{\"seed\":1}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parsed incomplete entry"
+
+(* ------------------------------------------------------------------ *)
+(* campaign *)
+
+let small_config =
+  {
+    Campaign.default with
+    Campaign.c_count = 6;
+    c_seed = 42;
+    c_jobs = Some 2;
+    c_timeout = Some 60.;
+    c_refine_full_every = 3;
+  }
+
+let run_campaign cfg =
+  let lines = ref [] in
+  let s = Campaign.run ~emit:(fun l -> lines := l :: !lines) cfg in
+  (s, List.rev !lines)
+
+let test_campaign_clean_and_deterministic () =
+  let s1, lines1 = run_campaign small_config in
+  let _s2, lines2 = run_campaign small_config in
+  Alcotest.(check bool) "clean" true (Campaign.clean s1);
+  Alcotest.(check int) "all cases ran" 6 s1.Campaign.s_cases;
+  Alcotest.(check int) "all passed" 6 s1.Campaign.s_pass;
+  (* record-for-record identical, summary line (wall clock) excluded *)
+  let strip lines =
+    List.filter
+      (fun l -> not (Ucp_testlib.contains ~substring:"fuzz_summary" l))
+      lines
+  in
+  Alcotest.(check (list string)) "replay identical" (strip lines1) (strip lines2)
+
+let test_campaign_chaos_catches () =
+  let cfg = { small_config with Campaign.c_count = 2; c_chaos = 2 } in
+  let dir = temp_dir "ucp-fuzz-corpus" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let s, _ = run_campaign { cfg with Campaign.c_corpus = Some dir } in
+      Alcotest.(check bool) "clean (catches are not findings)" true (Campaign.clean s);
+      Alcotest.(check int) "no escapes" 0 s.Campaign.s_escaped;
+      Alcotest.(check bool) "corrupt-cert caught" true (s.Campaign.s_caught >= 1);
+      (* each deposited reproducer replays green *)
+      Alcotest.(check bool) "deposited" true (s.Campaign.s_corpus <> []);
+      let ok, failures = Campaign.replay_corpus ~dir () in
+      Alcotest.(check int) "replay count" (List.length (Corpus.list ~dir)) ok;
+      Alcotest.(check (list (pair string string))) "replay green" [] failures)
+
+(* ------------------------------------------------------------------ *)
+(* daemon identity *)
+
+let test_serve_identity () =
+  let dir = temp_dir "ucp-fuzz-serve" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let socket = Filename.concat dir "s.sock" in
+      let scfg =
+        Ucp_serve.Server.default_config ~socket ~store_dir:(Filename.concat dir "store")
+      in
+      let th = Thread.create (fun () -> Ucp_serve.Server.run ~signals:false scfg) () in
+      Fun.protect
+        ~finally:(fun () ->
+          ignore
+            (Ucp_serve.Client.query ~retries:4 ~socket Ucp_serve.Protocol.Shutdown);
+          Thread.join th)
+        (fun () ->
+          let t = target 23 in
+          match Oracle.serve_identity ~refine:Mode.Nc ~socket t with
+          | Oracle.Pass -> ()
+          | Oracle.Finding f -> Alcotest.failf "daemon differs: %s" f.Oracle.f_detail
+          | Oracle.Caught _ -> Alcotest.fail "phantom Caught"))
+
+let () =
+  Alcotest.run "ucp_fuzz"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "always validates" `Quick test_generator_validates;
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "names" `Quick test_generator_names;
+          Alcotest.test_case "distinct seeds" `Quick test_generator_distinct_seeds;
+        ] );
+      ( "signatures",
+        [ Alcotest.test_case "normalize" `Quick test_normalize ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "deterministic + 1-minimal" `Quick
+            test_shrink_deterministic_and_minimal;
+          Alcotest.test_case "candidates validate" `Quick
+            test_shrink_candidates_validate;
+          Alcotest.test_case "no-op without failure" `Quick
+            test_shrink_noop_when_nothing_fails;
+        ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "pass on clean tree" `Quick test_oracles_pass_on_clean_tree;
+          Alcotest.test_case "corrupt-cert caught + shrinks" `Quick
+            test_corrupt_cert_caught_and_shrinks;
+          Alcotest.test_case "corrupt-refine caught or no-op" `Quick
+            test_corrupt_refine_caught_or_noop;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "replay" `Quick test_corpus_replay;
+          Alcotest.test_case "rejects garbage" `Quick test_corpus_rejects_garbage;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "clean + deterministic" `Quick
+            test_campaign_clean_and_deterministic;
+          Alcotest.test_case "chaos catches + corpus replays" `Quick
+            test_campaign_chaos_catches;
+        ] );
+      ( "serve",
+        [ Alcotest.test_case "batch-daemon identity" `Quick test_serve_identity ] );
+    ]

@@ -67,6 +67,89 @@ let test_nested_far () =
   ignore (Loops.analyze p)
 
 (* ------------------------------------------------------------------ *)
+(* validate / serialization / random generator *)
+
+let test_validate_mirrors_compile () =
+  (* validate's verdict and compile's behaviour must agree *)
+  let accepted = [ Dsl.compute 2; Dsl.loop 3 [ Dsl.compute 1 ] ] in
+  Alcotest.(check bool) "accepted validates" true
+    (Result.is_ok (Dsl.validate accepted));
+  List.iter
+    (fun (label, stmts) ->
+      Alcotest.(check bool) (label ^ " rejected") true
+        (Result.is_error (Dsl.validate stmts));
+      Alcotest.(check bool) (label ^ " compile raises") true
+        (try
+           ignore (Dsl.compile ~name:"x" stmts);
+           false
+         with Invalid_argument _ -> true))
+    [
+      ("empty loop", [ Dsl.loop 3 [] ]);
+      ("negative compute", [ Dsl.compute (-1) ]);
+      ("unknown proc", [ Dsl.call "nope" ]);
+      ("trips over bound", [ Dsl.Loop { bound = 2; trips = 3; body = [ Dsl.compute 1 ] } ]);
+    ]
+
+let test_validate_rejects_recursion () =
+  let procs = [ ("a", [ Dsl.call "b" ]); ("b", [ Dsl.call "a" ]) ] in
+  Alcotest.(check bool) "mutual recursion rejected" true
+    (Result.is_error (Dsl.validate ~procs [ Dsl.call "a" ]))
+
+let prop_to_string_parse_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"to_string/parse roundtrip"
+    Ucp_testlib.gen_stmts (fun stmts ->
+      match Dsl.parse (Dsl.to_string stmts) with
+      | Ok (body, []) -> body = stmts
+      | Ok _ | Error _ -> false)
+
+let test_roundtrip_with_procs_and_bernoulli () =
+  (* hex-float rendering keeps Bernoulli probabilities bit-exact,
+     including ones with no short decimal form *)
+  let body =
+    [
+      Dsl.if_ ~p:0.1 [ Dsl.compute 1 ] [];
+      Dsl.if_ ~p:(1.0 /. 3.0) [ Dsl.far_call "f" ] [ Dsl.compute 2 ];
+      Dsl.If (Ucp_isa.Branch_model.Every 3, [ Dsl.compute 1 ], []);
+    ]
+  in
+  let procs = [ ("f", [ Dsl.loop ~bound:5 3 [ Dsl.compute 4 ] ]) ] in
+  match Dsl.parse (Dsl.to_string ~procs body) with
+  | Ok (body', procs') ->
+    Alcotest.(check bool) "body bit-exact" true (body = body');
+    Alcotest.(check bool) "procs bit-exact" true (procs = procs')
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+let test_generated_programs_compile () =
+  (* the fuzzing generator's output is validated by construction, and a
+     validated program must compile and analyze without raising *)
+  List.iter
+    (fun (cls, _) ->
+      for seed = 0 to 20 do
+        let body, procs = Ucp_workloads.Generate.stmts ~seed ~cls in
+        (match Dsl.validate ~procs body with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "gen-%s-%d: %s" cls seed msg);
+        let p = Ucp_workloads.Generate.program ~seed ~cls in
+        Cfgraph.check_all_reachable p;
+        ignore (Loops.analyze p);
+        ignore (Vivu.expand p)
+      done)
+    Ucp_workloads.Generate.classes
+
+let test_generated_programs_roundtrip () =
+  List.iter
+    (fun (cls, _) ->
+      for seed = 0 to 20 do
+        let body, procs = Ucp_workloads.Generate.stmts ~seed ~cls in
+        match Dsl.parse (Dsl.to_string ~procs body) with
+        | Ok (body', procs') ->
+          if body <> body' || procs <> procs' then
+            Alcotest.failf "gen-%s-%d does not roundtrip" cls seed
+        | Error msg -> Alcotest.failf "gen-%s-%d: %s" cls seed msg
+      done)
+    Ucp_workloads.Generate.classes
+
+(* ------------------------------------------------------------------ *)
 (* Suite health *)
 
 let test_suite_has_37 () = Alcotest.(check int) "37 programs" 37 (List.length Suite.all)
@@ -129,6 +212,19 @@ let () =
           Alcotest.test_case "negative compute" `Quick test_negative_compute_rejected;
           Alcotest.test_case "far call" `Quick test_far_call_structure;
           Alcotest.test_case "nested far" `Quick test_nested_far;
+        ] );
+      ( "validate+serialize",
+        [
+          Alcotest.test_case "validate mirrors compile" `Quick
+            test_validate_mirrors_compile;
+          Alcotest.test_case "recursion rejected" `Quick test_validate_rejects_recursion;
+          QCheck_alcotest.to_alcotest prop_to_string_parse_roundtrip;
+          Alcotest.test_case "procs + bernoulli bit-exact" `Quick
+            test_roundtrip_with_procs_and_bernoulli;
+          Alcotest.test_case "generated programs compile" `Quick
+            test_generated_programs_compile;
+          Alcotest.test_case "generated programs roundtrip" `Quick
+            test_generated_programs_roundtrip;
         ] );
       ( "suite",
         [
