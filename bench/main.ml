@@ -419,7 +419,8 @@ let audit_speed_trajectory () =
     ^ "\n");
   Printf.printf
     "audit-speed trajectory: %d cases, unaudited %.2fs vs audited %.2fs (%.2fx) -> %s\n%!"
-    audited.Parallel.cases plain.Parallel.wall_s audited.Parallel.wall_s ratio path
+    audited.Parallel.cases plain.Parallel.wall_s audited.Parallel.wall_s ratio path;
+  path
 
 (* Refinement-precision trajectory: the ci.sh smoke grid swept across
    all three replacement policies with --refine nc, recorded in the
@@ -496,7 +497,151 @@ let refine_precision_trajectory () =
   end;
   Printf.printf
     "refine-precision trajectory: NC strictly reduced for %d/%d policies -> %s\n%!"
-    strictly_reduced (List.length rows) path
+    strictly_reduced (List.length rows) path;
+  path
+
+(* Service-latency trajectory: an in-process daemon on a temp socket
+   answers a deterministic seeded query mix sized so every serving tier
+   populates — two distinct cases against a 1-entry LRU cache give cold
+   computes on first contact, memory hits on the immediate re-ask, and
+   store hits every time the other case has just evicted the cache.
+   Per-tier p50/p95/p99 are then read straight from the
+   serve_latency_s{tier=...} histograms (the same registry the daemon's
+   Metrics query exposes) and recorded in the tracked BENCH_10.json —
+   the baseline --baseline / ucp bench-check gate against.  Every
+   request carries a client trace id derived from a fixed seed, and the
+   leg honours UCP_FAULT, so CI can arm a stall-request fault on one of
+   the case ids and prove the gate actually trips. *)
+let serve_latency_trajectory () =
+  let module Server = Ucp_serve.Server in
+  let module Client = Ucp_serve.Client in
+  let module P = Ucp_serve.Protocol in
+  let module Ctx = Ucp_obs.Ctx in
+  let module Metrics = Ucp_obs.Metrics in
+  let module Expo = Ucp_obs.Expo in
+  (try Ucp_core.Fault.load_env ()
+   with Invalid_argument msg ->
+     prerr_endline ("bench: " ^ msg);
+     exit 124);
+  let pid = Unix.getpid () in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ucp-bench-%d.sock" pid)
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ucp-bench-store-%d" pid)
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | exception Unix.Unix_error _ -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  in
+  let cfg =
+    {
+      (Server.default_config ~socket ~store_dir:dir) with
+      Server.jobs = 1;
+      cache_capacity = 1;
+      trace_seed = 7;
+    }
+  in
+  let th = Thread.create (fun () -> Server.run ~signals:false cfg) () in
+  let t0 = wall_s () in
+  let seed = 42 in
+  let index = ref 0 in
+  let ids = [ "crc:k1:45nm:lru"; "fft1:k1:45nm:lru" ] in
+  let ask id =
+    let ctx = Ctx.derive ~seed ~index:!index in
+    incr index;
+    match Client.query ~socket (P.Case { id; trace_id = Some (Ctx.trace_hex ctx) }) with
+    | Ok (P.Record _) -> ()
+    | Ok _ ->
+      prerr_endline "bench: serve trajectory: unexpected response";
+      exit 1
+    | Error e ->
+      prerr_endline ("bench: serve trajectory: query failed: " ^ e);
+      exit 1
+  in
+  let rounds = 12 in
+  for _ = 1 to rounds do
+    List.iter
+      (fun id ->
+        ask id;
+        ask id)
+      ids
+  done;
+  (match Client.query ~socket P.Shutdown with Ok _ | Error _ -> ());
+  Thread.join th;
+  rm_rf dir;
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let wall = wall_s () -. t0 in
+  let tier_stats tier =
+    match Metrics.find (Printf.sprintf "serve_latency_s{tier=%S}" tier) with
+    | Some (Metrics.Histogram { bounds; counts; sum; count }) ->
+      let q p =
+        let v = Expo.quantile ~bounds ~counts p in
+        if Float.is_finite v then v
+        else if count = 0 then 0.0
+          (* quantile landed in the overflow bucket: report a finite
+             stand-in past the last bound so the JSON stays valid and
+             the gate sees the regression *)
+        else 2.0 *. bounds.(Array.length bounds - 1)
+      in
+      (count, sum, q 0.50, q 0.95, q 0.99)
+    | Some _ | None -> (0, 0.0, 0.0, 0.0, 0.0)
+  in
+  let tiers = [ "cache"; "store"; "cold"; "shed" ] in
+  let tier_json tier =
+    let count, sum, p50, p95, p99 = tier_stats tier in
+    Printf.sprintf
+      {|{"tier":"%s","count":%d,"sum_s":%.6f,"p50_s":%.6f,"p95_s":%.6f,"p99_s":%.6f}|}
+      tier count sum p50 p95 p99
+  in
+  let path =
+    match Sys.getenv_opt "UCP_BENCH10_OUT" with
+    | Some p when p <> "" -> p
+    | Some _ | None -> "BENCH_10.json"
+  in
+  Ucp_core.Checkpoint.write_atomic ~path
+    (Printf.sprintf
+       {|{"bench":"serve-latency","mix":"%d rounds x 2 cases x 2 asks, cache_capacity 1","requests":%d,"wall_s":%.3f,"tiers":[%s]}|}
+       rounds !index wall
+       (String.concat "," (List.map tier_json tiers))
+    ^ "\n");
+  List.iter
+    (fun tier ->
+      let count, _, p50, p95, p99 = tier_stats tier in
+      Printf.printf
+        "serve-latency %-5s %4d requests  p50 %.6fs  p95 %.6fs  p99 %.6fs\n"
+        tier count p50 p95 p99)
+    tiers;
+  Printf.printf "serve-latency trajectory: %d requests in %.2fs -> %s\n%!"
+    !index wall path;
+  path
+
+(* --baseline FILE: gate the freshly written trajectory against a
+   checked-in baseline (the Bench_gate tolerance band) and exit nonzero
+   on regression.  Pairs with whichever trajectory leg ran: the
+   standalone --*-trajectory flags gate their own output; a full run
+   gates the serve-latency trajectory. *)
+let apply_baseline ~current =
+  match argv_opt "baseline" with
+  | None -> ()
+  | Some baseline -> (
+    match Ucp_core.Bench_gate.compare_files ~baseline ~current () with
+    | Error msg ->
+      prerr_endline ("bench: --baseline: " ^ msg);
+      exit 124
+    | Ok o ->
+      print_string (Ucp_core.Bench_gate.render o);
+      if not o.Ucp_core.Bench_gate.passed then begin
+        Printf.eprintf "bench: perf-regression gate FAILED against %s\n%!"
+          baseline;
+        exit 5
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* part 2: Bechamel micro-benchmarks *)
@@ -582,19 +727,26 @@ let () =
   (* --audit-trajectory: regenerate BENCH_6.json alone, without the
      minutes-long reproduction sweep *)
   if Array.exists (( = ) "--audit-trajectory") Sys.argv then begin
-    audit_speed_trajectory ();
+    apply_baseline ~current:(audit_speed_trajectory ());
     exit 0
   end;
   (* --refine-trajectory: regenerate BENCH_8.json alone *)
   if Array.exists (( = ) "--refine-trajectory") Sys.argv then begin
-    refine_precision_trajectory ();
+    apply_baseline ~current:(refine_precision_trajectory ());
+    exit 0
+  end;
+  (* --serve-trajectory: regenerate the BENCH_10.json service-latency
+     baseline alone, without the minutes-long reproduction sweep *)
+  if Array.exists (( = ) "--serve-trajectory") Sys.argv then begin
+    apply_baseline ~current:(serve_latency_trajectory ());
     exit 0
   end;
   let records = reproduce () in
   print_newline ();
   lru_identity_guard ();
-  audit_speed_trajectory ();
-  refine_precision_trajectory ();
+  ignore (audit_speed_trajectory ());
+  ignore (refine_precision_trajectory ());
+  apply_baseline ~current:(serve_latency_trajectory ());
   micro_benchmarks records;
   fuzz_throughput ();
   print_endline "\nbench: done"

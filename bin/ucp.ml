@@ -973,7 +973,8 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the analysis daemon.")
 
 let serve_cmd =
-  let run socket store jobs cache queue timeout refine =
+  let run socket store jobs cache queue timeout refine access_log slow_log
+      slow_threshold trace trace_seed =
     (try Ucp_core.Fault.load_env ()
      with Invalid_argument msg ->
        Printf.eprintf "ucp: %s\n" msg;
@@ -987,6 +988,11 @@ let serve_cmd =
         queue_limit = queue;
         timeout;
         refine;
+        access_log;
+        slow_log;
+        slow_threshold_s = slow_threshold;
+        trace;
+        trace_seed;
       }
     in
     match Ucp_serve.Server.run cfg with
@@ -1045,6 +1051,51 @@ let serve_cmd =
              $(b,nc) (default) or $(b,full).  Part of the store's content \
              address, so entries computed under different modes never alias.")
   in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON line per request: trace id, case id, tier \
+             (cache/store/cold/shed), outcome, latency, queue depth.  \
+             Deterministic modulo the ts/latency_s fields.")
+  in
+  let slow_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slow-log" ] ~docv:"FILE"
+          ~doc:
+            "Append requests at or above --slow-threshold as JSON lines (same \
+             shape as the access log, plus the threshold).")
+  in
+  let slow_threshold =
+    Arg.(
+      value & opt float 1.0
+      & info [ "slow-threshold" ] ~docv:"SECS"
+          ~doc:"Slow-query threshold in seconds (default 1.0).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record spans while serving and write a Chrome trace (open in \
+             Perfetto) on drain.  Every span of a request carries the \
+             request's trace id, so one request reads as one connected tree.  \
+             The span buffer is a bounded ring: see \
+             trace_spans_dropped_total.")
+  in
+  let trace_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed of the deterministic trace ids assigned to requests that \
+             arrive without one (default 0).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1053,12 +1104,15 @@ let serve_cmd =
           evaluation on a worker pool.  SIGTERM/SIGINT (or `ucp query \
           --shutdown') drains in-flight requests and exits 0; after kill -9 it \
           recovers from the store alone.")
-    Term.(const run $ socket_arg $ store $ jobs $ cache $ queue $ timeout $ refine)
+    Term.(
+      const run $ socket_arg $ store $ jobs $ cache $ queue $ timeout $ refine
+      $ access_log $ slow_log $ slow_threshold $ trace $ trace_seed)
 
 let query_cmd =
-  let run socket ids health shutdown retries seed =
-    if ids = [] && (not health) && not shutdown then begin
-      Printf.eprintf "ucp: query: nothing to do (give case IDs, --health or --shutdown)\n";
+  let run socket ids health metrics shutdown retries seed =
+    if ids = [] && (not health) && (not metrics) && not shutdown then begin
+      Printf.eprintf
+        "ucp: query: nothing to do (give case IDs, --health, --metrics or --shutdown)\n";
       exit 124
     end;
     let failed = ref false in
@@ -1068,11 +1122,19 @@ let query_cmd =
       | P.Store -> "store"
       | P.Computed -> "computed"
     in
-    List.iter
-      (fun id ->
-        match Ucp_serve.Client.query ~retries ~seed ~socket (P.Case id) with
-        | Ok (P.Record { source = src; json; _ }) ->
-          Printf.eprintf "[query] %s answered from %s\n%!" id (source src);
+    List.iteri
+      (fun index id ->
+        (* client-assigned trace id, deterministic from (--seed, index):
+           identically seeded runs stamp identical ids on the daemon's
+           access log, which is what the CI byte-compares *)
+        let ctx = Ucp_obs.Ctx.derive ~seed ~index in
+        let trace_id = Some (Ucp_obs.Ctx.trace_hex ctx) in
+        match
+          Ucp_serve.Client.query ~retries ~seed ~socket (P.Case { id; trace_id })
+        with
+        | Ok (P.Record { source = src; json; trace_id = echoed; _ }) ->
+          Printf.eprintf "[query] %s answered from %s trace=%s\n%!" id (source src)
+            (Option.value ~default:"-" echoed);
           print_string json;
           print_newline ()
         | Ok (P.Failed { message; _ }) ->
@@ -1081,7 +1143,7 @@ let query_cmd =
         | Ok (P.Retry { reason; _ }) ->
           Printf.eprintf "ucp: query %s: still shedding load (%s)\n" id reason;
           failed := true
-        | Ok (P.Health_stats _ | P.Bye) ->
+        | Ok (P.Health_stats _ | P.Metrics_text _ | P.Bye) ->
           Printf.eprintf "ucp: query %s: unexpected response kind\n" id;
           failed := true
         | Error msg ->
@@ -1090,13 +1152,29 @@ let query_cmd =
       ids;
     if health then begin
       match Ucp_serve.Client.query ~retries ~seed ~socket P.Health with
-      | Ok (P.Health_stats stats) ->
-        List.iter (fun (k, v) -> Printf.printf "%s=%d\n" k v) stats
+      | Ok (P.Health_stats { counters; gauges; hists }) ->
+        List.iter (fun (k, v) -> Printf.printf "%s=%d\n" k v) counters;
+        List.iter (fun (k, x) -> Printf.printf "%s=%s\n" k (Ucp_obs.Expo.fmt_float x)) gauges;
+        List.iter
+          (fun (k, { P.hs_count; hs_sum }) ->
+            Printf.printf "%s_count=%d\n%s_sum=%s\n" k hs_count k
+              (Ucp_obs.Expo.fmt_float hs_sum))
+          hists
       | Ok _ ->
         Printf.eprintf "ucp: health: unexpected response kind\n";
         failed := true
       | Error msg ->
         Printf.eprintf "ucp: health: %s\n" msg;
+        failed := true
+    end;
+    if metrics then begin
+      match Ucp_serve.Client.query ~retries ~seed ~socket P.Metrics with
+      | Ok (P.Metrics_text text) -> print_string text
+      | Ok _ ->
+        Printf.eprintf "ucp: metrics: unexpected response kind\n";
+        failed := true
+      | Error msg ->
+        Printf.eprintf "ucp: metrics: %s\n" msg;
         failed := true
     end;
     if shutdown then begin
@@ -1131,6 +1209,15 @@ let query_cmd =
              shed count, worker restarts, quarantined store entries, metric \
              counters) as key=value lines.")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print the daemon's full metrics registry (counters, gauges, \
+             histograms with buckets) as Prometheus text-format exposition, \
+             including the per-tier serve_latency_s histograms.")
+  in
   let shutdown =
     Arg.(
       value & flag
@@ -1146,16 +1233,21 @@ let query_cmd =
     Arg.(
       value & opt int 1
       & info [ "seed" ] ~docv:"SEED"
-          ~doc:"Seed of the deterministic retry-backoff jitter (default 1).")
+          ~doc:
+            "Seed of the deterministic retry-backoff jitter and of the \
+             client-assigned trace ids (default 1).")
   in
   Cmd.v
     (Cmd.info "query"
        ~doc:
          "Query the analysis daemon.  Idempotent queries retry through daemon \
           restarts and load shedding with deterministic exponential backoff; \
-          exits 0 when everything was answered, 1 otherwise, 124 on bad \
+          each case query carries a deterministic client-assigned trace id \
+          that the daemon echoes and stamps on its spans and log lines.  \
+          Exits 0 when everything was answered, 1 otherwise, 124 on bad \
           arguments.")
-    Term.(const run $ socket_arg $ ids $ health $ shutdown $ retries $ seed)
+    Term.(
+      const run $ socket_arg $ ids $ health $ metrics $ shutdown $ retries $ seed)
 
 let trace_cmd =
   let run file top =
@@ -1277,6 +1369,155 @@ let trace_cmd =
           individual spans.")
     Term.(const run $ file $ top)
 
+let top_cmd =
+  let run socket interval iterations =
+    if iterations < 0 then begin
+      Printf.eprintf "ucp: top: iterations must be >= 0\n";
+      exit 124
+    end;
+    let module P = Ucp_serve.Protocol in
+    let module E = Ucp_obs.Expo in
+    let fetch () =
+      match
+        ( Ucp_serve.Client.query ~retries:4 ~socket P.Health,
+          Ucp_serve.Client.query ~retries:4 ~socket P.Metrics )
+      with
+      | Ok (P.Health_stats h), Ok (P.Metrics_text text) -> (
+        match E.parse text with
+        | Ok samples -> Ok (h, samples)
+        | Error msg -> Error (Printf.sprintf "unparseable exposition: %s" msg))
+      | Error msg, _ | _, Error msg -> Error msg
+      | Ok _, Ok _ -> Error "unexpected response kind"
+    in
+    let render (h : P.health) samples =
+      let stat k = Option.value ~default:0 (List.assoc_opt k h.P.counters) in
+      Printf.printf "ucp top — %s\n" socket;
+      Printf.printf
+        "requests %d | cache %d | store %d | computed %d | shed %d | queue %d | \
+         worker restarts %d | slow %d\n\n"
+        (stat "requests_total") (stat "cache_hits") (stat "store_hits")
+        (stat "computed_total") (stat "shed_total") (stat "queue_depth")
+        (stat "worker_restarts")
+        (stat "serve_slow_requests_total");
+      let table =
+        Ucp_util.Table.create
+          [ "tier"; "count"; "p50 (s)"; "p95 (s)"; "p99 (s)"; "mean (s)" ]
+      in
+      let hists = E.histograms samples in
+      List.iter
+        (fun (hist : E.hist) ->
+          if hist.E.h_base = "serve_latency_s" then begin
+            let tier =
+              Option.value ~default:"?" (List.assoc_opt "tier" hist.E.h_labels)
+            in
+            let q p =
+              E.fmt_float (E.quantile ~bounds:hist.E.h_bounds ~counts:hist.E.h_counts p)
+            in
+            let mean =
+              if hist.E.h_count = 0 then "-"
+              else E.fmt_float (hist.E.h_sum /. float_of_int hist.E.h_count)
+            in
+            Ucp_util.Table.add_row table
+              [ tier; string_of_int hist.E.h_count; q 0.50; q 0.95; q 0.99; mean ]
+          end)
+        hists;
+      print_string (Ucp_util.Table.render table);
+      let dropped =
+        List.assoc_opt "trace_spans_dropped_total" h.P.counters
+      in
+      (match dropped with
+      | Some n when n > 0 -> Printf.printf "\ntrace spans dropped: %d\n" n
+      | _ -> ());
+      print_newline ();
+      flush stdout
+    in
+    let rec loop n =
+      (* refresh in place after the first paint; a single iteration
+         (the CI smoke) stays plain printable text *)
+      if n > 1 then print_string "\027[2J\027[H";
+      (match fetch () with
+      | Ok (h, samples) -> render h samples
+      | Error msg ->
+        Printf.eprintf "ucp: top: %s\n" msg;
+        exit 1);
+      if iterations = 0 || n < iterations then begin
+        Unix.sleepf interval;
+        loop (n + 1)
+      end
+    in
+    loop 1
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh interval (default 2.0).")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop after N refreshes; 0 (default) refreshes until interrupted.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live health and latency view of a running daemon: request/tier \
+          counters plus per-tier p50/p95/p99 service latency, computed from \
+          the daemon's Prometheus metrics exposition.")
+    Term.(const run $ socket_arg $ interval $ iterations)
+
+let bench_check_cmd =
+  let run baseline current factor slack =
+    match
+      Ucp_core.Bench_gate.compare_files ?factor ?slack ~baseline ~current ()
+    with
+    | Error msg ->
+      Printf.eprintf "ucp: bench-check: %s\n" msg;
+      exit 124
+    | exception Invalid_argument msg ->
+      Printf.eprintf "ucp: bench-check: %s\n" msg;
+      exit 124
+    | Ok outcome ->
+      print_string (Ucp_core.Bench_gate.render outcome);
+      if not outcome.Ucp_core.Bench_gate.passed then exit 5
+  in
+  let baseline =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Checked-in trajectory to gate against (e.g. BENCH_10.json).")
+  in
+  let current =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "current" ] ~docv:"FILE" ~doc:"Freshly measured trajectory file.")
+  in
+  let factor =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "factor" ] ~docv:"X"
+          ~doc:"Multiplicative tolerance on time-like fields (default 3.0).")
+  in
+  let slack =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slack" ] ~docv:"SECS"
+          ~doc:"Absolute slack added to the limit (default 0.25).")
+  in
+  Cmd.v
+    (Cmd.info "bench-check"
+       ~doc:
+         "Perf-regression gate: compare a fresh benchmark JSON against a \
+          checked-in BENCH_*.json baseline.  Fields ending in _s (and ratio) \
+          must satisfy current <= baseline * factor + slack; counts and \
+          precision numbers are informational.  Exits 0 when within band, 5 \
+          on a regression, 124 on unreadable input.")
+    Term.(const run $ baseline $ current $ factor $ slack)
+
 let () =
   let doc = "WCET-safe, energy-oriented instruction-cache prefetching (DAC 2013)" in
   let info = Cmd.info "ucp" ~version:"1.0.0" ~doc in
@@ -1298,5 +1539,7 @@ let () =
             fuzz_cmd;
             serve_cmd;
             query_cmd;
+            top_cmd;
+            bench_check_cmd;
             trace_cmd;
           ]))

@@ -439,13 +439,163 @@ if [ "$status" -ne 0 ]; then
 fi
 echo "ci: serve smoke passed"
 
+# Telemetry smoke: the daemon's service-grade telemetry end to end.
+# One daemon run with full telemetry armed and a one-shot
+# stall-request fault: the Prometheus exposition must parse (ucp top
+# consumes it) and carry the per-tier latency histograms; the stalled
+# request must land in the slow-query log under the *client's* trace
+# id; and the exported Chrome trace must carry that id too.  Then two
+# identically seeded runs against fresh stores must produce
+# byte-identical access logs once the two wall-clock fields (ts,
+# latency_s) are stripped.  Finally the perf-regression gate: a fresh
+# serve-latency trajectory passes against the checked-in BENCH_10.json
+# baseline, an armed stall makes the same gate fail, and ucp
+# bench-check renders the same verdicts standalone.
+tel_dir=$(mktemp -d)
+trap 'rm -f "$smoke_err"; rm -rf "$obs_dir" "$speed_dir" "$refine_dir" "$serve_dir" "$tel_dir"' EXIT
+TSOCK="$tel_dir/ucp.sock"
+
+UCP_FAULT='crc:k2:45nm:lru=stall-request:1.5' \
+  "$UCP" serve --socket "$TSOCK" --store "$tel_dir/store1" -j 1 --cache 1 \
+  --access-log "$tel_dir/access1.jsonl" --slow-log "$tel_dir/slow.jsonl" \
+  --slow-threshold 1.0 --trace "$tel_dir/trace.json" \
+  2>"$tel_dir/serve1.err" &
+tel_pid=$!
+"$UCP" query --socket "$TSOCK" --seed 5 \
+  crc:k2:45nm:lru fft1:k2:45nm:lru crc:k2:45nm:lru \
+  >/dev/null 2>"$tel_dir/q1.err" || {
+  echo "ci: telemetry smoke: seeded query mix failed" >&2
+  cat "$tel_dir/q1.err" "$tel_dir/serve1.err" >&2
+  exit 1
+}
+"$UCP" query --socket "$TSOCK" --metrics >"$tel_dir/metrics.txt" 2>/dev/null || {
+  echo "ci: telemetry smoke: metrics query failed" >&2
+  exit 1
+}
+grep -q '# TYPE serve_latency_s histogram' "$tel_dir/metrics.txt" || {
+  echo "ci: telemetry smoke: exposition lacks the latency histogram family" >&2
+  cat "$tel_dir/metrics.txt" >&2
+  exit 1
+}
+for tier in cache store cold shed; do
+  grep -q "serve_latency_s_bucket{tier=\"$tier\",le=\"+Inf\"}" "$tel_dir/metrics.txt" || {
+    echo "ci: telemetry smoke: no $tier tier in the exposition" >&2
+    exit 1
+  }
+done
+# ucp top parses the exposition back; a render/parse drift would fail here
+"$UCP" top --socket "$TSOCK" --iterations 1 >"$tel_dir/top.txt" 2>&1 || {
+  echo "ci: telemetry smoke: ucp top could not parse the exposition" >&2
+  cat "$tel_dir/top.txt" >&2
+  exit 1
+}
+grep -q '^cold' "$tel_dir/top.txt" || {
+  echo "ci: telemetry smoke: ucp top shows no cold tier row" >&2
+  cat "$tel_dir/top.txt" >&2
+  exit 1
+}
+"$UCP" query --socket "$TSOCK" --shutdown >/dev/null 2>&1
+wait "$tel_pid" || {
+  echo "ci: telemetry smoke: daemon exited non-zero" >&2
+  cat "$tel_dir/serve1.err" >&2
+  exit 1
+}
+
+# the stalled request must be in the slow log under the id the CLIENT
+# assigned (echoed on the query's stderr as trace=...)
+stalled_tid=$(sed -n 's/.*crc:k2:45nm:lru answered from computed trace=\([0-9a-f]*\)$/\1/p' \
+  "$tel_dir/q1.err" | head -n 1)
+if [ -z "$stalled_tid" ]; then
+  echo "ci: telemetry smoke: no echoed trace id on the query stderr" >&2
+  cat "$tel_dir/q1.err" >&2
+  exit 1
+fi
+grep -q "\"trace_id\":\"$stalled_tid\"" "$tel_dir/slow.jsonl" || {
+  echo "ci: telemetry smoke: stalled request not in the slow log under $stalled_tid" >&2
+  cat "$tel_dir/slow.jsonl" >&2
+  exit 1
+}
+grep -q "\"trace_id\":\"$stalled_tid\"" "$tel_dir/trace.json" || {
+  echo "ci: telemetry smoke: client trace id missing from the Chrome trace" >&2
+  exit 1
+}
+
+# determinism: two identically seeded runs, fresh store each, must
+# write byte-identical access logs modulo the wall-clock fields
+for n in 2 3; do
+  "$UCP" serve --socket "$TSOCK" --store "$tel_dir/store$n" -j 1 --cache 1 \
+    --access-log "$tel_dir/access$n.jsonl" 2>"$tel_dir/serve$n.err" &
+  tel_pid=$!
+  "$UCP" query --socket "$TSOCK" --seed 5 \
+    crc:k2:45nm:lru fft1:k2:45nm:lru crc:k2:45nm:lru \
+    >/dev/null 2>&1 || {
+    echo "ci: telemetry smoke: run $n query mix failed" >&2
+    cat "$tel_dir/serve$n.err" >&2
+    exit 1
+  }
+  "$UCP" query --socket "$TSOCK" --shutdown >/dev/null 2>&1
+  wait "$tel_pid" || true
+  sed -E 's/"ts":[^,]+,//; s/"latency_s":[^,]+,//' "$tel_dir/access$n.jsonl" \
+    >"$tel_dir/access$n.stripped"
+done
+cmp -s "$tel_dir/access2.stripped" "$tel_dir/access3.stripped" || {
+  echo "ci: telemetry smoke: identically seeded runs wrote different access logs" >&2
+  diff "$tel_dir/access2.stripped" "$tel_dir/access3.stripped" >&2 || true
+  exit 1
+}
+
+# perf-regression gate, positive: a fresh serve-latency trajectory is
+# inside the tolerance band of the checked-in baseline
+BENCH="./_build/default/bench/main.exe"
+UCP_BENCH10_OUT="$tel_dir/b10.json" \
+  "$BENCH" --serve-trajectory --baseline BENCH_10.json \
+  >"$tel_dir/gate_ok.out" 2>&1 || {
+  echo "ci: telemetry smoke: serve trajectory regressed against BENCH_10.json" >&2
+  cat "$tel_dir/gate_ok.out" >&2
+  exit 1
+}
+grep -q 'gate passed' "$tel_dir/gate_ok.out" || {
+  echo "ci: telemetry smoke: gate ran but reported no verdicts" >&2
+  cat "$tel_dir/gate_ok.out" >&2
+  exit 1
+}
+# negative: an armed stall on a mix case must trip the gate (exit 5)
+status=0
+UCP_FAULT='crc:k1:45nm:lru=stall-request:4' UCP_BENCH10_OUT="$tel_dir/b10s.json" \
+  "$BENCH" --serve-trajectory --baseline BENCH_10.json \
+  >"$tel_dir/gate_bad.out" 2>&1 || status=$?
+if [ "$status" -ne 5 ]; then
+  echo "ci: telemetry smoke: stalled trajectory exited $status, expected 5" >&2
+  cat "$tel_dir/gate_bad.out" >&2
+  exit 1
+fi
+grep -q 'REGRESS' "$tel_dir/gate_bad.out" || {
+  echo "ci: telemetry smoke: failing gate printed no REGRESS verdict" >&2
+  cat "$tel_dir/gate_bad.out" >&2
+  exit 1
+}
+# ucp bench-check reproduces both verdicts from the written files
+"$UCP" bench-check --baseline BENCH_10.json --current "$tel_dir/b10.json" \
+  >/dev/null 2>&1 || {
+  echo "ci: telemetry smoke: bench-check failed the clean trajectory" >&2
+  exit 1
+}
+status=0
+"$UCP" bench-check --baseline BENCH_10.json --current "$tel_dir/b10s.json" \
+  >/dev/null 2>&1 || status=$?
+if [ "$status" -ne 5 ]; then
+  echo "ci: telemetry smoke: bench-check exited $status on the stalled run, expected 5" >&2
+  exit 1
+fi
+echo "ci: telemetry smoke passed"
+
 # Fuzzing smoke: a fixed-seed differential campaign must come back
 # clean and record-for-record deterministic; the checked-in reproducer
 # corpus must replay green; and injected corruptions must be caught,
 # shrunk and deposited as replayable reproducers -- with a tampered
 # entry proving the replay comparison actually bites.
 fuzz_dir=$(mktemp -d)
-trap 'rm -f "$smoke_err"; rm -rf "$obs_dir" "$speed_dir" "$refine_dir" "$serve_dir" "$fuzz_dir"' EXIT
+trap 'rm -f "$smoke_err"; rm -rf "$obs_dir" "$speed_dir" "$refine_dir" "$serve_dir" "$tel_dir" "$fuzz_dir"' EXIT
 
 # fixed seed, zero findings (exit 0), and a rerun is byte-identical
 # modulo the summary line (the only line carrying wall-clock)

@@ -1,0 +1,114 @@
+(* Perf-regression gate over the checked-in BENCH_*.json trajectory
+   files.
+
+   The comparison is structural: objects are walked by key, arrays by
+   index, and every {e time-like} numeric leaf present in both
+   documents is gated — a leaf passes iff
+
+     current <= baseline * factor + slack
+
+   Time-like means the field name ends in [_s] (wall clocks,
+   latency quantiles) or is [ratio] (audited/unaudited overhead).
+   Everything else (case counts, precision deltas like
+   [wcet_delta_pct], NC counts) is informational: those numbers moving
+   is the point of the work, not a regression.  The band is generous on
+   purpose — the gate runs on whatever hardware CI lands on, so it
+   catches order-of-magnitude regressions (a quadratic slip, an
+   accidental sleep), not 10% noise. *)
+
+module Json = Ucp_util.Json
+
+type verdict = {
+  v_path : string;  (* dotted path of the leaf, e.g. tiers[0].p99_s *)
+  v_base : float;
+  v_cur : float;
+  v_limit : float;  (* base * factor + slack *)
+  v_ok : bool;
+}
+
+type outcome = {
+  verdicts : verdict list;  (* gated leaves, document order *)
+  passed : bool;  (* no gated leaf regressed *)
+  gated : int;  (* = List.length verdicts *)
+}
+
+let default_factor = 3.0
+let default_slack = 0.25
+
+let time_like name =
+  let n = String.length name in
+  name = "ratio" || (n > 2 && String.sub name (n - 2) 2 = "_s")
+
+let rec walk ~factor ~slack path name base cur acc =
+  match (base, cur) with
+  | Json.Obj bkvs, Json.Obj ckvs ->
+    (* keys present in both; additive fields are not regressions *)
+    List.fold_left
+      (fun acc (k, bv) ->
+        match List.assoc_opt k ckvs with
+        | None -> acc
+        | Some cv ->
+          let path = if path = "" then k else path ^ "." ^ k in
+          walk ~factor ~slack path k bv cv acc)
+      acc bkvs
+  | Json.Arr bs, Json.Arr cs ->
+    let rec go i acc = function
+      | [], _ | _, [] -> acc
+      | b :: bs, c :: cs ->
+        go (i + 1)
+          (walk ~factor ~slack (Printf.sprintf "%s[%d]" path i) name b c acc)
+          (bs, cs)
+    in
+    go 0 acc (bs, cs)
+  | Json.Num b, Json.Num c when time_like name ->
+    let v_limit = (b *. factor) +. slack in
+    { v_path = path; v_base = b; v_cur = c; v_limit; v_ok = c <= v_limit } :: acc
+  | _ -> acc
+
+let compare_json ?(factor = default_factor) ?(slack = default_slack) ~baseline
+    ~current () =
+  if (not (Float.is_finite factor)) || factor <= 0.0 then
+    invalid_arg "Bench_gate: factor must be a positive number";
+  if (not (Float.is_finite slack)) || slack < 0.0 then
+    invalid_arg "Bench_gate: slack must be a non-negative number";
+  let verdicts = List.rev (walk ~factor ~slack "" "" baseline current []) in
+  {
+    verdicts;
+    passed = List.for_all (fun v -> v.v_ok) verdicts;
+    gated = List.length verdicts;
+  }
+
+let read_json path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    (match Json.parse src with
+    | Ok j -> Ok j
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let compare_files ?factor ?slack ~baseline ~current () =
+  match (read_json baseline, read_json current) with
+  | Error msg, _ | _, Error msg -> Error msg
+  | Ok b, Ok c -> Ok (compare_json ?factor ?slack ~baseline:b ~current:c ())
+
+let render o =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-6s %-28s base %10.4f  current %10.4f  limit %10.4f\n"
+           (if v.v_ok then "ok" else "REGRESS")
+           v.v_path v.v_base v.v_cur v.v_limit))
+    o.verdicts;
+  Buffer.add_string buf
+    (if o.gated = 0 then "no gated (time-like) fields in common: nothing to check\n"
+     else if o.passed then
+       Printf.sprintf "gate passed: %d time-like fields within band\n" o.gated
+     else
+       Printf.sprintf "gate FAILED: %d of %d time-like fields regressed\n"
+         (List.length (List.filter (fun v -> not v.v_ok) o.verdicts))
+         o.gated);
+  Buffer.contents buf

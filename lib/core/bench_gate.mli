@@ -1,0 +1,58 @@
+(** Perf-regression gate over the checked-in [BENCH_*.json] trajectory
+    files: compares a current benchmark document against a baseline and
+    fails when a {e time-like} number left the tolerance band.
+
+    The walk is structural (objects by key, arrays by index; keys
+    missing on either side are skipped, so additive fields are not
+    regressions).  A numeric leaf is gated when its field name ends in
+    [_s] or is [ratio]; it passes iff
+    [current <= baseline * factor + slack].  Counts and precision
+    numbers ([cases], [wcet_delta_pct], ...) are never gated.  The
+    default band ([factor] {!default_factor}, [slack] {!default_slack}
+    seconds) is deliberately wide: the gate flags order-of-magnitude
+    regressions on arbitrary CI hardware, not timing noise. *)
+
+type verdict = {
+  v_path : string;  (** dotted path of the leaf, e.g. [tiers[0].p99_s] *)
+  v_base : float;
+  v_cur : float;
+  v_limit : float;  (** [base * factor + slack] *)
+  v_ok : bool;
+}
+
+type outcome = {
+  verdicts : verdict list;  (** gated leaves, document order *)
+  passed : bool;  (** no gated leaf regressed *)
+  gated : int;
+}
+
+val default_factor : float
+(** 3.0 *)
+
+val default_slack : float
+(** 0.25 s *)
+
+val time_like : string -> bool
+(** Is this field name gated? ([_s] suffix or [ratio].) *)
+
+val compare_json :
+  ?factor:float ->
+  ?slack:float ->
+  baseline:Ucp_util.Json.t ->
+  current:Ucp_util.Json.t ->
+  unit ->
+  outcome
+(** @raise Invalid_argument on a non-positive [factor] or negative
+    [slack]. *)
+
+val compare_files :
+  ?factor:float ->
+  ?slack:float ->
+  baseline:string ->
+  current:string ->
+  unit ->
+  (outcome, string) result
+(** [Error] on an unreadable or unparseable file. *)
+
+val render : outcome -> string
+(** Human-readable verdict table plus a one-line summary. *)

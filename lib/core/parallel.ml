@@ -143,6 +143,14 @@ let restarts pool =
   r
 
 let submit ?(weight = 1) pool task =
+  (* capture the submitter's ambient trace context so spans the task
+     opens on a worker domain carry the originating request's trace id
+     (the serve daemon's cold-compute attribution) *)
+  let task =
+    match Ucp_obs.Ctx.current () with
+    | None -> task
+    | Some c -> fun () -> Ucp_obs.Ctx.with_ctx c task
+  in
   Mutex.lock pool.mutex;
   if pool.closed then begin
     Mutex.unlock pool.mutex;

@@ -436,8 +436,10 @@ let run_chaos_serve cfg ~emit ~dir plan =
             in
             let healthy =
               match Client.query ~retries:4 ~socket P.Health with
-              | Ok (P.Health_stats stats) -> (
-                let stat k = Option.value ~default:0 (List.assoc_opt k stats) in
+              | Ok (P.Health_stats health) -> (
+                let stat k =
+                  Option.value ~default:0 (List.assoc_opt k health.P.counters)
+                in
                 match mode with
                 | Fault.Kill_worker -> stat "worker_restarts" >= 1
                 | Fault.Corrupt_store -> stat "store_quarantined" >= 1

@@ -260,7 +260,7 @@ let serve_identity ?deadline ?(retries = 8) ?(refine = Mode.Nc) ~socket t =
       let local = Experiments.run_case ?deadline ~refine ~model c in
       let expected = Ucp_core.Report.record_json local in
       let module P = Ucp_serve.Protocol in
-      match Ucp_serve.Client.query ~retries ~socket (P.Case id) with
+      match Ucp_serve.Client.query ~retries ~socket (P.Case { id; trace_id = None }) with
       | Ok (P.Record { json; _ }) ->
         if String.equal json expected then Pass
         else
@@ -271,7 +271,7 @@ let serve_identity ?deadline ?(retries = 8) ?(refine = Mode.Nc) ~socket t =
         Finding (finding ~oracle (Printf.sprintf "daemon failed %s: %s" id message))
       | Ok (P.Retry { reason; _ }) ->
         Finding (finding ~oracle (Printf.sprintf "daemon kept shedding %s: %s" id reason))
-      | Ok (P.Health_stats _ | P.Bye) ->
+      | Ok (P.Health_stats _ | P.Metrics_text _ | P.Bye) ->
         Finding (finding ~oracle "daemon returned an unexpected response kind")
       | Error msg ->
         Finding (finding ~oracle (Printf.sprintf "daemon unreachable for %s: %s" id msg)))

@@ -1,0 +1,35 @@
+(* Structured JSONL sink: one JSON object per line, field order
+   exactly as given by the caller, flushed per line so a crash loses at
+   most the line being written (crash-only discipline, same as the
+   serve store).  A single mutex serializes writers — the daemon logs
+   one line per request from whichever connection thread finished it,
+   and interleaved half-lines would break the CI byte-comparison. *)
+
+type t = { oc : out_channel; mutex : Mutex.t; mutable closed : bool }
+
+let open_ path =
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+  in
+  { oc; mutex = Mutex.create (); closed = false }
+
+let write t fields =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        output_string t.oc (Ucp_util.Json.to_string (Ucp_util.Json.Obj fields));
+        output_char t.oc '\n';
+        flush t.oc
+      end)
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        close_out t.oc
+      end)

@@ -1,0 +1,17 @@
+(** Structured JSONL sink for access and slow-query logs.
+
+    One JSON object per line, field order preserved exactly as given,
+    flushed per line; a single mutex serializes concurrent writers so
+    lines from different daemon connection threads never interleave.
+    Writes after {!close} are silently dropped (the daemon's drain
+    path races late connection handlers by design). *)
+
+type t
+
+val open_ : string -> t
+(** Open (append, create 0644) a JSONL sink at [path]. *)
+
+val write : t -> (string * Ucp_util.Json.t) list -> unit
+(** Append one object line with the fields in the given order. *)
+
+val close : t -> unit

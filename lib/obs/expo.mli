@@ -1,0 +1,57 @@
+(** Prometheus text exposition for the {!Metrics} registry.
+
+    Registry names may carry a literal label set —
+    [serve_latency_s{tier="cache"}] — which {!render} splits into a
+    base name and labels so one [# TYPE] line covers the family and
+    histogram suffixes compose with the labels:
+
+    {v
+    # TYPE serve_latency_s histogram
+    serve_latency_s_bucket{tier="cache",le="0.001"} 12
+    ...
+    serve_latency_s_bucket{tier="cache",le="+Inf"} 14
+    serve_latency_s_sum{tier="cache"} 0.42
+    serve_latency_s_count{tier="cache"} 14
+    v}
+
+    {!render} is pure — it formats whatever dump it is given — so
+    tests can pin its output byte-exactly.  {!parse}/{!histograms}
+    invert it for [ucp top] and the CI smoke. *)
+
+type sample = {
+  s_base : string;  (** metric name without the label set *)
+  s_labels : (string * string) list;  (** in exposition order *)
+  s_value : float;
+}
+
+type hist = {
+  h_base : string;
+  h_labels : (string * string) list;  (** without [le] *)
+  h_bounds : float array;  (** finite upper bounds, increasing *)
+  h_counts : int array;  (** per-bucket counts, length [bounds + 1] *)
+  h_sum : float;
+  h_count : int;
+}
+
+val render : (string * Metrics.value) list -> string
+(** Exposition text for a {!Metrics.dump}-shaped list.  Counters and
+    fcounters render as [counter], gauges as [gauge], histograms as
+    cumulative [_bucket]/[_sum]/[_count] rows with a [+Inf] bucket. *)
+
+val parse : string -> (sample list, string) result
+(** Parse exposition text back into samples ([# ] comment and blank
+    lines are skipped).  Strict: any malformed sample line fails. *)
+
+val histograms : sample list -> hist list
+(** Reassemble histogram families from [_bucket]/[_sum]/[_count]
+    samples, de-cumulating the bucket rows; sorted by (base, labels).
+    Non-histogram samples are ignored. *)
+
+val quantile : bounds:float array -> counts:int array -> float -> float
+(** Nearest-rank quantile over per-bucket counts: the inclusive upper
+    bound of the bucket holding the rank — [+inf] when it lands in the
+    overflow bucket, [nan] when the histogram is empty. *)
+
+val fmt_float : float -> string
+(** The number format used by {!render}: integers without exponent,
+    [+Inf]/[-Inf]/[NaN] spelled as Prometheus expects. *)

@@ -1,14 +1,21 @@
 (* Structured tracing: lightweight spans recorded into per-domain
-   buffers and exported as Chrome trace_event JSON (loadable in
+   ring buffers and exported as Chrome trace_event JSON (loadable in
    Perfetto / chrome://tracing).
 
-   Each domain appends completed spans to its own buffer — no lock and
-   no cross-domain write on the hot path; the only shared structure is
-   a registry of buffers, locked once per domain lifetime when the
-   domain records its first span.  While tracing is disabled (the
-   default) [with_span] runs its body directly after a single
-   [Atomic.get], so instrumented code has no measurable overhead in an
-   untraced run. *)
+   Each domain appends completed spans to its own bounded ring — the
+   only shared structure is a registry of rings, locked once per domain
+   lifetime when the domain records its first span.  The ring holds the
+   {e newest} [capacity] spans; once full, each append overwrites the
+   oldest span and bumps {!dropped} (and the
+   [trace_spans_dropped_total] metrics counter), so a long-running
+   --trace'd daemon keeps a window onto recent requests instead of
+   growing without bound.
+
+   The per-ring mutex exists for the daemon: its connection handlers
+   are systhreads sharing domain 0, so one domain state can be mutated
+   from several threads.  While tracing is disabled (the default)
+   [with_span] runs its body directly after a single [Atomic.get], so
+   instrumented code has no measurable overhead in an untraced run. *)
 
 type arg = Int of int | Float of float | Str of string
 
@@ -28,14 +35,29 @@ type open_span = {
   mutable o_args : (string * arg) list;
 }
 
+let dummy_span =
+  { span_name = ""; ts_us = 0.0; dur_us = 0.0; tid = 0; depth = 0; args = [] }
+
 type dstate = {
   tid : int;
+  dmutex : Mutex.t;  (* daemon systhreads share one domain's state *)
   mutable stack : open_span list;  (* innermost first *)
-  mutable closed : span list;  (* completed spans, newest first *)
+  mutable ring : span array;  (* newest [capacity] completed spans *)
+  mutable head : int;  (* next write slot *)
+  mutable filled : int;  (* valid entries, <= Array.length ring *)
 }
 
 let enabled_flag = Atomic.make false
 let epoch = Atomic.make 0.0
+
+(* per-domain ring capacity; applied to new domain states immediately
+   and to existing ones at the next [start]/[clear] *)
+let default_capacity = 65_536
+let capacity_req = Atomic.make default_capacity
+
+(* total spans overwritten before export, across all rings *)
+let dropped_total = Atomic.make 0
+let dropped_metric = lazy (Metrics.counter "trace_spans_dropped_total")
 
 (* every domain that ever recorded a span, so [spans]/[export] can
    collect buffers even after the worker domains have terminated *)
@@ -44,7 +66,16 @@ let registry_mutex = Mutex.create ()
 
 let key =
   Domain.DLS.new_key (fun () ->
-      let st = { tid = (Domain.self () :> int); stack = []; closed = [] } in
+      let st =
+        {
+          tid = (Domain.self () :> int);
+          dmutex = Mutex.create ();
+          stack = [];
+          ring = Array.make (Atomic.get capacity_req) dummy_span;
+          head = 0;
+          filled = 0;
+        }
+      in
       Mutex.lock registry_mutex;
       registry := st :: !registry;
       Mutex.unlock registry_mutex;
@@ -52,13 +83,27 @@ let key =
 
 let enabled () = Atomic.get enabled_flag
 
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  Atomic.set capacity_req n
+
+let capacity () = Atomic.get capacity_req
+let dropped () = Atomic.get dropped_total
+
 let clear () =
   Mutex.lock registry_mutex;
+  let cap = Atomic.get capacity_req in
   List.iter
     (fun st ->
+      Mutex.lock st.dmutex;
       st.stack <- [];
-      st.closed <- [])
+      if Array.length st.ring <> cap then st.ring <- Array.make cap dummy_span
+      else Array.fill st.ring 0 cap dummy_span;
+      st.head <- 0;
+      st.filled <- 0;
+      Mutex.unlock st.dmutex)
     !registry;
+  Atomic.set dropped_total 0;
   Mutex.unlock registry_mutex
 
 let start () =
@@ -70,16 +115,39 @@ let stop () = Atomic.set enabled_flag false
 
 let now_us () = (Unix.gettimeofday () -. Atomic.get epoch) *. 1e6
 
+(* caller holds [st.dmutex] *)
+let append st s =
+  let cap = Array.length st.ring in
+  st.ring.(st.head) <- s;
+  st.head <- (st.head + 1) mod cap;
+  if st.filled < cap then st.filled <- st.filled + 1
+  else begin
+    (* overwrote the oldest span *)
+    Atomic.incr dropped_total;
+    Metrics.incr (Lazy.force dropped_metric)
+  end
+
 let with_span ~name ?(args = []) f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
     let st = Domain.DLS.get key in
+    (* requests carry their trace id into every span they open, so the
+       exported trace shows one connected tree per request *)
+    let args =
+      match Ctx.current () with
+      | Some c when not (List.mem_assoc "trace_id" args) ->
+        ("trace_id", Str (Ctx.trace_hex c)) :: args
+      | Some _ | None -> args
+    in
+    Mutex.lock st.dmutex;
     let o =
       { o_name = name; o_t0 = now_us (); o_depth = List.length st.stack; o_args = args }
     in
     st.stack <- o :: st.stack;
+    Mutex.unlock st.dmutex;
     Fun.protect
       ~finally:(fun () ->
+        Mutex.lock st.dmutex;
         (match st.stack with
         | top :: rest when top == o -> st.stack <- rest
         | _ ->
@@ -90,7 +158,7 @@ let with_span ~name ?(args = []) f =
             | [] -> []
           in
           st.stack <- pop st.stack);
-        st.closed <-
+        append st
           {
             span_name = o.o_name;
             ts_us = o.o_t0;
@@ -98,26 +166,42 @@ let with_span ~name ?(args = []) f =
             tid = st.tid;
             depth = o.o_depth;
             args = List.rev o.o_args;
-          }
-          :: st.closed)
+          };
+        Mutex.unlock st.dmutex)
       f
   end
 
 let set_arg name value =
   if Atomic.get enabled_flag then begin
     let st = Domain.DLS.get key in
-    match st.stack with
-    | o :: _ -> o.o_args <- (name, value) :: List.filter (fun (k, _) -> k <> name) o.o_args
-    | [] -> ()
+    Mutex.lock st.dmutex;
+    (match st.stack with
+    | o :: _ ->
+      o.o_args <- (name, value) :: List.filter (fun (k, _) -> k <> name) o.o_args
+    | [] -> ());
+    Mutex.unlock st.dmutex
   end
 
-(* Collect the completed spans of every domain, oldest first.  Callers
-   must have synchronized with the recording domains (e.g. joined the
-   worker pool) — the buffers are not locked. *)
+(* Collect the completed spans of every domain, oldest first.  Each
+   ring is snapshotted under its own mutex, so collection is safe even
+   while daemon threads are still recording. *)
 let spans () =
   Mutex.lock registry_mutex;
-  let all = List.concat_map (fun st -> st.closed) !registry in
+  let states = !registry in
   Mutex.unlock registry_mutex;
+  let all =
+    List.concat_map
+      (fun st ->
+        Mutex.lock st.dmutex;
+        let cap = Array.length st.ring in
+        let out =
+          List.init st.filled (fun i ->
+              st.ring.((st.head - st.filled + i + (2 * cap)) mod cap))
+        in
+        Mutex.unlock st.dmutex;
+        out)
+      states
+  in
   List.sort (fun a b -> compare (a.ts_us, a.tid) (b.ts_us, b.tid)) all
 
 (* ------------------------------------------------------------------ *)

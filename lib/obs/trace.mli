@@ -5,13 +5,20 @@
     Recording is {e zero-cost when disabled}: [with_span] runs its body
     directly after one [Atomic.get], allocates nothing and records
     nothing.  When enabled, each domain appends completed spans to its
-    own buffer — the hot path takes no lock and writes no shared
-    memory, so tracing a parallel sweep perturbs its timing by well
-    under the 5%% overhead budget.
+    own {e bounded ring} (default {!default_capacity} spans, see
+    {!set_capacity}): once full, each append overwrites the oldest span
+    and bumps {!dropped} plus the [trace_spans_dropped_total] metrics
+    counter, so a long-running traced daemon keeps a recent window
+    instead of growing without bound.
 
-    {!spans}, {!to_json} and {!export} read the domain buffers without
-    locking them; call them only after the recording domains have been
-    joined (the sweep engine shuts its pool down before returning). *)
+    Spans opened while a {!Ctx} ambient context is installed
+    automatically carry a ["trace_id"] argument, which is what connects
+    the per-tier spans of one daemon request into a single tree.
+
+    Each ring carries its own mutex (the daemon's connection handlers
+    are systhreads sharing one domain's state), so {!spans},
+    {!to_json} and {!export} are safe to call while recording
+    continues; they snapshot each ring in turn. *)
 
 type arg = Int of int | Float of float | Str of string
 
@@ -29,6 +36,23 @@ val start : unit -> unit
 
 val stop : unit -> unit
 val enabled : unit -> bool
+
+val default_capacity : int
+(** Per-domain ring capacity unless overridden: 65536 spans. *)
+
+val set_capacity : int -> unit
+(** Set the per-domain ring capacity.  Applies to domains that record
+    their first span afterwards immediately, and to existing rings at
+    the next {!start} (which reallocates them).  Raises [Invalid_arg]
+    unless positive. *)
+
+val capacity : unit -> int
+(** The currently requested per-domain ring capacity. *)
+
+val dropped : unit -> int
+(** Spans overwritten before export since the last {!start}, summed
+    over all rings.  Also surfaced as the [trace_spans_dropped_total]
+    metrics counter when the registry is enabled. *)
 
 val with_span : name:string -> ?args:(string * arg) list -> (unit -> 'a) -> 'a
 (** Run the body inside a span.  The span is recorded (with the time

@@ -49,7 +49,9 @@ let once ~socket req =
             Error (Printf.sprintf "send: %s" (Unix.error_message e))
           | () -> read_response fd))
 
-let idempotent = function P.Case _ | P.Health -> true | P.Shutdown -> false
+let idempotent = function
+  | P.Case _ | P.Health | P.Metrics -> true
+  | P.Shutdown -> false
 
 (* Every failure mode short of a definitive daemon answer is worth a
    retry for an idempotent request: connection refused (daemon
@@ -69,10 +71,10 @@ let query ?(retries = 8) ?(seed = 1) ?base ?cap ~socket req =
       Error (Printf.sprintf "giving up after %d attempts: %s" retries last_err)
     else
       match once ~socket req with
-      | Ok (P.Retry { after_s; reason }) when idempotent req ->
+      | Ok (P.Retry { after_s; reason; _ }) when idempotent req ->
         sleep after_s;
         go (attempt + 1) (Printf.sprintf "daemon shedding load: %s" reason)
-      | Ok (P.Failed { retryable = true; message }) when idempotent req ->
+      | Ok (P.Failed { retryable = true; message; _ }) when idempotent req ->
         sleep 0.0;
         go (attempt + 1) message
       | Ok resp -> Ok resp

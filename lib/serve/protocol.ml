@@ -4,20 +4,40 @@ module Json = Ucp_util.Json
 (* wire types *)
 
 type request =
-  | Case of string
+  | Case of { id : string; trace_id : string option }
   | Health
+  | Metrics
   | Shutdown
 
 type source = Memory | Store | Computed
 
+type hist_stat = { hs_count : int; hs_sum : float }
+
+type health = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  hists : (string * hist_stat) list;
+}
+
 type response =
-  | Record of { id : string; source : source; json : string }
-  | Health_stats of (string * int) list
-  | Retry of { after_s : float; reason : string }
-  | Failed of { retryable : bool; message : string }
+  | Record of { id : string; source : source; json : string; trace_id : string option }
+  | Health_stats of health
+  | Metrics_text of string
+  | Retry of { after_s : float; reason : string; trace_id : string option }
+  | Failed of { retryable : bool; message : string; trace_id : string option }
   | Bye
 
 let version = 1
+
+(* trace ids are the textual form of Ucp_obs.Ctx ids: exactly 16
+   lowercase hex digits.  Validated strictly on decode — the id ends up
+   verbatim in log lines and trace files, so arbitrary bytes are not
+   welcome. *)
+let valid_trace_id s =
+  String.length s = 16
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s
 
 (* ------------------------------------------------------------------ *)
 (* framing: "<decimal length>\n<payload>\n".  The length line bounds
@@ -83,12 +103,30 @@ let source_of_string = function
 
 let v_field = ("v", Json.Num (float_of_int version))
 
+(* additive optional field: absent on the wire when [None], so a
+   message without a trace id is byte-identical to what the previous
+   protocol revision emitted *)
+let trace_field = function
+  | None -> []
+  | Some t -> [ ("trace_id", Json.Str t) ]
+
 let request_to_string = function
-  | Case id -> Json.to_string (Json.Obj [ v_field; ("req", Str "case"); ("id", Str id) ])
+  | Case { id; trace_id } ->
+    Json.to_string
+      (Json.Obj
+         ([ v_field; ("req", Str "case"); ("id", Str id) ] @ trace_field trace_id))
   | Health -> Json.to_string (Json.Obj [ v_field; ("req", Str "health") ])
+  | Metrics -> Json.to_string (Json.Obj [ v_field; ("req", Str "metrics") ])
   | Shutdown -> Json.to_string (Json.Obj [ v_field; ("req", Str "shutdown") ])
 
 let str_member key j = Option.bind (Json.member key j) Json.to_str
+
+(* [Ok None] when absent, [Ok (Some t)] when well-formed *)
+let trace_member j =
+  match str_member "trace_id" j with
+  | None -> Ok None
+  | Some t when valid_trace_id t -> Ok (Some t)
+  | Some t -> Error (Printf.sprintf "malformed trace_id %S" t)
 
 let check_version j =
   match Option.bind (Json.member "v" j) Json.to_int with
@@ -105,47 +143,121 @@ let request_of_string s =
     | Ok () -> (
       match str_member "req" j with
       | Some "case" -> (
-        match str_member "id" j with
-        | Some id when id <> "" -> Ok (Case id)
-        | Some _ | None -> Error "case request without an id")
+        match (str_member "id" j, trace_member j) with
+        | Some id, Ok trace_id when id <> "" -> Ok (Case { id; trace_id })
+        | _, (Error _ as e) -> e
+        | (Some _ | None), Ok _ -> Error "case request without an id")
       | Some "health" -> Ok Health
+      | Some "metrics" -> Ok Metrics
       | Some "shutdown" -> Ok Shutdown
       | Some other -> Error (Printf.sprintf "unknown request %S" other)
       | None -> Error "request without a req field"))
 
+let health_to_fields { counters; gauges; hists } =
+  [
+    (* the pre-telemetry field, kept first so old clients that only
+       read [stats] keep working against new servers *)
+    ( "stats",
+      Json.Obj (List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) counters) );
+  ]
+  @ (match gauges with
+    | [] -> []
+    | gauges -> [ ("gauges", Json.Obj (List.map (fun (k, x) -> (k, Json.Num x)) gauges)) ])
+  @
+  match hists with
+  | [] -> []
+  | hists ->
+    [
+      ( "hists",
+        Json.Obj
+          (List.map
+             (fun (k, { hs_count; hs_sum }) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("count", Json.Num (float_of_int hs_count));
+                     ("sum", Json.Num hs_sum);
+                   ] ))
+             hists) );
+    ]
+
 let response_to_string = function
-  | Record { id; source; json } ->
+  | Record { id; source; json; trace_id } ->
     Json.to_string
       (Json.Obj
-         [
-           v_field;
-           ("resp", Str "record");
-           ("id", Str id);
-           ("source", Str (source_to_string source));
-           ("record", Str json);
-         ])
-  | Health_stats stats ->
+         ([
+            v_field;
+            ("resp", Str "record");
+            ("id", Str id);
+            ("source", Str (source_to_string source));
+            ("record", Str json);
+          ]
+         @ trace_field trace_id))
+  | Health_stats health ->
+    Json.to_string
+      (Json.Obj ((v_field :: [ ("resp", Str "health") ]) @ health_to_fields health))
+  | Metrics_text text ->
+    Json.to_string (Json.Obj [ v_field; ("resp", Str "metrics"); ("text", Str text) ])
+  | Retry { after_s; reason; trace_id } ->
     Json.to_string
       (Json.Obj
-         [
-           v_field;
-           ("resp", Str "health");
-           ("stats", Obj (List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) stats));
-         ])
-  | Retry { after_s; reason } ->
+         ([
+            v_field; ("resp", Str "retry"); ("after_s", Num after_s); ("reason", Str reason);
+          ]
+         @ trace_field trace_id))
+  | Failed { retryable; message; trace_id } ->
     Json.to_string
       (Json.Obj
-         [ v_field; ("resp", Str "retry"); ("after_s", Num after_s); ("reason", Str reason) ])
-  | Failed { retryable; message } ->
-    Json.to_string
-      (Json.Obj
-         [
-           v_field;
-           ("resp", Str "error");
-           ("retryable", Bool retryable);
-           ("message", Str message);
-         ])
+         ([
+            v_field;
+            ("resp", Str "error");
+            ("retryable", Bool retryable);
+            ("message", Str message);
+          ]
+         @ trace_field trace_id))
   | Bye -> Json.to_string (Json.Obj [ v_field; ("resp", Str "bye") ])
+
+let int_obj_member key j =
+  match Json.member key j with
+  | Some (Json.Obj kvs) ->
+    let ints =
+      List.filter_map
+        (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int v))
+        kvs
+    in
+    if List.length ints = List.length kvs then Some ints else None
+  | Some _ -> None
+  | None -> Some []
+
+let float_obj_member key j =
+  match Json.member key j with
+  | Some (Json.Obj kvs) ->
+    let floats =
+      List.filter_map
+        (fun (k, v) -> Option.map (fun x -> (k, x)) (Json.to_float v))
+        kvs
+    in
+    if List.length floats = List.length kvs then Some floats else None
+  | Some _ -> None
+  | None -> Some []
+
+let hists_member j =
+  match Json.member "hists" j with
+  | Some (Json.Obj kvs) ->
+    let hists =
+      List.filter_map
+        (fun (k, v) ->
+          match
+            ( Option.bind (Json.member "count" v) Json.to_int,
+              Option.bind (Json.member "sum" v) Json.to_float )
+          with
+          | Some hs_count, Some hs_sum -> Some (k, { hs_count; hs_sum })
+          | _ -> None)
+        kvs
+    in
+    if List.length hists = List.length kvs then Some hists else None
+  | Some _ -> None
+  | None -> Some []
 
 let response_of_string s =
   match Json.parse s with
@@ -158,31 +270,44 @@ let response_of_string s =
       | Some "record" -> (
         match
           (str_member "id" j, Option.bind (str_member "source" j) source_of_string,
-           str_member "record" j)
+           str_member "record" j, trace_member j)
         with
-        | Some id, Some source, Some json -> Ok (Record { id; source; json })
+        | Some id, Some source, Some json, Ok trace_id ->
+          Ok (Record { id; source; json; trace_id })
+        | _, _, _, (Error _ as e) -> e
         | _ -> Error "record response with missing fields")
       | Some "health" -> (
+        (* [stats] is required (it predates telemetry); [gauges] and
+           [hists] are additive — absent means empty, so an answer from
+           an old server still decodes *)
         match Json.member "stats" j with
-        | Some (Json.Obj kvs) ->
-          let ints =
-            List.filter_map
-              (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int v))
-              kvs
-          in
-          if List.length ints = List.length kvs then Ok (Health_stats ints)
-          else Error "health response with non-integer stats"
+        | Some (Json.Obj _) -> (
+          match (int_obj_member "stats" j, float_obj_member "gauges" j, hists_member j)
+          with
+          | Some counters, Some gauges, Some hists ->
+            Ok (Health_stats { counters; gauges; hists })
+          | None, _, _ -> Error "health response with non-integer stats"
+          | _, None, _ -> Error "health response with non-numeric gauges"
+          | _, _, None -> Error "health response with malformed hists")
         | Some _ | None -> Error "health response without stats")
+      | Some "metrics" -> (
+        match str_member "text" j with
+        | Some text -> Ok (Metrics_text text)
+        | None -> Error "metrics response without text")
       | Some "retry" -> (
         match
-          (Option.bind (Json.member "after_s" j) Json.to_float, str_member "reason" j)
+          (Option.bind (Json.member "after_s" j) Json.to_float, str_member "reason" j,
+           trace_member j)
         with
-        | Some after_s, Some reason when after_s >= 0.0 -> Ok (Retry { after_s; reason })
+        | Some after_s, Some reason, Ok trace_id when after_s >= 0.0 ->
+          Ok (Retry { after_s; reason; trace_id })
+        | _, _, (Error _ as e) -> e
         | _ -> Error "retry response with missing fields")
       | Some "error" -> (
-        match (Json.member "retryable" j, str_member "message" j) with
-        | Some (Json.Bool retryable), Some message ->
-          Ok (Failed { retryable; message })
+        match (Json.member "retryable" j, str_member "message" j, trace_member j) with
+        | Some (Json.Bool retryable), Some message, Ok trace_id ->
+          Ok (Failed { retryable; message; trace_id })
+        | _, _, (Error _ as e) -> e
         | _ -> Error "error response with missing fields")
       | Some "bye" -> Ok Bye
       | Some other -> Error (Printf.sprintf "unknown response %S" other)

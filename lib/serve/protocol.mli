@@ -7,14 +7,26 @@
     distinguishable from a malformed one ({!Incomplete} vs
     {!Malformed}), and garbage never parses as a message, so a client
     talking to the wrong socket gets a clean error instead of
-    undefined behaviour. *)
+    undefined behaviour.
+
+    The telemetry revision extends version 1 {e additively}: requests
+    may carry an optional [trace_id] (16 lowercase hex digits, see
+    {!Ucp_obs.Ctx}) which the daemon echoes in its answer; the health
+    reply grew optional [gauges] and [hists] objects next to the
+    original integer [stats]; and a [metrics] query returns the full
+    registry as Prometheus text.  A message without the new fields is
+    byte-identical to the pre-telemetry encoding, so old and new peers
+    interoperate both ways. *)
 
 (** {2 Messages} *)
 
 type request =
-  | Case of string
-      (** evaluate (or recall) one use case by {!Experiments.case_id} *)
+  | Case of { id : string; trace_id : string option }
+      (** evaluate (or recall) one use case by {!Experiments.case_id};
+          [trace_id] is the client-assigned request trace id, echoed in
+          the reply and stamped on every daemon log line and span *)
   | Health  (** daemon statistics snapshot *)
+  | Metrics  (** full metrics registry as Prometheus exposition text *)
   | Shutdown  (** ack with {!Bye}, then drain and exit *)
 
 (** Where the answer came from — surfaced so tests and the CI smoke can
@@ -24,17 +36,34 @@ type source =
   | Store  (** on-disk content-addressed store *)
   | Computed  (** cold: evaluated on the worker pool *)
 
+type hist_stat = { hs_count : int; hs_sum : float }
+(** Histogram summary riding the health reply (full bucket vectors go
+    through {!Metrics}). *)
+
+type health = {
+  counters : (string * int) list;
+      (** integer counters — the original health payload *)
+  gauges : (string * float) list;
+  hists : (string * hist_stat) list;
+}
+
 type response =
-  | Record of { id : string; source : source; json : string }
+  | Record of { id : string; source : source; json : string; trace_id : string option }
       (** [json] is the {!Ucp_core.Report.record_json} line of the case
           — byte-identical to what a batch sweep would emit for it *)
-  | Health_stats of (string * int) list
-  | Retry of { after_s : float; reason : string }
+  | Health_stats of health
+  | Metrics_text of string  (** Prometheus text, see {!Ucp_obs.Expo} *)
+  | Retry of { after_s : float; reason : string; trace_id : string option }
       (** load shed: come back after [after_s] seconds *)
-  | Failed of { retryable : bool; message : string }
+  | Failed of { retryable : bool; message : string; trace_id : string option }
   | Bye  (** shutdown acknowledged *)
 
 val version : int
+
+val valid_trace_id : string -> bool
+(** Exactly 16 lowercase hex digits — the {!Ucp_obs.Ctx.to_hex} form.
+    Anything else is rejected at decode time: the id lands verbatim in
+    log lines and trace files. *)
 
 (** {2 Framing} *)
 

@@ -9,6 +9,9 @@ module Parallel = Ucp_core.Parallel
 module Fault = Ucp_core.Fault
 module Deadline = Ucp_util.Deadline
 module Lru = Ucp_util.Lru
+module Ctx = Ucp_obs.Ctx
+module Trace = Ucp_obs.Trace
+module Metrics = Ucp_obs.Metrics
 module P = Protocol
 
 type config = {
@@ -19,6 +22,11 @@ type config = {
   queue_limit : int;
   timeout : float option;
   refine : Ucp_refine.Mode.t;
+  access_log : string option;
+  slow_log : string option;
+  slow_threshold_s : float;
+  trace : string option;
+  trace_seed : int;
 }
 
 let default_config ~socket ~store_dir =
@@ -30,7 +38,42 @@ let default_config ~socket ~store_dir =
     queue_limit = 32;
     timeout = None;
     refine = Ucp_refine.Mode.Nc;
+    access_log = None;
+    slow_log = None;
+    slow_threshold_s = 1.0;
+    trace = None;
+    trace_seed = 0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* service-level instruments *)
+
+(* sub-ms to 10 s: cache hits land in the first buckets, cold analyses
+   in the last few; the +inf bucket catches fault-stalled requests *)
+let latency_buckets =
+  [| 0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0 |]
+
+(* the request tiers; also the exposition label values *)
+let tiers = [ "cache"; "store"; "cold"; "shed" ]
+
+let serve_latency tier =
+  Metrics.histogram
+    (Printf.sprintf "serve_latency_s{tier=%S}" tier)
+    ~buckets:latency_buckets
+
+let store_read_s =
+  lazy
+    (Metrics.histogram "store_read_s"
+       ~buckets:[| 0.0001; 0.00025; 0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1 |])
+
+let m_requests = lazy (Metrics.counter "serve_requests_total")
+let m_cache_hits = lazy (Metrics.counter "serve_cache_hits_total")
+let m_cache_misses = lazy (Metrics.counter "serve_cache_misses_total")
+let m_store_hits = lazy (Metrics.counter "serve_store_hits_total")
+let m_computed = lazy (Metrics.counter "serve_computed_total")
+let m_shed = lazy (Metrics.counter "serve_shed_total")
+let m_slow = lazy (Metrics.counter "serve_slow_requests_total")
+let m_queue_depth = lazy (Metrics.gauge "serve_queue_depth")
 
 (* ------------------------------------------------------------------ *)
 (* server state *)
@@ -59,6 +102,11 @@ type t = {
   models : (Config.t * Tech.t, Ucp_energy.Cacti.t) Hashtbl.t;
   mmutex : Mutex.t;
   stats : stats;
+  alog : Ucp_obs.Access_log.t option;  (* one line per request *)
+  slog : Ucp_obs.Access_log.t option;  (* requests above the slow threshold *)
+  (* requests that arrive without a client trace id get one derived
+     from (trace_seed, arrival index) — deterministic per daemon run *)
+  req_index : int Atomic.t;
 }
 
 let tally t f =
@@ -168,96 +216,133 @@ let await slot =
   Mutex.unlock slot.sm;
   r
 
-let compute t id (c : Experiments.case) key =
+let compute t ~trace id (c : Experiments.case) key =
   let slot = { sm = Mutex.create (); sc = Condition.create (); sres = None } in
   let model = model t c in
+  (* [Parallel.submit] captures the connection thread's ambient trace
+     context, so the spans the pipeline opens on the pool domain carry
+     this request's trace id *)
   Parallel.submit t.pool (fun () ->
+      (* if the task dies on an exception that escapes isolation, the
+         default below is what keeps the request from hanging: the
+         client gets a retryable error while the pool replaces the dead
+         domain *)
+      let result =
+        ref
+          (P.Failed
+             {
+               retryable = true;
+               message = "worker domain died mid-request; retry";
+               trace_id = trace;
+             })
+      in
       Fun.protect
         ~finally:(fun () ->
+          (* release the admission slot before waking the client: a
+             sequential client must observe the queue depth its own
+             requests imply, not a race with this task's teardown *)
           tally t (fun s -> s.inflight <- s.inflight - 1);
-          (* normally a no-op (the slot is already filled); if the task
-             is dying on an exception that escapes isolation, this is
-             what keeps the request from hanging: the client gets a
-             retryable error while the pool replaces the dead domain *)
-          fill slot
-            (P.Failed
-               {
-                 retryable = true;
-                 message = "worker domain died mid-request; retry";
-               }))
+          fill slot !result)
         (fun () ->
           let resp =
-            match
-              let deadline = Option.map Deadline.after t.cfg.timeout in
-              (* fault hooks run on the pool domain, so a kill-worker
-                 hook kills a worker, not the connection thread *)
-              Fault.apply_pre ?deadline id;
-              let r =
-                Experiments.run_case ?deadline ~memo:t.memo
-                  ~refine:t.cfg.refine
-                  ~corrupt_refine:(Fault.corrupt_refine id) ~model c
-              in
-              let r = Fault.corrupt id r in
-              match Experiments.check_invariants r with
-              | Error msg -> Error (Printf.sprintf "invariant violation: %s" msg)
-              | Ok () -> Ok r
-            with
-            | Ok r ->
-              let line = Checkpoint.record_line ~id r in
-              let json = Report.record_json r in
-              Store.put t.store ~id ~key line;
-              cache_add t id (line, json);
-              tally t (fun s -> s.computed_total <- s.computed_total + 1);
-              P.Record { id; source = P.Computed; json }
-            | Error msg -> P.Failed { retryable = false; message = msg }
-            | exception Deadline.Deadline_exceeded ->
-              P.Failed { retryable = false; message = "case deadline exceeded" }
-            | exception (Fault.Killed_worker _ as e) -> raise e
-            | exception exn ->
-              P.Failed { retryable = false; message = Printexc.to_string exn }
+            Trace.with_span ~name:"compute"
+              ~args:[ ("id", Trace.Str id) ]
+              (fun () ->
+                match
+                  let deadline = Option.map Deadline.after t.cfg.timeout in
+                  (* fault hooks run on the pool domain, so a kill-worker
+                     hook kills a worker, not the connection thread *)
+                  Fault.apply_pre ?deadline id;
+                  let r =
+                    Experiments.run_case ?deadline ~memo:t.memo
+                      ~refine:t.cfg.refine
+                      ~corrupt_refine:(Fault.corrupt_refine id) ~model c
+                  in
+                  let r = Fault.corrupt id r in
+                  match Experiments.check_invariants r with
+                  | Error msg -> Error (Printf.sprintf "invariant violation: %s" msg)
+                  | Ok () -> Ok r
+                with
+                | Ok r ->
+                  let line = Checkpoint.record_line ~id r in
+                  let json = Report.record_json r in
+                  Store.put t.store ~id ~key line;
+                  cache_add t id (line, json);
+                  tally t (fun s -> s.computed_total <- s.computed_total + 1);
+                  Metrics.incr (Lazy.force m_computed);
+                  P.Record { id; source = P.Computed; json; trace_id = trace }
+                | Error msg ->
+                  P.Failed { retryable = false; message = msg; trace_id = trace }
+                | exception Deadline.Deadline_exceeded ->
+                  P.Failed
+                    {
+                      retryable = false;
+                      message = "case deadline exceeded";
+                      trace_id = trace;
+                    }
+                | exception (Fault.Killed_worker _ as e) -> raise e
+                | exception exn ->
+                  P.Failed
+                    {
+                      retryable = false;
+                      message = Printexc.to_string exn;
+                      trace_id = trace;
+                    })
           in
-          fill slot resp));
+          result := resp));
   await slot
 
 (* ------------------------------------------------------------------ *)
 (* request handling (runs on the per-connection thread) *)
 
-let answer_case t id =
+(* the answer plus which tier settled it: cache | store | cold | shed,
+   or "reject" for requests that never reached a tier (bad id, deadline
+   during an injected stall) *)
+let answer_case t ~trace id =
   tally t (fun s -> s.requests_total <- s.requests_total + 1);
+  Metrics.incr (Lazy.force m_requests);
   match resolve_case id with
-  | Error msg -> P.Failed { retryable = false; message = msg }
+  | Error msg -> (P.Failed { retryable = false; message = msg; trace_id = trace }, "reject")
   | Ok c -> (
     match
       let deadline = Option.map Deadline.after t.cfg.timeout in
       Option.iter (Fault.busy_wait ?deadline) (Fault.stall_request id)
     with
     | exception Deadline.Deadline_exceeded ->
-      P.Failed { retryable = false; message = "case deadline exceeded" }
+      ( P.Failed { retryable = false; message = "case deadline exceeded"; trace_id = trace },
+        "reject" )
     | () -> (
-      match cache_find t id with
+      match Trace.with_span ~name:"cache_lookup" (fun () -> cache_find t id) with
       | Some (_, json) ->
         tally t (fun s -> s.cache_hits <- s.cache_hits + 1);
-        P.Record { id; source = P.Memory; json }
+        Metrics.incr (Lazy.force m_cache_hits);
+        (P.Record { id; source = P.Memory; json; trace_id = trace }, "cache")
       | None -> (
         tally t (fun s -> s.cache_misses <- s.cache_misses + 1);
+        Metrics.incr (Lazy.force m_cache_misses);
         let key = Store.key ~refine:t.cfg.refine c in
         let from_store =
-          match Store.find t.store ~key with
-          | None -> None
-          | Some line -> (
-            match Checkpoint.parse_line line with
-            | Some (id', r) when id' = id -> Some (line, Report.record_json r)
-            | Some _ | None ->
-              (* checksum-clean but semantically wrong: same self-heal
-                 path as bit rot *)
-              Store.quarantine t.store ~key "unparseable entry";
-              None)
+          Trace.with_span ~name:"store_lookup" (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let found = Store.find t.store ~key in
+              Metrics.observe (Lazy.force store_read_s) (Unix.gettimeofday () -. t0);
+              match found with
+              | None -> None
+              | Some line -> (
+                match Checkpoint.parse_line line with
+                | Some (id', r) when id' = id -> Some (line, Report.record_json r)
+                | Some _ | None ->
+                  (* checksum-clean but semantically wrong: same self-heal
+                     path as bit rot *)
+                  Store.quarantine t.store ~key "unparseable entry";
+                  None))
         in
         match from_store with
         | Some (line, json) ->
           tally t (fun s -> s.store_hits <- s.store_hits + 1);
+          Metrics.incr (Lazy.force m_store_hits);
           cache_add t id (line, json);
-          P.Record { id; source = P.Store; json }
+          (P.Record { id; source = P.Store; json; trace_id = trace }, "store")
         | None ->
           (* cold: bounded admission — cache/store answers above never
              shed, so an overloaded daemon degrades to cache-only *)
@@ -272,15 +357,19 @@ let answer_case t id =
                   true
                 end)
           in
-          if not admitted then
-            P.Retry
-              {
-                after_s = 0.25;
-                reason =
-                  Printf.sprintf "admission queue full (%d in flight)"
-                    t.cfg.queue_limit;
-              }
-          else compute t id c key)))
+          if not admitted then begin
+            Metrics.incr (Lazy.force m_shed);
+            ( P.Retry
+                {
+                  after_s = 0.25;
+                  reason =
+                    Printf.sprintf "admission queue full (%d in flight)"
+                      t.cfg.queue_limit;
+                  trace_id = trace;
+                },
+              "shed" )
+          end
+          else (compute t ~trace id c key, "cold"))))
 
 let health t =
   let s =
@@ -295,28 +384,118 @@ let health t =
           ("queue_depth", s.inflight);
         ])
   in
-  let metrics =
-    (* integer counters from the PR-5 registry (worker_restarts_total,
-       store_quarantined_total, fixpoint/pivot counts, ...) ride along *)
+  (* the full registry rides along: integer counters in the original
+     [stats] payload, gauges/fcounters and histogram count+sum in the
+     additive fields (full bucket vectors go through [Metrics]) *)
+  let dump = Ucp_obs.Metrics.dump () in
+  let counters =
     List.filter_map
       (function
         | name, Ucp_obs.Metrics.Counter n -> Some (name, n)
         | _ -> None)
-      (Ucp_obs.Metrics.dump ())
+      dump
+  in
+  let gauges =
+    List.filter_map
+      (function
+        | name, Ucp_obs.Metrics.Gauge x | name, Ucp_obs.Metrics.Fcounter x ->
+          Some (name, x)
+        | _ -> None)
+      dump
+  in
+  let hists =
+    List.filter_map
+      (function
+        | name, Ucp_obs.Metrics.Histogram { sum; count; _ } ->
+          Some (name, { P.hs_count = count; hs_sum = sum })
+        | _ -> None)
+      dump
   in
   P.Health_stats
-    (s
-    @ [
-        ("worker_restarts", Parallel.restarts t.pool);
-        ("store_quarantined", Store.quarantined t.store);
-        ("store_corruptions_injected", Store.corruptions_injected t.store);
-        ("cache_evictions",
-         (Mutex.lock t.cmutex;
-          let e = Lru.evictions t.cache in
-          Mutex.unlock t.cmutex;
-          e));
-      ]
-    @ metrics)
+    {
+      counters =
+        s
+        @ [
+            ("worker_restarts", Parallel.restarts t.pool);
+            ("store_quarantined", Store.quarantined t.store);
+            ("store_corruptions_injected", Store.corruptions_injected t.store);
+            ("cache_evictions",
+             (Mutex.lock t.cmutex;
+              let e = Lru.evictions t.cache in
+              Mutex.unlock t.cmutex;
+              e));
+          ]
+        @ counters;
+      gauges;
+      hists;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* per-request accounting: latency histogram, access log, slow log *)
+
+let log_request t ~trace ~id ~tier ~outcome ~latency ~queue_depth =
+  if List.mem tier tiers then Metrics.observe (serve_latency tier) latency;
+  let fields threshold =
+    (* field order is the byte order on disk; [ts] and [latency_s] are
+       the only non-deterministic fields, and they sit mid-object so
+       the CI can sed-strip them and byte-compare the rest *)
+    [
+      ("ts", Ucp_util.Json.Num (Unix.gettimeofday ()));
+      ("trace_id", Ucp_util.Json.Str trace);
+      ("id", Ucp_util.Json.Str id);
+      ("tier", Ucp_util.Json.Str tier);
+      ("outcome", Ucp_util.Json.Str outcome);
+      ("latency_s", Ucp_util.Json.Num latency);
+      ("queue_depth", Ucp_util.Json.Num (float_of_int queue_depth));
+    ]
+    @
+    match threshold with
+    | None -> []
+    | Some th -> [ ("threshold_s", Ucp_util.Json.Num th) ]
+  in
+  Option.iter (fun l -> Ucp_obs.Access_log.write l (fields None)) t.alog;
+  if latency >= t.cfg.slow_threshold_s then begin
+    Metrics.incr (Lazy.force m_slow);
+    Ucp_obs.Log.warn "[serve] slow request trace=%s id=%s tier=%s %.3fs" trace id
+      tier latency;
+    Option.iter
+      (fun l -> Ucp_obs.Access_log.write l (fields (Some t.cfg.slow_threshold_s)))
+      t.slog
+  end
+
+let outcome_of_response = function
+  | P.Record _ -> "ok"
+  | P.Retry _ -> "retry"
+  | P.Failed { retryable = true; _ } -> "retryable_error"
+  | P.Failed { retryable = false; _ } -> "error"
+  | P.Health_stats _ | P.Metrics_text _ | P.Bye -> "ok"
+
+let serve_case t ~trace_id id =
+  (* adopt the client's trace id, or derive a deterministic one from
+     the arrival index so untraced clients still correlate *)
+  let ctx =
+    match Option.bind trace_id Ctx.of_hex with
+    | Some tid -> Ctx.root tid
+    | None ->
+      Ctx.derive ~seed:t.cfg.trace_seed
+        ~index:(Atomic.fetch_and_add t.req_index 1)
+  in
+  let trace = Ctx.trace_hex ctx in
+  let queue_depth = tally t (fun s -> s.inflight) in
+  Metrics.set (Lazy.force m_queue_depth) (float_of_int queue_depth);
+  Ctx.with_ctx ctx (fun () ->
+      Trace.with_span ~name:"request"
+        ~args:[ ("id", Trace.Str id) ]
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let resp, tier = answer_case t ~trace:(Some trace) id in
+          let latency = Unix.gettimeofday () -. t0 in
+          Trace.set_arg "tier" (Trace.Str tier);
+          Ucp_obs.Log.info "[serve] trace=%s id=%s tier=%s outcome=%s %.6fs" trace
+            id tier (outcome_of_response resp) latency;
+          log_request t ~trace ~id ~tier ~outcome:(outcome_of_response resp)
+            ~latency ~queue_depth;
+          resp))
 
 (* ------------------------------------------------------------------ *)
 (* connection plumbing *)
@@ -338,13 +517,16 @@ let send fd resp = write_all fd (P.frame (P.response_to_string resp))
 let handle_frame t fd payload =
   match P.request_of_string payload with
   | Error msg ->
-    send fd (P.Failed { retryable = false; message = msg });
+    send fd (P.Failed { retryable = false; message = msg; trace_id = None });
     true
-  | Ok (P.Case id) ->
-    send fd (answer_case t id);
+  | Ok (P.Case { id; trace_id }) ->
+    send fd (serve_case t ~trace_id id);
     true
   | Ok P.Health ->
     send fd (health t);
+    true
+  | Ok P.Metrics ->
+    send fd (P.Metrics_text (Ucp_obs.Expo.render (Ucp_obs.Metrics.dump ())));
     true
   | Ok P.Shutdown ->
     send fd P.Bye;
@@ -363,7 +545,9 @@ let handle_conn t fd =
     | P.Malformed msg ->
       (* never try to resynchronize a broken stream: one structured
          error, then hang up *)
-      send fd (P.Failed { retryable = false; message = "protocol error: " ^ msg })
+      send fd
+        (P.Failed
+           { retryable = false; message = "protocol error: " ^ msg; trace_id = None })
     | P.Incomplete -> (
       (* poll so an idle connection notices a draining daemon *)
       match Unix.select [ fd ] [] [] 0.2 with
@@ -400,9 +584,15 @@ let install_signals t =
 let run ?(signals = true) cfg =
   if cfg.jobs < 1 then invalid_arg "Server.run: jobs must be positive";
   if cfg.queue_limit < 1 then invalid_arg "Server.run: queue limit must be positive";
+  if not (Float.is_finite cfg.slow_threshold_s) || cfg.slow_threshold_s < 0.0 then
+    invalid_arg "Server.run: slow threshold must be a non-negative number";
   (* the health query reads registry counters, so the daemon always
      meters itself *)
   Ucp_obs.Metrics.enable ();
+  (* pre-register the per-tier family so the exposition shows all four
+     tiers from the first scrape, observed or not *)
+  List.iter (fun tier -> ignore (serve_latency tier)) tiers;
+  if cfg.trace <> None then Trace.start ();
   let store = Store.open_ ~dir:cfg.store_dir in
   let t =
     {
@@ -426,6 +616,9 @@ let run ?(signals = true) cfg =
           shed_total = 0;
           inflight = 0;
         };
+      alog = Option.map Ucp_obs.Access_log.open_ cfg.access_log;
+      slog = Option.map Ucp_obs.Access_log.open_ cfg.slow_log;
+      req_index = Atomic.make 0;
     }
   in
   if signals then install_signals t;
@@ -478,5 +671,15 @@ let run ?(signals = true) cfg =
       in
       join ();
       Parallel.shutdown t.pool;
+      Option.iter Ucp_obs.Access_log.close t.alog;
+      Option.iter Ucp_obs.Access_log.close t.slog;
+      (match cfg.trace with
+      | Some path ->
+        Trace.stop ();
+        Trace.export path;
+        Ucp_obs.Log.out
+          (Printf.sprintf "[serve] trace written to %s (%d spans dropped)" path
+             (Trace.dropped ()))
+      | None -> ());
       Ucp_obs.Log.out "[serve] drained, shut down")
     accept_loop

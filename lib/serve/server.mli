@@ -31,7 +31,16 @@
       [kill -9] is just "start it again".
     - {e graceful drain}: SIGTERM/SIGINT (or a [Shutdown] request)
       stops accepting, finishes every in-flight request, drains the
-      pool and returns. *)
+      pool and returns.
+
+    Telemetry: every [Case] request runs under a {!Ucp_obs.Ctx} trace
+    context — the client's id if it sent one, else a deterministic
+    server-derived one — which is echoed in the response, stamped on
+    every span the request opens (admission, cache/store lookup, cold
+    compute on the pool), logged on every request log line, and written
+    to the access and slow-query logs.  Latency is observed per tier in
+    the [serve_latency_s{tier=...}] histograms; the full registry is
+    served as Prometheus text by the [Metrics] query. *)
 
 type config = {
   socket : string;  (** Unix-domain socket path *)
@@ -44,11 +53,25 @@ type config = {
       (** exact-refinement mode for cold evaluations; part of the
           store's content address, so entries computed under different
           modes never alias *)
+  access_log : string option;
+      (** JSONL access log: one line per [Case] request (trace id, case
+          id, tier, outcome, latency, queue depth) — deterministic
+          modulo the [ts]/[latency_s] fields *)
+  slow_log : string option;
+      (** JSONL slow-query log: requests at or above
+          [slow_threshold_s], same shape plus the threshold *)
+  slow_threshold_s : float;  (** slow-query threshold, seconds *)
+  trace : string option;
+      (** record spans while serving and export a Chrome trace here on
+          drain; each request's spans carry its trace id *)
+  trace_seed : int;
+      (** seed for the deterministic trace ids assigned to requests
+          that arrive without one *)
 }
 
 val default_config : socket:string -> store_dir:string -> config
 (** 2 workers, 64 cache entries, queue limit 32, no timeout, refine
-    [Nc]. *)
+    [Nc]; no access/slow logs, slow threshold 1 s, no trace. *)
 
 val run : ?signals:bool -> config -> unit
 (** Serve until SIGTERM/SIGINT or a [Shutdown] request, then drain and

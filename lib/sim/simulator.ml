@@ -256,7 +256,9 @@ let run ?(seed = 42) ?(max_steps = 3_000_000) ?(policy = Concrete.Lru) ?hw ?lock
   in
   exec_block (Program.entry program);
   if Ucp_obs.Metrics.enabled () then begin
-    let label = "{policy=" ^ Ucp_policy.to_string policy ^ "}" in
+    (* label value quoted so the registry name is already valid
+       Prometheus exposition syntax when Expo renders it *)
+    let label = Printf.sprintf "{policy=%S}" (Ucp_policy.to_string policy) in
     Ucp_obs.Metrics.add
       (Ucp_obs.Metrics.counter ("cache_fetches_total" ^ label))
       st.fetches;

@@ -9,6 +9,8 @@
 module Trace = Ucp_obs.Trace
 module Metrics = Ucp_obs.Metrics
 module Log = Ucp_obs.Log
+module Ctx = Ucp_obs.Ctx
+module Expo = Ucp_obs.Expo
 
 let with_tmp_file f =
   let path = Filename.temp_file "ucp_obs_test" ".json" in
@@ -141,6 +143,108 @@ let test_trace_parse_rejects_garbage () =
       | Ok _ -> Alcotest.fail "accepted a file without traceEvents")
 
 (* ------------------------------------------------------------------ *)
+(* trace contexts *)
+
+let test_ctx_determinism_and_hex () =
+  let a = Ctx.derive ~seed:42 ~index:0 in
+  let a' = Ctx.derive ~seed:42 ~index:0 in
+  Alcotest.(check string) "derive is deterministic" (Ctx.trace_hex a)
+    (Ctx.trace_hex a');
+  let b = Ctx.derive ~seed:42 ~index:1 in
+  Alcotest.(check bool) "indices give distinct traces" true
+    (Ctx.trace_hex a <> Ctx.trace_hex b);
+  let h = Ctx.trace_hex a in
+  Alcotest.(check int) "16 hex chars" 16 (String.length h);
+  (match Ctx.of_hex h with
+  | Some id -> Alcotest.(check string) "hex round-trip" h (Ctx.to_hex id)
+  | None -> Alcotest.fail "own hex does not parse back");
+  (* ids with the top bit set (negative as int64) must round-trip too *)
+  (match Ctx.of_hex "ffeeddccbbaa9988" with
+  | Some id ->
+    Alcotest.(check string) "top-bit id round-trips" "ffeeddccbbaa9988"
+      (Ctx.to_hex id)
+  | None -> Alcotest.fail "top-bit hex rejected");
+  List.iter
+    (fun s ->
+      match Ctx.of_hex s with
+      | None -> ()
+      | Some _ -> Alcotest.failf "accepted malformed trace id %S" s)
+    [
+      "";
+      "0123456789abcde" (* 15 chars *);
+      "0123456789abcdef0" (* 17 chars *);
+      "0123456789ABCDEF" (* uppercase *);
+      "0123456789abcdeg" (* non-hex *);
+      " 123456789abcdef" (* space *);
+    ]
+
+let test_ctx_ambient_restore () =
+  Alcotest.(check bool) "no ambient ctx at rest" true (Ctx.current () = None);
+  let outer = Ctx.derive ~seed:1 ~index:0 in
+  let inner = Ctx.child outer in
+  Ctx.with_ctx outer (fun () ->
+      (match Ctx.current () with
+      | Some c ->
+        Alcotest.(check string) "outer visible" (Ctx.trace_hex outer)
+          (Ctx.trace_hex c)
+      | None -> Alcotest.fail "ambient ctx lost");
+      Ctx.with_ctx inner (fun () ->
+          match Ctx.current () with
+          | Some c ->
+            Alcotest.(check string) "child keeps the trace id"
+              (Ctx.trace_hex outer) (Ctx.trace_hex c);
+            Alcotest.(check string) "child gets its own span id"
+              (Ctx.span_hex inner) (Ctx.span_hex c)
+          | None -> Alcotest.fail "ambient ctx lost in child");
+      match Ctx.current () with
+      | Some c ->
+        Alcotest.(check string) "outer restored after child"
+          (Ctx.span_hex outer) (Ctx.span_hex c)
+      | None -> Alcotest.fail "ambient ctx not restored");
+  Alcotest.(check bool) "cleared after with_ctx" true (Ctx.current () = None);
+  (try Ctx.with_ctx outer (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "cleared after a raise" true (Ctx.current () = None)
+
+let test_span_carries_trace_id () =
+  Trace.start ();
+  let c = Ctx.derive ~seed:9 ~index:0 in
+  Ctx.with_ctx c (fun () -> Trace.with_span ~name:"tagged" (fun () -> ()));
+  Trace.with_span ~name:"untagged" (fun () -> ());
+  Trace.stop ();
+  let spans = Trace.spans () in
+  let tagged = List.find (fun s -> s.Trace.span_name = "tagged") spans in
+  let untagged = List.find (fun s -> s.Trace.span_name = "untagged") spans in
+  Alcotest.(check bool) "ambient trace id stamped on the span" true
+    (List.assoc_opt "trace_id" tagged.Trace.args
+    = Some (Trace.Str (Ctx.trace_hex c)));
+  Alcotest.(check bool) "no ambient ctx, no trace_id arg" true
+    (List.assoc_opt "trace_id" untagged.Trace.args = None)
+
+let test_trace_ring_bounded () =
+  let saved = Trace.capacity () in
+  Fun.protect
+    ~finally:(fun () -> Trace.set_capacity saved)
+    (fun () ->
+      Trace.set_capacity 8;
+      Trace.start ();
+      for i = 0 to 19 do
+        Trace.with_span ~name:(Printf.sprintf "s%d" i) (fun () -> ())
+      done;
+      Trace.stop ();
+      let spans = Trace.spans () in
+      Alcotest.(check int) "ring keeps exactly capacity spans" 8
+        (List.length spans);
+      Alcotest.(check int) "overwrites counted as drops" 12 (Trace.dropped ());
+      Alcotest.(check (list string)) "newest spans survive, oldest-first"
+        (List.init 8 (fun i -> Printf.sprintf "s%d" (i + 12)))
+        (List.map (fun s -> s.Trace.span_name) spans);
+      (* a fresh start resets both the ring and the drop count *)
+      Trace.start ();
+      Trace.stop ();
+      Alcotest.(check int) "drop count reset" 0 (Trace.dropped ());
+      Alcotest.(check int) "ring reset" 0 (List.length (Trace.spans ())))
+
+(* ------------------------------------------------------------------ *)
 (* metrics *)
 
 let test_metrics_contention () =
@@ -203,6 +307,89 @@ let test_metrics_idempotent_registration () =
   | v ->
     Alcotest.failf "expected one shared counter at 5, got %s"
       (match v with Some (Metrics.Counter n) -> string_of_int n | _ -> "none")
+
+let test_histogram_bucket_edges () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let h = Metrics.histogram "obs_test_edges" ~buckets:[| 0.5; 1.0; 2.0 |] in
+  (* inclusive upper bounds, Prometheus [le] semantics: an observation
+     at exactly a bound lands in that bound's bucket, anything past the
+     last bound lands in the overflow bucket *)
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 2.0; 0.49; 2.00001; 1000.0 ];
+  Metrics.disable ();
+  match Metrics.find "obs_test_edges" with
+  | Some (Metrics.Histogram { bounds; counts; count; _ }) ->
+    Alcotest.(check int) "observation count" 6 count;
+    Alcotest.(check (array int)) "per-bucket counts" [| 2; 1; 1; 2 |] counts;
+    Alcotest.(check (array (float 0.0))) "bounds kept" [| 0.5; 1.0; 2.0 |] bounds
+  | _ -> Alcotest.fail "histogram missing"
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition *)
+
+let golden_dump =
+  [
+    ("requests_total", Metrics.Counter 3);
+    ("queue_depth", Metrics.Gauge 2.0);
+    ( "serve_latency_s{tier=\"cache\"}",
+      Metrics.Histogram
+        { bounds = [| 0.5; 1.0 |]; counts = [| 2; 1; 1 |]; sum = 2.75; count = 4 } );
+    ( "serve_latency_s{tier=\"cold\"}",
+      Metrics.Histogram
+        { bounds = [| 0.5; 1.0 |]; counts = [| 0; 0; 0 |]; sum = 0.0; count = 0 } );
+  ]
+
+let golden_text =
+  String.concat "\n"
+    [
+      "# TYPE requests_total counter";
+      "requests_total 3";
+      "# TYPE queue_depth gauge";
+      "queue_depth 2";
+      "# TYPE serve_latency_s histogram";
+      "serve_latency_s_bucket{tier=\"cache\",le=\"0.5\"} 2";
+      "serve_latency_s_bucket{tier=\"cache\",le=\"1\"} 3";
+      "serve_latency_s_bucket{tier=\"cache\",le=\"+Inf\"} 4";
+      "serve_latency_s_sum{tier=\"cache\"} 2.75";
+      "serve_latency_s_count{tier=\"cache\"} 4";
+      "serve_latency_s_bucket{tier=\"cold\",le=\"0.5\"} 0";
+      "serve_latency_s_bucket{tier=\"cold\",le=\"1\"} 0";
+      "serve_latency_s_bucket{tier=\"cold\",le=\"+Inf\"} 0";
+      "serve_latency_s_sum{tier=\"cold\"} 0";
+      "serve_latency_s_count{tier=\"cold\"} 0";
+      "";
+    ]
+
+let test_expo_golden () =
+  Alcotest.(check string) "byte-exact exposition" golden_text
+    (Expo.render golden_dump)
+
+let test_expo_parse_roundtrip () =
+  match Expo.parse golden_text with
+  | Error e -> Alcotest.fail ("golden text does not parse: " ^ e)
+  | Ok samples -> (
+    Alcotest.(check int) "sample count (TYPE lines skipped)" 12
+      (List.length samples);
+    match Expo.histograms samples with
+    | [ cache; cold ] ->
+      Alcotest.(check (list (pair string string)))
+        "cache labels" [ ("tier", "cache") ] cache.Expo.h_labels;
+      Alcotest.(check (array int)) "de-cumulated buckets" [| 2; 1; 1 |]
+        cache.Expo.h_counts;
+      Alcotest.(check (float 0.0)) "sum" 2.75 cache.Expo.h_sum;
+      Alcotest.(check int) "count" 4 cache.Expo.h_count;
+      Alcotest.(check int) "cold empty" 0 cold.Expo.h_count
+    | hs -> Alcotest.failf "expected 2 histograms, got %d" (List.length hs))
+
+let test_expo_quantile () =
+  let bounds = [| 0.5; 1.0; 2.0 |] in
+  let counts = [| 2; 5; 2; 1 |] in
+  let q = Expo.quantile ~bounds ~counts in
+  Alcotest.(check (float 0.0)) "p50 hits the second bucket" 1.0 (q 0.5);
+  Alcotest.(check (float 0.0)) "p90 hits the third bucket" 2.0 (q 0.9);
+  Alcotest.(check bool) "p100 lands in overflow" true (q 1.0 = Float.infinity);
+  Alcotest.(check bool) "empty histogram is NaN" true
+    (Float.is_nan (Expo.quantile ~bounds ~counts:[| 0; 0; 0; 0 |] 0.5))
 
 (* ------------------------------------------------------------------ *)
 (* zero output when disabled *)
@@ -285,12 +472,31 @@ let () =
           Alcotest.test_case "parse rejects garbage" `Quick
             test_trace_parse_rejects_garbage;
         ] );
+      ( "ctx",
+        [
+          Alcotest.test_case "determinism and hex round-trip" `Quick
+            test_ctx_determinism_and_hex;
+          Alcotest.test_case "ambient save/restore" `Quick
+            test_ctx_ambient_restore;
+          Alcotest.test_case "spans carry the ambient trace id" `Quick
+            test_span_carries_trace_id;
+          Alcotest.test_case "span ring is bounded" `Quick
+            test_trace_ring_bounded;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "4-domain contention" `Quick test_metrics_contention;
           Alcotest.test_case "kind clash" `Quick test_metrics_kind_clash;
           Alcotest.test_case "idempotent registration" `Quick
             test_metrics_idempotent_registration;
+          Alcotest.test_case "bucket edge semantics" `Quick
+            test_histogram_bucket_edges;
+        ] );
+      ( "expo",
+        [
+          Alcotest.test_case "golden render" `Quick test_expo_golden;
+          Alcotest.test_case "parse round-trip" `Quick test_expo_parse_roundtrip;
+          Alcotest.test_case "nearest-rank quantiles" `Quick test_expo_quantile;
         ] );
       ( "disabled",
         [

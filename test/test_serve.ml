@@ -120,12 +120,22 @@ let gen_id =
 let gen_text =
   QCheck2.Gen.(string_size ~gen:(char_range ' ' '~') (int_bound 40))
 
+(* exactly 16 lowercase hex chars — the only shape the wire accepts *)
+let gen_trace_id =
+  QCheck2.Gen.(
+    map
+      (fun ds -> String.concat "" (List.map (Printf.sprintf "%x") ds))
+      (list_size (return 16) (int_bound 15)))
+
 let gen_request =
   QCheck2.Gen.(
     oneof
       [
-        map (fun id -> P.Case id) gen_id;
+        map2
+          (fun id trace_id -> P.Case { id; trace_id })
+          gen_id (option gen_trace_id);
         return P.Health;
+        return P.Metrics;
         return P.Shutdown;
       ])
 
@@ -134,19 +144,36 @@ let gen_response =
     let source = oneofl [ P.Memory; P.Store; P.Computed ] in
     (* exact binary fractions so float round-trip is bit-identical *)
     let delay = map (fun n -> float_of_int n /. 16.) (int_bound 512) in
+    let trace = option gen_trace_id in
+    let gen_health =
+      map2
+        (fun counters (gauges, hists) ->
+          P.Health_stats { P.counters; gauges; hists })
+        (small_list (pair gen_text (int_bound 10_000)))
+        (pair
+           (small_list (pair gen_text delay))
+           (small_list
+              (map2
+                 (fun k (c, s) -> (k, { P.hs_count = c; hs_sum = s }))
+                 gen_text
+                 (pair (int_bound 1000) delay))))
+    in
     oneof
       [
         map2
-          (fun (id, src) json -> P.Record { id; source = src; json })
-          (pair gen_id source) gen_text;
-        map (fun kvs -> P.Health_stats kvs)
-          (small_list (pair gen_text (int_bound 10_000)));
+          (fun (id, src) (json, trace_id) ->
+            P.Record { id; source = src; json; trace_id })
+          (pair gen_id source) (pair gen_text trace);
+        gen_health;
+        map (fun text -> P.Metrics_text text) gen_text;
         map2
-          (fun after_s reason -> P.Retry { after_s; reason })
-          delay gen_text;
+          (fun (after_s, reason) trace_id ->
+            P.Retry { after_s; reason; trace_id })
+          (pair delay gen_text) trace;
         map2
-          (fun retryable message -> P.Failed { retryable; message })
-          bool gen_text;
+          (fun (retryable, message) trace_id ->
+            P.Failed { retryable; message; trace_id })
+          (pair bool gen_text) trace;
         return P.Bye;
       ])
 
@@ -283,8 +310,8 @@ let stop_server ~socket thread =
   Thread.join thread
 
 let query_record ~socket id =
-  match Client.query ~socket (P.Case id) with
-  | Ok (P.Record { id = rid; source; json }) ->
+  match Client.query ~socket (P.Case { id; trace_id = None }) with
+  | Ok (P.Record { id = rid; source; json; _ }) ->
     Alcotest.(check string) "record id" id rid;
     (source, json)
   | Ok _ -> Alcotest.fail "expected a record"
@@ -292,12 +319,12 @@ let query_record ~socket id =
 
 let health ~socket =
   match Client.query ~socket P.Health with
-  | Ok (P.Health_stats kvs) -> kvs
+  | Ok (P.Health_stats h) -> h
   | Ok _ -> Alcotest.fail "expected health stats"
   | Error e -> Alcotest.fail ("health failed: " ^ e)
 
-let stat kvs name =
-  match List.assoc_opt name kvs with
+let stat (h : P.health) name =
+  match List.assoc_opt name h.P.counters with
   | Some v -> v
   | None -> Alcotest.fail ("health stat missing: " ^ name)
 
@@ -390,11 +417,69 @@ let test_server_rejects_unknown_case () =
     (fun () ->
       let cfg = Server.default_config ~socket ~store_dir:dir in
       let th = start_server { cfg with jobs = 1 } in
-      (match Client.query ~socket (P.Case "no-such-case") with
+      (match Client.query ~socket (P.Case { id = "no-such-case"; trace_id = None }) with
       | Ok (P.Failed { retryable; _ }) ->
         Alcotest.(check bool) "not retryable" false retryable
       | Ok _ -> Alcotest.fail "unknown case answered"
       | Error e -> Alcotest.fail ("transport error: " ^ e));
+      stop_server ~socket th)
+
+(* Telemetry surface of the daemon: a client-assigned trace id is
+   echoed on the answer, an unmarked request still gets a well-formed
+   server-derived id, the Metrics query serves parseable Prometheus
+   text with all four per-tier latency histograms, and the health reply
+   carries the histogram {count,sum} summaries (the instruments the old
+   counter-only reply silently dropped). *)
+let test_server_trace_echo_and_metrics () =
+  let socket = fresh_socket () and dir = temp_dir "ucp-serve" in
+  let id = "crc:k1:45nm:lru" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cfg = Server.default_config ~socket ~store_dir:dir in
+      let th = start_server { cfg with jobs = 1 } in
+      let trace = "00decafc0ffee042" in
+      (match Client.query ~socket (P.Case { id; trace_id = Some trace }) with
+      | Ok (P.Record { trace_id; _ }) ->
+        Alcotest.(check (option string))
+          "client trace id echoed" (Some trace) trace_id
+      | Ok _ -> Alcotest.fail "expected a record"
+      | Error e -> Alcotest.fail ("query failed: " ^ e));
+      (match Client.query ~socket (P.Case { id; trace_id = None }) with
+      | Ok (P.Record { trace_id = Some t; _ }) ->
+        Alcotest.(check bool)
+          "derived trace id well-formed" true (P.valid_trace_id t)
+      | Ok (P.Record { trace_id = None; _ }) ->
+        Alcotest.fail "no trace id assigned to an unmarked request"
+      | Ok _ -> Alcotest.fail "expected a record"
+      | Error e -> Alcotest.fail ("query failed: " ^ e));
+      (match Client.query ~socket P.Metrics with
+      | Ok (P.Metrics_text text) -> (
+        match Ucp_obs.Expo.parse text with
+        | Error e -> Alcotest.fail ("exposition does not parse: " ^ e)
+        | Ok samples ->
+          let tiers =
+            List.filter_map
+              (fun (h : Ucp_obs.Expo.hist) ->
+                if h.Ucp_obs.Expo.h_base = "serve_latency_s" then
+                  List.assoc_opt "tier" h.Ucp_obs.Expo.h_labels
+                else None)
+              (Ucp_obs.Expo.histograms samples)
+          in
+          List.iter
+            (fun t ->
+              Alcotest.(check bool) (t ^ " tier exposed") true (List.mem t tiers))
+            [ "cache"; "store"; "cold"; "shed" ])
+      | Ok _ -> Alcotest.fail "expected metrics text"
+      | Error e -> Alcotest.fail ("metrics failed: " ^ e));
+      let h = health ~socket in
+      Alcotest.(check bool)
+        "latency histogram summarized in health" true
+        (List.mem_assoc "serve_latency_s{tier=\"cold\"}" h.P.hists);
+      (match List.assoc_opt "serve_latency_s{tier=\"cold\"}" h.P.hists with
+      | Some { P.hs_count; _ } ->
+        Alcotest.(check bool) "cold tier observed" true (hs_count >= 1)
+      | None -> ());
       stop_server ~socket th)
 
 let () =
@@ -438,5 +523,7 @@ let () =
             test_server_corrupt_store_heals;
           Alcotest.test_case "unknown case is a clean failure" `Quick
             test_server_rejects_unknown_case;
+          Alcotest.test_case "trace echo, metrics text, health hists" `Slow
+            test_server_trace_echo_and_metrics;
         ] );
     ]
